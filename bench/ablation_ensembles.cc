@@ -1,0 +1,118 @@
+// Ablation 3 — what the paper traded by avoiding "high performance
+// methods" (§3.1): single chi-square tree (train/validation) vs pruned
+// tree vs bagged ensemble on the CP-4 and CP-8 tasks. Measures both the
+// accuracy gain and the comprehensibility cost (total leaves a domain
+// expert must read).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/thresholds.h"
+#include "data/split.h"
+#include "eval/binary_metrics.h"
+#include "eval/confusion.h"
+#include "ml/bagging.h"
+#include "ml/common.h"
+#include "ml/decision_tree.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace {
+
+using namespace roadmine;
+
+template <typename Model>
+eval::BinaryAssessment Evaluate(const data::Dataset& ds,
+                                const std::string& target, const Model& model,
+                                const std::vector<size_t>& validation) {
+  auto labels = ml::ExtractBinaryLabels(ds, target);
+  eval::ConfusionMatrix cm;
+  for (size_t r : validation) {
+    cm.Add((*labels)[r] != 0, model.Predict(ds, r) != 0);
+  }
+  return eval::Assess(cm);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation — single tree vs pruning vs bagging");
+
+  bench::PaperData data = bench::MakePaperData();
+  util::TextTable table({"task", "model", "leaves", "MCPV", "Kappa"});
+
+  for (int threshold : {4, 8}) {
+    data::Dataset& ds = data.crash_only;
+    if (!core::AddCrashProneTarget(ds, roadgen::kSegmentCrashCountColumn,
+                                   threshold)
+             .ok()) {
+      return 1;
+    }
+    const std::string target = core::ThresholdTargetName(threshold);
+    const std::string task = "CP-" + std::to_string(threshold);
+    util::Rng rng(31);
+    auto split = data::StratifiedTrainValidationSplit(ds, target, 0.67, rng);
+    if (!split.ok()) return 1;
+
+    const ml::DecisionTreeParams tree_params{.min_samples_leaf = 30,
+                                             .max_leaves = 64};
+
+    // Single tree, the paper's configuration.
+    ml::DecisionTreeClassifier single(tree_params);
+    if (!single.Fit(ds, target, roadgen::RoadAttributeColumns(), split->train)
+             .ok()) {
+      return 1;
+    }
+    {
+      const eval::BinaryAssessment a =
+          Evaluate(ds, target, single, split->validation);
+      table.AddRow({task, "single tree", std::to_string(single.leaf_count()),
+                    util::FormatDouble(a.mcpv, 3),
+                    util::FormatDouble(a.kappa, 3)});
+    }
+
+    // Reduced-error pruned variant (uses a slice of train as prune set).
+    {
+      std::vector<size_t> grow, prune;
+      for (size_t i = 0; i < split->train.size(); ++i) {
+        (i % 4 == 0 ? prune : grow).push_back(split->train[i]);
+      }
+      ml::DecisionTreeClassifier pruned(tree_params);
+      if (!pruned.Fit(ds, target, roadgen::RoadAttributeColumns(), grow).ok()) {
+        return 1;
+      }
+      if (!pruned.PruneReducedError(ds, target, prune).ok()) return 1;
+      const eval::BinaryAssessment a =
+          Evaluate(ds, target, pruned, split->validation);
+      table.AddRow({task, "pruned tree", std::to_string(pruned.leaf_count()),
+                    util::FormatDouble(a.mcpv, 3),
+                    util::FormatDouble(a.kappa, 3)});
+    }
+
+    // Bagged ensemble — the "high performance" option the paper deferred.
+    {
+      ml::BaggedTreesParams bag_params;
+      bag_params.num_trees = 15;
+      bag_params.tree = tree_params;
+      ml::BaggedTreesClassifier bagged(bag_params);
+      if (!bagged
+               .Fit(ds, target, roadgen::RoadAttributeColumns(), split->train)
+               .ok()) {
+        return 1;
+      }
+      const eval::BinaryAssessment a =
+          Evaluate(ds, target, bagged, split->validation);
+      table.AddRow({task,
+                    "bagged x" + std::to_string(bagged.tree_count()),
+                    std::to_string(bagged.total_leaves()),
+                    util::FormatDouble(a.mcpv, 3),
+                    util::FormatDouble(a.kappa, 3)});
+    }
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "reading: bagging buys a modest MCPV/Kappa gain at ~15x the rule\n"
+      "volume — quantifying the comprehensibility trade the paper made by\n"
+      "staying with single trees during discovery.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Ablation 2 — split criteria and missing-value handling (DESIGN.md
+// §5.2-5.3).
+//
+//   (a) chi-square (the paper's criterion) vs Gini vs entropy: model size
+//       and MCPV on the CP-8 task;
+//   (b) "missing values treated as valid data" (learned routing) vs
+//       listwise deletion of rows with a missing F60.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/thresholds.h"
+#include "data/split.h"
+#include "eval/binary_metrics.h"
+#include "eval/confusion.h"
+#include "ml/common.h"
+#include "ml/decision_tree.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace {
+
+using namespace roadmine;
+
+eval::BinaryAssessment EvaluateTree(const data::Dataset& ds,
+                                    const std::string& target,
+                                    const ml::DecisionTreeClassifier& tree,
+                                    const std::vector<size_t>& validation) {
+  auto labels = ml::ExtractBinaryLabels(ds, target);
+  eval::ConfusionMatrix cm;
+  for (size_t r : validation) {
+    cm.Add((*labels)[r] != 0, tree.Predict(ds, r) != 0);
+  }
+  return eval::Assess(cm);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation — split criteria & missing-value handling");
+
+  bench::PaperData data = bench::MakePaperData();
+  data::Dataset& ds = data.crash_only;
+  if (auto s =
+          core::AddCrashProneTarget(ds, roadgen::kSegmentCrashCountColumn, 8);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::string target = core::ThresholdTargetName(8);
+  util::Rng rng(13);
+  auto split = data::StratifiedTrainValidationSplit(ds, target, 0.67, rng);
+  if (!split.ok()) return 1;
+
+  // (a) Criterion comparison.
+  util::TextTable criteria_table(
+      {"criterion", "leaves", "depth", "MCPV", "Kappa", "misclass"});
+  for (ml::SplitCriterion criterion :
+       {ml::SplitCriterion::kChiSquare, ml::SplitCriterion::kGini,
+        ml::SplitCriterion::kEntropy}) {
+    ml::DecisionTreeParams params{.criterion = criterion,
+                                  .min_samples_leaf = 30,
+                                  .max_leaves = 64};
+    ml::DecisionTreeClassifier tree(params);
+    if (!tree.Fit(ds, target, roadgen::RoadAttributeColumns(), split->train)
+             .ok()) {
+      return 1;
+    }
+    const eval::BinaryAssessment a =
+        EvaluateTree(ds, target, tree, split->validation);
+    criteria_table.AddRow(
+        {ml::SplitCriterionName(criterion), std::to_string(tree.leaf_count()),
+         std::to_string(tree.depth()), util::FormatDouble(a.mcpv, 3),
+         util::FormatDouble(a.kappa, 3),
+         util::FormatDouble(a.misclassification_rate, 3)});
+  }
+  std::printf("%s\n", criteria_table.Render().c_str());
+
+  // (b) Missing-value handling: learned routing vs listwise deletion.
+  util::TextTable missing_table(
+      {"missing handling", "train rows", "validation rows", "MCPV", "Kappa"});
+  {
+    ml::DecisionTreeClassifier tree{
+        ml::DecisionTreeParams{.min_samples_leaf = 30, .max_leaves = 64}};
+    if (!tree.Fit(ds, target, roadgen::RoadAttributeColumns(), split->train)
+             .ok()) {
+      return 1;
+    }
+    const eval::BinaryAssessment a =
+        EvaluateTree(ds, target, tree, split->validation);
+    missing_table.AddRow({"routed (paper)", std::to_string(split->train.size()),
+                          std::to_string(split->validation.size()),
+                          util::FormatDouble(a.mcpv, 3),
+                          util::FormatDouble(a.kappa, 3)});
+  }
+  {
+    auto f60 = ds.ColumnByName("f60");
+    if (!f60.ok()) return 1;
+    auto drop_missing = [&](const std::vector<size_t>& rows) {
+      std::vector<size_t> kept;
+      for (size_t r : rows) {
+        if (!(*f60)->IsMissing(r)) kept.push_back(r);
+      }
+      return kept;
+    };
+    const std::vector<size_t> train = drop_missing(split->train);
+    const std::vector<size_t> validation = drop_missing(split->validation);
+    ml::DecisionTreeClassifier tree{
+        ml::DecisionTreeParams{.min_samples_leaf = 30, .max_leaves = 64}};
+    if (!tree.Fit(ds, target, roadgen::RoadAttributeColumns(), train).ok()) {
+      return 1;
+    }
+    const eval::BinaryAssessment a = EvaluateTree(ds, target, tree, validation);
+    missing_table.AddRow({"listwise deletion", std::to_string(train.size()),
+                          std::to_string(validation.size()),
+                          util::FormatDouble(a.mcpv, 3),
+                          util::FormatDouble(a.kappa, 3)});
+  }
+  std::printf("%s\n", missing_table.Render().c_str());
+  std::printf(
+      "reading: the three criteria land close in MCPV (the paper chose\n"
+      "chi-square for its significance-based stopping); routing missing\n"
+      "values keeps every instance while deletion discards the sparse-F60\n"
+      "rows the study fought to retain.\n");
+  return 0;
+}

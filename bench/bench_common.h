@@ -1,0 +1,75 @@
+// Shared setup for the reproduction benches: every table/figure binary
+// works from the same paper-scale synthetic network (the calibrated
+// GeneratorConfig defaults) so results are comparable across benches.
+#ifndef ROADMINE_BENCH_BENCH_COMMON_H_
+#define ROADMINE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace roadmine::bench {
+
+struct PaperData {
+  roadgen::GeneratorConfig config;
+  std::vector<roadgen::RoadSegment> segments;
+  std::vector<roadgen::CrashRecord> records;
+  data::Dataset crash_only;      // Phase-2 dataset (~16.7k rows).
+  data::Dataset crash_no_crash;  // Phase-1 dataset (~32.9k rows).
+};
+
+// Generates the calibrated paper-scale dataset; aborts with a message on
+// failure (benches have no error channel worth plumbing).
+inline PaperData MakePaperData(uint64_t seed = 42) {
+  PaperData data;
+  data.config.seed = seed;
+  roadgen::RoadNetworkGenerator generator(data.config);
+  auto segments = generator.Generate();
+  if (!segments.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 segments.status().ToString().c_str());
+    std::exit(1);
+  }
+  data.segments = std::move(*segments);
+  data.records = generator.SimulateCrashRecords(data.segments);
+
+  auto crash_only =
+      roadgen::BuildCrashOnlyDataset(data.segments, data.records);
+  if (!crash_only.ok()) {
+    std::fprintf(stderr, "crash-only dataset failed: %s\n",
+                 crash_only.status().ToString().c_str());
+    std::exit(1);
+  }
+  data.crash_only = std::move(*crash_only);
+
+  auto both = roadgen::BuildCrashNoCrashDataset(data.segments, data.records);
+  if (!both.ok()) {
+    std::fprintf(stderr, "crash/no-crash dataset failed: %s\n",
+                 both.status().ToString().c_str());
+    std::exit(1);
+  }
+  data.crash_no_crash = std::move(*both);
+  return data;
+}
+
+// Optional CSV artifact directory: the first CLI argument, if present.
+// Benches call this and, when a directory is given, also emit their series
+// as CSV for external plotting.
+inline std::string ExportDir(int argc, char** argv) {
+  return argc > 1 ? argv[1] : "";
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace roadmine::bench
+
+#endif  // ROADMINE_BENCH_BENCH_COMMON_H_

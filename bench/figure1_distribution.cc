@@ -1,0 +1,76 @@
+// Reproduces Figure 1: "Distribution of annual crash counts" — for each
+// study year, how many segments had k crashes that year. The paper's chart
+// shows (a) an exponential-style decay in k and (b) near-identical curves
+// across 2004-2007.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stats/histogram.h"
+#include "stats/hypothesis.h"
+#include "util/text_table.h"
+
+int main() {
+  using namespace roadmine;
+  bench::PrintHeader("Figure 1 — distribution of annual crash counts");
+
+  bench::PaperData data = bench::MakePaperData();
+  const int num_years = data.config.num_years;
+  const int max_count = 20;
+
+  // Frequencies of per-year counts 1..max_count (0 omitted like the chart).
+  std::vector<std::vector<size_t>> freq(static_cast<size_t>(num_years));
+  for (int y = 0; y < num_years; ++y) {
+    std::vector<int> counts;
+    counts.reserve(data.segments.size());
+    for (const auto& s : data.segments) {
+      counts.push_back(s.yearly_crashes[static_cast<size_t>(y)]);
+    }
+    freq[static_cast<size_t>(y)] = stats::IntegerFrequencies(counts, max_count);
+  }
+
+  util::TextTable table({"Year crash count", "2004", "2005", "2006", "2007"});
+  for (int k = 1; k <= max_count; ++k) {
+    table.AddRow({std::to_string(k),
+                  std::to_string(freq[0][static_cast<size_t>(k)]),
+                  std::to_string(freq[1][static_cast<size_t>(k)]),
+                  std::to_string(freq[2][static_cast<size_t>(k)]),
+                  std::to_string(freq[3][static_cast<size_t>(k)])});
+  }
+  table.AddFooter("(count " + std::to_string(max_count) +
+                  " accumulates everything above)");
+  std::printf("%s\n", table.Render().c_str());
+
+  // ASCII rendering of the 2004 curve.
+  std::printf("2004 series (log-style decay):\n");
+  for (int k = 1; k <= 10; ++k) {
+    const size_t n = freq[0][static_cast<size_t>(k)];
+    std::printf("%2d %6zu ", k, n);
+    for (size_t b = 0; b < n / 20; ++b) std::printf("#");
+    std::printf("\n");
+  }
+  // Homogeneity across years: chi-square on the year x count-band table
+  // (bands 1, 2, 3-4, 5+ to keep expected counts healthy).
+  std::vector<std::vector<double>> contingency;
+  for (int y = 0; y < num_years; ++y) {
+    const auto& f = freq[static_cast<size_t>(y)];
+    double band_3_4 = static_cast<double>(f[3] + f[4]);
+    double band_5_plus = 0.0;
+    for (size_t k = 5; k < f.size(); ++k) band_5_plus += static_cast<double>(f[k]);
+    contingency.push_back({static_cast<double>(f[1]),
+                           static_cast<double>(f[2]), band_3_4,
+                           band_5_plus});
+  }
+  auto homogeneity = stats::ChiSquareIndependenceTest(contingency);
+  if (homogeneity.ok()) {
+    std::printf("\nyear-to-year homogeneity: chi-square(%.0f) = %.1f, "
+                "p = %.3f %s\n",
+                homogeneity->df, homogeneity->statistic,
+                homogeneity->p_value,
+                homogeneity->p_value > 0.05
+                    ? "— no evidence the yearly distributions differ"
+                    : "— yearly distributions differ");
+  }
+  std::printf("\npaper shape check: counts drop roughly exponentially with k"
+              " and the four year-curves coincide.\n");
+  return 0;
+}

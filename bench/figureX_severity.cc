@@ -1,0 +1,84 @@
+// Reproduces the paper's §5 observation: "This crash range is of interest
+// because most crashes and serious crashes occur in the low-crash range."
+// Tabulates where crashes — and specifically hospitalisation/fatal
+// crashes — sit relative to the CP thresholds.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/thresholds.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+int main() {
+  using namespace roadmine;
+  bench::PrintHeader(
+      "Severity distribution across crash-count bands (paper §5)");
+
+  bench::PaperData data = bench::MakePaperData();
+  const data::Dataset& ds = data.crash_only;
+  auto count_col = ds.ColumnByName(roadgen::kSegmentCrashCountColumn);
+  auto severity_col = ds.ColumnByName(roadgen::kSeverityColumn);
+  if (!count_col.ok() || !severity_col.ok()) return 1;
+
+  // Severe = hospitalisation or fatal (dictionary codes 2, 3).
+  struct Band {
+    const char* label;
+    int lo;
+    int hi;  // Inclusive; -1 = unbounded.
+    size_t crashes = 0;
+    size_t severe = 0;
+  };
+  std::vector<Band> bands = {{"1-4 (non-prone)", 1, 4},
+                             {"5-8 (boundary)", 5, 8},
+                             {"9-16", 9, 16},
+                             {"17-32", 17, 32},
+                             {">32", 33, -1}};
+
+  size_t total_crashes = 0, total_severe = 0;
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    const int count = static_cast<int>((*count_col)->NumericAt(r));
+    const int32_t severity = (*severity_col)->CodeAt(r);
+    const bool severe = severity >= 2;
+    for (Band& band : bands) {
+      if (count >= band.lo && (band.hi < 0 || count <= band.hi)) {
+        ++band.crashes;
+        band.severe += severe;
+      }
+    }
+    ++total_crashes;
+    total_severe += severe;
+  }
+
+  util::TextTable table({"segment 4yr-count band", "crashes", "% of all",
+                         "severe", "% of severe"});
+  for (const Band& band : bands) {
+    table.AddRow({band.label, std::to_string(band.crashes),
+                  util::FormatDouble(100.0 * static_cast<double>(band.crashes) /
+                                         static_cast<double>(total_crashes),
+                                     1) +
+                      "%",
+                  std::to_string(band.severe),
+                  util::FormatDouble(100.0 * static_cast<double>(band.severe) /
+                                         static_cast<double>(total_severe),
+                                     1) +
+                      "%"});
+  }
+  table.AddFooter("total crashes: " + std::to_string(total_crashes) +
+                  ", severe (hospitalisation/fatal): " +
+                  std::to_string(total_severe));
+  std::printf("%s\n", table.Render().c_str());
+
+  double low_share = 0.0, low_severe_share = 0.0;
+  low_share = static_cast<double>(bands[0].crashes + bands[1].crashes) /
+              static_cast<double>(total_crashes);
+  low_severe_share = static_cast<double>(bands[0].severe + bands[1].severe) /
+                     static_cast<double>(total_severe);
+  std::printf(
+      "reading: %.0f%% of crashes and %.0f%% of severe crashes happen on\n"
+      "segments at or below the selected crash-proneness boundary (<= 8\n"
+      "crashes / 4 years) — 'most crashes and serious crashes occur in the\n"
+      "low-crash range, thus [the threshold] is of significance to\n"
+      "decision-makers'.\n",
+      low_share * 100.0, low_severe_share * 100.0);
+  return 0;
+}

@@ -1,0 +1,170 @@
+// google-benchmark microbenchmarks for the roadmine substrates: model
+// fit/predict throughput, generator throughput, and the evaluation layer.
+// These are performance (not reproduction) benches; they guard against
+// regressions in the hot paths the table/figure benches depend on.
+#include <benchmark/benchmark.h>
+
+#include "core/thresholds.h"
+#include "data/encoder.h"
+#include "data/split.h"
+#include "eval/binary_metrics.h"
+#include "eval/roc.h"
+#include "ml/decision_tree.h"
+#include "ml/kmeans.h"
+#include "ml/naive_bayes.h"
+#include "ml/regression_tree.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace {
+
+using namespace roadmine;
+
+// One shared mid-size dataset for the model benches.
+const data::Dataset& BenchDataset() {
+  static const data::Dataset& dataset = *[] {
+    roadgen::GeneratorConfig config;
+    config.num_segments = 6000;
+    config.seed = 99;
+    roadgen::RoadNetworkGenerator gen(config);
+    auto segments = gen.Generate();
+    auto ds = roadgen::BuildCrashOnlyDataset(*segments,
+                                             gen.SimulateCrashRecords(*segments));
+    auto* owned = new data::Dataset(std::move(*ds));
+    (void)core::AddCrashProneTarget(*owned, roadgen::kSegmentCrashCountColumn,
+                                    8);
+    return owned;
+  }();
+  return dataset;
+}
+
+void BM_GeneratorThroughput(benchmark::State& state) {
+  roadgen::GeneratorConfig config;
+  config.num_segments = static_cast<size_t>(state.range(0));
+  roadgen::RoadNetworkGenerator gen(config);
+  for (auto _ : state) {
+    auto segments = gen.Generate();
+    benchmark::DoNotOptimize(segments);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GeneratorThroughput)->Arg(1000)->Arg(10000);
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  const data::Dataset& ds = BenchDataset();
+  ml::DecisionTreeParams params{.min_samples_leaf = 30,
+                                .max_leaves = static_cast<size_t>(
+                                    state.range(0))};
+  for (auto _ : state) {
+    ml::DecisionTreeClassifier tree(params);
+    auto status = tree.Fit(ds, "crash_prone_gt8",
+                           roadgen::RoadAttributeColumns(),
+                           ds.AllRowIndices());
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_rows());
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(16)->Arg(64);
+
+void BM_DecisionTreePredict(benchmark::State& state) {
+  const data::Dataset& ds = BenchDataset();
+  ml::DecisionTreeClassifier tree{
+      ml::DecisionTreeParams{.min_samples_leaf = 30, .max_leaves = 64}};
+  (void)tree.Fit(ds, "crash_prone_gt8", roadgen::RoadAttributeColumns(),
+                 ds.AllRowIndices());
+  size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.PredictProba(ds, row));
+    row = (row + 1) % ds.num_rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecisionTreePredict);
+
+void BM_RegressionTreeFit(benchmark::State& state) {
+  const data::Dataset& ds = BenchDataset();
+  ml::RegressionTreeParams params{.min_samples_leaf = 30, .max_leaves = 64};
+  for (auto _ : state) {
+    ml::RegressionTree tree(params);
+    auto status =
+        tree.Fit(ds, roadgen::kSegmentCrashCountColumn,
+                 roadgen::RoadAttributeColumns(), ds.AllRowIndices());
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_rows());
+}
+BENCHMARK(BM_RegressionTreeFit);
+
+void BM_NaiveBayesFit(benchmark::State& state) {
+  const data::Dataset& ds = BenchDataset();
+  for (auto _ : state) {
+    ml::NaiveBayesClassifier nb;
+    auto status = nb.Fit(ds, "crash_prone_gt8",
+                         roadgen::RoadAttributeColumns(), ds.AllRowIndices());
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_rows());
+}
+BENCHMARK(BM_NaiveBayesFit);
+
+void BM_KMeansFit(benchmark::State& state) {
+  const data::Dataset& ds = BenchDataset();
+  ml::KMeansParams params;
+  params.k = static_cast<size_t>(state.range(0));
+  params.restarts = 1;
+  params.max_iterations = 25;
+  for (auto _ : state) {
+    ml::KMeans kmeans(params);
+    auto result =
+        kmeans.Fit(ds, roadgen::RoadAttributeColumns(), ds.AllRowIndices());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_rows());
+}
+BENCHMARK(BM_KMeansFit)->Arg(8)->Arg(32);
+
+void BM_EncoderTransform(benchmark::State& state) {
+  const data::Dataset& ds = BenchDataset();
+  data::FeatureEncoder encoder;
+  (void)encoder.Fit(ds, roadgen::RoadAttributeColumns(), ds.AllRowIndices());
+  const std::vector<size_t> rows = ds.AllRowIndices();
+  for (auto _ : state) {
+    auto matrix = encoder.Transform(ds, rows);
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_rows());
+}
+BENCHMARK(BM_EncoderTransform);
+
+void BM_RocAuc(benchmark::State& state) {
+  util::Rng rng(5);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> scores(n);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  for (auto _ : state) {
+    auto auc = eval::RocAuc(scores, labels);
+    benchmark::DoNotOptimize(auc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RocAuc)->Arg(1000)->Arg(100000);
+
+void BM_StratifiedSplit(benchmark::State& state) {
+  const data::Dataset& ds = BenchDataset();
+  for (auto _ : state) {
+    util::Rng rng(17);
+    auto split =
+        data::StratifiedTrainValidationSplit(ds, "crash_prone_gt8", 0.67, rng);
+    benchmark::DoNotOptimize(split);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_rows());
+}
+BENCHMARK(BM_StratifiedSplit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Reproduces Table 1: "Crash prone threshold target values of modeling
+// phase 2" — the class sizes induced by each CP-t target on the
+// crash-only dataset — next to the paper's published values.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/export.h"
+#include "core/report.h"
+#include "core/thresholds.h"
+#include "roadgen/calibration.h"
+
+int main(int argc, char** argv) {
+  using namespace roadmine;
+  bench::PrintHeader(
+      "Table 1 — crash-prone threshold class sizes (crash-only dataset)");
+
+  bench::PaperData data = bench::MakePaperData();
+  std::printf("generated network: %zu segments, %zu crash instances, "
+              "%zu zero-crash segments\n\n",
+              data.segments.size(), data.crash_only.num_rows(),
+              data.crash_no_crash.num_rows() - data.crash_only.num_rows());
+
+  std::vector<core::ThresholdClassCounts> table;
+  for (int t : core::StandardThresholds()) {
+    auto counts = core::CountThresholdClasses(
+        data.crash_only, roadgen::kSegmentCrashCountColumn, t);
+    if (!counts.ok()) {
+      std::fprintf(stderr, "%s\n", counts.status().ToString().c_str());
+      return 1;
+    }
+    table.push_back(*counts);
+  }
+  std::printf("%s\n", core::RenderThresholdTable(table).c_str());
+  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+    (void)core::WriteCsvArtifact(dir, "table1_thresholds.csv",
+                                 core::ThresholdCountsToCsv(table));
+  }
+
+  const roadgen::PaperTargets paper;
+  std::printf("paper (Table 1): crash instances 16750, non-crash 16155\n");
+  for (size_t i = 0; i < paper.thresholds.size(); ++i) {
+    std::printf("  paper CP-%-2d  non-crash-prone %5zu   crash-prone %5zu\n",
+                paper.thresholds[i],
+                paper.crash_instances - paper.crash_prone_instances[i],
+                paper.crash_prone_instances[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Table 5: "Phase 2 model outputs from Naive Bayesian models
+// for models with crash prone thresholds 2,4,8,16,32 and 64 (crash only
+// dataset)" — 10-fold cross-validated naive Bayes.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/export.h"
+#include "core/report.h"
+#include "core/study.h"
+
+int main(int argc, char** argv) {
+  using namespace roadmine;
+  bench::PrintHeader("Table 5 — naive Bayes under 10-fold cross-validation");
+
+  bench::PaperData data = bench::MakePaperData();
+  core::CrashPronenessStudy study(core::StudyConfig{});
+  auto results = study.RunBayesSweep(data.crash_only);
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", core::RenderBayesTable(*results).c_str());
+  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+    (void)core::WriteCsvArtifact(dir, "table5_bayes.csv",
+                                 core::BayesSweepToCsv(*results));
+  }
+
+  std::printf(
+      "paper (Table 5):\n"
+      "  >2   correct  ?    NPV 0.880  PPV 0.759  W.Prec 0.861  W.Rec 0.785"
+      "  ROC 0.884  Kappa 0.4983\n"
+      "  >4   correct 0.79  NPV 0.851  PPV 0.810  W.Prec 0.883  W.Rec 0.825"
+      "  ROC 0.891  Kappa 0.6323\n"
+      "  >8   correct 0.81  NPV 0.771  PPV 0.857  W.Prec 0.817  W.Rec 0.813"
+      "  ROC 0.869  Kappa 0.6264\n"
+      "  >16  correct 0.77  NPV 0.782  PPV 0.770  W.Prec 0.814  W.Rec 0.779"
+      "  ROC 0.858  Kappa 0.4925\n"
+      "  >32  correct 0.87  NPV 0.893  PPV 0.665  W.Prec 0.922  W.Rec 0.876"
+      "  ROC 0.882  Kappa 0.3876\n"
+      "  >64  correct 0.99  NPV 0.990  PPV 0.989  W.Prec 0.995  W.Rec 0.990"
+      "  ROC 0.992  Kappa 0.9990\n"
+      "\nshape check: efficiency (MCPV, Kappa) peaks around >4..>8, dips at\n"
+      ">16..>32, and spikes at the unreliable >64 point. Decision trees\n"
+      "(Table 4) outperform the Bayesian models overall.\n");
+  return 0;
+}

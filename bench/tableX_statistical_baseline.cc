@@ -1,0 +1,166 @@
+// The statistical-methods baseline (paper §1/§2: "The foundation study
+// was performed by Shankar et al, using statistical methods"): count
+// regressions on segment-level crash frequencies, compared against the
+// paper's data-mining models on the same task.
+//
+//   * Poisson GLM and zero-inflated Poisson predicting the 4-year count;
+//   * the paper's F-test regression tree on the same target;
+//   * classification at CP-8 derived from each: trees predict directly,
+//     count models via P(Y > 8 | mu) from the Poisson tail.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/thresholds.h"
+#include "data/split.h"
+#include "eval/binary_metrics.h"
+#include "eval/confusion.h"
+#include "eval/regression_metrics.h"
+#include "ml/common.h"
+#include "ml/count_regression.h"
+#include "ml/decision_tree.h"
+#include "ml/regression_tree.h"
+#include "stats/special_functions.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace {
+
+using namespace roadmine;
+
+// P(Y > t) for Y ~ Poisson(mu): regularized lower incomplete gamma.
+double PoissonTail(double mu, int t) {
+  return stats::RegularizedGammaP(static_cast<double>(t) + 1.0, mu);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Statistical baseline — count regression vs the paper's trees");
+
+  bench::PaperData data = bench::MakePaperData();
+  auto inventory = roadgen::BuildSegmentDataset(data.segments);
+  if (!inventory.ok()) return 1;
+  data::Dataset& ds = *inventory;
+
+  util::Rng rng(43);
+  auto split = data::TrainValidationSplit(ds.num_rows(), 0.67, rng);
+  if (!split.ok()) return 1;
+
+  auto counts = ml::ExtractNumericTarget(ds, roadgen::kSegmentCrashCountColumn);
+  if (!counts.ok()) return 1;
+  std::vector<double> actual;
+  actual.reserve(split->validation.size());
+  for (size_t r : split->validation) actual.push_back((*counts)[r]);
+
+  util::TextTable regression_table(
+      {"model", "validation R^2 (counts)", "notes"});
+
+  // Paper's regression tree on the raw counts.
+  ml::RegressionTree tree{
+      ml::RegressionTreeParams{.min_samples_leaf = 30, .max_leaves = 160}};
+  if (!tree.Fit(ds, roadgen::kSegmentCrashCountColumn,
+                roadgen::RoadAttributeColumns(), split->train)
+           .ok()) {
+    return 1;
+  }
+  {
+    auto r2 = eval::RSquared(tree.PredictMany(ds, split->validation), actual);
+    regression_table.AddRow({"F-test regression tree",
+                             util::FormatDouble(r2.ok() ? *r2 : 0.0, 4),
+                             std::to_string(tree.leaf_count()) + " leaves"});
+  }
+
+  // Poisson GLM.
+  ml::PoissonRegression glm;
+  if (!glm.Fit(ds, roadgen::kSegmentCrashCountColumn,
+               roadgen::RoadAttributeColumns(), split->train)
+           .ok()) {
+    return 1;
+  }
+  {
+    auto r2 =
+        eval::RSquared(glm.PredictMeanMany(ds, split->validation), actual);
+    regression_table.AddRow(
+        {"Poisson GLM", util::FormatDouble(r2.ok() ? *r2 : 0.0, 4),
+         "pseudo-R2 " + util::FormatDouble(glm.pseudo_r_squared(), 3)});
+  }
+
+  // Zero-inflated Poisson (the zero-altered process).
+  ml::ZeroInflatedPoisson zip;
+  if (!zip.Fit(ds, roadgen::kSegmentCrashCountColumn,
+               roadgen::RoadAttributeColumns(), split->train)
+           .ok()) {
+    return 1;
+  }
+  {
+    std::vector<double> predictions;
+    predictions.reserve(split->validation.size());
+    for (size_t r : split->validation) {
+      predictions.push_back(zip.PredictMean(ds, r));
+    }
+    auto r2 = eval::RSquared(predictions, actual);
+    regression_table.AddRow({"zero-inflated Poisson",
+                             util::FormatDouble(r2.ok() ? *r2 : 0.0, 4),
+                             "zero-altered counting process"});
+  }
+  std::printf("%s\n", regression_table.Render().c_str());
+
+  // Classification at the selected threshold (CP-8, segment level).
+  if (!core::AddCrashProneTarget(ds, roadgen::kSegmentCrashCountColumn, 8)
+           .ok()) {
+    return 1;
+  }
+  const std::string target = core::ThresholdTargetName(8);
+  auto labels = ml::ExtractBinaryLabels(ds, target);
+
+  util::TextTable classification_table({"model", "MCPV", "Kappa"});
+  auto assess_scores = [&](const char* name,
+                           const std::vector<double>& scores) {
+    eval::ConfusionMatrix cm;
+    for (size_t i = 0; i < split->validation.size(); ++i) {
+      cm.Add((*labels)[split->validation[i]] != 0, scores[i] >= 0.5);
+    }
+    const eval::BinaryAssessment a = eval::Assess(cm);
+    classification_table.AddRow({name, util::FormatDouble(a.mcpv, 3),
+                                 util::FormatDouble(a.kappa, 3)});
+  };
+
+  // Chi-square decision tree, the paper's model.
+  ml::DecisionTreeClassifier classifier{
+      ml::DecisionTreeParams{.min_samples_leaf = 30, .max_leaves = 64}};
+  if (!classifier
+           .Fit(ds, target, roadgen::RoadAttributeColumns(), split->train)
+           .ok()) {
+    return 1;
+  }
+  assess_scores("chi-square decision tree",
+                classifier.PredictProbaMany(ds, split->validation));
+
+  // Count models: P(Y > 8) from the fitted intensity.
+  {
+    std::vector<double> scores;
+    for (size_t r : split->validation) {
+      scores.push_back(PoissonTail(glm.PredictMean(ds, r), 8));
+    }
+    assess_scores("Poisson GLM tail P(Y>8)", scores);
+  }
+  {
+    std::vector<double> scores;
+    for (size_t r : split->validation) {
+      const double pi = zip.PredictZeroProbability(ds, r);
+      scores.push_back((1.0 - pi) *
+                       PoissonTail(zip.PredictCountBranchMean(ds, r), 8));
+    }
+    assess_scores("zero-inflated Poisson tail", scores);
+  }
+  std::printf("%s\n", classification_table.Render().c_str());
+  std::printf(
+      "reading: the zero-inflated structure clearly improves the count fit\n"
+      "over the plain GLM — Shankar et al.'s zero-altered insight. At the\n"
+      "segment level every model struggles against the zero-dominated\n"
+      "imbalance, which is precisely why the paper modeled crash-instance\n"
+      "datasets (Tables 3-4) instead of raw segments and assessed with\n"
+      "MCPV/Kappa instead of accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Phase-3 style cluster analysis as a road-asset-management tool: group
+// crash records by road attributes, find the high-crash clusters, and
+// describe what distinguishes them from the safest clusters — the
+// "attribute correlations with the cluster groups" the paper's future-work
+// section calls for.
+//
+//   $ ./build/examples/cluster_hotspots
+#include <cstdio>
+
+#include "core/cluster_analysis.h"
+#include "core/report.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+#include "stats/descriptive.h"
+
+using namespace roadmine;
+
+namespace {
+
+// Mean of a numeric column over a set of rows.
+double MeanOver(const data::Dataset& ds, const std::string& column,
+                const std::vector<size_t>& rows) {
+  auto col = ds.ColumnByName(column);
+  if (!col.ok()) return 0.0;
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (size_t r : rows) values.push_back((*col)->NumericAt(r));
+  return stats::Mean(values);
+}
+
+}  // namespace
+
+int main() {
+  roadgen::GeneratorConfig config;
+  config.num_segments = 10000;
+  config.seed = 11;
+  roadgen::RoadNetworkGenerator generator(config);
+  auto segments = generator.Generate();
+  if (!segments.ok()) return 1;
+  auto dataset = roadgen::BuildCrashOnlyDataset(
+      *segments, generator.SimulateCrashRecords(*segments));
+  if (!dataset.ok()) return 1;
+
+  core::ClusterAnalysisConfig cluster_config;
+  cluster_config.kmeans.k = 16;
+  auto analysis = core::AnalyzeCrashClusters(
+      *dataset, dataset->AllRowIndices(), cluster_config);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", core::RenderClusterTable(*analysis).c_str());
+
+  // Re-run the clustering to recover per-row assignments for profiling.
+  ml::KMeans kmeans(cluster_config.kmeans);
+  auto clustering = kmeans.Fit(*dataset, roadgen::RoadAttributeColumns(),
+                               dataset->AllRowIndices());
+  if (!clustering.ok()) return 1;
+
+  // The safest and the worst populated clusters by median crash count.
+  const auto& sorted = analysis->clusters;
+  const int safest = sorted.front().cluster_id;
+  const int worst = sorted.back().cluster_id;
+  std::vector<size_t> safest_rows, worst_rows;
+  for (size_t i = 0; i < clustering->assignments.size(); ++i) {
+    if (clustering->assignments[i] == safest) safest_rows.push_back(i);
+    if (clustering->assignments[i] == worst) worst_rows.push_back(i);
+  }
+
+  std::printf("attribute contrast (cluster means) — safest vs worst:\n");
+  for (const char* attribute :
+       {"f60", "texture_depth", "aadt", "curvature", "seal_age",
+        "roughness_iri", "shoulder_width"}) {
+    std::printf("  %-15s %10.2f   %10.2f\n", attribute,
+                MeanOver(*dataset, attribute, safest_rows),
+                MeanOver(*dataset, attribute, worst_rows));
+  }
+  std::printf(
+      "\nreading: the hotspot cluster shows the paper's risk profile —\n"
+      "lower skid resistance (F60) and texture, heavier traffic, sharper\n"
+      "curvature, older seals — the attributes a road authority can treat.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// A walk-through of the paper's Table 2: why accuracy and
+// misclassification mislead on unbalanced crash data and how
+// MCPV = min(PPV, NPV) and Cohen's Kappa expose the problem.
+//
+//   $ ./build/examples/imbalance_metrics
+#include <cstdio>
+
+#include "eval/binary_metrics.h"
+#include "eval/confusion.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+using namespace roadmine;
+
+namespace {
+
+void AddRow(util::TextTable& table, const std::string& name,
+            const eval::ConfusionMatrix& cm) {
+  const eval::BinaryAssessment a = eval::Assess(cm);
+  auto fmt = [](double v) { return util::FormatDouble(v, 3); };
+  table.AddRow({name, std::to_string(cm.total()), fmt(a.accuracy),
+                fmt(a.misclassification_rate), fmt(a.sensitivity),
+                fmt(a.specificity), fmt(a.positive_predictive_value),
+                fmt(a.negative_predictive_value), fmt(a.mcpv), fmt(a.kappa)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Scenario: the paper's CP-64 dataset — 16,576 non-crash-prone rows\n"
+      "vs 174 crash-prone rows (95:1). Three hypothetical models:\n\n");
+
+  util::TextTable table({"model", "n", "acc", "misclass", "sens", "spec",
+                         "PPV", "NPV", "MCPV", "kappa"});
+
+  // (a) Always predict the majority class.
+  eval::ConfusionMatrix all_negative;
+  all_negative.true_negative = 16576;
+  all_negative.false_negative = 174;
+  AddRow(table, "all-negative", all_negative);
+
+  // (b) A model that finds half the crash-prone roads but pays with false
+  // positives.
+  eval::ConfusionMatrix half_finder;
+  half_finder.true_positive = 87;
+  half_finder.false_negative = 87;
+  half_finder.true_negative = 16476;
+  half_finder.false_positive = 100;
+  AddRow(table, "half-finder", half_finder);
+
+  // (c) A genuinely strong model.
+  eval::ConfusionMatrix strong;
+  strong.true_positive = 160;
+  strong.false_negative = 14;
+  strong.true_negative = 16556;
+  strong.false_positive = 20;
+  AddRow(table, "strong", strong);
+
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "observations (the paper's Table 2 in action):\n"
+      "  * all three models score > 98%% accuracy and < 2%% misclassification\n"
+      "    — those measures cannot tell them apart;\n"
+      "  * MCPV separates them sharply: %.3f vs %.3f vs %.3f;\n"
+      "  * Kappa tracks the same ordering, 'recognizing the difference\n"
+      "    between the performance of the major and minor class'.\n",
+      eval::MinimumClassPredictiveValue(all_negative),
+      eval::MinimumClassPredictiveValue(half_finder),
+      eval::MinimumClassPredictiveValue(strong));
+
+  std::printf("\nKappa agreement bands (Armitage & Berry, as in the paper):\n");
+  for (const eval::ConfusionMatrix& cm : {all_negative, half_finder, strong}) {
+    const double kappa = eval::CohenKappa(cm);
+    std::printf("  kappa %6.3f -> %s\n", kappa,
+                eval::KappaAgreementBand(kappa));
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Deployment scenario (the paper's future-work direction): train the
+// crash-proneness model at the selected threshold, score the whole segment
+// inventory, and emit a ranked works program with treatment suggestions.
+//
+//   $ ./build/examples/maintenance_program
+#include <cstdio>
+
+#include "core/deployment.h"
+#include "core/thresholds.h"
+#include "ml/decision_tree.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+using namespace roadmine;
+
+int main() {
+  // Inventory + history.
+  roadgen::GeneratorConfig config;
+  config.num_segments = 10000;
+  config.seed = 31;
+  roadgen::RoadNetworkGenerator generator(config);
+  auto segments = generator.Generate();
+  if (!segments.ok()) return 1;
+  const auto records = generator.SimulateCrashRecords(*segments);
+
+  // Train on the crash-only dataset at the paper's selected threshold
+  // (>4..8 crashes / 4 years; we use CP-8 here).
+  auto crash_only = roadgen::BuildCrashOnlyDataset(*segments, records);
+  if (!crash_only.ok()) return 1;
+  if (!core::AddCrashProneTarget(*crash_only,
+                                 roadgen::kSegmentCrashCountColumn, 8)
+           .ok()) {
+    return 1;
+  }
+  ml::DecisionTreeClassifier model{
+      ml::DecisionTreeParams{.min_samples_leaf = 30, .max_leaves = 64}};
+  if (!model
+           .Fit(*crash_only, core::ThresholdTargetName(8),
+                roadgen::RoadAttributeColumns(), crash_only->AllRowIndices())
+           .ok()) {
+    return 1;
+  }
+
+  // Score the per-segment inventory (one row per segment, measured
+  // attributes — the operational view an asset system would hold).
+  auto inventory = roadgen::BuildSegmentDataset(*segments);
+  if (!inventory.ok()) return 1;
+
+  core::DeploymentConfig deploy_config;
+  deploy_config.max_segments = 25;
+  auto program = core::BuildWorksProgram(
+      *inventory,
+      [&model](const data::Dataset& ds, size_t row) {
+        return model.PredictProba(ds, row);
+      },
+      deploy_config);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Ranked works program (top 25 of %zu segments):\n\n",
+              inventory->num_rows());
+  std::printf("%s\n", core::RenderWorksProgram(*program, 25).c_str());
+  std::printf(
+      "note: the ranking is attribute-driven — segments scored high but\n"
+      "with low observed counts are candidates the history alone would\n"
+      "miss; agreement with the observed top decile quantifies how much\n"
+      "of the ranking is already visible in the crash record.\n");
+  return 0;
+}

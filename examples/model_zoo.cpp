@@ -1,0 +1,144 @@
+// Every model family from the paper on one task (CP-8, crash-only data),
+// assessed the way the paper assessed it: trees via train/validation,
+// supporting models via cross-validation.
+//
+//   $ ./build/examples/model_zoo
+#include <cstdio>
+#include <memory>
+
+#include "core/thresholds.h"
+#include "data/split.h"
+#include "eval/binary_metrics.h"
+#include "eval/confusion.h"
+#include "eval/cross_validation.h"
+#include "eval/regression_metrics.h"
+#include "ml/common.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/m5_tree.h"
+#include "ml/naive_bayes.h"
+#include "ml/neural_net.h"
+#include "ml/regression_tree.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+using namespace roadmine;
+
+int main() {
+  roadgen::GeneratorConfig config;
+  config.num_segments = 8000;
+  config.seed = 3;
+  roadgen::RoadNetworkGenerator generator(config);
+  auto segments = generator.Generate();
+  if (!segments.ok()) return 1;
+  auto dataset = roadgen::BuildCrashOnlyDataset(
+      *segments, generator.SimulateCrashRecords(*segments));
+  if (!dataset.ok()) return 1;
+  if (!core::AddCrashProneTarget(*dataset,
+                                 roadgen::kSegmentCrashCountColumn, 8)
+           .ok()) {
+    return 1;
+  }
+  const std::string target = core::ThresholdTargetName(8);
+  const std::vector<std::string>& features = roadgen::RoadAttributeColumns();
+
+  util::TextTable table({"model", "protocol", "MCPV", "Kappa", "accuracy"});
+  auto add_row = [&](const std::string& name, const std::string& protocol,
+                     const eval::BinaryAssessment& a) {
+    table.AddRow({name, protocol, util::FormatDouble(a.mcpv, 3),
+                  util::FormatDouble(a.kappa, 3),
+                  util::FormatDouble(a.accuracy, 3)});
+  };
+
+  // Trees: train/validation split (the paper's tree protocol).
+  util::Rng rng(19);
+  auto split =
+      data::StratifiedTrainValidationSplit(*dataset, target, 0.67, rng);
+  if (!split.ok()) return 1;
+  auto labels = ml::ExtractBinaryLabels(*dataset, target);
+
+  {
+    ml::DecisionTreeClassifier tree{
+        ml::DecisionTreeParams{.min_samples_leaf = 30, .max_leaves = 64}};
+    if (!tree.Fit(*dataset, target, features, split->train).ok()) return 1;
+    eval::ConfusionMatrix cm;
+    for (size_t r : split->validation) {
+      cm.Add((*labels)[r] != 0, tree.Predict(*dataset, r) != 0);
+    }
+    add_row("decision tree (chi-square)", "train/validation", eval::Assess(cm));
+  }
+
+  // Regression tree / M5: interval target, report validation R^2 too.
+  {
+    ml::RegressionTree tree{
+        ml::RegressionTreeParams{.min_samples_leaf = 30, .max_leaves = 160}};
+    if (!tree.Fit(*dataset, target, features, split->train).ok()) return 1;
+    eval::ConfusionMatrix cm;
+    std::vector<double> predictions, actuals;
+    for (size_t r : split->validation) {
+      const double p = tree.Predict(*dataset, r);
+      predictions.push_back(p);
+      actuals.push_back(static_cast<double>((*labels)[r]));
+      cm.Add((*labels)[r] != 0, p >= 0.5);
+    }
+    auto r2 = eval::RSquared(predictions, actuals);
+    eval::BinaryAssessment a = eval::Assess(cm);
+    add_row("regression tree (F-test)", "train/validation", a);
+    std::printf("regression tree validation R-squared: %.4f (%zu leaves)\n",
+                r2.ok() ? *r2 : 0.0, tree.leaf_count());
+  }
+  {
+    ml::M5Tree m5;
+    if (!m5.Fit(*dataset, target, features, split->train).ok()) return 1;
+    eval::ConfusionMatrix cm;
+    for (size_t r : split->validation) {
+      cm.Add((*labels)[r] != 0, m5.Predict(*dataset, r) >= 0.5);
+    }
+    add_row("M5 model tree", "train/validation", eval::Assess(cm));
+  }
+
+  // Supporting models: 10-fold CV (the paper's protocol for these).
+  auto cv_model = [&](const std::string& name, eval::BinaryTrainer trainer) {
+    eval::CrossValidationOptions options;
+    options.folds = 5;  // Demo-friendly; the paper used 10.
+    auto cv = eval::CrossValidateBinary(*dataset, target, trainer, options);
+    if (cv.ok()) add_row(name, "5-fold CV", cv->assessment);
+  };
+  cv_model("naive Bayes",
+           [&](const data::Dataset& ds, const std::vector<size_t>& train)
+               -> util::Result<eval::RowScorer> {
+             auto model = std::make_shared<ml::NaiveBayesClassifier>();
+             ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train));
+             return eval::RowScorer([model, &ds](size_t row) {
+               return model->PredictProba(ds, row);
+             });
+           });
+  cv_model("logistic regression",
+           [&](const data::Dataset& ds, const std::vector<size_t>& train)
+               -> util::Result<eval::RowScorer> {
+             auto model = std::make_shared<ml::LogisticRegression>();
+             ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train));
+             return eval::RowScorer([model, &ds](size_t row) {
+               return model->PredictProba(ds, row);
+             });
+           });
+  cv_model("neural network (16 tanh)",
+           [&](const data::Dataset& ds, const std::vector<size_t>& train)
+               -> util::Result<eval::RowScorer> {
+             ml::NeuralNetParams params;
+             params.epochs = 20;
+             auto model = std::make_shared<ml::NeuralNetClassifier>(params);
+             ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train));
+             return eval::RowScorer([model, &ds](size_t row) {
+               return model->PredictProba(ds, row);
+             });
+           });
+
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf(
+      "expected ordering (paper §4/§5): decision trees lead, the Bayesian\n"
+      "and other supporting models trail but show the same trends.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "core/cluster_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roadgen/dataset_builder.h"
+
+namespace roadmine::core {
+
+using util::Result;
+
+size_t ClusterAnalysisResult::CountLowCrashClusters(double limit) const {
+  size_t count = 0;
+  for (const ClusterCrashProfile& profile : clusters) {
+    count += profile.IsLowCrash(limit);
+  }
+  return count;
+}
+
+Result<ClusterAnalysisResult> AnalyzeCrashClusters(
+    const data::Dataset& dataset, const std::vector<size_t>& rows,
+    const ClusterAnalysisConfig& config) {
+  std::vector<std::string> features = config.feature_columns;
+  if (features.empty()) {
+    for (const std::string& name : roadgen::RoadAttributeColumns()) {
+      if (dataset.HasColumn(name)) features.push_back(name);
+    }
+  }
+  if (features.empty()) {
+    return util::InvalidArgumentError("no feature columns available");
+  }
+  auto count_col = dataset.ColumnByName(config.count_column);
+  if (!count_col.ok()) return count_col.status();
+  if ((*count_col)->type() != data::ColumnType::kNumeric) {
+    return util::InvalidArgumentError("count column must be numeric");
+  }
+
+  ml::KMeans kmeans(config.kmeans);
+  auto clustering = kmeans.Fit(dataset, features, rows);
+  if (!clustering.ok()) return clustering.status();
+
+  // Crash counts per cluster.
+  std::vector<std::vector<double>> counts_by_cluster(config.kmeans.k);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto cluster = static_cast<size_t>(clustering->assignments[i]);
+    counts_by_cluster[cluster].push_back((*count_col)->NumericAt(rows[i]));
+  }
+
+  ClusterAnalysisResult result;
+  result.inertia = clustering->inertia;
+  result.kmeans_iterations = clustering->iterations;
+  for (size_t c = 0; c < counts_by_cluster.size(); ++c) {
+    ClusterCrashProfile profile;
+    profile.cluster_id = static_cast<int>(c);
+    profile.size = counts_by_cluster[c].size();
+    profile.crash_counts = stats::Summarize(counts_by_cluster[c]);
+    result.clusters.push_back(profile);
+  }
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const ClusterCrashProfile& a, const ClusterCrashProfile& b) {
+              if (a.size == 0) return false;
+              if (b.size == 0) return true;
+              return a.crash_counts.median < b.crash_counts.median;
+            });
+
+  // ANOVA across non-empty clusters (needs >= 2 groups).
+  std::vector<std::vector<double>> non_empty;
+  for (auto& group : counts_by_cluster) {
+    if (!group.empty()) non_empty.push_back(std::move(group));
+  }
+  if (non_empty.size() >= 2) {
+    auto anova = stats::OneWayAnova(non_empty);
+    if (!anova.ok()) return anova.status();
+    result.anova = std::move(*anova);
+  }
+  return result;
+}
+
+util::Result<std::vector<AttributeContrast>> ContrastClusterAttributes(
+    const data::Dataset& dataset, const std::vector<size_t>& rows,
+    const std::vector<size_t>& member_rows,
+    std::vector<std::string> attributes) {
+  if (member_rows.empty()) {
+    return util::InvalidArgumentError("empty cluster");
+  }
+  if (attributes.empty()) {
+    for (const std::string& name : roadgen::RoadAttributeColumns()) {
+      auto col = dataset.ColumnByName(name);
+      if (col.ok() && (*col)->type() == data::ColumnType::kNumeric) {
+        attributes.push_back(name);
+      }
+    }
+  }
+  if (attributes.empty()) {
+    return util::InvalidArgumentError("no numeric attributes to contrast");
+  }
+
+  std::vector<AttributeContrast> contrasts;
+  for (const std::string& name : attributes) {
+    auto col = dataset.ColumnByName(name);
+    if (!col.ok()) return col.status();
+    if ((*col)->type() != data::ColumnType::kNumeric) {
+      return util::InvalidArgumentError("attribute '" + name +
+                                        "' is not numeric");
+    }
+    std::vector<double> all_values, member_values;
+    all_values.reserve(rows.size());
+    for (size_t r : rows) all_values.push_back((*col)->NumericAt(r));
+    member_values.reserve(member_rows.size());
+    for (size_t r : member_rows) {
+      member_values.push_back((*col)->NumericAt(r));
+    }
+    AttributeContrast contrast;
+    contrast.attribute = name;
+    contrast.cluster_mean = stats::Mean(member_values);
+    contrast.overall_mean = stats::Mean(all_values);
+    const double sd = stats::StdDev(all_values);
+    contrast.z_score =
+        (sd > 0.0 && !std::isnan(contrast.cluster_mean))
+            ? (contrast.cluster_mean - contrast.overall_mean) / sd
+            : 0.0;
+    contrasts.push_back(std::move(contrast));
+  }
+  std::sort(contrasts.begin(), contrasts.end(),
+            [](const AttributeContrast& a, const AttributeContrast& b) {
+              return std::fabs(a.z_score) > std::fabs(b.z_score);
+            });
+  return contrasts;
+}
+
+}  // namespace roadmine::core

@@ -1,0 +1,79 @@
+// Phase 3: k-means cluster analysis of crash-count ranges.
+//
+// The paper clusters the crash-only dataset into 32 groups on road
+// attributes and inspects each cluster's crash-count inter-quartile range,
+// finding "six very low-crash clusters with their inter-quartile ranges
+// within the four crash count range or lower" and an ANOVA p-value of ~0
+// across cluster means.
+#ifndef ROADMINE_CORE_CLUSTER_ANALYSIS_H_
+#define ROADMINE_CORE_CLUSTER_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/kmeans.h"
+#include "stats/descriptive.h"
+#include "stats/hypothesis.h"
+#include "util/status.h"
+
+namespace roadmine::core {
+
+struct ClusterCrashProfile {
+  int cluster_id = 0;
+  size_t size = 0;
+  stats::Summary crash_counts;  // Five-number summary of the 4yr counts.
+
+  // The paper's "very low-crash cluster" criterion: the whole IQR sits at
+  // or below `limit` crashes.
+  bool IsLowCrash(double limit = 4.0) const {
+    return size > 0 && crash_counts.q3 <= limit;
+  }
+};
+
+struct ClusterAnalysisResult {
+  // Profiles sorted by median crash count (ascending), sizes included.
+  std::vector<ClusterCrashProfile> clusters;
+  // One-way ANOVA of crash counts across clusters.
+  stats::AnovaResult anova;
+  double inertia = 0.0;
+  int kmeans_iterations = 0;
+
+  size_t CountLowCrashClusters(double limit = 4.0) const;
+};
+
+struct ClusterAnalysisConfig {
+  ml::KMeansParams kmeans;            // k defaults to the paper's 32.
+  std::string count_column = "segment_crash_count";
+  // Feature columns; empty = road-attribute defaults.
+  std::vector<std::string> feature_columns;
+};
+
+// Clusters `rows` of `dataset` on road attributes and profiles each
+// cluster's crash-count distribution.
+util::Result<ClusterAnalysisResult> AnalyzeCrashClusters(
+    const data::Dataset& dataset, const std::vector<size_t>& rows,
+    const ClusterAnalysisConfig& config = {});
+
+// Attribute profiling of one cluster against the whole population — the
+// paper's future-work item ("the full range of attribute values
+// partitioned by cluster will be analyzed to develop attribute
+// correlations with the cluster groups").
+struct AttributeContrast {
+  std::string attribute;
+  double cluster_mean = 0.0;
+  double overall_mean = 0.0;
+  double z_score = 0.0;  // (cluster - overall) / overall stddev.
+};
+
+// Contrasts `member_rows` (rows of one cluster) against all `rows` on the
+// numeric attributes in `attributes` (default: numeric road attributes
+// present in the dataset). Sorted by |z|, largest first.
+util::Result<std::vector<AttributeContrast>> ContrastClusterAttributes(
+    const data::Dataset& dataset, const std::vector<size_t>& rows,
+    const std::vector<size_t>& member_rows,
+    std::vector<std::string> attributes = {});
+
+}  // namespace roadmine::core
+
+#endif  // ROADMINE_CORE_CLUSTER_ANALYSIS_H_

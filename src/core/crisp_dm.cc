@@ -1,0 +1,72 @@
+#include "core/crisp_dm.h"
+
+namespace roadmine::core {
+
+const char* CrispDmStageName(CrispDmStage stage) {
+  switch (stage) {
+    case CrispDmStage::kBusinessUnderstanding:
+      return "business understanding";
+    case CrispDmStage::kDataUnderstanding:
+      return "data understanding";
+    case CrispDmStage::kDataPreparation:
+      return "data preparation";
+    case CrispDmStage::kModeling:
+      return "modeling";
+    case CrispDmStage::kEvaluation:
+      return "evaluation";
+    case CrispDmStage::kDeployment:
+      return "deployment";
+  }
+  return "unknown";
+}
+
+util::Status StudyLog::EnterStage(CrispDmStage stage) {
+  if (started_ && static_cast<int>(stage) < static_cast<int>(current_)) {
+    return util::FailedPreconditionError(
+        std::string("cannot silently move backwards to '") +
+        CrispDmStageName(stage) + "'; use ReopenStage");
+  }
+  started_ = true;
+  current_ = stage;
+  entries_.push_back({stage, /*reopened=*/false,
+                      std::string("entered ") + CrispDmStageName(stage)});
+  return util::Status::Ok();
+}
+
+util::Status StudyLog::ReopenStage(CrispDmStage stage,
+                                   const std::string& reason) {
+  if (!started_) {
+    return util::FailedPreconditionError("no stage entered yet");
+  }
+  if (static_cast<int>(stage) > static_cast<int>(current_)) {
+    return util::InvalidArgumentError(
+        "ReopenStage is for iterating backwards; use EnterStage");
+  }
+  current_ = stage;
+  entries_.push_back({stage, /*reopened=*/true,
+                      std::string("reopened ") + CrispDmStageName(stage) +
+                          ": " + reason});
+  return util::Status::Ok();
+}
+
+util::Status StudyLog::Note(const std::string& note) {
+  if (!started_) {
+    return util::FailedPreconditionError("no stage entered yet");
+  }
+  entries_.push_back({current_, /*reopened=*/false, note});
+  return util::Status::Ok();
+}
+
+std::string StudyLog::Render() const {
+  std::string out;
+  for (const Entry& entry : entries_) {
+    out += "[";
+    out += CrispDmStageName(entry.stage);
+    out += "] ";
+    out += entry.text;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace roadmine::core

@@ -1,0 +1,66 @@
+// CRISP-DM process tracking.
+//
+// The study "conform[s] to industry-standard processes" by following the
+// CRoss-Industry Standard Process for Data Mining. This module gives the
+// pipeline an explicit, auditable stage log: examples and benches record
+// which stage produced which artifact, mirroring the paper's narrative.
+#ifndef ROADMINE_CORE_CRISP_DM_H_
+#define ROADMINE_CORE_CRISP_DM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::core {
+
+enum class CrispDmStage {
+  kBusinessUnderstanding = 0,
+  kDataUnderstanding,
+  kDataPreparation,
+  kModeling,
+  kEvaluation,
+  kDeployment,
+};
+
+const char* CrispDmStageName(CrispDmStage stage);
+
+// An append-only log of stage transitions and notes. Stages must advance
+// monotonically (revisits are allowed — CRISP-DM is iterative — via
+// ReopenStage, which records the loop-back explicitly).
+class StudyLog {
+ public:
+  StudyLog() = default;
+
+  // Enters a stage. Errors if it would silently skip *backwards*; use
+  // ReopenStage for deliberate iteration.
+  util::Status EnterStage(CrispDmStage stage);
+
+  // Records an explicit iteration back to an earlier stage.
+  util::Status ReopenStage(CrispDmStage stage, const std::string& reason);
+
+  // Attaches a note to the current stage. Errors before any EnterStage.
+  util::Status Note(const std::string& note);
+
+  CrispDmStage current_stage() const { return current_; }
+  bool started() const { return started_; }
+  size_t entry_count() const { return entries_.size(); }
+
+  // Chronological rendering of the full log.
+  std::string Render() const;
+
+ private:
+  struct Entry {
+    CrispDmStage stage;
+    bool reopened = false;
+    std::string text;
+  };
+
+  bool started_ = false;
+  CrispDmStage current_ = CrispDmStage::kBusinessUnderstanding;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace roadmine::core
+
+#endif  // ROADMINE_CORE_CRISP_DM_H_

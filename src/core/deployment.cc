@@ -1,0 +1,137 @@
+#include "core/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roadgen/dataset_builder.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace roadmine::core {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+namespace {
+
+// Flags the treatable attribute deficits of one segment row.
+std::vector<std::string> RecommendTreatments(const data::Dataset& ds,
+                                             size_t row,
+                                             const DeploymentConfig& config) {
+  std::vector<std::string> treatments;
+  auto numeric = [&](const char* name, double* out) {
+    auto col = ds.ColumnByName(name);
+    if (!col.ok() || (*col)->type() != data::ColumnType::kNumeric ||
+        (*col)->IsMissing(row)) {
+      return false;
+    }
+    *out = (*col)->NumericAt(row);
+    return true;
+  };
+  double value = 0.0;
+  if (numeric("f60", &value) && value < config.f60_floor) {
+    treatments.push_back("reseal: skid resistance below floor");
+  }
+  if (numeric("texture_depth", &value) && value < config.texture_floor) {
+    treatments.push_back("retexture: texture depth below floor");
+  }
+  if (numeric("seal_age", &value) && value > config.seal_age_ceiling) {
+    treatments.push_back("reseal: surface beyond design life");
+  }
+  if (numeric("shoulder_width", &value) && value < config.shoulder_floor) {
+    treatments.push_back("widen shoulder");
+  }
+  if (numeric("roughness_iri", &value) && value > config.roughness_ceiling) {
+    treatments.push_back("rehabilitate: roughness above ceiling");
+  }
+  if (treatments.empty()) {
+    treatments.push_back("investigate: no surface deficit flagged");
+  }
+  return treatments;
+}
+
+}  // namespace
+
+Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
+                                       const SegmentScorer& scorer,
+                                       const DeploymentConfig& config) {
+  if (!scorer) return InvalidArgumentError("null scorer");
+  auto id_col = segments.ColumnByName(roadgen::kSegmentIdColumn);
+  if (!id_col.ok()) return id_col.status();
+  auto count_col = segments.ColumnByName(roadgen::kSegmentCrashCountColumn);
+  if (!count_col.ok()) return count_col.status();
+  if (segments.num_rows() == 0) return InvalidArgumentError("no segments");
+
+  struct Scored {
+    size_t row;
+    double probability;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(segments.num_rows());
+  for (size_t r = 0; r < segments.num_rows(); ++r) {
+    scored.push_back({r, scorer(segments, r)});
+  }
+
+  // Top-decile agreement between model ranking and observed counts.
+  const size_t decile = std::max<size_t>(1, segments.num_rows() / 10);
+  std::vector<size_t> by_probability(segments.num_rows());
+  std::vector<size_t> by_count(segments.num_rows());
+  for (size_t r = 0; r < segments.num_rows(); ++r) {
+    by_probability[r] = r;
+    by_count[r] = r;
+  }
+  std::sort(by_probability.begin(), by_probability.end(),
+            [&](size_t a, size_t b) {
+              return scored[a].probability > scored[b].probability;
+            });
+  std::sort(by_count.begin(), by_count.end(), [&](size_t a, size_t b) {
+    return (*count_col)->NumericAt(a) > (*count_col)->NumericAt(b);
+  });
+  std::vector<uint8_t> in_count_decile(segments.num_rows(), 0);
+  for (size_t i = 0; i < decile; ++i) in_count_decile[by_count[i]] = 1;
+  size_t overlap = 0;
+  for (size_t i = 0; i < decile; ++i) {
+    overlap += in_count_decile[by_probability[i]];
+  }
+
+  WorksProgram program;
+  program.top_decile_agreement =
+      static_cast<double>(overlap) / static_cast<double>(decile);
+
+  for (size_t i = 0; i < by_probability.size(); ++i) {
+    const Scored& entry = scored[by_probability[i]];
+    if (entry.probability < config.min_probability) break;
+    if (config.max_segments != 0 &&
+        program.segments.size() >= config.max_segments) {
+      break;
+    }
+    RankedSegment ranked;
+    ranked.segment_id =
+        static_cast<int64_t>((*id_col)->NumericAt(entry.row));
+    ranked.crash_prone_probability = entry.probability;
+    ranked.observed_crash_count = (*count_col)->NumericAt(entry.row);
+    ranked.recommended_treatments =
+        RecommendTreatments(segments, entry.row, config);
+    program.segments.push_back(std::move(ranked));
+  }
+  return program;
+}
+
+std::string RenderWorksProgram(const WorksProgram& program, size_t max_rows) {
+  util::TextTable table(
+      {"rank", "segment", "P(crash-prone)", "4yr crashes", "treatments"});
+  for (size_t i = 0; i < program.segments.size() && i < max_rows; ++i) {
+    const RankedSegment& s = program.segments[i];
+    table.AddRow({std::to_string(i + 1), std::to_string(s.segment_id),
+                  util::FormatDouble(s.crash_prone_probability, 3),
+                  util::FormatDouble(s.observed_crash_count, 0),
+                  util::Join(s.recommended_treatments, "; ")});
+  }
+  table.AddFooter("listed segments: " +
+                  std::to_string(program.segments.size()));
+  table.AddFooter("top-decile agreement with observed counts: " +
+                  util::FormatDouble(program.top_decile_agreement, 3));
+  return table.Render();
+}
+
+}  // namespace roadmine::core

@@ -1,0 +1,65 @@
+// Deployment scoring — the paper's future-work direction: "develop
+// deployment to embed with a strategic and operational decision support
+// system".
+//
+// Given the segment inventory and a trained crash-proneness model, produce
+// a ranked works program: segments ordered by predicted crash-proneness,
+// with the attribute deficits a road authority can actually treat (skid
+// resistance, texture, seal age, shoulder width).
+#ifndef ROADMINE_CORE_DEPLOYMENT_H_
+#define ROADMINE_CORE_DEPLOYMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace roadmine::core {
+
+// A model hook: P(crash-prone) for one dataset row.
+using SegmentScorer = std::function<double(const data::Dataset&, size_t row)>;
+
+struct RankedSegment {
+  int64_t segment_id = 0;
+  double crash_prone_probability = 0.0;
+  double observed_crash_count = 0.0;  // For validation against history.
+  // Treatable deficits flagged for this segment (subset of the treatment
+  // vocabulary below).
+  std::vector<std::string> recommended_treatments;
+};
+
+struct WorksProgram {
+  std::vector<RankedSegment> segments;  // Descending probability.
+  // How well the ranking agrees with observed history: Spearman-style
+  // fraction of top-decile segments that are also top-decile by count.
+  double top_decile_agreement = 0.0;
+};
+
+struct DeploymentConfig {
+  // Keep the top `max_segments` (0 = all).
+  size_t max_segments = 50;
+  // Probability floor below which a segment is not listed.
+  double min_probability = 0.5;
+  // Treatment trigger levels (attribute deficits worth flagging).
+  double f60_floor = 0.45;          // Reseal / retexture trigger.
+  double texture_floor = 1.0;       // mm.
+  double seal_age_ceiling = 15.0;   // Years.
+  double shoulder_floor = 1.0;      // m.
+  double roughness_ceiling = 4.0;   // IRI.
+};
+
+// Scores every row of the segment-level dataset (one row per segment; see
+// roadgen::BuildSegmentDataset) and assembles the ranked program.
+util::Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
+                                             const SegmentScorer& scorer,
+                                             const DeploymentConfig& config = {});
+
+// Text rendering for operations review.
+std::string RenderWorksProgram(const WorksProgram& program,
+                               size_t max_rows = 20);
+
+}  // namespace roadmine::core
+
+#endif  // ROADMINE_CORE_DEPLOYMENT_H_

@@ -1,0 +1,117 @@
+#include "core/export.h"
+
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace roadmine::core {
+
+namespace {
+
+std::string Line(const std::vector<std::string>& fields) {
+  return util::FormatCsvLine(fields) + "\n";
+}
+
+std::string Num(double v, int digits = 6) {
+  return util::FormatDouble(v, digits);
+}
+
+}  // namespace
+
+std::string ThresholdCountsToCsv(
+    const std::vector<ThresholdClassCounts>& counts) {
+  std::string out = Line({"threshold", "non_crash_prone", "crash_prone",
+                          "total", "imbalance_ratio"});
+  for (const ThresholdClassCounts& row : counts) {
+    out += Line({std::to_string(row.threshold),
+                 std::to_string(row.non_crash_prone),
+                 std::to_string(row.crash_prone), std::to_string(row.total()),
+                 Num(row.imbalance_ratio(), 3)});
+  }
+  return out;
+}
+
+std::string TreeSweepToCsv(const std::vector<ThresholdModelResult>& rows) {
+  std::string out = Line({"threshold", "non_crash_prone", "crash_prone",
+                          "r_squared", "regression_leaves", "npv", "ppv",
+                          "misclassification_rate", "mcpv", "kappa",
+                          "tree_leaves"});
+  for (const ThresholdModelResult& row : rows) {
+    out += Line({std::to_string(row.threshold),
+                 std::to_string(row.non_crash_prone),
+                 std::to_string(row.crash_prone), Num(row.r_squared),
+                 std::to_string(row.regression_leaves),
+                 Num(row.negative_predictive_value),
+                 Num(row.positive_predictive_value),
+                 Num(row.misclassification_rate), Num(row.mcpv),
+                 Num(row.kappa), std::to_string(row.tree_leaves)});
+  }
+  return out;
+}
+
+std::string BayesSweepToCsv(const std::vector<BayesThresholdResult>& rows) {
+  std::string out = Line({"threshold", "correctly_classified", "npv", "ppv",
+                          "weighted_precision", "weighted_recall", "roc_area",
+                          "kappa", "mcpv"});
+  for (const BayesThresholdResult& row : rows) {
+    out += Line({std::to_string(row.threshold),
+                 Num(row.correctly_classified),
+                 Num(row.negative_predictive_value),
+                 Num(row.positive_predictive_value),
+                 Num(row.weighted_precision), Num(row.weighted_recall),
+                 Num(row.roc_area), Num(row.kappa), Num(row.mcpv)});
+  }
+  return out;
+}
+
+std::string SupportingSweepToCsv(
+    const std::vector<SupportingModelResult>& rows) {
+  std::string out = Line({"threshold", "logistic_mcpv", "logistic_kappa",
+                          "neural_net_mcpv", "neural_net_kappa",
+                          "m5_r_squared"});
+  for (const SupportingModelResult& row : rows) {
+    out += Line({std::to_string(row.threshold), Num(row.logistic_mcpv),
+                 Num(row.logistic_kappa), Num(row.neural_net_mcpv),
+                 Num(row.neural_net_kappa), Num(row.m5_r_squared)});
+  }
+  return out;
+}
+
+std::string ClusterProfilesToCsv(const ClusterAnalysisResult& result) {
+  std::string out = Line({"cluster_id", "size", "min", "q1", "median", "q3",
+                          "max", "mean", "is_low_crash"});
+  for (const ClusterCrashProfile& profile : result.clusters) {
+    if (profile.size == 0) continue;
+    out += Line({std::to_string(profile.cluster_id),
+                 std::to_string(profile.size), Num(profile.crash_counts.min),
+                 Num(profile.crash_counts.q1), Num(profile.crash_counts.median),
+                 Num(profile.crash_counts.q3), Num(profile.crash_counts.max),
+                 Num(profile.crash_counts.mean),
+                 profile.IsLowCrash() ? "1" : "0"});
+  }
+  return out;
+}
+
+std::string RocCurveToCsv(const std::vector<eval::RocPoint>& curve) {
+  std::string out = Line({"false_positive_rate", "true_positive_rate",
+                          "threshold"});
+  for (const eval::RocPoint& point : curve) {
+    out += Line({Num(point.false_positive_rate), Num(point.true_positive_rate),
+                 Num(point.threshold)});
+  }
+  return out;
+}
+
+util::Status WriteCsvArtifact(const std::string& directory,
+                              const std::string& filename,
+                              const std::string& csv) {
+  const std::string path = directory + "/" + filename;
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return util::InternalError("cannot open '" + path + "'");
+  file << csv;
+  if (!file.good()) return util::DataLossError("write failed for '" + path + "'");
+  return util::Status::Ok();
+}
+
+}  // namespace roadmine::core

@@ -1,0 +1,46 @@
+// CSV serialization of study artifacts, so the bench binaries can emit
+// machine-readable series (for external plotting of the figures) alongside
+// their paper-style text tables.
+#ifndef ROADMINE_CORE_EXPORT_H_
+#define ROADMINE_CORE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cluster_analysis.h"
+#include "core/study.h"
+#include "core/thresholds.h"
+#include "eval/roc.h"
+#include "util/status.h"
+
+namespace roadmine::core {
+
+// Table-1-style class sizes.
+std::string ThresholdCountsToCsv(
+    const std::vector<ThresholdClassCounts>& counts);
+
+// Tables 3/4: one row per threshold with every tree measure.
+std::string TreeSweepToCsv(const std::vector<ThresholdModelResult>& rows);
+
+// Table 5.
+std::string BayesSweepToCsv(const std::vector<BayesThresholdResult>& rows);
+
+// Supporting-models sweep.
+std::string SupportingSweepToCsv(
+    const std::vector<SupportingModelResult>& rows);
+
+// Figure 4: per-cluster five-number summaries.
+std::string ClusterProfilesToCsv(const ClusterAnalysisResult& result);
+
+// ROC curve points.
+std::string RocCurveToCsv(const std::vector<eval::RocPoint>& curve);
+
+// Writes `csv` to `directory/filename`; creates nothing (the directory
+// must exist) and errors on I/O failure.
+util::Status WriteCsvArtifact(const std::string& directory,
+                              const std::string& filename,
+                              const std::string& csv);
+
+}  // namespace roadmine::core
+
+#endif  // ROADMINE_CORE_EXPORT_H_

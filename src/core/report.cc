@@ -1,0 +1,176 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace roadmine::core {
+
+using util::FormatDouble;
+using util::TextTable;
+
+namespace {
+
+// ">N" built by append (a `"lit" + std::string` chain here trips a GCC 12
+// -Wrestrict false positive, PR 105329).
+std::string Gt(int threshold) {
+  std::string out = ">";
+  out += std::to_string(threshold);
+  return out;
+}
+
+}  // namespace
+
+std::string RenderThresholdTable(
+    const std::vector<ThresholdClassCounts>& counts) {
+  TextTable table({"Target", "Count threshold", "Non-crash prone",
+                   "Crash prone", "Total", "Imbalance"});
+  for (const ThresholdClassCounts& row : counts) {
+    const double ratio = row.imbalance_ratio();
+    std::string ratio_text = "inf";
+    if (!std::isinf(ratio)) {
+      ratio_text = FormatDouble(ratio, 1);
+      ratio_text += ":1";
+    }
+    std::string target_text = "CP-";
+    target_text += std::to_string(row.threshold);
+    std::string threshold_text = ">";
+    threshold_text += std::to_string(row.threshold);
+    table.AddRow({std::move(target_text), std::move(threshold_text),
+                  std::to_string(row.non_crash_prone),
+                  std::to_string(row.crash_prone),
+                  std::to_string(row.total()), std::move(ratio_text)});
+  }
+  return table.Render();
+}
+
+std::string RenderTreeSweepTable(
+    const std::string& title, const std::vector<ThresholdModelResult>& rows) {
+  TextTable table({"Target", "R-squared", "Reg leaves", "NPV", "PPV",
+                   "Misclass %", "DT leaves", "MCPV", "Kappa"});
+  for (const ThresholdModelResult& row : rows) {
+    table.AddRow({Gt(row.threshold), FormatDouble(row.r_squared, 4),
+                  std::to_string(row.regression_leaves),
+                  FormatDouble(row.negative_predictive_value, 2),
+                  FormatDouble(row.positive_predictive_value, 2),
+                  FormatDouble(row.misclassification_rate * 100.0, 2),
+                  std::to_string(row.tree_leaves), FormatDouble(row.mcpv, 3),
+                  FormatDouble(row.kappa, 3)});
+  }
+  std::string out = title;
+  out += "\n";
+  out += table.Render();
+  return out;
+}
+
+std::string RenderBayesTable(const std::vector<BayesThresholdResult>& rows) {
+  TextTable table({"Target", "Correct", "NPV", "PPV", "W.Precision",
+                   "W.Recall", "ROC area", "Kappa", "MCPV"});
+  for (const BayesThresholdResult& row : rows) {
+    table.AddRow({Gt(row.threshold), FormatDouble(row.correctly_classified, 2),
+                  FormatDouble(row.negative_predictive_value, 3),
+                  FormatDouble(row.positive_predictive_value, 3),
+                  FormatDouble(row.weighted_precision, 3),
+                  FormatDouble(row.weighted_recall, 3),
+                  FormatDouble(row.roc_area, 3), FormatDouble(row.kappa, 4),
+                  FormatDouble(row.mcpv, 3)});
+  }
+  return table.Render();
+}
+
+namespace {
+
+std::string Bar(double value, double scale = 40.0) {
+  const auto width =
+      static_cast<size_t>(std::clamp(value, 0.0, 1.0) * scale + 0.5);
+  return std::string(width, '#');
+}
+
+}  // namespace
+
+std::string RenderMcpvComparison(
+    const std::vector<ThresholdModelResult>& phase1,
+    const std::vector<ThresholdModelResult>& phase2) {
+  std::string out =
+      "Model efficiency (MCPV = min(PPV, NPV)) by crash-prone threshold\n";
+  out += "  P1 = crash & no-crash dataset, P2 = crash-only dataset\n\n";
+  for (const ThresholdModelResult& row : phase1) {
+    out += "P1 ";
+    out += Gt(row.threshold);
+    out += "\t";
+    out += FormatDouble(row.mcpv, 3);
+    out += "\t";
+    out += Bar(row.mcpv);
+    out += "\n";
+  }
+  out.push_back('\n');
+  for (const ThresholdModelResult& row : phase2) {
+    out += "P2 ";
+    out += Gt(row.threshold);
+    out += "\t";
+    out += FormatDouble(row.mcpv, 3);
+    out += "\t";
+    out += Bar(row.mcpv);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderBayesEfficiency(
+    const std::vector<BayesThresholdResult>& rows) {
+  std::string out = "Bayesian model efficiency by crash-prone threshold\n\n";
+  out += "threshold\tMCPV\tKappa\n";
+  for (const BayesThresholdResult& row : rows) {
+    out += Gt(row.threshold);
+    out += "\t";
+    out += FormatDouble(row.mcpv, 3);
+    out += "\t";
+    out += FormatDouble(row.kappa, 3);
+    out += "\t";
+    out += Bar(row.mcpv);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderClusterTable(const ClusterAnalysisResult& result) {
+  TextTable table({"Cluster", "Size", "Min", "Q1", "Median", "Q3", "Max",
+                   "Mean", "Low-crash"});
+  for (const ClusterCrashProfile& profile : result.clusters) {
+    if (profile.size == 0) continue;
+    table.AddRow({std::to_string(profile.cluster_id),
+                  std::to_string(profile.size),
+                  FormatDouble(profile.crash_counts.min, 0),
+                  FormatDouble(profile.crash_counts.q1, 1),
+                  FormatDouble(profile.crash_counts.median, 1),
+                  FormatDouble(profile.crash_counts.q3, 1),
+                  FormatDouble(profile.crash_counts.max, 0),
+                  FormatDouble(profile.crash_counts.mean, 2),
+                  profile.IsLowCrash() ? "yes" : ""});
+  }
+  table.AddFooter("low-crash clusters (IQR within <=4 crashes): " +
+                  std::to_string(result.CountLowCrashClusters()));
+  table.AddFooter("ANOVA: F=" + FormatDouble(result.anova.f_statistic, 1) +
+                  " df=(" + FormatDouble(result.anova.df_between, 0) + "," +
+                  FormatDouble(result.anova.df_within, 0) +
+                  ") p=" + FormatDouble(result.anova.p_value, 6));
+  return table.Render();
+}
+
+std::string RenderSupportingTable(
+    const std::vector<SupportingModelResult>& rows) {
+  TextTable table({"Target", "Logit MCPV", "Logit Kappa", "NN MCPV",
+                   "NN Kappa", "M5 R-squared"});
+  for (const SupportingModelResult& row : rows) {
+    table.AddRow({Gt(row.threshold), FormatDouble(row.logistic_mcpv, 3),
+                  FormatDouble(row.logistic_kappa, 3),
+                  FormatDouble(row.neural_net_mcpv, 3),
+                  FormatDouble(row.neural_net_kappa, 3),
+                  FormatDouble(row.m5_r_squared, 4)});
+  }
+  return table.Render();
+}
+
+}  // namespace roadmine::core

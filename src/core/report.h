@@ -1,0 +1,45 @@
+// Paper-style rendering of study results: each function reproduces the
+// row/column layout of one table or figure from the paper so bench output
+// can be compared to the publication side-by-side.
+#ifndef ROADMINE_CORE_REPORT_H_
+#define ROADMINE_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cluster_analysis.h"
+#include "core/study.h"
+#include "core/thresholds.h"
+
+namespace roadmine::core {
+
+// Table 1: crash-prone threshold target class sizes.
+std::string RenderThresholdTable(
+    const std::vector<ThresholdClassCounts>& counts);
+
+// Tables 3/4: regression + decision tree sweep results.
+std::string RenderTreeSweepTable(const std::string& title,
+                                 const std::vector<ThresholdModelResult>& rows);
+
+// Table 5: naive Bayes cross-validation sweep.
+std::string RenderBayesTable(const std::vector<BayesThresholdResult>& rows);
+
+// Figure 2: MCPV-vs-threshold series for two phases, as an aligned text
+// chart (one line per threshold with proportional bars).
+std::string RenderMcpvComparison(
+    const std::vector<ThresholdModelResult>& phase1,
+    const std::vector<ThresholdModelResult>& phase2);
+
+// Figure 3: Bayes MCPV vs Kappa series.
+std::string RenderBayesEfficiency(const std::vector<BayesThresholdResult>& rows);
+
+// Figure 4: cluster crash-count ranges plus the ANOVA verdict.
+std::string RenderClusterTable(const ClusterAnalysisResult& result);
+
+// Supporting-models sweep (§4 narrative).
+std::string RenderSupportingTable(
+    const std::vector<SupportingModelResult>& rows);
+
+}  // namespace roadmine::core
+
+#endif  // ROADMINE_CORE_REPORT_H_

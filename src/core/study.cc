@@ -1,0 +1,294 @@
+#include "core/study.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/thresholds.h"
+#include "data/split.h"
+#include "eval/confusion.h"
+#include "eval/cross_validation.h"
+#include "eval/regression_metrics.h"
+#include "ml/common.h"
+#include "ml/logistic_regression.h"
+#include "ml/m5_tree.h"
+#include "ml/naive_bayes.h"
+#include "ml/neural_net.h"
+#include "roadgen/dataset_builder.h"
+
+namespace roadmine::core {
+
+using util::Result;
+
+std::vector<std::string> CrashPronenessStudy::FeaturesFor(
+    const data::Dataset& dataset) const {
+  if (!config_.feature_columns.empty()) return config_.feature_columns;
+  // Default: every road-attribute column that exists in this dataset.
+  std::vector<std::string> features;
+  for (const std::string& name : roadgen::RoadAttributeColumns()) {
+    if (dataset.HasColumn(name)) features.push_back(name);
+  }
+  return features;
+}
+
+Result<std::vector<ThresholdModelResult>> CrashPronenessStudy::RunTreeSweep(
+    data::Dataset& dataset) const {
+  const std::vector<std::string> features = FeaturesFor(dataset);
+  if (features.empty()) {
+    return util::InvalidArgumentError("no feature columns available");
+  }
+
+  std::vector<ThresholdModelResult> results;
+  results.reserve(config_.thresholds.size());
+  util::Rng rng(config_.seed);
+
+  for (int threshold : config_.thresholds) {
+    ROADMINE_RETURN_IF_ERROR(
+        AddCrashProneTarget(dataset, config_.count_column, threshold));
+    const std::string target = ThresholdTargetName(threshold);
+
+    ThresholdModelResult row;
+    row.threshold = threshold;
+    auto counts =
+        CountThresholdClasses(dataset, config_.count_column, threshold);
+    if (!counts.ok()) return counts.status();
+    row.non_crash_prone = counts->non_crash_prone;
+    row.crash_prone = counts->crash_prone;
+
+    // Degenerate thresholds (a single class) cannot be modeled; report the
+    // row with zeroed metrics rather than failing the sweep.
+    if (row.non_crash_prone == 0 || row.crash_prone == 0) {
+      results.push_back(row);
+      continue;
+    }
+
+    util::Rng split_rng = rng.Fork();
+    auto split = data::StratifiedTrainValidationSplit(
+        dataset, target, config_.train_fraction, split_rng);
+    if (!split.ok()) return split.status();
+
+    // Regression tree on the target as an interval variable.
+    {
+      ml::RegressionTree tree(config_.regression_params);
+      ROADMINE_RETURN_IF_ERROR(
+          tree.Fit(dataset, target, features, split->train));
+      auto labels = ml::ExtractNumericTarget(dataset, target);
+      if (!labels.ok()) return labels.status();
+      std::vector<double> actuals;
+      actuals.reserve(split->validation.size());
+      for (size_t r : split->validation) actuals.push_back((*labels)[r]);
+      const std::vector<double> predictions =
+          tree.PredictMany(dataset, split->validation);
+      auto r2 = eval::RSquared(predictions, actuals);
+      row.r_squared = r2.ok() ? *r2 : 0.0;
+      row.regression_leaves = tree.leaf_count();
+    }
+
+    // Chi-square decision tree on the Boolean target.
+    {
+      ml::DecisionTreeClassifier tree(config_.tree_params);
+      ROADMINE_RETURN_IF_ERROR(
+          tree.Fit(dataset, target, features, split->train));
+      auto labels = ml::ExtractBinaryLabels(dataset, target);
+      if (!labels.ok()) return labels.status();
+      eval::ConfusionMatrix cm;
+      for (size_t r : split->validation) {
+        cm.Add((*labels)[r] != 0, tree.Predict(dataset, r) != 0);
+      }
+      const eval::BinaryAssessment assessment = eval::Assess(cm);
+      row.negative_predictive_value = assessment.negative_predictive_value;
+      row.positive_predictive_value = assessment.positive_predictive_value;
+      row.misclassification_rate = assessment.misclassification_rate;
+      row.mcpv = assessment.mcpv;
+      row.kappa = assessment.kappa;
+      row.tree_leaves = tree.leaf_count();
+    }
+    results.push_back(row);
+  }
+  return results;
+}
+
+Result<std::vector<BayesThresholdResult>> CrashPronenessStudy::RunBayesSweep(
+    data::Dataset& dataset) const {
+  const std::vector<std::string> features = FeaturesFor(dataset);
+  if (features.empty()) {
+    return util::InvalidArgumentError("no feature columns available");
+  }
+
+  std::vector<BayesThresholdResult> results;
+  for (int threshold : config_.thresholds) {
+    ROADMINE_RETURN_IF_ERROR(
+        AddCrashProneTarget(dataset, config_.count_column, threshold));
+    const std::string target = ThresholdTargetName(threshold);
+
+    auto counts =
+        CountThresholdClasses(dataset, config_.count_column, threshold);
+    if (!counts.ok()) return counts.status();
+    BayesThresholdResult row;
+    row.threshold = threshold;
+    if (counts->non_crash_prone == 0 || counts->crash_prone == 0) {
+      results.push_back(row);
+      continue;
+    }
+
+    eval::BinaryTrainer trainer =
+        [&features, &target](const data::Dataset& ds,
+                             const std::vector<size_t>& train_rows)
+        -> Result<eval::RowScorer> {
+      auto model = std::make_shared<ml::NaiveBayesClassifier>();
+      ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train_rows));
+      return eval::RowScorer([model, &ds](size_t row) {
+        return model->PredictProba(ds, row);
+      });
+    };
+
+    eval::CrossValidationOptions options;
+    options.folds = config_.cv_folds;
+    options.seed = config_.seed ^ static_cast<uint64_t>(threshold);
+    auto cv = eval::CrossValidateBinary(dataset, target, trainer, options);
+    if (!cv.ok()) return cv.status();
+
+    row.correctly_classified = cv->assessment.accuracy;
+    row.negative_predictive_value = cv->assessment.negative_predictive_value;
+    row.positive_predictive_value = cv->assessment.positive_predictive_value;
+    row.weighted_precision = cv->assessment.weighted_precision;
+    row.weighted_recall = cv->assessment.weighted_recall;
+    row.roc_area = cv->auc;
+    row.kappa = cv->assessment.kappa;
+    row.mcpv = cv->assessment.mcpv;
+    results.push_back(row);
+  }
+  return results;
+}
+
+Result<std::vector<SupportingModelResult>>
+CrashPronenessStudy::RunSupportingSweep(data::Dataset& dataset) const {
+  const std::vector<std::string> features = FeaturesFor(dataset);
+  if (features.empty()) {
+    return util::InvalidArgumentError("no feature columns available");
+  }
+
+  std::vector<SupportingModelResult> results;
+  util::Rng rng(config_.seed ^ 0xabcdefULL);
+
+  for (int threshold : config_.thresholds) {
+    ROADMINE_RETURN_IF_ERROR(
+        AddCrashProneTarget(dataset, config_.count_column, threshold));
+    const std::string target = ThresholdTargetName(threshold);
+
+    auto counts =
+        CountThresholdClasses(dataset, config_.count_column, threshold);
+    if (!counts.ok()) return counts.status();
+    SupportingModelResult row;
+    row.threshold = threshold;
+    if (counts->non_crash_prone == 0 || counts->crash_prone == 0) {
+      results.push_back(row);
+      continue;
+    }
+
+    eval::CrossValidationOptions options;
+    options.folds = config_.cv_folds;
+    options.seed = config_.seed ^ static_cast<uint64_t>(threshold * 31);
+
+    // Logistic regression, 10-fold CV.
+    {
+      eval::BinaryTrainer trainer =
+          [&features, &target](const data::Dataset& ds,
+                               const std::vector<size_t>& train_rows)
+          -> Result<eval::RowScorer> {
+        auto model = std::make_shared<ml::LogisticRegression>();
+        ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train_rows));
+        return eval::RowScorer([model, &ds](size_t row) {
+          return model->PredictProba(ds, row);
+        });
+      };
+      auto cv = eval::CrossValidateBinary(dataset, target, trainer, options);
+      if (!cv.ok()) return cv.status();
+      row.logistic_mcpv = cv->assessment.mcpv;
+      row.logistic_kappa = cv->assessment.kappa;
+    }
+
+    // Neural network, 10-fold CV.
+    {
+      eval::BinaryTrainer trainer =
+          [&features, &target](const data::Dataset& ds,
+                               const std::vector<size_t>& train_rows)
+          -> Result<eval::RowScorer> {
+        // Low-capacity, regularized MLP: crash rows from one segment are
+        // near-duplicates, so an over-parameterized network "solves" the
+        // extreme thresholds by memorizing segments across CV folds. The
+        // paper's SAS-era networks were comparably small.
+        ml::NeuralNetParams params;
+        params.hidden_layers = {8};
+        params.l2 = 2e-3;
+        params.epochs = 12;
+        auto model = std::make_shared<ml::NeuralNetClassifier>(params);
+        ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train_rows));
+        return eval::RowScorer([model, &ds](size_t row) {
+          return model->PredictProba(ds, row);
+        });
+      };
+      auto cv = eval::CrossValidateBinary(dataset, target, trainer, options);
+      if (!cv.ok()) return cv.status();
+      row.neural_net_mcpv = cv->assessment.mcpv;
+      row.neural_net_kappa = cv->assessment.kappa;
+    }
+
+    // M5 model tree on the interval target, train/validation R-squared.
+    {
+      util::Rng split_rng = rng.Fork();
+      auto split = data::StratifiedTrainValidationSplit(
+          dataset, target, config_.train_fraction, split_rng);
+      if (!split.ok()) return split.status();
+      ml::M5Tree tree;
+      ROADMINE_RETURN_IF_ERROR(
+          tree.Fit(dataset, target, features, split->train));
+      auto labels = ml::ExtractNumericTarget(dataset, target);
+      if (!labels.ok()) return labels.status();
+      std::vector<double> actuals;
+      actuals.reserve(split->validation.size());
+      for (size_t r : split->validation) actuals.push_back((*labels)[r]);
+      auto r2 = eval::RSquared(tree.PredictMany(dataset, split->validation),
+                               actuals);
+      row.m5_r_squared = r2.ok() ? *r2 : 0.0;
+    }
+    results.push_back(row);
+  }
+  return results;
+}
+
+int CrashPronenessStudy::SelectBestThreshold(
+    const std::vector<ThresholdModelResult>& results, double tolerance,
+    double min_minority_share) {
+  if (results.empty()) return 0;
+
+  // Reliability guard: drop thresholds whose minority class is too small
+  // to assess (the paper's CP-64 caveat).
+  std::vector<ThresholdModelResult> eligible;
+  for (const ThresholdModelResult& row : results) {
+    const double total = static_cast<double>(row.crash_prone +
+                                             row.non_crash_prone);
+    const double minority =
+        static_cast<double>(std::min(row.crash_prone, row.non_crash_prone));
+    if (total > 0.0 && minority / total >= min_minority_share) {
+      eligible.push_back(row);
+    }
+  }
+  if (eligible.empty()) eligible = results;
+
+  double best_mcpv = 0.0;
+  for (const ThresholdModelResult& row : eligible) {
+    best_mcpv = std::max(best_mcpv, row.mcpv);
+  }
+  // Smallest threshold whose MCPV is within `tolerance` of the best — the
+  // paper's "highest classification rate near the crash/no crash boundary".
+  std::sort(eligible.begin(), eligible.end(),
+            [](const ThresholdModelResult& a, const ThresholdModelResult& b) {
+              return a.threshold < b.threshold;
+            });
+  for (const ThresholdModelResult& row : eligible) {
+    if (row.mcpv >= best_mcpv - tolerance) return row.threshold;
+  }
+  return eligible.front().threshold;
+}
+
+}  // namespace roadmine::core

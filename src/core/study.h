@@ -1,0 +1,129 @@
+// The crash-proneness study driver: Phases 1 and 2 of the paper.
+//
+// For each CP-t threshold the driver (keeping the variable list constant,
+// as the paper does):
+//   1. derives the binary target from the segment crash count;
+//   2. fits a regression tree on the target as an interval variable and
+//      reports validation R-squared + leaf count;
+//   3. fits a chi-square decision tree on the Boolean target and reports
+//      NPV, PPV, misclassification, MCPV, Kappa + leaf count;
+// trees use a stratified train/validation split (the paper's choice for
+// raw model quality), supporting models use 10-fold cross-validation.
+#ifndef ROADMINE_CORE_STUDY_H_
+#define ROADMINE_CORE_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/binary_metrics.h"
+#include "ml/decision_tree.h"
+#include "ml/regression_tree.h"
+#include "util/status.h"
+
+namespace roadmine::core {
+
+struct StudyConfig {
+  // CP thresholds to sweep. Phase 1 prepends 0 (crash vs no-crash).
+  std::vector<int> thresholds = {2, 4, 8, 16, 32, 64};
+  // Column holding the 4-year segment crash count.
+  std::string count_column = "segment_crash_count";
+  // Feature columns; empty = all road-attribute columns present in the
+  // dataset (bookkeeping/targets excluded automatically).
+  std::vector<std::string> feature_columns;
+  double train_fraction = 0.67;
+  size_t cv_folds = 10;
+  // Tree sizing mirrors the paper's "suitable tree size" configuration
+  // pass: a best-first leaf budget plus a leaf-population floor large
+  // enough that single high-crash segments cannot be memorized.
+  ml::DecisionTreeParams tree_params{.min_samples_leaf = 30,
+                                     .max_leaves = 64};
+  ml::RegressionTreeParams regression_params{.min_samples_leaf = 30,
+                                             .max_leaves = 160};
+  uint64_t seed = 1234;
+};
+
+// One Table-3/Table-4 row.
+struct ThresholdModelResult {
+  int threshold = 0;
+  size_t non_crash_prone = 0;
+  size_t crash_prone = 0;
+  // Regression tree (interval target).
+  double r_squared = 0.0;
+  size_t regression_leaves = 0;
+  // Decision tree (Boolean target), validation-set assessment.
+  double negative_predictive_value = 0.0;
+  double positive_predictive_value = 0.0;
+  double misclassification_rate = 0.0;
+  double mcpv = 0.0;
+  double kappa = 0.0;
+  size_t tree_leaves = 0;
+};
+
+// One Table-5 row (naive Bayes under 10-fold CV).
+struct BayesThresholdResult {
+  int threshold = 0;
+  double correctly_classified = 0.0;
+  double negative_predictive_value = 0.0;
+  double positive_predictive_value = 0.0;
+  double weighted_precision = 0.0;
+  double weighted_recall = 0.0;
+  double roc_area = 0.0;
+  double kappa = 0.0;
+  double mcpv = 0.0;
+};
+
+// One supporting-models row (logistic / neural net / M5 trends).
+struct SupportingModelResult {
+  int threshold = 0;
+  double logistic_mcpv = 0.0;
+  double logistic_kappa = 0.0;
+  double neural_net_mcpv = 0.0;
+  double neural_net_kappa = 0.0;
+  double m5_r_squared = 0.0;
+};
+
+class CrashPronenessStudy {
+ public:
+  explicit CrashPronenessStudy(StudyConfig config)
+      : config_(std::move(config)) {}
+
+  const StudyConfig& config() const { return config_; }
+
+  // Tree sweep (Tables 3/4): pass the crash/no-crash dataset for Phase 1 or
+  // the crash-only dataset for Phase 2. `dataset` gains the derived target
+  // columns as a side effect.
+  util::Result<std::vector<ThresholdModelResult>> RunTreeSweep(
+      data::Dataset& dataset) const;
+
+  // Naive Bayes sweep under cross-validation (Table 5).
+  util::Result<std::vector<BayesThresholdResult>> RunBayesSweep(
+      data::Dataset& dataset) const;
+
+  // Logistic regression / neural net / M5 sweep (§4 "additional modeling").
+  util::Result<std::vector<SupportingModelResult>> RunSupportingSweep(
+      data::Dataset& dataset) const;
+
+  // The paper's selection rule: the best threshold is the one with the
+  // highest model efficiency (MCPV) "near the crash/no crash boundary" —
+  // ties within `tolerance` resolve toward the smaller threshold.
+  // Thresholds whose minority class falls below `min_minority_share` of
+  // the dataset (default 5%) are excluded as unreliable, encoding the
+  // paper's caveat
+  // that "the high classification rate at 64 crashes is due to the low
+  // instance count and crashes referencing the same road segment". If
+  // every row is excluded, the guard is dropped.
+  static int SelectBestThreshold(
+      const std::vector<ThresholdModelResult>& results,
+      double tolerance = 0.01, double min_minority_share = 0.05);
+
+ private:
+  // Resolved feature list for `dataset` (config override or defaults).
+  std::vector<std::string> FeaturesFor(const data::Dataset& dataset) const;
+
+  StudyConfig config_;
+};
+
+}  // namespace roadmine::core
+
+#endif  // ROADMINE_CORE_STUDY_H_

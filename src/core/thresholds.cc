@@ -1,0 +1,90 @@
+#include "core/thresholds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadmine::core {
+
+using util::InvalidArgumentError;
+using util::Result;
+using util::Status;
+
+const std::vector<int>& StandardThresholds() {
+  static const std::vector<int>& thresholds =
+      *new std::vector<int>{2, 4, 8, 16, 32, 64};
+  return thresholds;
+}
+
+const std::vector<int>& Phase1Thresholds() {
+  static const std::vector<int>& thresholds =
+      *new std::vector<int>{0, 2, 4, 8, 16, 32, 64};
+  return thresholds;
+}
+
+std::string ThresholdTargetName(int threshold) {
+  return "crash_prone_gt" + std::to_string(threshold);
+}
+
+namespace {
+
+Result<const data::Column*> GetCountColumn(const data::Dataset& dataset,
+                                           const std::string& count_column) {
+  auto col = dataset.ColumnByName(count_column);
+  if (!col.ok()) return col.status();
+  if ((*col)->type() != data::ColumnType::kNumeric) {
+    return InvalidArgumentError("count column '" + count_column +
+                                "' must be numeric");
+  }
+  return col;
+}
+
+}  // namespace
+
+Status AddCrashProneTarget(data::Dataset& dataset,
+                           const std::string& count_column, int threshold) {
+  auto col = GetCountColumn(dataset, count_column);
+  if (!col.ok()) return col.status();
+  std::vector<double> target;
+  target.reserve(dataset.num_rows());
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    const double count = (*col)->NumericAt(r);
+    if (std::isnan(count)) {
+      return InvalidArgumentError("missing crash count at row " +
+                                  std::to_string(r));
+    }
+    target.push_back(count > static_cast<double>(threshold) ? 1.0 : 0.0);
+  }
+  return dataset.ReplaceColumn(data::Column::Numeric(
+      ThresholdTargetName(threshold), std::move(target)));
+}
+
+double ThresholdClassCounts::imbalance_ratio() const {
+  const size_t lo = std::min(non_crash_prone, crash_prone);
+  const size_t hi = std::max(non_crash_prone, crash_prone);
+  if (lo == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(hi) / static_cast<double>(lo);
+}
+
+Result<ThresholdClassCounts> CountThresholdClasses(
+    const data::Dataset& dataset, const std::string& count_column,
+    int threshold) {
+  auto col = GetCountColumn(dataset, count_column);
+  if (!col.ok()) return col.status();
+  ThresholdClassCounts counts;
+  counts.threshold = threshold;
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    const double count = (*col)->NumericAt(r);
+    if (std::isnan(count)) {
+      return InvalidArgumentError("missing crash count at row " +
+                                  std::to_string(r));
+    }
+    if (count > static_cast<double>(threshold)) {
+      ++counts.crash_prone;
+    } else {
+      ++counts.non_crash_prone;
+    }
+  }
+  return counts;
+}
+
+}  // namespace roadmine::core

@@ -1,0 +1,51 @@
+// Crash-proneness target derivation.
+//
+// The study's central move: "a series of binary crash threshold variables
+// derived from the crash counts was developed for each of the thresholds of
+// 2,4,8,16,32 and 64 road segment crashes" — CP-t labels a row crash-prone
+// iff its segment's 4-year crash count exceeds t.
+#ifndef ROADMINE_CORE_THRESHOLDS_H_
+#define ROADMINE_CORE_THRESHOLDS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace roadmine::core {
+
+// Table 1's threshold ladder (Phase 2).
+const std::vector<int>& StandardThresholds();
+
+// Phase 1 additionally models the plain crash/no-crash boundary (>0).
+const std::vector<int>& Phase1Thresholds();
+
+// Name of the derived target column, e.g. "crash_prone_gt8".
+std::string ThresholdTargetName(int threshold);
+
+// Adds (or replaces) the CP-t target column derived from `count_column`
+// (numeric 0/1: 1 iff count > threshold). Errors if the count column is
+// absent, non-numeric, or has missing values.
+util::Status AddCrashProneTarget(data::Dataset& dataset,
+                                 const std::string& count_column,
+                                 int threshold);
+
+struct ThresholdClassCounts {
+  int threshold = 0;
+  size_t non_crash_prone = 0;  // count <= t.
+  size_t crash_prone = 0;      // count > t.
+
+  size_t total() const { return non_crash_prone + crash_prone; }
+  // Majority/minority imbalance ratio (>= 1).
+  double imbalance_ratio() const;
+};
+
+// Class sizes a CP-t target would have on `dataset` (Table-1 row).
+util::Result<ThresholdClassCounts> CountThresholdClasses(
+    const data::Dataset& dataset, const std::string& count_column,
+    int threshold);
+
+}  // namespace roadmine::core
+
+#endif  // ROADMINE_CORE_THRESHOLDS_H_

@@ -1,0 +1,126 @@
+#include "core/wet_dry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace roadmine::core {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+Result<WetDryResult> AnalyzeWetDry(const data::Dataset& dataset,
+                                   const std::vector<size_t>& rows,
+                                   const WetDryConfig& config) {
+  if (config.num_bands < 2) {
+    return InvalidArgumentError("need at least 2 bands");
+  }
+  auto attribute = dataset.ColumnByName(config.attribute);
+  if (!attribute.ok()) return attribute.status();
+  if ((*attribute)->type() != data::ColumnType::kNumeric) {
+    return InvalidArgumentError("attribute '" + config.attribute +
+                                "' must be numeric");
+  }
+  auto wet = dataset.ColumnByName(config.wet_column);
+  if (!wet.ok()) return wet.status();
+  if ((*wet)->type() != data::ColumnType::kCategorical) {
+    return InvalidArgumentError("wet column must be categorical");
+  }
+  // Identify the "wet" code in the dictionary.
+  int32_t wet_code = -1;
+  for (size_t k = 0; k < (*wet)->category_count(); ++k) {
+    if (util::ToLower((*wet)->CategoryName(static_cast<int32_t>(k))) ==
+        "wet") {
+      wet_code = static_cast<int32_t>(k);
+    }
+  }
+  if (wet_code < 0) {
+    return InvalidArgumentError("wet column has no 'wet' category");
+  }
+
+  WetDryResult result;
+  result.attribute = config.attribute;
+
+  // Usable rows: attribute present and wet flag present.
+  std::vector<std::pair<double, bool>> observations;  // (value, is_wet).
+  observations.reserve(rows.size());
+  for (size_t r : rows) {
+    if ((*attribute)->IsMissing(r) || (*wet)->IsMissing(r)) {
+      ++result.skipped_rows;
+      continue;
+    }
+    observations.emplace_back((*attribute)->NumericAt(r),
+                              (*wet)->CodeAt(r) == wet_code);
+  }
+  if (observations.size() < config.num_bands * 2) {
+    return InvalidArgumentError("too few usable rows for banding");
+  }
+
+  // Quantile band edges over the usable values.
+  std::vector<double> values;
+  values.reserve(observations.size());
+  for (const auto& [v, w] : observations) values.push_back(v);
+  std::sort(values.begin(), values.end());
+  std::vector<double> edges;
+  for (size_t b = 1; b < config.num_bands; ++b) {
+    const double p =
+        static_cast<double>(b) / static_cast<double>(config.num_bands);
+    edges.push_back(stats::Quantile(values, p));
+  }
+
+  result.bands.resize(config.num_bands);
+  for (size_t b = 0; b < config.num_bands; ++b) {
+    result.bands[b].lower = b == 0 ? values.front() : edges[b - 1];
+    result.bands[b].upper =
+        b + 1 == config.num_bands ? values.back() : edges[b];
+  }
+  for (const auto& [value, is_wet] : observations) {
+    size_t band = 0;
+    while (band + 1 < config.num_bands && value >= edges[band]) ++band;
+    if (is_wet) {
+      ++result.bands[band].wet_crashes;
+    } else {
+      ++result.bands[band].dry_crashes;
+    }
+  }
+
+  // Chi-square independence of band x wet/dry.
+  std::vector<std::vector<double>> table;
+  for (const WetDryBand& band : result.bands) {
+    table.push_back({static_cast<double>(band.wet_crashes),
+                     static_cast<double>(band.dry_crashes)});
+  }
+  auto test = stats::ChiSquareIndependenceTest(table);
+  if (!test.ok()) return test.status();
+  result.association = *test;
+  return result;
+}
+
+std::string RenderWetDryTable(const WetDryResult& result) {
+  util::TextTable table({result.attribute + " band", "wet crashes",
+                         "dry crashes", "wet share"});
+  for (const WetDryBand& band : result.bands) {
+    std::string range = "[";
+    range += util::FormatDouble(band.lower, 2);
+    range += ", ";
+    range += util::FormatDouble(band.upper, 2);
+    range += "]";
+    table.AddRow({std::move(range), std::to_string(band.wet_crashes),
+                  std::to_string(band.dry_crashes),
+                  util::FormatDouble(band.wet_share(), 3)});
+  }
+  table.AddFooter("chi-square(" +
+                  util::FormatDouble(result.association.df, 0) +
+                  ") = " + util::FormatDouble(result.association.statistic, 1) +
+                  ", p = " + util::FormatDouble(result.association.p_value, 6));
+  if (result.skipped_rows > 0) {
+    table.AddFooter("rows skipped for missing values: " +
+                    std::to_string(result.skipped_rows));
+  }
+  return table.Render();
+}
+
+}  // namespace roadmine::core

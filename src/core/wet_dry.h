@@ -1,0 +1,63 @@
+// Wet/dry crash analysis — the preliminary-stage finding the paper builds
+// on ("wet & dry roads were found to have differing distributions of crash
+// with respect to skid resistance and traffic rates", citing Emerson et
+// al., WCEAM 2010).
+//
+// Given the crash-only dataset (each crash row has a wet/dry surface flag
+// and its segment's F60 skid resistance), this module:
+//   * bands F60 into quantile bins,
+//   * tabulates the wet-crash share per band,
+//   * chi-square-tests the wet/dry x band association,
+// and repeats the banding for traffic (AADT).
+#ifndef ROADMINE_CORE_WET_DRY_H_
+#define ROADMINE_CORE_WET_DRY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "stats/hypothesis.h"
+#include "util/status.h"
+
+namespace roadmine::core {
+
+struct WetDryBand {
+  double lower = 0.0;   // Attribute range of the band (inclusive lower).
+  double upper = 0.0;   // Exclusive upper (last band inclusive).
+  size_t wet_crashes = 0;
+  size_t dry_crashes = 0;
+
+  size_t total() const { return wet_crashes + dry_crashes; }
+  double wet_share() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(wet_crashes) /
+                              static_cast<double>(total());
+  }
+};
+
+struct WetDryResult {
+  std::string attribute;
+  std::vector<WetDryBand> bands;   // Ascending attribute order.
+  stats::ChiSquareResult association;  // Wet/dry x band independence test.
+  size_t skipped_rows = 0;  // Rows missing the attribute or the wet flag.
+};
+
+struct WetDryConfig {
+  // Attribute to band (must be numeric). F60 reproduces the prior study.
+  std::string attribute = "f60";
+  // Name of the wet/dry categorical column ("dry"/"wet" dictionary).
+  std::string wet_column = "wet_surface";
+  size_t num_bands = 5;
+};
+
+// Runs the banded wet/dry analysis over `rows` of `dataset`.
+util::Result<WetDryResult> AnalyzeWetDry(const data::Dataset& dataset,
+                                         const std::vector<size_t>& rows,
+                                         const WetDryConfig& config = {});
+
+// Paper-style text rendering of the band table + test verdict.
+std::string RenderWetDryTable(const WetDryResult& result);
+
+}  // namespace roadmine::core
+
+#endif  // ROADMINE_CORE_WET_DRY_H_

@@ -1,0 +1,103 @@
+#include "data/column.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace roadmine::data {
+
+Column Column::Numeric(std::string name, std::vector<double> values) {
+  Column col;
+  col.name_ = std::move(name);
+  col.type_ = ColumnType::kNumeric;
+  col.numeric_ = std::move(values);
+  return col;
+}
+
+util::Result<Column> Column::Categorical(std::string name,
+                                         std::vector<int32_t> codes,
+                                         std::vector<std::string> categories) {
+  for (int32_t code : codes) {
+    if (code < -1 || code >= static_cast<int32_t>(categories.size())) {
+      return util::InvalidArgumentError(
+          "categorical code out of dictionary range in column '" + name + "'");
+    }
+  }
+  Column col;
+  col.name_ = std::move(name);
+  col.type_ = ColumnType::kCategorical;
+  col.codes_ = std::move(codes);
+  col.categories_ = std::move(categories);
+  return col;
+}
+
+Column Column::CategoricalFromStrings(std::string name,
+                                      const std::vector<std::string>& values) {
+  Column col;
+  col.name_ = std::move(name);
+  col.type_ = ColumnType::kCategorical;
+  col.codes_.reserve(values.size());
+  std::unordered_map<std::string, int32_t> index;
+  for (const std::string& value : values) {
+    if (value.empty()) {
+      col.codes_.push_back(-1);
+      continue;
+    }
+    auto [it, inserted] = index.try_emplace(
+        value, static_cast<int32_t>(col.categories_.size()));
+    if (inserted) col.categories_.push_back(value);
+    col.codes_.push_back(it->second);
+  }
+  return col;
+}
+
+size_t Column::size() const {
+  return type_ == ColumnType::kNumeric ? numeric_.size() : codes_.size();
+}
+
+bool Column::IsMissing(size_t row) const {
+  return type_ == ColumnType::kNumeric ? std::isnan(numeric_[row])
+                                       : codes_[row] < 0;
+}
+
+size_t Column::missing_count() const {
+  size_t count = 0;
+  for (size_t i = 0; i < size(); ++i) count += IsMissing(i);
+  return count;
+}
+
+std::string Column::ValueAsString(size_t row, int numeric_digits) const {
+  if (IsMissing(row)) return "";
+  if (type_ == ColumnType::kNumeric) {
+    return util::FormatDouble(numeric_[row], numeric_digits);
+  }
+  return categories_[static_cast<size_t>(codes_[row])];
+}
+
+Column Column::Gather(const std::vector<size_t>& indices) const {
+  Column col;
+  col.name_ = name_;
+  col.type_ = type_;
+  col.categories_ = categories_;
+  if (type_ == ColumnType::kNumeric) {
+    col.numeric_.reserve(indices.size());
+    for (size_t i : indices) col.numeric_.push_back(numeric_[i]);
+  } else {
+    col.codes_.reserve(indices.size());
+    for (size_t i : indices) col.codes_.push_back(codes_[i]);
+  }
+  return col;
+}
+
+void Column::AppendNumeric(double value) { numeric_.push_back(value); }
+
+util::Status Column::AppendCode(int32_t code) {
+  if (code < -1 || code >= static_cast<int32_t>(categories_.size())) {
+    return util::InvalidArgumentError("code out of dictionary range");
+  }
+  codes_.push_back(code);
+  return util::Status::Ok();
+}
+
+}  // namespace roadmine::data

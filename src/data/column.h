@@ -1,0 +1,80 @@
+// A typed column of a Dataset.
+//
+// Two physical types cover the study's needs:
+//   * kNumeric      — doubles, NaN encodes missing (paper keeps interval
+//                     values un-discretized; missing is "valid data");
+//   * kCategorical  — dictionary-encoded int32 codes, -1 encodes missing.
+#ifndef ROADMINE_DATA_COLUMN_H_
+#define ROADMINE_DATA_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::data {
+
+enum class ColumnType { kNumeric, kCategorical };
+
+class Column {
+ public:
+  // Factory: numeric column (NaN = missing).
+  static Column Numeric(std::string name, std::vector<double> values);
+
+  // Factory: categorical column from explicit codes and a dictionary.
+  // Codes must be -1 (missing) or valid dictionary indices.
+  static util::Result<Column> Categorical(std::string name,
+                                          std::vector<int32_t> codes,
+                                          std::vector<std::string> categories);
+
+  // Factory: categorical column from raw strings; empty string = missing.
+  // The dictionary is built in first-appearance order.
+  static Column CategoricalFromStrings(std::string name,
+                                       const std::vector<std::string>& values);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  bool IsMissing(size_t row) const;
+  size_t missing_count() const;
+
+  // Numeric access; NaN for missing. Valid only for kNumeric.
+  double NumericAt(size_t row) const { return numeric_[row]; }
+  const std::vector<double>& numeric_values() const { return numeric_; }
+
+  // Categorical access; -1 for missing. Valid only for kCategorical.
+  int32_t CodeAt(size_t row) const { return codes_[row]; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+  size_t category_count() const { return categories_.size(); }
+  const std::string& CategoryName(int32_t code) const {
+    return categories_[static_cast<size_t>(code)];
+  }
+  const std::vector<std::string>& categories() const { return categories_; }
+
+  // Cell rendered as text ("" for missing) — used by CSV output.
+  std::string ValueAsString(size_t row, int numeric_digits = 6) const;
+
+  // New column with rows picked by `indices` (duplicates/reorder allowed).
+  Column Gather(const std::vector<size_t>& indices) const;
+
+  // Appends one value. For categorical columns, the code must be within the
+  // dictionary or -1.
+  void AppendNumeric(double value);
+  util::Status AppendCode(int32_t code);
+
+ private:
+  Column() = default;
+
+  std::string name_;
+  ColumnType type_ = ColumnType::kNumeric;
+  std::vector<double> numeric_;           // kNumeric payload.
+  std::vector<int32_t> codes_;            // kCategorical payload.
+  std::vector<std::string> categories_;   // kCategorical dictionary.
+};
+
+}  // namespace roadmine::data
+
+#endif  // ROADMINE_DATA_COLUMN_H_

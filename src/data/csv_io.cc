@@ -1,0 +1,105 @@
+#include "data/csv_io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace roadmine::data {
+
+using util::InvalidArgumentError;
+using util::Result;
+using util::Status;
+
+Result<Dataset> DatasetFromCsvText(const std::string& text, char delimiter) {
+  auto rows = util::ParseCsv(text, delimiter);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return InvalidArgumentError("CSV has no header row");
+
+  const std::vector<std::string>& header = (*rows)[0];
+  const size_t num_cols = header.size();
+  const size_t num_rows = rows->size() - 1;
+  for (size_t r = 1; r < rows->size(); ++r) {
+    if ((*rows)[r].size() != num_cols) {
+      return InvalidArgumentError("CSV row " + std::to_string(r) + " has " +
+                                  std::to_string((*rows)[r].size()) +
+                                  " fields, header has " +
+                                  std::to_string(num_cols));
+    }
+  }
+
+  Dataset dataset;
+  for (size_t c = 0; c < num_cols; ++c) {
+    // Infer: numeric iff every non-empty cell parses as a double.
+    bool numeric = true;
+    bool any_value = false;
+    for (size_t r = 1; r <= num_rows; ++r) {
+      const std::string& cell = (*rows)[r][c];
+      if (util::Trim(cell).empty()) continue;
+      any_value = true;
+      double unused;
+      if (!util::ParseDouble(cell, &unused)) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric && any_value) {
+      std::vector<double> values;
+      values.reserve(num_rows);
+      for (size_t r = 1; r <= num_rows; ++r) {
+        const std::string& cell = (*rows)[r][c];
+        double value = std::numeric_limits<double>::quiet_NaN();
+        if (!util::Trim(cell).empty()) util::ParseDouble(cell, &value);
+        values.push_back(value);
+      }
+      ROADMINE_RETURN_IF_ERROR(
+          dataset.AddColumn(Column::Numeric(header[c], std::move(values))));
+    } else {
+      std::vector<std::string> values;
+      values.reserve(num_rows);
+      for (size_t r = 1; r <= num_rows; ++r) {
+        values.push_back(std::string(util::Trim((*rows)[r][c])));
+      }
+      ROADMINE_RETURN_IF_ERROR(dataset.AddColumn(
+          Column::CategoricalFromStrings(header[c], values)));
+    }
+  }
+  return dataset;
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path, char delimiter) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return util::NotFoundError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DatasetFromCsvText(buffer.str(), delimiter);
+}
+
+std::string DatasetToCsvText(const Dataset& dataset, char delimiter,
+                             int numeric_digits) {
+  std::string out = util::FormatCsvLine(dataset.ColumnNames(), delimiter);
+  out.push_back('\n');
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(dataset.num_columns());
+    for (size_t c = 0; c < dataset.num_columns(); ++c) {
+      cells.push_back(dataset.column(c).ValueAsString(r, numeric_digits));
+    }
+    out += util::FormatCsvLine(cells, delimiter);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char delimiter, int numeric_digits) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return util::InternalError("cannot write '" + path + "'");
+  file << DatasetToCsvText(dataset, delimiter, numeric_digits);
+  if (!file.good()) return util::DataLossError("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace roadmine::data

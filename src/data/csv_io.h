@@ -1,0 +1,32 @@
+// CSV import/export for Dataset, with schema inference: a column whose
+// non-empty cells all parse as doubles becomes numeric; anything else is
+// dictionary-encoded categorical. Empty cells are missing in both cases.
+#ifndef ROADMINE_DATA_CSV_IO_H_
+#define ROADMINE_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace roadmine::data {
+
+// Parses CSV text whose first record is the header row.
+util::Result<Dataset> DatasetFromCsvText(const std::string& text,
+                                         char delimiter = ',');
+
+// Reads a CSV file from disk.
+util::Result<Dataset> ReadCsvFile(const std::string& path,
+                                  char delimiter = ',');
+
+// Serializes with a header row; numeric cells use `numeric_digits`.
+std::string DatasetToCsvText(const Dataset& dataset, char delimiter = ',',
+                             int numeric_digits = 6);
+
+// Writes to disk; errors on I/O failure.
+util::Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                          char delimiter = ',', int numeric_digits = 6);
+
+}  // namespace roadmine::data
+
+#endif  // ROADMINE_DATA_CSV_IO_H_

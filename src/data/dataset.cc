@@ -1,0 +1,125 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "util/text_table.h"
+
+namespace roadmine::data {
+
+using util::InvalidArgumentError;
+using util::NotFoundError;
+using util::Result;
+using util::Status;
+
+Status Dataset::AddColumn(Column column) {
+  if (index_.contains(column.name())) {
+    return util::AlreadyExistsError("column '" + column.name() + "' exists");
+  }
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return InvalidArgumentError(
+        "column '" + column.name() + "' has " + std::to_string(column.size()) +
+        " rows, dataset has " + std::to_string(num_rows()));
+  }
+  index_[column.name()] = columns_.size();
+  columns_.push_back(std::move(column));
+  return Status::Ok();
+}
+
+Status Dataset::ReplaceColumn(Column column) {
+  auto it = index_.find(column.name());
+  if (it == index_.end()) return AddColumn(std::move(column));
+  if (column.size() != num_rows()) {
+    return InvalidArgumentError("replacement column row-count mismatch");
+  }
+  columns_[it->second] = std::move(column);
+  return Status::Ok();
+}
+
+Status Dataset::DropColumn(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return NotFoundError("column '" + name + "'");
+  const size_t pos = it->second;
+  columns_.erase(columns_.begin() + static_cast<long>(pos));
+  index_.erase(it);
+  for (auto& [key, value] : index_) {
+    if (value > pos) --value;
+  }
+  return Status::Ok();
+}
+
+size_t Dataset::num_rows() const {
+  return columns_.empty() ? 0 : columns_[0].size();
+}
+
+Result<size_t> Dataset::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return NotFoundError("column '" + name + "' not found");
+  }
+  return it->second;
+}
+
+bool Dataset::HasColumn(const std::string& name) const {
+  return index_.contains(name);
+}
+
+Result<const Column*> Dataset::ColumnByName(const std::string& name) const {
+  auto idx = ColumnIndex(name);
+  if (!idx.ok()) return idx.status();
+  return &columns_[*idx];
+}
+
+std::vector<std::string> Dataset::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& col : columns_) names.push_back(col.name());
+  return names;
+}
+
+Dataset Dataset::GatherRows(const std::vector<size_t>& indices) const {
+  Dataset out;
+  for (const Column& col : columns_) {
+    // AddColumn cannot fail here: names are unique and sizes equal.
+    (void)out.AddColumn(col.Gather(indices));
+  }
+  return out;
+}
+
+Result<Dataset> Dataset::SelectColumns(
+    const std::vector<std::string>& names) const {
+  Dataset out;
+  for (const std::string& name : names) {
+    auto col = ColumnByName(name);
+    if (!col.ok()) return col.status();
+    ROADMINE_RETURN_IF_ERROR(out.AddColumn(**col));
+  }
+  return out;
+}
+
+std::vector<size_t> Dataset::AllRowIndices() const {
+  std::vector<size_t> indices(num_rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  return indices;
+}
+
+std::string Dataset::Head(size_t max_rows) const {
+  util::TextTable table(ColumnNames());
+  const size_t limit = std::min(max_rows, num_rows());
+  for (size_t r = 0; r < limit; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(columns_.size());
+    for (const Column& col : columns_) {
+      cells.push_back(col.ValueAsString(r, 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::string footer = "(";
+  footer += std::to_string(num_rows());
+  footer += " rows x ";
+  footer += std::to_string(num_columns());
+  footer += " columns)";
+  table.AddFooter(std::move(footer));
+  return table.Render();
+}
+
+}  // namespace roadmine::data

@@ -1,0 +1,69 @@
+// An in-memory columnar table: the interchange format between the road/crash
+// generator, the ML algorithms, and the evaluation harness.
+//
+// Models operate directly on Dataset + row-index lists, so threshold sweeps
+// never copy the feature payload — only the binary target column changes.
+#ifndef ROADMINE_DATA_DATASET_H_
+#define ROADMINE_DATA_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/column.h"
+#include "util/status.h"
+
+namespace roadmine::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Adds a column. Errors on duplicate names or row-count mismatch with the
+  // columns already present.
+  util::Status AddColumn(Column column);
+
+  // Replaces a same-named column (adds if absent). Same size rules.
+  util::Status ReplaceColumn(Column column);
+
+  // Drops a column by name; error if absent.
+  util::Status DropColumn(const std::string& name);
+
+  size_t num_rows() const;
+  size_t num_columns() const { return columns_.size(); }
+  bool empty() const { return num_rows() == 0; }
+
+  // Index lookup; error if absent.
+  util::Result<size_t> ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const;
+
+  const Column& column(size_t index) const { return columns_[index]; }
+  Column& mutable_column(size_t index) { return columns_[index]; }
+
+  // Column by name; error if absent.
+  util::Result<const Column*> ColumnByName(const std::string& name) const;
+
+  std::vector<std::string> ColumnNames() const;
+
+  // New dataset with rows picked by `indices` (order preserved, duplicates
+  // allowed — also the primitive behind bootstrap/under-sampling).
+  Dataset GatherRows(const std::vector<size_t>& indices) const;
+
+  // New dataset with only the named columns; error if any is absent.
+  util::Result<Dataset> SelectColumns(
+      const std::vector<std::string>& names) const;
+
+  // All row indices [0, num_rows) — the default "train on everything" set.
+  std::vector<size_t> AllRowIndices() const;
+
+  // Human-readable preview of the first `max_rows` rows.
+  std::string Head(size_t max_rows = 10) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace roadmine::data
+
+#endif  // ROADMINE_DATA_DATASET_H_

@@ -1,0 +1,73 @@
+#include "data/describe.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/text_table.h"
+
+namespace roadmine::data {
+
+std::vector<ColumnProfile> DescribeDataset(const Dataset& dataset) {
+  std::vector<ColumnProfile> profiles;
+  profiles.reserve(dataset.num_columns());
+  for (size_t c = 0; c < dataset.num_columns(); ++c) {
+    const Column& col = dataset.column(c);
+    ColumnProfile profile;
+    profile.name = col.name();
+    profile.type = col.type();
+    profile.rows = col.size();
+    profile.missing = col.missing_count();
+
+    if (col.type() == ColumnType::kNumeric) {
+      profile.summary = stats::Summarize(col.numeric_values());
+      profile.skewness = stats::Skewness(col.numeric_values());
+    } else {
+      profile.category_count = col.category_count();
+      std::vector<size_t> counts(col.category_count(), 0);
+      for (size_t r = 0; r < col.size(); ++r) {
+        const int32_t code = col.CodeAt(r);
+        if (code >= 0) ++counts[static_cast<size_t>(code)];
+      }
+      std::vector<size_t> order(counts.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](size_t a, size_t b) { return counts[a] > counts[b]; });
+      for (size_t i = 0; i < order.size() && i < 5; ++i) {
+        profile.top_categories.emplace_back(
+            col.CategoryName(static_cast<int32_t>(order[i])),
+            counts[order[i]]);
+      }
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+std::string RenderDescription(const std::vector<ColumnProfile>& profiles) {
+  util::TextTable table(
+      {"column", "type", "missing", "min/top", "median", "max", "mean",
+       "skew"});
+  for (const ColumnProfile& p : profiles) {
+    if (p.type == ColumnType::kNumeric) {
+      table.AddRow({p.name, "numeric",
+                    util::FormatDouble(p.missing_fraction() * 100.0, 1) + "%",
+                    util::FormatDouble(p.summary.min, 2),
+                    util::FormatDouble(p.summary.median, 2),
+                    util::FormatDouble(p.summary.max, 2),
+                    util::FormatDouble(p.summary.mean, 2),
+                    util::FormatDouble(p.skewness, 2)});
+    } else {
+      std::vector<std::string> tops;
+      for (const auto& [name, count] : p.top_categories) {
+        tops.push_back(name + "(" + std::to_string(count) + ")");
+      }
+      table.AddRow({p.name,
+                    "categorical[" + std::to_string(p.category_count) + "]",
+                    util::FormatDouble(p.missing_fraction() * 100.0, 1) + "%",
+                    util::Join(tops, " "), "", "", "", ""});
+    }
+  }
+  return table.Render();
+}
+
+}  // namespace roadmine::data

@@ -1,0 +1,47 @@
+// Dataset profiling — the CRISP-DM "data understanding" artifact: one row
+// per column with type, missingness, and either a numeric five-number
+// summary or the dominant categories. The paper's preparation stage
+// ("All variables underwent the standard pre-processing and distribution
+// testing by examining the relevance of missing values and relevance of
+// distribution skew") is exactly this pass.
+#ifndef ROADMINE_DATA_DESCRIBE_H_
+#define ROADMINE_DATA_DESCRIBE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "stats/descriptive.h"
+#include "util/status.h"
+
+namespace roadmine::data {
+
+struct ColumnProfile {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  size_t rows = 0;
+  size_t missing = 0;
+
+  // Numeric columns:
+  stats::Summary summary;  // count == 0 for categorical columns.
+  double skewness = 0.0;
+
+  // Categorical columns: (category, count), descending, top 5.
+  std::vector<std::pair<std::string, size_t>> top_categories;
+  size_t category_count = 0;
+
+  double missing_fraction() const {
+    return rows == 0 ? 0.0
+                     : static_cast<double>(missing) / static_cast<double>(rows);
+  }
+};
+
+// Profiles every column of `dataset`.
+std::vector<ColumnProfile> DescribeDataset(const Dataset& dataset);
+
+// Monospace rendering of the profile table.
+std::string RenderDescription(const std::vector<ColumnProfile>& profiles);
+
+}  // namespace roadmine::data
+
+#endif  // ROADMINE_DATA_DESCRIBE_H_

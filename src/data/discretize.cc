@@ -1,0 +1,119 @@
+#include "data/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace roadmine::data {
+
+using util::InvalidArgumentError;
+using util::Result;
+using util::Status;
+
+Status Discretizer::Fit(const Dataset& dataset,
+                        const std::vector<std::string>& columns,
+                        const std::vector<size_t>& rows) {
+  if (columns.empty()) return InvalidArgumentError("no columns");
+  if (rows.empty()) return InvalidArgumentError("no rows");
+  if (params_.num_bins < 2) return InvalidArgumentError("num_bins < 2");
+
+  columns_ = columns;
+  edges_.clear();
+  for (const std::string& name : columns) {
+    auto col = dataset.ColumnByName(name);
+    if (!col.ok()) return col.status();
+    if ((*col)->type() != ColumnType::kNumeric) {
+      return InvalidArgumentError("column '" + name + "' is not numeric");
+    }
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (size_t r : rows) {
+      const double v = (*col)->NumericAt(r);
+      if (!std::isnan(v)) values.push_back(v);
+    }
+    if (values.size() < params_.num_bins) {
+      return InvalidArgumentError("too few non-missing values in '" + name +
+                                  "'");
+    }
+
+    std::vector<double> edges;
+    if (params_.strategy == BinningStrategy::kEqualWidth) {
+      const auto [lo_it, hi_it] =
+          std::minmax_element(values.begin(), values.end());
+      const double lo = *lo_it, hi = *hi_it;
+      const double width =
+          (hi - lo) / static_cast<double>(params_.num_bins);
+      for (size_t b = 1; b < params_.num_bins; ++b) {
+        edges.push_back(lo + width * static_cast<double>(b));
+      }
+    } else {
+      std::sort(values.begin(), values.end());
+      for (size_t b = 1; b < params_.num_bins; ++b) {
+        const double p =
+            static_cast<double>(b) / static_cast<double>(params_.num_bins);
+        edges.push_back(stats::Quantile(values, p));
+      }
+      // Collapse duplicate edges (heavy ties can merge quantiles).
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+    edges_.push_back(std::move(edges));
+  }
+  return Status::Ok();
+}
+
+Result<Dataset> Discretizer::Transform(const Dataset& dataset) const {
+  if (!fitted()) return util::FailedPreconditionError("not fitted");
+  Dataset out = dataset;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    auto col = dataset.ColumnByName(columns_[c]);
+    if (!col.ok()) return col.status();
+    if ((*col)->type() != ColumnType::kNumeric) {
+      return InvalidArgumentError("column '" + columns_[c] +
+                                  "' is not numeric");
+    }
+    const std::vector<double>& edges = edges_[c];
+
+    // Bin labels "(-inf, e0)", "[e0, e1)", ..., "[ek, inf)".
+    std::vector<std::string> labels;
+    for (size_t b = 0; b <= edges.size(); ++b) {
+      const std::string lo =
+          b == 0 ? "-inf" : util::FormatDouble(edges[b - 1], 3);
+      const std::string hi =
+          b == edges.size() ? "inf" : util::FormatDouble(edges[b], 3);
+      labels.push_back("[" + lo + ", " + hi + ")");
+    }
+
+    std::vector<int32_t> codes;
+    codes.reserve(dataset.num_rows());
+    for (size_t r = 0; r < dataset.num_rows(); ++r) {
+      const double v = (*col)->NumericAt(r);
+      if (std::isnan(v)) {
+        codes.push_back(-1);
+        continue;
+      }
+      int32_t bin = 0;
+      while (bin < static_cast<int32_t>(edges.size()) &&
+             v >= edges[static_cast<size_t>(bin)]) {
+        ++bin;
+      }
+      codes.push_back(bin);
+    }
+    auto binned =
+        Column::Categorical(columns_[c], std::move(codes), std::move(labels));
+    if (!binned.ok()) return binned.status();
+    ROADMINE_RETURN_IF_ERROR(out.ReplaceColumn(std::move(*binned)));
+  }
+  return out;
+}
+
+Result<std::vector<double>> Discretizer::EdgesFor(
+    const std::string& column) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == column) return edges_[c];
+  }
+  return util::NotFoundError("column '" + column + "' was not fitted");
+}
+
+}  // namespace roadmine::data

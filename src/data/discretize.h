@@ -1,0 +1,56 @@
+// Numeric-column discretization.
+//
+// The paper's data-preparation stage tried and rejected it:
+// "Transformations involving information loss, such as discretization,
+// were avoided and interval values were retained ... Most transformations
+// performed poorly". This module implements the transformation so the
+// `ablation_discretization` bench can quantify that decision.
+#ifndef ROADMINE_DATA_DISCRETIZE_H_
+#define ROADMINE_DATA_DISCRETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace roadmine::data {
+
+enum class BinningStrategy {
+  kEqualWidth,      // Bins of equal value range.
+  kEqualFrequency,  // Quantile bins (equal population).
+};
+
+struct DiscretizerParams {
+  BinningStrategy strategy = BinningStrategy::kEqualFrequency;
+  size_t num_bins = 5;
+};
+
+// Learns bin edges per numeric column on a training row set, then rewrites
+// those columns as categorical bins ("[lo, hi)") — preserving missingness.
+class Discretizer {
+ public:
+  explicit Discretizer(DiscretizerParams params = {}) : params_(params) {}
+
+  // Learns edges for `columns` (all must be numeric) from `rows`.
+  util::Status Fit(const Dataset& dataset,
+                   const std::vector<std::string>& columns,
+                   const std::vector<size_t>& rows);
+
+  // Returns a copy of `dataset` with every fitted column replaced by its
+  // categorical binning (other columns untouched).
+  util::Result<Dataset> Transform(const Dataset& dataset) const;
+
+  bool fitted() const { return !edges_.empty(); }
+  // Interior bin edges of a fitted column; errors if not fitted for it.
+  util::Result<std::vector<double>> EdgesFor(const std::string& column) const;
+
+ private:
+  DiscretizerParams params_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> edges_;  // Interior edges per column.
+};
+
+}  // namespace roadmine::data
+
+#endif  // ROADMINE_DATA_DISCRETIZE_H_

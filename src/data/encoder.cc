@@ -1,0 +1,104 @@
+#include "data/encoder.h"
+
+#include <cmath>
+
+namespace roadmine::data {
+
+using util::InvalidArgumentError;
+using util::Result;
+using util::Status;
+
+Status FeatureEncoder::Fit(const Dataset& dataset,
+                           const std::vector<std::string>& feature_columns,
+                           const std::vector<size_t>& rows) {
+  if (rows.empty()) return InvalidArgumentError("cannot fit encoder on 0 rows");
+  column_names_ = feature_columns;
+  plans_.clear();
+  feature_names_.clear();
+  feature_dim_ = 0;
+
+  for (const std::string& name : feature_columns) {
+    auto idx = dataset.ColumnIndex(name);
+    if (!idx.ok()) return idx.status();
+    const Column& col = dataset.column(*idx);
+
+    ColumnPlan plan;
+    plan.column_index = *idx;
+    plan.type = col.type();
+    plan.offset = feature_dim_;
+    if (col.type() == ColumnType::kNumeric) {
+      // Welford over the training rows, skipping missing.
+      double mean = 0.0, m2 = 0.0;
+      size_t n = 0;
+      for (size_t r : rows) {
+        const double v = col.NumericAt(r);
+        if (std::isnan(v)) continue;
+        ++n;
+        const double delta = v - mean;
+        mean += delta / static_cast<double>(n);
+        m2 += delta * (v - mean);
+      }
+      plan.mean = n > 0 ? mean : 0.0;
+      const double var = n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+      plan.inv_std = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+      plan.width = 1;
+      feature_names_.push_back(name);
+    } else {
+      plan.width = col.category_count();
+      if (plan.width == 0) {
+        return InvalidArgumentError("categorical column '" + name +
+                                    "' has an empty dictionary");
+      }
+      for (size_t k = 0; k < plan.width; ++k) {
+        feature_names_.push_back(
+            name + "=" + col.CategoryName(static_cast<int32_t>(k)));
+      }
+    }
+    feature_dim_ += plan.width;
+    plans_.push_back(plan);
+  }
+  return Status::Ok();
+}
+
+void FeatureEncoder::EncodeRow(const Dataset& dataset, size_t row,
+                               std::vector<double>& out) const {
+  out.assign(feature_dim_, 0.0);
+  for (const ColumnPlan& plan : plans_) {
+    const Column& col = dataset.column(plan.column_index);
+    if (plan.type == ColumnType::kNumeric) {
+      const double v = col.NumericAt(row);
+      // Missing -> mean -> standardized 0 (already zero-initialized).
+      if (!std::isnan(v)) out[plan.offset] = (v - plan.mean) * plan.inv_std;
+    } else {
+      const int32_t code = col.CodeAt(row);
+      if (code >= 0 && static_cast<size_t>(code) < plan.width) {
+        out[plan.offset + static_cast<size_t>(code)] = 1.0;
+      }
+    }
+  }
+}
+
+Result<std::vector<std::vector<double>>> FeatureEncoder::Transform(
+    const Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (feature_dim_ == 0) {
+    return util::FailedPreconditionError("encoder not fitted");
+  }
+  // Encoding addresses columns by position, so the dataset must carry the
+  // fitted columns at the fitted indices (the normal case: train/validation
+  // rows of one Dataset).
+  for (const ColumnPlan& plan : plans_) {
+    if (plan.column_index >= dataset.num_columns() ||
+        dataset.column(plan.column_index).name() !=
+            column_names_[&plan - plans_.data()]) {
+      return InvalidArgumentError(
+          "dataset schema does not match the fitted schema");
+    }
+  }
+  std::vector<std::vector<double>> matrix(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EncodeRow(dataset, rows[i], matrix[i]);
+  }
+  return matrix;
+}
+
+}  // namespace roadmine::data

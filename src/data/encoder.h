@@ -1,0 +1,68 @@
+// Dense feature encoding for the vector-space models (logistic regression,
+// neural network, k-means). Trees and naive Bayes consume the Dataset
+// directly; these models need standardized numeric vectors:
+//   * numeric column  -> (x - mean) / std, missing imputed to the mean
+//                        (0 after standardization);
+//   * categorical col -> one-hot over the training dictionary, missing and
+//                        unseen categories encode as all-zeros.
+// Fit statistics come from the training rows only, so validation encoding
+// never leaks target-side information.
+#ifndef ROADMINE_DATA_ENCODER_H_
+#define ROADMINE_DATA_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace roadmine::data {
+
+class FeatureEncoder {
+ public:
+  FeatureEncoder() = default;
+
+  // Learns encoding statistics for `feature_columns` from `rows` of
+  // `dataset`. Errors if a column is missing or `rows` is empty.
+  util::Status Fit(const Dataset& dataset,
+                   const std::vector<std::string>& feature_columns,
+                   const std::vector<size_t>& rows);
+
+  // Encoded width (number of doubles per row). 0 before Fit.
+  size_t feature_dim() const { return feature_dim_; }
+
+  // Name of each encoded slot, e.g. "aadt" or "surface_type=asphalt".
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  // Encodes one row into `out` (resized to feature_dim()). The dataset must
+  // have the fitted columns (checked by Transform; EncodeRow assumes it).
+  void EncodeRow(const Dataset& dataset, size_t row,
+                 std::vector<double>& out) const;
+
+  // Encodes many rows into a row-major matrix.
+  util::Result<std::vector<std::vector<double>>> Transform(
+      const Dataset& dataset, const std::vector<size_t>& rows) const;
+
+ private:
+  struct ColumnPlan {
+    size_t column_index = 0;
+    ColumnType type = ColumnType::kNumeric;
+    // Numeric:
+    double mean = 0.0;
+    double inv_std = 1.0;
+    // Categorical: slot offset of category code k is `offset + k`.
+    size_t offset = 0;
+    size_t width = 1;
+  };
+
+  std::vector<std::string> column_names_;
+  std::vector<ColumnPlan> plans_;
+  std::vector<std::string> feature_names_;
+  size_t feature_dim_ = 0;
+};
+
+}  // namespace roadmine::data
+
+#endif  // ROADMINE_DATA_ENCODER_H_

@@ -1,0 +1,89 @@
+#include "data/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadmine::data {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+namespace {
+
+struct ClassRows {
+  std::vector<size_t> minority;
+  std::vector<size_t> majority;
+};
+
+Result<ClassRows> PartitionByClass(const Dataset& dataset,
+                                   const std::string& target_column) {
+  auto col = dataset.ColumnByName(target_column);
+  if (!col.ok()) return col.status();
+  std::vector<size_t> zeros, ones;
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    if ((*col)->IsMissing(r)) {
+      return InvalidArgumentError("missing target at row " + std::to_string(r));
+    }
+    const bool positive = (*col)->type() == ColumnType::kNumeric
+                              ? (*col)->NumericAt(r) != 0.0
+                              : (*col)->CodeAt(r) != 0;
+    (positive ? ones : zeros).push_back(r);
+  }
+  if (zeros.empty() || ones.empty()) {
+    return InvalidArgumentError("target has a single class; nothing to balance");
+  }
+  ClassRows rows;
+  if (zeros.size() <= ones.size()) {
+    rows.minority = std::move(zeros);
+    rows.majority = std::move(ones);
+  } else {
+    rows.minority = std::move(ones);
+    rows.majority = std::move(zeros);
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> UndersampleMajority(const Dataset& dataset,
+                                                const std::string& target_column,
+                                                double ratio, util::Rng& rng) {
+  if (ratio < 1.0) return InvalidArgumentError("ratio must be >= 1.0");
+  auto rows = PartitionByClass(dataset, target_column);
+  if (!rows.ok()) return rows.status();
+
+  const size_t keep = std::min(
+      rows->majority.size(),
+      static_cast<size_t>(
+          std::ceil(ratio * static_cast<double>(rows->minority.size()))));
+  rng.Shuffle(rows->majority);
+  std::vector<size_t> result = rows->minority;
+  result.insert(result.end(), rows->majority.begin(),
+                rows->majority.begin() + static_cast<long>(keep));
+  rng.Shuffle(result);
+  return result;
+}
+
+Result<std::vector<size_t>> OversampleMinority(const Dataset& dataset,
+                                               const std::string& target_column,
+                                               double ratio, util::Rng& rng) {
+  if (ratio < 1.0) return InvalidArgumentError("ratio must be >= 1.0");
+  auto rows = PartitionByClass(dataset, target_column);
+  if (!rows.ok()) return rows.status();
+
+  const size_t target_minority = static_cast<size_t>(std::ceil(
+      static_cast<double>(rows->majority.size()) / ratio));
+  std::vector<size_t> result = rows->majority;
+  result.insert(result.end(), rows->minority.begin(), rows->minority.end());
+  const size_t original_minority = rows->minority.size();
+  for (size_t have = original_minority; have < target_minority; ++have) {
+    // Replacement draws come from the original minority rows only.
+    const size_t pick = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(original_minority) - 1));
+    result.push_back(rows->minority[pick]);
+  }
+  rng.Shuffle(result);
+  return result;
+}
+
+}  // namespace roadmine::data

@@ -1,0 +1,33 @@
+// Class re-balancing by resampling.
+//
+// The paper (§3.2) notes that majority-class under-sampling "can address"
+// the extreme-imbalance problem but judged it unnecessary once MCPV/Kappa
+// were adopted. Both samplers are implemented so the ablation bench
+// (`ablation_imbalance`) can quantify that judgement.
+#ifndef ROADMINE_DATA_SAMPLING_H_
+#define ROADMINE_DATA_SAMPLING_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace roadmine::data {
+
+// Row indices after under-sampling the majority class of a binary target so
+// that |majority| <= ratio * |minority| (ratio >= 1.0; 1.0 = exact balance).
+// Sampling is without replacement; minority rows are all kept.
+util::Result<std::vector<size_t>> UndersampleMajority(
+    const Dataset& dataset, const std::string& target_column, double ratio,
+    util::Rng& rng);
+
+// Row indices after over-sampling the minority class (with replacement)
+// until |minority| >= |majority| / ratio.
+util::Result<std::vector<size_t>> OversampleMinority(
+    const Dataset& dataset, const std::string& target_column, double ratio,
+    util::Rng& rng);
+
+}  // namespace roadmine::data
+
+#endif  // ROADMINE_DATA_SAMPLING_H_

@@ -1,0 +1,144 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace roadmine::data {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+namespace {
+
+// Extracts 0/1 labels from a binary target column (numeric or categorical
+// with exactly two categories). Returns per-row labels.
+Result<std::vector<int>> BinaryLabels(const Dataset& dataset,
+                                      const std::string& target_column) {
+  auto col = dataset.ColumnByName(target_column);
+  if (!col.ok()) return col.status();
+  std::vector<int> labels;
+  labels.reserve(dataset.num_rows());
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    if ((*col)->IsMissing(r)) {
+      return InvalidArgumentError("missing label at row " + std::to_string(r));
+    }
+    int label;
+    if ((*col)->type() == ColumnType::kNumeric) {
+      label = (*col)->NumericAt(r) != 0.0 ? 1 : 0;
+    } else {
+      label = (*col)->CodeAt(r) != 0 ? 1 : 0;
+    }
+    labels.push_back(label);
+  }
+  return labels;
+}
+
+}  // namespace
+
+Result<TrainValidationIndices> TrainValidationSplit(size_t num_rows,
+                                                    double train_fraction,
+                                                    util::Rng& rng) {
+  if (num_rows == 0) return InvalidArgumentError("empty dataset");
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return InvalidArgumentError("train_fraction must be in (0, 1)");
+  }
+  std::vector<size_t> indices(num_rows);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.Shuffle(indices);
+  size_t train_size = static_cast<size_t>(
+      static_cast<double>(num_rows) * train_fraction + 0.5);
+  train_size = std::clamp<size_t>(train_size, 1, num_rows - 1);
+  TrainValidationIndices split;
+  split.train.assign(indices.begin(),
+                     indices.begin() + static_cast<long>(train_size));
+  split.validation.assign(indices.begin() + static_cast<long>(train_size),
+                          indices.end());
+  return split;
+}
+
+Result<TrainValidationIndices> StratifiedTrainValidationSplit(
+    const Dataset& dataset, const std::string& target_column,
+    double train_fraction, util::Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return InvalidArgumentError("train_fraction must be in (0, 1)");
+  }
+  auto labels = BinaryLabels(dataset, target_column);
+  if (!labels.ok()) return labels.status();
+
+  std::vector<size_t> by_class[2];
+  for (size_t r = 0; r < labels->size(); ++r) {
+    by_class[(*labels)[r]].push_back(r);
+  }
+  TrainValidationIndices split;
+  for (auto& rows : by_class) {
+    if (rows.empty()) continue;
+    rng.Shuffle(rows);
+    size_t train_size = static_cast<size_t>(
+        static_cast<double>(rows.size()) * train_fraction + 0.5);
+    if (rows.size() >= 2) {
+      train_size = std::clamp<size_t>(train_size, 1, rows.size() - 1);
+    } else {
+      train_size = 1;  // A singleton class goes to train.
+    }
+    split.train.insert(split.train.end(), rows.begin(),
+                       rows.begin() + static_cast<long>(train_size));
+    split.validation.insert(split.validation.end(),
+                            rows.begin() + static_cast<long>(train_size),
+                            rows.end());
+  }
+  if (split.train.empty() || split.validation.empty()) {
+    return InvalidArgumentError("stratified split produced an empty side");
+  }
+  rng.Shuffle(split.train);
+  rng.Shuffle(split.validation);
+  return split;
+}
+
+Result<std::vector<std::vector<size_t>>> KFoldIndices(size_t num_rows,
+                                                      size_t k,
+                                                      util::Rng& rng) {
+  if (k < 2) return InvalidArgumentError("k must be >= 2");
+  if (k > num_rows) return InvalidArgumentError("k exceeds row count");
+  std::vector<size_t> indices(num_rows);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.Shuffle(indices);
+  std::vector<std::vector<size_t>> folds(k);
+  for (size_t i = 0; i < num_rows; ++i) {
+    folds[i % k].push_back(indices[i]);
+  }
+  return folds;
+}
+
+Result<std::vector<std::vector<size_t>>> StratifiedKFoldIndices(
+    const Dataset& dataset, const std::string& target_column, size_t k,
+    util::Rng& rng) {
+  if (k < 2) return InvalidArgumentError("k must be >= 2");
+  auto labels = BinaryLabels(dataset, target_column);
+  if (!labels.ok()) return labels.status();
+  if (k > dataset.num_rows()) return InvalidArgumentError("k exceeds rows");
+
+  std::vector<std::vector<size_t>> folds(k);
+  for (int cls = 0; cls < 2; ++cls) {
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < labels->size(); ++r) {
+      if ((*labels)[r] == cls) rows.push_back(r);
+    }
+    rng.Shuffle(rows);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      folds[i % k].push_back(rows[i]);
+    }
+  }
+  return folds;
+}
+
+std::vector<size_t> TrainIndicesForFold(
+    const std::vector<std::vector<size_t>>& folds, size_t fold) {
+  std::vector<size_t> train;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    if (f == fold) continue;
+    train.insert(train.end(), folds[f].begin(), folds[f].end());
+  }
+  return train;
+}
+
+}  // namespace roadmine::data

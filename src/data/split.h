@@ -1,0 +1,52 @@
+// Train/validation and k-fold splitting.
+//
+// The paper assesses trees with a train/validation split ("the
+// training/validation method was used because correlations between the
+// training and validation plots ... are good indicators of the raw model
+// quality") and the supporting models with 10-fold cross-validation.
+#ifndef ROADMINE_DATA_SPLIT_H_
+#define ROADMINE_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace roadmine::data {
+
+struct TrainValidationIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> validation;
+};
+
+// Random split: `train_fraction` of rows (rounded) go to train. Errors if
+// the fraction is outside (0, 1) or the dataset is empty.
+util::Result<TrainValidationIndices> TrainValidationSplit(
+    size_t num_rows, double train_fraction, util::Rng& rng);
+
+// Stratified split: preserves the proportion of each label of the binary
+// target column (codes 0/1; missing labels are an error).
+util::Result<TrainValidationIndices> StratifiedTrainValidationSplit(
+    const Dataset& dataset, const std::string& target_column,
+    double train_fraction, util::Rng& rng);
+
+// K disjoint folds covering [0, num_rows). Fold sizes differ by at most 1.
+// Errors if k < 2 or k > num_rows.
+util::Result<std::vector<std::vector<size_t>>> KFoldIndices(size_t num_rows,
+                                                            size_t k,
+                                                            util::Rng& rng);
+
+// Stratified k-fold on a binary target column.
+util::Result<std::vector<std::vector<size_t>>> StratifiedKFoldIndices(
+    const Dataset& dataset, const std::string& target_column, size_t k,
+    util::Rng& rng);
+
+// Train indices for a given fold = everything not in folds[fold].
+std::vector<size_t> TrainIndicesForFold(
+    const std::vector<std::vector<size_t>>& folds, size_t fold);
+
+}  // namespace roadmine::data
+
+#endif  // ROADMINE_DATA_SPLIT_H_

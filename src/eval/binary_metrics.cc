@@ -1,0 +1,129 @@
+#include "eval/binary_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace roadmine::eval {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double Ratio(uint64_t numerator, uint64_t denominator) {
+  if (denominator == 0) return kNaN;
+  return static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+
+}  // namespace
+
+double Accuracy(const ConfusionMatrix& cm) {
+  return Ratio(cm.true_positive + cm.true_negative, cm.total());
+}
+
+double MisclassificationRate(const ConfusionMatrix& cm) {
+  return Ratio(cm.false_positive + cm.false_negative, cm.total());
+}
+
+double Sensitivity(const ConfusionMatrix& cm) {
+  return Ratio(cm.true_positive, cm.actual_positive());
+}
+
+double Specificity(const ConfusionMatrix& cm) {
+  return Ratio(cm.true_negative, cm.actual_negative());
+}
+
+double PositivePredictiveValue(const ConfusionMatrix& cm) {
+  return Ratio(cm.true_positive, cm.predicted_positive());
+}
+
+double NegativePredictiveValue(const ConfusionMatrix& cm) {
+  return Ratio(cm.true_negative, cm.predicted_negative());
+}
+
+double MinimumClassPredictiveValue(const ConfusionMatrix& cm) {
+  const double ppv = PositivePredictiveValue(cm);
+  const double npv = NegativePredictiveValue(cm);
+  // A side that never predicts has no predictive value to speak for it;
+  // treat the undefined side as the weak one (MCPV 0): a model that never
+  // flags crash-prone roads must not score well just because PPV is NaN.
+  if (std::isnan(ppv) || std::isnan(npv)) return 0.0;
+  return std::min(ppv, npv);
+}
+
+double CohenKappa(const ConfusionMatrix& cm) {
+  const double n = static_cast<double>(cm.total());
+  if (n == 0.0) return kNaN;
+  const double observed =
+      static_cast<double>(cm.true_positive + cm.true_negative) / n;
+  const double expected =
+      (static_cast<double>(cm.actual_negative()) *
+           static_cast<double>(cm.predicted_negative()) +
+       static_cast<double>(cm.actual_positive()) *
+           static_cast<double>(cm.predicted_positive())) /
+      (n * n);
+  if (expected >= 1.0) return 0.0;  // Degenerate single-class situation.
+  return (observed - expected) / (1.0 - expected);
+}
+
+double F1Score(const ConfusionMatrix& cm) {
+  const double p = PositivePredictiveValue(cm);
+  const double r = Sensitivity(cm);
+  if (std::isnan(p) || std::isnan(r) || p + r == 0.0) return kNaN;
+  return 2.0 * p * r / (p + r);
+}
+
+BinaryAssessment Assess(const ConfusionMatrix& cm) {
+  BinaryAssessment a;
+  a.accuracy = Accuracy(cm);
+  a.misclassification_rate = MisclassificationRate(cm);
+  a.sensitivity = Sensitivity(cm);
+  a.specificity = Specificity(cm);
+  a.positive_predictive_value = PositivePredictiveValue(cm);
+  a.negative_predictive_value = NegativePredictiveValue(cm);
+  a.mcpv = MinimumClassPredictiveValue(cm);
+  a.kappa = CohenKappa(cm);
+  a.f1 = F1Score(cm);
+
+  // Support-weighted per-class precision/recall (WEKA-style, as reported
+  // in Table 5). Classes with zero support contribute nothing.
+  const double n = static_cast<double>(cm.total());
+  if (n > 0.0) {
+    const double w_pos = static_cast<double>(cm.actual_positive()) / n;
+    const double w_neg = static_cast<double>(cm.actual_negative()) / n;
+    const double prec_pos = PositivePredictiveValue(cm);
+    const double prec_neg = NegativePredictiveValue(cm);
+    const double rec_pos = Sensitivity(cm);
+    const double rec_neg = Specificity(cm);
+    a.weighted_precision = (std::isnan(prec_pos) ? 0.0 : w_pos * prec_pos) +
+                           (std::isnan(prec_neg) ? 0.0 : w_neg * prec_neg);
+    a.weighted_recall = (std::isnan(rec_pos) ? 0.0 : w_pos * rec_pos) +
+                        (std::isnan(rec_neg) ? 0.0 : w_neg * rec_neg);
+  } else {
+    a.weighted_precision = kNaN;
+    a.weighted_recall = kNaN;
+  }
+  return a;
+}
+
+const char* KappaAgreementBand(double kappa) {
+  if (std::isnan(kappa)) return "undefined";
+  if (kappa <= 0.20) return "slight";
+  if (kappa <= 0.40) return "fair";
+  if (kappa <= 0.60) return "moderate";
+  if (kappa <= 0.80) return "substantial";
+  return "almost perfect";
+}
+
+std::string BinaryAssessment::ToString() const {
+  auto fmt = [](double v) { return util::FormatDouble(v, 4); };
+  return "accuracy=" + fmt(accuracy) + " misclass=" +
+         fmt(misclassification_rate) + " sens=" + fmt(sensitivity) +
+         " spec=" + fmt(specificity) + " ppv=" +
+         fmt(positive_predictive_value) + " npv=" +
+         fmt(negative_predictive_value) + " mcpv=" + fmt(mcpv) +
+         " kappa=" + fmt(kappa);
+}
+
+}  // namespace roadmine::eval

@@ -1,0 +1,60 @@
+// The paper's Table-2 evaluation measures, computed from a confusion
+// matrix, including the paper's own contribution to imbalanced-model
+// assessment:
+//
+//   MCPV — "minimum class predictive value" = min(PPV, NPV). "Our
+//   assumption was that the lowest value of one of these values was the
+//   effective predictive value of the model." (§3.2)
+//
+// plus Cohen's Kappa, which the paper co-uses as the second headline
+// measure, and the conventional metrics it shows to be misleading under
+// extreme class imbalance (accuracy, misclassification rate).
+#ifndef ROADMINE_EVAL_BINARY_METRICS_H_
+#define ROADMINE_EVAL_BINARY_METRICS_H_
+
+#include <string>
+
+#include "eval/confusion.h"
+
+namespace roadmine::eval {
+
+// All rates are in [0, 1]; undefined ratios (zero denominators) are NaN so
+// callers can distinguish "perfectly 0" from "not measurable".
+struct BinaryAssessment {
+  double accuracy = 0.0;
+  double misclassification_rate = 0.0;
+  double sensitivity = 0.0;  // Recall of the positive class, TP/(TP+FN).
+  double specificity = 0.0;  // TN/(FP+TN).
+  double positive_predictive_value = 0.0;  // Precision, TP/(TP+FP).
+  double negative_predictive_value = 0.0;  // TN/(TN+FN).
+  double mcpv = 0.0;                       // min(PPV, NPV).
+  double kappa = 0.0;                      // Cohen's Kappa.
+  double f1 = 0.0;
+  double weighted_precision = 0.0;  // Support-weighted per-class precision.
+  double weighted_recall = 0.0;     // Support-weighted per-class recall.
+
+  std::string ToString() const;
+};
+
+// Computes every measure from the confusion matrix.
+BinaryAssessment Assess(const ConfusionMatrix& cm);
+
+// Individual measures (same NaN semantics), for callers that need one.
+double Accuracy(const ConfusionMatrix& cm);
+double MisclassificationRate(const ConfusionMatrix& cm);
+double Sensitivity(const ConfusionMatrix& cm);
+double Specificity(const ConfusionMatrix& cm);
+double PositivePredictiveValue(const ConfusionMatrix& cm);
+double NegativePredictiveValue(const ConfusionMatrix& cm);
+double MinimumClassPredictiveValue(const ConfusionMatrix& cm);
+double CohenKappa(const ConfusionMatrix& cm);
+double F1Score(const ConfusionMatrix& cm);
+
+// Armitage & Berry's qualitative bands for Kappa, as cited by the paper:
+// <=0.20 slight, 0.21-0.40 fair, 0.41-0.60 moderate, 0.61-0.80 substantial,
+// >0.80 almost perfect.
+const char* KappaAgreementBand(double kappa);
+
+}  // namespace roadmine::eval
+
+#endif  // ROADMINE_EVAL_BINARY_METRICS_H_

@@ -1,0 +1,82 @@
+#include "eval/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadmine::eval {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+namespace {
+
+util::Status Validate(const std::vector<double>& scores,
+                      const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return InvalidArgumentError("scores/labels size mismatch");
+  }
+  if (scores.empty()) return InvalidArgumentError("empty inputs");
+  for (double s : scores) {
+    if (std::isnan(s) || s < 0.0 || s > 1.0) {
+      return InvalidArgumentError("score outside [0, 1]");
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+Result<double> BrierScore(const std::vector<double>& scores,
+                          const std::vector<int>& labels) {
+  ROADMINE_RETURN_IF_ERROR(Validate(scores, labels));
+  double sum = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double outcome = labels[i] != 0 ? 1.0 : 0.0;
+    sum += (scores[i] - outcome) * (scores[i] - outcome);
+  }
+  return sum / static_cast<double>(scores.size());
+}
+
+Result<std::vector<ReliabilityBin>> ReliabilityCurve(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    size_t bins) {
+  ROADMINE_RETURN_IF_ERROR(Validate(scores, labels));
+  if (bins < 2) return InvalidArgumentError("need at least 2 bins");
+
+  std::vector<double> forecast_sum(bins, 0.0);
+  std::vector<double> positive_sum(bins, 0.0);
+  std::vector<size_t> counts(bins, 0);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    size_t bin = static_cast<size_t>(scores[i] * static_cast<double>(bins));
+    bin = std::min(bin, bins - 1);  // score == 1.0 lands in the last bin.
+    forecast_sum[bin] += scores[i];
+    positive_sum[bin] += labels[i] != 0 ? 1.0 : 0.0;
+    ++counts[bin];
+  }
+  std::vector<ReliabilityBin> curve;
+  for (size_t b = 0; b < bins; ++b) {
+    if (counts[b] == 0) continue;
+    ReliabilityBin bin;
+    bin.count = counts[b];
+    bin.mean_predicted = forecast_sum[b] / static_cast<double>(counts[b]);
+    bin.observed_rate = positive_sum[b] / static_cast<double>(counts[b]);
+    curve.push_back(bin);
+  }
+  return curve;
+}
+
+Result<double> ExpectedCalibrationError(const std::vector<double>& scores,
+                                        const std::vector<int>& labels,
+                                        size_t bins) {
+  auto curve = ReliabilityCurve(scores, labels, bins);
+  if (!curve.ok()) return curve.status();
+  double ece = 0.0;
+  const double n = static_cast<double>(scores.size());
+  for (const ReliabilityBin& bin : *curve) {
+    ece += static_cast<double>(bin.count) / n *
+           std::fabs(bin.mean_predicted - bin.observed_rate);
+  }
+  return ece;
+}
+
+}  // namespace roadmine::eval

@@ -1,0 +1,39 @@
+// Probability-calibration diagnostics: Brier score and reliability
+// (calibration) curves. A model can rank well (high AUC) and still emit
+// badly calibrated probabilities — relevant when the deployment layer
+// (core/deployment.h) thresholds P(crash-prone) for a works program.
+#ifndef ROADMINE_EVAL_CALIBRATION_H_
+#define ROADMINE_EVAL_CALIBRATION_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::eval {
+
+// Mean squared error between predicted probabilities and 0/1 outcomes.
+// 0 = perfect, 0.25 = the uninformed 0.5-everywhere forecaster on balanced
+// data. Errors on size mismatch / empty input / scores outside [0, 1].
+util::Result<double> BrierScore(const std::vector<double>& scores,
+                                const std::vector<int>& labels);
+
+struct ReliabilityBin {
+  double mean_predicted = 0.0;  // Average forecast in the bin.
+  double observed_rate = 0.0;   // Empirical positive rate in the bin.
+  size_t count = 0;
+};
+
+// Equal-width reliability curve over [0, 1]; empty bins are omitted.
+util::Result<std::vector<ReliabilityBin>> ReliabilityCurve(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    size_t bins = 10);
+
+// Expected calibration error: count-weighted |forecast - observed| across
+// the reliability bins.
+util::Result<double> ExpectedCalibrationError(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    size_t bins = 10);
+
+}  // namespace roadmine::eval
+
+#endif  // ROADMINE_EVAL_CALIBRATION_H_

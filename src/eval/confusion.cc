@@ -1,0 +1,66 @@
+#include "eval/confusion.h"
+
+namespace roadmine::eval {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+void ConfusionMatrix::Add(bool actual, bool predicted) {
+  if (actual) {
+    if (predicted) {
+      ++true_positive;
+    } else {
+      ++false_negative;
+    }
+  } else {
+    if (predicted) {
+      ++false_positive;
+    } else {
+      ++true_negative;
+    }
+  }
+}
+
+ConfusionMatrix& ConfusionMatrix::operator+=(const ConfusionMatrix& other) {
+  true_positive += other.true_positive;
+  false_positive += other.false_positive;
+  true_negative += other.true_negative;
+  false_negative += other.false_negative;
+  return *this;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  return "TP=" + std::to_string(true_positive) +
+         " FP=" + std::to_string(false_positive) +
+         " TN=" + std::to_string(true_negative) +
+         " FN=" + std::to_string(false_negative);
+}
+
+Result<ConfusionMatrix> ConfusionFromPredictions(
+    const std::vector<int>& predictions, const std::vector<int>& labels) {
+  if (predictions.size() != labels.size()) {
+    return InvalidArgumentError("predictions/labels size mismatch");
+  }
+  if (predictions.empty()) return InvalidArgumentError("empty inputs");
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    cm.Add(labels[i] != 0, predictions[i] != 0);
+  }
+  return cm;
+}
+
+Result<ConfusionMatrix> ConfusionFromScores(const std::vector<double>& scores,
+                                            const std::vector<int>& labels,
+                                            double cutoff) {
+  if (scores.size() != labels.size()) {
+    return InvalidArgumentError("scores/labels size mismatch");
+  }
+  if (scores.empty()) return InvalidArgumentError("empty inputs");
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    cm.Add(labels[i] != 0, scores[i] >= cutoff);
+  }
+  return cm;
+}
+
+}  // namespace roadmine::eval

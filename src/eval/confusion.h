@@ -1,0 +1,50 @@
+// Binary confusion matrix: the primitive behind every Table-2 measure.
+#ifndef ROADMINE_EVAL_CONFUSION_H_
+#define ROADMINE_EVAL_CONFUSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::eval {
+
+struct ConfusionMatrix {
+  // Convention: "positive" is the crash-prone class.
+  uint64_t true_positive = 0;
+  uint64_t false_positive = 0;
+  uint64_t true_negative = 0;
+  uint64_t false_negative = 0;
+
+  uint64_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  uint64_t actual_positive() const { return true_positive + false_negative; }
+  uint64_t actual_negative() const { return true_negative + false_positive; }
+  uint64_t predicted_positive() const {
+    return true_positive + false_positive;
+  }
+  uint64_t predicted_negative() const {
+    return true_negative + false_negative;
+  }
+
+  void Add(bool actual, bool predicted);
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other);
+
+  std::string ToString() const;
+};
+
+// Builds a confusion matrix from parallel prediction/label sequences
+// (0/1 ints). Errors on length mismatch or empty input.
+util::Result<ConfusionMatrix> ConfusionFromPredictions(
+    const std::vector<int>& predictions, const std::vector<int>& labels);
+
+// Thresholds scores at `cutoff` and compares against labels.
+util::Result<ConfusionMatrix> ConfusionFromScores(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    double cutoff = 0.5);
+
+}  // namespace roadmine::eval
+
+#endif  // ROADMINE_EVAL_CONFUSION_H_

@@ -1,0 +1,61 @@
+#include "eval/cross_validation.h"
+
+#include "data/split.h"
+#include "eval/roc.h"
+#include "ml/common.h"
+
+namespace roadmine::eval {
+
+using util::Result;
+
+Result<CrossValidationResult> CrossValidateBinary(
+    const data::Dataset& dataset, const std::string& target_column,
+    const BinaryTrainer& trainer, const CrossValidationOptions& options) {
+  auto labels = ml::ExtractBinaryLabels(dataset, target_column);
+  if (!labels.ok()) return labels.status();
+
+  util::Rng rng(options.seed);
+  Result<std::vector<std::vector<size_t>>> folds =
+      options.stratified
+          ? data::StratifiedKFoldIndices(dataset, target_column,
+                                         options.folds, rng)
+          : data::KFoldIndices(dataset.num_rows(), options.folds, rng);
+  if (!folds.ok()) return folds.status();
+
+  CrossValidationResult result;
+  std::vector<double> pooled_scores;
+  std::vector<int> pooled_labels;
+  pooled_scores.reserve(dataset.num_rows());
+  pooled_labels.reserve(dataset.num_rows());
+
+  for (size_t f = 0; f < folds->size(); ++f) {
+    const std::vector<size_t> train = data::TrainIndicesForFold(*folds, f);
+    const std::vector<size_t>& test = (*folds)[f];
+    if (train.empty() || test.empty()) continue;
+
+    auto scorer = trainer(dataset, train);
+    if (!scorer.ok()) return scorer.status();
+
+    ConfusionMatrix fold_cm;
+    for (size_t row : test) {
+      const double score = (*scorer)(row);
+      const bool actual = (*labels)[row] != 0;
+      fold_cm.Add(actual, score >= options.cutoff);
+      pooled_scores.push_back(score);
+      pooled_labels.push_back(actual ? 1 : 0);
+    }
+    result.per_fold.push_back(Assess(fold_cm));
+    result.pooled_confusion += fold_cm;
+  }
+  if (result.pooled_confusion.total() == 0) {
+    return util::InternalError("cross-validation scored no rows");
+  }
+  result.assessment = Assess(result.pooled_confusion);
+  auto auc = RocAuc(pooled_scores, pooled_labels);
+  // AUC is undefined when the pooled labels degenerate to one class; keep
+  // the rest of the result usable and report NaN-free 0 in that case.
+  result.auc = auc.ok() ? *auc : 0.0;
+  return result;
+}
+
+}  // namespace roadmine::eval

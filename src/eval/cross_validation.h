@@ -1,0 +1,52 @@
+// k-fold cross-validation for binary scorers. The paper runs its
+// supporting models (logistic regression, neural networks, naive Bayes)
+// "configured with 10 times cross-validation"; this harness reproduces
+// that protocol for any model exposing a probability scorer.
+#ifndef ROADMINE_EVAL_CROSS_VALIDATION_H_
+#define ROADMINE_EVAL_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/binary_metrics.h"
+#include "eval/confusion.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace roadmine::eval {
+
+// Produced by a trainer: P(positive) for a dataset row.
+using RowScorer = std::function<double(size_t row)>;
+
+// Trains on `train_rows` of `dataset` and returns a scorer for arbitrary
+// rows of the same dataset.
+using BinaryTrainer = std::function<util::Result<RowScorer>(
+    const data::Dataset& dataset, const std::vector<size_t>& train_rows)>;
+
+struct CrossValidationResult {
+  // Confusion pooled over all held-out folds (the WEKA convention).
+  ConfusionMatrix pooled_confusion;
+  BinaryAssessment assessment;  // Computed from the pooled confusion.
+  // AUC over all pooled held-out scores.
+  double auc = 0.0;
+  // Per-fold assessments for variance inspection.
+  std::vector<BinaryAssessment> per_fold;
+};
+
+struct CrossValidationOptions {
+  size_t folds = 10;
+  double cutoff = 0.5;
+  bool stratified = true;
+  uint64_t seed = 97;
+};
+
+// Runs k-fold CV of `trainer` on `dataset`. Errors propagate from fold
+// construction or training.
+util::Result<CrossValidationResult> CrossValidateBinary(
+    const data::Dataset& dataset, const std::string& target_column,
+    const BinaryTrainer& trainer, const CrossValidationOptions& options = {});
+
+}  // namespace roadmine::eval
+
+#endif  // ROADMINE_EVAL_CROSS_VALIDATION_H_

@@ -1,0 +1,61 @@
+#include "eval/regression_metrics.h"
+
+#include <cmath>
+
+namespace roadmine::eval {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+namespace {
+
+util::Status Validate(const std::vector<double>& predictions,
+                      const std::vector<double>& actuals) {
+  if (predictions.size() != actuals.size()) {
+    return InvalidArgumentError("predictions/actuals size mismatch");
+  }
+  if (predictions.empty()) return InvalidArgumentError("empty inputs");
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+Result<double> RSquared(const std::vector<double>& predictions,
+                        const std::vector<double>& actuals) {
+  ROADMINE_RETURN_IF_ERROR(Validate(predictions, actuals));
+  double mean = 0.0;
+  for (double y : actuals) mean += y;
+  mean /= static_cast<double>(actuals.size());
+
+  double ss_err = 0.0, ss_total = 0.0;
+  for (size_t i = 0; i < actuals.size(); ++i) {
+    ss_err += (actuals[i] - predictions[i]) * (actuals[i] - predictions[i]);
+    ss_total += (actuals[i] - mean) * (actuals[i] - mean);
+  }
+  if (ss_total <= 0.0) {
+    return InvalidArgumentError("actuals have zero variance");
+  }
+  return 1.0 - ss_err / ss_total;
+}
+
+Result<double> Rmse(const std::vector<double>& predictions,
+                    const std::vector<double>& actuals) {
+  ROADMINE_RETURN_IF_ERROR(Validate(predictions, actuals));
+  double sum = 0.0;
+  for (size_t i = 0; i < actuals.size(); ++i) {
+    sum += (actuals[i] - predictions[i]) * (actuals[i] - predictions[i]);
+  }
+  return std::sqrt(sum / static_cast<double>(actuals.size()));
+}
+
+Result<double> Mae(const std::vector<double>& predictions,
+                   const std::vector<double>& actuals) {
+  ROADMINE_RETURN_IF_ERROR(Validate(predictions, actuals));
+  double sum = 0.0;
+  for (size_t i = 0; i < actuals.size(); ++i) {
+    sum += std::fabs(actuals[i] - predictions[i]);
+  }
+  return sum / static_cast<double>(actuals.size());
+}
+
+}  // namespace roadmine::eval

@@ -1,0 +1,29 @@
+// Regression metrics. R-squared is the paper's headline measure for the
+// interval-target regression trees (Tables 3-4) — and one it explicitly
+// flags as "can be misleading with highly unbalanced datasets".
+#ifndef ROADMINE_EVAL_REGRESSION_METRICS_H_
+#define ROADMINE_EVAL_REGRESSION_METRICS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::eval {
+
+// Coefficient of determination: 1 - SS(err)/SS(total). Errors on size
+// mismatch / empty input; returns -inf..1 (negative when worse than the
+// mean predictor); errors when the actuals have zero variance.
+util::Result<double> RSquared(const std::vector<double>& predictions,
+                              const std::vector<double>& actuals);
+
+// Root mean squared error.
+util::Result<double> Rmse(const std::vector<double>& predictions,
+                          const std::vector<double>& actuals);
+
+// Mean absolute error.
+util::Result<double> Mae(const std::vector<double>& predictions,
+                         const std::vector<double>& actuals);
+
+}  // namespace roadmine::eval
+
+#endif  // ROADMINE_EVAL_REGRESSION_METRICS_H_

@@ -1,0 +1,102 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace roadmine::eval {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+namespace {
+
+util::Status ValidateInputs(const std::vector<double>& scores,
+                            const std::vector<int>& labels,
+                            size_t* positives, size_t* negatives) {
+  if (scores.size() != labels.size()) {
+    return InvalidArgumentError("scores/labels size mismatch");
+  }
+  if (scores.empty()) return InvalidArgumentError("empty inputs");
+  *positives = 0;
+  *negatives = 0;
+  for (int y : labels) {
+    if (y != 0) {
+      ++*positives;
+    } else {
+      ++*negatives;
+    }
+  }
+  if (*positives == 0 || *negatives == 0) {
+    return InvalidArgumentError("labels contain a single class");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<RocPoint>> RocCurve(const std::vector<double>& scores,
+                                       const std::vector<int>& labels) {
+  size_t positives = 0, negatives = 0;
+  ROADMINE_RETURN_IF_ERROR(ValidateInputs(scores, labels, &positives, &negatives));
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  size_t tp = 0, fp = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]] != 0) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    // Emit a point only after consuming all ties at this score.
+    if (i + 1 < order.size() && scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    curve.push_back({static_cast<double>(fp) / static_cast<double>(negatives),
+                     static_cast<double>(tp) / static_cast<double>(positives),
+                     scores[order[i]]});
+  }
+  return curve;
+}
+
+Result<double> RocAuc(const std::vector<double>& scores,
+                      const std::vector<int>& labels) {
+  size_t positives = 0, negatives = 0;
+  ROADMINE_RETURN_IF_ERROR(ValidateInputs(scores, labels, &positives, &negatives));
+
+  // Midrank computation.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(scores.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+
+  double positive_rank_sum = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] != 0) positive_rank_sum += ranks[k];
+  }
+  const double np = static_cast<double>(positives);
+  const double nn = static_cast<double>(negatives);
+  const double u = positive_rank_sum - np * (np + 1.0) / 2.0;
+  return u / (np * nn);
+}
+
+}  // namespace roadmine::eval

@@ -1,0 +1,31 @@
+// ROC analysis. The paper lists AUC among the measures that "can be
+// misleading with highly unbalanced datasets" (Table 2); Table 5 reports a
+// "Roc Area" column for the Bayesian models, which this module reproduces.
+#ifndef ROADMINE_EVAL_ROC_H_
+#define ROADMINE_EVAL_ROC_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::eval {
+
+struct RocPoint {
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+  double threshold = 0.0;
+};
+
+// Full ROC curve: one point per distinct score threshold, ordered from the
+// (0,0) corner to (1,1). Errors if labels contain a single class.
+util::Result<std::vector<RocPoint>> RocCurve(const std::vector<double>& scores,
+                                             const std::vector<int>& labels);
+
+// Area under the ROC curve via the rank statistic (equivalent to the
+// Mann-Whitney U normalization; ties handled by midranks).
+util::Result<double> RocAuc(const std::vector<double>& scores,
+                            const std::vector<int>& labels);
+
+}  // namespace roadmine::eval
+
+#endif  // ROADMINE_EVAL_ROC_H_

@@ -1,0 +1,98 @@
+#include "ml/bagging.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadmine::ml {
+
+using util::InvalidArgumentError;
+using util::Status;
+
+Status BaggedTreesClassifier::Fit(const data::Dataset& dataset,
+                                  const std::string& target_column,
+                                  const std::vector<std::string>& feature_columns,
+                                  const std::vector<size_t>& rows) {
+  if (params_.num_trees == 0) return InvalidArgumentError("num_trees == 0");
+  if (params_.sample_fraction <= 0.0 || params_.sample_fraction > 1.0) {
+    return InvalidArgumentError("sample_fraction outside (0, 1]");
+  }
+  if (params_.feature_fraction <= 0.0 || params_.feature_fraction > 1.0) {
+    return InvalidArgumentError("feature_fraction outside (0, 1]");
+  }
+  if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
+  if (feature_columns.empty()) return InvalidArgumentError("no features");
+
+  util::Rng rng(params_.seed);
+  trees_.clear();
+  trees_.reserve(params_.num_trees);
+
+  const size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             params_.sample_fraction * static_cast<double>(rows.size()))));
+  const size_t features_per_tree = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             params_.feature_fraction *
+             static_cast<double>(feature_columns.size()))));
+
+  for (size_t t = 0; t < params_.num_trees; ++t) {
+    // Bootstrap rows (with replacement).
+    std::vector<size_t> sample;
+    sample.reserve(sample_size);
+    for (size_t i = 0; i < sample_size; ++i) {
+      sample.push_back(rows[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1))]);
+    }
+    // Optional feature bagging.
+    std::vector<std::string> features = feature_columns;
+    if (features_per_tree < features.size()) {
+      rng.Shuffle(features);
+      features.resize(features_per_tree);
+    }
+
+    DecisionTreeClassifier tree(params_.tree);
+    const Status status = tree.Fit(dataset, target_column, features, sample);
+    if (!status.ok()) {
+      // Degenerate bootstrap (e.g. single-class sample in a tiny minority
+      // setting) — skip the member rather than fail the ensemble, unless
+      // nothing trains at all.
+      continue;
+    }
+    trees_.push_back(std::move(tree));
+  }
+  if (trees_.empty()) {
+    return InvalidArgumentError("no bootstrap member could be trained");
+  }
+  return Status::Ok();
+}
+
+double BaggedTreesClassifier::PredictProba(const data::Dataset& dataset,
+                                           size_t row) const {
+  double sum = 0.0;
+  for (const DecisionTreeClassifier& tree : trees_) {
+    sum += tree.PredictProba(dataset, row);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+int BaggedTreesClassifier::Predict(const data::Dataset& dataset, size_t row,
+                                   double cutoff) const {
+  return PredictProba(dataset, row) >= cutoff ? 1 : 0;
+}
+
+std::vector<double> BaggedTreesClassifier::PredictProbaMany(
+    const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  std::vector<double> probs;
+  probs.reserve(rows.size());
+  for (size_t r : rows) probs.push_back(PredictProba(dataset, r));
+  return probs;
+}
+
+size_t BaggedTreesClassifier::total_leaves() const {
+  size_t total = 0;
+  for (const DecisionTreeClassifier& tree : trees_) {
+    total += tree.leaf_count();
+  }
+  return total;
+}
+
+}  // namespace roadmine::ml

@@ -1,0 +1,72 @@
+#include "ml/classifier.h"
+
+#include "ml/bagging.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/neural_net.h"
+
+namespace roadmine::ml {
+namespace {
+
+// One adapter template covers every concrete model: they all share the
+// Fit/PredictProba value-type signature.
+template <typename Model>
+class Adapter : public BinaryClassifier {
+ public:
+  explicit Adapter(const char* name) : name_(name) {}
+
+  util::Status Fit(const data::Dataset& dataset,
+                   const std::string& target_column,
+                   const std::vector<std::string>& feature_columns,
+                   const std::vector<size_t>& rows) override {
+    return model_.Fit(dataset, target_column, feature_columns, rows);
+  }
+
+  double PredictProba(const data::Dataset& dataset,
+                      size_t row) const override {
+    return model_.PredictProba(dataset, row);
+  }
+
+  const char* name() const override { return name_; }
+
+ private:
+  Model model_;
+  const char* name_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& KnownClassifierNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "decision_tree", "naive_bayes", "logistic_regression", "neural_net",
+      "bagged_trees"};
+  return names;
+}
+
+util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
+    const std::string& name) {
+  if (name == "decision_tree") {
+    return std::unique_ptr<BinaryClassifier>(
+        new Adapter<DecisionTreeClassifier>("decision_tree"));
+  }
+  if (name == "naive_bayes") {
+    return std::unique_ptr<BinaryClassifier>(
+        new Adapter<NaiveBayesClassifier>("naive_bayes"));
+  }
+  if (name == "logistic_regression") {
+    return std::unique_ptr<BinaryClassifier>(
+        new Adapter<LogisticRegression>("logistic_regression"));
+  }
+  if (name == "neural_net") {
+    return std::unique_ptr<BinaryClassifier>(
+        new Adapter<NeuralNetClassifier>("neural_net"));
+  }
+  if (name == "bagged_trees") {
+    return std::unique_ptr<BinaryClassifier>(
+        new Adapter<BaggedTreesClassifier>("bagged_trees"));
+  }
+  return util::NotFoundError("unknown classifier '" + name + "'");
+}
+
+}  // namespace roadmine::ml

@@ -1,0 +1,53 @@
+// A polymorphic facade over the binary classifiers.
+//
+// The concrete models keep their value-type APIs (no virtual dispatch in
+// the hot loops); this facade exists for config-driven call sites — "run
+// whatever model the experiment file names" — in benches, examples, and
+// downstream deployments.
+#ifndef ROADMINE_ML_CLASSIFIER_H_
+#define ROADMINE_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace roadmine::ml {
+
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  virtual util::Status Fit(const data::Dataset& dataset,
+                           const std::string& target_column,
+                           const std::vector<std::string>& feature_columns,
+                           const std::vector<size_t>& rows) = 0;
+
+  // P(positive) for one row of a dataset with the fitted schema.
+  virtual double PredictProba(const data::Dataset& dataset,
+                              size_t row) const = 0;
+
+  int Predict(const data::Dataset& dataset, size_t row,
+              double cutoff = 0.5) const {
+    return PredictProba(dataset, row) >= cutoff ? 1 : 0;
+  }
+
+  // Stable identifier, e.g. "decision_tree".
+  virtual const char* name() const = 0;
+};
+
+// Known classifier names (the factory vocabulary):
+//   "decision_tree", "naive_bayes", "logistic_regression", "neural_net",
+//   "bagged_trees".
+const std::vector<std::string>& KnownClassifierNames();
+
+// Builds a classifier with default parameters by name; errors on an
+// unknown name.
+util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
+    const std::string& name);
+
+}  // namespace roadmine::ml
+
+#endif  // ROADMINE_ML_CLASSIFIER_H_

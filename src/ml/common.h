@@ -1,0 +1,46 @@
+// Helpers shared by the roadmine model implementations: target extraction
+// and feature resolution against a Dataset.
+#ifndef ROADMINE_ML_COMMON_H_
+#define ROADMINE_ML_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace roadmine::ml {
+
+// Per-row 0/1 labels from a binary target column. Numeric columns map
+// nonzero -> 1; categorical columns map code 0 -> 0, anything else -> 1.
+// Missing labels are an error (targets are never missing in this study).
+util::Result<std::vector<int8_t>> ExtractBinaryLabels(
+    const data::Dataset& dataset, const std::string& target_column);
+
+// Per-row numeric target values for regression; must be a numeric column
+// with no missing values.
+util::Result<std::vector<double>> ExtractNumericTarget(
+    const data::Dataset& dataset, const std::string& target_column);
+
+// A resolved feature column reference.
+struct FeatureRef {
+  size_t column_index = 0;
+  data::ColumnType type = data::ColumnType::kNumeric;
+  std::string name;
+};
+
+// Resolves feature names against a dataset; errors if a name is absent or
+// names the target column.
+util::Result<std::vector<FeatureRef>> ResolveFeatures(
+    const data::Dataset& dataset, const std::vector<std::string>& features,
+    const std::string& target_column);
+
+// All column names except the listed exclusions — the study's "keep the
+// variable list constant" convention (everything but targets/bookkeeping).
+std::vector<std::string> FeatureNamesExcluding(
+    const data::Dataset& dataset, const std::vector<std::string>& excluded);
+
+}  // namespace roadmine::ml
+
+#endif  // ROADMINE_ML_COMMON_H_

@@ -1,0 +1,60 @@
+// k-means clustering with k-means++ seeding — the paper's Phase-3 model
+// ("simple k-means ... configured to provide 32 clusters"). Operates on
+// FeatureEncoder output so mixed numeric/categorical road attributes embed
+// in one metric space.
+#ifndef ROADMINE_ML_KMEANS_H_
+#define ROADMINE_ML_KMEANS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/encoder.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace roadmine::ml {
+
+struct KMeansParams {
+  size_t k = 32;
+  int max_iterations = 100;
+  // Converged when no assignment changes (or < tolerance center movement).
+  double tolerance = 1e-6;
+  uint64_t seed = 29;
+  // Independent restarts; the run with the lowest inertia wins.
+  int restarts = 3;
+};
+
+struct KMeansResult {
+  // Cluster id per input row (parallel to the `rows` argument of Fit).
+  std::vector<int> assignments;
+  // Final cluster centers in encoded-feature space, size k x feature_dim.
+  std::vector<std::vector<double>> centers;
+  // Sum of squared distances of rows to their centers.
+  double inertia = 0.0;
+  int iterations = 0;
+  // Rows per cluster.
+  std::vector<size_t> sizes;
+};
+
+class KMeans {
+ public:
+  explicit KMeans(KMeansParams params = {}) : params_(params) {}
+
+  // Clusters `rows` of `dataset` on `feature_columns`.
+  util::Result<KMeansResult> Fit(const data::Dataset& dataset,
+                                 const std::vector<std::string>& feature_columns,
+                                 const std::vector<size_t>& rows);
+
+  // Encoder fitted during the last Fit (for assigning new points).
+  const data::FeatureEncoder& encoder() const { return encoder_; }
+
+ private:
+  KMeansParams params_;
+  data::FeatureEncoder encoder_;
+};
+
+}  // namespace roadmine::ml
+
+#endif  // ROADMINE_ML_KMEANS_H_

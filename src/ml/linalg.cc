@@ -1,0 +1,37 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+
+namespace roadmine::ml {
+
+bool SolveSpd(std::vector<std::vector<double>>& a, std::vector<double>& b) {
+  const size_t n = a.size();
+  // Decompose A = L L^T (lower triangle stored in `a`).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i][j];
+      for (size_t k = 0; k < j; ++k) sum -= a[i][k] * a[j][k];
+      if (i == j) {
+        if (sum <= 1e-12) return false;
+        a[i][i] = std::sqrt(sum);
+      } else {
+        a[i][j] = sum / a[j][j];
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= a[i][k] * b[k];
+    b[i] = sum / a[i][i];
+  }
+  // Back substitution L^T x = y.
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a[k][i] * b[k];
+    b[i] = sum / a[i][i];
+  }
+  return true;
+}
+
+}  // namespace roadmine::ml

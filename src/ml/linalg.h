@@ -1,0 +1,17 @@
+// Tiny dense linear-algebra helpers shared by the model implementations
+// (leaf ridge models, GLM IRLS steps). Problems here are small — tens of
+// coefficients — so simple Cholesky is the right tool.
+#ifndef ROADMINE_ML_LINALG_H_
+#define ROADMINE_ML_LINALG_H_
+
+#include <vector>
+
+namespace roadmine::ml {
+
+// Solves the symmetric positive-definite system A x = b in place (A is
+// destroyed, b receives x). Returns false when A is not numerically SPD.
+bool SolveSpd(std::vector<std::vector<double>>& a, std::vector<double>& b);
+
+}  // namespace roadmine::ml
+
+#endif  // ROADMINE_ML_LINALG_H_

@@ -1,0 +1,59 @@
+// L2-regularized logistic regression — one of the paper's supporting
+// models. Operates on FeatureEncoder output (standardized numerics +
+// one-hot categoricals) and trains by full-batch gradient descent with
+// Nesterov momentum; the convex objective plus standardized inputs make
+// this reliably convergent without line search.
+#ifndef ROADMINE_ML_LOGISTIC_REGRESSION_H_
+#define ROADMINE_ML_LOGISTIC_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/encoder.h"
+#include "util/status.h"
+
+namespace roadmine::ml {
+
+struct LogisticRegressionParams {
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  int max_iterations = 300;
+  // Stop when the gradient max-norm falls below this.
+  double tolerance = 1e-5;
+  double momentum = 0.9;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionParams params = {})
+      : params_(params) {}
+
+  util::Status Fit(const data::Dataset& dataset,
+                   const std::string& target_column,
+                   const std::vector<std::string>& feature_columns,
+                   const std::vector<size_t>& rows);
+
+  double PredictProba(const data::Dataset& dataset, size_t row) const;
+  int Predict(const data::Dataset& dataset, size_t row,
+              double cutoff = 0.5) const;
+  std::vector<double> PredictProbaMany(const data::Dataset& dataset,
+                                       const std::vector<size_t>& rows) const;
+
+  bool fitted() const { return fitted_; }
+  // Weights in encoded-feature space (index via encoder().feature_names()).
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+  const data::FeatureEncoder& encoder() const { return encoder_; }
+
+ private:
+  LogisticRegressionParams params_;
+  data::FeatureEncoder encoder_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace roadmine::ml
+
+#endif  // ROADMINE_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,140 @@
+#include "ml/m5_tree.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "ml/linalg.h"
+
+namespace roadmine::ml {
+
+using util::InvalidArgumentError;
+using util::Status;
+
+
+Status M5Tree::Fit(const data::Dataset& dataset,
+                   const std::string& target_column,
+                   const std::vector<std::string>& feature_columns,
+                   const std::vector<size_t>& rows) {
+  ROADMINE_RETURN_IF_ERROR(
+      structure_.Fit(dataset, target_column, feature_columns, rows));
+  auto target = ExtractNumericTarget(dataset, target_column);
+  if (!target.ok()) return target.status();
+  auto features = ResolveFeatures(dataset, feature_columns, target_column);
+  if (!features.ok()) return features.status();
+  numeric_features_.clear();
+  for (const FeatureRef& ref : *features) {
+    if (ref.type == data::ColumnType::kNumeric) {
+      numeric_features_.push_back(ref);
+    }
+  }
+
+  // Group training rows by leaf.
+  std::unordered_map<int, std::vector<size_t>> leaf_rows;
+  for (size_t r : rows) {
+    leaf_rows[structure_.LeafId(dataset, r)].push_back(r);
+  }
+
+  leaf_models_.assign(structure_.node_count(), LeafModel{});
+  has_model_.assign(structure_.node_count(), 0);
+  const size_t d = numeric_features_.size();
+
+  for (const auto& [leaf, members] : leaf_rows) {
+    if (d == 0 || members.size() < d + 2) continue;  // Mean fallback.
+
+    // Leaf-local feature means for missing-value imputation & centering.
+    std::vector<double> x_mean(d, 0.0);
+    std::vector<size_t> x_n(d, 0);
+    for (size_t r : members) {
+      for (size_t j = 0; j < d; ++j) {
+        const double v =
+            dataset.column(numeric_features_[j].column_index).NumericAt(r);
+        if (std::isnan(v)) continue;
+        x_mean[j] += v;
+        ++x_n[j];
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      x_mean[j] = x_n[j] > 0 ? x_mean[j] / static_cast<double>(x_n[j]) : 0.0;
+    }
+    double y_mean = 0.0;
+    for (size_t r : members) y_mean += (*target)[r];
+    y_mean /= static_cast<double>(members.size());
+
+    // Normal equations on centered data: (X^T X + ridge I) w = X^T y.
+    std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+    std::vector<double> xty(d, 0.0);
+    std::vector<double> x(d);
+    for (size_t r : members) {
+      for (size_t j = 0; j < d; ++j) {
+        const double v =
+            dataset.column(numeric_features_[j].column_index).NumericAt(r);
+        x[j] = (std::isnan(v) ? x_mean[j] : v) - x_mean[j];
+      }
+      const double yc = (*target)[r] - y_mean;
+      for (size_t j = 0; j < d; ++j) {
+        xty[j] += x[j] * yc;
+        for (size_t k = 0; k <= j; ++k) xtx[j][k] += x[j] * x[k];
+      }
+    }
+    double trace = 0.0;
+    for (size_t j = 0; j < d; ++j) trace += xtx[j][j];
+    const double relative_ridge =
+        params_.ridge * (trace / static_cast<double>(d) + 1e-12);
+    for (size_t j = 0; j < d; ++j) {
+      for (size_t k = j + 1; k < d; ++k) xtx[j][k] = xtx[k][j];
+      xtx[j][j] += relative_ridge;
+    }
+    if (!SolveSpd(xtx, xty)) continue;  // Mean fallback on ill-conditioning.
+
+    LeafModel model;
+    model.weights = xty;
+    model.count = members.size();
+    model.intercept = y_mean;
+    for (size_t j = 0; j < d; ++j) {
+      model.intercept -= model.weights[j] * x_mean[j];
+    }
+    leaf_models_[static_cast<size_t>(leaf)] = std::move(model);
+    has_model_[static_cast<size_t>(leaf)] = 1;
+  }
+  return Status::Ok();
+}
+
+double M5Tree::Predict(const data::Dataset& dataset, size_t row) const {
+  const std::vector<int> path = structure_.PathToLeaf(dataset, row);
+  const int leaf = path.back();
+
+  double prediction;
+  if (has_model_[static_cast<size_t>(leaf)]) {
+    const LeafModel& model = leaf_models_[static_cast<size_t>(leaf)];
+    prediction = model.intercept;
+    for (size_t j = 0; j < numeric_features_.size(); ++j) {
+      const double v =
+          dataset.column(numeric_features_[j].column_index).NumericAt(row);
+      if (!std::isnan(v)) prediction += model.weights[j] * v;
+      // Missing values were imputed to the leaf mean at fit time; the
+      // centered formulation makes their contribution 0 here as well.
+    }
+  } else {
+    prediction = structure_.NodeMean(leaf);
+  }
+
+  if (params_.smoothing <= 0.0) return prediction;
+  // Quinlan smoothing: blend with ancestor means walking to the root.
+  for (size_t i = path.size() - 1; i-- > 0;) {
+    const int node = path[i];
+    const double n = static_cast<double>(structure_.NodeCount(path[i + 1]));
+    prediction = (n * prediction + params_.smoothing * structure_.NodeMean(node)) /
+                 (n + params_.smoothing);
+  }
+  return prediction;
+}
+
+std::vector<double> M5Tree::PredictMany(const data::Dataset& dataset,
+                                        const std::vector<size_t>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (size_t r : rows) out.push_back(Predict(dataset, r));
+  return out;
+}
+
+}  // namespace roadmine::ml

@@ -1,0 +1,66 @@
+// M5 model tree: a variance-reduction regression tree whose leaves carry
+// ridge-regularized linear models over the numeric features (Quinlan 1992),
+// with optional leaf-toward-root smoothing. The paper lists M5 among the
+// supporting algorithms whose efficiency trends match the decision trees.
+#ifndef ROADMINE_ML_M5_TREE_H_
+#define ROADMINE_ML_M5_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/common.h"
+#include "ml/regression_tree.h"
+#include "util/status.h"
+
+namespace roadmine::ml {
+
+struct M5TreeParams {
+  RegressionTreeParams tree;
+  // Ridge penalty for the leaf linear models, relative to the mean
+  // diagonal of X^T X (scale-invariant shrinkage).
+  double ridge = 1e-3;
+  // Quinlan smoothing constant; 0 disables smoothing.
+  double smoothing = 15.0;
+};
+
+class M5Tree {
+ public:
+  explicit M5Tree(M5TreeParams params = {}) : params_(params) {}
+
+  // Grows the structural tree, then fits a ridge model per leaf on the
+  // numeric features (intercept-only when a leaf is too small or the
+  // normal equations are ill-conditioned).
+  util::Status Fit(const data::Dataset& dataset,
+                   const std::string& target_column,
+                   const std::vector<std::string>& feature_columns,
+                   const std::vector<size_t>& rows);
+
+  double Predict(const data::Dataset& dataset, size_t row) const;
+  std::vector<double> PredictMany(const data::Dataset& dataset,
+                                  const std::vector<size_t>& rows) const;
+
+  bool fitted() const { return structure_.fitted(); }
+  size_t leaf_count() const { return structure_.leaf_count(); }
+  const RegressionTree& structure() const { return structure_; }
+
+ private:
+  struct LeafModel {
+    double intercept = 0.0;
+    // Weight per numeric feature (parallel to numeric_features_).
+    std::vector<double> weights;
+    size_t count = 0;
+  };
+
+  M5TreeParams params_;
+  RegressionTree structure_;
+  std::vector<FeatureRef> numeric_features_;
+  // Leaf id (node index in `structure_`) -> model; missing ids fall back to
+  // the structural leaf mean.
+  std::vector<LeafModel> leaf_models_;
+  std::vector<uint8_t> has_model_;
+};
+
+}  // namespace roadmine::ml
+
+#endif  // ROADMINE_ML_M5_TREE_H_

@@ -1,0 +1,132 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace roadmine::ml {
+
+using util::InvalidArgumentError;
+using util::Status;
+
+Status NaiveBayesClassifier::Fit(const data::Dataset& dataset,
+                                 const std::string& target_column,
+                                 const std::vector<std::string>& feature_columns,
+                                 const std::vector<size_t>& rows) {
+  if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
+  auto labels = ExtractBinaryLabels(dataset, target_column);
+  if (!labels.ok()) return labels.status();
+  auto features = ResolveFeatures(dataset, feature_columns, target_column);
+  if (!features.ok()) return features.status();
+  features_ = std::move(*features);
+
+  size_t class_count[2] = {0, 0};
+  for (size_t r : rows) ++class_count[(*labels)[r]];
+  if (class_count[0] == 0 || class_count[1] == 0) {
+    return InvalidArgumentError("training rows contain a single class");
+  }
+  const double total = static_cast<double>(rows.size());
+  log_prior_[0] = std::log(static_cast<double>(class_count[0]) / total);
+  log_prior_[1] = std::log(static_cast<double>(class_count[1]) / total);
+
+  models_.assign(features_.size(), FeatureModel{});
+  for (size_t f = 0; f < features_.size(); ++f) {
+    const FeatureRef& ref = features_[f];
+    const data::Column& col = dataset.column(ref.column_index);
+    FeatureModel& model = models_[f];
+
+    if (ref.type == data::ColumnType::kNumeric) {
+      // Per-class Welford.
+      double mean[2] = {0.0, 0.0}, m2[2] = {0.0, 0.0};
+      size_t n[2] = {0, 0};
+      for (size_t r : rows) {
+        const double v = col.NumericAt(r);
+        if (std::isnan(v)) continue;
+        const int y = (*labels)[r];
+        ++n[y];
+        const double delta = v - mean[y];
+        mean[y] += delta / static_cast<double>(n[y]);
+        m2[y] += delta * (v - mean[y]);
+      }
+      for (int y = 0; y < 2; ++y) {
+        model.gaussian[y].count = n[y];
+        model.gaussian[y].mean = mean[y];
+        const double var =
+            n[y] > 1 ? m2[y] / static_cast<double>(n[y] - 1) : 1.0;
+        model.gaussian[y].variance = std::max(var, params_.min_variance);
+      }
+    } else {
+      const size_t k = col.category_count();
+      std::vector<double> counts[2];
+      counts[0].assign(k, 0.0);
+      counts[1].assign(k, 0.0);
+      double seen[2] = {0.0, 0.0};
+      for (size_t r : rows) {
+        const int32_t code = col.CodeAt(r);
+        if (code < 0) continue;
+        const int y = (*labels)[r];
+        counts[y][static_cast<size_t>(code)] += 1.0;
+        seen[y] += 1.0;
+      }
+      for (int y = 0; y < 2; ++y) {
+        model.log_prob[y].resize(k);
+        const double denom =
+            seen[y] + params_.laplace_alpha * static_cast<double>(k);
+        for (size_t cat = 0; cat < k; ++cat) {
+          model.log_prob[y][cat] =
+              std::log((counts[y][cat] + params_.laplace_alpha) /
+                       std::max(denom, 1e-12));
+        }
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double NaiveBayesClassifier::PredictProba(const data::Dataset& dataset,
+                                          size_t row) const {
+  double log_like[2] = {log_prior_[0], log_prior_[1]};
+  for (size_t f = 0; f < features_.size(); ++f) {
+    const FeatureRef& ref = features_[f];
+    const data::Column& col = dataset.column(ref.column_index);
+    if (col.IsMissing(row)) continue;  // Missing contributes no evidence.
+    const FeatureModel& model = models_[f];
+    if (ref.type == data::ColumnType::kNumeric) {
+      const double v = col.NumericAt(row);
+      for (int y = 0; y < 2; ++y) {
+        const GaussianStats& g = model.gaussian[y];
+        if (g.count < 2) continue;  // No usable class-conditional estimate.
+        log_like[y] +=
+            stats::NormalLogPdf(v, g.mean, std::sqrt(g.variance));
+      }
+    } else {
+      const size_t code = static_cast<size_t>(col.CodeAt(row));
+      for (int y = 0; y < 2; ++y) {
+        if (code < model.log_prob[y].size()) {
+          log_like[y] += model.log_prob[y][code];
+        }
+      }
+    }
+  }
+  // Normalize via log-sum-exp.
+  const double max_ll = std::max(log_like[0], log_like[1]);
+  const double z =
+      std::exp(log_like[0] - max_ll) + std::exp(log_like[1] - max_ll);
+  return std::exp(log_like[1] - max_ll) / z;
+}
+
+int NaiveBayesClassifier::Predict(const data::Dataset& dataset, size_t row,
+                                  double cutoff) const {
+  return PredictProba(dataset, row) >= cutoff ? 1 : 0;
+}
+
+std::vector<double> NaiveBayesClassifier::PredictProbaMany(
+    const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  std::vector<double> probs;
+  probs.reserve(rows.size());
+  for (size_t r : rows) probs.push_back(PredictProba(dataset, r));
+  return probs;
+}
+
+}  // namespace roadmine::ml

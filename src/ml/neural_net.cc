@@ -1,0 +1,192 @@
+#include "ml/neural_net.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/common.h"
+
+namespace roadmine::ml {
+
+using util::InvalidArgumentError;
+using util::Status;
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+double NeuralNetClassifier::Forward(
+    const std::vector<double>& input,
+    std::vector<std::vector<double>>& activations) const {
+  activations.resize(layers_.size() + 1);
+  activations[0] = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const std::vector<double>& prev = activations[l];
+    std::vector<double>& next = activations[l + 1];
+    next.assign(layer.out, 0.0);
+    for (size_t o = 0; o < layer.out; ++o) {
+      double z = layer.bias[o];
+      const double* w = &layer.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) z += w[i] * prev[i];
+      const bool is_output = (l + 1 == layers_.size());
+      next[o] = is_output ? Sigmoid(z) : std::tanh(z);
+    }
+  }
+  return activations.back()[0];
+}
+
+Status NeuralNetClassifier::Fit(const data::Dataset& dataset,
+                                const std::string& target_column,
+                                const std::vector<std::string>& feature_columns,
+                                const std::vector<size_t>& rows) {
+  if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
+  if (params_.batch_size == 0) return InvalidArgumentError("batch_size == 0");
+  auto labels = ExtractBinaryLabels(dataset, target_column);
+  if (!labels.ok()) return labels.status();
+  ROADMINE_RETURN_IF_ERROR(encoder_.Fit(dataset, feature_columns, rows));
+  auto matrix = encoder_.Transform(dataset, rows);
+  if (!matrix.ok()) return matrix.status();
+
+  // Topology: input -> hidden... -> 1 sigmoid unit.
+  util::Rng rng(params_.seed);
+  layers_.clear();
+  size_t prev_width = encoder_.feature_dim();
+  std::vector<size_t> widths = params_.hidden_layers;
+  widths.push_back(1);
+  for (size_t width : widths) {
+    if (width == 0) return InvalidArgumentError("zero-width layer");
+    Layer layer;
+    layer.in = prev_width;
+    layer.out = width;
+    layer.weights.resize(width * prev_width);
+    layer.bias.assign(width, 0.0);
+    // Xavier/Glorot initialization.
+    const double scale =
+        std::sqrt(6.0 / static_cast<double>(prev_width + width));
+    for (double& w : layer.weights) w = rng.Uniform(-scale, scale);
+    layers_.push_back(std::move(layer));
+    prev_width = width;
+  }
+
+  std::vector<Layer> velocity = layers_;
+  for (Layer& v : velocity) {
+    std::fill(v.weights.begin(), v.weights.end(), 0.0);
+    std::fill(v.bias.begin(), v.bias.end(), 0.0);
+  }
+
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<std::vector<double>> activations;
+  std::vector<std::vector<double>> deltas(layers_.size());
+  // Accumulated gradients for the current mini-batch.
+  std::vector<Layer> grads = velocity;
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    size_t batch_fill = 0;
+
+    auto apply_batch = [&](size_t batch_n) {
+      if (batch_n == 0) return;
+      const double inv_b = 1.0 / static_cast<double>(batch_n);
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        Layer& vel = velocity[l];
+        Layer& grad = grads[l];
+        for (size_t j = 0; j < layer.weights.size(); ++j) {
+          const double g =
+              grad.weights[j] * inv_b + params_.l2 * layer.weights[j];
+          vel.weights[j] =
+              params_.momentum * vel.weights[j] - params_.learning_rate * g;
+          layer.weights[j] += vel.weights[j];
+          grad.weights[j] = 0.0;
+        }
+        for (size_t j = 0; j < layer.bias.size(); ++j) {
+          const double g = grad.bias[j] * inv_b;
+          vel.bias[j] =
+              params_.momentum * vel.bias[j] - params_.learning_rate * g;
+          layer.bias[j] += vel.bias[j];
+          grad.bias[j] = 0.0;
+        }
+      }
+    };
+
+    for (size_t idx : order) {
+      const std::vector<double>& x = (*matrix)[idx];
+      const double y = static_cast<double>((*labels)[rows[idx]]);
+      const double p = Forward(x, activations);
+      loss_sum += -(y * std::log(std::max(p, 1e-12)) +
+                    (1.0 - y) * std::log(std::max(1.0 - p, 1e-12)));
+
+      // Backward pass. Output delta for sigmoid + cross-entropy is (p - y).
+      deltas.back().assign(1, p - y);
+      for (size_t l = layers_.size() - 1; l-- > 0;) {
+        const Layer& next_layer = layers_[l + 1];
+        const std::vector<double>& next_delta = deltas[l + 1];
+        std::vector<double>& delta = deltas[l];
+        delta.assign(layers_[l].out, 0.0);
+        for (size_t o = 0; o < next_layer.out; ++o) {
+          const double* w = &next_layer.weights[o * next_layer.in];
+          for (size_t i = 0; i < next_layer.in; ++i) {
+            delta[i] += next_delta[o] * w[i];
+          }
+        }
+        // tanh' = 1 - a^2.
+        const std::vector<double>& act = activations[l + 1];
+        for (size_t i = 0; i < delta.size(); ++i) {
+          delta[i] *= 1.0 - act[i] * act[i];
+        }
+      }
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer& grad = grads[l];
+        const std::vector<double>& input_act = activations[l];
+        const std::vector<double>& delta = deltas[l];
+        for (size_t o = 0; o < grad.out; ++o) {
+          double* gw = &grad.weights[o * grad.in];
+          for (size_t i = 0; i < grad.in; ++i) {
+            gw[i] += delta[o] * input_act[i];
+          }
+          grad.bias[o] += delta[o];
+        }
+      }
+      if (++batch_fill == params_.batch_size) {
+        apply_batch(batch_fill);
+        batch_fill = 0;
+      }
+    }
+    apply_batch(batch_fill);
+    final_loss_ = loss_sum / static_cast<double>(rows.size());
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double NeuralNetClassifier::PredictProba(const data::Dataset& dataset,
+                                         size_t row) const {
+  std::vector<double> x;
+  encoder_.EncodeRow(dataset, row, x);
+  std::vector<std::vector<double>> activations;
+  return Forward(x, activations);
+}
+
+int NeuralNetClassifier::Predict(const data::Dataset& dataset, size_t row,
+                                 double cutoff) const {
+  return PredictProba(dataset, row) >= cutoff ? 1 : 0;
+}
+
+std::vector<double> NeuralNetClassifier::PredictProbaMany(
+    const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  std::vector<double> probs;
+  probs.reserve(rows.size());
+  for (size_t r : rows) probs.push_back(PredictProba(dataset, r));
+  return probs;
+}
+
+}  // namespace roadmine::ml

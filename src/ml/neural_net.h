@@ -1,0 +1,70 @@
+// A small multilayer perceptron for binary classification — the paper's
+// "neural networks" supporting model. One or two tanh hidden layers, a
+// sigmoid output trained on cross-entropy via mini-batch SGD with momentum.
+// Inputs come pre-standardized from FeatureEncoder.
+#ifndef ROADMINE_ML_NEURAL_NET_H_
+#define ROADMINE_ML_NEURAL_NET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/encoder.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace roadmine::ml {
+
+struct NeuralNetParams {
+  // Hidden layer widths; empty means logistic regression topology.
+  std::vector<size_t> hidden_layers = {16};
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double l2 = 1e-4;
+  int epochs = 60;
+  size_t batch_size = 64;
+  uint64_t seed = 17;
+};
+
+class NeuralNetClassifier {
+ public:
+  explicit NeuralNetClassifier(NeuralNetParams params = {})
+      : params_(std::move(params)) {}
+
+  util::Status Fit(const data::Dataset& dataset,
+                   const std::string& target_column,
+                   const std::vector<std::string>& feature_columns,
+                   const std::vector<size_t>& rows);
+
+  double PredictProba(const data::Dataset& dataset, size_t row) const;
+  int Predict(const data::Dataset& dataset, size_t row,
+              double cutoff = 0.5) const;
+  std::vector<double> PredictProbaMany(const data::Dataset& dataset,
+                                       const std::vector<size_t>& rows) const;
+
+  bool fitted() const { return fitted_; }
+  // Mean training cross-entropy after the final epoch.
+  double final_loss() const { return final_loss_; }
+
+ private:
+  struct Layer {
+    size_t in = 0;
+    size_t out = 0;
+    std::vector<double> weights;  // Row-major [out][in].
+    std::vector<double> bias;
+  };
+
+  // Forward pass; fills per-layer activations (activations[0] = input).
+  double Forward(const std::vector<double>& input,
+                 std::vector<std::vector<double>>& activations) const;
+
+  NeuralNetParams params_;
+  data::FeatureEncoder encoder_;
+  std::vector<Layer> layers_;  // Hidden layers + final 1-unit output layer.
+  double final_loss_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace roadmine::ml
+
+#endif  // ROADMINE_ML_NEURAL_NET_H_

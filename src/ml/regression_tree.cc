@@ -1,0 +1,392 @@
+#include "ml/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "stats/distributions.h"
+#include "util/string_util.h"
+
+namespace roadmine::ml {
+
+using util::InvalidArgumentError;
+using util::Status;
+
+namespace {
+
+// Sufficient statistics of a target subset.
+struct TargetStats {
+  double n = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+
+  void Add(double y) {
+    n += 1.0;
+    sum += y;
+    sum_sq += y * y;
+  }
+  double mean() const { return n > 0.0 ? sum / n : 0.0; }
+  double sse() const {
+    return n > 0.0 ? std::max(0.0, sum_sq - sum * sum / n) : 0.0;
+  }
+};
+
+struct SplitSpec {
+  bool valid = false;
+  size_t feature = 0;
+  double threshold = 0.0;
+  std::vector<uint8_t> left_categories;
+  bool missing_goes_left = true;
+  double gain = 0.0;     // SSE reduction over the non-missing rows.
+  double p_value = 1.0;  // F test of the induced two-group means.
+};
+
+// F statistic for the split: one-way ANOVA with k = 2 computed from
+// sufficient statistics.
+double SplitPValue(const TargetStats& left, const TargetStats& right) {
+  const double df_within = left.n + right.n - 2.0;
+  if (df_within <= 0.0) return 1.0;
+  const double grand_mean =
+      (left.sum + right.sum) / std::max(left.n + right.n, 1.0);
+  const double ss_between =
+      left.n * (left.mean() - grand_mean) * (left.mean() - grand_mean) +
+      right.n * (right.mean() - grand_mean) * (right.mean() - grand_mean);
+  const double ss_within = left.sse() + right.sse();
+  if (ss_within <= 0.0) return ss_between > 0.0 ? 0.0 : 1.0;
+  const double f = ss_between / (ss_within / df_within);
+  return stats::FSf(f, 1.0, df_within);
+}
+
+struct FitContext {
+  const data::Dataset* dataset = nullptr;
+  const std::vector<double>* target = nullptr;  // By dataset row id.
+  const std::vector<FeatureRef>* features = nullptr;
+  const RegressionTreeParams* params = nullptr;
+};
+
+SplitSpec FindBestSplit(const FitContext& ctx, const std::vector<size_t>& rows) {
+  const auto& target = *ctx.target;
+  const auto& params = *ctx.params;
+  SplitSpec best;
+
+  for (size_t f = 0; f < ctx.features->size(); ++f) {
+    const FeatureRef& ref = (*ctx.features)[f];
+    const data::Column& col = ctx.dataset->column(ref.column_index);
+    TargetStats missing_stats;
+
+    if (ref.type == data::ColumnType::kNumeric) {
+      std::vector<std::pair<double, double>> present;  // (feature, target).
+      present.reserve(rows.size());
+      for (size_t r : rows) {
+        const double v = col.NumericAt(r);
+        if (std::isnan(v)) {
+          missing_stats.Add(target[r]);
+        } else {
+          present.emplace_back(v, target[r]);
+        }
+      }
+      if (present.size() < 2 * params.min_samples_leaf) continue;
+      std::sort(present.begin(), present.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+
+      TargetStats total;
+      for (const auto& [v, y] : present) total.Add(y);
+      const double parent_sse = total.sse();
+
+      TargetStats left;
+      for (size_t i = 0; i + 1 < present.size(); ++i) {
+        left.Add(present[i].second);
+        if (present[i].first == present[i + 1].first) continue;
+        if (left.n < params.min_samples_leaf ||
+            total.n - left.n < params.min_samples_leaf) {
+          continue;
+        }
+        TargetStats right;
+        right.n = total.n - left.n;
+        right.sum = total.sum - left.sum;
+        right.sum_sq = total.sum_sq - left.sum_sq;
+        const double gain = parent_sse - left.sse() - right.sse();
+        if (gain > best.gain) {
+          best.valid = true;
+          best.gain = gain;
+          best.feature = f;
+          best.threshold = 0.5 * (present[i].first + present[i + 1].first);
+          best.left_categories.clear();
+          best.p_value = SplitPValue(left, right);
+          // Missing rows follow the child whose mean is nearest theirs.
+          if (missing_stats.n > 0.0) {
+            best.missing_goes_left =
+                std::fabs(missing_stats.mean() - left.mean()) <=
+                std::fabs(missing_stats.mean() - right.mean());
+          } else {
+            best.missing_goes_left = left.n >= right.n;
+          }
+        }
+      }
+    } else {
+      const size_t k = col.category_count();
+      if (k < 2) continue;
+      std::vector<TargetStats> per_category(k);
+      for (size_t r : rows) {
+        const int32_t code = col.CodeAt(r);
+        if (code < 0) {
+          missing_stats.Add(target[r]);
+        } else {
+          per_category[static_cast<size_t>(code)].Add(target[r]);
+        }
+      }
+      std::vector<size_t> order;
+      TargetStats total;
+      for (size_t cat = 0; cat < k; ++cat) {
+        if (per_category[cat].n <= 0.0) continue;
+        order.push_back(cat);
+        total.n += per_category[cat].n;
+        total.sum += per_category[cat].sum;
+        total.sum_sq += per_category[cat].sum_sq;
+      }
+      if (order.size() < 2 || total.n < 2 * params.min_samples_leaf) continue;
+      // Order categories by target mean; prefix splits are optimal for SSE
+      // (Fisher's grouping result).
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return per_category[a].mean() < per_category[b].mean();
+      });
+      const double parent_sse = total.sse();
+
+      TargetStats left;
+      for (size_t j = 0; j + 1 < order.size(); ++j) {
+        left.n += per_category[order[j]].n;
+        left.sum += per_category[order[j]].sum;
+        left.sum_sq += per_category[order[j]].sum_sq;
+        if (left.n < params.min_samples_leaf ||
+            total.n - left.n < params.min_samples_leaf) {
+          continue;
+        }
+        TargetStats right;
+        right.n = total.n - left.n;
+        right.sum = total.sum - left.sum;
+        right.sum_sq = total.sum_sq - left.sum_sq;
+        const double gain = parent_sse - left.sse() - right.sse();
+        if (gain > best.gain) {
+          best.valid = true;
+          best.gain = gain;
+          best.feature = f;
+          best.left_categories.assign(k, 0);
+          for (size_t jj = 0; jj <= j; ++jj) {
+            best.left_categories[order[jj]] = 1;
+          }
+          best.p_value = SplitPValue(left, right);
+          if (missing_stats.n > 0.0) {
+            best.missing_goes_left =
+                std::fabs(missing_stats.mean() - left.mean()) <=
+                std::fabs(missing_stats.mean() - right.mean());
+          } else {
+            best.missing_goes_left = left.n >= right.n;
+          }
+        }
+      }
+    }
+  }
+
+  if (best.valid && best.p_value > params.significance_level) {
+    best.valid = false;
+  }
+  return best;
+}
+
+}  // namespace
+
+Status RegressionTree::Fit(const data::Dataset& dataset,
+                           const std::string& target_column,
+                           const std::vector<std::string>& feature_columns,
+                           const std::vector<size_t>& rows) {
+  if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
+  auto target = ExtractNumericTarget(dataset, target_column);
+  if (!target.ok()) return target.status();
+  auto features = ResolveFeatures(dataset, feature_columns, target_column);
+  if (!features.ok()) return features.status();
+  features_ = std::move(*features);
+  nodes_.clear();
+
+  FitContext ctx;
+  ctx.dataset = &dataset;
+  ctx.target = &target.value();
+  ctx.features = &features_;
+  ctx.params = &params_;
+
+  auto make_node = [&](const std::vector<size_t>& node_rows, int depth) {
+    TargetStats stats;
+    for (size_t r : node_rows) stats.Add((*ctx.target)[r]);
+    Node node;
+    node.depth = depth;
+    node.count = node_rows.size();
+    node.mean = stats.mean();
+    node.sse = stats.sse();
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+
+  std::vector<std::vector<size_t>> node_rows;
+  node_rows.push_back(rows);
+  make_node(rows, 0);
+
+  struct HeapEntry {
+    double gain;
+    int node;
+    SplitSpec spec;
+    bool operator<(const HeapEntry& other) const { return gain < other.gain; }
+  };
+  std::priority_queue<HeapEntry> heap;
+
+  auto consider = [&](int node_id) {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    if (node.depth >= params_.max_depth) return;
+    if (node.count < params_.min_samples_split) return;
+    if (node.sse <= 1e-12) return;  // Already pure.
+    SplitSpec spec = FindBestSplit(ctx, node_rows[static_cast<size_t>(node_id)]);
+    if (spec.valid) heap.push({spec.gain, node_id, std::move(spec)});
+  };
+  consider(0);
+
+  size_t leaves = 1;
+  while (!heap.empty() &&
+         (params_.max_leaves == 0 || leaves < params_.max_leaves)) {
+    HeapEntry entry = heap.top();
+    heap.pop();
+    const int node_id = entry.node;
+    const SplitSpec& spec = entry.spec;
+
+    std::vector<size_t> left_rows, right_rows;
+    const FeatureRef& ref = features_[spec.feature];
+    const data::Column& col = dataset.column(ref.column_index);
+    for (size_t r : node_rows[static_cast<size_t>(node_id)]) {
+      bool go_left;
+      if (col.IsMissing(r)) {
+        go_left = spec.missing_goes_left;
+      } else if (ref.type == data::ColumnType::kNumeric) {
+        go_left = col.NumericAt(r) <= spec.threshold;
+      } else {
+        go_left = spec.left_categories[static_cast<size_t>(col.CodeAt(r))] != 0;
+      }
+      (go_left ? left_rows : right_rows).push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) continue;
+
+    const int node_depth = nodes_[static_cast<size_t>(node_id)].depth;
+    const int left_id = make_node(left_rows, node_depth + 1);
+    const int right_id = make_node(right_rows, node_depth + 1);
+    node_rows.push_back(std::move(left_rows));
+    node_rows.push_back(std::move(right_rows));
+
+    Node& node = nodes_[static_cast<size_t>(node_id)];
+    node.is_leaf = false;
+    node.feature = spec.feature;
+    node.threshold = spec.threshold;
+    node.left_categories = spec.left_categories;
+    node.missing_goes_left = spec.missing_goes_left;
+    node.left = left_id;
+    node.right = right_id;
+    node_rows[static_cast<size_t>(node_id)].clear();
+    node_rows[static_cast<size_t>(node_id)].shrink_to_fit();
+    ++leaves;
+
+    consider(left_id);
+    consider(right_id);
+  }
+  return Status::Ok();
+}
+
+int RegressionTree::Route(const Node& node, const data::Dataset& dataset,
+                          size_t row) const {
+  const FeatureRef& ref = features_[node.feature];
+  const data::Column& col = dataset.column(ref.column_index);
+  bool go_left;
+  if (col.IsMissing(row)) {
+    go_left = node.missing_goes_left;
+  } else if (ref.type == data::ColumnType::kNumeric) {
+    go_left = col.NumericAt(row) <= node.threshold;
+  } else {
+    const size_t code = static_cast<size_t>(col.CodeAt(row));
+    go_left =
+        code < node.left_categories.size() && node.left_categories[code] != 0;
+  }
+  return go_left ? node.left : node.right;
+}
+
+int RegressionTree::LeafId(const data::Dataset& dataset, size_t row) const {
+  int id = 0;
+  while (!nodes_[static_cast<size_t>(id)].is_leaf) {
+    id = Route(nodes_[static_cast<size_t>(id)], dataset, row);
+  }
+  return id;
+}
+
+std::vector<int> RegressionTree::PathToLeaf(const data::Dataset& dataset,
+                                            size_t row) const {
+  std::vector<int> path;
+  int id = 0;
+  path.push_back(id);
+  while (!nodes_[static_cast<size_t>(id)].is_leaf) {
+    id = Route(nodes_[static_cast<size_t>(id)], dataset, row);
+    path.push_back(id);
+  }
+  return path;
+}
+
+double RegressionTree::Predict(const data::Dataset& dataset, size_t row) const {
+  return nodes_[static_cast<size_t>(LeafId(dataset, row))].mean;
+}
+
+std::vector<double> RegressionTree::PredictMany(
+    const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (size_t r : rows) out.push_back(Predict(dataset, r));
+  return out;
+}
+
+size_t RegressionTree::leaf_count() const {
+  size_t count = 0;
+  for (const Node& node : nodes_) count += node.is_leaf;
+  return count;
+}
+
+int RegressionTree::depth() const {
+  int max_depth = 0;
+  for (const Node& node : nodes_) {
+    if (node.is_leaf) max_depth = std::max(max_depth, node.depth);
+  }
+  return max_depth;
+}
+
+std::string RegressionTree::ToString() const {
+  std::string out;
+  if (nodes_.empty()) return "(unfitted tree)\n";
+  struct Frame {
+    int node;
+    int indent;
+  };
+  std::vector<Frame> stack = {{0, 0}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(frame.node)];
+    out.append(static_cast<size_t>(frame.indent) * 2, ' ');
+    if (node.is_leaf) {
+      out += "leaf mean=" + util::FormatDouble(node.mean, 3) +
+             " n=" + std::to_string(node.count) + "\n";
+    } else {
+      const FeatureRef& ref = features_[node.feature];
+      if (ref.type == data::ColumnType::kNumeric) {
+        out += "split " + ref.name + " <= " +
+               util::FormatDouble(node.threshold, 3) + "\n";
+      } else {
+        out += "split " + ref.name + " (categorical)\n";
+      }
+      stack.push_back({node.right, frame.indent + 1});
+      stack.push_back({node.left, frame.indent + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace roadmine::ml

@@ -1,0 +1,126 @@
+#include "roadgen/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace roadmine::roadgen {
+
+using util::Result;
+
+std::string CalibrationProfile::ToString() const {
+  std::string out = "crash_instances=" + std::to_string(crash_instances) +
+                    " non_crash_instances=" +
+                    std::to_string(non_crash_instances);
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    out += " CP-" + std::to_string(thresholds[i]) + "=" +
+           std::to_string(crash_prone_instances[i]);
+  }
+  return out;
+}
+
+CalibrationProfile ProfileNetwork(const std::vector<RoadSegment>& segments,
+                                  const PaperTargets& targets) {
+  CalibrationProfile profile;
+  profile.thresholds = targets.thresholds;
+  profile.crash_prone_instances.assign(targets.thresholds.size(), 0);
+  for (const RoadSegment& s : segments) {
+    const int count = s.total_crashes();
+    if (count == 0) {
+      ++profile.non_crash_instances;
+      continue;
+    }
+    profile.crash_instances += static_cast<size_t>(count);
+    for (size_t i = 0; i < targets.thresholds.size(); ++i) {
+      if (count > targets.thresholds[i]) {
+        // Every crash on this segment is a "crash prone" instance.
+        profile.crash_prone_instances[i] += static_cast<size_t>(count);
+      }
+    }
+  }
+  return profile;
+}
+
+double CalibrationLoss(const CalibrationProfile& profile,
+                       const PaperTargets& targets) {
+  // All terms are scale-free shares so the search can run on a smaller
+  // network than the paper's.
+  auto share = [](size_t part, size_t whole) {
+    return whole == 0 ? 0.0
+                      : static_cast<double>(part) / static_cast<double>(whole);
+  };
+  double loss = 0.0;
+
+  // Ratio of crash rows to zero-crash segments (fixes the relative sizes
+  // of the Phase-1 dataset halves).
+  const double target_ratio =
+      share(targets.crash_instances, targets.non_crash_instances);
+  const double actual_ratio =
+      share(profile.crash_instances, profile.non_crash_instances);
+  loss += std::fabs(actual_ratio - target_ratio) / target_ratio;
+
+  // CP-t crash-prone shares of the crash-only dataset.
+  for (size_t i = 0; i < targets.thresholds.size(); ++i) {
+    const double target_share =
+        share(targets.crash_prone_instances[i], targets.crash_instances);
+    const double actual_share =
+        share(profile.crash_prone_instances[i], profile.crash_instances);
+    loss += std::fabs(actual_share - target_share) /
+            std::max(target_share, 0.01);
+  }
+  return loss;
+}
+
+Result<GeneratorConfig> CalibrateToPaper(const GeneratorConfig& base,
+                                         const PaperTargets& targets,
+                                         const CalibrationOptions& options) {
+  if (options.search_segments == 0 || options.factors.empty()) {
+    return util::InvalidArgumentError("degenerate calibration options");
+  }
+
+  GeneratorConfig best = base;
+  double best_loss = std::numeric_limits<double>::max();
+  CalibrationProfile best_profile;
+
+  for (double f_prone : options.factors) {
+    for (double f_ordinary : options.factors) {
+      for (double f_prone_mean : options.factors) {
+        GeneratorConfig candidate = base;
+        candidate.num_segments = options.search_segments;
+        candidate.seed = options.seed;
+        candidate.prone_fraction =
+            std::clamp(base.prone_fraction * f_prone, 0.001, 0.5);
+        candidate.ordinary_mean_4yr = base.ordinary_mean_4yr * f_ordinary;
+        candidate.prone_mean_4yr = base.prone_mean_4yr * f_prone_mean;
+
+        auto segments = RoadNetworkGenerator(candidate).Generate();
+        if (!segments.ok()) return segments.status();
+        const CalibrationProfile profile = ProfileNetwork(*segments, targets);
+        if (profile.crash_instances == 0) continue;
+        const double loss = CalibrationLoss(profile, targets);
+        if (loss < best_loss) {
+          best_loss = loss;
+          best = candidate;
+          best_profile = profile;
+        }
+      }
+    }
+  }
+  if (best_loss == std::numeric_limits<double>::max()) {
+    return util::InternalError("calibration search produced no crashes");
+  }
+
+  // Rescale the network size so absolute counts line up: crash rows per
+  // segment observed on the search network extrapolate linearly.
+  const double rows_per_segment =
+      static_cast<double>(best_profile.crash_instances) /
+      static_cast<double>(options.search_segments);
+  best.num_segments = static_cast<size_t>(std::llround(
+      static_cast<double>(targets.crash_instances) / rows_per_segment));
+  best.num_segments = std::max<size_t>(best.num_segments, 1000);
+  best.seed = base.seed;
+  return best;
+}
+
+}  // namespace roadmine::roadgen

@@ -1,0 +1,67 @@
+// Calibration of the generator against the paper's data inventory.
+//
+// The paper reports (Table 1 and §3): 16,750 crash instances, 16,155
+// zero-altered non-crash instances, and the CP-t class sizes of the
+// crash-only dataset. CalibrateToPaper searches the generator's intensity
+// parameters so a generated network reproduces those proportions; the
+// result of one such search is baked into GeneratorConfig's defaults.
+#ifndef ROADMINE_ROADGEN_CALIBRATION_H_
+#define ROADMINE_ROADGEN_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "roadgen/generator.h"
+#include "util/status.h"
+
+namespace roadmine::roadgen {
+
+// The paper's published class sizes (crash-only dataset, Table 1).
+struct PaperTargets {
+  size_t crash_instances = 16750;
+  size_t non_crash_instances = 16155;
+  // Parallel arrays: CP thresholds and the "crash prone" (count > t)
+  // instance counts from Table 1.
+  std::vector<int> thresholds = {2, 4, 8, 16, 32, 64};
+  std::vector<size_t> crash_prone_instances = {13202, 10846, 8073, 4402,
+                                               1279, 174};
+};
+
+// The measured equivalents from a generated network.
+struct CalibrationProfile {
+  size_t crash_instances = 0;      // Total crashes (= crash-only rows).
+  size_t non_crash_instances = 0;  // Zero-crash segments.
+  std::vector<int> thresholds;
+  std::vector<size_t> crash_prone_instances;  // Rows with count > t.
+
+  std::string ToString() const;
+};
+
+// Measures a generated network against the Table-1 structure.
+CalibrationProfile ProfileNetwork(const std::vector<RoadSegment>& segments,
+                                  const PaperTargets& targets = {});
+
+// Relative-error objective between a profile and the paper targets
+// (lower is better; 0 = exact reproduction).
+double CalibrationLoss(const CalibrationProfile& profile,
+                       const PaperTargets& targets = {});
+
+struct CalibrationOptions {
+  // Segments used during the search (smaller = faster, noisier).
+  size_t search_segments = 8000;
+  // Grid half-widths explored around the base config, as multiplicative
+  // factors per parameter.
+  std::vector<double> factors = {0.75, 0.9, 1.0, 1.1, 1.3};
+  uint64_t seed = 7;
+};
+
+// Coarse grid search over (prone_fraction, ordinary_mean_4yr,
+// prone_mean_4yr) around `base`, then rescales num_segments so absolute
+// instance counts match. Returns the best config found.
+util::Result<GeneratorConfig> CalibrateToPaper(
+    const GeneratorConfig& base, const PaperTargets& targets = {},
+    const CalibrationOptions& options = {});
+
+}  // namespace roadmine::roadgen
+
+#endif  // ROADMINE_ROADGEN_CALIBRATION_H_

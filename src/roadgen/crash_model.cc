@@ -1,0 +1,78 @@
+#include "roadgen/crash_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadmine::roadgen {
+
+double RiskScore(const RoadSegment& segment) {
+  // Population-conditional attribute centers (matching generator.cc), so
+  // the score is ~zero-mean within each population.
+  const bool p = segment.latent_prone;
+
+  // Skid resistance: lower F60 -> higher risk. Missing F60 contributes 0.
+  double score = 0.0;
+  if (!std::isnan(segment.f60)) {
+    const double center = p ? 0.42 : 0.55;
+    score += 0.35 * (center - segment.f60) / 0.08;
+  }
+  // Texture depth: shallower texture -> less drainage -> higher risk.
+  {
+    const double center = p ? 0.95 : 1.40;
+    score += 0.20 * (center - segment.texture_depth) / 0.30;
+  }
+  // Exposure: more traffic -> more crash opportunities (log scale).
+  {
+    const double center = p ? 8.4 : 7.4;
+    score += 0.30 * (std::log(std::max(segment.aadt, 1.0)) - center) / 0.9;
+  }
+  // Geometry.
+  {
+    const double center = p ? 35.0 : 15.0;
+    score += 0.18 * (segment.curvature - center) / 25.0;
+  }
+  {
+    const double center = p ? 3.0 : 1.6;
+    score += 0.08 * (segment.gradient - center) / 2.0;
+  }
+  // Wear & distress.
+  {
+    const double center = p ? 14.0 : 9.0;
+    score += 0.12 * (segment.seal_age - center) / 6.0;
+  }
+  {
+    const double center = p ? 3.2 : 2.2;
+    score += 0.10 * (segment.roughness_iri - center) / 0.6;
+  }
+  {
+    const double center = p ? 8.5 : 4.5;
+    score += 0.08 * (segment.rutting - center) / 3.0;
+  }
+  {
+    const double center = p ? 0.80 : 0.55;
+    score += 0.06 * (segment.deflection - center) / 0.18;
+  }
+  // Cross-section.
+  {
+    const double center = p ? 1.1 : 1.8;
+    score += 0.10 * (center - segment.shoulder_width) / 0.55;
+  }
+  // Surface/terrain class effects.
+  if (segment.surface_type == SurfaceType::kChipSeal) score += 0.10;
+  if (segment.surface_type == SurfaceType::kConcrete) score -= 0.08;
+  if (segment.terrain == Terrain::kMountainous) score += 0.12;
+  if (segment.terrain == Terrain::kFlat) score -= 0.05;
+
+  // Clamp: a single extreme attribute must not produce absurd intensities.
+  return std::clamp(score, -3.0, 3.0);
+}
+
+double WetCrashProbability(const RoadSegment& segment) {
+  // Baseline ~30% wet share, rising steeply as skid resistance degrades.
+  double f60 = segment.f60;
+  if (std::isnan(f60)) f60 = 0.5;
+  const double p = 0.30 + 0.9 * (0.50 - f60);
+  return std::clamp(p, 0.05, 0.85);
+}
+
+}  // namespace roadmine::roadgen

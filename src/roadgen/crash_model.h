@@ -1,0 +1,43 @@
+// The zero-altered crash-counting process.
+//
+// Shankar, Milton & Mannering (the paper's foundation work) model crash
+// frequencies as zero-altered probability processes: a large population of
+// ordinary roads with near-zero intensity plus a crash-prone population
+// whose design/condition drives persistently higher rates. roadmine
+// reproduces that structure as a two-population gamma-Poisson mixture:
+//
+//   population ~ Bernoulli(prone_fraction)
+//   attributes ~ population-conditional distributions (generator.cc)
+//   log lambda = log mean_4yr(population) + effect * risk_score(attributes)
+//   lambda'    = lambda * Gamma(dispersion, 1/dispersion)   (overdispersion)
+//   yearly[y]  ~ Poisson(lambda' / num_years)               (Figure-1 shape)
+//
+// so marginal counts are negative-binomial with an exponentially decaying
+// histogram, low-count roads are mostly ordinary (attribute-similar to
+// zero-crash roads), and the far tail (>64 in 4 years) exists but is rare —
+// the three properties the paper's conclusions rest on.
+#ifndef ROADMINE_ROADGEN_CRASH_MODEL_H_
+#define ROADMINE_ROADGEN_CRASH_MODEL_H_
+
+#include "roadgen/segment.h"
+
+namespace roadmine::roadgen {
+
+// Attribute-driven component of the log-intensity. Scores are centered per
+// population (the generator shifts attribute means between populations), so
+// this term adds within-population signal that trees can exploit without
+// moving the calibrated population means.
+//
+// Positive contributions: low skid resistance (F60), low texture depth,
+// high traffic, high curvature, old seals, rough/rutted/deflecting
+// pavement, narrow shoulders, chip-seal surface, mountainous terrain.
+double RiskScore(const RoadSegment& segment);
+
+// P(crash happened on a wet surface | segment). Lower F60 (skid
+// resistance) raises the wet share — the relationship the authors' earlier
+// wet/dry study found.
+double WetCrashProbability(const RoadSegment& segment);
+
+}  // namespace roadmine::roadgen
+
+#endif  // ROADMINE_ROADGEN_CRASH_MODEL_H_

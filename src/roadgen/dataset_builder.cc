@@ -1,0 +1,245 @@
+#include "roadgen/dataset_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace roadmine::roadgen {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Column-building scaffold: accumulates one row per Add* call and emits a
+// Dataset with the standard schema.
+class RowAccumulator {
+ public:
+  void AddSegmentAttributes(const RoadSegment& s) {
+    aadt_.push_back(s.aadt);
+    f60_.push_back(s.f60);
+    texture_.push_back(s.texture_depth);
+    roughness_.push_back(s.roughness_iri);
+    rutting_.push_back(s.rutting);
+    deflection_.push_back(s.deflection);
+    seal_age_.push_back(s.seal_age);
+    curvature_.push_back(s.curvature);
+    gradient_.push_back(s.gradient);
+    shoulder_.push_back(s.shoulder_width);
+    speed_.push_back(s.speed_limit);
+    lanes_.push_back(s.lane_count);
+    road_class_.push_back(static_cast<int32_t>(s.road_class));
+    surface_.push_back(static_cast<int32_t>(s.surface_type));
+    terrain_.push_back(static_cast<int32_t>(s.terrain));
+    segment_id_.push_back(static_cast<double>(s.id));
+    crash_count_.push_back(static_cast<double>(s.total_crashes()));
+  }
+
+  // Crash context; pass nullptr for a zero-altered (non-crash) row.
+  void AddCrashContext(const CrashRecord* record) {
+    if (record == nullptr) {
+      year_.push_back(kNaN);
+      wet_.push_back(-1);
+      severity_.push_back(-1);
+    } else {
+      year_.push_back(static_cast<double>(record->year));
+      wet_.push_back(record->wet_surface ? 1 : 0);
+      severity_.push_back(record->severity);
+    }
+  }
+
+  Result<data::Dataset> Build(bool with_crash_context) {
+    data::Dataset ds;
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric(kSegmentIdColumn, segment_id_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("aadt", aadt_)));
+    ROADMINE_RETURN_IF_ERROR(ds.AddColumn(data::Column::Numeric("f60", f60_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("texture_depth", texture_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("roughness_iri", roughness_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("rutting", rutting_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("deflection", deflection_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("seal_age", seal_age_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("curvature", curvature_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("gradient", gradient_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("shoulder_width", shoulder_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("speed_limit", speed_)));
+    ROADMINE_RETURN_IF_ERROR(
+        ds.AddColumn(data::Column::Numeric("lane_count", lanes_)));
+
+    auto road_class = data::Column::Categorical("road_class", road_class_,
+                                                RoadClassNames());
+    if (!road_class.ok()) return road_class.status();
+    ROADMINE_RETURN_IF_ERROR(ds.AddColumn(std::move(*road_class)));
+
+    auto surface = data::Column::Categorical("surface_type", surface_,
+                                             SurfaceTypeNames());
+    if (!surface.ok()) return surface.status();
+    ROADMINE_RETURN_IF_ERROR(ds.AddColumn(std::move(*surface)));
+
+    auto terrain =
+        data::Column::Categorical("terrain", terrain_, TerrainNames());
+    if (!terrain.ok()) return terrain.status();
+    ROADMINE_RETURN_IF_ERROR(ds.AddColumn(std::move(*terrain)));
+
+    ROADMINE_RETURN_IF_ERROR(ds.AddColumn(
+        data::Column::Numeric(kSegmentCrashCountColumn, crash_count_)));
+
+    if (with_crash_context) {
+      ROADMINE_RETURN_IF_ERROR(
+          ds.AddColumn(data::Column::Numeric(kYearColumn, year_)));
+      auto wet = data::Column::Categorical(kWetColumn, wet_, {"dry", "wet"});
+      if (!wet.ok()) return wet.status();
+      ROADMINE_RETURN_IF_ERROR(ds.AddColumn(std::move(*wet)));
+      auto severity = data::Column::Categorical(kSeverityColumn, severity_,
+                                                SeverityNames());
+      if (!severity.ok()) return severity.status();
+      ROADMINE_RETURN_IF_ERROR(ds.AddColumn(std::move(*severity)));
+    }
+    return ds;
+  }
+
+ private:
+  std::vector<double> segment_id_, aadt_, f60_, texture_, roughness_, rutting_,
+      deflection_, seal_age_, curvature_, gradient_, shoulder_, speed_, lanes_,
+      crash_count_, year_;
+  std::vector<int32_t> road_class_, surface_, terrain_, wet_, severity_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& RoadAttributeColumns() {
+  static const std::vector<std::string>& columns =
+      *new std::vector<std::string>{
+          "aadt",          "f60",        "texture_depth", "roughness_iri",
+          "rutting",       "deflection", "seal_age",      "curvature",
+          "gradient",      "shoulder_width", "speed_limit", "lane_count",
+          "road_class",    "surface_type",   "terrain"};
+  return columns;
+}
+
+const std::vector<std::string>& BookkeepingColumns() {
+  static const std::vector<std::string>& columns =
+      *new std::vector<std::string>{kSegmentIdColumn, kSegmentCrashCountColumn,
+                                    kYearColumn, kWetColumn, kSeverityColumn};
+  return columns;
+}
+
+namespace {
+
+// Rounds to the nearest multiple of `step` (instrument resolution).
+double Quantize(double value, double step) {
+  return std::round(value / step) * step;
+}
+
+}  // namespace
+
+RoadSegment MeasureSegment(const RoadSegment& segment,
+                           const MeasurementNoise& noise, util::Rng& rng) {
+  RoadSegment m = segment;
+  const double level = std::max(noise.level, 0.0);
+  auto survey = [&](double value, double error, double step, double lo,
+                    double hi) {
+    if (std::isnan(value)) return value;  // Missing stays missing.
+    const double measured =
+        level > 0.0 ? value + rng.Normal(0.0, level * error) : value;
+    return std::clamp(Quantize(measured, step), lo, hi);
+  };
+  // Nominal survey errors and instrument resolutions per attribute.
+  m.f60 = survey(m.f60, 0.04, 0.01, 0.10, 0.95);
+  m.texture_depth = survey(m.texture_depth, 0.15, 0.05, 0.10, 3.50);
+  m.roughness_iri = survey(m.roughness_iri, 0.30, 0.10, 0.50, 8.00);
+  m.rutting = survey(m.rutting, 1.2, 0.5, 0.0, 35.0);
+  m.deflection = survey(m.deflection, 0.08, 0.05, 0.05, 2.50);
+  m.seal_age = survey(m.seal_age, 0.8, 1.0, 0.0, 30.0);
+  m.curvature = survey(m.curvature, 6.0, 5.0, 0.0, 180.0);
+  m.gradient = survey(m.gradient, 0.6, 0.5, 0.0, 12.0);
+  m.shoulder_width = survey(m.shoulder_width, 0.25, 0.25, 0.0, 4.0);
+  // Traffic counts are modeled estimates: multiplicative error, coarse
+  // rounding.
+  if (!std::isnan(m.aadt)) {
+    double measured = m.aadt;
+    if (level > 0.0) measured *= std::exp(rng.Normal(0.0, 0.10 * level));
+    m.aadt = std::max(50.0, Quantize(measured, 100.0));
+  }
+  return m;
+}
+
+Result<data::Dataset> BuildSegmentDataset(
+    const std::vector<RoadSegment>& segments) {
+  if (segments.empty()) return InvalidArgumentError("no segments");
+  RowAccumulator acc;
+  for (const RoadSegment& s : segments) {
+    acc.AddSegmentAttributes(s);
+  }
+  return acc.Build(/*with_crash_context=*/false);
+}
+
+Result<data::Dataset> BuildCrashOnlyDataset(
+    const std::vector<RoadSegment>& segments,
+    const std::vector<CrashRecord>& records, const MeasurementNoise& noise) {
+  if (segments.empty()) return InvalidArgumentError("no segments");
+  std::unordered_map<int64_t, const RoadSegment*> by_id;
+  by_id.reserve(segments.size());
+  for (const RoadSegment& s : segments) by_id[s.id] = &s;
+
+  util::Rng rng(noise.seed);
+  RowAccumulator acc;
+  for (const CrashRecord& record : records) {
+    auto it = by_id.find(record.segment_id);
+    if (it == by_id.end()) {
+      return InvalidArgumentError("crash record references unknown segment " +
+                                  std::to_string(record.segment_id));
+    }
+    acc.AddSegmentAttributes(MeasureSegment(*it->second, noise, rng));
+    acc.AddCrashContext(&record);
+  }
+  return acc.Build(/*with_crash_context=*/true);
+}
+
+Result<data::Dataset> BuildCrashNoCrashDataset(
+    const std::vector<RoadSegment>& segments,
+    const std::vector<CrashRecord>& records, const MeasurementNoise& noise) {
+  if (segments.empty()) return InvalidArgumentError("no segments");
+  std::unordered_map<int64_t, const RoadSegment*> by_id;
+  by_id.reserve(segments.size());
+  for (const RoadSegment& s : segments) by_id[s.id] = &s;
+
+  util::Rng rng(noise.seed);
+  RowAccumulator acc;
+  // Crash instances first (same layout as the crash-only dataset)...
+  for (const CrashRecord& record : records) {
+    auto it = by_id.find(record.segment_id);
+    if (it == by_id.end()) {
+      return InvalidArgumentError("crash record references unknown segment " +
+                                  std::to_string(record.segment_id));
+    }
+    acc.AddSegmentAttributes(MeasureSegment(*it->second, noise, rng));
+    acc.AddCrashContext(&record);
+  }
+  // ...then the zero-altered counting set: one imaginary non-crash instance
+  // per zero-crash segment, carrying that road's characteristics as
+  // measured by the same survey process.
+  for (const RoadSegment& s : segments) {
+    if (s.total_crashes() != 0) continue;
+    acc.AddSegmentAttributes(MeasureSegment(s, noise, rng));
+    acc.AddCrashContext(nullptr);
+  }
+  return acc.Build(/*with_crash_context=*/true);
+}
+
+}  // namespace roadmine::roadgen

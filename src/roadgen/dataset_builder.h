@@ -1,0 +1,85 @@
+// Builds the paper's two modeling datasets from a generated network:
+//
+//   * crash-only (Phase 2): one row per crash, carrying its segment's road
+//     attributes, crash-level context (year, wet, severity), and the
+//     segment's 4-year crash count — 16,750 rows in the paper;
+//   * crash / no-crash (Phase 1): the crash rows plus one "zero-altered"
+//     row per zero-crash segment ("an imaginary set of non-crash instances
+//     with road characteristics from the non-crash roads") — 16,750 +
+//     16,155 rows in the paper.
+//
+// Column naming is stable; core/thresholds.cc derives CP-t targets from
+// kSegmentCrashCountColumn.
+#ifndef ROADMINE_ROADGEN_DATASET_BUILDER_H_
+#define ROADMINE_ROADGEN_DATASET_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "roadgen/generator.h"
+#include "roadgen/segment.h"
+#include "util/status.h"
+
+namespace roadmine::roadgen {
+
+// Bookkeeping / outcome columns (excluded from model features).
+inline constexpr char kSegmentIdColumn[] = "segment_id";
+inline constexpr char kSegmentCrashCountColumn[] = "segment_crash_count";
+inline constexpr char kYearColumn[] = "crash_year";
+inline constexpr char kWetColumn[] = "wet_surface";
+inline constexpr char kSeverityColumn[] = "severity";
+
+// The road-attribute columns used as model features — the paper's constant
+// variable list.
+const std::vector<std::string>& RoadAttributeColumns();
+
+// Non-feature columns (ids, outcomes, crash context).
+const std::vector<std::string>& BookkeepingColumns();
+
+// Per-row measurement model applied when emitting dataset rows.
+//
+// The real study joined crash records to road-condition surveys: two crash
+// rows on the same segment carry that segment's attributes as *measured*,
+// with survey noise and instrument resolution. Reproducing this matters
+// methodologically — without it, every row of a high-crash segment is an
+// identical attribute fingerprint and trees "classify" extreme thresholds
+// by memorizing individual segments (the leakage the paper itself flags at
+// CP-64: "crashes referencing the same road segment ... unreliable").
+// With `level` = 0 rows still get quantized to instrument resolution but
+// carry no noise.
+struct MeasurementNoise {
+  // Noise magnitude as a fraction of each attribute's nominal survey
+  // error; 0 disables the stochastic part.
+  double level = 0.75;
+  uint64_t seed = 1337;
+};
+
+// Returns a copy of `segment` with survey noise and instrument
+// quantization applied to its numeric attributes (categoricals, ids and
+// crash counts are exact).
+RoadSegment MeasureSegment(const RoadSegment& segment,
+                           const MeasurementNoise& noise, util::Rng& rng);
+
+// One row per segment (network inventory view; used for cluster analysis
+// at segment granularity and by tests).
+util::Result<data::Dataset> BuildSegmentDataset(
+    const std::vector<RoadSegment>& segments);
+
+// Phase-2 dataset: one row per crash. `records` must come from
+// RoadNetworkGenerator::SimulateCrashRecords over the same segments.
+util::Result<data::Dataset> BuildCrashOnlyDataset(
+    const std::vector<RoadSegment>& segments,
+    const std::vector<CrashRecord>& records,
+    const MeasurementNoise& noise = {});
+
+// Phase-1 dataset: crash rows + zero-altered non-crash rows. Non-crash
+// rows have missing crash context (year/wet/severity) and crash count 0.
+util::Result<data::Dataset> BuildCrashNoCrashDataset(
+    const std::vector<RoadSegment>& segments,
+    const std::vector<CrashRecord>& records,
+    const MeasurementNoise& noise = {});
+
+}  // namespace roadmine::roadgen
+
+#endif  // ROADMINE_ROADGEN_DATASET_BUILDER_H_

@@ -1,0 +1,207 @@
+#include "roadgen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "roadgen/crash_model.h"
+
+namespace roadmine::roadgen {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+const std::vector<std::string>& RoadClassNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "local", "arterial", "highway", "motorway"};
+  return names;
+}
+
+const std::vector<std::string>& SurfaceTypeNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "asphalt", "chip_seal", "concrete"};
+  return names;
+}
+
+const std::vector<std::string>& TerrainNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "flat", "rolling", "mountainous"};
+  return names;
+}
+
+const std::vector<std::string>& SeverityNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "property_damage", "minor_injury", "hospitalisation", "fatal"};
+  return names;
+}
+
+namespace {
+
+// Draws an index from an explicit probability table (probabilities need not
+// be normalized).
+int32_t DrawCategory(util::Rng& rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double pick = rng.Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return static_cast<int32_t>(i);
+  }
+  return static_cast<int32_t>(weights.size()) - 1;
+}
+
+double ClampedNormal(util::Rng& rng, double mean, double stddev, double lo,
+                     double hi) {
+  return std::clamp(rng.Normal(mean, stddev), lo, hi);
+}
+
+// Fills population-conditional attributes. Crash-prone roads skew toward
+// the risk factors the paper's earlier stage identified: low skid
+// resistance, shallow texture, heavy traffic, curves, old chip seals.
+void DrawAttributes(RoadSegment& s, util::Rng& rng, bool prone,
+                    double f60_missing_rate) {
+  s.latent_prone = prone;
+
+  // Functional class (prone roads skew to higher-traffic classes).
+  const std::vector<double> class_weights =
+      prone ? std::vector<double>{0.15, 0.35, 0.35, 0.15}
+            : std::vector<double>{0.35, 0.30, 0.25, 0.10};
+  s.road_class = static_cast<RoadClass>(DrawCategory(rng, class_weights));
+
+  // Traffic: lognormal with class-dependent location.
+  static constexpr double kLogAadtByClass[] = {6.2, 7.5, 8.4, 9.6};
+  const double mu = kLogAadtByClass[static_cast<int>(s.road_class)] +
+                    (prone ? 0.35 : 0.0);
+  s.aadt = std::round(std::exp(rng.Normal(mu, 0.45)));
+  s.aadt = std::clamp(s.aadt, 50.0, 120000.0);
+
+  // Design speed & cross-section by class.
+  static constexpr double kSpeedByClass[] = {60.0, 80.0, 100.0, 110.0};
+  s.speed_limit = kSpeedByClass[static_cast<int>(s.road_class)];
+  if (rng.Bernoulli(0.15)) s.speed_limit -= 10.0;
+  s.lane_count = s.road_class == RoadClass::kMotorway
+                     ? static_cast<double>(rng.UniformInt(2, 3))
+                     : static_cast<double>(rng.UniformInt(1, 2));
+
+  // Surface properties.
+  s.f60 = rng.Bernoulli(f60_missing_rate)
+              ? std::numeric_limits<double>::quiet_NaN()
+              : ClampedNormal(rng, prone ? 0.42 : 0.55, 0.08, 0.15, 0.90);
+  s.texture_depth =
+      ClampedNormal(rng, prone ? 0.95 : 1.40, 0.30, 0.20, 3.00);
+
+  // Distress / structure.
+  s.roughness_iri = ClampedNormal(rng, prone ? 3.2 : 2.2, 0.60, 0.80, 7.00);
+  s.rutting = std::clamp(rng.Gamma(prone ? 3.0 : 2.0, prone ? 2.8 : 2.2),
+                         0.0, 30.0);
+  s.deflection = ClampedNormal(rng, prone ? 0.80 : 0.55, 0.18, 0.10, 2.00);
+
+  // Wear.
+  s.seal_age = prone ? rng.Uniform(4.0, 25.0) : rng.Uniform(0.0, 18.0);
+
+  // Geometry.
+  s.curvature = std::clamp(rng.Exponential(prone ? 1.0 / 35.0 : 1.0 / 15.0),
+                           0.0, 180.0);
+  s.gradient = std::clamp(std::fabs(rng.Normal(0.0, prone ? 3.2 : 2.0)),
+                          0.0, 12.0);
+  s.shoulder_width =
+      ClampedNormal(rng, prone ? 1.1 : 1.8, 0.55, 0.0, 4.0);
+
+  const std::vector<double> surface_weights =
+      prone ? std::vector<double>{0.30, 0.63, 0.07}
+            : std::vector<double>{0.50, 0.38, 0.12};
+  s.surface_type = static_cast<SurfaceType>(DrawCategory(rng, surface_weights));
+
+  const std::vector<double> terrain_weights =
+      prone ? std::vector<double>{0.30, 0.40, 0.30}
+            : std::vector<double>{0.50, 0.35, 0.15};
+  s.terrain = static_cast<Terrain>(DrawCategory(rng, terrain_weights));
+}
+
+}  // namespace
+
+Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
+  const GeneratorConfig& cfg = config_;
+  if (cfg.num_segments == 0) return InvalidArgumentError("num_segments == 0");
+  if (cfg.prone_fraction < 0.0 || cfg.prone_fraction > 1.0) {
+    return InvalidArgumentError("prone_fraction outside [0, 1]");
+  }
+  if (cfg.ordinary_mean_4yr < 0.0 || cfg.prone_mean_4yr < 0.0) {
+    return InvalidArgumentError("negative mean crash rate");
+  }
+  if (cfg.ordinary_dispersion <= 0.0 || cfg.prone_dispersion <= 0.0 ||
+      cfg.blackspot_dispersion <= 0.0) {
+    return InvalidArgumentError("dispersion must be > 0");
+  }
+  if (cfg.blackspot_fraction < 0.0 ||
+      cfg.blackspot_fraction + cfg.prone_fraction > 1.0) {
+    return InvalidArgumentError("invalid blackspot_fraction");
+  }
+  if (cfg.f60_missing_rate < 0.0 || cfg.f60_missing_rate >= 1.0) {
+    return InvalidArgumentError("f60_missing_rate outside [0, 1)");
+  }
+  if (cfg.num_years <= 0) return InvalidArgumentError("num_years <= 0");
+
+  util::Rng rng(cfg.seed);
+  std::vector<RoadSegment> segments(cfg.num_segments);
+  for (size_t i = 0; i < cfg.num_segments; ++i) {
+    RoadSegment& s = segments[i];
+    s.id = static_cast<int64_t>(i) + 1;
+    // Tier draw: black spot, crash-prone, or ordinary.
+    const double tier = rng.Uniform();
+    const bool blackspot = tier < cfg.blackspot_fraction;
+    const bool prone =
+        blackspot || tier < cfg.blackspot_fraction + cfg.prone_fraction;
+    DrawAttributes(s, rng, prone, cfg.f60_missing_rate);
+    s.latent_blackspot = blackspot;
+
+    // Zero-altered gamma-Poisson intensity (see crash_model.h).
+    const double base_mean = blackspot ? cfg.blackspot_mean_4yr
+                             : prone   ? cfg.prone_mean_4yr
+                                       : cfg.ordinary_mean_4yr;
+    const double dispersion = blackspot ? cfg.blackspot_dispersion
+                              : prone   ? cfg.prone_dispersion
+                                        : cfg.ordinary_dispersion;
+    const double log_lambda = std::log(std::max(base_mean, 1e-9)) +
+                              cfg.attribute_effect * RiskScore(s);
+    s.intensity_4yr = std::exp(log_lambda);
+    const double gamma_mult = rng.Gamma(dispersion, 1.0 / dispersion);
+    const double realized = s.intensity_4yr * gamma_mult;
+
+    s.yearly_crashes.resize(static_cast<size_t>(cfg.num_years));
+    for (int y = 0; y < cfg.num_years; ++y) {
+      s.yearly_crashes[static_cast<size_t>(y)] =
+          rng.Poisson(realized / static_cast<double>(cfg.num_years));
+    }
+  }
+  return segments;
+}
+
+std::vector<CrashRecord> RoadNetworkGenerator::SimulateCrashRecords(
+    const std::vector<RoadSegment>& segments) const {
+  // Crash-level context must be reproducible independently of Generate's
+  // stream position, so fork a record-specific substream from the seed.
+  util::Rng rng(config_.seed ^ 0xc2a5f00dULL);
+  std::vector<CrashRecord> records;
+  for (const RoadSegment& s : segments) {
+    const double wet_p = WetCrashProbability(s);
+    for (size_t y = 0; y < s.yearly_crashes.size(); ++y) {
+      for (int c = 0; c < s.yearly_crashes[y]; ++c) {
+        CrashRecord record;
+        record.segment_id = s.id;
+        record.year = config_.first_year + static_cast<int>(y);
+        record.wet_surface = rng.Bernoulli(wet_p);
+        // Severity skews worse with speed.
+        const double speed_shift = (s.speed_limit - 80.0) / 200.0;
+        record.severity = DrawCategory(
+            rng, {std::max(0.55 - speed_shift, 0.05), 0.30,
+                  std::max(0.12 + speed_shift * 0.7, 0.01),
+                  std::max(0.03 + speed_shift * 0.3, 0.002)});
+        records.push_back(record);
+      }
+    }
+  }
+  return records;
+}
+
+}  // namespace roadmine::roadgen

@@ -1,0 +1,88 @@
+// The synthetic 1 km road segment record.
+//
+// The real study joined QDTMR road-asset attributes to crash records; that
+// data is proprietary, so roadmine generates segments whose attribute
+// families match the paper's §2 inventory: functional design (road class,
+// speed, lanes), surface properties (skid resistance F60, texture depth),
+// surface distress (roughness, rutting, deflection), surface wear (seal
+// age), and roadway features/geometry (curvature, gradient, shoulder,
+// terrain), plus traffic exposure (AADT).
+#ifndef ROADMINE_ROADGEN_SEGMENT_H_
+#define ROADMINE_ROADGEN_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace roadmine::roadgen {
+
+// Dictionary codes for the categorical attributes. Kept as plain enums so
+// the generator and dataset builder agree on dictionary order.
+enum class RoadClass : int32_t { kLocal = 0, kArterial, kHighway, kMotorway };
+enum class SurfaceType : int32_t { kAsphalt = 0, kChipSeal, kConcrete };
+enum class Terrain : int32_t { kFlat = 0, kRolling, kMountainous };
+
+const std::vector<std::string>& RoadClassNames();
+const std::vector<std::string>& SurfaceTypeNames();
+const std::vector<std::string>& TerrainNames();
+
+struct RoadSegment {
+  int64_t id = 0;
+
+  // Latent generation state (never exported as a model feature; used by
+  // tests and by the Figure-4 analysis to validate cluster coherence).
+  bool latent_prone = false;
+  bool latent_blackspot = false;
+  double intensity_4yr = 0.0;  // Expected 4-year crash count (pre-noise).
+
+  // Functional design.
+  RoadClass road_class = RoadClass::kLocal;
+  double speed_limit = 60.0;  // km/h.
+  double lane_count = 1.0;
+
+  // Traffic exposure.
+  double aadt = 0.0;  // Annual average daily traffic, vehicles/day.
+
+  // Surface properties. F60 is the sparse skid-resistance attribute the
+  // paper filtered on; NaN marks a missing measurement.
+  double f60 = 0.0;
+  double texture_depth = 0.0;  // mm.
+
+  // Surface distress / structure.
+  double roughness_iri = 0.0;  // m/km.
+  double rutting = 0.0;        // mm.
+  double deflection = 0.0;     // mm.
+
+  // Surface wear.
+  double seal_age = 0.0;  // Years since reseal.
+
+  // Roadway features & geometry.
+  double curvature = 0.0;       // Degrees of heading change per km.
+  double gradient = 0.0;        // Percent grade (absolute).
+  double shoulder_width = 0.0;  // m.
+  SurfaceType surface_type = SurfaceType::kAsphalt;
+  Terrain terrain = Terrain::kFlat;
+
+  // Outcome: crashes per study year.
+  std::vector<int> yearly_crashes;
+
+  int total_crashes() const {
+    int total = 0;
+    for (int c : yearly_crashes) total += c;
+    return total;
+  }
+};
+
+// One crash event on a segment (row of the crash-only dataset).
+struct CrashRecord {
+  int64_t segment_id = 0;
+  int year = 0;           // Calendar year.
+  bool wet_surface = false;
+  int32_t severity = 0;   // Index into SeverityNames().
+};
+
+const std::vector<std::string>& SeverityNames();
+
+}  // namespace roadmine::roadgen
+
+#endif  // ROADMINE_ROADGEN_SEGMENT_H_

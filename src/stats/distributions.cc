@@ -1,0 +1,68 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/special_functions.h"
+
+namespace roadmine::stats {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double NormalCdf(double x, double mean, double stddev) {
+  if (stddev <= 0.0) return kNaN;
+  return NormalCdf((x - mean) / stddev);
+}
+
+double NormalLogPdf(double x, double mean, double stddev) {
+  if (stddev <= 0.0) return kNaN;
+  const double z = (x - mean) / stddev;
+  constexpr double kLogSqrt2Pi = 0.9189385332046727;
+  return -0.5 * z * z - std::log(stddev) - kLogSqrt2Pi;
+}
+
+double ChiSquareCdf(double x, double df) {
+  if (df <= 0.0 || x < 0.0) return kNaN;
+  return RegularizedGammaP(df / 2.0, x / 2.0);
+}
+
+double ChiSquareSf(double x, double df) {
+  if (df <= 0.0) return kNaN;
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, x / 2.0);
+}
+
+double FCdf(double x, double df1, double df2) {
+  if (df1 <= 0.0 || df2 <= 0.0) return kNaN;
+  if (x <= 0.0) return 0.0;
+  const double u = df1 * x / (df1 * x + df2);
+  return RegularizedIncompleteBeta(df1 / 2.0, df2 / 2.0, u);
+}
+
+double FSf(double x, double df1, double df2) {
+  if (df1 <= 0.0 || df2 <= 0.0) return kNaN;
+  if (x <= 0.0) return 1.0;
+  // Complement computed directly through the mirrored incomplete beta to
+  // avoid catastrophic cancellation for large x.
+  const double u = df2 / (df2 + df1 * x);
+  return RegularizedIncompleteBeta(df2 / 2.0, df1 / 2.0, u);
+}
+
+double StudentTCdf(double t, double df) {
+  if (df <= 0.0) return kNaN;
+  const double u = df / (df + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, u);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentTTwoSidedPValue(double t, double df) {
+  if (df <= 0.0) return kNaN;
+  const double u = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, u);
+}
+
+}  // namespace roadmine::stats

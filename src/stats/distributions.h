@@ -1,0 +1,38 @@
+// Cumulative distribution functions used for hypothesis testing.
+// All take plain doubles and return probabilities in [0, 1]; invalid
+// parameters yield NaN (checked by callers that care).
+#ifndef ROADMINE_STATS_DISTRIBUTIONS_H_
+#define ROADMINE_STATS_DISTRIBUTIONS_H_
+
+namespace roadmine::stats {
+
+// Standard normal CDF Φ(z).
+double NormalCdf(double z);
+
+// Normal(mean, stddev) CDF.
+double NormalCdf(double x, double mean, double stddev);
+
+// Normal(mean, stddev) log-density; stddev must be > 0.
+double NormalLogPdf(double x, double mean, double stddev);
+
+// Chi-square CDF with `df` degrees of freedom (df > 0, x >= 0).
+double ChiSquareCdf(double x, double df);
+
+// Upper tail P(X > x) for chi-square — the p-value of a chi-square test.
+double ChiSquareSf(double x, double df);
+
+// F-distribution CDF with (df1, df2) degrees of freedom.
+double FCdf(double x, double df1, double df2);
+
+// Upper tail of the F distribution — the p-value of an F test.
+double FSf(double x, double df1, double df2);
+
+// Student-t CDF with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+// Two-sided Student-t p-value for the observed statistic.
+double StudentTTwoSidedPValue(double t, double df);
+
+}  // namespace roadmine::stats
+
+#endif  // ROADMINE_STATS_DISTRIBUTIONS_H_

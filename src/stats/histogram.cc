@@ -1,0 +1,74 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace roadmine::stats {
+
+Histogram::Histogram(double lo, double hi, size_t bin_count)
+    : lo_(lo), hi_(hi) {
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;
+  counts_.assign(std::max<size_t>(bin_count, 1), 0);
+}
+
+void Histogram::Add(double value) {
+  if (std::isnan(value)) {
+    ++missing_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<long>(std::floor((value - lo_) / width));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+double Histogram::bin_lo(size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::Render(size_t width) const {
+  size_t max_count = 1;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  // Note: appended piecewise (rather than one operator+ chain) to dodge a
+  // GCC 12 -Wrestrict false positive (PR 105329) on inlined string concat.
+  std::string out;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    out += "[";
+    out += util::FormatDouble(bin_lo(b), 1);
+    out += ", ";
+    out += util::FormatDouble(bin_hi(b), 1);
+    out += ")\t";
+    out += std::to_string(counts_[b]);
+    out += "\t";
+    const size_t bar = counts_[b] * width / max_count;
+    out.append(bar, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<size_t> IntegerFrequencies(const std::vector<int>& values,
+                                       int max_value) {
+  std::vector<size_t> counts(static_cast<size_t>(std::max(max_value, 0)) + 1, 0);
+  for (int v : values) {
+    if (v < 0) continue;
+    const size_t slot = std::min<size_t>(static_cast<size_t>(v), counts.size() - 1);
+    ++counts[slot];
+  }
+  return counts;
+}
+
+}  // namespace roadmine::stats

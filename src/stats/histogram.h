@@ -1,0 +1,49 @@
+// Fixed-width histogramming, used by the Figure-1 reproduction (annual
+// crash-count distribution) and dataset exploration utilities.
+#ifndef ROADMINE_STATS_HISTOGRAM_H_
+#define ROADMINE_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace roadmine::stats {
+
+class Histogram {
+ public:
+  // Bins [lo, hi) into `bin_count` equal-width bins; values == hi land in
+  // the last bin. Requires hi > lo and bin_count >= 1 (else a single
+  // degenerate bin is used).
+  Histogram(double lo, double hi, size_t bin_count);
+
+  // NaN values are counted as missing, out-of-range values clamp to the
+  // first/last bin so totals stay meaningful for heavy-tailed counts.
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t bin_count() const { return counts_.size(); }
+  size_t count(size_t bin) const { return counts_[bin]; }
+  size_t total() const { return total_; }
+  size_t missing() const { return missing_; }
+  double bin_lo(size_t bin) const;
+  double bin_hi(size_t bin) const;
+
+  // ASCII bar rendering for report output; `width` is the max bar length.
+  std::string Render(size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+  size_t missing_ = 0;
+};
+
+// Exact integer frequency table: counts[v] = number of occurrences of v for
+// v in [0, max_value]; larger values accumulate in the last slot.
+std::vector<size_t> IntegerFrequencies(const std::vector<int>& values,
+                                       int max_value);
+
+}  // namespace roadmine::stats
+
+#endif  // ROADMINE_STATS_HISTOGRAM_H_

@@ -1,0 +1,120 @@
+#include "stats/hypothesis.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace roadmine::stats {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+Result<ChiSquareResult> ChiSquareIndependenceTest(
+    const std::vector<std::vector<double>>& observed) {
+  const size_t rows = observed.size();
+  if (rows < 2) return InvalidArgumentError("need at least 2 rows");
+  const size_t cols = observed[0].size();
+  for (const auto& row : observed) {
+    if (row.size() != cols) return InvalidArgumentError("ragged table");
+  }
+  if (cols < 2) return InvalidArgumentError("need at least 2 columns");
+
+  std::vector<double> row_sum(rows, 0.0);
+  std::vector<double> col_sum(cols, 0.0);
+  double total = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (observed[r][c] < 0.0) {
+        return InvalidArgumentError("negative count in contingency table");
+      }
+      row_sum[r] += observed[r][c];
+      col_sum[c] += observed[r][c];
+      total += observed[r][c];
+    }
+  }
+  if (total <= 0.0) return InvalidArgumentError("empty contingency table");
+
+  size_t effective_rows = 0, effective_cols = 0;
+  for (double s : row_sum) effective_rows += (s > 0.0);
+  for (double s : col_sum) effective_cols += (s > 0.0);
+  if (effective_rows < 2 || effective_cols < 2) {
+    return InvalidArgumentError("degenerate contingency table");
+  }
+
+  ChiSquareResult result;
+  for (size_t r = 0; r < rows; ++r) {
+    if (row_sum[r] == 0.0) continue;
+    for (size_t c = 0; c < cols; ++c) {
+      if (col_sum[c] == 0.0) continue;
+      const double expected = row_sum[r] * col_sum[c] / total;
+      const double diff = observed[r][c] - expected;
+      result.statistic += diff * diff / expected;
+    }
+  }
+  result.df = static_cast<double>((effective_rows - 1) * (effective_cols - 1));
+  result.p_value = ChiSquareSf(result.statistic, result.df);
+  return result;
+}
+
+Result<FTestResult> TwoGroupFTest(const std::vector<double>& left,
+                                  const std::vector<double>& right) {
+  Result<AnovaResult> anova = OneWayAnova({left, right});
+  if (!anova.ok()) return anova.status();
+  FTestResult result;
+  result.statistic = anova->f_statistic;
+  result.df1 = anova->df_between;
+  result.df2 = anova->df_within;
+  result.p_value = anova->p_value;
+  return result;
+}
+
+Result<AnovaResult> OneWayAnova(const std::vector<std::vector<double>>& groups) {
+  double grand_sum = 0.0;
+  size_t grand_n = 0;
+  size_t non_empty = 0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    ++non_empty;
+    for (double v : g) {
+      if (std::isnan(v)) return InvalidArgumentError("NaN observation");
+      grand_sum += v;
+    }
+    grand_n += g.size();
+  }
+  if (non_empty < 2) {
+    return InvalidArgumentError("ANOVA needs at least 2 non-empty groups");
+  }
+  const double grand_mean = grand_sum / static_cast<double>(grand_n);
+
+  AnovaResult result;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    double sum = 0.0;
+    for (double v : g) sum += v;
+    const double mean = sum / static_cast<double>(g.size());
+    result.group_means.push_back(mean);
+    result.ss_between +=
+        static_cast<double>(g.size()) * (mean - grand_mean) * (mean - grand_mean);
+    for (double v : g) result.ss_within += (v - mean) * (v - mean);
+  }
+  result.df_between = static_cast<double>(non_empty - 1);
+  result.df_within = static_cast<double>(grand_n - non_empty);
+  if (result.df_within <= 0.0) {
+    return InvalidArgumentError("ANOVA needs df_within > 0");
+  }
+  const double ms_between = result.ss_between / result.df_between;
+  const double ms_within = result.ss_within / result.df_within;
+  if (ms_within <= 0.0) {
+    // All groups internally constant: perfectly separated means.
+    result.f_statistic = ms_between > 0.0
+                             ? std::numeric_limits<double>::infinity()
+                             : 0.0;
+    result.p_value = ms_between > 0.0 ? 0.0 : 1.0;
+    return result;
+  }
+  result.f_statistic = ms_between / ms_within;
+  result.p_value = FSf(result.f_statistic, result.df_between, result.df_within);
+  return result;
+}
+
+}  // namespace roadmine::stats

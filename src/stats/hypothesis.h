@@ -1,0 +1,59 @@
+// Hypothesis tests used throughout the study:
+//   * chi-square independence — the split criterion of the paper's decision
+//     trees ("chi-square test on a Boolean target");
+//   * F test — the split/stop criterion of the regression trees;
+//   * one-way ANOVA — the Phase-3 check that cluster crash-count means
+//     differ (paper: "resulting ANOVA p-value of 0").
+#ifndef ROADMINE_STATS_HYPOTHESIS_H_
+#define ROADMINE_STATS_HYPOTHESIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::stats {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double df = 0.0;
+  double p_value = 1.0;
+};
+
+// Pearson chi-square test of independence on an r x c contingency table of
+// observed counts (rows = groups, columns = classes). Rows/columns with a
+// zero marginal are dropped. Errors on ragged or sub-2x2 effective tables.
+util::Result<ChiSquareResult> ChiSquareIndependenceTest(
+    const std::vector<std::vector<double>>& observed);
+
+struct FTestResult {
+  double statistic = 0.0;
+  double df1 = 0.0;
+  double df2 = 0.0;
+  double p_value = 1.0;
+};
+
+// F test that a binary split reduced variance: compares between-group to
+// within-group mean squares for two groups (equivalent to one-way ANOVA
+// with k = 2). Errors when a group has < 1 observation or df2 <= 0.
+util::Result<FTestResult> TwoGroupFTest(const std::vector<double>& left,
+                                        const std::vector<double>& right);
+
+struct AnovaResult {
+  double f_statistic = 0.0;
+  double df_between = 0.0;
+  double df_within = 0.0;
+  double p_value = 1.0;
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  std::vector<double> group_means;
+};
+
+// One-way ANOVA across k groups. Groups with zero observations are skipped;
+// errors if fewer than 2 non-empty groups or df_within <= 0.
+util::Result<AnovaResult> OneWayAnova(
+    const std::vector<std::vector<double>>& groups);
+
+}  // namespace roadmine::stats
+
+#endif  // ROADMINE_STATS_HYPOTHESIS_H_

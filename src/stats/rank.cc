@@ -1,0 +1,108 @@
+#include "stats/rank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace roadmine::stats {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+std::vector<double> MidRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& x,
+                                   const std::vector<double>& y) {
+  if (x.size() != y.size()) return InvalidArgumentError("size mismatch");
+  std::vector<double> cx, cy;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    cx.push_back(x[i]);
+    cy.push_back(y[i]);
+  }
+  if (cx.size() < 3) {
+    return InvalidArgumentError("need at least 3 complete pairs");
+  }
+  const double rho = PearsonCorrelation(MidRanks(cx), MidRanks(cy));
+  if (std::isnan(rho)) {
+    return InvalidArgumentError("zero rank variance (constant input)");
+  }
+  return rho;
+}
+
+Result<KruskalWallisResult> KruskalWallisTest(
+    const std::vector<std::vector<double>>& groups) {
+  // Pool all observations, remember group boundaries.
+  std::vector<double> pooled;
+  std::vector<size_t> sizes;
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    for (double v : group) {
+      if (std::isnan(v)) return InvalidArgumentError("NaN observation");
+      pooled.push_back(v);
+    }
+    sizes.push_back(group.size());
+  }
+  if (sizes.size() < 2) {
+    return InvalidArgumentError("need at least 2 non-empty groups");
+  }
+  const double n = static_cast<double>(pooled.size());
+  const std::vector<double> ranks = MidRanks(pooled);
+
+  KruskalWallisResult result;
+  size_t offset = 0;
+  double h = 0.0;
+  for (size_t group_size : sizes) {
+    double rank_sum = 0.0;
+    for (size_t i = 0; i < group_size; ++i) rank_sum += ranks[offset + i];
+    h += rank_sum * rank_sum / static_cast<double>(group_size);
+    offset += group_size;
+  }
+  h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+
+  // Tie correction: 1 - sum(t^3 - t) / (n^3 - n).
+  std::vector<double> sorted = pooled;
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  const double correction = 1.0 - tie_term / (n * n * n - n);
+  if (correction <= 0.0) {
+    // All observations identical: no evidence against equal locations.
+    result.h_statistic = 0.0;
+    result.df = static_cast<double>(sizes.size() - 1);
+    result.p_value = 1.0;
+    return result;
+  }
+  result.h_statistic = h / correction;
+  result.df = static_cast<double>(sizes.size() - 1);
+  result.p_value = ChiSquareSf(result.h_statistic, result.df);
+  return result;
+}
+
+}  // namespace roadmine::stats

@@ -1,0 +1,36 @@
+// Rank-based statistics: nonparametric companions to the Phase-3 analysis.
+// Crash counts are heavily right-skewed, so the paper's one-way ANOVA
+// formally violates normality; Kruskal-Wallis gives the assumption-free
+// verdict, and Spearman correlation supports monotone-trend checks in the
+// evaluation layer.
+#ifndef ROADMINE_STATS_RANK_H_
+#define ROADMINE_STATS_RANK_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::stats {
+
+// Midranks of `values` (ties share the average rank; ranks start at 1).
+std::vector<double> MidRanks(const std::vector<double>& values);
+
+// Spearman rank correlation of paired observations. NaN pairs are
+// dropped; errors with fewer than 3 complete pairs.
+util::Result<double> SpearmanCorrelation(const std::vector<double>& x,
+                                         const std::vector<double>& y);
+
+struct KruskalWallisResult {
+  double h_statistic = 0.0;  // Tie-corrected H.
+  double df = 0.0;
+  double p_value = 1.0;  // Chi-square approximation.
+};
+
+// Kruskal-Wallis H test across k groups (>= 2 non-empty groups required;
+// chi-square approximation assumes groups of size >= ~5).
+util::Result<KruskalWallisResult> KruskalWallisTest(
+    const std::vector<std::vector<double>>& groups);
+
+}  // namespace roadmine::stats
+
+#endif  // ROADMINE_STATS_RANK_H_

@@ -1,0 +1,123 @@
+#include "util/csv.h"
+
+namespace roadmine::util {
+namespace {
+
+// Shared scanning core: parses `text` as a sequence of records.
+// If `single_line` is true, newlines outside quotes are an error.
+Result<std::vector<std::vector<std::string>>> ScanCsv(std::string_view text,
+                                                      char delimiter,
+                                                      bool single_line) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_content = false;  // Something seen since last record break.
+
+  auto end_field = [&] {
+    fields.push_back(std::move(current));
+    current.clear();
+    field_was_quoted = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    rows.push_back(std::move(fields));
+    fields.clear();
+    any_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      any_content = true;
+      continue;
+    }
+    if (c == '"' && current.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+      any_content = true;
+    } else if (c == delimiter) {
+      end_field();
+      any_content = true;
+    } else if (c == '\n' && !single_line) {
+      end_record();
+    } else if (c == '\r' && !single_line && i + 1 < text.size() &&
+               text[i + 1] == '\n') {
+      end_record();
+      ++i;
+    } else if (c == '\n' || c == '\r') {
+      if (single_line) {
+        return InvalidArgumentError("newline inside single CSV record");
+      }
+      end_record();
+    } else {
+      current.push_back(c);
+      any_content = true;
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError("unterminated quoted CSV field");
+  }
+  if (any_content || !fields.empty() || single_line) {
+    end_record();
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delimiter) {
+  auto rows = ScanCsv(line, delimiter, /*single_line=*/true);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return std::vector<std::string>{std::string()};
+  return std::move((*rows)[0]);
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char delimiter) {
+  return ScanCsv(text, delimiter, /*single_line=*/false);
+}
+
+std::string EscapeCsvField(std::string_view field, char delimiter) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char delimiter) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(delimiter);
+    out += EscapeCsvField(fields[i], delimiter);
+  }
+  return out;
+}
+
+}  // namespace roadmine::util

@@ -1,0 +1,33 @@
+// RFC-4180-style CSV tokenization: quoted fields, embedded delimiters,
+// doubled quotes, and both \n and \r\n record separators.
+#ifndef ROADMINE_UTIL_CSV_H_
+#define ROADMINE_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::util {
+
+// Parses one CSV record (no trailing newline) into fields.
+// Returns an error on unbalanced quotes.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delimiter = ',');
+
+// Parses a whole CSV document into rows of fields. Quoted fields may span
+// lines. A trailing newline does not produce an empty record.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char delimiter = ',');
+
+// Quotes a field if it contains the delimiter, a quote, or a newline.
+std::string EscapeCsvField(std::string_view field, char delimiter = ',');
+
+// Serializes one record (adds no trailing newline).
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char delimiter = ',');
+
+}  // namespace roadmine::util
+
+#endif  // ROADMINE_UTIL_CSV_H_

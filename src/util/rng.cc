@@ -1,0 +1,136 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roadmine::util {
+
+uint64_t Rng::NextUint64() {
+  // SplitMix64 (Steele, Lea & Flood 2014).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::Uniform() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(NextUint64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t draw = NextUint64();
+  while (draw >= limit) draw = NextUint64();
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return Uniform() < p;
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Marsaglia polar method.
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Gamma(double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) return 0.0;
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    const double u = std::max(Uniform(), 1e-300);
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = 0.0, v = 0.0;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double Rng::Exponential(double rate) {
+  const double u = std::max(Uniform(), 1e-300);
+  return -std::log(u) / rate;
+}
+
+int Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth multiplication method.
+    const double limit = std::exp(-mean);
+    double product = Uniform();
+    int count = 0;
+    while (product > limit) {
+      ++count;
+      product *= Uniform();
+    }
+    return count;
+  }
+  // Atkinson's rejection method for large means.
+  const double c = 0.767 - 3.36 / mean;
+  const double beta = M_PI / std::sqrt(3.0 * mean);
+  const double alpha = beta * mean;
+  const double k = std::log(c) - mean - std::log(beta);
+  while (true) {
+    const double u = Uniform();
+    const double x = (alpha - std::log((1.0 - u) / u)) / beta;
+    const int n = static_cast<int>(std::floor(x + 0.5));
+    if (n < 0) continue;
+    const double v = Uniform();
+    const double y = alpha - beta * x;
+    const double denom = 1.0 + std::exp(y);
+    const double lhs = y + std::log(v / (denom * denom));
+    const double rhs = k + n * std::log(mean) - std::lgamma(n + 1.0);
+    if (lhs <= rhs) return n;
+  }
+}
+
+int Rng::NegativeBinomial(double mean, double dispersion) {
+  if (mean <= 0.0) return 0;
+  if (dispersion <= 0.0) dispersion = 1e-6;
+  const double lambda = Gamma(dispersion, mean / dispersion);
+  return Poisson(lambda);
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace roadmine::util

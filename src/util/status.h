@@ -1,0 +1,119 @@
+// Lightweight error-handling vocabulary for roadmine.
+//
+// Library code does not throw exceptions (see DESIGN.md §5.6); fallible
+// operations return `Status` or `Result<T>`. Both are cheap value types.
+#ifndef ROADMINE_UTIL_STATUS_H_
+#define ROADMINE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace roadmine::util {
+
+// Canonical error space, modeled after absl::StatusCode but trimmed to what
+// a single-process analytics library needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kInternal,
+  kUnimplemented,
+  kDataLoss,
+};
+
+// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
+
+// A value-or-error union. Accessing value() on an error aborts in debug
+// builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is engaged.
+};
+
+}  // namespace roadmine::util
+
+// Propagates a non-OK Status from an expression, absl-style.
+#define ROADMINE_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::roadmine::util::Status _status = (expr);          \
+    if (!_status.ok()) return _status;                  \
+  } while (false)
+
+#endif  // ROADMINE_UTIL_STATUS_H_

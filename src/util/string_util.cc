@@ -1,0 +1,85 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace roadmine::util {
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      break;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  // std::from_chars<double> is available in libstdc++ >= 11.
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *value);
+  return ec == std::errc() && ptr == end && std::isfinite(*value);
+}
+
+bool ParseInt(std::string_view text, int64_t* value) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *value);
+  return ec == std::errc() && ptr == end;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out += items[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace roadmine::util

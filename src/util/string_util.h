@@ -1,0 +1,40 @@
+// Small string helpers used across roadmine. Nothing here allocates more
+// than it must; all functions are pure.
+#ifndef ROADMINE_UTIL_STRING_UTIL_H_
+#define ROADMINE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roadmine::util {
+
+// Splits on a single-character delimiter. Adjacent delimiters yield empty
+// fields; an empty input yields one empty field (CSV semantics).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+// True if `text` parses fully as a finite double; stores it in *value.
+bool ParseDouble(std::string_view text, double* value);
+
+// True if `text` parses fully as an int64; stores it in *value.
+bool ParseInt(std::string_view text, int64_t* value);
+
+// Fixed-precision formatting without trailing-zero noise beyond `digits`.
+std::string FormatDouble(double value, int digits);
+
+// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace roadmine::util
+
+#endif  // ROADMINE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,73 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace roadmine::util {
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  double unused;
+  return ParseDouble(cell, &unused);
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddRow(const std::vector<double>& cells, int digits) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double value : cells) formatted.push_back(FormatDouble(value, digits));
+  AddRow(std::move(formatted));
+}
+
+void TextTable::AddFooter(std::string note) {
+  footers_.push_back(std::move(note));
+}
+
+std::string TextTable::Render() const {
+  const size_t n = headers_.size();
+  std::vector<size_t> widths(n);
+  for (size_t c = 0; c < n; ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < n; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_right) {
+    for (size_t c = 0; c < n; ++c) {
+      if (c > 0) out += "  ";
+      const size_t pad = widths[c] - row[c].size();
+      const bool right = align_right && LooksNumeric(row[c]);
+      if (right) out.append(pad, ' ');
+      out += row[c];
+      if (!right && c + 1 < n) out.append(pad, ' ');
+    }
+    out.push_back('\n');
+  };
+
+  emit_row(headers_, /*align_right=*/false);
+  size_t rule_width = 0;
+  for (size_t c = 0; c < n; ++c) rule_width += widths[c] + (c > 0 ? 2 : 0);
+  out.append(rule_width, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) emit_row(row, /*align_right=*/true);
+  for (const auto& note : footers_) {
+    out += note;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace roadmine::util

@@ -1,0 +1,41 @@
+// Monospace table rendering for benchmark/report output.
+//
+// Every bench binary reproduces a paper table; TextTable keeps their output
+// uniform: right-aligned numerics, left-aligned labels, a header rule, and
+// optional footers for notes like "paper value: ...".
+#ifndef ROADMINE_UTIL_TEXT_TABLE_H_
+#define ROADMINE_UTIL_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace roadmine::util {
+
+class TextTable {
+ public:
+  // Column headers define the table width; every row must match their count.
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Appends a data row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `digits` decimals, keeps strings as-is.
+  void AddRow(const std::vector<double>& cells, int digits);
+
+  // A free-form note printed under the table.
+  void AddFooter(std::string note);
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Renders with aligned columns. Numeric-looking cells right-align.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footers_;
+};
+
+}  // namespace roadmine::util
+
+#endif  // ROADMINE_UTIL_TEXT_TABLE_H_

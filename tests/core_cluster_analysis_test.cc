@@ -1,0 +1,112 @@
+#include "core/cluster_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace roadmine::core {
+namespace {
+
+data::Dataset SmallCrashOnlyDataset() {
+  roadgen::GeneratorConfig config;
+  config.num_segments = 3000;
+  config.seed = 33;
+  roadgen::RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  EXPECT_TRUE(segments.ok());
+  auto ds = roadgen::BuildCrashOnlyDataset(*segments,
+                                           gen.SimulateCrashRecords(*segments));
+  EXPECT_TRUE(ds.ok());
+  return std::move(*ds);
+}
+
+ClusterAnalysisConfig FastConfig(size_t k = 8) {
+  ClusterAnalysisConfig config;
+  config.kmeans.k = k;
+  config.kmeans.restarts = 2;
+  config.kmeans.max_iterations = 40;
+  return config;
+}
+
+TEST(ClusterAnalysisTest, ProfilesEveryRowExactlyOnce) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  auto result =
+      AnalyzeCrashClusters(ds, ds.AllRowIndices(), FastConfig());
+  ASSERT_TRUE(result.ok());
+  size_t total = 0;
+  for (const ClusterCrashProfile& profile : result->clusters) {
+    total += profile.size;
+  }
+  EXPECT_EQ(total, ds.num_rows());
+}
+
+TEST(ClusterAnalysisTest, ClustersSortedByMedianCrashCount) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  auto result =
+      AnalyzeCrashClusters(ds, ds.AllRowIndices(), FastConfig());
+  ASSERT_TRUE(result.ok());
+  double prev = -1.0;
+  for (const ClusterCrashProfile& profile : result->clusters) {
+    if (profile.size == 0) continue;
+    EXPECT_GE(profile.crash_counts.median, prev);
+    prev = profile.crash_counts.median;
+  }
+}
+
+TEST(ClusterAnalysisTest, AnovaRejectsEqualMeansOnRealStructure) {
+  // The paper's Phase-3 punchline: cluster means differ, p ~ 0.
+  data::Dataset ds = SmallCrashOnlyDataset();
+  auto result =
+      AnalyzeCrashClusters(ds, ds.AllRowIndices(), FastConfig(16));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->anova.p_value, 1e-6);
+  EXPECT_GT(result->anova.f_statistic, 1.0);
+}
+
+TEST(ClusterAnalysisTest, FindsLowCrashClusters) {
+  // The paper found clusters whose whole IQR sits at <= 4 crashes.
+  data::Dataset ds = SmallCrashOnlyDataset();
+  auto result =
+      AnalyzeCrashClusters(ds, ds.AllRowIndices(), FastConfig(16));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->CountLowCrashClusters(4.0), 0u);
+}
+
+TEST(ClusterAnalysisTest, IsLowCrashCriterion) {
+  ClusterCrashProfile profile;
+  profile.size = 10;
+  profile.crash_counts.q3 = 3.0;
+  EXPECT_TRUE(profile.IsLowCrash(4.0));
+  profile.crash_counts.q3 = 9.0;
+  EXPECT_FALSE(profile.IsLowCrash(4.0));
+  profile.size = 0;
+  EXPECT_FALSE(profile.IsLowCrash(4.0));
+}
+
+TEST(ClusterAnalysisTest, ExplicitFeatureSubsetWorks) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  ClusterAnalysisConfig config = FastConfig(4);
+  config.feature_columns = {"f60", "aadt", "curvature"};
+  auto result = AnalyzeCrashClusters(ds, ds.AllRowIndices(), config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clusters.size(), 4u);
+}
+
+TEST(ClusterAnalysisTest, MissingCountColumnFails) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  ClusterAnalysisConfig config = FastConfig(4);
+  config.count_column = "nope";
+  EXPECT_FALSE(AnalyzeCrashClusters(ds, ds.AllRowIndices(), config).ok());
+}
+
+TEST(ClusterAnalysisTest, NoFeatureColumnsFails) {
+  data::Dataset ds;
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::Numeric("segment_crash_count", {1, 2})).ok());
+  EXPECT_FALSE(
+      AnalyzeCrashClusters(ds, ds.AllRowIndices(), FastConfig(2)).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::core

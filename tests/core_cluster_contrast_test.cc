@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster_analysis.h"
+
+namespace roadmine::core {
+namespace {
+
+// Two synthetic groups: members have clearly lower "f60".
+struct Fixture {
+  data::Dataset dataset;
+  std::vector<size_t> all_rows;
+  std::vector<size_t> member_rows;
+};
+
+Fixture MakeFixture() {
+  std::vector<double> f60, aadt;
+  for (int i = 0; i < 200; ++i) {
+    const bool member = i < 50;
+    f60.push_back(member ? 0.35 : 0.60);
+    aadt.push_back(5000.0);  // Identical everywhere: no contrast.
+  }
+  Fixture fixture;
+  EXPECT_TRUE(
+      fixture.dataset.AddColumn(data::Column::Numeric("f60", f60)).ok());
+  EXPECT_TRUE(
+      fixture.dataset.AddColumn(data::Column::Numeric("aadt", aadt)).ok());
+  fixture.all_rows = fixture.dataset.AllRowIndices();
+  for (size_t i = 0; i < 50; ++i) fixture.member_rows.push_back(i);
+  return fixture;
+}
+
+TEST(ContrastClusterAttributesTest, RanksDiscriminatingAttributeFirst) {
+  Fixture fixture = MakeFixture();
+  auto contrasts = ContrastClusterAttributes(
+      fixture.dataset, fixture.all_rows, fixture.member_rows,
+      {"f60", "aadt"});
+  ASSERT_TRUE(contrasts.ok());
+  ASSERT_EQ(contrasts->size(), 2u);
+  EXPECT_EQ((*contrasts)[0].attribute, "f60");
+  EXPECT_LT((*contrasts)[0].z_score, -1.0);  // Member mean well below.
+  EXPECT_NEAR((*contrasts)[1].z_score, 0.0, 1e-9);  // Constant attribute.
+}
+
+TEST(ContrastClusterAttributesTest, MeansAreExact) {
+  Fixture fixture = MakeFixture();
+  auto contrasts = ContrastClusterAttributes(
+      fixture.dataset, fixture.all_rows, fixture.member_rows, {"f60"});
+  ASSERT_TRUE(contrasts.ok());
+  EXPECT_NEAR((*contrasts)[0].cluster_mean, 0.35, 1e-12);
+  EXPECT_NEAR((*contrasts)[0].overall_mean, 0.35 * 0.25 + 0.60 * 0.75,
+              1e-12);
+}
+
+TEST(ContrastClusterAttributesTest, DefaultsSkipNonNumeric) {
+  Fixture fixture = MakeFixture();
+  ASSERT_TRUE(fixture.dataset
+                  .AddColumn(data::Column::CategoricalFromStrings(
+                      "surface_type",
+                      std::vector<std::string>(200, "asphalt")))
+                  .ok());
+  // Defaults pull the numeric road attributes present: f60 + aadt.
+  auto contrasts = ContrastClusterAttributes(fixture.dataset,
+                                             fixture.all_rows,
+                                             fixture.member_rows);
+  ASSERT_TRUE(contrasts.ok());
+  for (const AttributeContrast& c : *contrasts) {
+    EXPECT_NE(c.attribute, "surface_type");
+  }
+}
+
+TEST(ContrastClusterAttributesTest, Errors) {
+  Fixture fixture = MakeFixture();
+  EXPECT_FALSE(ContrastClusterAttributes(fixture.dataset, fixture.all_rows,
+                                         {}, {"f60"})
+                   .ok());
+  EXPECT_FALSE(ContrastClusterAttributes(fixture.dataset, fixture.all_rows,
+                                         fixture.member_rows, {"nope"})
+                   .ok());
+  data::Dataset no_numeric;
+  EXPECT_TRUE(no_numeric
+                  .AddColumn(data::Column::CategoricalFromStrings(
+                      "c", {"a", "b"}))
+                  .ok());
+  EXPECT_FALSE(
+      ContrastClusterAttributes(no_numeric, {0, 1}, {0}).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::core

@@ -1,0 +1,73 @@
+#include "core/crisp_dm.h"
+
+#include <gtest/gtest.h>
+
+namespace roadmine::core {
+namespace {
+
+TEST(CrispDmTest, StageNamesComplete) {
+  EXPECT_STREQ(CrispDmStageName(CrispDmStage::kBusinessUnderstanding),
+               "business understanding");
+  EXPECT_STREQ(CrispDmStageName(CrispDmStage::kDeployment), "deployment");
+}
+
+TEST(StudyLogTest, ForwardProgression) {
+  StudyLog log;
+  EXPECT_FALSE(log.started());
+  ASSERT_TRUE(log.EnterStage(CrispDmStage::kBusinessUnderstanding).ok());
+  ASSERT_TRUE(log.EnterStage(CrispDmStage::kDataPreparation).ok());
+  ASSERT_TRUE(log.EnterStage(CrispDmStage::kModeling).ok());
+  EXPECT_EQ(log.current_stage(), CrispDmStage::kModeling);
+  EXPECT_TRUE(log.started());
+}
+
+TEST(StudyLogTest, SilentBackwardsMoveRejected) {
+  StudyLog log;
+  ASSERT_TRUE(log.EnterStage(CrispDmStage::kModeling).ok());
+  EXPECT_FALSE(log.EnterStage(CrispDmStage::kDataPreparation).ok());
+  EXPECT_EQ(log.current_stage(), CrispDmStage::kModeling);
+}
+
+TEST(StudyLogTest, ReopenStageAllowsIteration) {
+  StudyLog log;
+  ASSERT_TRUE(log.EnterStage(CrispDmStage::kEvaluation).ok());
+  ASSERT_TRUE(
+      log.ReopenStage(CrispDmStage::kDataPreparation, "new threshold").ok());
+  EXPECT_EQ(log.current_stage(), CrispDmStage::kDataPreparation);
+  // Re-advancing afterwards is fine.
+  EXPECT_TRUE(log.EnterStage(CrispDmStage::kModeling).ok());
+}
+
+TEST(StudyLogTest, ReopenForwardRejected) {
+  StudyLog log;
+  ASSERT_TRUE(log.EnterStage(CrispDmStage::kDataPreparation).ok());
+  EXPECT_FALSE(log.ReopenStage(CrispDmStage::kDeployment, "skip?").ok());
+}
+
+TEST(StudyLogTest, ReopenBeforeStartRejected) {
+  StudyLog log;
+  EXPECT_FALSE(log.ReopenStage(CrispDmStage::kModeling, "x").ok());
+}
+
+TEST(StudyLogTest, NotesAttachToCurrentStage) {
+  StudyLog log;
+  EXPECT_FALSE(log.Note("too early").ok());
+  ASSERT_TRUE(log.EnterStage(CrispDmStage::kDataUnderstanding).ok());
+  ASSERT_TRUE(log.Note("16750 crash rows after F60 filter").ok());
+  const std::string rendered = log.Render();
+  EXPECT_NE(rendered.find("[data understanding]"), std::string::npos);
+  EXPECT_NE(rendered.find("16750 crash rows"), std::string::npos);
+}
+
+TEST(StudyLogTest, RenderChronological) {
+  StudyLog log;
+  ASSERT_TRUE(log.EnterStage(CrispDmStage::kBusinessUnderstanding).ok());
+  ASSERT_TRUE(log.Note("goal: crash proneness threshold").ok());
+  ASSERT_TRUE(log.EnterStage(CrispDmStage::kModeling).ok());
+  const std::string out = log.Render();
+  EXPECT_LT(out.find("goal"), out.find("entered modeling"));
+  EXPECT_EQ(log.entry_count(), 3u);
+}
+
+}  // namespace
+}  // namespace roadmine::core

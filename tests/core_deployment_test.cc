@@ -1,0 +1,116 @@
+#include "core/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace roadmine::core {
+namespace {
+
+data::Dataset SegmentInventory(size_t n = 4000, uint64_t seed = 17) {
+  roadgen::GeneratorConfig config;
+  config.num_segments = n;
+  config.seed = seed;
+  roadgen::RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  EXPECT_TRUE(segments.ok());
+  auto ds = roadgen::BuildSegmentDataset(*segments);
+  EXPECT_TRUE(ds.ok());
+  return std::move(*ds);
+}
+
+// A scorer that reads the observed count — a perfect oracle for testing
+// the ranking plumbing.
+SegmentScorer OracleScorer() {
+  return [](const data::Dataset& ds, size_t row) {
+    auto count = ds.ColumnByName(roadgen::kSegmentCrashCountColumn);
+    const double c = (*count)->NumericAt(row);
+    return c / (c + 4.0);  // Monotone in the count, in [0, 1).
+  };
+}
+
+TEST(DeploymentTest, RanksByProbabilityDescending) {
+  data::Dataset ds = SegmentInventory();
+  auto program = BuildWorksProgram(ds, OracleScorer());
+  ASSERT_TRUE(program.ok());
+  ASSERT_GT(program->segments.size(), 1u);
+  for (size_t i = 1; i < program->segments.size(); ++i) {
+    EXPECT_GE(program->segments[i - 1].crash_prone_probability,
+              program->segments[i].crash_prone_probability);
+  }
+}
+
+TEST(DeploymentTest, OracleGetsPerfectTopDecileAgreement) {
+  data::Dataset ds = SegmentInventory();
+  auto program = BuildWorksProgram(ds, OracleScorer());
+  ASSERT_TRUE(program.ok());
+  EXPECT_NEAR(program->top_decile_agreement, 1.0, 1e-12);
+}
+
+TEST(DeploymentTest, RespectsMaxSegmentsAndFloor) {
+  data::Dataset ds = SegmentInventory();
+  DeploymentConfig config;
+  config.max_segments = 7;
+  config.min_probability = 0.6;
+  auto program = BuildWorksProgram(ds, OracleScorer(), config);
+  ASSERT_TRUE(program.ok());
+  EXPECT_LE(program->segments.size(), 7u);
+  for (const RankedSegment& s : program->segments) {
+    EXPECT_GE(s.crash_prone_probability, 0.6);
+  }
+}
+
+TEST(DeploymentTest, EverySegmentGetsARecommendation) {
+  data::Dataset ds = SegmentInventory();
+  auto program = BuildWorksProgram(ds, OracleScorer());
+  ASSERT_TRUE(program.ok());
+  for (const RankedSegment& s : program->segments) {
+    EXPECT_FALSE(s.recommended_treatments.empty());
+  }
+}
+
+TEST(DeploymentTest, TreatmentTriggersFireOnDeficits) {
+  // Hand-built inventory: one clearly deficient segment.
+  data::Dataset ds;
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::Numeric("segment_id", {1.0, 2.0})).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("segment_crash_count",
+                                                 {40.0, 0.0}))
+                  .ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("f60", {0.30, 0.70})).ok());
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::Numeric("texture_depth", {0.5, 2.0})).ok());
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::Numeric("seal_age", {22.0, 2.0})).ok());
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::Numeric("shoulder_width", {0.4, 2.5})).ok());
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::Numeric("roughness_iri", {5.5, 2.0})).ok());
+
+  auto program = BuildWorksProgram(ds, OracleScorer());
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->segments.size(), 1u);  // Only segment 1 clears 0.5.
+  const RankedSegment& worst = program->segments[0];
+  EXPECT_EQ(worst.segment_id, 1);
+  EXPECT_GE(worst.recommended_treatments.size(), 4u);
+}
+
+TEST(DeploymentTest, Errors) {
+  data::Dataset ds = SegmentInventory(2000, 3);
+  EXPECT_FALSE(BuildWorksProgram(ds, SegmentScorer{}).ok());
+  data::Dataset empty;
+  EXPECT_FALSE(BuildWorksProgram(empty, OracleScorer()).ok());
+}
+
+TEST(DeploymentTest, RenderShowsRanksAndAgreement) {
+  data::Dataset ds = SegmentInventory(2000, 5);
+  auto program = BuildWorksProgram(ds, OracleScorer());
+  ASSERT_TRUE(program.ok());
+  const std::string out = RenderWorksProgram(*program, 5);
+  EXPECT_NE(out.find("P(crash-prone)"), std::string::npos);
+  EXPECT_NE(out.find("top-decile agreement"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roadmine::core

@@ -1,0 +1,104 @@
+#include "core/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace roadmine::core {
+namespace {
+
+TEST(ExportTest, ThresholdCountsRoundTripThroughCsvParser) {
+  std::vector<ThresholdClassCounts> counts(2);
+  counts[0].threshold = 2;
+  counts[0].non_crash_prone = 3548;
+  counts[0].crash_prone = 13202;
+  counts[1].threshold = 64;
+  counts[1].non_crash_prone = 16576;
+  counts[1].crash_prone = 174;
+  auto rows = util::ParseCsv(ThresholdCountsToCsv(counts));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);  // Header + 2 rows.
+  EXPECT_EQ((*rows)[0][0], "threshold");
+  EXPECT_EQ((*rows)[1][2], "13202");
+  EXPECT_EQ((*rows)[2][1], "16576");
+}
+
+TEST(ExportTest, TreeSweepHasOneRowPerThreshold) {
+  std::vector<ThresholdModelResult> sweep(3);
+  sweep[0].threshold = 2;
+  sweep[1].threshold = 4;
+  sweep[2].threshold = 8;
+  sweep[2].mcpv = 0.729;
+  auto rows = util::ParseCsv(TreeSweepToCsv(sweep));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[3][0], "8");
+  EXPECT_EQ((*rows)[3][8], "0.729000");
+}
+
+TEST(ExportTest, BayesSweepColumnsMatchHeader) {
+  std::vector<BayesThresholdResult> sweep(1);
+  sweep[0].threshold = 16;
+  sweep[0].roc_area = 0.833;
+  auto rows = util::ParseCsv(BayesSweepToCsv(sweep));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].size(), (*rows)[1].size());
+  EXPECT_EQ((*rows)[1][6], "0.833000");
+}
+
+TEST(ExportTest, SupportingSweepSerializes) {
+  std::vector<SupportingModelResult> sweep(1);
+  sweep[0].threshold = 4;
+  sweep[0].logistic_mcpv = 0.854;
+  auto rows = util::ParseCsv(SupportingSweepToCsv(sweep));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[1][1], "0.854000");
+}
+
+TEST(ExportTest, ClusterProfilesSkipEmptyClusters) {
+  ClusterAnalysisResult result;
+  ClusterCrashProfile full;
+  full.cluster_id = 3;
+  full.size = 10;
+  full.crash_counts = stats::Summarize({1, 2, 3});
+  ClusterCrashProfile empty;
+  empty.cluster_id = 4;
+  empty.size = 0;
+  result.clusters = {full, empty};
+  auto rows = util::ParseCsv(ClusterProfilesToCsv(result));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // Header + the non-empty cluster.
+  EXPECT_EQ((*rows)[1][0], "3");
+}
+
+TEST(ExportTest, RocCurveSerializes) {
+  std::vector<eval::RocPoint> curve = {{0.0, 0.0, 1.0}, {1.0, 1.0, 0.0}};
+  auto rows = util::ParseCsv(RocCurveToCsv(curve));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[2][0], "1.000000");
+}
+
+TEST(ExportTest, WriteCsvArtifactWritesFile) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(WriteCsvArtifact(dir, "roadmine_export_test.csv", "a,b\n1,2\n")
+                  .ok());
+  std::ifstream file(dir + "/roadmine_export_test.csv");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\n1,2\n");
+  std::remove((dir + "/roadmine_export_test.csv").c_str());
+}
+
+TEST(ExportTest, WriteCsvArtifactFailsOnBadDirectory) {
+  EXPECT_FALSE(
+      WriteCsvArtifact("/nonexistent_dir_xyz", "f.csv", "a\n").ok());
+}
+
+}  // namespace
+}  // namespace roadmine::core

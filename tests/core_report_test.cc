@@ -1,0 +1,128 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace roadmine::core {
+namespace {
+
+std::vector<ThresholdModelResult> SampleSweep() {
+  std::vector<ThresholdModelResult> rows(2);
+  rows[0].threshold = 4;
+  rows[0].non_crash_prone = 6000;
+  rows[0].crash_prone = 10000;
+  rows[0].r_squared = 0.59;
+  rows[0].regression_leaves = 125;
+  rows[0].negative_predictive_value = 0.79;
+  rows[0].positive_predictive_value = 0.92;
+  rows[0].misclassification_rate = 0.127;
+  rows[0].mcpv = 0.79;
+  rows[0].kappa = 0.63;
+  rows[0].tree_leaves = 49;
+  rows[1].threshold = 64;
+  rows[1].non_crash_prone = 16576;
+  rows[1].crash_prone = 174;
+  rows[1].mcpv = 1.0;
+  rows[1].tree_leaves = 6;
+  return rows;
+}
+
+TEST(ReportTest, ThresholdTableListsEveryRow) {
+  std::vector<ThresholdClassCounts> counts(2);
+  counts[0].threshold = 2;
+  counts[0].non_crash_prone = 3548;
+  counts[0].crash_prone = 13202;
+  counts[1].threshold = 64;
+  counts[1].non_crash_prone = 16576;
+  counts[1].crash_prone = 174;
+  const std::string out = RenderThresholdTable(counts);
+  EXPECT_NE(out.find("CP-2"), std::string::npos);
+  EXPECT_NE(out.find("13202"), std::string::npos);
+  EXPECT_NE(out.find("CP-64"), std::string::npos);
+  EXPECT_NE(out.find("95.3:1"), std::string::npos);  // Imbalance ratio.
+}
+
+TEST(ReportTest, TreeSweepTableShowsPaperColumns) {
+  const std::string out = RenderTreeSweepTable("Phase 2", SampleSweep());
+  EXPECT_NE(out.find("Phase 2"), std::string::npos);
+  EXPECT_NE(out.find("R-squared"), std::string::npos);
+  EXPECT_NE(out.find(">4"), std::string::npos);
+  EXPECT_NE(out.find("12.70"), std::string::npos);  // Misclass as percent.
+  EXPECT_NE(out.find("0.5900"), std::string::npos);
+}
+
+TEST(ReportTest, BayesTableShowsWeightedColumns) {
+  std::vector<BayesThresholdResult> rows(1);
+  rows[0].threshold = 8;
+  rows[0].correctly_classified = 0.81;
+  rows[0].weighted_precision = 0.817;
+  rows[0].weighted_recall = 0.813;
+  rows[0].roc_area = 0.869;
+  rows[0].kappa = 0.6264;
+  const std::string out = RenderBayesTable(rows);
+  EXPECT_NE(out.find("W.Precision"), std::string::npos);
+  EXPECT_NE(out.find("0.6264"), std::string::npos);
+}
+
+TEST(ReportTest, McpvComparisonRendersBothPhases) {
+  const std::string out =
+      RenderMcpvComparison(SampleSweep(), SampleSweep());
+  EXPECT_NE(out.find("P1 >4"), std::string::npos);
+  EXPECT_NE(out.find("P2 >64"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);  // Bars.
+}
+
+TEST(ReportTest, BayesEfficiencyPairsMcpvAndKappa) {
+  std::vector<BayesThresholdResult> rows(1);
+  rows[0].threshold = 32;
+  rows[0].mcpv = 0.26;
+  rows[0].kappa = 0.29;
+  const std::string out = RenderBayesEfficiency(rows);
+  EXPECT_NE(out.find("MCPV"), std::string::npos);
+  EXPECT_NE(out.find("Kappa"), std::string::npos);
+  EXPECT_NE(out.find(">32"), std::string::npos);
+}
+
+TEST(ReportTest, ClusterTableMarksLowCrashClusters) {
+  ClusterAnalysisResult result;
+  ClusterCrashProfile low;
+  low.cluster_id = 1;
+  low.size = 100;
+  low.crash_counts = stats::Summarize({1, 1, 2, 2, 3, 3});
+  ClusterCrashProfile high;
+  high.cluster_id = 2;
+  high.size = 50;
+  high.crash_counts = stats::Summarize({20, 25, 30, 35});
+  result.clusters = {low, high};
+  result.anova.f_statistic = 310.0;
+  result.anova.p_value = 0.0;
+  const std::string out = RenderClusterTable(result);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("low-crash clusters (IQR within <=4 crashes): 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("ANOVA"), std::string::npos);
+}
+
+TEST(ReportTest, ClusterTableSkipsEmptyClusters) {
+  ClusterAnalysisResult result;
+  ClusterCrashProfile empty;
+  empty.cluster_id = 9;
+  empty.size = 0;
+  result.clusters = {empty};
+  const std::string out = RenderClusterTable(result);
+  EXPECT_EQ(out.find(" 9 "), std::string::npos);
+}
+
+TEST(ReportTest, SupportingTableShowsAllModelFamilies) {
+  std::vector<SupportingModelResult> rows(1);
+  rows[0].threshold = 8;
+  rows[0].logistic_mcpv = 0.76;
+  rows[0].neural_net_mcpv = 0.78;
+  rows[0].m5_r_squared = 0.54;
+  const std::string out = RenderSupportingTable(rows);
+  EXPECT_NE(out.find("Logit"), std::string::npos);
+  EXPECT_NE(out.find("NN"), std::string::npos);
+  EXPECT_NE(out.find("M5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roadmine::core

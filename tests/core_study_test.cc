@@ -1,0 +1,151 @@
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace roadmine::core {
+namespace {
+
+// A small network keeps the sweep fast while preserving the structure.
+data::Dataset SmallCrashOnlyDataset() {
+  roadgen::GeneratorConfig config;
+  config.num_segments = 3000;
+  config.seed = 21;
+  roadgen::RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  EXPECT_TRUE(segments.ok());
+  auto ds =
+      roadgen::BuildCrashOnlyDataset(*segments, gen.SimulateCrashRecords(*segments));
+  EXPECT_TRUE(ds.ok());
+  return std::move(*ds);
+}
+
+StudyConfig FastConfig() {
+  StudyConfig config;
+  config.thresholds = {2, 8, 32};
+  config.cv_folds = 3;
+  config.tree_params.max_leaves = 24;
+  config.regression_params.max_leaves = 24;
+  config.seed = 5;
+  return config;
+}
+
+TEST(CrashPronenessStudyTest, TreeSweepProducesWellFormedRows) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  CrashPronenessStudy study(FastConfig());
+  auto results = study.RunTreeSweep(ds);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  for (const ThresholdModelResult& row : *results) {
+    EXPECT_GT(row.crash_prone + row.non_crash_prone, 0u);
+    EXPECT_GE(row.mcpv, 0.0);
+    EXPECT_LE(row.mcpv, 1.0);
+    EXPECT_GE(row.misclassification_rate, 0.0);
+    EXPECT_LE(row.misclassification_rate, 1.0);
+    EXPECT_GE(row.tree_leaves, 1u);
+    EXPECT_GE(row.regression_leaves, 1u);
+    EXPECT_LE(row.r_squared, 1.0);
+  }
+  // Class sizes must shrink as the threshold rises (Table 1's shape).
+  EXPECT_GT((*results)[0].crash_prone, (*results)[1].crash_prone);
+  EXPECT_GT((*results)[1].crash_prone, (*results)[2].crash_prone);
+}
+
+TEST(CrashPronenessStudyTest, TreeSweepAddsTargetColumns) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  CrashPronenessStudy study(FastConfig());
+  ASSERT_TRUE(study.RunTreeSweep(ds).ok());
+  EXPECT_TRUE(ds.HasColumn("crash_prone_gt2"));
+  EXPECT_TRUE(ds.HasColumn("crash_prone_gt8"));
+  EXPECT_TRUE(ds.HasColumn("crash_prone_gt32"));
+}
+
+TEST(CrashPronenessStudyTest, ModelsBeatChanceAtModerateThresholds) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  CrashPronenessStudy study(FastConfig());
+  auto results = study.RunTreeSweep(ds);
+  ASSERT_TRUE(results.ok());
+  // At CP-8, attribute signal should give a clearly non-trivial model.
+  const ThresholdModelResult& cp8 = (*results)[1];
+  EXPECT_GT(cp8.mcpv, 0.6);
+  EXPECT_GT(cp8.kappa, 0.3);
+  EXPECT_GT(cp8.r_squared, 0.2);
+}
+
+TEST(CrashPronenessStudyTest, BayesSweepWellFormed) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  CrashPronenessStudy study(FastConfig());
+  auto results = study.RunBayesSweep(ds);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  for (const BayesThresholdResult& row : *results) {
+    EXPECT_GE(row.correctly_classified, 0.0);
+    EXPECT_LE(row.correctly_classified, 1.0);
+    EXPECT_GE(row.roc_area, 0.0);
+    EXPECT_LE(row.roc_area, 1.0);
+    EXPECT_GE(row.kappa, -1.0);
+    EXPECT_LE(row.kappa, 1.0);
+  }
+  // The Bayes model should rank far better than chance at CP-8.
+  EXPECT_GT((*results)[1].roc_area, 0.75);
+}
+
+TEST(CrashPronenessStudyTest, MissingCountColumnFails) {
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", {1, 2, 3})).ok());
+  CrashPronenessStudy study(FastConfig());
+  EXPECT_FALSE(study.RunTreeSweep(ds).ok());
+}
+
+TEST(CrashPronenessStudyTest, ExplicitFeatureListRespected) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  StudyConfig config = FastConfig();
+  config.thresholds = {8};
+  config.feature_columns = {"f60", "aadt"};
+  CrashPronenessStudy study(config);
+  auto results = study.RunTreeSweep(ds);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+TEST(SelectBestThresholdTest, PicksPeakMcpv) {
+  std::vector<ThresholdModelResult> results(3);
+  results[0].threshold = 2;
+  results[0].mcpv = 0.70;
+  results[1].threshold = 8;
+  results[1].mcpv = 0.90;
+  results[2].threshold = 32;
+  results[2].mcpv = 0.60;
+  EXPECT_EQ(CrashPronenessStudy::SelectBestThreshold(results), 8);
+}
+
+TEST(SelectBestThresholdTest, NearTieResolvesTowardZeroBoundary) {
+  // The paper's rule: prefer the threshold "near the crash/no crash
+  // boundary" when efficiencies are comparable.
+  std::vector<ThresholdModelResult> results(3);
+  results[0].threshold = 4;
+  results[0].mcpv = 0.895;
+  results[1].threshold = 8;
+  results[1].mcpv = 0.900;
+  results[2].threshold = 64;
+  results[2].mcpv = 0.40;
+  EXPECT_EQ(CrashPronenessStudy::SelectBestThreshold(results, 0.01), 4);
+}
+
+TEST(SelectBestThresholdTest, UnorderedInputHandled) {
+  std::vector<ThresholdModelResult> results(2);
+  results[0].threshold = 32;
+  results[0].mcpv = 0.5;
+  results[1].threshold = 4;
+  results[1].mcpv = 0.9;
+  EXPECT_EQ(CrashPronenessStudy::SelectBestThreshold(results), 4);
+}
+
+TEST(SelectBestThresholdTest, EmptyInputGivesZero) {
+  EXPECT_EQ(CrashPronenessStudy::SelectBestThreshold({}), 0);
+}
+
+}  // namespace
+}  // namespace roadmine::core

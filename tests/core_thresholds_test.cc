@@ -1,0 +1,82 @@
+#include "core/thresholds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::core {
+namespace {
+
+data::Dataset CountDataset(std::vector<double> counts) {
+  data::Dataset ds;
+  EXPECT_TRUE(
+      ds.AddColumn(data::Column::Numeric("count", std::move(counts))).ok());
+  return ds;
+}
+
+TEST(ThresholdsTest, StandardLaddersMatchPaper) {
+  EXPECT_EQ(StandardThresholds(), (std::vector<int>{2, 4, 8, 16, 32, 64}));
+  EXPECT_EQ(Phase1Thresholds(), (std::vector<int>{0, 2, 4, 8, 16, 32, 64}));
+}
+
+TEST(ThresholdsTest, TargetNameStable) {
+  EXPECT_EQ(ThresholdTargetName(8), "crash_prone_gt8");
+}
+
+TEST(AddCrashProneTargetTest, DerivesStrictGreaterThan) {
+  data::Dataset ds = CountDataset({0, 2, 3, 8, 9});
+  ASSERT_TRUE(AddCrashProneTarget(ds, "count", 2).ok());
+  auto target = ds.ColumnByName("crash_prone_gt2");
+  ASSERT_TRUE(target.ok());
+  EXPECT_DOUBLE_EQ((*target)->NumericAt(0), 0.0);
+  EXPECT_DOUBLE_EQ((*target)->NumericAt(1), 0.0);  // == 2 is NOT prone.
+  EXPECT_DOUBLE_EQ((*target)->NumericAt(2), 1.0);
+  EXPECT_DOUBLE_EQ((*target)->NumericAt(4), 1.0);
+}
+
+TEST(AddCrashProneTargetTest, ReplacesExistingTarget) {
+  data::Dataset ds = CountDataset({0, 5});
+  ASSERT_TRUE(AddCrashProneTarget(ds, "count", 2).ok());
+  ASSERT_TRUE(AddCrashProneTarget(ds, "count", 2).ok());  // Idempotent.
+  EXPECT_EQ(ds.num_columns(), 2u);
+}
+
+TEST(AddCrashProneTargetTest, Errors) {
+  data::Dataset ds = CountDataset({1, 2});
+  EXPECT_FALSE(AddCrashProneTarget(ds, "nope", 2).ok());
+
+  data::Dataset missing = CountDataset({1.0, std::nan("")});
+  EXPECT_FALSE(AddCrashProneTarget(missing, "count", 2).ok());
+
+  data::Dataset categorical;
+  ASSERT_TRUE(categorical
+                  .AddColumn(data::Column::CategoricalFromStrings(
+                      "count", {"a", "b"}))
+                  .ok());
+  EXPECT_FALSE(AddCrashProneTarget(categorical, "count", 2).ok());
+}
+
+TEST(CountThresholdClassesTest, MatchesDerivedTarget) {
+  data::Dataset ds = CountDataset({0, 1, 2, 3, 4, 5, 9, 100});
+  auto counts = CountThresholdClasses(ds, "count", 4);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->threshold, 4);
+  EXPECT_EQ(counts->non_crash_prone, 5u);  // 0,1,2,3,4.
+  EXPECT_EQ(counts->crash_prone, 3u);      // 5,9,100.
+  EXPECT_EQ(counts->total(), 8u);
+}
+
+TEST(ImbalanceRatioTest, Values) {
+  ThresholdClassCounts counts;
+  counts.non_crash_prone = 90;
+  counts.crash_prone = 10;
+  EXPECT_DOUBLE_EQ(counts.imbalance_ratio(), 9.0);
+  counts.crash_prone = 0;
+  EXPECT_TRUE(std::isinf(counts.imbalance_ratio()));
+  counts.non_crash_prone = 10;
+  counts.crash_prone = 90;
+  EXPECT_DOUBLE_EQ(counts.imbalance_ratio(), 9.0);  // Direction-agnostic.
+}
+
+}  // namespace
+}  // namespace roadmine::core

@@ -1,0 +1,120 @@
+#include "core/wet_dry.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace roadmine::core {
+namespace {
+
+// Hand-built dataset: wet share falls as "f60" rises.
+data::Dataset HandDataset() {
+  std::vector<double> f60;
+  std::vector<int32_t> wet;
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double value = 0.2 + 0.6 * (i % 100) / 100.0;
+    f60.push_back(value);
+    const double p_wet = 0.8 - 0.8 * (value - 0.2) / 0.6;
+    wet.push_back(rng.Bernoulli(p_wet) ? 1 : 0);
+  }
+  data::Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("f60", f60)).ok());
+  auto wet_col = data::Column::Categorical("wet_surface", wet, {"dry", "wet"});
+  EXPECT_TRUE(wet_col.ok());
+  EXPECT_TRUE(ds.AddColumn(std::move(*wet_col)).ok());
+  return ds;
+}
+
+TEST(WetDryTest, DetectsAssociation) {
+  data::Dataset ds = HandDataset();
+  auto result = AnalyzeWetDry(ds, ds.AllRowIndices());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->bands.size(), 5u);
+  // Wet share falls monotonically with F60.
+  EXPECT_GT(result->bands.front().wet_share(),
+            result->bands.back().wet_share() + 0.2);
+  EXPECT_LT(result->association.p_value, 1e-6);
+}
+
+TEST(WetDryTest, BandsPartitionAllUsableRows) {
+  data::Dataset ds = HandDataset();
+  auto result = AnalyzeWetDry(ds, ds.AllRowIndices());
+  ASSERT_TRUE(result.ok());
+  size_t total = 0;
+  for (const WetDryBand& band : result->bands) total += band.total();
+  EXPECT_EQ(total + result->skipped_rows, ds.num_rows());
+  EXPECT_EQ(result->skipped_rows, 0u);
+}
+
+TEST(WetDryTest, MissingRowsSkippedAndCounted) {
+  data::Dataset ds = HandDataset();
+  // Punch missing values into f60.
+  std::vector<double> values;
+  auto f60 = ds.ColumnByName("f60");
+  ASSERT_TRUE(f60.ok());
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    values.push_back(r % 10 == 0 ? std::nan("") : (*f60)->NumericAt(r));
+  }
+  ASSERT_TRUE(ds.ReplaceColumn(data::Column::Numeric("f60", values)).ok());
+  auto result = AnalyzeWetDry(ds, ds.AllRowIndices());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->skipped_rows, 200u);
+}
+
+TEST(WetDryTest, ConfigurableAttributeAndBands) {
+  data::Dataset ds = HandDataset();
+  WetDryConfig config;
+  config.num_bands = 3;
+  auto result = AnalyzeWetDry(ds, ds.AllRowIndices(), config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bands.size(), 3u);
+}
+
+TEST(WetDryTest, Errors) {
+  data::Dataset ds = HandDataset();
+  WetDryConfig config;
+  config.num_bands = 1;
+  EXPECT_FALSE(AnalyzeWetDry(ds, ds.AllRowIndices(), config).ok());
+  config = WetDryConfig{};
+  config.attribute = "nope";
+  EXPECT_FALSE(AnalyzeWetDry(ds, ds.AllRowIndices(), config).ok());
+  config = WetDryConfig{};
+  config.wet_column = "f60";  // Not categorical.
+  EXPECT_FALSE(AnalyzeWetDry(ds, ds.AllRowIndices(), config).ok());
+  EXPECT_FALSE(AnalyzeWetDry(ds, {0, 1, 2}, WetDryConfig{}).ok());  // Too few.
+}
+
+TEST(WetDryTest, ReproducesPriorStudyOnGeneratedData) {
+  // The generator couples wet-crash probability to F60, mirroring the
+  // authors' earlier wet/dry finding; the analysis must recover it.
+  roadgen::GeneratorConfig config;
+  config.num_segments = 6000;
+  config.seed = 5;
+  roadgen::RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  ASSERT_TRUE(segments.ok());
+  auto ds = roadgen::BuildCrashOnlyDataset(*segments,
+                                           gen.SimulateCrashRecords(*segments));
+  ASSERT_TRUE(ds.ok());
+  auto result = AnalyzeWetDry(*ds, ds->AllRowIndices());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->bands.front().wet_share(),
+            result->bands.back().wet_share());
+  EXPECT_LT(result->association.p_value, 0.001);
+}
+
+TEST(WetDryTest, RenderContainsVerdict) {
+  data::Dataset ds = HandDataset();
+  auto result = AnalyzeWetDry(ds, ds.AllRowIndices());
+  ASSERT_TRUE(result.ok());
+  const std::string out = RenderWetDryTable(*result);
+  EXPECT_NE(out.find("wet share"), std::string::npos);
+  EXPECT_NE(out.find("chi-square"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roadmine::core

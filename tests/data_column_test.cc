@@ -1,0 +1,93 @@
+#include "data/column.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ColumnTest, NumericBasics) {
+  Column col = Column::Numeric("aadt", {100.0, 200.0, kNaN});
+  EXPECT_EQ(col.name(), "aadt");
+  EXPECT_EQ(col.type(), ColumnType::kNumeric);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col.NumericAt(1), 200.0);
+  EXPECT_FALSE(col.IsMissing(0));
+  EXPECT_TRUE(col.IsMissing(2));
+  EXPECT_EQ(col.missing_count(), 1u);
+}
+
+TEST(ColumnTest, CategoricalFromCodes) {
+  auto col = Column::Categorical("surface", {0, 1, -1, 1}, {"asphalt", "seal"});
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->type(), ColumnType::kCategorical);
+  EXPECT_EQ(col->category_count(), 2u);
+  EXPECT_EQ(col->CodeAt(1), 1);
+  EXPECT_TRUE(col->IsMissing(2));
+  EXPECT_EQ(col->CategoryName(0), "asphalt");
+}
+
+TEST(ColumnTest, CategoricalRejectsOutOfRangeCodes) {
+  EXPECT_FALSE(Column::Categorical("x", {0, 2}, {"a", "b"}).ok());
+  EXPECT_FALSE(Column::Categorical("x", {-2}, {"a"}).ok());
+}
+
+TEST(ColumnTest, CategoricalFromStringsBuildsDictionary) {
+  Column col = Column::CategoricalFromStrings(
+      "terrain", {"flat", "hill", "flat", "", "hill"});
+  EXPECT_EQ(col.category_count(), 2u);
+  EXPECT_EQ(col.CodeAt(0), 0);
+  EXPECT_EQ(col.CodeAt(1), 1);
+  EXPECT_EQ(col.CodeAt(2), 0);
+  EXPECT_TRUE(col.IsMissing(3));
+  EXPECT_EQ(col.CategoryName(1), "hill");
+}
+
+TEST(ColumnTest, ValueAsString) {
+  Column num = Column::Numeric("x", {1.5, kNaN});
+  EXPECT_EQ(num.ValueAsString(0, 2), "1.50");
+  EXPECT_EQ(num.ValueAsString(1), "");
+
+  Column cat = Column::CategoricalFromStrings("c", {"yes", ""});
+  EXPECT_EQ(cat.ValueAsString(0), "yes");
+  EXPECT_EQ(cat.ValueAsString(1), "");
+}
+
+TEST(ColumnTest, GatherNumericReordersAndDuplicates) {
+  Column col = Column::Numeric("x", {10.0, 20.0, 30.0});
+  Column picked = col.Gather({2, 0, 0});
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_DOUBLE_EQ(picked.NumericAt(0), 30.0);
+  EXPECT_DOUBLE_EQ(picked.NumericAt(1), 10.0);
+  EXPECT_DOUBLE_EQ(picked.NumericAt(2), 10.0);
+}
+
+TEST(ColumnTest, GatherCategoricalKeepsDictionary) {
+  Column col = Column::CategoricalFromStrings("c", {"a", "b", "c"});
+  Column picked = col.Gather({1});
+  EXPECT_EQ(picked.category_count(), 3u);
+  EXPECT_EQ(picked.CategoryName(picked.CodeAt(0)), "b");
+}
+
+TEST(ColumnTest, AppendNumeric) {
+  Column col = Column::Numeric("x", {});
+  col.AppendNumeric(5.0);
+  EXPECT_EQ(col.size(), 1u);
+  EXPECT_DOUBLE_EQ(col.NumericAt(0), 5.0);
+}
+
+TEST(ColumnTest, AppendCodeValidation) {
+  auto col = Column::Categorical("c", {}, {"a", "b"});
+  ASSERT_TRUE(col.ok());
+  EXPECT_TRUE(col->AppendCode(1).ok());
+  EXPECT_TRUE(col->AppendCode(-1).ok());
+  EXPECT_FALSE(col->AppendCode(2).ok());
+  EXPECT_EQ(col->size(), 2u);
+}
+
+}  // namespace
+}  // namespace roadmine::data

@@ -1,0 +1,86 @@
+#include "data/csv_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::data {
+namespace {
+
+TEST(CsvIoTest, InfersNumericAndCategorical) {
+  auto ds = DatasetFromCsvText("aadt,surface\n100,asphalt\n250.5,seal\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), 2u);
+  auto aadt = ds->ColumnByName("aadt");
+  ASSERT_TRUE(aadt.ok());
+  EXPECT_EQ((*aadt)->type(), ColumnType::kNumeric);
+  EXPECT_DOUBLE_EQ((*aadt)->NumericAt(1), 250.5);
+  auto surface = ds->ColumnByName("surface");
+  ASSERT_TRUE(surface.ok());
+  EXPECT_EQ((*surface)->type(), ColumnType::kCategorical);
+}
+
+TEST(CsvIoTest, EmptyCellsAreMissing) {
+  auto ds = DatasetFromCsvText("x,c\n1,\n,b\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->column(0).IsMissing(1));
+  EXPECT_TRUE(ds->column(1).IsMissing(0));
+}
+
+TEST(CsvIoTest, MixedColumnFallsBackToCategorical) {
+  auto ds = DatasetFromCsvText("v\n1\nabc\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->column(0).type(), ColumnType::kCategorical);
+}
+
+TEST(CsvIoTest, AllEmptyColumnIsCategorical) {
+  auto ds = DatasetFromCsvText("v\n\n\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->column(0).type(), ColumnType::kCategorical);
+  EXPECT_EQ(ds->column(0).missing_count(), 2u);
+}
+
+TEST(CsvIoTest, RejectsRaggedRows) {
+  EXPECT_FALSE(DatasetFromCsvText("a,b\n1\n").ok());
+}
+
+TEST(CsvIoTest, RejectsEmptyText) {
+  EXPECT_FALSE(DatasetFromCsvText("").ok());
+}
+
+TEST(CsvIoTest, HeaderOnlyGivesEmptyColumns) {
+  auto ds = DatasetFromCsvText("a,b\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), 0u);
+  EXPECT_EQ(ds->num_columns(), 2u);
+}
+
+TEST(CsvIoTest, RoundTripPreservesValues) {
+  const std::string text = "x,c\n1.500000,alpha\n2.250000,beta\n";
+  auto ds = DatasetFromCsvText(text);
+  ASSERT_TRUE(ds.ok());
+  const std::string out = DatasetToCsvText(*ds);
+  auto ds2 = DatasetFromCsvText(out);
+  ASSERT_TRUE(ds2.ok());
+  EXPECT_DOUBLE_EQ(ds2->column(0).NumericAt(1), 2.25);
+  EXPECT_EQ(ds2->column(1).ValueAsString(0), "alpha");
+}
+
+TEST(CsvIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/roadmine_csv_io_test.csv";
+  Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(Column::Numeric("x", {1.0, 2.0})).ok());
+  ASSERT_TRUE(WriteCsvFile(ds, path).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/road.csv").ok());
+}
+
+}  // namespace
+}  // namespace roadmine::data

@@ -1,0 +1,108 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace roadmine::data {
+namespace {
+
+Dataset MakeDataset() {
+  Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(Column::Numeric("x", {1.0, 2.0, 3.0})).ok());
+  EXPECT_TRUE(
+      ds.AddColumn(Column::CategoricalFromStrings("c", {"a", "b", "a"})).ok());
+  return ds;
+}
+
+TEST(DatasetTest, AddAndLookup) {
+  Dataset ds = MakeDataset();
+  EXPECT_EQ(ds.num_rows(), 3u);
+  EXPECT_EQ(ds.num_columns(), 2u);
+  EXPECT_TRUE(ds.HasColumn("x"));
+  EXPECT_FALSE(ds.HasColumn("missing"));
+  auto idx = ds.ColumnIndex("c");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+}
+
+TEST(DatasetTest, DuplicateNameRejected) {
+  Dataset ds = MakeDataset();
+  EXPECT_FALSE(ds.AddColumn(Column::Numeric("x", {0, 0, 0})).ok());
+}
+
+TEST(DatasetTest, SizeMismatchRejected) {
+  Dataset ds = MakeDataset();
+  EXPECT_FALSE(ds.AddColumn(Column::Numeric("y", {1.0})).ok());
+}
+
+TEST(DatasetTest, ReplaceColumnSwapsPayload) {
+  Dataset ds = MakeDataset();
+  ASSERT_TRUE(ds.ReplaceColumn(Column::Numeric("x", {9.0, 9.0, 9.0})).ok());
+  auto col = ds.ColumnByName("x");
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ((*col)->NumericAt(0), 9.0);
+  EXPECT_EQ(ds.num_columns(), 2u);
+}
+
+TEST(DatasetTest, ReplaceAddsWhenAbsent) {
+  Dataset ds = MakeDataset();
+  ASSERT_TRUE(ds.ReplaceColumn(Column::Numeric("z", {1, 2, 3})).ok());
+  EXPECT_EQ(ds.num_columns(), 3u);
+}
+
+TEST(DatasetTest, DropColumnReindexes) {
+  Dataset ds = MakeDataset();
+  ASSERT_TRUE(ds.AddColumn(Column::Numeric("y", {4.0, 5.0, 6.0})).ok());
+  ASSERT_TRUE(ds.DropColumn("x").ok());
+  EXPECT_EQ(ds.num_columns(), 2u);
+  auto idx = ds.ColumnIndex("y");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_EQ(ds.column(*idx).name(), "y");
+  EXPECT_FALSE(ds.DropColumn("x").ok());
+}
+
+TEST(DatasetTest, GatherRowsSelectsAcrossColumns) {
+  Dataset ds = MakeDataset();
+  Dataset subset = ds.GatherRows({2, 0});
+  EXPECT_EQ(subset.num_rows(), 2u);
+  auto x = subset.ColumnByName("x");
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)->NumericAt(0), 3.0);
+  EXPECT_DOUBLE_EQ((*x)->NumericAt(1), 1.0);
+}
+
+TEST(DatasetTest, SelectColumnsSubsets) {
+  Dataset ds = MakeDataset();
+  auto subset = ds.SelectColumns({"c"});
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(subset->num_columns(), 1u);
+  EXPECT_EQ(subset->num_rows(), 3u);
+  EXPECT_FALSE(ds.SelectColumns({"nope"}).ok());
+}
+
+TEST(DatasetTest, AllRowIndices) {
+  Dataset ds = MakeDataset();
+  EXPECT_EQ(ds.AllRowIndices(), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(DatasetTest, ColumnNamesInOrder) {
+  Dataset ds = MakeDataset();
+  EXPECT_EQ(ds.ColumnNames(), (std::vector<std::string>{"x", "c"}));
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset ds;
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.num_rows(), 0u);
+  EXPECT_FALSE(ds.ColumnIndex("x").ok());
+}
+
+TEST(DatasetTest, HeadRendersPreview) {
+  Dataset ds = MakeDataset();
+  const std::string head = ds.Head(2);
+  EXPECT_NE(head.find("x"), std::string::npos);
+  EXPECT_NE(head.find("3 rows x 2 columns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roadmine::data

@@ -1,0 +1,88 @@
+#include "data/describe.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dataset MakeDataset() {
+  Dataset ds;
+  EXPECT_TRUE(
+      ds.AddColumn(Column::Numeric("x", {1.0, 2.0, 3.0, 4.0, kNaN})).ok());
+  EXPECT_TRUE(ds.AddColumn(Column::CategoricalFromStrings(
+                               "c", {"a", "b", "a", "a", ""}))
+                  .ok());
+  return ds;
+}
+
+TEST(DescribeTest, OneProfilePerColumn) {
+  const auto profiles = DescribeDataset(MakeDataset());
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].name, "x");
+  EXPECT_EQ(profiles[1].name, "c");
+}
+
+TEST(DescribeTest, NumericSummaryAndMissing) {
+  const auto profiles = DescribeDataset(MakeDataset());
+  const ColumnProfile& x = profiles[0];
+  EXPECT_EQ(x.type, ColumnType::kNumeric);
+  EXPECT_EQ(x.rows, 5u);
+  EXPECT_EQ(x.missing, 1u);
+  EXPECT_NEAR(x.missing_fraction(), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(x.summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(x.summary.max, 4.0);
+  EXPECT_DOUBLE_EQ(x.summary.median, 2.5);
+  EXPECT_EQ(x.summary.count, 4u);
+}
+
+TEST(DescribeTest, CategoricalTopCounts) {
+  const auto profiles = DescribeDataset(MakeDataset());
+  const ColumnProfile& c = profiles[1];
+  EXPECT_EQ(c.type, ColumnType::kCategorical);
+  EXPECT_EQ(c.category_count, 2u);
+  EXPECT_EQ(c.missing, 1u);
+  ASSERT_FALSE(c.top_categories.empty());
+  EXPECT_EQ(c.top_categories[0].first, "a");
+  EXPECT_EQ(c.top_categories[0].second, 3u);
+}
+
+TEST(DescribeTest, TopCategoriesCappedAtFive) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 20; ++i) values.push_back("cat" + std::to_string(i % 8));
+  Dataset ds;
+  ASSERT_TRUE(
+      ds.AddColumn(Column::CategoricalFromStrings("many", values)).ok());
+  const auto profiles = DescribeDataset(ds);
+  EXPECT_EQ(profiles[0].category_count, 8u);
+  EXPECT_EQ(profiles[0].top_categories.size(), 5u);
+}
+
+TEST(DescribeTest, EmptyDataset) {
+  Dataset ds;
+  EXPECT_TRUE(DescribeDataset(ds).empty());
+}
+
+TEST(DescribeTest, RenderShowsBothKinds) {
+  const std::string out = RenderDescription(DescribeDataset(MakeDataset()));
+  EXPECT_NE(out.find("numeric"), std::string::npos);
+  EXPECT_NE(out.find("categorical[2]"), std::string::npos);
+  EXPECT_NE(out.find("20.0%"), std::string::npos);
+  EXPECT_NE(out.find("a(3)"), std::string::npos);
+}
+
+TEST(DescribeTest, SkewnessComputedForNumeric) {
+  Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(Column::Numeric(
+                               "skewed", {1, 1, 1, 1, 1, 2, 3, 50}))
+                  .ok());
+  const auto profiles = DescribeDataset(ds);
+  EXPECT_GT(profiles[0].skewness, 1.0);
+}
+
+}  // namespace
+}  // namespace roadmine::data

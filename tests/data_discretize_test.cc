@@ -1,0 +1,141 @@
+#include "data/discretize.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dataset MakeDataset() {
+  Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(Column::Numeric(
+                               "x", {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0,
+                                     8.0, 9.0}))
+                  .ok());
+  EXPECT_TRUE(ds.AddColumn(Column::Numeric(
+                               "y", {10, 10, 10, 10, 20, 20, 20, 30, 30, 30}))
+                  .ok());
+  return ds;
+}
+
+TEST(DiscretizerTest, EqualWidthEdges) {
+  Dataset ds = MakeDataset();
+  DiscretizerParams params;
+  params.strategy = BinningStrategy::kEqualWidth;
+  params.num_bins = 3;
+  Discretizer disc(params);
+  ASSERT_TRUE(disc.Fit(ds, {"x"}, ds.AllRowIndices()).ok());
+  auto edges = disc.EdgesFor("x");
+  ASSERT_TRUE(edges.ok());
+  ASSERT_EQ(edges->size(), 2u);
+  EXPECT_DOUBLE_EQ((*edges)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*edges)[1], 6.0);
+}
+
+TEST(DiscretizerTest, EqualFrequencyBinsBalanced) {
+  Dataset ds = MakeDataset();
+  DiscretizerParams params;
+  params.num_bins = 5;
+  Discretizer disc(params);
+  ASSERT_TRUE(disc.Fit(ds, {"x"}, ds.AllRowIndices()).ok());
+  auto out = disc.Transform(ds);
+  ASSERT_TRUE(out.ok());
+  auto col = out->ColumnByName("x");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), ColumnType::kCategorical);
+  // 10 values into 5 quantile bins: 2 per bin.
+  std::vector<int> counts(5, 0);
+  for (size_t r = 0; r < out->num_rows(); ++r) {
+    ++counts[static_cast<size_t>((*col)->CodeAt(r))];
+  }
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(DiscretizerTest, TransformPreservesOrderAndOtherColumns) {
+  Dataset ds = MakeDataset();
+  Discretizer disc;
+  ASSERT_TRUE(disc.Fit(ds, {"x"}, ds.AllRowIndices()).ok());
+  auto out = disc.Transform(ds);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), ds.num_rows());
+  auto y = out->ColumnByName("y");
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ((*y)->type(), ColumnType::kNumeric);  // Untouched.
+  // Bin codes must be monotone in the underlying value.
+  auto x = out->ColumnByName("x");
+  for (size_t r = 1; r < out->num_rows(); ++r) {
+    EXPECT_LE((*x)->CodeAt(r - 1), (*x)->CodeAt(r));
+  }
+}
+
+TEST(DiscretizerTest, MissingValuesStayMissing) {
+  Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(Column::Numeric(
+                               "x", {1.0, kNaN, 3.0, 4.0, 5.0, 6.0}))
+                  .ok());
+  Discretizer disc(DiscretizerParams{.num_bins = 2});
+  ASSERT_TRUE(disc.Fit(ds, {"x"}, ds.AllRowIndices()).ok());
+  auto out = disc.Transform(ds);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->column(0).IsMissing(1));
+  EXPECT_FALSE(out->column(0).IsMissing(0));
+}
+
+TEST(DiscretizerTest, HeavyTiesCollapseDuplicateEdges) {
+  Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(Column::Numeric(
+                               "x", {1, 1, 1, 1, 1, 1, 1, 1, 9, 10}))
+                  .ok());
+  Discretizer disc(DiscretizerParams{.num_bins = 5});
+  ASSERT_TRUE(disc.Fit(ds, {"x"}, ds.AllRowIndices()).ok());
+  auto out = disc.Transform(ds);
+  ASSERT_TRUE(out.ok());  // Must not produce empty/degenerate dictionaries.
+  EXPECT_GE(out->column(0).category_count(), 2u);
+}
+
+TEST(DiscretizerTest, BinLabelsAreRanges) {
+  Dataset ds = MakeDataset();
+  Discretizer disc(DiscretizerParams{.num_bins = 2});
+  ASSERT_TRUE(disc.Fit(ds, {"x"}, ds.AllRowIndices()).ok());
+  auto out = disc.Transform(ds);
+  ASSERT_TRUE(out.ok());
+  const std::string label = out->column(0).ValueAsString(0);
+  EXPECT_NE(label.find("[-inf"), std::string::npos);
+}
+
+TEST(DiscretizerTest, Errors) {
+  Dataset ds = MakeDataset();
+  Discretizer disc;
+  EXPECT_FALSE(disc.Fit(ds, {}, ds.AllRowIndices()).ok());
+  EXPECT_FALSE(disc.Fit(ds, {"x"}, {}).ok());
+  EXPECT_FALSE(disc.Fit(ds, {"nope"}, ds.AllRowIndices()).ok());
+  EXPECT_FALSE(disc.Transform(ds).ok());  // Not fitted.
+
+  Discretizer one_bin(DiscretizerParams{.num_bins = 1});
+  EXPECT_FALSE(one_bin.Fit(ds, {"x"}, ds.AllRowIndices()).ok());
+
+  Dataset categorical;
+  ASSERT_TRUE(categorical
+                  .AddColumn(Column::CategoricalFromStrings("c", {"a", "b"}))
+                  .ok());
+  EXPECT_FALSE(disc.Fit(categorical, {"c"}, {0, 1}).ok());
+}
+
+TEST(DiscretizerTest, FitOnSubsetAppliesEverywhere) {
+  Dataset ds = MakeDataset();
+  Discretizer disc(DiscretizerParams{.num_bins = 2});
+  // Fit on rows 0..4 only (values 0-4, median 2).
+  ASSERT_TRUE(disc.Fit(ds, {"x"}, {0, 1, 2, 3, 4}).ok());
+  auto out = disc.Transform(ds);
+  ASSERT_TRUE(out.ok());
+  // Rows beyond the fit range land in the top bin.
+  EXPECT_EQ(out->column(0).CodeAt(9),
+            static_cast<int32_t>(out->column(0).category_count()) - 1);
+}
+
+}  // namespace
+}  // namespace roadmine::data

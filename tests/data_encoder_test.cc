@@ -1,0 +1,112 @@
+#include "data/encoder.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dataset MixedDataset() {
+  Dataset ds;
+  EXPECT_TRUE(
+      ds.AddColumn(Column::Numeric("x", {1.0, 2.0, 3.0, kNaN})).ok());
+  EXPECT_TRUE(ds.AddColumn(Column::CategoricalFromStrings(
+                               "c", {"red", "blue", "red", ""}))
+                  .ok());
+  return ds;
+}
+
+TEST(FeatureEncoderTest, DimensionAndNames) {
+  Dataset ds = MixedDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, {"x", "c"}, ds.AllRowIndices()).ok());
+  EXPECT_EQ(encoder.feature_dim(), 3u);  // 1 numeric + 2 one-hot.
+  EXPECT_EQ(encoder.feature_names(),
+            (std::vector<std::string>{"x", "c=red", "c=blue"}));
+}
+
+TEST(FeatureEncoderTest, NumericStandardized) {
+  Dataset ds = MixedDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, {"x"}, {0, 1, 2}).ok());
+  auto matrix = encoder.Transform(ds, {0, 1, 2});
+  ASSERT_TRUE(matrix.ok());
+  // Mean 2, sample std 1: encoded values are -1, 0, 1.
+  EXPECT_NEAR((*matrix)[0][0], -1.0, 1e-12);
+  EXPECT_NEAR((*matrix)[1][0], 0.0, 1e-12);
+  EXPECT_NEAR((*matrix)[2][0], 1.0, 1e-12);
+}
+
+TEST(FeatureEncoderTest, MissingNumericEncodesAsZero) {
+  Dataset ds = MixedDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, {"x"}, {0, 1, 2}).ok());
+  auto matrix = encoder.Transform(ds, {3});
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_DOUBLE_EQ((*matrix)[0][0], 0.0);
+}
+
+TEST(FeatureEncoderTest, OneHotCategorical) {
+  Dataset ds = MixedDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, {"c"}, {0, 1, 2}).ok());
+  auto matrix = encoder.Transform(ds, {0, 1, 3});
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ((*matrix)[0], (std::vector<double>{1.0, 0.0}));  // red.
+  EXPECT_EQ((*matrix)[1], (std::vector<double>{0.0, 1.0}));  // blue.
+  EXPECT_EQ((*matrix)[2], (std::vector<double>{0.0, 0.0}));  // missing.
+}
+
+TEST(FeatureEncoderTest, ConstantColumnDoesNotBlowUp) {
+  Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(Column::Numeric("k", {5.0, 5.0, 5.0})).ok());
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, {"k"}, ds.AllRowIndices()).ok());
+  auto matrix = encoder.Transform(ds, ds.AllRowIndices());
+  ASSERT_TRUE(matrix.ok());
+  for (const auto& row : *matrix) {
+    EXPECT_TRUE(std::isfinite(row[0]));
+    EXPECT_DOUBLE_EQ(row[0], 0.0);
+  }
+}
+
+TEST(FeatureEncoderTest, FitRequiresRowsAndColumns) {
+  Dataset ds = MixedDataset();
+  FeatureEncoder encoder;
+  EXPECT_FALSE(encoder.Fit(ds, {"x"}, {}).ok());
+  EXPECT_FALSE(encoder.Fit(ds, {"nope"}, {0}).ok());
+}
+
+TEST(FeatureEncoderTest, TransformRequiresFit) {
+  Dataset ds = MixedDataset();
+  FeatureEncoder encoder;
+  EXPECT_FALSE(encoder.Transform(ds, {0}).ok());
+}
+
+TEST(FeatureEncoderTest, TransformRejectsSchemaMismatch) {
+  Dataset ds = MixedDataset();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, {"x", "c"}, {0, 1, 2}).ok());
+  Dataset other;
+  ASSERT_TRUE(other.AddColumn(Column::Numeric("different", {1.0})).ok());
+  EXPECT_FALSE(encoder.Transform(other, {0}).ok());
+}
+
+TEST(FeatureEncoderTest, TrainOnlyStatistics) {
+  // Fitting on a subset must use that subset's mean/std, not the full data.
+  Dataset ds;
+  ASSERT_TRUE(
+      ds.AddColumn(Column::Numeric("x", {0.0, 10.0, 1000.0})).ok());
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(ds, {"x"}, {0, 1}).ok());  // Mean 5, std ~7.07.
+  auto matrix = encoder.Transform(ds, {0, 1});
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_NEAR((*matrix)[0][0], -0.7071, 1e-3);
+}
+
+}  // namespace
+}  // namespace roadmine::data

@@ -1,0 +1,99 @@
+#include "data/sampling.h"
+
+#include <gtest/gtest.h>
+
+namespace roadmine::data {
+namespace {
+
+Dataset BinaryDataset(size_t positives, size_t negatives) {
+  std::vector<double> target;
+  for (size_t i = 0; i < positives; ++i) target.push_back(1.0);
+  for (size_t i = 0; i < negatives; ++i) target.push_back(0.0);
+  Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(Column::Numeric("y", target)).ok());
+  return ds;
+}
+
+size_t CountPositives(const Dataset& ds, const std::vector<size_t>& rows) {
+  size_t count = 0;
+  for (size_t r : rows) count += ds.column(0).NumericAt(r) != 0.0;
+  return count;
+}
+
+TEST(UndersampleTest, ExactBalanceAtRatioOne) {
+  Dataset ds = BinaryDataset(100, 900);
+  util::Rng rng(1);
+  auto rows = UndersampleMajority(ds, "y", 1.0, rng);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 200u);
+  EXPECT_EQ(CountPositives(ds, *rows), 100u);
+}
+
+TEST(UndersampleTest, RatioTwoKeepsTwiceTheMajority) {
+  Dataset ds = BinaryDataset(100, 900);
+  util::Rng rng(2);
+  auto rows = UndersampleMajority(ds, "y", 2.0, rng);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 300u);
+  EXPECT_EQ(CountPositives(ds, *rows), 100u);
+}
+
+TEST(UndersampleTest, NoDuplicateRows) {
+  Dataset ds = BinaryDataset(50, 500);
+  util::Rng rng(3);
+  auto rows = UndersampleMajority(ds, "y", 1.0, rng);
+  ASSERT_TRUE(rows.ok());
+  std::vector<size_t> sorted = *rows;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(UndersampleTest, AlreadyBalancedIsNoOp) {
+  Dataset ds = BinaryDataset(100, 100);
+  util::Rng rng(4);
+  auto rows = UndersampleMajority(ds, "y", 1.0, rng);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 200u);
+}
+
+TEST(UndersampleTest, ErrorsOnSingleClassOrBadRatio) {
+  Dataset single = BinaryDataset(10, 0);
+  util::Rng rng(5);
+  EXPECT_FALSE(UndersampleMajority(single, "y", 1.0, rng).ok());
+  Dataset ds = BinaryDataset(10, 10);
+  EXPECT_FALSE(UndersampleMajority(ds, "y", 0.5, rng).ok());
+  EXPECT_FALSE(UndersampleMajority(ds, "nope", 1.0, rng).ok());
+}
+
+TEST(OversampleTest, MinorityGrownToBalance) {
+  Dataset ds = BinaryDataset(20, 200);
+  util::Rng rng(6);
+  auto rows = OversampleMinority(ds, "y", 1.0, rng);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(CountPositives(ds, *rows), 200u);
+  EXPECT_EQ(rows->size(), 400u);
+}
+
+TEST(OversampleTest, ReplicatesOnlyMinorityRows) {
+  Dataset ds = BinaryDataset(5, 50);
+  util::Rng rng(7);
+  auto rows = OversampleMinority(ds, "y", 1.0, rng);
+  ASSERT_TRUE(rows.ok());
+  // Positives occupy row ids [0, 5); every id must stay in range.
+  for (size_t r : *rows) EXPECT_LT(r, 55u);
+  // Negatives appear exactly once each.
+  size_t negative_refs = 0;
+  for (size_t r : *rows) negative_refs += (r >= 5);
+  EXPECT_EQ(negative_refs, 50u);
+}
+
+TEST(OversampleTest, RatioTwoHalvesTheTarget) {
+  Dataset ds = BinaryDataset(10, 100);
+  util::Rng rng(8);
+  auto rows = OversampleMinority(ds, "y", 2.0, rng);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(CountPositives(ds, *rows), 50u);
+}
+
+}  // namespace
+}  // namespace roadmine::data

@@ -1,0 +1,139 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::data {
+namespace {
+
+Dataset BinaryDataset(size_t positives, size_t negatives) {
+  std::vector<double> target;
+  for (size_t i = 0; i < positives; ++i) target.push_back(1.0);
+  for (size_t i = 0; i < negatives; ++i) target.push_back(0.0);
+  Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(Column::Numeric("y", target)).ok());
+  return ds;
+}
+
+TEST(TrainValidationSplitTest, PartitionsAllRows) {
+  util::Rng rng(1);
+  auto split = TrainValidationSplit(100, 0.7, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 70u);
+  EXPECT_EQ(split->validation.size(), 30u);
+  std::set<size_t> all(split->train.begin(), split->train.end());
+  all.insert(split->validation.begin(), split->validation.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainValidationSplitTest, RejectsBadFraction) {
+  util::Rng rng(1);
+  EXPECT_FALSE(TrainValidationSplit(10, 0.0, rng).ok());
+  EXPECT_FALSE(TrainValidationSplit(10, 1.0, rng).ok());
+  EXPECT_FALSE(TrainValidationSplit(0, 0.5, rng).ok());
+}
+
+TEST(TrainValidationSplitTest, BothSidesNonEmptyEvenWhenTiny) {
+  util::Rng rng(2);
+  auto split = TrainValidationSplit(2, 0.99, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 1u);
+  EXPECT_EQ(split->validation.size(), 1u);
+}
+
+TEST(StratifiedSplitTest, PreservesClassProportions) {
+  Dataset ds = BinaryDataset(200, 800);
+  util::Rng rng(3);
+  auto split = StratifiedTrainValidationSplit(ds, "y", 0.75, rng);
+  ASSERT_TRUE(split.ok());
+  auto count_positive = [&](const std::vector<size_t>& rows) {
+    size_t count = 0;
+    for (size_t r : rows) {
+      count += ds.column(0).NumericAt(r) != 0.0;
+    }
+    return count;
+  };
+  EXPECT_EQ(count_positive(split->train), 150u);
+  EXPECT_EQ(count_positive(split->validation), 50u);
+}
+
+TEST(StratifiedSplitTest, ExtremeImbalanceKeepsMinorityInBothSides) {
+  // CP-64-style imbalance: 10 positives, 990 negatives.
+  Dataset ds = BinaryDataset(10, 990);
+  util::Rng rng(5);
+  auto split = StratifiedTrainValidationSplit(ds, "y", 0.67, rng);
+  ASSERT_TRUE(split.ok());
+  size_t train_pos = 0, val_pos = 0;
+  for (size_t r : split->train) train_pos += ds.column(0).NumericAt(r) != 0.0;
+  for (size_t r : split->validation) {
+    val_pos += ds.column(0).NumericAt(r) != 0.0;
+  }
+  EXPECT_GT(train_pos, 0u);
+  EXPECT_GT(val_pos, 0u);
+  EXPECT_EQ(train_pos + val_pos, 10u);
+}
+
+TEST(StratifiedSplitTest, MissingTargetColumnFails) {
+  Dataset ds = BinaryDataset(5, 5);
+  util::Rng rng(1);
+  EXPECT_FALSE(StratifiedTrainValidationSplit(ds, "nope", 0.5, rng).ok());
+}
+
+class KFoldTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KFoldTest, FoldsPartitionRows) {
+  const size_t k = GetParam();
+  util::Rng rng(7);
+  auto folds = KFoldIndices(103, k, rng);
+  ASSERT_TRUE(folds.ok());
+  EXPECT_EQ(folds->size(), k);
+  std::set<size_t> seen;
+  size_t total = 0;
+  size_t min_size = 103, max_size = 0;
+  for (const auto& fold : *folds) {
+    min_size = std::min(min_size, fold.size());
+    max_size = std::max(max_size, fold.size());
+    total += fold.size();
+    seen.insert(fold.begin(), fold.end());
+  }
+  EXPECT_EQ(total, 103u);
+  EXPECT_EQ(seen.size(), 103u);       // Disjoint cover.
+  EXPECT_LE(max_size - min_size, 1u);  // Balanced.
+}
+
+INSTANTIATE_TEST_SUITE_P(FoldCounts, KFoldTest,
+                         ::testing::Values(2, 3, 5, 10, 103));
+
+TEST(KFoldTest, RejectsBadK) {
+  util::Rng rng(7);
+  EXPECT_FALSE(KFoldIndices(10, 1, rng).ok());
+  EXPECT_FALSE(KFoldIndices(10, 11, rng).ok());
+}
+
+TEST(StratifiedKFoldTest, EveryFoldSeesMinority) {
+  Dataset ds = BinaryDataset(30, 300);
+  util::Rng rng(11);
+  auto folds = StratifiedKFoldIndices(ds, "y", 10, rng);
+  ASSERT_TRUE(folds.ok());
+  for (const auto& fold : *folds) {
+    size_t pos = 0;
+    for (size_t r : fold) pos += ds.column(0).NumericAt(r) != 0.0;
+    EXPECT_EQ(pos, 3u);
+  }
+}
+
+TEST(TrainIndicesForFoldTest, ComplementOfFold) {
+  util::Rng rng(13);
+  auto folds = KFoldIndices(20, 4, rng);
+  ASSERT_TRUE(folds.ok());
+  const std::vector<size_t> train = TrainIndicesForFold(*folds, 1);
+  EXPECT_EQ(train.size(), 15u);
+  for (size_t r : (*folds)[1]) {
+    EXPECT_EQ(std::count(train.begin(), train.end(), r), 0);
+  }
+}
+
+}  // namespace
+}  // namespace roadmine::data

@@ -1,0 +1,125 @@
+#include "eval/binary_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::eval {
+namespace {
+
+// tp, fp, tn, fn (field order of ConfusionMatrix).
+const ConfusionMatrix kBalanced{40, 10, 35, 15};
+
+TEST(BinaryMetricsTest, HandComputedValues) {
+  EXPECT_NEAR(Accuracy(kBalanced), 0.75, 1e-12);
+  EXPECT_NEAR(MisclassificationRate(kBalanced), 0.25, 1e-12);
+  EXPECT_NEAR(Sensitivity(kBalanced), 40.0 / 55.0, 1e-12);
+  EXPECT_NEAR(Specificity(kBalanced), 35.0 / 45.0, 1e-12);
+  EXPECT_NEAR(PositivePredictiveValue(kBalanced), 0.8, 1e-12);
+  EXPECT_NEAR(NegativePredictiveValue(kBalanced), 0.7, 1e-12);
+  EXPECT_NEAR(MinimumClassPredictiveValue(kBalanced), 0.7, 1e-12);
+}
+
+TEST(BinaryMetricsTest, KappaKnownValue) {
+  // Classic example: observed = 0.75; expected from marginals:
+  // actual+ 55, predicted+ 50; actual- 45, predicted- 50; n=100.
+  // pe = (55*50 + 45*50)/10000 = 0.5; kappa = (0.75-0.5)/0.5 = 0.5.
+  EXPECT_NEAR(CohenKappa(kBalanced), 0.5, 1e-12);
+}
+
+TEST(BinaryMetricsTest, PerfectClassifier) {
+  const ConfusionMatrix cm{50, 0, 50, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(cm), 1.0);
+  EXPECT_DOUBLE_EQ(MinimumClassPredictiveValue(cm), 1.0);
+  EXPECT_DOUBLE_EQ(CohenKappa(cm), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(cm), 1.0);
+}
+
+TEST(BinaryMetricsTest, ChanceLevelKappaIsZero) {
+  // Predictions independent of truth with matching marginals.
+  const ConfusionMatrix cm{25, 25, 25, 25};
+  EXPECT_NEAR(CohenKappa(cm), 0.0, 1e-12);
+}
+
+// The paper's core argument: on an extremely unbalanced dataset (CP-64:
+// 16,576 vs 174) a majority-class model looks excellent on accuracy /
+// misclassification and is exposed by MCPV and Kappa.
+TEST(BinaryMetricsTest, ImbalanceExposureAllNegativeModel) {
+  const ConfusionMatrix cm{/*tp=*/0, /*fp=*/0, /*tn=*/16576, /*fn=*/174};
+  EXPECT_GT(Accuracy(cm), 0.98);
+  EXPECT_LT(MisclassificationRate(cm), 0.02);
+  EXPECT_DOUBLE_EQ(MinimumClassPredictiveValue(cm), 0.0);  // Exposed.
+  EXPECT_NEAR(CohenKappa(cm), 0.0, 1e-9);                  // Exposed.
+  EXPECT_TRUE(std::isnan(PositivePredictiveValue(cm)));
+}
+
+TEST(BinaryMetricsTest, MCPVIsMinOfPpvNpv) {
+  // PPV = 0.9, NPV = 0.6.
+  const ConfusionMatrix cm{90, 10, 60, 40};
+  EXPECT_NEAR(PositivePredictiveValue(cm), 0.9, 1e-12);
+  EXPECT_NEAR(NegativePredictiveValue(cm), 0.6, 1e-12);
+  EXPECT_NEAR(MinimumClassPredictiveValue(cm), 0.6, 1e-12);
+}
+
+TEST(BinaryMetricsTest, AssessPopulatesEverything) {
+  const BinaryAssessment a = Assess(kBalanced);
+  EXPECT_NEAR(a.accuracy, 0.75, 1e-12);
+  EXPECT_NEAR(a.mcpv, 0.7, 1e-12);
+  EXPECT_NEAR(a.kappa, 0.5, 1e-12);
+  EXPECT_GT(a.f1, 0.0);
+  // Weighted recall equals accuracy for binary problems.
+  EXPECT_NEAR(a.weighted_recall, 0.75, 1e-12);
+  // Weighted precision: 0.55 * 0.8 + 0.45 * 0.7.
+  EXPECT_NEAR(a.weighted_precision, 0.755, 1e-12);
+  EXPECT_NE(a.ToString().find("mcpv=0.7"), std::string::npos);
+}
+
+TEST(BinaryMetricsTest, EmptyMatrixGivesNaNs) {
+  const ConfusionMatrix cm;
+  EXPECT_TRUE(std::isnan(Accuracy(cm)));
+  EXPECT_TRUE(std::isnan(CohenKappa(cm)));
+}
+
+TEST(KappaAgreementBandTest, PaperBands) {
+  EXPECT_STREQ(KappaAgreementBand(0.1), "slight");
+  EXPECT_STREQ(KappaAgreementBand(0.3), "fair");
+  EXPECT_STREQ(KappaAgreementBand(0.5), "moderate");
+  EXPECT_STREQ(KappaAgreementBand(0.7), "substantial");
+  EXPECT_STREQ(KappaAgreementBand(0.9), "almost perfect");
+  EXPECT_STREQ(KappaAgreementBand(std::nan("")), "undefined");
+}
+
+// Property sweep: for any consistent confusion matrix, MCPV is bounded by
+// both predictive values and all rates live in [0, 1].
+class MetricsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MetricsPropertyTest, InvariantsHold) {
+  const auto [tp, fp, tn, fn] = GetParam();
+  const ConfusionMatrix cm{static_cast<uint64_t>(tp),
+                           static_cast<uint64_t>(fp),
+                           static_cast<uint64_t>(tn),
+                           static_cast<uint64_t>(fn)};
+  if (cm.total() == 0) GTEST_SKIP();
+  const BinaryAssessment a = Assess(cm);
+  EXPECT_GE(a.accuracy, 0.0);
+  EXPECT_LE(a.accuracy, 1.0);
+  EXPECT_NEAR(a.accuracy + a.misclassification_rate, 1.0, 1e-12);
+  if (!std::isnan(a.positive_predictive_value) &&
+      !std::isnan(a.negative_predictive_value)) {
+    EXPECT_LE(a.mcpv, a.positive_predictive_value + 1e-12);
+    EXPECT_LE(a.mcpv, a.negative_predictive_value + 1e-12);
+  }
+  EXPECT_GE(a.kappa, -1.0 - 1e-12);
+  EXPECT_LE(a.kappa, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MetricsPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 10, 500),
+                       ::testing::Values(0, 3, 50),
+                       ::testing::Values(0, 7, 1000),
+                       ::testing::Values(0, 2, 40)));
+
+}  // namespace
+}  // namespace roadmine::eval

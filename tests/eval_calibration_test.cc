@@ -1,0 +1,93 @@
+#include "eval/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace roadmine::eval {
+namespace {
+
+TEST(BrierScoreTest, PerfectForecastsScoreZero) {
+  auto score = BrierScore({1.0, 0.0, 1.0}, {1, 0, 1});
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(*score, 0.0);
+}
+
+TEST(BrierScoreTest, UninformedHalfScoresQuarter) {
+  auto score = BrierScore({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0});
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(*score, 0.25);
+}
+
+TEST(BrierScoreTest, ConfidentlyWrongScoresOne) {
+  auto score = BrierScore({0.0, 1.0}, {1, 0});
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(*score, 1.0);
+}
+
+TEST(BrierScoreTest, Errors) {
+  EXPECT_FALSE(BrierScore({0.5}, {1, 0}).ok());
+  EXPECT_FALSE(BrierScore({}, {}).ok());
+  EXPECT_FALSE(BrierScore({1.5}, {1}).ok());
+  EXPECT_FALSE(BrierScore({-0.1}, {0}).ok());
+}
+
+TEST(ReliabilityCurveTest, CalibratedForecasterSitsOnDiagonal) {
+  // Forecast p, outcome ~ Bernoulli(p): bins lie near the diagonal.
+  util::Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 50000; ++i) {
+    const double p = rng.Uniform();
+    scores.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1 : 0);
+  }
+  auto curve = ReliabilityCurve(scores, labels, 10);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->size(), 10u);
+  for (const ReliabilityBin& bin : *curve) {
+    EXPECT_NEAR(bin.observed_rate, bin.mean_predicted, 0.03);
+  }
+  auto ece = ExpectedCalibrationError(scores, labels, 10);
+  ASSERT_TRUE(ece.ok());
+  EXPECT_LT(*ece, 0.02);
+}
+
+TEST(ReliabilityCurveTest, OverconfidentForecasterExposed) {
+  // Forecasts pushed to the extremes while outcomes are 50/50.
+  util::Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.Bernoulli(0.5) ? 0.95 : 0.05);
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  auto ece = ExpectedCalibrationError(scores, labels, 10);
+  ASSERT_TRUE(ece.ok());
+  EXPECT_GT(*ece, 0.35);
+}
+
+TEST(ReliabilityCurveTest, EmptyBinsOmitted) {
+  auto curve = ReliabilityCurve({0.05, 0.95, 0.9}, {0, 1, 1}, 10);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->size(), 2u);  // Only the extreme bins are populated.
+  size_t total = 0;
+  for (const ReliabilityBin& bin : *curve) total += bin.count;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(ReliabilityCurveTest, ScoreOfExactlyOneBinned) {
+  auto curve = ReliabilityCurve({1.0, 1.0}, {1, 1}, 4);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 1u);
+  EXPECT_EQ((*curve)[0].count, 2u);
+  EXPECT_DOUBLE_EQ((*curve)[0].observed_rate, 1.0);
+}
+
+TEST(ReliabilityCurveTest, Errors) {
+  EXPECT_FALSE(ReliabilityCurve({0.5}, {1}, 1).ok());
+  EXPECT_FALSE(ReliabilityCurve({0.5, 0.4}, {1}, 10).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::eval

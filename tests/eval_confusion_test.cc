@@ -1,0 +1,73 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace roadmine::eval {
+namespace {
+
+TEST(ConfusionMatrixTest, AddRoutesToCells) {
+  ConfusionMatrix cm;
+  cm.Add(true, true);    // TP.
+  cm.Add(true, false);   // FN.
+  cm.Add(false, true);   // FP.
+  cm.Add(false, false);  // TN.
+  EXPECT_EQ(cm.true_positive, 1u);
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.false_positive, 1u);
+  EXPECT_EQ(cm.true_negative, 1u);
+  EXPECT_EQ(cm.total(), 4u);
+}
+
+TEST(ConfusionMatrixTest, Marginals) {
+  ConfusionMatrix cm{/*tp=*/10, /*fp=*/5, /*tn=*/80, /*fn=*/5};
+  EXPECT_EQ(cm.actual_positive(), 15u);
+  EXPECT_EQ(cm.actual_negative(), 85u);
+  EXPECT_EQ(cm.predicted_positive(), 15u);
+  EXPECT_EQ(cm.predicted_negative(), 85u);
+}
+
+TEST(ConfusionMatrixTest, Accumulation) {
+  ConfusionMatrix a{1, 2, 3, 4};
+  ConfusionMatrix b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.true_positive, 11u);
+  EXPECT_EQ(a.false_positive, 22u);
+  EXPECT_EQ(a.true_negative, 33u);
+  EXPECT_EQ(a.false_negative, 44u);
+}
+
+TEST(ConfusionMatrixTest, ToStringListsCells) {
+  ConfusionMatrix cm{1, 2, 3, 4};
+  EXPECT_EQ(cm.ToString(), "TP=1 FP=2 TN=3 FN=4");
+}
+
+TEST(ConfusionFromPredictionsTest, Basic) {
+  auto cm = ConfusionFromPredictions({1, 0, 1, 0}, {1, 0, 0, 1});
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->true_positive, 1u);
+  EXPECT_EQ(cm->true_negative, 1u);
+  EXPECT_EQ(cm->false_positive, 1u);
+  EXPECT_EQ(cm->false_negative, 1u);
+}
+
+TEST(ConfusionFromPredictionsTest, Errors) {
+  EXPECT_FALSE(ConfusionFromPredictions({1}, {1, 0}).ok());
+  EXPECT_FALSE(ConfusionFromPredictions({}, {}).ok());
+}
+
+TEST(ConfusionFromScoresTest, CutoffApplied) {
+  auto cm = ConfusionFromScores({0.9, 0.4, 0.6}, {1, 0, 0}, 0.5);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->true_positive, 1u);
+  EXPECT_EQ(cm->true_negative, 1u);
+  EXPECT_EQ(cm->false_positive, 1u);
+}
+
+TEST(ConfusionFromScoresTest, CutoffBoundaryIsPositive) {
+  auto cm = ConfusionFromScores({0.5}, {1}, 0.5);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->true_positive, 1u);
+}
+
+}  // namespace
+}  // namespace roadmine::eval

@@ -1,0 +1,68 @@
+#include "eval/regression_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::eval {
+namespace {
+
+TEST(RSquaredTest, PerfectPredictionsGiveOne) {
+  auto r2 = RSquared({1, 2, 3}, {1, 2, 3});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(*r2, 1.0);
+}
+
+TEST(RSquaredTest, MeanPredictorGivesZero) {
+  auto r2 = RSquared({2, 2, 2}, {1, 2, 3});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(*r2, 0.0);
+}
+
+TEST(RSquaredTest, WorseThanMeanIsNegative) {
+  auto r2 = RSquared({3, 2, 1}, {1, 2, 3});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(*r2, 0.0);
+}
+
+TEST(RSquaredTest, HandComputedValue) {
+  // actuals {1,2,3,4}, mean 2.5, ss_total = 5.
+  // preds {1.5, 2, 2.5, 4}: errors {0.5,0,0.5,0} -> ss_err = 0.5.
+  auto r2 = RSquared({1.5, 2.0, 2.5, 4.0}, {1, 2, 3, 4});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NEAR(*r2, 1.0 - 0.5 / 5.0, 1e-12);
+}
+
+TEST(RSquaredTest, ZeroVarianceActualsRejected) {
+  EXPECT_FALSE(RSquared({1, 2}, {5, 5}).ok());
+}
+
+TEST(RSquaredTest, SizeMismatchAndEmptyRejected) {
+  EXPECT_FALSE(RSquared({1}, {1, 2}).ok());
+  EXPECT_FALSE(RSquared({}, {}).ok());
+}
+
+TEST(RmseTest, HandComputed) {
+  auto rmse = Rmse({0, 0}, {3, 4});
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_NEAR(*rmse, std::sqrt(12.5), 1e-12);
+}
+
+TEST(RmseTest, ZeroForPerfect) {
+  auto rmse = Rmse({1, 2}, {1, 2});
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_DOUBLE_EQ(*rmse, 0.0);
+}
+
+TEST(MaeTest, HandComputed) {
+  auto mae = Mae({0, 0, 0}, {1, -2, 3});
+  ASSERT_TRUE(mae.ok());
+  EXPECT_DOUBLE_EQ(*mae, 2.0);
+}
+
+TEST(MaeTest, SizeMismatchRejected) {
+  EXPECT_FALSE(Mae({1}, {}).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::eval

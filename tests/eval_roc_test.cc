@@ -1,0 +1,94 @@
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+namespace roadmine::eval {
+namespace {
+
+TEST(RocAucTest, PerfectRankingIsOne) {
+  auto auc = RocAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+}
+
+TEST(RocAucTest, ReversedRankingIsZero) {
+  auto auc = RocAuc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.0);
+}
+
+TEST(RocAucTest, AllTiedScoresGiveHalf) {
+  auto auc = RocAuc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+TEST(RocAucTest, HandComputedMixedCase) {
+  // Scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8 vs 0.6) win, (0.8 vs 0.2) win, (0.4 vs 0.6) loss,
+  // (0.4 vs 0.2) win => AUC = 3/4.
+  auto auc = RocAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.75);
+}
+
+TEST(RocAucTest, TieBetweenClassesCountsHalf) {
+  // pos {0.5}, neg {0.5}: one tied pair = 0.5.
+  auto auc = RocAuc({0.5, 0.5}, {1, 0});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+TEST(RocAucTest, SingleClassFails) {
+  EXPECT_FALSE(RocAuc({0.5, 0.6}, {1, 1}).ok());
+  EXPECT_FALSE(RocAuc({0.5, 0.6}, {0, 0}).ok());
+}
+
+TEST(RocAucTest, SizeMismatchFails) {
+  EXPECT_FALSE(RocAuc({0.5}, {1, 0}).ok());
+  EXPECT_FALSE(RocAuc({}, {}).ok());
+}
+
+TEST(RocCurveTest, StartsAtOriginEndsAtOneOne) {
+  auto curve = RocCurve({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve->front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve->back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve->back().true_positive_rate, 1.0);
+}
+
+TEST(RocCurveTest, MonotoneNonDecreasing) {
+  auto curve =
+      RocCurve({0.9, 0.1, 0.8, 0.3, 0.7, 0.5}, {1, 0, 0, 1, 1, 0});
+  ASSERT_TRUE(curve.ok());
+  for (size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_GE((*curve)[i].false_positive_rate,
+              (*curve)[i - 1].false_positive_rate);
+    EXPECT_GE((*curve)[i].true_positive_rate,
+              (*curve)[i - 1].true_positive_rate);
+  }
+}
+
+TEST(RocCurveTest, TiedScoresEmitOnePoint) {
+  auto curve = RocCurve({0.5, 0.5, 0.5}, {1, 0, 1});
+  ASSERT_TRUE(curve.ok());
+  // Origin + one combined step.
+  EXPECT_EQ(curve->size(), 2u);
+}
+
+TEST(RocCurveTest, PerfectSeparationCurveHugsCorner) {
+  auto curve = RocCurve({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0});
+  ASSERT_TRUE(curve.ok());
+  // Some point reaches TPR = 1 with FPR = 0.
+  bool corner = false;
+  for (const RocPoint& p : *curve) {
+    if (p.true_positive_rate == 1.0 && p.false_positive_rate == 0.0) {
+      corner = true;
+    }
+  }
+  EXPECT_TRUE(corner);
+}
+
+}  // namespace
+}  // namespace roadmine::eval

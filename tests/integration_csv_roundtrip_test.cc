@@ -1,0 +1,105 @@
+// Full-pipeline CSV fidelity: the generated crash dataset must survive a
+// serialize/parse round trip with enough precision that a model trained on
+// the reloaded data reproduces the original assessment exactly.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/thresholds.h"
+#include "data/csv_io.h"
+#include "data/split.h"
+#include "eval/binary_metrics.h"
+#include "eval/confusion.h"
+#include "ml/common.h"
+#include "ml/decision_tree.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace roadmine {
+namespace {
+
+data::Dataset GeneratedDataset() {
+  roadgen::GeneratorConfig config;
+  config.num_segments = 2500;
+  config.seed = 51;
+  roadgen::RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  EXPECT_TRUE(segments.ok());
+  auto ds = roadgen::BuildCrashOnlyDataset(*segments,
+                                           gen.SimulateCrashRecords(*segments));
+  EXPECT_TRUE(ds.ok());
+  return std::move(*ds);
+}
+
+TEST(CsvRoundTripTest, SchemaAndMissingnessPreserved) {
+  data::Dataset original = GeneratedDataset();
+  auto reloaded =
+      data::DatasetFromCsvText(data::DatasetToCsvText(original));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->num_rows(), original.num_rows());
+  EXPECT_EQ(reloaded->ColumnNames(), original.ColumnNames());
+  for (size_t c = 0; c < original.num_columns(); ++c) {
+    EXPECT_EQ(reloaded->column(c).type(), original.column(c).type())
+        << original.column(c).name();
+    EXPECT_EQ(reloaded->column(c).missing_count(),
+              original.column(c).missing_count())
+        << original.column(c).name();
+  }
+}
+
+TEST(CsvRoundTripTest, NumericValuesSurviveAtExportPrecision) {
+  data::Dataset original = GeneratedDataset();
+  auto reloaded =
+      data::DatasetFromCsvText(data::DatasetToCsvText(original));
+  ASSERT_TRUE(reloaded.ok());
+  auto orig_f60 = original.ColumnByName("f60");
+  auto new_f60 = reloaded->ColumnByName("f60");
+  ASSERT_TRUE(orig_f60.ok());
+  ASSERT_TRUE(new_f60.ok());
+  for (size_t r = 0; r < original.num_rows(); r += 17) {
+    if ((*orig_f60)->IsMissing(r)) {
+      EXPECT_TRUE((*new_f60)->IsMissing(r));
+    } else {
+      EXPECT_NEAR((*new_f60)->NumericAt(r), (*orig_f60)->NumericAt(r), 1e-6);
+    }
+  }
+}
+
+TEST(CsvRoundTripTest, ModelAssessmentIdenticalOnReloadedData) {
+  data::Dataset original = GeneratedDataset();
+  ASSERT_TRUE(core::AddCrashProneTarget(
+                  original, roadgen::kSegmentCrashCountColumn, 8)
+                  .ok());
+  auto reloaded =
+      data::DatasetFromCsvText(data::DatasetToCsvText(original));
+  ASSERT_TRUE(reloaded.ok());
+  const std::string target = core::ThresholdTargetName(8);
+
+  auto assess = [&](data::Dataset& ds) {
+    util::Rng rng(9);
+    auto split = data::StratifiedTrainValidationSplit(ds, target, 0.67, rng);
+    EXPECT_TRUE(split.ok());
+    ml::DecisionTreeClassifier tree{
+        ml::DecisionTreeParams{.min_samples_leaf = 25, .max_leaves = 32}};
+    EXPECT_TRUE(
+        tree.Fit(ds, target, roadgen::RoadAttributeColumns(), split->train)
+            .ok());
+    auto labels = ml::ExtractBinaryLabels(ds, target);
+    eval::ConfusionMatrix cm;
+    for (size_t r : split->validation) {
+      cm.Add((*labels)[r] != 0, tree.Predict(ds, r) != 0);
+    }
+    return eval::Assess(cm);
+  };
+
+  const eval::BinaryAssessment a = assess(original);
+  const eval::BinaryAssessment b = assess(*reloaded);
+  // Values serialized at 6 decimals: thresholds computed from them can
+  // shift only within rounding, so the confusion matrix must match.
+  EXPECT_DOUBLE_EQ(a.mcpv, b.mcpv);
+  EXPECT_DOUBLE_EQ(a.kappa, b.kappa);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+}  // namespace
+}  // namespace roadmine

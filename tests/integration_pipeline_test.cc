@@ -1,0 +1,133 @@
+// End-to-end integration: generate a network, build both paper datasets,
+// run the Phase-1/Phase-2 sweeps, the Bayes sweep, and the Phase-3
+// clustering — then check the paper's qualitative conclusions hold on the
+// synthetic substrate.
+#include <gtest/gtest.h>
+
+#include "core/cluster_analysis.h"
+#include "core/report.h"
+#include "core/study.h"
+#include "core/thresholds.h"
+#include "roadgen/calibration.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace roadmine {
+namespace {
+
+struct Pipeline {
+  data::Dataset crash_only;
+  data::Dataset crash_no_crash;
+};
+
+Pipeline BuildPipeline() {
+  roadgen::GeneratorConfig config;
+  config.num_segments = 6000;
+  config.seed = 2026;
+  roadgen::RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  EXPECT_TRUE(segments.ok());
+  const auto records = gen.SimulateCrashRecords(*segments);
+
+  Pipeline pipeline;
+  auto crash_only = roadgen::BuildCrashOnlyDataset(*segments, records);
+  EXPECT_TRUE(crash_only.ok());
+  pipeline.crash_only = std::move(*crash_only);
+  auto both = roadgen::BuildCrashNoCrashDataset(*segments, records);
+  EXPECT_TRUE(both.ok());
+  pipeline.crash_no_crash = std::move(*both);
+  return pipeline;
+}
+
+core::StudyConfig FastStudyConfig() {
+  core::StudyConfig config;
+  config.thresholds = {2, 4, 8, 16, 32};
+  config.cv_folds = 3;
+  config.tree_params.max_leaves = 32;
+  config.regression_params.max_leaves = 32;
+  config.seed = 77;
+  return config;
+}
+
+TEST(IntegrationTest, FullStudyReproducesPaperShape) {
+  Pipeline pipeline = BuildPipeline();
+  core::CrashPronenessStudy study(FastStudyConfig());
+
+  // Phase 1 (crash & no-crash) and Phase 2 (crash only).
+  auto phase1 = study.RunTreeSweep(pipeline.crash_no_crash);
+  ASSERT_TRUE(phase1.ok());
+  auto phase2 = study.RunTreeSweep(pipeline.crash_only);
+  ASSERT_TRUE(phase2.ok());
+
+  // Paper conclusion: the best threshold sits in the low-to-mid range
+  // (4-8 crashes per 4 years), not at the crash/no-crash boundary and not
+  // in the deeply imbalanced tail.
+  const int best = core::CrashPronenessStudy::SelectBestThreshold(*phase2);
+  EXPECT_GE(best, 2);
+  EXPECT_LE(best, 16);
+
+  // The paper's efficiency curve peaks (or plateaus) in the low-threshold
+  // region: CP-4/CP-8 must be competitive with the best threshold overall.
+  double peak = 0.0;
+  double low_region = 0.0;
+  for (const auto& row : *phase2) {
+    peak = std::max(peak, row.mcpv);
+    if (row.threshold == 4 || row.threshold == 8) {
+      low_region = std::max(low_region, row.mcpv);
+    }
+  }
+  EXPECT_GE(low_region, peak - 0.05);
+
+  // Rendering hooks produce non-empty paper-style artifacts.
+  EXPECT_FALSE(core::RenderTreeSweepTable("Phase 2", *phase2).empty());
+  EXPECT_FALSE(core::RenderMcpvComparison(*phase1, *phase2).empty());
+}
+
+TEST(IntegrationTest, Table1StructureReproduced) {
+  Pipeline pipeline = BuildPipeline();
+  std::vector<core::ThresholdClassCounts> table1;
+  for (int t : core::StandardThresholds()) {
+    auto counts = core::CountThresholdClasses(
+        pipeline.crash_only, roadgen::kSegmentCrashCountColumn, t);
+    ASSERT_TRUE(counts.ok());
+    table1.push_back(*counts);
+  }
+  // Monotonicity: crash-prone counts fall, non-crash-prone counts rise.
+  for (size_t i = 1; i < table1.size(); ++i) {
+    EXPECT_LE(table1[i].crash_prone, table1[i - 1].crash_prone);
+    EXPECT_GE(table1[i].non_crash_prone, table1[i - 1].non_crash_prone);
+    EXPECT_EQ(table1[i].total(), table1[0].total());
+  }
+  // The tail is extremely imbalanced, as in the paper (16576 vs 174).
+  EXPECT_GT(table1.back().imbalance_ratio(), 20.0);
+  EXPECT_FALSE(core::RenderThresholdTable(table1).empty());
+}
+
+TEST(IntegrationTest, Phase3ClusteringSupportsLowCrashGroups) {
+  Pipeline pipeline = BuildPipeline();
+  core::ClusterAnalysisConfig config;
+  config.kmeans.k = 16;
+  config.kmeans.restarts = 2;
+  auto clusters = core::AnalyzeCrashClusters(
+      pipeline.crash_only, pipeline.crash_only.AllRowIndices(), config);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_GT(clusters->CountLowCrashClusters(4.0), 0u);
+  EXPECT_LT(clusters->anova.p_value, 1e-6);
+  EXPECT_FALSE(core::RenderClusterTable(*clusters).empty());
+}
+
+TEST(IntegrationTest, ZeroAlteredSetMakesPhase1MoreSeparable) {
+  // At the crash/no-crash boundary (threshold 0 on the combined dataset)
+  // the model still has real signal, matching the preliminary study [2].
+  Pipeline pipeline = BuildPipeline();
+  core::StudyConfig config = FastStudyConfig();
+  config.thresholds = {0};
+  core::CrashPronenessStudy study(config);
+  auto results = study.RunTreeSweep(pipeline.crash_no_crash);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_GT((*results)[0].mcpv, 0.55);
+}
+
+}  // namespace
+}  // namespace roadmine

@@ -1,0 +1,141 @@
+#include "ml/bagging.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/binary_metrics.h"
+#include "eval/confusion.h"
+#include "util/rng.h"
+
+namespace roadmine::ml {
+namespace {
+
+// Noisy threshold task where averaging should help.
+data::Dataset NoisyDataset(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x, y;
+  for (size_t i = 0; i < n; ++i) {
+    const double xi = rng.Uniform(0.0, 10.0);
+    double yi = xi > 5.0 ? 1.0 : 0.0;
+    if (rng.Bernoulli(0.25)) yi = 1.0 - yi;
+    x.push_back(xi);
+    y.push_back(yi);
+  }
+  data::Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  return ds;
+}
+
+TEST(BaggingTest, FitsAndPredicts) {
+  data::Dataset ds = NoisyDataset(1500, 1);
+  BaggedTreesParams params;
+  params.num_trees = 10;
+  params.tree.min_samples_leaf = 20;
+  BaggedTreesClassifier ensemble(params);
+  ASSERT_TRUE(ensemble.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  EXPECT_TRUE(ensemble.fitted());
+  EXPECT_EQ(ensemble.tree_count(), 10u);
+  size_t correct = 0;
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    const double xi = ds.column(0).NumericAt(r);
+    correct += ensemble.Predict(ds, r) == (xi > 5.0 ? 1 : 0);
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.num_rows(), 0.9);
+}
+
+TEST(BaggingTest, ProbabilityIsMeanOfMembers) {
+  data::Dataset ds = NoisyDataset(500, 3);
+  BaggedTreesParams params;
+  params.num_trees = 5;
+  params.tree.min_samples_leaf = 20;
+  BaggedTreesClassifier ensemble(params);
+  ASSERT_TRUE(ensemble.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  for (size_t r = 0; r < 20; ++r) {
+    const double p = ensemble.PredictProba(ds, r);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(BaggingTest, EnsembleIsLargerThanOneTree) {
+  // The comprehensibility cost the paper worried about: total leaves scale
+  // with ensemble size.
+  data::Dataset ds = NoisyDataset(1500, 5);
+  BaggedTreesParams params;
+  params.num_trees = 8;
+  params.tree.min_samples_leaf = 20;
+  BaggedTreesClassifier ensemble(params);
+  ASSERT_TRUE(ensemble.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+
+  DecisionTreeParams tree_params;
+  tree_params.min_samples_leaf = 20;
+  DecisionTreeClassifier single(tree_params);
+  ASSERT_TRUE(single.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  EXPECT_GT(ensemble.total_leaves(), single.leaf_count());
+}
+
+TEST(BaggingTest, DeterministicForFixedSeed) {
+  data::Dataset ds = NoisyDataset(600, 7);
+  BaggedTreesParams params;
+  params.num_trees = 6;
+  params.tree.min_samples_leaf = 20;
+  BaggedTreesClassifier a(params), b(params);
+  ASSERT_TRUE(a.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  ASSERT_TRUE(b.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  for (size_t r = 0; r < 30; ++r) {
+    EXPECT_DOUBLE_EQ(a.PredictProba(ds, r), b.PredictProba(ds, r));
+  }
+}
+
+TEST(BaggingTest, FeatureBaggingUsesSubsets) {
+  // With 2 features of which only one is informative, feature bagging at
+  // 0.5 must still produce a working ensemble (informative trees carry it).
+  util::Rng rng(9);
+  std::vector<double> x, noise, y;
+  for (int i = 0; i < 1200; ++i) {
+    const double xi = rng.Uniform(0.0, 10.0);
+    x.push_back(xi);
+    noise.push_back(rng.Uniform(0.0, 1.0));
+    y.push_back(xi > 5.0 ? 1.0 : 0.0);
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("noise", noise)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  BaggedTreesParams params;
+  params.num_trees = 12;
+  params.feature_fraction = 0.5;
+  params.tree.min_samples_leaf = 20;
+  BaggedTreesClassifier ensemble(params);
+  ASSERT_TRUE(ensemble.Fit(ds, "y", {"x", "noise"}, ds.AllRowIndices()).ok());
+  size_t correct = 0;
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    correct += ensemble.Predict(ds, r) == (x[r] > 5.0 ? 1 : 0);
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.num_rows(), 0.85);
+}
+
+TEST(BaggingTest, InvalidParamsRejected) {
+  data::Dataset ds = NoisyDataset(100, 11);
+  BaggedTreesParams params;
+  params.num_trees = 0;
+  EXPECT_FALSE(BaggedTreesClassifier(params)
+                   .Fit(ds, "y", {"x"}, ds.AllRowIndices())
+                   .ok());
+  params = BaggedTreesParams{};
+  params.sample_fraction = 0.0;
+  EXPECT_FALSE(BaggedTreesClassifier(params)
+                   .Fit(ds, "y", {"x"}, ds.AllRowIndices())
+                   .ok());
+  params = BaggedTreesParams{};
+  params.feature_fraction = 1.5;
+  EXPECT_FALSE(BaggedTreesClassifier(params)
+                   .Fit(ds, "y", {"x"}, ds.AllRowIndices())
+                   .ok());
+  BaggedTreesClassifier ensemble;
+  EXPECT_FALSE(ensemble.Fit(ds, "y", {"x"}, {}).ok());
+  EXPECT_FALSE(ensemble.Fit(ds, "y", {}, ds.AllRowIndices()).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::ml

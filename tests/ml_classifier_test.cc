@@ -1,0 +1,70 @@
+#include "ml/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace roadmine::ml {
+namespace {
+
+data::Dataset SeparableDataset(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x, y;
+  for (size_t i = 0; i < n; ++i) {
+    const bool positive = rng.Bernoulli(0.5);
+    x.push_back(rng.Normal(positive ? 2.0 : -2.0, 1.0));
+    y.push_back(positive ? 1.0 : 0.0);
+  }
+  data::Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  return ds;
+}
+
+TEST(ClassifierFactoryTest, KnownNamesAllConstruct) {
+  for (const std::string& name : KnownClassifierNames()) {
+    auto model = MakeBinaryClassifier(name);
+    ASSERT_TRUE(model.ok()) << name;
+    EXPECT_EQ((*model)->name(), name);
+  }
+}
+
+TEST(ClassifierFactoryTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeBinaryClassifier("svm").ok());
+  EXPECT_FALSE(MakeBinaryClassifier("").ok());
+}
+
+class EveryClassifierTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryClassifierTest, FitsAndSeparatesThroughTheFacade) {
+  data::Dataset ds = SeparableDataset(800, 31);
+  auto model = MakeBinaryClassifier(GetParam());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+
+  size_t correct = 0;
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    const double p = (*model)->PredictProba(ds, r);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    correct +=
+        (*model)->Predict(ds, r) == (ds.column(1).NumericAt(r) != 0.0 ? 1 : 0);
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.num_rows(), 0.9) << GetParam();
+}
+
+TEST_P(EveryClassifierTest, FitErrorsPropagate) {
+  data::Dataset ds = SeparableDataset(100, 33);
+  auto model = MakeBinaryClassifier(GetParam());
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE((*model)->Fit(ds, "nope", {"x"}, ds.AllRowIndices()).ok());
+  EXPECT_FALSE((*model)->Fit(ds, "y", {"x"}, {}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, EveryClassifierTest,
+                         ::testing::Values("decision_tree", "naive_bayes",
+                                           "logistic_regression",
+                                           "neural_net", "bagged_trees"));
+
+}  // namespace
+}  // namespace roadmine::ml

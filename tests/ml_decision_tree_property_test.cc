@@ -1,0 +1,135 @@
+// Parameterized invariant sweeps over the decision-tree configuration
+// space: for every (criterion, max_leaves, max_depth, min_samples_leaf)
+// combination the structural guarantees must hold on a realistic mixed
+// dataset with missing values.
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "util/rng.h"
+
+namespace roadmine::ml {
+namespace {
+
+data::Dataset MixedNoisyDataset(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x1, x2, y;
+  std::vector<std::string> c;
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.Uniform(0.0, 10.0);
+    const double b = rng.Normal(0.0, 1.0);
+    const bool chip = rng.Bernoulli(0.35);
+    double label = (a > 6.0 || (chip && b > 0.0)) ? 1.0 : 0.0;
+    if (rng.Bernoulli(0.15)) label = 1.0 - label;
+    x1.push_back(rng.Bernoulli(0.08)
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : a);
+    x2.push_back(b);
+    c.push_back(chip ? "chip_seal" : "asphalt");
+    y.push_back(label);
+  }
+  data::Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("x1", x1)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("x2", x2)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::CategoricalFromStrings("c", c)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  return ds;
+}
+
+using TreeConfig = std::tuple<SplitCriterion, size_t /*max_leaves*/,
+                              int /*max_depth*/, size_t /*min_leaf*/>;
+
+class TreeInvariantTest : public ::testing::TestWithParam<TreeConfig> {};
+
+TEST_P(TreeInvariantTest, StructuralInvariantsHold) {
+  const auto [criterion, max_leaves, max_depth, min_leaf] = GetParam();
+  data::Dataset ds = MixedNoisyDataset(1200, 77);
+
+  DecisionTreeParams params;
+  params.criterion = criterion;
+  params.max_leaves = max_leaves;
+  params.max_depth = max_depth;
+  params.min_samples_leaf = min_leaf;
+  params.min_samples_split = 2 * min_leaf;
+  DecisionTreeClassifier tree(params);
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x1", "x2", "c"}, ds.AllRowIndices()).ok());
+
+  // Size constraints.
+  if (max_leaves > 0) {
+    EXPECT_LE(tree.leaf_count(), max_leaves);
+  }
+  EXPECT_LE(tree.depth(), max_depth);
+  EXPECT_GE(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.node_count(), 2 * tree.leaf_count() - 1);  // Binary tree.
+
+  // Rules mirror leaves exactly.
+  EXPECT_EQ(tree.ExtractRules().size(), tree.leaf_count());
+
+  // Probabilities are proper and deterministic.
+  for (size_t r = 0; r < ds.num_rows(); r += 31) {
+    const double p = tree.PredictProba(ds, r);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    EXPECT_DOUBLE_EQ(p, tree.PredictProba(ds, r));
+    EXPECT_EQ(tree.Predict(ds, r), p >= 0.5 ? 1 : 0);
+  }
+
+  // Importances are a probability vector over the features.
+  const auto importances = tree.FeatureImportances();
+  EXPECT_EQ(importances.size(), 3u);
+  double total = 0.0;
+  for (const auto& [name, weight] : importances) {
+    EXPECT_GE(weight, 0.0);
+    total += weight;
+  }
+  if (tree.leaf_count() > 1) {
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  } else {
+    EXPECT_NEAR(total, 0.0, 1e-12);
+  }
+
+  // Serialization round-trips bit-exactly.
+  auto loaded = DecisionTreeClassifier::Deserialize(tree.Serialize(), ds);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t r = 0; r < ds.num_rows(); r += 53) {
+    EXPECT_DOUBLE_EQ(loaded->PredictProba(ds, r), tree.PredictProba(ds, r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, TreeInvariantTest,
+    ::testing::Combine(::testing::Values(SplitCriterion::kChiSquare,
+                                         SplitCriterion::kGini,
+                                         SplitCriterion::kEntropy),
+                       ::testing::Values<size_t>(2, 8, 0),
+                       ::testing::Values(1, 4, 16),
+                       ::testing::Values<size_t>(5, 40)));
+
+TEST(TreeImportanceTest, InformativeFeatureDominates) {
+  data::Dataset ds = MixedNoisyDataset(2000, 5);
+  DecisionTreeParams params;
+  params.min_samples_leaf = 25;
+  DecisionTreeClassifier tree(params);
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x1", "x2", "c"}, ds.AllRowIndices()).ok());
+  const auto importances = tree.FeatureImportances();
+  // x1 carries the main boundary (a > 6), so it must rank first.
+  EXPECT_EQ(importances[0].first, "x1");
+  EXPECT_GT(importances[0].second, 0.4);
+}
+
+TEST(TreeImportanceTest, SingleLeafTreeHasZeroImportances) {
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", {1, 2, 3, 4})).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", {1, 1, 1, 1})).ok());
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  for (const auto& [name, weight] : tree.FeatureImportances()) {
+    EXPECT_DOUBLE_EQ(weight, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace roadmine::ml

@@ -1,0 +1,160 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace roadmine::ml {
+namespace {
+
+// Three well-separated 2-D blobs of `per_blob` points each.
+data::Dataset BlobDataset(size_t per_blob, uint64_t seed) {
+  util::Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 10.0}, {-10.0, 10.0}};
+  std::vector<double> a, b;
+  for (int blob = 0; blob < 3; ++blob) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      a.push_back(rng.Normal(centers[blob][0], 0.5));
+      b.push_back(rng.Normal(centers[blob][1], 0.5));
+    }
+  }
+  data::Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("a", a)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("b", b)).ok());
+  return ds;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  data::Dataset ds = BlobDataset(100, 1);
+  KMeansParams params;
+  params.k = 3;
+  KMeans kmeans(params);
+  auto result = kmeans.Fit(ds, {"a", "b"}, ds.AllRowIndices());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assignments.size(), 300u);
+
+  // All points of one blob share a cluster, and blobs get distinct ids.
+  std::set<int> blob_clusters;
+  for (int blob = 0; blob < 3; ++blob) {
+    const int first = result->assignments[static_cast<size_t>(blob) * 100];
+    for (size_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(result->assignments[static_cast<size_t>(blob) * 100 + i],
+                first);
+    }
+    blob_clusters.insert(first);
+  }
+  EXPECT_EQ(blob_clusters.size(), 3u);
+  for (size_t size : result->sizes) EXPECT_EQ(size, 100u);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  data::Dataset ds = BlobDataset(80, 3);
+  double prev_inertia = 1e18;
+  for (size_t k : {1, 2, 3, 6}) {
+    KMeansParams params;
+    params.k = k;
+    auto result = KMeans(params).Fit(ds, {"a", "b"}, ds.AllRowIndices());
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev_inertia + 1e-9);
+    prev_inertia = result->inertia;
+  }
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  data::Dataset ds = BlobDataset(60, 5);
+  KMeansParams params;
+  params.k = 3;
+  auto r1 = KMeans(params).Fit(ds, {"a", "b"}, ds.AllRowIndices());
+  auto r2 = KMeans(params).Fit(ds, {"a", "b"}, ds.AllRowIndices());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->assignments, r2->assignments);
+  EXPECT_DOUBLE_EQ(r1->inertia, r2->inertia);
+}
+
+TEST(KMeansTest, SizesSumToRowCount) {
+  data::Dataset ds = BlobDataset(50, 7);
+  KMeansParams params;
+  params.k = 7;
+  auto result = KMeans(params).Fit(ds, {"a", "b"}, ds.AllRowIndices());
+  ASSERT_TRUE(result.ok());
+  size_t total = 0;
+  for (size_t s : result->sizes) total += s;
+  EXPECT_EQ(total, 150u);
+}
+
+TEST(KMeansTest, AssignmentsMatchNearestCenter) {
+  data::Dataset ds = BlobDataset(40, 9);
+  KMeansParams params;
+  params.k = 4;
+  auto result = KMeans(params).Fit(ds, {"a", "b"}, ds.AllRowIndices());
+  ASSERT_TRUE(result.ok());
+
+  KMeans kmeans(params);
+  auto again = kmeans.Fit(ds, {"a", "b"}, ds.AllRowIndices());
+  ASSERT_TRUE(again.ok());
+  auto matrix = kmeans.encoder().Transform(ds, ds.AllRowIndices());
+  ASSERT_TRUE(matrix.ok());
+  for (size_t i = 0; i < matrix->size(); ++i) {
+    double best = 1e18;
+    int best_c = -1;
+    for (size_t c = 0; c < again->centers.size(); ++c) {
+      double d = 0.0;
+      for (size_t j = 0; j < (*matrix)[i].size(); ++j) {
+        const double diff = (*matrix)[i][j] - again->centers[c][j];
+        d += diff * diff;
+      }
+      if (d < best) {
+        best = d;
+        best_c = static_cast<int>(c);
+      }
+    }
+    EXPECT_EQ(again->assignments[i], best_c);
+  }
+}
+
+TEST(KMeansTest, MixedFeaturesViaEncoder) {
+  std::vector<double> x;
+  std::vector<std::string> cat;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i < 50 ? 0.0 : 100.0);
+    cat.push_back(i < 50 ? "a" : "b");
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::CategoricalFromStrings("c", cat)).ok());
+  KMeansParams params;
+  params.k = 2;
+  auto result = KMeans(params).Fit(ds, {"x", "c"}, ds.AllRowIndices());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->assignments[0], result->assignments[99]);
+  EXPECT_EQ(result->sizes[0], 50u);
+}
+
+TEST(KMeansTest, Errors) {
+  data::Dataset ds = BlobDataset(5, 11);
+  KMeansParams params;
+  params.k = 0;
+  EXPECT_FALSE(KMeans(params).Fit(ds, {"a"}, ds.AllRowIndices()).ok());
+  params.k = 100;
+  EXPECT_FALSE(KMeans(params).Fit(ds, {"a"}, ds.AllRowIndices()).ok());
+  params.k = 2;
+  EXPECT_FALSE(KMeans(params).Fit(ds, {"nope"}, ds.AllRowIndices()).ok());
+}
+
+TEST(KMeansTest, KEqualsNPutsOnePointPerCluster) {
+  data::Dataset ds = BlobDataset(2, 13);  // 6 points.
+  KMeansParams params;
+  params.k = 6;
+  auto result = KMeans(params).Fit(ds, {"a", "b"}, ds.AllRowIndices());
+  ASSERT_TRUE(result.ok());
+  for (size_t s : result->sizes) EXPECT_EQ(s, 1u);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace roadmine::ml

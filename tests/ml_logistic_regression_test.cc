@@ -1,0 +1,124 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace roadmine::ml {
+namespace {
+
+data::Dataset LinearlySeparable(size_t n, double margin, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> a, b, y;
+  for (size_t i = 0; i < n; ++i) {
+    const double ai = rng.Uniform(-2.0, 2.0);
+    const double bi = rng.Uniform(-2.0, 2.0);
+    const double score = ai + bi;
+    if (std::fabs(score) < margin) {
+      --i;
+      continue;  // Enforce a margin band.
+    }
+    a.push_back(ai);
+    b.push_back(bi);
+    y.push_back(score > 0.0 ? 1.0 : 0.0);
+  }
+  data::Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("a", a)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("b", b)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  return ds;
+}
+
+TEST(LogisticRegressionTest, SeparableDataHighAccuracy) {
+  data::Dataset ds = LinearlySeparable(1000, 0.2, 1);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(ds, "y", {"a", "b"}, ds.AllRowIndices()).ok());
+  size_t correct = 0;
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    correct +=
+        model.Predict(ds, r) == (ds.column(2).NumericAt(r) != 0.0 ? 1 : 0);
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.num_rows(), 0.98);
+}
+
+TEST(LogisticRegressionTest, WeightsPointInTheRightDirection) {
+  data::Dataset ds = LinearlySeparable(2000, 0.1, 3);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(ds, "y", {"a", "b"}, ds.AllRowIndices()).ok());
+  ASSERT_EQ(model.weights().size(), 2u);
+  EXPECT_GT(model.weights()[0], 0.0);
+  EXPECT_GT(model.weights()[1], 0.0);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreValid) {
+  data::Dataset ds = LinearlySeparable(500, 0.0, 5);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(ds, "y", {"a", "b"}, ds.AllRowIndices()).ok());
+  for (size_t r = 0; r < ds.num_rows(); r += 7) {
+    const double p = model.PredictProba(ds, r);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, HandlesCategoricalFeatures) {
+  std::vector<std::string> cat;
+  std::vector<double> y;
+  util::Rng rng(7);
+  for (int i = 0; i < 800; ++i) {
+    const bool positive = rng.Bernoulli(0.5);
+    cat.push_back(positive == !rng.Bernoulli(0.05) ? "prone" : "safe");
+    y.push_back(positive ? 1.0 : 0.0);
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::CategoricalFromStrings("c", cat)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(ds, "y", {"c"}, ds.AllRowIndices()).ok());
+  size_t correct = 0;
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    correct +=
+        model.Predict(ds, r) == (ds.column(1).NumericAt(r) != 0.0 ? 1 : 0);
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.num_rows(), 0.9);
+}
+
+TEST(LogisticRegressionTest, ImbalancedPriorReflectedInBaseline) {
+  // Uninformative features, 80/20 balance: mean probability ~0.8.
+  util::Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(rng.Normal(0.0, 1.0));
+    y.push_back(rng.Bernoulli(0.8) ? 1.0 : 0.0);
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  double mean_p = 0.0;
+  for (size_t r = 0; r < 200; ++r) mean_p += model.PredictProba(ds, r);
+  EXPECT_NEAR(mean_p / 200.0, 0.8, 0.06);
+}
+
+TEST(LogisticRegressionTest, FitErrors) {
+  data::Dataset ds = LinearlySeparable(100, 0.1, 13);
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit(ds, "y", {"a"}, {}).ok());
+  EXPECT_FALSE(model.Fit(ds, "nope", {"a"}, ds.AllRowIndices()).ok());
+  EXPECT_FALSE(model.Fit(ds, "y", {"nope"}, ds.AllRowIndices()).ok());
+}
+
+TEST(LogisticRegressionTest, DeterministicAcrossRuns) {
+  data::Dataset ds = LinearlySeparable(500, 0.1, 17);
+  LogisticRegression m1, m2;
+  ASSERT_TRUE(m1.Fit(ds, "y", {"a", "b"}, ds.AllRowIndices()).ok());
+  ASSERT_TRUE(m2.Fit(ds, "y", {"a", "b"}, ds.AllRowIndices()).ok());
+  EXPECT_DOUBLE_EQ(m1.PredictProba(ds, 0), m2.PredictProba(ds, 0));
+}
+
+}  // namespace
+}  // namespace roadmine::ml

@@ -1,0 +1,124 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "util/rng.h"
+
+namespace roadmine::ml {
+namespace {
+
+// Mixed numeric + categorical task so both split kinds serialize.
+data::Dataset MixedDataset(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x, y;
+  std::vector<std::string> c;
+  for (size_t i = 0; i < n; ++i) {
+    const double xi = rng.Uniform(0.0, 10.0);
+    const bool chip = rng.Bernoulli(0.4);
+    x.push_back(rng.Bernoulli(0.05) ? std::numeric_limits<double>::quiet_NaN()
+                                    : xi);
+    c.push_back(chip ? "chip_seal" : "asphalt");
+    y.push_back((xi > 5.0 || chip) ? 1.0 : 0.0);
+  }
+  data::Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::CategoricalFromStrings("c", c)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  return ds;
+}
+
+DecisionTreeClassifier FitTree(const data::Dataset& ds) {
+  DecisionTreeParams params;
+  params.min_samples_leaf = 20;
+  DecisionTreeClassifier tree(params);
+  EXPECT_TRUE(tree.Fit(ds, "y", {"x", "c"}, ds.AllRowIndices()).ok());
+  return tree;
+}
+
+TEST(TreeSerializationTest, RoundTripPreservesPredictions) {
+  data::Dataset ds = MixedDataset(1500, 1);
+  DecisionTreeClassifier tree = FitTree(ds);
+  const std::string blob = tree.Serialize();
+  auto loaded = DecisionTreeClassifier::Deserialize(blob, ds);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->leaf_count(), tree.leaf_count());
+  EXPECT_EQ(loaded->node_count(), tree.node_count());
+  for (size_t r = 0; r < ds.num_rows(); r += 7) {
+    EXPECT_DOUBLE_EQ(loaded->PredictProba(ds, r), tree.PredictProba(ds, r))
+        << "row " << r;
+  }
+}
+
+TEST(TreeSerializationTest, RoundTripPreservesRules) {
+  data::Dataset ds = MixedDataset(800, 3);
+  DecisionTreeClassifier tree = FitTree(ds);
+  auto loaded = DecisionTreeClassifier::Deserialize(tree.Serialize(), ds);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ExtractRules(), tree.ExtractRules());
+}
+
+TEST(TreeSerializationTest, LoadsAgainstEquivalentSchema) {
+  // Score a different dataset with the same column layout.
+  data::Dataset train = MixedDataset(1000, 5);
+  data::Dataset other = MixedDataset(300, 99);
+  DecisionTreeClassifier tree = FitTree(train);
+  auto loaded = DecisionTreeClassifier::Deserialize(tree.Serialize(), other);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t r = 0; r < other.num_rows(); r += 13) {
+    EXPECT_DOUBLE_EQ(loaded->PredictProba(other, r),
+                     tree.PredictProba(other, r));
+  }
+}
+
+TEST(TreeSerializationTest, SchemaMismatchRejected) {
+  data::Dataset ds = MixedDataset(500, 7);
+  DecisionTreeClassifier tree = FitTree(ds);
+  const std::string blob = tree.Serialize();
+
+  data::Dataset missing_column;
+  ASSERT_TRUE(
+      missing_column.AddColumn(data::Column::Numeric("x", {1.0})).ok());
+  EXPECT_FALSE(
+      DecisionTreeClassifier::Deserialize(blob, missing_column).ok());
+
+  data::Dataset wrong_type;
+  ASSERT_TRUE(wrong_type
+                  .AddColumn(data::Column::CategoricalFromStrings("x", {"a"}))
+                  .ok());
+  ASSERT_TRUE(wrong_type
+                  .AddColumn(data::Column::CategoricalFromStrings("c", {"a"}))
+                  .ok());
+  EXPECT_FALSE(DecisionTreeClassifier::Deserialize(blob, wrong_type).ok());
+}
+
+TEST(TreeSerializationTest, CorruptInputsRejected) {
+  data::Dataset ds = MixedDataset(500, 9);
+  DecisionTreeClassifier tree = FitTree(ds);
+  const std::string blob = tree.Serialize();
+
+  EXPECT_FALSE(DecisionTreeClassifier::Deserialize("", ds).ok());
+  EXPECT_FALSE(DecisionTreeClassifier::Deserialize("garbage", ds).ok());
+
+  // Truncate after the header.
+  const std::string truncated = blob.substr(0, blob.find("nodes "));
+  EXPECT_FALSE(DecisionTreeClassifier::Deserialize(truncated, ds).ok());
+
+  // Corrupt a node line's numeric field.
+  std::string corrupted = blob;
+  const size_t pos = corrupted.find("node\t");
+  corrupted.replace(pos, 6, "node\tZ");
+  EXPECT_FALSE(DecisionTreeClassifier::Deserialize(corrupted, ds).ok());
+}
+
+TEST(TreeSerializationTest, HeaderVersionChecked) {
+  data::Dataset ds = MixedDataset(300, 11);
+  DecisionTreeClassifier tree = FitTree(ds);
+  std::string blob = tree.Serialize();
+  blob.replace(0, blob.find('\n'), "roadmine-decision-tree v999");
+  EXPECT_FALSE(DecisionTreeClassifier::Deserialize(blob, ds).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::ml

@@ -1,0 +1,121 @@
+#include "roadgen/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace roadmine::roadgen {
+namespace {
+
+TEST(ProfileNetworkTest, CountsHandBuiltSegments) {
+  // Two zero-crash segments, one with 3 crashes, one with 10 crashes.
+  std::vector<RoadSegment> segments(4);
+  segments[0].yearly_crashes = {0, 0, 0, 0};
+  segments[1].yearly_crashes = {0, 0, 0, 0};
+  segments[2].yearly_crashes = {1, 1, 1, 0};
+  segments[3].yearly_crashes = {3, 3, 2, 2};
+
+  const CalibrationProfile profile = ProfileNetwork(segments);
+  EXPECT_EQ(profile.non_crash_instances, 2u);
+  EXPECT_EQ(profile.crash_instances, 13u);
+  // CP-2: rows from segments with count > 2 = 3 + 10 = 13.
+  EXPECT_EQ(profile.crash_prone_instances[0], 13u);
+  // CP-4: only the 10-crash segment qualifies.
+  EXPECT_EQ(profile.crash_prone_instances[1], 10u);
+  // CP-8: same.
+  EXPECT_EQ(profile.crash_prone_instances[2], 10u);
+  // CP-16: none.
+  EXPECT_EQ(profile.crash_prone_instances[3], 0u);
+}
+
+TEST(CalibrationLossTest, ZeroWhenProfileMatchesTargets) {
+  PaperTargets targets;
+  CalibrationProfile profile;
+  profile.crash_instances = targets.crash_instances;
+  profile.non_crash_instances = targets.non_crash_instances;
+  profile.thresholds = targets.thresholds;
+  profile.crash_prone_instances = targets.crash_prone_instances;
+  EXPECT_NEAR(CalibrationLoss(profile, targets), 0.0, 1e-12);
+}
+
+TEST(CalibrationLossTest, PenalizesDeviation) {
+  PaperTargets targets;
+  CalibrationProfile exact;
+  exact.crash_instances = targets.crash_instances;
+  exact.non_crash_instances = targets.non_crash_instances;
+  exact.thresholds = targets.thresholds;
+  exact.crash_prone_instances = targets.crash_prone_instances;
+
+  CalibrationProfile off = exact;
+  off.crash_prone_instances[0] = targets.crash_prone_instances[0] / 2;
+  EXPECT_GT(CalibrationLoss(off, targets), CalibrationLoss(exact, targets));
+}
+
+TEST(PaperTargetsTest, MatchTable1) {
+  PaperTargets targets;
+  EXPECT_EQ(targets.crash_instances, 16750u);
+  EXPECT_EQ(targets.non_crash_instances, 16155u);
+  ASSERT_EQ(targets.thresholds.size(), 6u);
+  ASSERT_EQ(targets.crash_prone_instances.size(), 6u);
+  // Non-crash-prone + crash-prone must sum to 16,750 per Table 1.
+  const size_t non_crash_prone[] = {3548, 5904, 8677, 12348, 15471, 16576};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(non_crash_prone[i] + targets.crash_prone_instances[i], 16750u);
+  }
+}
+
+TEST(CalibrateToPaperTest, DefaultsAreAlreadyClose) {
+  // The shipped GeneratorConfig defaults came from this calibration; a
+  // fresh full-size generation must land near the paper's inventory.
+  RoadNetworkGenerator gen{GeneratorConfig{}};
+  auto segments = gen.Generate();
+  ASSERT_TRUE(segments.ok());
+  const CalibrationProfile profile = ProfileNetwork(*segments);
+  PaperTargets targets;
+  EXPECT_NEAR(static_cast<double>(profile.crash_instances),
+              static_cast<double>(targets.crash_instances),
+              0.25 * targets.crash_instances);
+  EXPECT_NEAR(static_cast<double>(profile.non_crash_instances),
+              static_cast<double>(targets.non_crash_instances),
+              0.25 * targets.non_crash_instances);
+}
+
+TEST(CalibrateToPaperTest, SearchDoesNotWorsenLoss) {
+  GeneratorConfig base;
+  CalibrationOptions options;
+  options.search_segments = 3000;
+  options.factors = {0.85, 1.0, 1.2};
+  auto calibrated = CalibrateToPaper(base, PaperTargets{}, options);
+  ASSERT_TRUE(calibrated.ok());
+
+  auto measure = [&](GeneratorConfig config) {
+    config.num_segments = 3000;
+    config.seed = options.seed;
+    auto segments = RoadNetworkGenerator(config).Generate();
+    EXPECT_TRUE(segments.ok());
+    return CalibrationLoss(ProfileNetwork(*segments));
+  };
+  EXPECT_LE(measure(*calibrated), measure(base) + 1e-9);
+}
+
+TEST(CalibrateToPaperTest, RescalesNetworkSize) {
+  GeneratorConfig base;
+  CalibrationOptions options;
+  options.search_segments = 3000;
+  options.factors = {1.0};
+  auto calibrated = CalibrateToPaper(base, PaperTargets{}, options);
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_GE(calibrated->num_segments, 1000u);
+  EXPECT_EQ(calibrated->seed, base.seed);  // Production seed restored.
+}
+
+TEST(CalibrateToPaperTest, DegenerateOptionsRejected) {
+  GeneratorConfig base;
+  CalibrationOptions options;
+  options.search_segments = 0;
+  EXPECT_FALSE(CalibrateToPaper(base, PaperTargets{}, options).ok());
+  options.search_segments = 1000;
+  options.factors = {};
+  EXPECT_FALSE(CalibrateToPaper(base, PaperTargets{}, options).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::roadgen

@@ -1,0 +1,141 @@
+#include "roadgen/dataset_builder.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::roadgen {
+namespace {
+
+struct Fixture {
+  std::vector<RoadSegment> segments;
+  std::vector<CrashRecord> records;
+};
+
+Fixture MakeFixture() {
+  GeneratorConfig config;
+  config.num_segments = 2000;
+  config.seed = 7;
+  RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  EXPECT_TRUE(segments.ok());
+  Fixture fixture;
+  fixture.segments = std::move(*segments);
+  fixture.records = gen.SimulateCrashRecords(fixture.segments);
+  return fixture;
+}
+
+TEST(SegmentDatasetTest, OneRowPerSegment) {
+  Fixture f = MakeFixture();
+  auto ds = BuildSegmentDataset(f.segments);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), f.segments.size());
+  for (const std::string& name : RoadAttributeColumns()) {
+    EXPECT_TRUE(ds->HasColumn(name)) << name;
+  }
+  EXPECT_TRUE(ds->HasColumn(kSegmentCrashCountColumn));
+  EXPECT_FALSE(ds->HasColumn(kYearColumn));  // No crash context here.
+}
+
+TEST(CrashOnlyDatasetTest, OneRowPerCrash) {
+  Fixture f = MakeFixture();
+  auto ds = BuildCrashOnlyDataset(f.segments, f.records);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), f.records.size());
+  EXPECT_TRUE(ds->HasColumn(kYearColumn));
+  EXPECT_TRUE(ds->HasColumn(kWetColumn));
+  EXPECT_TRUE(ds->HasColumn(kSeverityColumn));
+}
+
+TEST(CrashOnlyDatasetTest, CrashCountColumnMatchesSegmentTotals) {
+  Fixture f = MakeFixture();
+  auto ds = BuildCrashOnlyDataset(f.segments, f.records);
+  ASSERT_TRUE(ds.ok());
+  auto count_col = ds->ColumnByName(kSegmentCrashCountColumn);
+  auto id_col = ds->ColumnByName(kSegmentIdColumn);
+  ASSERT_TRUE(count_col.ok());
+  ASSERT_TRUE(id_col.ok());
+  // Each row's count equals its segment's actual 4-year total.
+  for (size_t r = 0; r < std::min<size_t>(ds->num_rows(), 500); ++r) {
+    const auto id = static_cast<size_t>((*id_col)->NumericAt(r));
+    const RoadSegment& s = f.segments[id - 1];
+    EXPECT_DOUBLE_EQ((*count_col)->NumericAt(r),
+                     static_cast<double>(s.total_crashes()));
+  }
+}
+
+TEST(CrashOnlyDatasetTest, NoZeroCountRows) {
+  Fixture f = MakeFixture();
+  auto ds = BuildCrashOnlyDataset(f.segments, f.records);
+  ASSERT_TRUE(ds.ok());
+  auto count_col = ds->ColumnByName(kSegmentCrashCountColumn);
+  ASSERT_TRUE(count_col.ok());
+  for (size_t r = 0; r < ds->num_rows(); ++r) {
+    EXPECT_GE((*count_col)->NumericAt(r), 1.0);
+  }
+}
+
+TEST(CrashNoCrashDatasetTest, CrashRowsPlusZeroAlteredRows) {
+  Fixture f = MakeFixture();
+  auto ds = BuildCrashNoCrashDataset(f.segments, f.records);
+  ASSERT_TRUE(ds.ok());
+  size_t zero_segments = 0;
+  for (const RoadSegment& s : f.segments) {
+    zero_segments += (s.total_crashes() == 0);
+  }
+  EXPECT_EQ(ds->num_rows(), f.records.size() + zero_segments);
+}
+
+TEST(CrashNoCrashDatasetTest, ZeroAlteredRowsHaveMissingCrashContext) {
+  Fixture f = MakeFixture();
+  auto ds = BuildCrashNoCrashDataset(f.segments, f.records);
+  ASSERT_TRUE(ds.ok());
+  auto count_col = ds->ColumnByName(kSegmentCrashCountColumn);
+  auto year_col = ds->ColumnByName(kYearColumn);
+  ASSERT_TRUE(count_col.ok());
+  ASSERT_TRUE(year_col.ok());
+  size_t zero_rows = 0;
+  for (size_t r = 0; r < ds->num_rows(); ++r) {
+    if ((*count_col)->NumericAt(r) == 0.0) {
+      ++zero_rows;
+      EXPECT_TRUE((*year_col)->IsMissing(r));
+    } else {
+      EXPECT_FALSE((*year_col)->IsMissing(r));
+    }
+  }
+  EXPECT_GT(zero_rows, 0u);
+}
+
+TEST(DatasetBuilderTest, UnknownSegmentReferenceRejected) {
+  Fixture f = MakeFixture();
+  CrashRecord bogus;
+  bogus.segment_id = 10'000'000;
+  std::vector<CrashRecord> records = {bogus};
+  EXPECT_FALSE(BuildCrashOnlyDataset(f.segments, records).ok());
+}
+
+TEST(DatasetBuilderTest, EmptySegmentsRejected) {
+  EXPECT_FALSE(BuildSegmentDataset({}).ok());
+  EXPECT_FALSE(BuildCrashOnlyDataset({}, {}).ok());
+  EXPECT_FALSE(BuildCrashNoCrashDataset({}, {}).ok());
+}
+
+TEST(DatasetBuilderTest, FeatureColumnsExcludeBookkeeping) {
+  for (const std::string& name : BookkeepingColumns()) {
+    for (const std::string& feature : RoadAttributeColumns()) {
+      EXPECT_NE(name, feature);
+    }
+  }
+}
+
+TEST(DatasetBuilderTest, CategoricalDictionariesMatchEnums) {
+  Fixture f = MakeFixture();
+  auto ds = BuildSegmentDataset(f.segments);
+  ASSERT_TRUE(ds.ok());
+  auto road_class = ds->ColumnByName("road_class");
+  ASSERT_TRUE(road_class.ok());
+  EXPECT_EQ((*road_class)->categories(), RoadClassNames());
+}
+
+}  // namespace
+}  // namespace roadmine::roadgen

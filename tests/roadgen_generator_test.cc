@@ -1,0 +1,241 @@
+#include "roadgen/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "roadgen/crash_model.h"
+
+namespace roadmine::roadgen {
+namespace {
+
+GeneratorConfig SmallConfig(uint64_t seed = 99) {
+  GeneratorConfig config;
+  config.num_segments = 4000;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForFixedSeed) {
+  RoadNetworkGenerator gen(SmallConfig());
+  auto a = gen.Generate();
+  auto b = gen.Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); i += 97) {
+    EXPECT_EQ((*a)[i].total_crashes(), (*b)[i].total_crashes());
+    EXPECT_DOUBLE_EQ((*a)[i].aadt, (*b)[i].aadt);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = RoadNetworkGenerator(SmallConfig(1)).Generate();
+  auto b = RoadNetworkGenerator(SmallConfig(2)).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  size_t diff = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    diff += (*a)[i].total_crashes() != (*b)[i].total_crashes();
+  }
+  EXPECT_GT(diff, a->size() / 10);
+}
+
+TEST(GeneratorTest, AttributesWithinPhysicalRanges) {
+  auto segments = RoadNetworkGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(segments.ok());
+  for (const RoadSegment& s : *segments) {
+    if (!std::isnan(s.f60)) {
+      EXPECT_GE(s.f60, 0.15);
+      EXPECT_LE(s.f60, 0.90);
+    }
+    EXPECT_GE(s.texture_depth, 0.2);
+    EXPECT_LE(s.texture_depth, 3.0);
+    EXPECT_GE(s.aadt, 50.0);
+    EXPECT_GE(s.curvature, 0.0);
+    EXPECT_LE(s.gradient, 12.0);
+    EXPECT_GE(s.seal_age, 0.0);
+    EXPECT_EQ(s.yearly_crashes.size(), 4u);
+    for (int c : s.yearly_crashes) EXPECT_GE(c, 0);
+  }
+}
+
+TEST(GeneratorTest, F60MissingRateApproximatelyHonoured) {
+  GeneratorConfig config = SmallConfig();
+  config.f60_missing_rate = 0.2;
+  auto segments = RoadNetworkGenerator(config).Generate();
+  ASSERT_TRUE(segments.ok());
+  size_t missing = 0;
+  for (const RoadSegment& s : *segments) missing += std::isnan(s.f60);
+  const double rate = static_cast<double>(missing) /
+                      static_cast<double>(segments->size());
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(GeneratorTest, ProneSegmentsHaveWorseAttributesAndMoreCrashes) {
+  auto segments = RoadNetworkGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(segments.ok());
+  double prone_f60 = 0.0, ordinary_f60 = 0.0;
+  double prone_crashes = 0.0, ordinary_crashes = 0.0;
+  size_t prone_n = 0, ordinary_n = 0, prone_f60_n = 0, ordinary_f60_n = 0;
+  for (const RoadSegment& s : *segments) {
+    if (s.latent_prone) {
+      ++prone_n;
+      prone_crashes += s.total_crashes();
+      if (!std::isnan(s.f60)) {
+        prone_f60 += s.f60;
+        ++prone_f60_n;
+      }
+    } else {
+      ++ordinary_n;
+      ordinary_crashes += s.total_crashes();
+      if (!std::isnan(s.f60)) {
+        ordinary_f60 += s.f60;
+        ++ordinary_f60_n;
+      }
+    }
+  }
+  ASSERT_GT(prone_n, 0u);
+  ASSERT_GT(ordinary_n, 0u);
+  EXPECT_LT(prone_f60 / prone_f60_n, ordinary_f60 / ordinary_f60_n - 0.05);
+  EXPECT_GT(prone_crashes / prone_n, 8.0 * (ordinary_crashes / ordinary_n));
+}
+
+TEST(GeneratorTest, CountDistributionDecaysLikeFigure1) {
+  auto segments = RoadNetworkGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(segments.ok());
+  // Count segments at 1, 2-4, 5-8 crashes: must be strictly decreasing
+  // bands (exponential-style decay).
+  size_t band1 = 0, band2 = 0, band3 = 0;
+  for (const RoadSegment& s : *segments) {
+    const int c = s.total_crashes();
+    if (c == 1) ++band1;
+    if (c >= 2 && c <= 4) ++band2;
+    if (c >= 5 && c <= 8) ++band3;
+  }
+  EXPECT_GT(band1, band2 / 2);  // Bands widen, so compare generously.
+  EXPECT_GT(band2, band3);
+}
+
+TEST(GeneratorTest, YearlyDistributionRoughlyStationary) {
+  auto segments = RoadNetworkGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(segments.ok());
+  double totals[4] = {0, 0, 0, 0};
+  for (const RoadSegment& s : *segments) {
+    for (size_t y = 0; y < 4; ++y) totals[y] += s.yearly_crashes[y];
+  }
+  const double mean = (totals[0] + totals[1] + totals[2] + totals[3]) / 4.0;
+  for (double t : totals) EXPECT_NEAR(t, mean, 0.08 * mean);
+}
+
+TEST(GeneratorTest, RiskScoreIsBoundedAndSensitive) {
+  auto segments = RoadNetworkGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(segments.ok());
+  for (size_t i = 0; i < segments->size(); i += 53) {
+    const double score = RiskScore((*segments)[i]);
+    EXPECT_GE(score, -3.0);
+    EXPECT_LE(score, 3.0);
+  }
+  // Degrading skid resistance must increase risk.
+  RoadSegment s = (*segments)[0];
+  s.latent_prone = false;
+  s.f60 = 0.7;
+  const double good = RiskScore(s);
+  s.f60 = 0.3;
+  EXPECT_GT(RiskScore(s), good);
+}
+
+TEST(GeneratorTest, WetCrashProbabilityRisesAsF60Falls) {
+  RoadSegment s;
+  s.f60 = 0.7;
+  const double dry_road = WetCrashProbability(s);
+  s.f60 = 0.3;
+  EXPECT_GT(WetCrashProbability(s), dry_road);
+  s.f60 = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_GT(WetCrashProbability(s), 0.0);
+  EXPECT_LT(WetCrashProbability(s), 1.0);
+}
+
+TEST(GeneratorTest, SimulateCrashRecordsMatchesCounts) {
+  RoadNetworkGenerator gen(SmallConfig());
+  auto segments = gen.Generate();
+  ASSERT_TRUE(segments.ok());
+  const std::vector<CrashRecord> records = gen.SimulateCrashRecords(*segments);
+  size_t total = 0;
+  for (const RoadSegment& s : *segments) {
+    total += static_cast<size_t>(s.total_crashes());
+  }
+  EXPECT_EQ(records.size(), total);
+  for (const CrashRecord& r : records) {
+    EXPECT_GE(r.year, 2004);
+    EXPECT_LE(r.year, 2007);
+    EXPECT_GE(r.severity, 0);
+    EXPECT_LT(r.severity, static_cast<int32_t>(SeverityNames().size()));
+  }
+}
+
+TEST(GeneratorTest, InvalidConfigsRejected) {
+  GeneratorConfig config = SmallConfig();
+  config.num_segments = 0;
+  EXPECT_FALSE(RoadNetworkGenerator(config).Generate().ok());
+  config = SmallConfig();
+  config.prone_fraction = 1.5;
+  EXPECT_FALSE(RoadNetworkGenerator(config).Generate().ok());
+  config = SmallConfig();
+  config.ordinary_dispersion = 0.0;
+  EXPECT_FALSE(RoadNetworkGenerator(config).Generate().ok());
+  config = SmallConfig();
+  config.f60_missing_rate = 1.0;
+  EXPECT_FALSE(RoadNetworkGenerator(config).Generate().ok());
+  config = SmallConfig();
+  config.num_years = 0;
+  EXPECT_FALSE(RoadNetworkGenerator(config).Generate().ok());
+}
+
+TEST(GeneratorTest, BlackspotTierProducesExtremeSegments) {
+  GeneratorConfig config;
+  config.num_segments = 30000;
+  config.blackspot_fraction = 0.001;  // ~30 expected black spots.
+  config.seed = 71;
+  auto segments = RoadNetworkGenerator(config).Generate();
+  ASSERT_TRUE(segments.ok());
+  size_t blackspots = 0;
+  double blackspot_crashes = 0.0, prone_crashes = 0.0;
+  size_t prone_n = 0;
+  for (const RoadSegment& s : *segments) {
+    if (s.latent_blackspot) {
+      ++blackspots;
+      blackspot_crashes += s.total_crashes();
+      EXPECT_TRUE(s.latent_prone);  // Black spots draw prone attributes.
+    } else if (s.latent_prone) {
+      ++prone_n;
+      prone_crashes += s.total_crashes();
+    }
+  }
+  ASSERT_GT(blackspots, 10u);
+  EXPECT_GT(blackspot_crashes / static_cast<double>(blackspots),
+            4.0 * (prone_crashes / static_cast<double>(prone_n)));
+}
+
+TEST(GeneratorTest, BlackspotFractionValidated) {
+  GeneratorConfig config;
+  config.blackspot_fraction = -0.1;
+  EXPECT_FALSE(RoadNetworkGenerator(config).Generate().ok());
+  config = GeneratorConfig{};
+  config.prone_fraction = 0.9;
+  config.blackspot_fraction = 0.2;  // Sum > 1.
+  EXPECT_FALSE(RoadNetworkGenerator(config).Generate().ok());
+  config = GeneratorConfig{};
+  config.blackspot_dispersion = 0.0;
+  EXPECT_FALSE(RoadNetworkGenerator(config).Generate().ok());
+}
+
+TEST(GeneratorTest, CategoryNameTablesConsistent) {
+  EXPECT_EQ(RoadClassNames().size(), 4u);
+  EXPECT_EQ(SurfaceTypeNames().size(), 3u);
+  EXPECT_EQ(TerrainNames().size(), 3u);
+  EXPECT_EQ(SeverityNames().size(), 4u);
+}
+
+}  // namespace
+}  // namespace roadmine::roadgen

@@ -1,0 +1,146 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace roadmine::roadgen {
+namespace {
+
+RoadSegment ReferenceSegment() {
+  RoadSegment s;
+  s.id = 1;
+  s.f60 = 0.512;
+  s.texture_depth = 1.23;
+  s.roughness_iri = 2.47;
+  s.rutting = 6.3;
+  s.deflection = 0.62;
+  s.seal_age = 7.4;
+  s.curvature = 23.0;
+  s.gradient = 2.3;
+  s.shoulder_width = 1.7;
+  s.aadt = 5432.0;
+  s.speed_limit = 100.0;
+  s.lane_count = 2.0;
+  return s;
+}
+
+TEST(MeasureSegmentTest, ZeroNoiseOnlyQuantizes) {
+  util::Rng rng(1);
+  MeasurementNoise noise;
+  noise.level = 0.0;
+  const RoadSegment m = MeasureSegment(ReferenceSegment(), noise, rng);
+  EXPECT_DOUBLE_EQ(m.f60, 0.51);          // 0.01 resolution.
+  EXPECT_DOUBLE_EQ(m.texture_depth, 1.25);  // 0.05 resolution.
+  EXPECT_DOUBLE_EQ(m.seal_age, 7.0);        // Whole years.
+  EXPECT_DOUBLE_EQ(m.curvature, 25.0);      // 5-degree resolution.
+  EXPECT_DOUBLE_EQ(m.aadt, 5400.0);         // Hundreds.
+}
+
+TEST(MeasureSegmentTest, ZeroNoiseIsDeterministic) {
+  util::Rng rng1(1), rng2(99);
+  MeasurementNoise noise;
+  noise.level = 0.0;
+  const RoadSegment a = MeasureSegment(ReferenceSegment(), noise, rng1);
+  const RoadSegment b = MeasureSegment(ReferenceSegment(), noise, rng2);
+  EXPECT_DOUBLE_EQ(a.f60, b.f60);
+  EXPECT_DOUBLE_EQ(a.aadt, b.aadt);
+}
+
+TEST(MeasureSegmentTest, NoisePerturbsButStaysInRange) {
+  util::Rng rng(7);
+  MeasurementNoise noise;
+  noise.level = 1.0;
+  bool any_different = false;
+  for (int i = 0; i < 50; ++i) {
+    const RoadSegment m = MeasureSegment(ReferenceSegment(), noise, rng);
+    if (m.f60 != 0.51) any_different = true;
+    EXPECT_GE(m.f60, 0.10);
+    EXPECT_LE(m.f60, 0.95);
+    EXPECT_GE(m.texture_depth, 0.10);
+    EXPECT_GE(m.seal_age, 0.0);
+    EXPECT_GE(m.aadt, 50.0);
+    EXPECT_GE(m.curvature, 0.0);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(MeasureSegmentTest, MissingF60StaysMissing) {
+  RoadSegment s = ReferenceSegment();
+  s.f60 = std::numeric_limits<double>::quiet_NaN();
+  util::Rng rng(3);
+  const RoadSegment m = MeasureSegment(s, MeasurementNoise{}, rng);
+  EXPECT_TRUE(std::isnan(m.f60));
+}
+
+TEST(MeasureSegmentTest, CategoricalsAndBookkeepingUntouched) {
+  RoadSegment s = ReferenceSegment();
+  s.road_class = RoadClass::kHighway;
+  s.surface_type = SurfaceType::kChipSeal;
+  s.yearly_crashes = {1, 2, 3, 4};
+  util::Rng rng(5);
+  const RoadSegment m = MeasureSegment(s, MeasurementNoise{}, rng);
+  EXPECT_EQ(m.road_class, RoadClass::kHighway);
+  EXPECT_EQ(m.surface_type, SurfaceType::kChipSeal);
+  EXPECT_EQ(m.id, s.id);
+  EXPECT_EQ(m.total_crashes(), 10);
+  EXPECT_DOUBLE_EQ(m.speed_limit, 100.0);  // Registry data, exact.
+  EXPECT_DOUBLE_EQ(m.lane_count, 2.0);
+}
+
+TEST(MeasurementInDatasetsTest, SameSegmentRowsDifferUnderNoise) {
+  // The anti-memorization property: two crash rows of one segment must not
+  // be identical attribute fingerprints.
+  GeneratorConfig config;
+  config.num_segments = 1500;
+  config.seed = 23;
+  RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  ASSERT_TRUE(segments.ok());
+  const auto records = gen.SimulateCrashRecords(*segments);
+  auto ds = BuildCrashOnlyDataset(*segments, records);
+  ASSERT_TRUE(ds.ok());
+
+  auto id_col = ds->ColumnByName(kSegmentIdColumn);
+  auto aadt_col = ds->ColumnByName("aadt");
+  ASSERT_TRUE(id_col.ok());
+  ASSERT_TRUE(aadt_col.ok());
+  size_t same_segment_pairs = 0, differing_pairs = 0;
+  for (size_t r = 1; r < ds->num_rows(); ++r) {
+    if ((*id_col)->NumericAt(r) != (*id_col)->NumericAt(r - 1)) continue;
+    ++same_segment_pairs;
+    differing_pairs +=
+        (*aadt_col)->NumericAt(r) != (*aadt_col)->NumericAt(r - 1);
+  }
+  ASSERT_GT(same_segment_pairs, 100u);
+  EXPECT_GT(static_cast<double>(differing_pairs) /
+                static_cast<double>(same_segment_pairs),
+            0.5);
+}
+
+TEST(MeasurementInDatasetsTest, NoiseIsSeedDeterministic) {
+  GeneratorConfig config;
+  config.num_segments = 800;
+  config.seed = 29;
+  RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  ASSERT_TRUE(segments.ok());
+  const auto records = gen.SimulateCrashRecords(*segments);
+  auto a = BuildCrashOnlyDataset(*segments, records);
+  auto b = BuildCrashOnlyDataset(*segments, records);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto col_a = a->ColumnByName("f60");
+  auto col_b = b->ColumnByName("f60");
+  for (size_t r = 0; r < a->num_rows(); r += 37) {
+    if ((*col_a)->IsMissing(r)) {
+      EXPECT_TRUE((*col_b)->IsMissing(r));
+    } else {
+      EXPECT_DOUBLE_EQ((*col_a)->NumericAt(r), (*col_b)->NumericAt(r));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace roadmine::roadgen

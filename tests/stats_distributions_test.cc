@@ -1,0 +1,91 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::stats {
+namespace {
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.9750021049, 1e-8);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.0249978951, 1e-8);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501020, 1e-8);
+}
+
+TEST(NormalCdfTest, LocationScale) {
+  EXPECT_NEAR(NormalCdf(10.0, 10.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(12.0, 10.0, 2.0), NormalCdf(1.0), 1e-12);
+  EXPECT_TRUE(std::isnan(NormalCdf(0.0, 0.0, 0.0)));
+}
+
+TEST(NormalLogPdfTest, MatchesClosedForm) {
+  // Standard normal at 0: log(1/sqrt(2 pi)).
+  EXPECT_NEAR(NormalLogPdf(0.0, 0.0, 1.0), -0.9189385332, 1e-9);
+  EXPECT_NEAR(NormalLogPdf(1.0, 0.0, 1.0), -0.9189385332 - 0.5, 1e-9);
+  EXPECT_TRUE(std::isnan(NormalLogPdf(0.0, 0.0, -1.0)));
+}
+
+TEST(ChiSquareTest, KnownQuantiles) {
+  // 95th percentile of chi-square(1) is 3.841459.
+  EXPECT_NEAR(ChiSquareSf(3.841459, 1.0), 0.05, 1e-5);
+  // df = 2: survival is exp(-x/2).
+  EXPECT_NEAR(ChiSquareSf(4.60517, 2.0), 0.1, 1e-5);
+  EXPECT_NEAR(ChiSquareCdf(4.60517, 2.0), 0.9, 1e-5);
+}
+
+TEST(ChiSquareTest, EdgeCases) {
+  EXPECT_NEAR(ChiSquareCdf(0.0, 3.0), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ChiSquareSf(0.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSf(-5.0, 3.0), 1.0);
+  EXPECT_TRUE(std::isnan(ChiSquareCdf(1.0, 0.0)));
+}
+
+TEST(ChiSquareTest, CdfPlusSfIsOne) {
+  for (double df : {1.0, 2.0, 5.0, 30.0}) {
+    for (double x : {0.1, 1.0, 4.0, 20.0, 80.0}) {
+      EXPECT_NEAR(ChiSquareCdf(x, df) + ChiSquareSf(x, df), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(FDistributionTest, SymmetricCase) {
+  // F(1; 1, 1): P(X/Y <= 1) for iid chi-squares = 0.5.
+  EXPECT_NEAR(FCdf(1.0, 1.0, 1.0), 0.5, 1e-9);
+  EXPECT_NEAR(FSf(1.0, 1.0, 1.0), 0.5, 1e-9);
+}
+
+TEST(FDistributionTest, KnownQuantile) {
+  // 95th percentile of F(2, 10) is 4.1028.
+  EXPECT_NEAR(FSf(4.1028, 2.0, 10.0), 0.05, 2e-4);
+}
+
+TEST(FDistributionTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(FCdf(0.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(FSf(0.0, 2.0, 3.0), 1.0);
+  EXPECT_TRUE(std::isnan(FCdf(1.0, 0.0, 3.0)));
+}
+
+TEST(FDistributionTest, RelationToChiSquareLimit) {
+  // As df2 -> infinity, F(x; df1, df2) -> ChiSquareCdf(df1 * x, df1).
+  EXPECT_NEAR(FCdf(2.0, 3.0, 1e7), ChiSquareCdf(6.0, 3.0), 1e-4);
+}
+
+TEST(StudentTTest, KnownValues) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  // df = 1 is Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-9);
+  // Large df approaches the normal.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), NormalCdf(1.96), 1e-5);
+}
+
+TEST(StudentTTest, TwoSidedPValue) {
+  // Two-sided p for |t| = 2.776 with df = 4 is 0.05.
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.776, 4.0), 0.05, 5e-4);
+  EXPECT_NEAR(StudentTTwoSidedPValue(-2.776, 4.0), 0.05, 5e-4);
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 4.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace roadmine::stats

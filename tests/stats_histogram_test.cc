@@ -1,0 +1,84 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::stats {
+namespace {
+
+TEST(HistogramTest, BinsValuesByRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.AddAll({0.5, 1.5, 2.5, 9.9, 3.0});
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_EQ(h.count(0), 2u);  // 0.5, 1.5.
+  EXPECT_EQ(h.count(1), 2u);  // 2.5, 3.0.
+  EXPECT_EQ(h.count(4), 1u);  // 9.9.
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(-5.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(HistogramTest, UpperBoundLandsInLastBin) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(10.0);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(HistogramTest, MissingCountedSeparately) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(std::nan(""));
+  h.Add(0.5);
+  EXPECT_EQ(h.missing(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, DegenerateRangeRepaired) {
+  Histogram h(5.0, 5.0, 3);
+  h.Add(5.0);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.AddAll({0.5, 0.6, 1.5});
+  const std::string out = h.Render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("[0.0, 1.0)"), std::string::npos);
+}
+
+TEST(IntegerFrequenciesTest, CountsExactValues) {
+  const std::vector<size_t> freq = IntegerFrequencies({0, 1, 1, 2, 5}, 5);
+  ASSERT_EQ(freq.size(), 6u);
+  EXPECT_EQ(freq[0], 1u);
+  EXPECT_EQ(freq[1], 2u);
+  EXPECT_EQ(freq[2], 1u);
+  EXPECT_EQ(freq[5], 1u);
+}
+
+TEST(IntegerFrequenciesTest, OverflowAccumulatesInLastSlot) {
+  const std::vector<size_t> freq = IntegerFrequencies({3, 9, 22}, 5);
+  EXPECT_EQ(freq[5], 2u);  // 9 and 22.
+}
+
+TEST(IntegerFrequenciesTest, NegativeIgnored) {
+  const std::vector<size_t> freq = IntegerFrequencies({-1, 0}, 2);
+  EXPECT_EQ(freq[0], 1u);
+}
+
+}  // namespace
+}  // namespace roadmine::stats

@@ -1,0 +1,112 @@
+#include "stats/hypothesis.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::stats {
+namespace {
+
+TEST(ChiSquareIndependenceTest, KnownTwoByTwo) {
+  // [[10,20],[20,10]]: expected 15 everywhere, chi2 = 4 * 25/15 = 6.6667.
+  auto result = ChiSquareIndependenceTest({{10, 20}, {20, 10}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, 20.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result->df, 1.0);
+  EXPECT_NEAR(result->p_value, 0.00982, 1e-4);
+}
+
+TEST(ChiSquareIndependenceTest, IndependentTableScoresZero) {
+  auto result = ChiSquareIndependenceTest({{10, 10}, {20, 20}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, 0.0, 1e-12);
+  EXPECT_NEAR(result->p_value, 1.0, 1e-12);
+}
+
+TEST(ChiSquareIndependenceTest, LargerTableDf) {
+  auto result =
+      ChiSquareIndependenceTest({{10, 5, 3}, {8, 9, 2}, {4, 6, 12}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->df, 4.0);
+  EXPECT_GT(result->statistic, 0.0);
+}
+
+TEST(ChiSquareIndependenceTest, DropsZeroMarginals) {
+  // Middle column is all-zero: effective table is 2x2, df = 1.
+  auto result = ChiSquareIndependenceTest({{10, 0, 20}, {20, 0, 10}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->df, 1.0);
+}
+
+TEST(ChiSquareIndependenceTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(ChiSquareIndependenceTest({}).ok());
+  EXPECT_FALSE(ChiSquareIndependenceTest({{1, 2}}).ok());
+  EXPECT_FALSE(ChiSquareIndependenceTest({{1, 2}, {3}}).ok());
+  EXPECT_FALSE(ChiSquareIndependenceTest({{1, -2}, {3, 4}}).ok());
+  EXPECT_FALSE(ChiSquareIndependenceTest({{0, 0}, {0, 0}}).ok());
+  // Degenerate: one effective row.
+  EXPECT_FALSE(ChiSquareIndependenceTest({{1, 2}, {0, 0}}).ok());
+}
+
+TEST(TwoGroupFTest, SeparatedGroups) {
+  auto result = TwoGroupFTest({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, 13.5, 1e-9);
+  EXPECT_DOUBLE_EQ(result->df1, 1.0);
+  EXPECT_DOUBLE_EQ(result->df2, 4.0);
+  EXPECT_NEAR(result->p_value, 0.0213, 2e-3);
+}
+
+TEST(TwoGroupFTest, IdenticalGroupsNotSignificant) {
+  auto result = TwoGroupFTest({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, 0.0, 1e-9);
+  EXPECT_NEAR(result->p_value, 1.0, 1e-9);
+}
+
+TEST(OneWayAnovaTest, HandComputedExample) {
+  auto result = OneWayAnova({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->ss_between, 13.5, 1e-9);
+  EXPECT_NEAR(result->ss_within, 4.0, 1e-9);
+  EXPECT_NEAR(result->f_statistic, 13.5, 1e-9);
+  ASSERT_EQ(result->group_means.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->group_means[0], 2.0);
+  EXPECT_DOUBLE_EQ(result->group_means[1], 5.0);
+}
+
+TEST(OneWayAnovaTest, ThreeGroups) {
+  auto result = OneWayAnova({{1, 2}, {2, 3}, {10, 11}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->df_between, 2.0);
+  EXPECT_DOUBLE_EQ(result->df_within, 3.0);
+  EXPECT_LT(result->p_value, 0.01);
+}
+
+TEST(OneWayAnovaTest, EmptyGroupsSkipped) {
+  auto result = OneWayAnova({{1, 2, 3}, {}, {4, 5, 6}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->df_between, 1.0);
+}
+
+TEST(OneWayAnovaTest, PerfectSeparationOfConstantsGivesZeroP) {
+  auto result = OneWayAnova({{2.0, 2.0}, {7.0, 7.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isinf(result->f_statistic));
+  EXPECT_DOUBLE_EQ(result->p_value, 0.0);
+}
+
+TEST(OneWayAnovaTest, AllEqualConstantsNotSignificant) {
+  auto result = OneWayAnova({{3.0, 3.0}, {3.0, 3.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->p_value, 1.0);
+}
+
+TEST(OneWayAnovaTest, Errors) {
+  EXPECT_FALSE(OneWayAnova({{1, 2, 3}}).ok());
+  EXPECT_FALSE(OneWayAnova({{1}, {2}}).ok());  // df_within = 0.
+  EXPECT_FALSE(OneWayAnova({{1.0, std::nan("")}, {2.0, 3.0}}).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::stats

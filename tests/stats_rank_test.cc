@@ -1,0 +1,124 @@
+#include "stats/rank.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace roadmine::stats {
+namespace {
+
+TEST(MidRanksTest, DistinctValues) {
+  EXPECT_EQ(MidRanks({30.0, 10.0, 20.0}),
+            (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(MidRanksTest, TiesShareAverageRank) {
+  // Values 5,5 occupy ranks 2 and 3 -> midrank 2.5.
+  EXPECT_EQ(MidRanks({1.0, 5.0, 5.0, 9.0}),
+            (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(MidRanksTest, AllEqual) {
+  EXPECT_EQ(MidRanks({7.0, 7.0, 7.0}),
+            (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(SpearmanTest, PerfectMonotoneIsOne) {
+  auto rho = SpearmanCorrelation({1, 2, 3, 4}, {10, 100, 1000, 10000});
+  ASSERT_TRUE(rho.ok());
+  EXPECT_DOUBLE_EQ(*rho, 1.0);
+}
+
+TEST(SpearmanTest, PerfectInverseIsMinusOne) {
+  auto rho = SpearmanCorrelation({1, 2, 3, 4}, {4, 3, 2, 1});
+  ASSERT_TRUE(rho.ok());
+  EXPECT_DOUBLE_EQ(*rho, -1.0);
+}
+
+TEST(SpearmanTest, RobustToOutliersUnlikePearson) {
+  // A monotone relation with one extreme y value: Spearman stays 1.
+  auto rho = SpearmanCorrelation({1, 2, 3, 4, 5}, {1, 2, 3, 4, 1e9});
+  ASSERT_TRUE(rho.ok());
+  EXPECT_DOUBLE_EQ(*rho, 1.0);
+}
+
+TEST(SpearmanTest, SkipsNaNPairs) {
+  auto rho = SpearmanCorrelation({1, std::nan(""), 2, 3}, {1, 99, 2, 3});
+  ASSERT_TRUE(rho.ok());
+  EXPECT_DOUBLE_EQ(*rho, 1.0);
+}
+
+TEST(SpearmanTest, Errors) {
+  EXPECT_FALSE(SpearmanCorrelation({1, 2}, {1, 2}).ok());        // Too few.
+  EXPECT_FALSE(SpearmanCorrelation({1, 2, 3}, {1, 2}).ok());     // Mismatch.
+  EXPECT_FALSE(SpearmanCorrelation({5, 5, 5}, {1, 2, 3}).ok());  // Constant.
+}
+
+TEST(KruskalWallisTest, SeparatedGroupsSignificant) {
+  auto result = KruskalWallisTest({{1, 2, 3, 4, 5},
+                                   {6, 7, 8, 9, 10},
+                                   {11, 12, 13, 14, 15}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->df, 2.0);
+  EXPECT_GT(result->h_statistic, 10.0);
+  EXPECT_LT(result->p_value, 0.01);
+}
+
+TEST(KruskalWallisTest, IdenticalGroupsNotSignificant) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> groups(3);
+  for (auto& g : groups) {
+    for (int i = 0; i < 30; ++i) g.push_back(rng.Normal(0.0, 1.0));
+  }
+  auto result = KruskalWallisTest(groups);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->p_value, 0.01);
+}
+
+TEST(KruskalWallisTest, KnownHandExample) {
+  // Groups {1,2}, {3,4}: ranks 1,2 | 3,4. H = 12/(4*5) * (9/2 + 49/2) - 15
+  //   = 0.6 * 29 - 15 = 2.4 (no ties).
+  auto result = KruskalWallisTest({{1, 2}, {3, 4}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->h_statistic, 2.4, 1e-9);
+}
+
+TEST(KruskalWallisTest, TieCorrectionApplied) {
+  // With heavy ties, the corrected H must exceed the uncorrected one.
+  auto tied = KruskalWallisTest({{1, 1, 1, 2}, {2, 2, 3, 3}});
+  ASSERT_TRUE(tied.ok());
+  EXPECT_GT(tied->h_statistic, 0.0);
+}
+
+TEST(KruskalWallisTest, AllIdenticalObservations) {
+  auto result = KruskalWallisTest({{5, 5, 5}, {5, 5}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->h_statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result->p_value, 1.0);
+}
+
+TEST(KruskalWallisTest, Errors) {
+  EXPECT_FALSE(KruskalWallisTest({{1, 2, 3}}).ok());
+  EXPECT_FALSE(KruskalWallisTest({{1, 2}, {}}).ok());
+  EXPECT_FALSE(KruskalWallisTest({{1, std::nan("")}, {2, 3}}).ok());
+}
+
+TEST(KruskalWallisTest, AgreesWithAnovaOnCleanData) {
+  // On well-behaved data the parametric and rank tests should agree on
+  // the verdict (both strongly significant here).
+  util::Rng rng(11);
+  std::vector<std::vector<double>> groups(3);
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 40; ++i) {
+      groups[static_cast<size_t>(g)].push_back(rng.Normal(g * 2.0, 1.0));
+    }
+  }
+  auto kw = KruskalWallisTest(groups);
+  ASSERT_TRUE(kw.ok());
+  EXPECT_LT(kw->p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace roadmine::stats

@@ -1,0 +1,94 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::stats {
+namespace {
+
+TEST(LogGammaTest, KnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(M_PI)), 1e-10);
+}
+
+TEST(LogBetaTest, KnownValues) {
+  // B(1,1) = 1, B(2,3) = 1/12.
+  EXPECT_NEAR(LogBeta(1.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBeta(2.0, 3.0), std::log(1.0 / 12.0), 1e-10);
+}
+
+TEST(RegularizedGammaTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1e9), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  // Q(2, 3) = e^-3 (1 + 3).
+  EXPECT_NEAR(RegularizedGammaQ(2.0, 3.0), 4.0 * std::exp(-3.0), 1e-10);
+  // P(0.5, 0.5) = erf(sqrt(0.5)) = 0.682689492... (chi-square df=1 at 1).
+  EXPECT_NEAR(RegularizedGammaP(0.5, 0.5), 0.6826894921, 1e-8);
+}
+
+TEST(RegularizedGammaTest, ComplementarityAcrossRegimes) {
+  // Series regime (x < a+1) and continued-fraction regime (x >= a+1) must
+  // agree that P + Q = 1.
+  for (double a : {0.3, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.01, 0.5, 1.0, 3.0, 9.0, 60.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, InvalidArgumentsGiveNaN) {
+  EXPECT_TRUE(std::isnan(RegularizedGammaP(-1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(RegularizedGammaP(1.0, -1.0)));
+  EXPECT_TRUE(std::isnan(RegularizedGammaQ(0.0, 1.0)));
+}
+
+TEST(RegularizedIncompleteBetaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(RegularizedIncompleteBetaTest, KnownValues) {
+  // I_x(1,1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.37), 0.37, 1e-10);
+  // Symmetry point: I_0.5(2,2) = 0.5.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.5), 0.5, 1e-10);
+  // Beta(2,3) CDF at 0.25 = 6x^2 - 8x^3 + 3x^4 = 0.26171875.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 3.0, 0.25), 0.26171875, 1e-9);
+}
+
+TEST(RegularizedIncompleteBetaTest, SymmetryRelation) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.1, 0.3, 0.5, 0.8, 0.95}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, x),
+                1.0 - RegularizedIncompleteBeta(4.0, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(RegularizedIncompleteBetaTest, Monotone) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = RegularizedIncompleteBeta(3.0, 2.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(RegularizedIncompleteBetaTest, InvalidArgumentsGiveNaN) {
+  EXPECT_TRUE(std::isnan(RegularizedIncompleteBeta(0.0, 1.0, 0.5)));
+  EXPECT_TRUE(std::isnan(RegularizedIncompleteBeta(1.0, 1.0, -0.1)));
+  EXPECT_TRUE(std::isnan(RegularizedIncompleteBeta(1.0, 1.0, 1.1)));
+}
+
+}  // namespace
+}  // namespace roadmine::stats

@@ -1,0 +1,112 @@
+// Cross-module goodness-of-fit checks: the RNG's output validated with
+// the library's own chi-square machinery (stats depends on util, so these
+// tests double as an integration check of both layers).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.h"
+#include "util/rng.h"
+
+namespace roadmine {
+namespace {
+
+// One-sample chi-square GOF statistic for observed vs expected counts.
+double ChiSquareGof(const std::vector<double>& observed,
+                    const std::vector<double>& expected) {
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double diff = observed[i] - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+TEST(RngGoodnessTest, UniformBinsPassChiSquare) {
+  util::Rng rng(101);
+  const size_t bins = 20;
+  const size_t n = 100000;
+  std::vector<double> observed(bins, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    ++observed[static_cast<size_t>(rng.Uniform() * bins)];
+  }
+  std::vector<double> expected(bins, static_cast<double>(n) / bins);
+  const double stat = ChiSquareGof(observed, expected);
+  const double p = stats::ChiSquareSf(stat, static_cast<double>(bins - 1));
+  EXPECT_GT(p, 1e-4);  // Not catastrophically non-uniform.
+}
+
+TEST(RngGoodnessTest, PoissonPmfPassesChiSquare) {
+  util::Rng rng(103);
+  const double mean = 3.0;
+  const size_t n = 100000;
+  const int max_k = 12;  // Pool the tail into the last cell.
+  std::vector<double> observed(static_cast<size_t>(max_k) + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const int k = std::min(rng.Poisson(mean), max_k);
+    ++observed[static_cast<size_t>(k)];
+  }
+  // Exact Poisson cell probabilities.
+  std::vector<double> expected;
+  double cumulative = 0.0;
+  double pmf = std::exp(-mean);
+  for (int k = 0; k < max_k; ++k) {
+    expected.push_back(pmf * n);
+    cumulative += pmf;
+    pmf *= mean / (k + 1);
+  }
+  expected.push_back((1.0 - cumulative) * n);
+  const double stat = ChiSquareGof(observed, expected);
+  const double p =
+      stats::ChiSquareSf(stat, static_cast<double>(expected.size() - 1));
+  EXPECT_GT(p, 1e-4);
+}
+
+TEST(RngGoodnessTest, NormalQuartilesPassChiSquare) {
+  util::Rng rng(107);
+  const size_t n = 100000;
+  // Cells at the standard normal quartiles: each holds exactly 25%.
+  const double q1 = -0.6744897502, q3 = 0.6744897502;
+  std::vector<double> observed(4, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double z = rng.Normal();
+    size_t cell = z < q1 ? 0 : (z < 0.0 ? 1 : (z < q3 ? 2 : 3));
+    ++observed[cell];
+  }
+  std::vector<double> expected(4, n / 4.0);
+  const double stat = ChiSquareGof(observed, expected);
+  EXPECT_GT(stats::ChiSquareSf(stat, 3.0), 1e-4);
+}
+
+TEST(RngGoodnessTest, LaggedAutocorrelationNearZero) {
+  util::Rng rng(109);
+  const size_t n = 50000;
+  std::vector<double> series(n);
+  for (double& v : series) v = rng.Uniform();
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(n);
+  double numerator = 0.0, denominator = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    numerator += (series[i] - mean) * (series[i + 1] - mean);
+  }
+  for (double v : series) denominator += (v - mean) * (v - mean);
+  const double lag1 = numerator / denominator;
+  // Standard error of lag-1 autocorrelation is ~1/sqrt(n) ~ 0.0045.
+  EXPECT_LT(std::fabs(lag1), 0.02);
+}
+
+TEST(RngGoodnessTest, GammaPoissonMixtureMatchesNegativeBinomialPmf) {
+  // NB(mean 2, dispersion 1) is geometric-like: P(0) = k/(k+m) ^ k with
+  // k = 1 -> P(0) = 1/3.
+  util::Rng rng(113);
+  const size_t n = 60000;
+  size_t zeros = 0;
+  for (size_t i = 0; i < n; ++i) {
+    zeros += rng.NegativeBinomial(2.0, 1.0) == 0;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / n, 1.0 / 3.0, 0.01);
+}
+
+}  // namespace
+}  // namespace roadmine

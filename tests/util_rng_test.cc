@@ -1,0 +1,228 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace roadmine::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.NextUint64() == b.NextUint64());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) {
+    const int64_t v = rng.UniformInt(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 6, draws / 60);  // Within 10% of uniform.
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalLocationScale) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 4.0, 0.15);
+}
+
+struct GammaCase {
+  double shape;
+  double scale;
+};
+
+class RngGammaTest : public ::testing::TestWithParam<GammaCase> {};
+
+TEST_P(RngGammaTest, MomentsMatchTheory) {
+  const auto [shape, scale] = GetParam();
+  Rng rng(23);
+  const int n = 80000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gamma(shape, scale);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.05 * shape * scale + 0.01);
+  EXPECT_NEAR(var, shape * scale * scale,
+              0.12 * shape * scale * scale + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RngGammaTest,
+                         ::testing::Values(GammaCase{0.3, 1.0},
+                                           GammaCase{0.8, 2.0},
+                                           GammaCase{1.0, 1.0},
+                                           GammaCase{2.5, 0.5},
+                                           GammaCase{9.0, 3.0}));
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MomentsMatchTheory) {
+  const double mean = GetParam();
+  Rng rng(29);
+  const int n = 60000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int x = rng.Poisson(mean);
+    ASSERT_GE(x, 0);
+    sum += x;
+    sum_sq += static_cast<double>(x) * x;
+  }
+  const double m = sum / n;
+  const double var = sum_sq / n - m * m;
+  EXPECT_NEAR(m, mean, 0.05 * mean + 0.02);
+  EXPECT_NEAR(var, mean, 0.1 * mean + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngPoissonTest,
+                         ::testing::Values(0.1, 0.5, 2.0, 10.0, 25.0, 45.0,
+                                           120.0));
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, NegativeBinomialOverdispersed) {
+  Rng rng(31);
+  const int n = 60000;
+  const double mean = 4.0, dispersion = 0.5;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int x = rng.NegativeBinomial(mean, dispersion);
+    sum += x;
+    sum_sq += static_cast<double>(x) * x;
+  }
+  const double m = sum / n;
+  const double var = sum_sq / n - m * m;
+  EXPECT_NEAR(m, mean, 0.25);
+  // NB variance: mean + mean^2 / dispersion = 4 + 32 = 36.
+  EXPECT_NEAR(var, mean + mean * mean / dispersion, 6.0);
+  EXPECT_GT(var, 2.0 * m);  // Clearly overdispersed vs Poisson.
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(37);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // Astronomically unlikely to be identity.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ShuffleUniformFirstPosition) {
+  // Every element should land in position 0 about equally often.
+  std::vector<int> counts(5, 0);
+  for (uint64_t seed = 0; seed < 5000; ++seed) {
+    Rng rng(seed);
+    std::vector<int> items = {0, 1, 2, 3, 4};
+    rng.Shuffle(items);
+    ++counts[static_cast<size_t>(items[0])];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(55);
+  Rng child = parent.Fork();
+  // Child stream differs from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.NextUint64() == child.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace roadmine::util

@@ -1,0 +1,79 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace roadmine::util {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, AdjacentDelimiters) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  EXPECT_EQ(Split("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+}
+
+TEST(TrimTest, AllWhitespace) { EXPECT_EQ(Trim(" \t "), ""); }
+
+TEST(TrimTest, NoWhitespace) { EXPECT_EQ(Trim("abc"), "abc"); }
+
+TEST(ToLowerTest, MixedCase) { EXPECT_EQ(ToLower("AbC-12"), "abc-12"); }
+
+TEST(ParseDoubleTest, ValidNumbers) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_TRUE(ParseDouble("  42 ", &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.2x", &v));
+  EXPECT_FALSE(ParseDouble("nan", &v));  // Non-finite rejected.
+  EXPECT_FALSE(ParseDouble("inf", &v));
+}
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_FALSE(ParseInt("1.5", &v));
+  EXPECT_FALSE(ParseInt("", &v));
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("crash_prone_gt8", "crash_prone"));
+  EXPECT_FALSE(StartsWith("crash", "crash_prone"));
+}
+
+}  // namespace
+}  // namespace roadmine::util

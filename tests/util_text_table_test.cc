@@ -1,0 +1,59 @@
+#include "util/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace roadmine::util {
+namespace {
+
+TEST(TextTableTest, RendersHeaderRuleAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NO_FATAL_FAILURE(table.Render());
+}
+
+TEST(TextTableTest, NumericRowFormatting) {
+  TextTable table({"x", "y"});
+  table.AddRow({1.23456, 2.0}, 2);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericCellsRightAligned) {
+  TextTable table({"label", "count"});
+  table.AddRow({"wide-label-here", "7"});
+  const std::string out = table.Render();
+  // The numeric cell must be right-aligned under its column: the "7" is
+  // preceded by alignment spaces, not followed by them before line end.
+  const size_t line_start = out.find("wide-label-here");
+  ASSERT_NE(line_start, std::string::npos);
+  const size_t eol = out.find('\n', line_start);
+  const std::string line = out.substr(line_start, eol - line_start);
+  EXPECT_EQ(line.back(), '7');
+}
+
+TEST(TextTableTest, FootersAppended) {
+  TextTable table({"a"});
+  table.AddFooter("note: calibrated");
+  EXPECT_NE(table.Render().find("note: calibrated"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableStillRenders) {
+  TextTable table({"col"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roadmine::util
