@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_discretization.dir/ablation_discretization.cc.o"
+  "CMakeFiles/ablation_discretization.dir/ablation_discretization.cc.o.d"
+  "ablation_discretization"
+  "ablation_discretization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

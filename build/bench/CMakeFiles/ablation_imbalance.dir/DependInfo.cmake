@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_imbalance.cc" "bench/CMakeFiles/ablation_imbalance.dir/ablation_imbalance.cc.o" "gcc" "bench/CMakeFiles/ablation_imbalance.dir/ablation_imbalance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadmine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_roadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

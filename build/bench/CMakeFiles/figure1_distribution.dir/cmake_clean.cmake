@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_distribution.dir/figure1_distribution.cc.o"
+  "CMakeFiles/figure1_distribution.dir/figure1_distribution.cc.o.d"
+  "figure1_distribution"
+  "figure1_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_mcpv.dir/figure2_mcpv.cc.o"
+  "CMakeFiles/figure2_mcpv.dir/figure2_mcpv.cc.o.d"
+  "figure2_mcpv"
+  "figure2_mcpv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_mcpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_bayes_efficiency.dir/figure3_bayes_efficiency.cc.o"
+  "CMakeFiles/figure3_bayes_efficiency.dir/figure3_bayes_efficiency.cc.o.d"
+  "figure3_bayes_efficiency"
+  "figure3_bayes_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_bayes_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

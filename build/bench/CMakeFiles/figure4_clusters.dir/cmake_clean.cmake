@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_clusters.dir/figure4_clusters.cc.o"
+  "CMakeFiles/figure4_clusters.dir/figure4_clusters.cc.o.d"
+  "figure4_clusters"
+  "figure4_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

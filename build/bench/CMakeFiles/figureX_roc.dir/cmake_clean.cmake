@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figureX_roc.dir/figureX_roc.cc.o"
+  "CMakeFiles/figureX_roc.dir/figureX_roc.cc.o.d"
+  "figureX_roc"
+  "figureX_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figureX_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

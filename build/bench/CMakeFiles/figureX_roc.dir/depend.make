@@ -1,0 +1,2 @@
+# Empty dependencies file for figureX_roc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figureX_severity.dir/figureX_severity.cc.o"
+  "CMakeFiles/figureX_severity.dir/figureX_severity.cc.o.d"
+  "figureX_severity"
+  "figureX_severity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figureX_severity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

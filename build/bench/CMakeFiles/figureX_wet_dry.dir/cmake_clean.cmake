@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figureX_wet_dry.dir/figureX_wet_dry.cc.o"
+  "CMakeFiles/figureX_wet_dry.dir/figureX_wet_dry.cc.o.d"
+  "figureX_wet_dry"
+  "figureX_wet_dry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figureX_wet_dry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figureX_wet_dry.
+# This may be replaced when dependencies are built.

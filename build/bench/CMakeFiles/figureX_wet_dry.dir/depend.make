@@ -1,0 +1,2 @@
+# Empty dependencies file for figureX_wet_dry.
+# This may be replaced when dependencies are built.

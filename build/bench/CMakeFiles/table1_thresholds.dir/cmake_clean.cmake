@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_thresholds.dir/table1_thresholds.cc.o"
+  "CMakeFiles/table1_thresholds.dir/table1_thresholds.cc.o.d"
+  "table1_thresholds"
+  "table1_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

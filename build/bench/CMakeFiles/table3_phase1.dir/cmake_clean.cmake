@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_phase1.dir/table3_phase1.cc.o"
+  "CMakeFiles/table3_phase1.dir/table3_phase1.cc.o.d"
+  "table3_phase1"
+  "table3_phase1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_phase1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

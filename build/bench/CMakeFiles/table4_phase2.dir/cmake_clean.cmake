@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_phase2.dir/table4_phase2.cc.o"
+  "CMakeFiles/table4_phase2.dir/table4_phase2.cc.o.d"
+  "table4_phase2"
+  "table4_phase2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_phase2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

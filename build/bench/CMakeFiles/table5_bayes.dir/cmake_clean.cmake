@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_bayes.dir/table5_bayes.cc.o"
+  "CMakeFiles/table5_bayes.dir/table5_bayes.cc.o.d"
+  "table5_bayes"
+  "table5_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

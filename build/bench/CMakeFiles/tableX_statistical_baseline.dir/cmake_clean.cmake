@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableX_statistical_baseline.dir/tableX_statistical_baseline.cc.o"
+  "CMakeFiles/tableX_statistical_baseline.dir/tableX_statistical_baseline.cc.o.d"
+  "tableX_statistical_baseline"
+  "tableX_statistical_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableX_statistical_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableX_supporting_models.dir/tableX_supporting_models.cc.o"
+  "CMakeFiles/tableX_supporting_models.dir/tableX_supporting_models.cc.o.d"
+  "tableX_supporting_models"
+  "tableX_supporting_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableX_supporting_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

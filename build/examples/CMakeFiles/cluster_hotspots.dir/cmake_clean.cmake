@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_hotspots.dir/cluster_hotspots.cpp.o"
+  "CMakeFiles/cluster_hotspots.dir/cluster_hotspots.cpp.o.d"
+  "cluster_hotspots"
+  "cluster_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_proneness_study.dir/crash_proneness_study.cpp.o"
+  "CMakeFiles/crash_proneness_study.dir/crash_proneness_study.cpp.o.d"
+  "crash_proneness_study"
+  "crash_proneness_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_proneness_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_exploration.dir/data_exploration.cpp.o"
+  "CMakeFiles/data_exploration.dir/data_exploration.cpp.o.d"
+  "data_exploration"
+  "data_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imbalance_metrics.dir/imbalance_metrics.cpp.o"
+  "CMakeFiles/imbalance_metrics.dir/imbalance_metrics.cpp.o.d"
+  "imbalance_metrics"
+  "imbalance_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imbalance_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

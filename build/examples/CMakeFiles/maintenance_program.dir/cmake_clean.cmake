@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_program.dir/maintenance_program.cpp.o"
+  "CMakeFiles/maintenance_program.dir/maintenance_program.cpp.o.d"
+  "maintenance_program"
+  "maintenance_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

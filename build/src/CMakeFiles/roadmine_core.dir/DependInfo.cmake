@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_analysis.cc" "src/CMakeFiles/roadmine_core.dir/core/cluster_analysis.cc.o" "gcc" "src/CMakeFiles/roadmine_core.dir/core/cluster_analysis.cc.o.d"
+  "/root/repo/src/core/crisp_dm.cc" "src/CMakeFiles/roadmine_core.dir/core/crisp_dm.cc.o" "gcc" "src/CMakeFiles/roadmine_core.dir/core/crisp_dm.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/CMakeFiles/roadmine_core.dir/core/deployment.cc.o" "gcc" "src/CMakeFiles/roadmine_core.dir/core/deployment.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/CMakeFiles/roadmine_core.dir/core/export.cc.o" "gcc" "src/CMakeFiles/roadmine_core.dir/core/export.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/roadmine_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/roadmine_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/CMakeFiles/roadmine_core.dir/core/study.cc.o" "gcc" "src/CMakeFiles/roadmine_core.dir/core/study.cc.o.d"
+  "/root/repo/src/core/thresholds.cc" "src/CMakeFiles/roadmine_core.dir/core/thresholds.cc.o" "gcc" "src/CMakeFiles/roadmine_core.dir/core/thresholds.cc.o.d"
+  "/root/repo/src/core/wet_dry.cc" "src/CMakeFiles/roadmine_core.dir/core/wet_dry.cc.o" "gcc" "src/CMakeFiles/roadmine_core.dir/core/wet_dry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadmine_roadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmine_core.dir/core/cluster_analysis.cc.o"
+  "CMakeFiles/roadmine_core.dir/core/cluster_analysis.cc.o.d"
+  "CMakeFiles/roadmine_core.dir/core/crisp_dm.cc.o"
+  "CMakeFiles/roadmine_core.dir/core/crisp_dm.cc.o.d"
+  "CMakeFiles/roadmine_core.dir/core/deployment.cc.o"
+  "CMakeFiles/roadmine_core.dir/core/deployment.cc.o.d"
+  "CMakeFiles/roadmine_core.dir/core/export.cc.o"
+  "CMakeFiles/roadmine_core.dir/core/export.cc.o.d"
+  "CMakeFiles/roadmine_core.dir/core/report.cc.o"
+  "CMakeFiles/roadmine_core.dir/core/report.cc.o.d"
+  "CMakeFiles/roadmine_core.dir/core/study.cc.o"
+  "CMakeFiles/roadmine_core.dir/core/study.cc.o.d"
+  "CMakeFiles/roadmine_core.dir/core/thresholds.cc.o"
+  "CMakeFiles/roadmine_core.dir/core/thresholds.cc.o.d"
+  "CMakeFiles/roadmine_core.dir/core/wet_dry.cc.o"
+  "CMakeFiles/roadmine_core.dir/core/wet_dry.cc.o.d"
+  "libroadmine_core.a"
+  "libroadmine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

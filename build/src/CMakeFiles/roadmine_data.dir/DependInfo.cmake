@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/column.cc" "src/CMakeFiles/roadmine_data.dir/data/column.cc.o" "gcc" "src/CMakeFiles/roadmine_data.dir/data/column.cc.o.d"
+  "/root/repo/src/data/csv_io.cc" "src/CMakeFiles/roadmine_data.dir/data/csv_io.cc.o" "gcc" "src/CMakeFiles/roadmine_data.dir/data/csv_io.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/roadmine_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/roadmine_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/describe.cc" "src/CMakeFiles/roadmine_data.dir/data/describe.cc.o" "gcc" "src/CMakeFiles/roadmine_data.dir/data/describe.cc.o.d"
+  "/root/repo/src/data/discretize.cc" "src/CMakeFiles/roadmine_data.dir/data/discretize.cc.o" "gcc" "src/CMakeFiles/roadmine_data.dir/data/discretize.cc.o.d"
+  "/root/repo/src/data/encoder.cc" "src/CMakeFiles/roadmine_data.dir/data/encoder.cc.o" "gcc" "src/CMakeFiles/roadmine_data.dir/data/encoder.cc.o.d"
+  "/root/repo/src/data/sampling.cc" "src/CMakeFiles/roadmine_data.dir/data/sampling.cc.o" "gcc" "src/CMakeFiles/roadmine_data.dir/data/sampling.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/roadmine_data.dir/data/split.cc.o" "gcc" "src/CMakeFiles/roadmine_data.dir/data/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadmine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmine_data.dir/data/column.cc.o"
+  "CMakeFiles/roadmine_data.dir/data/column.cc.o.d"
+  "CMakeFiles/roadmine_data.dir/data/csv_io.cc.o"
+  "CMakeFiles/roadmine_data.dir/data/csv_io.cc.o.d"
+  "CMakeFiles/roadmine_data.dir/data/dataset.cc.o"
+  "CMakeFiles/roadmine_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/roadmine_data.dir/data/describe.cc.o"
+  "CMakeFiles/roadmine_data.dir/data/describe.cc.o.d"
+  "CMakeFiles/roadmine_data.dir/data/discretize.cc.o"
+  "CMakeFiles/roadmine_data.dir/data/discretize.cc.o.d"
+  "CMakeFiles/roadmine_data.dir/data/encoder.cc.o"
+  "CMakeFiles/roadmine_data.dir/data/encoder.cc.o.d"
+  "CMakeFiles/roadmine_data.dir/data/sampling.cc.o"
+  "CMakeFiles/roadmine_data.dir/data/sampling.cc.o.d"
+  "CMakeFiles/roadmine_data.dir/data/split.cc.o"
+  "CMakeFiles/roadmine_data.dir/data/split.cc.o.d"
+  "libroadmine_data.a"
+  "libroadmine_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmine_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/binary_metrics.cc" "src/CMakeFiles/roadmine_eval.dir/eval/binary_metrics.cc.o" "gcc" "src/CMakeFiles/roadmine_eval.dir/eval/binary_metrics.cc.o.d"
+  "/root/repo/src/eval/calibration.cc" "src/CMakeFiles/roadmine_eval.dir/eval/calibration.cc.o" "gcc" "src/CMakeFiles/roadmine_eval.dir/eval/calibration.cc.o.d"
+  "/root/repo/src/eval/confusion.cc" "src/CMakeFiles/roadmine_eval.dir/eval/confusion.cc.o" "gcc" "src/CMakeFiles/roadmine_eval.dir/eval/confusion.cc.o.d"
+  "/root/repo/src/eval/cross_validation.cc" "src/CMakeFiles/roadmine_eval.dir/eval/cross_validation.cc.o" "gcc" "src/CMakeFiles/roadmine_eval.dir/eval/cross_validation.cc.o.d"
+  "/root/repo/src/eval/regression_metrics.cc" "src/CMakeFiles/roadmine_eval.dir/eval/regression_metrics.cc.o" "gcc" "src/CMakeFiles/roadmine_eval.dir/eval/regression_metrics.cc.o.d"
+  "/root/repo/src/eval/roc.cc" "src/CMakeFiles/roadmine_eval.dir/eval/roc.cc.o" "gcc" "src/CMakeFiles/roadmine_eval.dir/eval/roc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadmine_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

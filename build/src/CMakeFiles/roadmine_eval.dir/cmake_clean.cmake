@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmine_eval.dir/eval/binary_metrics.cc.o"
+  "CMakeFiles/roadmine_eval.dir/eval/binary_metrics.cc.o.d"
+  "CMakeFiles/roadmine_eval.dir/eval/calibration.cc.o"
+  "CMakeFiles/roadmine_eval.dir/eval/calibration.cc.o.d"
+  "CMakeFiles/roadmine_eval.dir/eval/confusion.cc.o"
+  "CMakeFiles/roadmine_eval.dir/eval/confusion.cc.o.d"
+  "CMakeFiles/roadmine_eval.dir/eval/cross_validation.cc.o"
+  "CMakeFiles/roadmine_eval.dir/eval/cross_validation.cc.o.d"
+  "CMakeFiles/roadmine_eval.dir/eval/regression_metrics.cc.o"
+  "CMakeFiles/roadmine_eval.dir/eval/regression_metrics.cc.o.d"
+  "CMakeFiles/roadmine_eval.dir/eval/roc.cc.o"
+  "CMakeFiles/roadmine_eval.dir/eval/roc.cc.o.d"
+  "libroadmine_eval.a"
+  "libroadmine_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmine_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroadmine_eval.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bagging.cc" "src/CMakeFiles/roadmine_ml.dir/ml/bagging.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/bagging.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/CMakeFiles/roadmine_ml.dir/ml/classifier.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/classifier.cc.o.d"
+  "/root/repo/src/ml/common.cc" "src/CMakeFiles/roadmine_ml.dir/ml/common.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/common.cc.o.d"
+  "/root/repo/src/ml/count_regression.cc" "src/CMakeFiles/roadmine_ml.dir/ml/count_regression.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/count_regression.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/roadmine_ml.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/roadmine_ml.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/CMakeFiles/roadmine_ml.dir/ml/linalg.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/linalg.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/roadmine_ml.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/m5_tree.cc" "src/CMakeFiles/roadmine_ml.dir/ml/m5_tree.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/m5_tree.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/roadmine_ml.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/neural_net.cc" "src/CMakeFiles/roadmine_ml.dir/ml/neural_net.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/neural_net.cc.o.d"
+  "/root/repo/src/ml/regression_tree.cc" "src/CMakeFiles/roadmine_ml.dir/ml/regression_tree.cc.o" "gcc" "src/CMakeFiles/roadmine_ml.dir/ml/regression_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

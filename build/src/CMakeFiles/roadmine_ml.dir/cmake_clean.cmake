@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmine_ml.dir/ml/bagging.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/bagging.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/classifier.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/classifier.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/common.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/common.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/count_regression.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/count_regression.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/decision_tree.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/decision_tree.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/kmeans.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/kmeans.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/linalg.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/linalg.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/logistic_regression.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/logistic_regression.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/m5_tree.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/m5_tree.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/naive_bayes.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/naive_bayes.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/neural_net.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/neural_net.cc.o.d"
+  "CMakeFiles/roadmine_ml.dir/ml/regression_tree.cc.o"
+  "CMakeFiles/roadmine_ml.dir/ml/regression_tree.cc.o.d"
+  "libroadmine_ml.a"
+  "libroadmine_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmine_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

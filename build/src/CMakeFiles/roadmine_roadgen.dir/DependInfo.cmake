@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadgen/calibration.cc" "src/CMakeFiles/roadmine_roadgen.dir/roadgen/calibration.cc.o" "gcc" "src/CMakeFiles/roadmine_roadgen.dir/roadgen/calibration.cc.o.d"
+  "/root/repo/src/roadgen/crash_model.cc" "src/CMakeFiles/roadmine_roadgen.dir/roadgen/crash_model.cc.o" "gcc" "src/CMakeFiles/roadmine_roadgen.dir/roadgen/crash_model.cc.o.d"
+  "/root/repo/src/roadgen/dataset_builder.cc" "src/CMakeFiles/roadmine_roadgen.dir/roadgen/dataset_builder.cc.o" "gcc" "src/CMakeFiles/roadmine_roadgen.dir/roadgen/dataset_builder.cc.o.d"
+  "/root/repo/src/roadgen/generator.cc" "src/CMakeFiles/roadmine_roadgen.dir/roadgen/generator.cc.o" "gcc" "src/CMakeFiles/roadmine_roadgen.dir/roadgen/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadmine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/roadmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmine_roadgen.dir/roadgen/calibration.cc.o"
+  "CMakeFiles/roadmine_roadgen.dir/roadgen/calibration.cc.o.d"
+  "CMakeFiles/roadmine_roadgen.dir/roadgen/crash_model.cc.o"
+  "CMakeFiles/roadmine_roadgen.dir/roadgen/crash_model.cc.o.d"
+  "CMakeFiles/roadmine_roadgen.dir/roadgen/dataset_builder.cc.o"
+  "CMakeFiles/roadmine_roadgen.dir/roadgen/dataset_builder.cc.o.d"
+  "CMakeFiles/roadmine_roadgen.dir/roadgen/generator.cc.o"
+  "CMakeFiles/roadmine_roadgen.dir/roadgen/generator.cc.o.d"
+  "libroadmine_roadgen.a"
+  "libroadmine_roadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmine_roadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/roadmine_stats.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/roadmine_stats.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/roadmine_stats.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/roadmine_stats.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/roadmine_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/roadmine_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/CMakeFiles/roadmine_stats.dir/stats/hypothesis.cc.o" "gcc" "src/CMakeFiles/roadmine_stats.dir/stats/hypothesis.cc.o.d"
+  "/root/repo/src/stats/rank.cc" "src/CMakeFiles/roadmine_stats.dir/stats/rank.cc.o" "gcc" "src/CMakeFiles/roadmine_stats.dir/stats/rank.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/CMakeFiles/roadmine_stats.dir/stats/special_functions.cc.o" "gcc" "src/CMakeFiles/roadmine_stats.dir/stats/special_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/roadmine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

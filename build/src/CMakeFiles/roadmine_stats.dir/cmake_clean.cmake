@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmine_stats.dir/stats/descriptive.cc.o"
+  "CMakeFiles/roadmine_stats.dir/stats/descriptive.cc.o.d"
+  "CMakeFiles/roadmine_stats.dir/stats/distributions.cc.o"
+  "CMakeFiles/roadmine_stats.dir/stats/distributions.cc.o.d"
+  "CMakeFiles/roadmine_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/roadmine_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/roadmine_stats.dir/stats/hypothesis.cc.o"
+  "CMakeFiles/roadmine_stats.dir/stats/hypothesis.cc.o.d"
+  "CMakeFiles/roadmine_stats.dir/stats/rank.cc.o"
+  "CMakeFiles/roadmine_stats.dir/stats/rank.cc.o.d"
+  "CMakeFiles/roadmine_stats.dir/stats/special_functions.cc.o"
+  "CMakeFiles/roadmine_stats.dir/stats/special_functions.cc.o.d"
+  "libroadmine_stats.a"
+  "libroadmine_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmine_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadmine_util.dir/util/csv.cc.o"
+  "CMakeFiles/roadmine_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/roadmine_util.dir/util/rng.cc.o"
+  "CMakeFiles/roadmine_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/roadmine_util.dir/util/status.cc.o"
+  "CMakeFiles/roadmine_util.dir/util/status.cc.o.d"
+  "CMakeFiles/roadmine_util.dir/util/string_util.cc.o"
+  "CMakeFiles/roadmine_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/roadmine_util.dir/util/text_table.cc.o"
+  "CMakeFiles/roadmine_util.dir/util/text_table.cc.o.d"
+  "libroadmine_util.a"
+  "libroadmine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadmine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_crisp_dm_test.dir/core_crisp_dm_test.cc.o"
+  "CMakeFiles/core_crisp_dm_test.dir/core_crisp_dm_test.cc.o.d"
+  "core_crisp_dm_test"
+  "core_crisp_dm_test.pdb"
+  "core_crisp_dm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_crisp_dm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

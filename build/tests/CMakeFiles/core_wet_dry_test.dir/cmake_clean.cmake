@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_wet_dry_test.dir/core_wet_dry_test.cc.o"
+  "CMakeFiles/core_wet_dry_test.dir/core_wet_dry_test.cc.o.d"
+  "core_wet_dry_test"
+  "core_wet_dry_test.pdb"
+  "core_wet_dry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_wet_dry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

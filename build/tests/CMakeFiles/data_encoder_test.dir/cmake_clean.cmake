@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_encoder_test.dir/data_encoder_test.cc.o"
+  "CMakeFiles/data_encoder_test.dir/data_encoder_test.cc.o.d"
+  "data_encoder_test"
+  "data_encoder_test.pdb"
+  "data_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_calibration_test.dir/eval_calibration_test.cc.o"
+  "CMakeFiles/eval_calibration_test.dir/eval_calibration_test.cc.o.d"
+  "eval_calibration_test"
+  "eval_calibration_test.pdb"
+  "eval_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

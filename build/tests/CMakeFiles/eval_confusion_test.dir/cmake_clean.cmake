@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_confusion_test.dir/eval_confusion_test.cc.o"
+  "CMakeFiles/eval_confusion_test.dir/eval_confusion_test.cc.o.d"
+  "eval_confusion_test"
+  "eval_confusion_test.pdb"
+  "eval_confusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_confusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_cross_validation_test.dir/eval_cross_validation_test.cc.o"
+  "CMakeFiles/eval_cross_validation_test.dir/eval_cross_validation_test.cc.o.d"
+  "eval_cross_validation_test"
+  "eval_cross_validation_test.pdb"
+  "eval_cross_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

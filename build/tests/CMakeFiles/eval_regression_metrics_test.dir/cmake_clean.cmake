@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_regression_metrics_test.dir/eval_regression_metrics_test.cc.o"
+  "CMakeFiles/eval_regression_metrics_test.dir/eval_regression_metrics_test.cc.o.d"
+  "eval_regression_metrics_test"
+  "eval_regression_metrics_test.pdb"
+  "eval_regression_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_regression_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_csv_roundtrip_test.dir/integration_csv_roundtrip_test.cc.o"
+  "CMakeFiles/integration_csv_roundtrip_test.dir/integration_csv_roundtrip_test.cc.o.d"
+  "integration_csv_roundtrip_test"
+  "integration_csv_roundtrip_test.pdb"
+  "integration_csv_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_csv_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

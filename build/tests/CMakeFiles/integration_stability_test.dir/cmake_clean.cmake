@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_stability_test.dir/integration_stability_test.cc.o"
+  "CMakeFiles/integration_stability_test.dir/integration_stability_test.cc.o.d"
+  "integration_stability_test"
+  "integration_stability_test.pdb"
+  "integration_stability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_count_regression_test.dir/ml_count_regression_test.cc.o"
+  "CMakeFiles/ml_count_regression_test.dir/ml_count_regression_test.cc.o.d"
+  "ml_count_regression_test"
+  "ml_count_regression_test.pdb"
+  "ml_count_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_count_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

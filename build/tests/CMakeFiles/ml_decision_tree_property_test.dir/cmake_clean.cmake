@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_decision_tree_property_test.dir/ml_decision_tree_property_test.cc.o"
+  "CMakeFiles/ml_decision_tree_property_test.dir/ml_decision_tree_property_test.cc.o.d"
+  "ml_decision_tree_property_test"
+  "ml_decision_tree_property_test.pdb"
+  "ml_decision_tree_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_decision_tree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

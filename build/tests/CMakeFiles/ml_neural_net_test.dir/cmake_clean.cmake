@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_neural_net_test.dir/ml_neural_net_test.cc.o"
+  "CMakeFiles/ml_neural_net_test.dir/ml_neural_net_test.cc.o.d"
+  "ml_neural_net_test"
+  "ml_neural_net_test.pdb"
+  "ml_neural_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_neural_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

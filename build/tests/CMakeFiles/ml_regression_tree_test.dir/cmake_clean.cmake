@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_regression_tree_test.dir/ml_regression_tree_test.cc.o"
+  "CMakeFiles/ml_regression_tree_test.dir/ml_regression_tree_test.cc.o.d"
+  "ml_regression_tree_test"
+  "ml_regression_tree_test.pdb"
+  "ml_regression_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_regression_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadgen_calibration_test.dir/roadgen_calibration_test.cc.o"
+  "CMakeFiles/roadgen_calibration_test.dir/roadgen_calibration_test.cc.o.d"
+  "roadgen_calibration_test"
+  "roadgen_calibration_test.pdb"
+  "roadgen_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadgen_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadgen_dataset_builder_test.dir/roadgen_dataset_builder_test.cc.o"
+  "CMakeFiles/roadgen_dataset_builder_test.dir/roadgen_dataset_builder_test.cc.o.d"
+  "roadgen_dataset_builder_test"
+  "roadgen_dataset_builder_test.pdb"
+  "roadgen_dataset_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadgen_dataset_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

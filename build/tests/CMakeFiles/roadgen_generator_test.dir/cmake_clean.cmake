@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadgen_generator_test.dir/roadgen_generator_test.cc.o"
+  "CMakeFiles/roadgen_generator_test.dir/roadgen_generator_test.cc.o.d"
+  "roadgen_generator_test"
+  "roadgen_generator_test.pdb"
+  "roadgen_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadgen_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadgen_measurement_test.dir/roadgen_measurement_test.cc.o"
+  "CMakeFiles/roadgen_measurement_test.dir/roadgen_measurement_test.cc.o.d"
+  "roadgen_measurement_test"
+  "roadgen_measurement_test.pdb"
+  "roadgen_measurement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadgen_measurement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_hypothesis_test.dir/stats_hypothesis_test.cc.o"
+  "CMakeFiles/stats_hypothesis_test.dir/stats_hypothesis_test.cc.o.d"
+  "stats_hypothesis_test"
+  "stats_hypothesis_test.pdb"
+  "stats_hypothesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_hypothesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

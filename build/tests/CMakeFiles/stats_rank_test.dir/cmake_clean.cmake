@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_rank_test.dir/stats_rank_test.cc.o"
+  "CMakeFiles/stats_rank_test.dir/stats_rank_test.cc.o.d"
+  "stats_rank_test"
+  "stats_rank_test.pdb"
+  "stats_rank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_rank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_special_functions_test.dir/stats_special_functions_test.cc.o"
+  "CMakeFiles/stats_special_functions_test.dir/stats_special_functions_test.cc.o.d"
+  "stats_special_functions_test"
+  "stats_special_functions_test.pdb"
+  "stats_special_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_special_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

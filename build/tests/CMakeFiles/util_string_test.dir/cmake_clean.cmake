@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_string_test.dir/util_string_test.cc.o"
+  "CMakeFiles/util_string_test.dir/util_string_test.cc.o.d"
+  "util_string_test"
+  "util_string_test.pdb"
+  "util_string_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_string_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
