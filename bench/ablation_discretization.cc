@@ -52,10 +52,11 @@ std::vector<std::string> NumericAttributes(const data::Dataset& ds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader("Ablation — interval attributes vs discretization");
+  bench::BenchContext ctx("ablation_discretization", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   util::TextTable table({"task", "attributes", "MCPV", "Kappa"});
 
   for (int threshold : {4, 8}) {

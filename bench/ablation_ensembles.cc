@@ -34,10 +34,11 @@ eval::BinaryAssessment Evaluate(const data::Dataset& ds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader("Ablation — single tree vs pruning vs bagging");
+  bench::BenchContext ctx("ablation_ensembles", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   util::TextTable table({"task", "model", "leaves", "MCPV", "Kappa"});
 
   for (int threshold : {4, 8}) {

@@ -53,10 +53,11 @@ Row Evaluate(const std::string& name, const data::Dataset& ds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader("Ablation — assessment measures under extreme imbalance");
+  bench::BenchContext ctx("ablation_imbalance", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   util::TextTable table({"model", "accuracy", "misclass", "AUC", "PPV", "NPV",
                          "MCPV", "Kappa"});
 

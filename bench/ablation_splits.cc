@@ -36,10 +36,11 @@ eval::BinaryAssessment EvaluateTree(const data::Dataset& ds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader("Ablation — split criteria & missing-value handling");
+  bench::BenchContext ctx("ablation_splits", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   data::Dataset& ds = data.crash_only;
   if (auto s =
           core::AddCrashProneTarget(ds, roadgen::kSegmentCrashCountColumn, 8);

@@ -12,9 +12,10 @@
 #include "util/string_util.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader("Ablation — seed robustness of the MCPV curve");
+  bench::BenchContext ctx("ablation_stability", argc, argv);
 
   const std::vector<uint64_t> seeds = {42, 101, 202, 303, 404};
   const std::vector<int>& thresholds = core::StandardThresholds();
@@ -24,7 +25,7 @@ int main() {
   std::vector<int> selected;
 
   for (uint64_t seed : seeds) {
-    bench::PaperData data = bench::MakePaperData(seed);
+    bench::PaperData data = ctx.MakePaperData(seed);
     core::StudyConfig config;
     config.seed = seed * 7 + 1;
     core::CrashPronenessStudy study(config);

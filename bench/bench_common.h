@@ -1,15 +1,27 @@
 // Shared setup for the reproduction benches: every table/figure binary
 // works from the same paper-scale synthetic network (the calibrated
 // GeneratorConfig defaults) so results are comparable across benches.
+//
+// Observability: each bench wraps its run in a BenchContext. When the
+// first CLI argument names an output directory, the context enables the
+// trace collector and — at scope exit — writes BENCH_<name>.json
+// (per-stage wall-clock timings + key metrics, see obs/bench_report.h)
+// and trace_<name>.jsonl next to the bench's CSV artifacts, seeding the
+// repo's perf trajectory.
 #ifndef ROADMINE_BENCH_BENCH_COMMON_H_
 #define ROADMINE_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
+#include "obs/bench_report.h"
+#include "obs/logging.h"
+#include "obs/trace.h"
 #include "roadgen/dataset_builder.h"
 #include "roadgen/generator.h"
 
@@ -23,16 +35,25 @@ struct PaperData {
   data::Dataset crash_no_crash;  // Phase-1 dataset (~32.9k rows).
 };
 
-// Generates the calibrated paper-scale dataset; aborts with a message on
-// failure (benches have no error channel worth plumbing).
-inline PaperData MakePaperData(uint64_t seed = 42) {
+// Generates the calibrated paper-scale dataset; aborts with a logged
+// error on failure (benches have no error channel worth plumbing). When
+// `report` is given, the build time is recorded as the "dataset_build"
+// stage — the first standard metric every bench shares — along with the
+// dataset row counts.
+inline PaperData MakePaperData(uint64_t seed = 42,
+                               obs::BenchReport* report = nullptr) {
+  const auto start = std::chrono::steady_clock::now();
+  ROADMINE_TRACE_SPAN("bench.make_paper_data");
+
   PaperData data;
   data.config.seed = seed;
   roadgen::RoadNetworkGenerator generator(data.config);
   auto segments = generator.Generate();
   if (!segments.ok()) {
-    std::fprintf(stderr, "generation failed: %s\n",
-                 segments.status().ToString().c_str());
+    obs::LogError("paper data generation failed",
+                  {{"stage", "generate"},
+                   {"seed", seed},
+                   {"error", segments.status().ToString()}});
     std::exit(1);
   }
   data.segments = std::move(*segments);
@@ -41,19 +62,34 @@ inline PaperData MakePaperData(uint64_t seed = 42) {
   auto crash_only =
       roadgen::BuildCrashOnlyDataset(data.segments, data.records);
   if (!crash_only.ok()) {
-    std::fprintf(stderr, "crash-only dataset failed: %s\n",
-                 crash_only.status().ToString().c_str());
+    obs::LogError("paper data generation failed",
+                  {{"stage", "crash_only_dataset"},
+                   {"seed", seed},
+                   {"error", crash_only.status().ToString()}});
     std::exit(1);
   }
   data.crash_only = std::move(*crash_only);
 
   auto both = roadgen::BuildCrashNoCrashDataset(data.segments, data.records);
   if (!both.ok()) {
-    std::fprintf(stderr, "crash/no-crash dataset failed: %s\n",
-                 both.status().ToString().c_str());
+    obs::LogError("paper data generation failed",
+                  {{"stage", "crash_no_crash_dataset"},
+                   {"seed", seed},
+                   {"error", both.status().ToString()}});
     std::exit(1);
   }
   data.crash_no_crash = std::move(*both);
+
+  if (report != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    report->RecordTimingMs(
+        "dataset_build",
+        std::chrono::duration<double, std::milli>(elapsed).count());
+    report->RecordMetric("dataset_rows_crash_only",
+                         static_cast<double>(data.crash_only.num_rows()));
+    report->RecordMetric("dataset_rows_crash_no_crash",
+                         static_cast<double>(data.crash_no_crash.num_rows()));
+  }
   return data;
 }
 
@@ -63,6 +99,62 @@ inline PaperData MakePaperData(uint64_t seed = 42) {
 inline std::string ExportDir(int argc, char** argv) {
   return argc > 1 ? argv[1] : "";
 }
+
+// Per-bench observability shell. Construct at the top of main; on
+// destruction (normal bench exit) writes the machine-readable outputs if
+// an export directory was given.
+class BenchContext {
+ public:
+  BenchContext(std::string name, int argc, char** argv)
+      : report_(std::move(name)), export_dir_(ExportDir(argc, argv)) {
+    if (!export_dir_.empty()) obs::TraceCollector::Global().Enable();
+  }
+
+  ~BenchContext() { Finish(); }
+
+  BenchContext(const BenchContext&) = delete;
+  BenchContext& operator=(const BenchContext&) = delete;
+
+  const std::string& export_dir() const { return export_dir_; }
+  bool has_export_dir() const { return !export_dir_.empty(); }
+  obs::BenchReport& report() { return report_; }
+
+  PaperData MakePaperData(uint64_t seed = 42) {
+    return bench::MakePaperData(seed, &report_);
+  }
+
+  // Runs `fn`, recording its wall-clock as stage `stage` (and a
+  // "bench.<stage>" trace span).
+  template <typename Fn>
+  auto Timed(const std::string& stage, Fn&& fn) {
+    obs::BenchReport::ScopedStage timer(report_, stage);
+    return fn();
+  }
+
+  // Writes BENCH_<name>.json + trace_<name>.jsonl; called automatically
+  // by the destructor, idempotent.
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (export_dir_.empty()) return;
+    auto path = report_.Write(export_dir_);
+    if (!path.ok()) {
+      obs::LogWarn("bench report write failed",
+                   {{"bench", report_.name()},
+                    {"error", path.status().ToString()}});
+    }
+    obs::TraceCollector& collector = obs::TraceCollector::Global();
+    if (collector.enabled() && collector.span_count() > 0) {
+      (void)collector.WriteJsonl(export_dir_ + "/trace_" + report_.name() +
+                                 ".jsonl");
+    }
+  }
+
+ private:
+  obs::BenchReport report_;
+  std::string export_dir_;
+  bool finished_ = false;
+};
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");

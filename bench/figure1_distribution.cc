@@ -9,11 +9,12 @@
 #include "stats/hypothesis.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader("Figure 1 — distribution of annual crash counts");
+  bench::BenchContext ctx("figure1_distribution", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   const int num_years = data.config.num_years;
   const int max_count = 20;
 

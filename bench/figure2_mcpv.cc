@@ -12,8 +12,9 @@
 int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader("Figure 2 — model efficiency (MCPV), phase 1 vs phase 2");
+  bench::BenchContext ctx("figure2_mcpv", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
 
   core::StudyConfig phase1_config;
   phase1_config.thresholds = core::Phase1Thresholds();
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", core::RenderMcpvComparison(*phase1, *phase2).c_str());
-  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+  if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
     (void)core::WriteCsvArtifact(dir, "figure2_phase1.csv",
                                  core::TreeSweepToCsv(*phase1));
     (void)core::WriteCsvArtifact(dir, "figure2_phase2.csv",

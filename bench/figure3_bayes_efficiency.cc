@@ -9,11 +9,12 @@
 #include "eval/binary_metrics.h"
 #include "stats/descriptive.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader("Figure 3 — Bayesian model efficiency (MCPV vs Kappa)");
+  bench::BenchContext ctx("figure3_bayes_efficiency", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   core::CrashPronenessStudy study(core::StudyConfig{});
   auto results = study.RunBayesSweep(data.crash_only);
   if (!results.ok()) {

@@ -14,8 +14,9 @@
 int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader("Figure 4 — Phase 3 cluster crash-count ranges (k = 32)");
+  bench::BenchContext ctx("figure4_clusters", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   core::ClusterAnalysisConfig config;  // k = 32, paper's configuration.
   auto result = core::AnalyzeCrashClusters(
       data.crash_only, data.crash_only.AllRowIndices(), config);
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%s\n", core::RenderClusterTable(*result).c_str());
-  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+  if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
     (void)core::WriteCsvArtifact(dir, "figure4_clusters.csv",
                                  core::ClusterProfilesToCsv(*result));
   }

@@ -34,8 +34,9 @@ void PrintCurve(const char* name, const std::vector<eval::RocPoint>& curve,
 
 int main(int argc, char** argv) {
   bench::PrintHeader("ROC curves at the selected threshold (CP-8)");
+  bench::BenchContext ctx("figureX_roc", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   data::Dataset& ds = data.crash_only;
   if (!core::AddCrashProneTarget(ds, roadgen::kSegmentCrashCountColumn, 8)
            .ok()) {
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
       "the paper's 'decision tree performance is better than the Bayesian\n"
       "model'; Table 5's CP-8 ROC area was 0.869.\n");
 
-  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+  if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
     (void)core::WriteCsvArtifact(dir, "roc_tree_cp8.csv",
                                  core::RocCurveToCsv(*tree_curve));
     (void)core::WriteCsvArtifact(dir, "roc_bayes_cp8.csv",

@@ -9,12 +9,13 @@
 #include "util/string_util.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader(
       "Severity distribution across crash-count bands (paper §5)");
+  bench::BenchContext ctx("figureX_severity", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   const data::Dataset& ds = data.crash_only;
   auto count_col = ds.ColumnByName(roadgen::kSegmentCrashCountColumn);
   auto severity_col = ds.ColumnByName(roadgen::kSeverityColumn);

@@ -7,12 +7,13 @@
 #include "bench_common.h"
 #include "core/wet_dry.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader(
       "Prior-study check — wet/dry crash distribution vs skid resistance");
+  bench::BenchContext ctx("figureX_wet_dry", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
 
   core::WetDryConfig f60_config;  // attribute = "f60".
   auto f60 = core::AnalyzeWetDry(data.crash_only,

@@ -1,18 +1,37 @@
-// google-benchmark microbenchmarks for the roadmine substrates: model
-// fit/predict throughput, generator throughput, and the evaluation layer.
-// These are performance (not reproduction) benches; they guard against
-// regressions in the hot paths the table/figure benches depend on.
+// Performance benches for the roadmine substrates: model fit/predict
+// throughput, generator throughput, and the evaluation layer. These are
+// performance (not reproduction) benches; they guard against regressions
+// in the hot paths the table/figure benches depend on.
+//
+// Two modes:
+//   perf_ml                      google-benchmark microbenchmarks
+//   perf_ml [--smoke] <dir>      one instrumented pass over every stage;
+//                                writes BENCH_perf_ml.json (per-stage
+//                                timings + model metrics) and
+//                                trace_perf_ml.jsonl into <dir>, then
+//                                re-reads and validates the JSON.
+// --smoke shrinks the dataset so the pass finishes in well under a
+// second; the bench_smoke CTest target runs exactly that.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "core/thresholds.h"
 #include "data/encoder.h"
 #include "data/split.h"
 #include "eval/binary_metrics.h"
 #include "eval/roc.h"
+#include "ml/common.h"
 #include "ml/decision_tree.h"
 #include "ml/kmeans.h"
 #include "ml/naive_bayes.h"
 #include "ml/regression_tree.h"
+#include "obs/json.h"
+#include "obs/logging.h"
 #include "roadgen/dataset_builder.h"
 #include "roadgen/generator.h"
 
@@ -165,6 +184,212 @@ void BM_StratifiedSplit(benchmark::State& state) {
 }
 BENCHMARK(BM_StratifiedSplit);
 
+// ---------------------------------------------------------------------------
+// Instrumented single-pass mode.
+// ---------------------------------------------------------------------------
+
+constexpr char kFailTag[] = "perf_ml instrumented pass failed";
+
+// Runs one timed pass over every substrate the microbenches cover and
+// records stage timings plus the headline model metrics. Returns false
+// (after logging) on any pipeline error so the smoke test fails loudly.
+bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
+  roadgen::GeneratorConfig config;
+  config.num_segments = smoke ? 800 : 6000;
+  config.seed = 99;
+
+  data::Dataset ds;
+  {
+    obs::BenchReport::ScopedStage stage(ctx.report(), "dataset_build");
+    roadgen::RoadNetworkGenerator gen(config);
+    auto segments = gen.Generate();
+    if (!segments.ok()) {
+      obs::LogError(kFailTag, {{"stage", "generate"},
+                               {"error", segments.status().ToString()}});
+      return false;
+    }
+    auto built = roadgen::BuildCrashOnlyDataset(
+        *segments, gen.SimulateCrashRecords(*segments));
+    if (!built.ok()) {
+      obs::LogError(kFailTag, {{"stage", "dataset_build"},
+                               {"error", built.status().ToString()}});
+      return false;
+    }
+    ds = std::move(*built);
+    auto target =
+        core::AddCrashProneTarget(ds, roadgen::kSegmentCrashCountColumn, 8);
+    if (!target.ok()) {
+      obs::LogError(kFailTag, {{"stage", "add_target"},
+                               {"error", target.ToString()}});
+      return false;
+    }
+  }
+  ctx.report().RecordMetric("dataset_rows", static_cast<double>(ds.num_rows()));
+  const std::vector<size_t> all_rows = ds.AllRowIndices();
+  const std::vector<std::string> features = roadgen::RoadAttributeColumns();
+
+  ml::DecisionTreeClassifier tree{
+      ml::DecisionTreeParams{.min_samples_leaf = 30, .max_leaves = 64}};
+  {
+    obs::BenchReport::ScopedStage stage(ctx.report(), "decision_tree_fit");
+    auto status = tree.Fit(ds, "crash_prone_gt8", features, all_rows);
+    if (!status.ok()) {
+      obs::LogError(kFailTag, {{"stage", "decision_tree_fit"},
+                               {"error", status.ToString()}});
+      return false;
+    }
+  }
+  ctx.report().RecordMetric("decision_tree_leaves",
+                            static_cast<double>(tree.leaf_count()));
+
+  std::vector<double> scores;
+  {
+    obs::BenchReport::ScopedStage stage(ctx.report(), "decision_tree_predict");
+    scores = tree.PredictProbaMany(ds, all_rows);
+  }
+
+  {
+    obs::BenchReport::ScopedStage stage(ctx.report(), "regression_tree_fit");
+    ml::RegressionTree rt{
+        ml::RegressionTreeParams{.min_samples_leaf = 30, .max_leaves = 64}};
+    auto status = rt.Fit(ds, roadgen::kSegmentCrashCountColumn, features,
+                         all_rows);
+    if (!status.ok()) {
+      obs::LogError(kFailTag, {{"stage", "regression_tree_fit"},
+                               {"error", status.ToString()}});
+      return false;
+    }
+    ctx.report().RecordMetric("regression_tree_leaves",
+                              static_cast<double>(rt.leaf_count()));
+  }
+
+  {
+    obs::BenchReport::ScopedStage stage(ctx.report(), "naive_bayes_fit");
+    ml::NaiveBayesClassifier nb;
+    auto status = nb.Fit(ds, "crash_prone_gt8", features, all_rows);
+    if (!status.ok()) {
+      obs::LogError(kFailTag, {{"stage", "naive_bayes_fit"},
+                               {"error", status.ToString()}});
+      return false;
+    }
+  }
+
+  {
+    obs::BenchReport::ScopedStage stage(ctx.report(), "kmeans_fit");
+    ml::KMeansParams params;
+    params.k = 8;
+    params.restarts = 1;
+    params.max_iterations = 25;
+    ml::KMeans kmeans(params);
+    auto result = kmeans.Fit(ds, features, all_rows);
+    if (!result.ok()) {
+      obs::LogError(kFailTag, {{"stage", "kmeans_fit"},
+                               {"error", result.status().ToString()}});
+      return false;
+    }
+    ctx.report().RecordMetric("kmeans_inertia", result->inertia);
+  }
+
+  {
+    obs::BenchReport::ScopedStage stage(ctx.report(), "encoder_transform");
+    data::FeatureEncoder encoder;
+    auto fit = encoder.Fit(ds, features, all_rows);
+    if (!fit.ok()) {
+      obs::LogError(kFailTag, {{"stage", "encoder_fit"},
+                               {"error", fit.ToString()}});
+      return false;
+    }
+    auto matrix = encoder.Transform(ds, all_rows);
+    if (!matrix.ok()) {
+      obs::LogError(kFailTag, {{"stage", "encoder_transform"},
+                               {"error", matrix.status().ToString()}});
+      return false;
+    }
+  }
+
+  {
+    obs::BenchReport::ScopedStage stage(ctx.report(), "roc_auc");
+    auto labels = ml::ExtractBinaryLabels(ds, "crash_prone_gt8");
+    if (!labels.ok()) {
+      obs::LogError(kFailTag, {{"stage", "roc_labels"},
+                               {"error", labels.status().ToString()}});
+      return false;
+    }
+    const std::vector<int> int_labels(labels->begin(), labels->end());
+    auto auc = eval::RocAuc(scores, int_labels);
+    if (!auc.ok()) {
+      obs::LogError(kFailTag,
+                    {{"stage", "roc_auc"}, {"error", auc.status().ToString()}});
+      return false;
+    }
+    ctx.report().RecordMetric("decision_tree_auc", *auc);
+  }
+
+  {
+    obs::BenchReport::ScopedStage stage(ctx.report(), "stratified_split");
+    util::Rng rng(17);
+    auto split =
+        data::StratifiedTrainValidationSplit(ds, "crash_prone_gt8", 0.67, rng);
+    if (!split.ok()) {
+      obs::LogError(kFailTag, {{"stage", "stratified_split"},
+                               {"error", split.status().ToString()}});
+      return false;
+    }
+  }
+  return true;
+}
+
+// Writes the report, then re-reads BENCH_perf_ml.json and checks it is
+// well-formed JSON — the bench validates its own machine-readable output.
+int RunInstrumentedMode(const std::string& dir, bool smoke, int argc,
+                        char** argv) {
+  bench::BenchContext ctx("perf_ml", argc, argv);
+  if (!RunInstrumentedPass(ctx, smoke)) return 1;
+  ctx.Finish();
+
+  const std::string report_path = dir + "/BENCH_perf_ml.json";
+  auto contents = obs::ReadFileToString(report_path);
+  if (!contents.ok()) {
+    obs::LogError("bench report unreadable",
+                  {{"path", report_path},
+                   {"error", contents.status().ToString()}});
+    return 1;
+  }
+  if (auto valid = obs::ValidateJson(*contents); !valid.ok()) {
+    obs::LogError("bench report is not valid JSON",
+                  {{"path", report_path}, {"error", valid.ToString()}});
+    return 1;
+  }
+  std::printf("perf_ml: wrote and validated %s (%zu bytes)\n",
+              report_path.c_str(), contents->size());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// With an output-directory argument the bench runs the instrumented
+// single pass; otherwise it defers to google-benchmark (all its flags
+// work as usual).
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (argv[i][0] != '-' && dir.empty()) {
+      dir = argv[i];
+    }
+  }
+  if (!dir.empty()) {
+    // BenchContext reads the export dir from the first argument; pass a
+    // normalized view so "--smoke dir" and "dir --smoke" behave alike.
+    std::string dir_copy = dir;
+    char* ctx_argv[2] = {argv[0], dir_copy.data()};
+    return RunInstrumentedMode(dir, smoke, 2, ctx_argv);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,8 +13,9 @@ int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader(
       "Table 1 — crash-prone threshold class sizes (crash-only dataset)");
+  bench::BenchContext ctx("table1_thresholds", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   std::printf("generated network: %zu segments, %zu crash instances, "
               "%zu zero-crash segments\n\n",
               data.segments.size(), data.crash_only.num_rows(),
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
     table.push_back(*counts);
   }
   std::printf("%s\n", core::RenderThresholdTable(table).c_str());
-  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+  if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
     (void)core::WriteCsvArtifact(dir, "table1_thresholds.csv",
                                  core::ThresholdCountsToCsv(table));
   }

@@ -13,12 +13,15 @@ int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader(
       "Table 3 — Phase 1 trees on the crash & no-crash dataset");
+  bench::BenchContext ctx("table3_phase1", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   core::StudyConfig config;
   config.thresholds = core::Phase1Thresholds();
+  config.artifact_dir = ctx.export_dir();
   core::CrashPronenessStudy study(config);
-  auto results = study.RunTreeSweep(data.crash_no_crash);
+  auto results =
+      ctx.Timed("tree_sweep", [&] { return study.RunTreeSweep(data.crash_no_crash); });
   if (!results.ok()) {
     std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
     return 1;
@@ -27,7 +30,7 @@ int main(int argc, char** argv) {
               core::RenderTreeSweepTable("measured (validation set)",
                                          *results)
                   .c_str());
-  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+  if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
     (void)core::WriteCsvArtifact(dir, "table3_phase1.csv",
                                  core::TreeSweepToCsv(*results));
   }
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
       "the imbalanced tail; >64 'perfect' row is the same-road artifact.\n");
 
   const int best = core::CrashPronenessStudy::SelectBestThreshold(*results);
+  ctx.report().RecordMetric("selected_threshold", best);
   std::printf("selected crash-proneness threshold (phase 1): >%d crashes\n",
               best);
   return 0;

@@ -10,10 +10,14 @@
 int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader("Table 4 — Phase 2 trees on the crash-only dataset");
+  bench::BenchContext ctx("table4_phase2", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
-  core::CrashPronenessStudy study(core::StudyConfig{});
-  auto results = study.RunTreeSweep(data.crash_only);
+  bench::PaperData data = ctx.MakePaperData();
+  core::StudyConfig config;
+  config.artifact_dir = ctx.export_dir();
+  core::CrashPronenessStudy study(config);
+  auto results =
+      ctx.Timed("tree_sweep", [&] { return study.RunTreeSweep(data.crash_only); });
   if (!results.ok()) {
     std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
     return 1;
@@ -22,7 +26,7 @@ int main(int argc, char** argv) {
               core::RenderTreeSweepTable("measured (validation set)",
                                          *results)
                   .c_str());
-  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+  if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
     (void)core::WriteCsvArtifact(dir, "table4_phase2.csv",
                                  core::TreeSweepToCsv(*results));
   }
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
       "4-8 band, dips through 16-32, and jumps spuriously at >64.\n");
 
   const int best = core::CrashPronenessStudy::SelectBestThreshold(*results);
+  ctx.report().RecordMetric("selected_threshold", best);
   std::printf("selected crash-proneness threshold (phase 2): >%d crashes\n",
               best);
   return 0;

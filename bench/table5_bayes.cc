@@ -11,16 +11,20 @@
 int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader("Table 5 — naive Bayes under 10-fold cross-validation");
+  bench::BenchContext ctx("table5_bayes", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
-  core::CrashPronenessStudy study(core::StudyConfig{});
-  auto results = study.RunBayesSweep(data.crash_only);
+  bench::PaperData data = ctx.MakePaperData();
+  core::StudyConfig config;
+  config.artifact_dir = ctx.export_dir();
+  core::CrashPronenessStudy study(config);
+  auto results =
+      ctx.Timed("bayes_sweep", [&] { return study.RunBayesSweep(data.crash_only); });
   if (!results.ok()) {
     std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
     return 1;
   }
   std::printf("%s\n", core::RenderBayesTable(*results).c_str());
-  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+  if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
     (void)core::WriteCsvArtifact(dir, "table5_bayes.csv",
                                  core::BayesSweepToCsv(*results));
   }

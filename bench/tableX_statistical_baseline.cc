@@ -34,11 +34,12 @@ double PoissonTail(double mu, int t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Statistical baseline — count regression vs the paper's trees");
+  bench::BenchContext ctx("tableX_statistical_baseline", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   auto inventory = roadgen::BuildSegmentDataset(data.segments);
   if (!inventory.ok()) return 1;
   data::Dataset& ds = *inventory;

@@ -13,20 +13,23 @@ int main(int argc, char** argv) {
   using namespace roadmine;
   bench::PrintHeader(
       "Supporting models — logistic regression, neural network, M5");
+  bench::BenchContext ctx("tableX_supporting_models", argc, argv);
 
-  bench::PaperData data = bench::MakePaperData();
+  bench::PaperData data = ctx.MakePaperData();
   core::StudyConfig config;
   // The supporting sweep trains folds x thresholds x 2 iterative models;
   // trimmed CV keeps this binary interactive while preserving the trend.
   config.cv_folds = 3;
+  config.artifact_dir = ctx.export_dir();
   core::CrashPronenessStudy study(config);
-  auto results = study.RunSupportingSweep(data.crash_only);
+  auto results = ctx.Timed(
+      "supporting_sweep", [&] { return study.RunSupportingSweep(data.crash_only); });
   if (!results.ok()) {
     std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
     return 1;
   }
   std::printf("%s\n", core::RenderSupportingTable(*results).c_str());
-  if (const std::string dir = bench::ExportDir(argc, argv); !dir.empty()) {
+  if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
     (void)core::WriteCsvArtifact(dir, "supporting_models.csv",
                                  core::SupportingSweepToCsv(*results));
   }

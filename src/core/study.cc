@@ -5,6 +5,9 @@
 
 #include "core/thresholds.h"
 #include "data/split.h"
+#include "obs/logging.h"
+#include "obs/run_manifest.h"
+#include "obs/trace.h"
 #include "eval/confusion.h"
 #include "eval/cross_validation.h"
 #include "eval/regression_metrics.h"
@@ -42,6 +45,7 @@ Result<std::vector<ThresholdModelResult>> CrashPronenessStudy::RunTreeSweep(
   util::Rng rng(config_.seed);
 
   for (int threshold : config_.thresholds) {
+    ROADMINE_TRACE_SPAN("study.tree_sweep.cp" + std::to_string(threshold));
     ROADMINE_RETURN_IF_ERROR(
         AddCrashProneTarget(dataset, config_.count_column, threshold));
     const std::string target = ThresholdTargetName(threshold);
@@ -104,6 +108,7 @@ Result<std::vector<ThresholdModelResult>> CrashPronenessStudy::RunTreeSweep(
     }
     results.push_back(row);
   }
+  EmitSweepArtifacts("tree_sweep", dataset, results.size());
   return results;
 }
 
@@ -116,6 +121,7 @@ Result<std::vector<BayesThresholdResult>> CrashPronenessStudy::RunBayesSweep(
 
   std::vector<BayesThresholdResult> results;
   for (int threshold : config_.thresholds) {
+    ROADMINE_TRACE_SPAN("study.bayes_sweep.cp" + std::to_string(threshold));
     ROADMINE_RETURN_IF_ERROR(
         AddCrashProneTarget(dataset, config_.count_column, threshold));
     const std::string target = ThresholdTargetName(threshold);
@@ -157,6 +163,7 @@ Result<std::vector<BayesThresholdResult>> CrashPronenessStudy::RunBayesSweep(
     row.mcpv = cv->assessment.mcpv;
     results.push_back(row);
   }
+  EmitSweepArtifacts("bayes_sweep", dataset, results.size());
   return results;
 }
 
@@ -171,6 +178,7 @@ CrashPronenessStudy::RunSupportingSweep(data::Dataset& dataset) const {
   util::Rng rng(config_.seed ^ 0xabcdefULL);
 
   for (int threshold : config_.thresholds) {
+    ROADMINE_TRACE_SPAN("study.supporting_sweep.cp" + std::to_string(threshold));
     ROADMINE_RETURN_IF_ERROR(
         AddCrashProneTarget(dataset, config_.count_column, threshold));
     const std::string target = ThresholdTargetName(threshold);
@@ -253,7 +261,63 @@ CrashPronenessStudy::RunSupportingSweep(data::Dataset& dataset) const {
     }
     results.push_back(row);
   }
+  EmitSweepArtifacts("supporting_sweep", dataset, results.size());
   return results;
+}
+
+void CrashPronenessStudy::EmitSweepArtifacts(const std::string& sweep,
+                                             const data::Dataset& dataset,
+                                             size_t result_rows) const {
+  if (config_.artifact_dir.empty()) return;
+
+  obs::RunManifest manifest("core.study." + sweep);
+  manifest.SetSeed(config_.seed);
+  manifest.Set("run", "result_rows", static_cast<uint64_t>(result_rows));
+
+  std::string thresholds;
+  for (int t : config_.thresholds) {
+    if (!thresholds.empty()) thresholds += ",";
+    thresholds += std::to_string(t);
+  }
+  manifest.Set("study_config", "thresholds", thresholds);
+  manifest.Set("study_config", "count_column", config_.count_column);
+  manifest.Set("study_config", "train_fraction", config_.train_fraction);
+  manifest.Set("study_config", "cv_folds",
+               static_cast<uint64_t>(config_.cv_folds));
+  manifest.Set("study_config", "tree_min_samples_leaf",
+               static_cast<uint64_t>(config_.tree_params.min_samples_leaf));
+  manifest.Set("study_config", "tree_max_leaves",
+               static_cast<uint64_t>(config_.tree_params.max_leaves));
+  manifest.Set("study_config", "regression_min_samples_leaf",
+               static_cast<uint64_t>(
+                   config_.regression_params.min_samples_leaf));
+  manifest.Set("study_config", "regression_max_leaves",
+               static_cast<uint64_t>(config_.regression_params.max_leaves));
+
+  manifest.Set("dataset", "rows", static_cast<uint64_t>(dataset.num_rows()));
+  manifest.Set("dataset", "columns",
+               static_cast<uint64_t>(dataset.num_columns()));
+  manifest.Set("dataset", "features",
+               static_cast<uint64_t>(FeaturesFor(dataset).size()));
+
+  const std::string manifest_path =
+      config_.artifact_dir + "/manifest_" + sweep + ".json";
+  if (util::Status status = manifest.WriteJson(manifest_path); !status.ok()) {
+    obs::LogWarn("run manifest write failed",
+                 {{"path", manifest_path}, {"error", status.ToString()}});
+  }
+
+#if ROADMINE_TRACE_ENABLED
+  obs::TraceCollector& collector = obs::TraceCollector::Global();
+  if (collector.enabled()) {
+    const std::string trace_path =
+        config_.artifact_dir + "/trace_" + sweep + ".jsonl";
+    if (util::Status status = collector.WriteJsonl(trace_path); !status.ok()) {
+      obs::LogWarn("trace write failed",
+                   {{"path", trace_path}, {"error", status.ToString()}});
+    }
+  }
+#endif
 }
 
 int CrashPronenessStudy::SelectBestThreshold(

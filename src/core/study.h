@@ -41,6 +41,13 @@ struct StudyConfig {
   ml::RegressionTreeParams regression_params{.min_samples_leaf = 30,
                                              .max_leaves = 160};
   uint64_t seed = 1234;
+  // When non-empty, each sweep writes observability artifacts into this
+  // directory (created if missing): a run manifest
+  // (manifest_<sweep>.json with the seed, config echo, dataset shape and
+  // host info) and, when tracing is compiled in, the collected spans as
+  // trace_<sweep>.jsonl. Artifact failures are logged, not fatal — the
+  // sweep result stands on its own.
+  std::string artifact_dir;
 };
 
 // One Table-3/Table-4 row.
@@ -120,6 +127,12 @@ class CrashPronenessStudy {
  private:
   // Resolved feature list for `dataset` (config override or defaults).
   std::vector<std::string> FeaturesFor(const data::Dataset& dataset) const;
+
+  // Emits manifest_<sweep>.json (+ trace_<sweep>.jsonl when tracing is
+  // enabled) into config_.artifact_dir; no-op when artifact_dir is empty.
+  void EmitSweepArtifacts(const std::string& sweep,
+                          const data::Dataset& dataset,
+                          size_t result_rows) const;
 
   StudyConfig config_;
 };

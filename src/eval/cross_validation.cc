@@ -3,6 +3,8 @@
 #include "data/split.h"
 #include "eval/roc.h"
 #include "ml/common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roadmine::eval {
 
@@ -11,6 +13,7 @@ using util::Result;
 Result<CrossValidationResult> CrossValidateBinary(
     const data::Dataset& dataset, const std::string& target_column,
     const BinaryTrainer& trainer, const CrossValidationOptions& options) {
+  ROADMINE_TRACE_SPAN("eval.cross_validation");
   auto labels = ml::ExtractBinaryLabels(dataset, target_column);
   if (!labels.ok()) return labels.status();
 
@@ -28,7 +31,10 @@ Result<CrossValidationResult> CrossValidateBinary(
   pooled_scores.reserve(dataset.num_rows());
   pooled_labels.reserve(dataset.num_rows());
 
+  obs::Counter& fold_counter =
+      obs::MetricsRegistry::Global().GetCounter("eval.cv.folds_scored");
   for (size_t f = 0; f < folds->size(); ++f) {
+    ROADMINE_TRACE_SPAN("eval.cross_validation.fold" + std::to_string(f));
     const std::vector<size_t> train = data::TrainIndicesForFold(*folds, f);
     const std::vector<size_t>& test = (*folds)[f];
     if (train.empty() || test.empty()) continue;
@@ -46,6 +52,8 @@ Result<CrossValidationResult> CrossValidateBinary(
     }
     result.per_fold.push_back(Assess(fold_cm));
     result.pooled_confusion += fold_cm;
+    fold_counter.Increment();
+    if (options.progress) options.progress(f + 1, folds->size());
   }
   if (result.pooled_confusion.total() == 0) {
     return util::InternalError("cross-validation scored no rows");

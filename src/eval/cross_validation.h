@@ -39,6 +39,10 @@ struct CrossValidationOptions {
   double cutoff = 0.5;
   bool stratified = true;
   uint64_t seed = 97;
+  // Invoked after each fold completes with (folds_done, folds_total).
+  // Long sweeps (e.g. a 10-fold x 7-threshold Bayes sweep) surface
+  // progress through this instead of printing. May be empty.
+  std::function<void(size_t folds_done, size_t folds_total)> progress;
 };
 
 // Runs k-fold CV of `trainer` on `dataset`. Errors propagate from fold

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/distributions.h"
 #include "util/string_util.h"
 
@@ -293,6 +295,9 @@ Status DecisionTreeClassifier::Fit(
     const data::Dataset& dataset, const std::string& target_column,
     const std::vector<std::string>& feature_columns,
     const std::vector<size_t>& rows) {
+  ROADMINE_TRACE_SPAN("ml.decision_tree.fit");
+  obs::ScopedLatency fit_timer(
+      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms", 0.0, 5000.0, 50));
   if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
   auto labels = ExtractBinaryLabels(dataset, target_column);
   if (!labels.ok()) return labels.status();
@@ -409,6 +414,10 @@ Status DecisionTreeClassifier::Fit(
     consider(left_id);
     consider(right_id);
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("ml.decision_tree.fits").Increment();
+  metrics.GetCounter("ml.decision_tree.splits").Increment(leaves - 1);
+  metrics.GetGauge("ml.decision_tree.leaves").Set(static_cast<double>(leaves));
   return Status::Ok();
 }
 

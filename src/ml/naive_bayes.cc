@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/distributions.h"
 
 namespace roadmine::ml {
@@ -13,6 +15,9 @@ Status NaiveBayesClassifier::Fit(const data::Dataset& dataset,
                                  const std::string& target_column,
                                  const std::vector<std::string>& feature_columns,
                                  const std::vector<size_t>& rows) {
+  ROADMINE_TRACE_SPAN("ml.naive_bayes.fit");
+  obs::ScopedLatency fit_timer(
+      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms", 0.0, 5000.0, 50));
   if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
   auto labels = ExtractBinaryLabels(dataset, target_column);
   if (!labels.ok()) return labels.status();
@@ -81,6 +86,7 @@ Status NaiveBayesClassifier::Fit(const data::Dataset& dataset,
     }
   }
   fitted_ = true;
+  obs::MetricsRegistry::Global().GetCounter("ml.naive_bayes.fits").Increment();
   return Status::Ok();
 }
 

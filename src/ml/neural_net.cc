@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "ml/common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roadmine::ml {
 
@@ -45,6 +47,9 @@ Status NeuralNetClassifier::Fit(const data::Dataset& dataset,
                                 const std::string& target_column,
                                 const std::vector<std::string>& feature_columns,
                                 const std::vector<size_t>& rows) {
+  ROADMINE_TRACE_SPAN("ml.neural_net.fit");
+  obs::ScopedLatency fit_timer(
+      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms", 0.0, 5000.0, 50));
   if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
   if (params_.batch_size == 0) return InvalidArgumentError("batch_size == 0");
   auto labels = ExtractBinaryLabels(dataset, target_column);
@@ -88,7 +93,10 @@ Status NeuralNetClassifier::Fit(const data::Dataset& dataset,
   // Accumulated gradients for the current mini-batch.
   std::vector<Layer> grads = velocity;
 
+  obs::Counter& epoch_counter =
+      obs::MetricsRegistry::Global().GetCounter("ml.neural_net.epochs");
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    epoch_counter.Increment();
     rng.Shuffle(order);
     double loss_sum = 0.0;
     size_t batch_fill = 0;
@@ -165,6 +173,9 @@ Status NeuralNetClassifier::Fit(const data::Dataset& dataset,
     final_loss_ = loss_sum / static_cast<double>(rows.size());
   }
   fitted_ = true;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("ml.neural_net.fits").Increment();
+  metrics.GetGauge("ml.neural_net.final_loss").Set(final_loss_);
   return Status::Ok();
 }
 

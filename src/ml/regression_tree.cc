@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/distributions.h"
 #include "util/string_util.h"
 
@@ -199,6 +201,9 @@ Status RegressionTree::Fit(const data::Dataset& dataset,
                            const std::string& target_column,
                            const std::vector<std::string>& feature_columns,
                            const std::vector<size_t>& rows) {
+  ROADMINE_TRACE_SPAN("ml.regression_tree.fit");
+  obs::ScopedLatency fit_timer(
+      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms", 0.0, 5000.0, 50));
   if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
   auto target = ExtractNumericTarget(dataset, target_column);
   if (!target.ok()) return target.status();
@@ -292,6 +297,11 @@ Status RegressionTree::Fit(const data::Dataset& dataset,
     consider(left_id);
     consider(right_id);
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("ml.regression_tree.fits").Increment();
+  metrics.GetCounter("ml.regression_tree.splits").Increment(leaves - 1);
+  metrics.GetGauge("ml.regression_tree.leaves")
+      .Set(static_cast<double>(leaves));
   return Status::Ok();
 }
 

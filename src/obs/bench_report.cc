@@ -1,0 +1,87 @@
+#include "obs/bench_report.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/run_manifest.h"
+#include "obs/trace.h"
+
+namespace roadmine::obs {
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), created_at_(RunManifest::Iso8601UtcNow()) {}
+
+void BenchReport::RecordTimingMs(const std::string& stage, double ms) {
+  for (auto& [existing, total] : timings_ms_) {
+    if (existing == stage) {
+      total += ms;
+      return;
+    }
+  }
+  timings_ms_.emplace_back(stage, ms);
+}
+
+void BenchReport::RecordMetric(const std::string& metric, double value) {
+  for (auto& [existing, stored] : metrics_) {
+    if (existing == metric) {
+      stored = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(metric, value);
+}
+
+double BenchReport::TotalMs() const {
+  double total = 0.0;
+  for (const auto& [stage, ms] : timings_ms_) total += ms;
+  return total;
+}
+
+std::string BenchReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(name_);
+  w.Key("created_at").String(created_at_);
+  w.Key("total_ms").Number(TotalMs());
+  w.Key("timings_ms").BeginObject();
+  for (const auto& [stage, ms] : timings_ms_) {
+    w.Key(stage).Number(ms);
+  }
+  w.EndObject();
+  w.Key("metrics").BeginObject();
+  for (const auto& [metric, value] : metrics_) {
+    w.Key(metric).Number(value);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+util::Result<std::string> BenchReport::Write(
+    const std::string& directory) const {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  const std::string path = directory + "/BENCH_" + name_ + ".json";
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return util::InternalError("cannot open '" + path + "'");
+  file << ToJson() << "\n";
+  if (!file.good()) {
+    return util::DataLossError("write failed for '" + path + "'");
+  }
+  return path;
+}
+
+BenchReport::ScopedStage::ScopedStage(BenchReport& report, std::string stage)
+    : report_(report),
+      stage_(std::move(stage)),
+      start_(std::chrono::steady_clock::now()),
+      span_("bench." + stage_) {}
+
+BenchReport::ScopedStage::~ScopedStage() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  report_.RecordTimingMs(
+      stage_, std::chrono::duration<double, std::milli>(elapsed).count());
+}
+
+}  // namespace roadmine::obs

@@ -1,0 +1,71 @@
+// Machine-readable bench output: ordered per-stage wall-clock timings
+// plus named metric values, serialized as BENCH_<name>.json. This is the
+// format that seeds the repo's perf trajectory — every table/figure
+// bench and perf_ml write one when handed an output directory.
+//
+// {
+//   "bench": "perf_ml",
+//   "created_at": "2026-08-06T00:00:00Z",
+//   "total_ms": 1234.5,
+//   "timings_ms": {"dataset_build": 200.1, "decision_tree_fit": 310.7},
+//   "metrics": {"dataset_rows": 16750, "decision_tree_leaves": 64}
+// }
+#ifndef ROADMINE_OBS_BENCH_REPORT_H_
+#define ROADMINE_OBS_BENCH_REPORT_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace roadmine::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  // Stages appear in the JSON in first-recorded order; re-recording a
+  // stage accumulates (a stage run twice reports its total).
+  void RecordTimingMs(const std::string& stage, double ms);
+  // Last write wins for metrics.
+  void RecordMetric(const std::string& metric, double value);
+
+  // Sum of all recorded stage timings.
+  double TotalMs() const;
+
+  std::string ToJson() const;
+  // Writes BENCH_<name>.json into `directory` (created if missing).
+  // Returns the path written.
+  util::Result<std::string> Write(const std::string& directory) const;
+
+  // RAII stage timer; also opens a trace span named "bench.<stage>".
+  class ScopedStage {
+   public:
+    ScopedStage(BenchReport& report, std::string stage);
+    ~ScopedStage();
+
+    ScopedStage(const ScopedStage&) = delete;
+    ScopedStage& operator=(const ScopedStage&) = delete;
+
+   private:
+    BenchReport& report_;
+    std::string stage_;
+    std::chrono::steady_clock::time_point start_;
+    ScopedSpan span_;
+  };
+
+ private:
+  std::string name_;
+  std::string created_at_;
+  std::vector<std::pair<std::string, double>> timings_ms_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace roadmine::obs
+
+#endif  // ROADMINE_OBS_BENCH_REPORT_H_

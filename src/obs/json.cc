@@ -1,0 +1,309 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace roadmine::obs {
+
+std::string JsonQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": was just emitted; the value follows directly.
+  }
+  if (!counts_.empty() && counts_.back() > 0) out_.push_back(',');
+  if (!counts_.empty()) ++counts_.back();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  if (!counts_.empty()) counts_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  if (!counts_.empty()) counts_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (!counts_.empty() && counts_.back() > 0) out_.push_back(',');
+  if (!counts_.empty()) ++counts_.back();
+  out_ += JsonQuote(key);
+  out_ += ": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += JsonQuote(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  out_ += JsonNumber(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+namespace {
+
+// Recursive-descent validator. `pos` advances past the parsed value.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  util::Status Run() {
+    SkipSpace();
+    ROADMINE_RETURN_IF_ERROR(Value(0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return util::Status::Ok();
+  }
+
+ private:
+  util::Status Error(const std::string& what) const {
+    return util::InvalidArgumentError("invalid JSON at byte " +
+                                      std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  util::Status Value(int depth) {
+    if (depth > 128) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return StringValue();
+    if (c == '-' || (c >= '0' && c <= '9')) return NumberValue();
+    if (ConsumeWord("true") || ConsumeWord("false") || ConsumeWord("null")) {
+      return util::Status::Ok();
+    }
+    return Error("unexpected character");
+  }
+
+  util::Status Object(int depth) {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) return util::Status::Ok();
+    while (true) {
+      SkipSpace();
+      ROADMINE_RETURN_IF_ERROR(StringValue());
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      SkipSpace();
+      ROADMINE_RETURN_IF_ERROR(Value(depth + 1));
+      SkipSpace();
+      if (Consume('}')) return util::Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  util::Status Array(int depth) {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) return util::Status::Ok();
+    while (true) {
+      SkipSpace();
+      ROADMINE_RETURN_IF_ERROR(Value(depth + 1));
+      SkipSpace();
+      if (Consume(']')) return util::Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  util::Status StringValue() {
+    if (!Consume('"')) return Error("expected string");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return util::Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<size_t>(i) >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    text_[pos_ + static_cast<size_t>(i)]))) {
+              return Error("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Error("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  util::Status NumberValue() {
+    Consume('-');
+    if (!DigitRun()) return Error("expected digits");
+    if (Consume('.')) {
+      if (!DigitRun()) return Error("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!DigitRun()) return Error("expected exponent digits");
+    }
+    return util::Status::Ok();
+  }
+
+  bool DigitRun() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Status ValidateJson(std::string_view text) {
+  return Validator(text).Run();
+}
+
+util::Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return util::NotFoundError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (!file.good() && !file.eof()) {
+    return util::DataLossError("read failed for '" + path + "'");
+  }
+  return buffer.str();
+}
+
+}  // namespace roadmine::obs

@@ -1,0 +1,70 @@
+// Minimal JSON support for the observability layer: an append-style
+// writer with deterministic number formatting (so run manifests and
+// bench reports are byte-for-byte reproducible for equal inputs), and a
+// small validating parser used by tests and the bench smoke check.
+//
+// This is deliberately not a general DOM library; roadmine only ever
+// writes JSON and needs to *validate* what it wrote.
+#ifndef ROADMINE_OBS_JSON_H_
+#define ROADMINE_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::obs {
+
+// Escapes control characters, quotes and backslashes per RFC 8259 and
+// wraps the result in double quotes.
+std::string JsonQuote(std::string_view text);
+
+// Deterministic number rendering: integral doubles print without a
+// fractional part, NaN/Inf (not representable in JSON) print as null.
+std::string JsonNumber(double value);
+
+// Streaming writer with automatic comma/structure management. Usage:
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("seed").UInt(42);
+//   w.Key("stages").BeginArray().String("fit").String("predict").EndArray();
+//   w.EndObject();
+//   std::string json = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: the number of values emitted so far.
+  std::vector<size_t> counts_;
+  bool pending_key_ = false;
+};
+
+// Validates that `text` is exactly one well-formed JSON value (objects,
+// arrays, strings, numbers, booleans, null) with no trailing garbage.
+util::Status ValidateJson(std::string_view text);
+
+// Reads a whole file; convenience for validation round-trips.
+util::Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace roadmine::obs
+
+#endif  // ROADMINE_OBS_JSON_H_

@@ -1,0 +1,109 @@
+#include "obs/logging.h"
+
+#include <cstdio>
+#include <ctime>
+
+#include "obs/json.h"
+
+namespace roadmine::obs {
+
+namespace {
+
+std::string UtcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[24];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+bool NeedsQuoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogField::LogField(std::string k, double v)
+    : key(std::move(k)), value(JsonNumber(v)) {}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::set_min_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_level_;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::Log(LogLevel level, std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  std::string line = UtcTimestamp();
+  line += ' ';
+  line += LogLevelName(level);
+  line += ' ';
+  line.append(message.data(), message.size());
+  for (const LogField& field : fields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    line += NeedsQuoting(field.value) ? JsonQuote(field.value) : field.value;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void LogDebug(std::string_view message,
+              std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kDebug, message, fields);
+}
+
+void LogInfo(std::string_view message, std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kInfo, message, fields);
+}
+
+void LogWarn(std::string_view message, std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kWarn, message, fields);
+}
+
+void LogError(std::string_view message,
+              std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kError, message, fields);
+}
+
+}  // namespace roadmine::obs

@@ -1,0 +1,82 @@
+// Leveled structured logging for benches, examples, and artifact
+// emission paths (library compute code stays silent and reports through
+// Status/Result; the logger is for the operational shell around it).
+//
+// Lines look like:
+//   2026-08-06T03:14:15Z WARN  artifact write failed path=/tmp/x err="..."
+//
+// The default sink is stderr; tests can capture lines via set_sink.
+#ifndef ROADMINE_OBS_LOGGING_H_
+#define ROADMINE_OBS_LOGGING_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace roadmine::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+// A key=value pair attached to a log line. Values with spaces or quotes
+// are rendered quoted.
+struct LogField {
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, int64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, int v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+
+  std::string key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  static Logger& Global();
+
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  using Sink = std::function<void(LogLevel level, const std::string& line)>;
+  // Replaces the output sink; an empty function restores stderr.
+  void set_sink(Sink sink);
+
+  void Log(LogLevel level, std::string_view message,
+           std::initializer_list<LogField> fields = {});
+
+ private:
+  Logger() = default;
+
+  mutable std::mutex mu_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  Sink sink_;
+};
+
+// Convenience wrappers over Logger::Global().
+void LogDebug(std::string_view message,
+              std::initializer_list<LogField> fields = {});
+void LogInfo(std::string_view message,
+             std::initializer_list<LogField> fields = {});
+void LogWarn(std::string_view message,
+             std::initializer_list<LogField> fields = {});
+void LogError(std::string_view message,
+              std::initializer_list<LogField> fields = {});
+
+}  // namespace roadmine::obs
+
+#endif  // ROADMINE_OBS_LOGGING_H_

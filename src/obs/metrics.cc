@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace roadmine::obs {
+
+void LatencyHistogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Add(value);
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+size_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double LatencyHistogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double LatencyHistogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double LatencyHistogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double LatencyHistogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+stats::Histogram LatencyHistogram::SnapshotBins() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                                double lo, double hi,
+                                                size_t bin_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>(lo, hi, bin_count);
+  return *slot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    h.mean = histogram->mean();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const Snapshot snapshot = TakeSnapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.Key(name).UInt(value);
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.Key(name).Number(value);
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    w.Key(h.name).BeginObject();
+    w.Key("count").UInt(h.count);
+    w.Key("sum").Number(h.sum);
+    w.Key("min").Number(h.min);
+    w.Key("max").Number(h.max);
+    w.Key("mean").Number(h.mean);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+ScopedLatency::ScopedLatency(LatencyHistogram& histogram)
+    : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+double ScopedLatency::ElapsedMs() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+ScopedLatency::~ScopedLatency() { histogram_.Observe(ElapsedMs()); }
+
+}  // namespace roadmine::obs

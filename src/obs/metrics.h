@@ -1,0 +1,144 @@
+// Process-wide metrics registry: named counters, gauges, and latency
+// histograms (binning via stats::Histogram). Instrumented code fetches a
+// handle once per operation and updates it; exporters (bench reports,
+// run manifests) snapshot the whole registry as JSON.
+//
+// Concurrency: handle lookup takes the registry mutex; Counter/Gauge
+// updates are lock-free atomics; histogram observation takes a
+// per-histogram mutex. Handles stay valid until Reset() — hot loops
+// should accumulate locally and publish once per stage rather than
+// holding handles across Reset() boundaries (tests reset the registry).
+#ifndef ROADMINE_OBS_METRICS_H_
+#define ROADMINE_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace roadmine::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (e.g. leaf count of the most
+// recent tree fit, rows in the current dataset).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Latency (or any nonnegative magnitude) distribution: fixed-width bins
+// from stats::Histogram plus exact count/sum/min/max.
+class LatencyHistogram {
+ public:
+  LatencyHistogram(double lo, double hi, size_t bin_count)
+      : histogram_(lo, hi, bin_count) {}
+
+  void Observe(double value);
+
+  size_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty.
+  double max() const;
+  double mean() const;
+  // Copy of the underlying bins for inspection/export.
+  stats::Histogram SnapshotBins() const;
+
+ private:
+  mutable std::mutex mu_;
+  stats::Histogram histogram_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Named-metric registry. All names share one namespace per metric kind;
+// requesting an existing name returns the same instance.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // Range/bins apply only on first creation of `name`.
+  LatencyHistogram& GetHistogram(const std::string& name, double lo = 0.0,
+                                 double hi = 1000.0, size_t bin_count = 40);
+
+  // Removes every metric (invalidates outstanding handles); tests call
+  // this between cases so assertions see only their own activity.
+  void Reset();
+
+  struct HistogramSnapshot {
+    std::string name;
+    size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+  };
+  // Name-sorted, so serialized output is deterministic.
+  Snapshot TakeSnapshot() const;
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  // sum, min, max, mean}}}.
+  std::string ToJson() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+// RAII helper observing the elapsed wall-clock milliseconds of a scope
+// into a histogram, e.g.:
+//   obs::ScopedLatency timer(
+//       obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms"));
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram& histogram);
+  ~ScopedLatency();
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+  // Elapsed milliseconds so far (also useful for callers that want the
+  // value without a second clock read).
+  double ElapsedMs() const;
+
+ private:
+  LatencyHistogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace roadmine::obs
+
+#endif  // ROADMINE_OBS_METRICS_H_

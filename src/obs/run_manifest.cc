@@ -1,0 +1,168 @@
+#include "obs/run_manifest.h"
+
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#ifdef __unix__
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+#include "obs/json.h"
+
+namespace roadmine::obs {
+
+namespace {
+
+void FillHostSection(RunManifest& manifest) {
+#ifdef __unix__
+  struct utsname uts {};
+  if (uname(&uts) == 0) {
+    manifest.Set("host", "os", std::string(uts.sysname));
+    manifest.Set("host", "release", std::string(uts.release));
+    manifest.Set("host", "arch", std::string(uts.machine));
+  }
+  char hostname[256] = {0};
+  if (gethostname(hostname, sizeof(hostname) - 1) == 0 && hostname[0] != '\0') {
+    manifest.Set("host", "name", std::string(hostname));
+  }
+#else
+  manifest.Set("host", "os", "unknown");
+#endif
+  manifest.Set("host", "hardware_threads",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+RunManifest::RunManifest(std::string tool)
+    : tool_(std::move(tool)), created_at_(Iso8601UtcNow()) {
+  FillHostSection(*this);
+}
+
+std::string RunManifest::Iso8601UtcNow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[24];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+RunManifest::Entry& RunManifest::EntryFor(const std::string& section,
+                                          const std::string& key) {
+  Section* target = nullptr;
+  for (Section& s : sections_) {
+    if (s.name == section) {
+      target = &s;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    sections_.push_back(Section{section, {}});
+    target = &sections_.back();
+  }
+  for (Entry& entry : target->entries) {
+    if (entry.key == key) return entry;
+  }
+  target->entries.push_back(Entry{});
+  target->entries.back().key = key;
+  return target->entries.back();
+}
+
+void RunManifest::Set(const std::string& section, const std::string& key,
+                      std::string value) {
+  Entry& entry = EntryFor(section, key);
+  entry.kind = Entry::Kind::kString;
+  entry.string_value = std::move(value);
+}
+
+void RunManifest::Set(const std::string& section, const std::string& key,
+                      const char* value) {
+  Set(section, key, std::string(value));
+}
+
+void RunManifest::Set(const std::string& section, const std::string& key,
+                      double value) {
+  Entry& entry = EntryFor(section, key);
+  entry.kind = Entry::Kind::kNumber;
+  entry.number_value = value;
+}
+
+void RunManifest::Set(const std::string& section, const std::string& key,
+                      uint64_t value) {
+  Entry& entry = EntryFor(section, key);
+  entry.kind = Entry::Kind::kUInt;
+  entry.uint_value = value;
+}
+
+void RunManifest::Set(const std::string& section, const std::string& key,
+                      int64_t value) {
+  Entry& entry = EntryFor(section, key);
+  entry.kind = Entry::Kind::kInt;
+  entry.int_value = value;
+}
+
+void RunManifest::Set(const std::string& section, const std::string& key,
+                      int value) {
+  Set(section, key, static_cast<int64_t>(value));
+}
+
+void RunManifest::Set(const std::string& section, const std::string& key,
+                      bool value) {
+  Entry& entry = EntryFor(section, key);
+  entry.kind = Entry::Kind::kBool;
+  entry.bool_value = value;
+}
+
+std::string RunManifest::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("tool").String(tool_);
+  w.Key("created_at").String(created_at_);
+  for (const Section& section : sections_) {
+    w.Key(section.name).BeginObject();
+    for (const Entry& entry : section.entries) {
+      w.Key(entry.key);
+      switch (entry.kind) {
+        case Entry::Kind::kString:
+          w.String(entry.string_value);
+          break;
+        case Entry::Kind::kNumber:
+          w.Number(entry.number_value);
+          break;
+        case Entry::Kind::kUInt:
+          w.UInt(entry.uint_value);
+          break;
+        case Entry::Kind::kInt:
+          w.Int(entry.int_value);
+          break;
+        case Entry::Kind::kBool:
+          w.Bool(entry.bool_value);
+          break;
+      }
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+util::Status RunManifest::WriteJson(const std::string& path) const {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return util::InternalError("cannot open '" + path + "'");
+  file << ToJson() << "\n";
+  if (!file.good()) {
+    return util::DataLossError("write failed for '" + path + "'");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace roadmine::obs

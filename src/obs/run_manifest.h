@@ -1,0 +1,72 @@
+// Run manifests: a JSON record of *how* an experiment artifact was
+// produced — seed, configuration echo, dataset shape, host info and an
+// ISO-8601 timestamp — written next to the artifact so any exported
+// table/figure can be traced back to an exactly reproducible run.
+//
+// The manifest itself is layering-neutral: it stores ordered sections of
+// ordered key/value entries, so core/bench code can echo StudyConfig or
+// GeneratorConfig fields without obs depending on those types. Given the
+// same entries, serialization is byte-for-byte deterministic; only the
+// created_at timestamp varies between runs.
+#ifndef ROADMINE_OBS_RUN_MANIFEST_H_
+#define ROADMINE_OBS_RUN_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::obs {
+
+class RunManifest {
+ public:
+  // `tool` names the producer, e.g. "core.study.tree_sweep".
+  explicit RunManifest(std::string tool);
+
+  void SetSeed(uint64_t seed) { Set("run", "seed", seed); }
+
+  // Typed entry setters; a (section, key) pair written twice keeps its
+  // first position but takes the new value.
+  void Set(const std::string& section, const std::string& key,
+           std::string value);
+  void Set(const std::string& section, const std::string& key, const char* value);
+  void Set(const std::string& section, const std::string& key, double value);
+  void Set(const std::string& section, const std::string& key, uint64_t value);
+  void Set(const std::string& section, const std::string& key, int64_t value);
+  void Set(const std::string& section, const std::string& key, int value);
+  void Set(const std::string& section, const std::string& key, bool value);
+
+  // {"tool": ..., "created_at": ..., "host": {...}, "<section>": {...}}.
+  std::string ToJson() const;
+  // Writes ToJson() to `path`, creating parent directories as needed.
+  util::Status WriteJson(const std::string& path) const;
+
+  static std::string Iso8601UtcNow();
+
+ private:
+  struct Entry {
+    enum class Kind { kString, kNumber, kUInt, kInt, kBool };
+    std::string key;
+    Kind kind = Kind::kString;
+    std::string string_value;
+    double number_value = 0.0;
+    uint64_t uint_value = 0;
+    int64_t int_value = 0;
+    bool bool_value = false;
+  };
+  struct Section {
+    std::string name;
+    std::vector<Entry> entries;
+  };
+
+  Entry& EntryFor(const std::string& section, const std::string& key);
+
+  std::string tool_;
+  std::string created_at_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace roadmine::obs
+
+#endif  // ROADMINE_OBS_RUN_MANIFEST_H_

@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace roadmine::obs {
+
+namespace {
+
+// Sequential thread numbering + per-thread nesting depth.
+struct ThreadTraceState {
+  uint32_t id;
+  uint32_t depth = 0;
+};
+
+ThreadTraceState& LocalThreadState() {
+  static std::atomic<uint32_t> next_id{0};
+  thread_local ThreadTraceState state{next_id.fetch_add(1)};
+  return state;
+}
+
+util::Status WriteTextFile(const std::string& path, const std::string& text) {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return util::InternalError("cannot open '" + path + "'");
+  file << text;
+  if (!file.good()) {
+    return util::DataLossError("write failed for '" + path + "'");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+size_t TraceCollector::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void TraceCollector::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+uint64_t TraceCollector::NowMicros() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+std::string TraceCollector::ToJsonl() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  std::string out;
+  for (const SpanRecord& span : spans) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    w.Key("start_us").UInt(span.start_us);
+    w.Key("dur_us").UInt(span.duration_us);
+    w.Key("tid").UInt(span.thread_id);
+    w.Key("depth").UInt(span.depth);
+    w.EndObject();
+    out += w.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TraceCollector::ToChromeTrace() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const SpanRecord& span : spans) {
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    w.Key("ph").String("X");
+    w.Key("ts").UInt(span.start_us);
+    w.Key("dur").UInt(span.duration_us);
+    w.Key("pid").UInt(0);
+    w.Key("tid").UInt(span.thread_id);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+util::Status TraceCollector::WriteJsonl(const std::string& path) const {
+  return WriteTextFile(path, ToJsonl());
+}
+
+util::Status TraceCollector::WriteChromeTrace(const std::string& path) const {
+  return WriteTextFile(path, ToChromeTrace());
+}
+
+#if ROADMINE_TRACE_ENABLED
+
+ScopedSpan::ScopedSpan(std::string name) {
+  TraceCollector& collector = TraceCollector::Global();
+  if (!collector.enabled()) return;
+  name_ = std::move(name);
+  start_us_ = collector.NowMicros();
+  ++LocalThreadState().depth;
+  active_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceCollector& collector = TraceCollector::Global();
+  ThreadTraceState& state = LocalThreadState();
+  --state.depth;
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.start_us = start_us_;
+  const uint64_t now = collector.NowMicros();
+  record.duration_us = now > start_us_ ? now - start_us_ : 0;
+  record.thread_id = state.id;
+  record.depth = state.depth;
+  collector.Record(std::move(record));
+}
+
+#endif  // ROADMINE_TRACE_ENABLED
+
+}  // namespace roadmine::obs

@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace roadmine::roadgen {
@@ -181,6 +183,7 @@ RoadSegment MeasureSegment(const RoadSegment& segment,
 
 Result<data::Dataset> BuildSegmentDataset(
     const std::vector<RoadSegment>& segments) {
+  ROADMINE_TRACE_SPAN("roadgen.build_segment_dataset");
   if (segments.empty()) return InvalidArgumentError("no segments");
   RowAccumulator acc;
   for (const RoadSegment& s : segments) {
@@ -192,6 +195,7 @@ Result<data::Dataset> BuildSegmentDataset(
 Result<data::Dataset> BuildCrashOnlyDataset(
     const std::vector<RoadSegment>& segments,
     const std::vector<CrashRecord>& records, const MeasurementNoise& noise) {
+  ROADMINE_TRACE_SPAN("roadgen.build_crash_only_dataset");
   if (segments.empty()) return InvalidArgumentError("no segments");
   std::unordered_map<int64_t, const RoadSegment*> by_id;
   by_id.reserve(segments.size());
@@ -208,12 +212,20 @@ Result<data::Dataset> BuildCrashOnlyDataset(
     acc.AddSegmentAttributes(MeasureSegment(*it->second, noise, rng));
     acc.AddCrashContext(&record);
   }
-  return acc.Build(/*with_crash_context=*/true);
+  auto ds = acc.Build(/*with_crash_context=*/true);
+  if (ds.ok()) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    metrics.GetCounter("roadgen.datasets_built").Increment();
+    metrics.GetGauge("roadgen.crash_only_rows")
+        .Set(static_cast<double>(ds->num_rows()));
+  }
+  return ds;
 }
 
 Result<data::Dataset> BuildCrashNoCrashDataset(
     const std::vector<RoadSegment>& segments,
     const std::vector<CrashRecord>& records, const MeasurementNoise& noise) {
+  ROADMINE_TRACE_SPAN("roadgen.build_crash_no_crash_dataset");
   if (segments.empty()) return InvalidArgumentError("no segments");
   std::unordered_map<int64_t, const RoadSegment*> by_id;
   by_id.reserve(segments.size());
@@ -239,7 +251,14 @@ Result<data::Dataset> BuildCrashNoCrashDataset(
     acc.AddSegmentAttributes(MeasureSegment(s, noise, rng));
     acc.AddCrashContext(nullptr);
   }
-  return acc.Build(/*with_crash_context=*/true);
+  auto ds = acc.Build(/*with_crash_context=*/true);
+  if (ds.ok()) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    metrics.GetCounter("roadgen.datasets_built").Increment();
+    metrics.GetGauge("roadgen.crash_no_crash_rows")
+        .Set(static_cast<double>(ds->num_rows()));
+  }
+  return ds;
 }
 
 }  // namespace roadmine::roadgen

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "roadgen/crash_model.h"
 
 namespace roadmine::roadgen {
@@ -121,6 +123,7 @@ void DrawAttributes(RoadSegment& s, util::Rng& rng, bool prone,
 }  // namespace
 
 Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
+  ROADMINE_TRACE_SPAN("roadgen.generate");
   const GeneratorConfig& cfg = config_;
   if (cfg.num_segments == 0) return InvalidArgumentError("num_segments == 0");
   if (cfg.prone_fraction < 0.0 || cfg.prone_fraction > 1.0) {
@@ -174,11 +177,16 @@ Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
           rng.Poisson(realized / static_cast<double>(cfg.num_years));
     }
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("roadgen.networks_generated").Increment();
+  metrics.GetCounter("roadgen.segments_generated")
+      .Increment(static_cast<uint64_t>(segments.size()));
   return segments;
 }
 
 std::vector<CrashRecord> RoadNetworkGenerator::SimulateCrashRecords(
     const std::vector<RoadSegment>& segments) const {
+  ROADMINE_TRACE_SPAN("roadgen.simulate_crash_records");
   // Crash-level context must be reproducible independently of Generate's
   // stream position, so fork a record-specific substream from the seed.
   util::Rng rng(config_.seed ^ 0xc2a5f00dULL);
@@ -201,6 +209,9 @@ std::vector<CrashRecord> RoadNetworkGenerator::SimulateCrashRecords(
       }
     }
   }
+  obs::MetricsRegistry::Global()
+      .GetCounter("roadgen.crash_records_simulated")
+      .Increment(static_cast<uint64_t>(records.size()));
   return records;
 }
 

@@ -1,7 +1,11 @@
 #include "core/study.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "roadgen/dataset_builder.h"
 #include "roadgen/generator.h"
 
@@ -108,6 +112,33 @@ TEST(CrashPronenessStudyTest, ExplicitFeatureListRespected) {
   auto results = study.RunTreeSweep(ds);
   ASSERT_TRUE(results.ok());
   EXPECT_EQ(results->size(), 1u);
+}
+
+TEST(CrashPronenessStudyTest, SweepWritesManifestWithConfiguredSeed) {
+  data::Dataset ds = SmallCrashOnlyDataset();
+  StudyConfig config = FastConfig();
+  config.artifact_dir = ::testing::TempDir() + "/roadmine_study_artifacts";
+  CrashPronenessStudy study(config);
+  ASSERT_TRUE(study.RunTreeSweep(ds).ok());
+
+  const std::string path = config.artifact_dir + "/manifest_tree_sweep.json";
+  auto manifest = obs::ReadFileToString(path);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_TRUE(obs::ValidateJson(*manifest).ok()) << *manifest;
+  // The configured seed (FastConfig uses 5) must be echoed verbatim.
+  EXPECT_NE(manifest->find("\"seed\": 5"), std::string::npos) << *manifest;
+  EXPECT_NE(manifest->find("\"tool\": \"core.study.tree_sweep\""),
+            std::string::npos);
+  EXPECT_NE(manifest->find("\"thresholds\": \"2,8,32\""), std::string::npos);
+#if ROADMINE_TRACE_ENABLED
+  // When the collector is live, the sweep's spans land next to the
+  // manifest.
+  if (obs::TraceCollector::Global().enabled()) {
+    EXPECT_TRUE(
+        obs::ReadFileToString(config.artifact_dir + "/trace_tree_sweep.jsonl")
+            .ok());
+  }
+#endif
 }
 
 TEST(SelectBestThresholdTest, PicksPeakMcpv) {

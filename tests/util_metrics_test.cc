@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace roadmine::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().Reset(); }
+  void TearDown() override { MetricsRegistry::Global().Reset(); }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  Counter& c = MetricsRegistry::Global().GetCounter("events");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(MetricsTest, SameNameReturnsSameInstance) {
+  Counter& a = MetricsRegistry::Global().GetCounter("shared");
+  Counter& b = MetricsRegistry::Global().GetCounter("shared");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+  // Counters, gauges and histograms each have their own namespace.
+  Gauge& g = MetricsRegistry::Global().GetGauge("shared");
+  g.Set(3.5);
+  EXPECT_EQ(a.value(), 1u);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  Gauge& g = MetricsRegistry::Global().GetGauge("leaves");
+  g.Set(64.0);
+  g.Set(13.0);
+  EXPECT_DOUBLE_EQ(g.value(), 13.0);
+}
+
+TEST_F(MetricsTest, HistogramTracksExactMoments) {
+  LatencyHistogram& h =
+      MetricsRegistry::Global().GetHistogram("fit_ms", 0.0, 100.0, 10);
+  h.Observe(10.0);
+  h.Observe(30.0);
+  h.Observe(20.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 60.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.SnapshotBins().total(), 3u);
+}
+
+TEST_F(MetricsTest, HistogramRangeAppliesOnFirstCreationOnly) {
+  LatencyHistogram& first =
+      MetricsRegistry::Global().GetHistogram("ranged", 0.0, 10.0, 5);
+  LatencyHistogram& again =
+      MetricsRegistry::Global().GetHistogram("ranged", 0.0, 999.0, 77);
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(first.SnapshotBins().bin_count(), 5u);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterIncrementsAllLand) {
+  Counter& c = MetricsRegistry::Global().GetCounter("contended");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.Increment();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(MetricsTest, ResetDropsEverything) {
+  MetricsRegistry::Global().GetCounter("a").Increment();
+  MetricsRegistry::Global().GetGauge("b").Set(1.0);
+  MetricsRegistry::Global().GetHistogram("c").Observe(1.0);
+  MetricsRegistry::Global().Reset();
+
+  auto snapshot = MetricsRegistry::Global().TakeSnapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+  // Re-fetching after Reset starts from zero.
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("a").value(), 0u);
+}
+
+TEST_F(MetricsTest, SnapshotIsNameSorted) {
+  MetricsRegistry::Global().GetCounter("zebra").Increment();
+  MetricsRegistry::Global().GetCounter("alpha").Increment(2);
+  auto snapshot = MetricsRegistry::Global().TakeSnapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "alpha");
+  EXPECT_EQ(snapshot.counters[0].second, 2u);
+  EXPECT_EQ(snapshot.counters[1].first, "zebra");
+}
+
+TEST_F(MetricsTest, ToJsonIsValidAndCoversAllKinds) {
+  MetricsRegistry::Global().GetCounter("runs").Increment(3);
+  MetricsRegistry::Global().GetGauge("rows").Set(16750.0);
+  MetricsRegistry::Global().GetHistogram("ms", 0.0, 50.0, 5).Observe(12.5);
+
+  const std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"runs\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": 16750"), std::string::npos);
+  EXPECT_NE(json.find("\"ms\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, ScopedLatencyObservesOnDestruction) {
+  LatencyHistogram& h = MetricsRegistry::Global().GetHistogram("scope_ms");
+  {
+    ScopedLatency timer(h);
+    EXPECT_GE(timer.ElapsedMs(), 0.0);
+    EXPECT_EQ(h.count(), 0u);  // Nothing recorded until scope exit.
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace roadmine::obs

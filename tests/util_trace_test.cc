@@ -1,0 +1,149 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace roadmine::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Global().Clear();
+    TraceCollector::Global().Enable();
+  }
+  void TearDown() override {
+    TraceCollector::Global().Disable();
+    TraceCollector::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledCollectorRecordsNothing) {
+  TraceCollector::Global().Disable();
+  { ROADMINE_TRACE_SPAN("ignored"); }
+  EXPECT_EQ(TraceCollector::Global().span_count(), 0u);
+}
+
+#if ROADMINE_TRACE_ENABLED
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndCloseInnerFirst) {
+  {
+    ROADMINE_TRACE_SPAN("outer");
+    {
+      ROADMINE_TRACE_SPAN("inner");
+    }
+  }
+  auto spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans land at scope *exit*, so the inner span records first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_GE(spans[1].duration_us, spans[0].duration_us);
+  EXPECT_LE(spans[1].start_us, spans[0].start_us);
+}
+
+TEST_F(TraceTest, SiblingSpansShareDepth) {
+  {
+    ROADMINE_TRACE_SPAN("first");
+  }
+  {
+    ROADMINE_TRACE_SPAN("second");
+  }
+  auto spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 0u);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIdsAndIndependentDepths) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ROADMINE_TRACE_SPAN("worker");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  auto spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  std::vector<uint32_t> tids;
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.depth, 0u);  // No nesting within any worker.
+    tids.push_back(s.thread_id);
+  }
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+#endif  // ROADMINE_TRACE_ENABLED
+
+TEST_F(TraceTest, JsonlLinesAreValidJsonObjects) {
+  TraceCollector::Global().Record(
+      {.name = "alpha \"quoted\"", .start_us = 1, .duration_us = 2,
+       .thread_id = 0, .depth = 0});
+  TraceCollector::Global().Record(
+      {.name = "beta", .start_us = 3, .duration_us = 4, .thread_id = 1,
+       .depth = 2});
+
+  const std::string jsonl = TraceCollector::Global().ToJsonl();
+  size_t lines = 0, pos = 0;
+  while (pos < jsonl.size()) {
+    const size_t eol = jsonl.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated JSONL line";
+    const std::string line = jsonl.substr(pos, eol - pos);
+    EXPECT_TRUE(ValidateJson(line).ok()) << line;
+    pos = eol + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"alpha \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"depth\": 2"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceIsOneValidJsonDocument) {
+  TraceCollector::Global().Record(
+      {.name = "stage", .start_us = 10, .duration_us = 5, .thread_id = 0,
+       .depth = 0});
+  EXPECT_TRUE(ValidateJson(TraceCollector::Global().ToChromeTrace()).ok());
+}
+
+TEST_F(TraceTest, WriteJsonlRoundTripsThroughDisk) {
+  TraceCollector::Global().Record(
+      {.name = "persisted", .start_us = 7, .duration_us = 9, .thread_id = 0,
+       .depth = 0});
+  const std::string path =
+      ::testing::TempDir() + "/roadmine_trace_test/trace.jsonl";
+  ASSERT_TRUE(TraceCollector::Global().WriteJsonl(path).ok());
+
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, TraceCollector::Global().ToJsonl());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ClearDropsSpans) {
+  TraceCollector::Global().Record({.name = "x"});
+  ASSERT_EQ(TraceCollector::Global().span_count(), 1u);
+  TraceCollector::Global().Clear();
+  EXPECT_EQ(TraceCollector::Global().span_count(), 0u);
+  EXPECT_TRUE(TraceCollector::Global().ToJsonl().empty());
+}
+
+}  // namespace
+}  // namespace roadmine::obs
