@@ -14,11 +14,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "data/dataset.h"
+#include "exec/executor.h"
 #include "obs/bench_report.h"
 #include "obs/logging.h"
 #include "obs/trace.h"
@@ -41,13 +44,18 @@ struct PaperData {
 // stage — the first standard metric every bench shares — along with the
 // dataset row counts.
 inline PaperData MakePaperData(uint64_t seed = 42,
-                               obs::BenchReport* report = nullptr) {
+                               obs::BenchReport* report = nullptr,
+                               exec::Executor* executor = nullptr) {
   const auto start = std::chrono::steady_clock::now();
   ROADMINE_TRACE_SPAN("bench.make_paper_data");
 
   PaperData data;
   data.config.seed = seed;
-  roadgen::RoadNetworkGenerator generator(data.config);
+  // The executor only drives this build; the stored config must not keep a
+  // pointer that outlives the caller's pool.
+  roadgen::GeneratorConfig build_config = data.config;
+  build_config.executor = executor;
+  roadgen::RoadNetworkGenerator generator(build_config);
   auto segments = generator.Generate();
   if (!segments.ok()) {
     obs::LogError("paper data generation failed",
@@ -59,8 +67,8 @@ inline PaperData MakePaperData(uint64_t seed = 42,
   data.segments = std::move(*segments);
   data.records = generator.SimulateCrashRecords(data.segments);
 
-  auto crash_only =
-      roadgen::BuildCrashOnlyDataset(data.segments, data.records);
+  auto crash_only = roadgen::BuildCrashOnlyDataset(data.segments, data.records,
+                                                   {}, executor);
   if (!crash_only.ok()) {
     obs::LogError("paper data generation failed",
                   {{"stage", "crash_only_dataset"},
@@ -70,7 +78,8 @@ inline PaperData MakePaperData(uint64_t seed = 42,
   }
   data.crash_only = std::move(*crash_only);
 
-  auto both = roadgen::BuildCrashNoCrashDataset(data.segments, data.records);
+  auto both = roadgen::BuildCrashNoCrashDataset(data.segments, data.records,
+                                                {}, executor);
   if (!both.ok()) {
     obs::LogError("paper data generation failed",
                   {{"stage", "crash_no_crash_dataset"},
@@ -93,11 +102,27 @@ inline PaperData MakePaperData(uint64_t seed = 42,
   return data;
 }
 
-// Optional CSV artifact directory: the first CLI argument, if present.
-// Benches call this and, when a directory is given, also emit their series
-// as CSV for external plotting.
+// Optional CSV artifact directory: the first non-flag CLI argument, if
+// present. Benches call this and, when a directory is given, also emit
+// their series as CSV for external plotting.
 inline std::string ExportDir(int argc, char** argv) {
-  return argc > 1 ? argv[1] : "";
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') return argv[i];
+  }
+  return "";
+}
+
+// Worker-thread count from a `--threads=N` flag; 0 (the default) means
+// serial execution. Every bench accepts the flag; results are
+// bit-identical at any value (the exec determinism contract).
+inline size_t ThreadsFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const long parsed = std::atol(argv[i] + 10);
+      return parsed > 0 ? static_cast<size_t>(parsed) : 0;
+    }
+  }
+  return 0;
 }
 
 // Per-bench observability shell. Construct at the top of main; on
@@ -108,6 +133,11 @@ class BenchContext {
   BenchContext(std::string name, int argc, char** argv)
       : report_(std::move(name)), export_dir_(ExportDir(argc, argv)) {
     if (!export_dir_.empty()) obs::TraceCollector::Global().Enable();
+    if (const size_t threads = ThreadsFlag(argc, argv); threads > 0) {
+      pool_ = std::make_unique<exec::ThreadPool>(threads);
+    }
+    report_.RecordMetric("threads",
+                         static_cast<double>(pool_ ? pool_->concurrency() : 0));
   }
 
   ~BenchContext() { Finish(); }
@@ -119,8 +149,13 @@ class BenchContext {
   bool has_export_dir() const { return !export_dir_.empty(); }
   obs::BenchReport& report() { return report_; }
 
+  // The bench's executor: a thread pool when `--threads=N` was passed,
+  // null (= serial) otherwise. Owned by the context; valid for its
+  // lifetime.
+  exec::Executor* executor() { return pool_.get(); }
+
   PaperData MakePaperData(uint64_t seed = 42) {
-    return bench::MakePaperData(seed, &report_);
+    return bench::MakePaperData(seed, &report_, executor());
   }
 
   // Runs `fn`, recording its wall-clock as stage `stage` (and a
@@ -153,6 +188,7 @@ class BenchContext {
  private:
   obs::BenchReport report_;
   std::string export_dir_;
+  std::unique_ptr<exec::ThreadPool> pool_;
   bool finished_ = false;
 };
 

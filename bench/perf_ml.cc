@@ -24,7 +24,12 @@
 #include "data/encoder.h"
 #include "data/split.h"
 #include "eval/binary_metrics.h"
+#include "eval/cross_validation.h"
 #include "eval/roc.h"
+#include "eval/trainers.h"
+#include "exec/executor.h"
+#include "ml/bagging.h"
+#include "ml/classifier.h"
 #include "ml/common.h"
 #include "ml/decision_tree.h"
 #include "ml/kmeans.h"
@@ -336,6 +341,118 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
       return false;
     }
   }
+
+  // --- exec layer: serial vs 4-thread runs over the three parallel hot
+  // paths, recording <stage>_speedup_4t ratios. Each parallel result is
+  // also checked bit-identical to its serial twin — the exec determinism
+  // contract, enforced here on paper-scale (or smoke-scale) data.
+  // Speedups track available cores; on a single-core host they hover
+  // near 1x while the bit-identity checks still bite.
+  {
+    exec::ThreadPool pool(4);
+    auto timed_ms = [&ctx](const char* stage, auto&& fn) {
+      const auto start = std::chrono::steady_clock::now();
+      fn();
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      ctx.report().RecordTimingMs(stage, ms);
+      return ms;
+    };
+
+    // Cross-validation folds.
+    const eval::BinaryTrainer trainer = eval::ClassifierTrainer(
+        ml::Spec("naive_bayes"), "crash_prone_gt8", features);
+    eval::CrossValidationOptions cv_options;
+    cv_options.folds = smoke ? 4 : 10;
+    util::Result<eval::CrossValidationResult> serial_cv =
+        util::InternalError("not run");
+    util::Result<eval::CrossValidationResult> parallel_cv =
+        util::InternalError("not run");
+    const double cv_serial_ms = timed_ms("cv_serial", [&] {
+      serial_cv =
+          eval::CrossValidateBinary(ds, "crash_prone_gt8", trainer, cv_options);
+    });
+    cv_options.executor = &pool;
+    const double cv_parallel_ms = timed_ms("cv_4_threads", [&] {
+      parallel_cv =
+          eval::CrossValidateBinary(ds, "crash_prone_gt8", trainer, cv_options);
+    });
+    if (!serial_cv.ok() || !parallel_cv.ok()) {
+      obs::LogError(kFailTag, {{"stage", "cv_speedup"}});
+      return false;
+    }
+    if (serial_cv->auc != parallel_cv->auc ||
+        serial_cv->pooled_confusion.true_positive !=
+            parallel_cv->pooled_confusion.true_positive ||
+        serial_cv->pooled_confusion.false_positive !=
+            parallel_cv->pooled_confusion.false_positive) {
+      obs::LogError(kFailTag,
+                    {{"stage", "cv_speedup"},
+                     {"error", "serial/parallel CV results diverged"}});
+      return false;
+    }
+    ctx.report().RecordMetric("cv_speedup_4t", cv_serial_ms / cv_parallel_ms);
+
+    // Generator segment blocks.
+    roadgen::GeneratorConfig gen_config;
+    gen_config.num_segments = smoke ? 2000 : 6000;
+    gen_config.seed = 7;
+    util::Result<std::vector<roadgen::RoadSegment>> serial_segments =
+        util::InternalError("not run");
+    util::Result<std::vector<roadgen::RoadSegment>> parallel_segments =
+        util::InternalError("not run");
+    const double gen_serial_ms = timed_ms("generator_serial", [&] {
+      serial_segments = roadgen::RoadNetworkGenerator(gen_config).Generate();
+    });
+    gen_config.executor = &pool;
+    const double gen_parallel_ms = timed_ms("generator_4_threads", [&] {
+      parallel_segments = roadgen::RoadNetworkGenerator(gen_config).Generate();
+    });
+    if (!serial_segments.ok() || !parallel_segments.ok()) {
+      obs::LogError(kFailTag, {{"stage", "generator_speedup"}});
+      return false;
+    }
+    for (size_t i = 0; i < serial_segments->size(); ++i) {
+      if ((*serial_segments)[i].total_crashes() !=
+          (*parallel_segments)[i].total_crashes()) {
+        obs::LogError(kFailTag,
+                      {{"stage", "generator_speedup"},
+                       {"error", "serial/parallel networks diverged"}});
+        return false;
+      }
+    }
+    ctx.report().RecordMetric("generator_speedup_4t",
+                              gen_serial_ms / gen_parallel_ms);
+
+    // Bagged ensemble members.
+    ml::BaggedTreesParams bag_params;
+    bag_params.num_trees = smoke ? 6 : 24;
+    bag_params.tree.min_samples_leaf = 30;
+    bag_params.tree.max_leaves = 32;
+    std::vector<double> serial_probs, parallel_probs;
+    const double bag_serial_ms = timed_ms("bagging_serial", [&] {
+      ml::BaggedTreesClassifier model(bag_params);
+      if (model.Fit(ds, "crash_prone_gt8", features, all_rows).ok()) {
+        serial_probs = model.PredictProbaMany(ds, all_rows);
+      }
+    });
+    bag_params.executor = &pool;
+    const double bag_parallel_ms = timed_ms("bagging_4_threads", [&] {
+      ml::BaggedTreesClassifier model(bag_params);
+      if (model.Fit(ds, "crash_prone_gt8", features, all_rows).ok()) {
+        parallel_probs = model.PredictProbaMany(ds, all_rows);
+      }
+    });
+    if (serial_probs.empty() || serial_probs != parallel_probs) {
+      obs::LogError(kFailTag,
+                    {{"stage", "bagging_speedup"},
+                     {"error", "serial/parallel ensembles diverged"}});
+      return false;
+    }
+    ctx.report().RecordMetric("bagging_speedup_4t",
+                              bag_serial_ms / bag_parallel_ms);
+  }
   return true;
 }
 
@@ -381,11 +498,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!dir.empty()) {
-    // BenchContext reads the export dir from the first argument; pass a
-    // normalized view so "--smoke dir" and "dir --smoke" behave alike.
-    std::string dir_copy = dir;
-    char* ctx_argv[2] = {argv[0], dir_copy.data()};
-    return RunInstrumentedMode(dir, smoke, 2, ctx_argv);
+    // BenchContext skips flag arguments itself, so "--smoke dir",
+    // "dir --smoke" and "--threads=4 dir" all behave alike.
+    return RunInstrumentedMode(dir, smoke, argc, argv);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

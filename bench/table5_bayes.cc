@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   bench::PaperData data = ctx.MakePaperData();
   core::StudyConfig config;
   config.artifact_dir = ctx.export_dir();
+  config.executor = ctx.executor();  // --threads=N; results identical.
   core::CrashPronenessStudy study(config);
   auto results =
       ctx.Timed("bayes_sweep", [&] { return study.RunBayesSweep(data.crash_only); });

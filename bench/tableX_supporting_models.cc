@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   // trimmed CV keeps this binary interactive while preserving the trend.
   config.cv_folds = 3;
   config.artifact_dir = ctx.export_dir();
+  config.executor = ctx.executor();  // --threads=N; results identical.
   core::CrashPronenessStudy study(config);
   auto results = ctx.Timed(
       "supporting_sweep", [&] { return study.RunSupportingSweep(data.crash_only); });

@@ -12,12 +12,11 @@
 #include "eval/confusion.h"
 #include "eval/cross_validation.h"
 #include "eval/regression_metrics.h"
+#include "eval/trainers.h"
+#include "ml/classifier.h"
 #include "ml/common.h"
 #include "ml/decision_tree.h"
-#include "ml/logistic_regression.h"
 #include "ml/m5_tree.h"
-#include "ml/naive_bayes.h"
-#include "ml/neural_net.h"
 #include "ml/regression_tree.h"
 #include "roadgen/dataset_builder.h"
 #include "roadgen/generator.h"
@@ -99,42 +98,23 @@ int main() {
     add_row("M5 model tree", "train/validation", eval::Assess(cm));
   }
 
-  // Supporting models: 10-fold CV (the paper's protocol for these).
-  auto cv_model = [&](const std::string& name, eval::BinaryTrainer trainer) {
+  // Supporting models: 10-fold CV (the paper's protocol for these). Each
+  // is a declarative spec run through the shared spec->trainer adapter.
+  auto cv_model = [&](const std::string& name, ml::ClassifierSpec spec) {
     eval::CrossValidationOptions options;
     options.folds = 5;  // Demo-friendly; the paper used 10.
+    const eval::BinaryTrainer trainer =
+        eval::ClassifierTrainer(std::move(spec), target, features);
     auto cv = eval::CrossValidateBinary(*dataset, target, trainer, options);
     if (cv.ok()) add_row(name, "5-fold CV", cv->assessment);
   };
-  cv_model("naive Bayes",
-           [&](const data::Dataset& ds, const std::vector<size_t>& train)
-               -> util::Result<eval::RowScorer> {
-             auto model = std::make_shared<ml::NaiveBayesClassifier>();
-             ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train));
-             return eval::RowScorer([model, &ds](size_t row) {
-               return model->PredictProba(ds, row);
-             });
-           });
-  cv_model("logistic regression",
-           [&](const data::Dataset& ds, const std::vector<size_t>& train)
-               -> util::Result<eval::RowScorer> {
-             auto model = std::make_shared<ml::LogisticRegression>();
-             ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train));
-             return eval::RowScorer([model, &ds](size_t row) {
-               return model->PredictProba(ds, row);
-             });
-           });
-  cv_model("neural network (16 tanh)",
-           [&](const data::Dataset& ds, const std::vector<size_t>& train)
-               -> util::Result<eval::RowScorer> {
-             ml::NeuralNetParams params;
-             params.epochs = 20;
-             auto model = std::make_shared<ml::NeuralNetClassifier>(params);
-             ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train));
-             return eval::RowScorer([model, &ds](size_t row) {
-               return model->PredictProba(ds, row);
-             });
-           });
+  cv_model("naive Bayes", ml::Spec("naive_bayes"));
+  cv_model("logistic regression", ml::Spec("logistic_regression"));
+  {
+    ml::ClassifierSpec spec = ml::Spec("neural_net");
+    spec.neural_net.epochs = 20;
+    cv_model("neural network (16 tanh)", std::move(spec));
+  }
 
   std::printf("\n%s\n", table.Render().c_str());
   std::printf(

@@ -5,22 +5,44 @@
 
 #include "core/thresholds.h"
 #include "data/split.h"
+#include "exec/executor.h"
 #include "obs/logging.h"
 #include "obs/run_manifest.h"
 #include "obs/trace.h"
 #include "eval/confusion.h"
 #include "eval/cross_validation.h"
 #include "eval/regression_metrics.h"
+#include "eval/trainers.h"
+#include "ml/classifier.h"
 #include "ml/common.h"
-#include "ml/logistic_regression.h"
 #include "ml/m5_tree.h"
-#include "ml/naive_bayes.h"
-#include "ml/neural_net.h"
 #include "roadgen/dataset_builder.h"
 
 namespace roadmine::core {
 
 using util::Result;
+
+namespace {
+
+// Serial pre-pass shared by the sweeps: derives every CP-t target column
+// (a dataset mutation, so it cannot run concurrently) and tallies class
+// sizes. After this, each threshold's modeling task only reads the
+// dataset and can run on any executor thread.
+Result<std::vector<ThresholdClassCounts>> PrepareTargets(
+    data::Dataset& dataset, const StudyConfig& config) {
+  std::vector<ThresholdClassCounts> counts;
+  counts.reserve(config.thresholds.size());
+  for (int threshold : config.thresholds) {
+    ROADMINE_RETURN_IF_ERROR(
+        AddCrashProneTarget(dataset, config.count_column, threshold));
+    auto c = CountThresholdClasses(dataset, config.count_column, threshold);
+    if (!c.ok()) return c.status();
+    counts.push_back(*c);
+  }
+  return counts;
+}
+
+}  // namespace
 
 std::vector<std::string> CrashPronenessStudy::FeaturesFor(
     const data::Dataset& dataset) const {
@@ -40,74 +62,73 @@ Result<std::vector<ThresholdModelResult>> CrashPronenessStudy::RunTreeSweep(
     return util::InvalidArgumentError("no feature columns available");
   }
 
-  std::vector<ThresholdModelResult> results;
-  results.reserve(config_.thresholds.size());
-  util::Rng rng(config_.seed);
+  auto counts = PrepareTargets(dataset, config_);
+  if (!counts.ok()) return counts.status();
 
-  for (int threshold : config_.thresholds) {
-    ROADMINE_TRACE_SPAN("study.tree_sweep.cp" + std::to_string(threshold));
-    ROADMINE_RETURN_IF_ERROR(
-        AddCrashProneTarget(dataset, config_.count_column, threshold));
-    const std::string target = ThresholdTargetName(threshold);
+  // One task per CP-threshold row; each draws its split from child stream
+  // i of the study seed, so row i is identical however tasks interleave.
+  std::vector<ThresholdModelResult> results(config_.thresholds.size());
+  ROADMINE_RETURN_IF_ERROR(exec::ParallelFor(
+      config_.executor, config_.thresholds.size(),
+      [&](size_t i) -> util::Status {
+        const int threshold = config_.thresholds[i];
+        ROADMINE_TRACE_SPAN("study.tree_sweep.cp" + std::to_string(threshold));
+        const std::string target = ThresholdTargetName(threshold);
 
-    ThresholdModelResult row;
-    row.threshold = threshold;
-    auto counts =
-        CountThresholdClasses(dataset, config_.count_column, threshold);
-    if (!counts.ok()) return counts.status();
-    row.non_crash_prone = counts->non_crash_prone;
-    row.crash_prone = counts->crash_prone;
+        ThresholdModelResult& row = results[i];
+        row.threshold = threshold;
+        row.non_crash_prone = (*counts)[i].non_crash_prone;
+        row.crash_prone = (*counts)[i].crash_prone;
 
-    // Degenerate thresholds (a single class) cannot be modeled; report the
-    // row with zeroed metrics rather than failing the sweep.
-    if (row.non_crash_prone == 0 || row.crash_prone == 0) {
-      results.push_back(row);
-      continue;
-    }
+        // Degenerate thresholds (a single class) cannot be modeled; report
+        // the row with zeroed metrics rather than failing the sweep.
+        if (row.non_crash_prone == 0 || row.crash_prone == 0) {
+          return util::Status::Ok();
+        }
 
-    util::Rng split_rng = rng.Fork();
-    auto split = data::StratifiedTrainValidationSplit(
-        dataset, target, config_.train_fraction, split_rng);
-    if (!split.ok()) return split.status();
+        util::Rng split_rng(util::Rng::SplitSeed(config_.seed, i));
+        auto split = data::StratifiedTrainValidationSplit(
+            dataset, target, config_.train_fraction, split_rng);
+        if (!split.ok()) return split.status();
 
-    // Regression tree on the target as an interval variable.
-    {
-      ml::RegressionTree tree(config_.regression_params);
-      ROADMINE_RETURN_IF_ERROR(
-          tree.Fit(dataset, target, features, split->train));
-      auto labels = ml::ExtractNumericTarget(dataset, target);
-      if (!labels.ok()) return labels.status();
-      std::vector<double> actuals;
-      actuals.reserve(split->validation.size());
-      for (size_t r : split->validation) actuals.push_back((*labels)[r]);
-      const std::vector<double> predictions =
-          tree.PredictMany(dataset, split->validation);
-      auto r2 = eval::RSquared(predictions, actuals);
-      row.r_squared = r2.ok() ? *r2 : 0.0;
-      row.regression_leaves = tree.leaf_count();
-    }
+        // Regression tree on the target as an interval variable.
+        {
+          ml::RegressionTree tree(config_.regression_params);
+          ROADMINE_RETURN_IF_ERROR(
+              tree.Fit(dataset, target, features, split->train));
+          auto labels = ml::ExtractNumericTarget(dataset, target);
+          if (!labels.ok()) return labels.status();
+          std::vector<double> actuals;
+          actuals.reserve(split->validation.size());
+          for (size_t r : split->validation) actuals.push_back((*labels)[r]);
+          const std::vector<double> predictions =
+              tree.PredictMany(dataset, split->validation);
+          auto r2 = eval::RSquared(predictions, actuals);
+          row.r_squared = r2.ok() ? *r2 : 0.0;
+          row.regression_leaves = tree.leaf_count();
+        }
 
-    // Chi-square decision tree on the Boolean target.
-    {
-      ml::DecisionTreeClassifier tree(config_.tree_params);
-      ROADMINE_RETURN_IF_ERROR(
-          tree.Fit(dataset, target, features, split->train));
-      auto labels = ml::ExtractBinaryLabels(dataset, target);
-      if (!labels.ok()) return labels.status();
-      eval::ConfusionMatrix cm;
-      for (size_t r : split->validation) {
-        cm.Add((*labels)[r] != 0, tree.Predict(dataset, r) != 0);
-      }
-      const eval::BinaryAssessment assessment = eval::Assess(cm);
-      row.negative_predictive_value = assessment.negative_predictive_value;
-      row.positive_predictive_value = assessment.positive_predictive_value;
-      row.misclassification_rate = assessment.misclassification_rate;
-      row.mcpv = assessment.mcpv;
-      row.kappa = assessment.kappa;
-      row.tree_leaves = tree.leaf_count();
-    }
-    results.push_back(row);
-  }
+        // Chi-square decision tree on the Boolean target.
+        {
+          ml::DecisionTreeClassifier tree(config_.tree_params);
+          ROADMINE_RETURN_IF_ERROR(
+              tree.Fit(dataset, target, features, split->train));
+          auto labels = ml::ExtractBinaryLabels(dataset, target);
+          if (!labels.ok()) return labels.status();
+          eval::ConfusionMatrix cm;
+          for (size_t r : split->validation) {
+            cm.Add((*labels)[r] != 0, tree.Predict(dataset, r) != 0);
+          }
+          const eval::BinaryAssessment assessment = eval::Assess(cm);
+          row.negative_predictive_value = assessment.negative_predictive_value;
+          row.positive_predictive_value = assessment.positive_predictive_value;
+          row.misclassification_rate = assessment.misclassification_rate;
+          row.mcpv = assessment.mcpv;
+          row.kappa = assessment.kappa;
+          row.tree_leaves = tree.leaf_count();
+        }
+        return util::Status::Ok();
+      }));
   EmitSweepArtifacts("tree_sweep", dataset, results.size());
   return results;
 }
@@ -119,50 +140,46 @@ Result<std::vector<BayesThresholdResult>> CrashPronenessStudy::RunBayesSweep(
     return util::InvalidArgumentError("no feature columns available");
   }
 
-  std::vector<BayesThresholdResult> results;
-  for (int threshold : config_.thresholds) {
-    ROADMINE_TRACE_SPAN("study.bayes_sweep.cp" + std::to_string(threshold));
-    ROADMINE_RETURN_IF_ERROR(
-        AddCrashProneTarget(dataset, config_.count_column, threshold));
-    const std::string target = ThresholdTargetName(threshold);
+  auto counts = PrepareTargets(dataset, config_);
+  if (!counts.ok()) return counts.status();
 
-    auto counts =
-        CountThresholdClasses(dataset, config_.count_column, threshold);
-    if (!counts.ok()) return counts.status();
-    BayesThresholdResult row;
-    row.threshold = threshold;
-    if (counts->non_crash_prone == 0 || counts->crash_prone == 0) {
-      results.push_back(row);
-      continue;
-    }
+  std::vector<BayesThresholdResult> results(config_.thresholds.size());
+  ROADMINE_RETURN_IF_ERROR(exec::ParallelFor(
+      config_.executor, config_.thresholds.size(),
+      [&](size_t i) -> util::Status {
+        const int threshold = config_.thresholds[i];
+        ROADMINE_TRACE_SPAN("study.bayes_sweep.cp" + std::to_string(threshold));
+        const std::string target = ThresholdTargetName(threshold);
 
-    eval::BinaryTrainer trainer =
-        [&features, &target](const data::Dataset& ds,
-                             const std::vector<size_t>& train_rows)
-        -> Result<eval::RowScorer> {
-      auto model = std::make_shared<ml::NaiveBayesClassifier>();
-      ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train_rows));
-      return eval::RowScorer([model, &ds](size_t row) {
-        return model->PredictProba(ds, row);
-      });
-    };
+        BayesThresholdResult& row = results[i];
+        row.threshold = threshold;
+        if ((*counts)[i].non_crash_prone == 0 ||
+            (*counts)[i].crash_prone == 0) {
+          return util::Status::Ok();
+        }
 
-    eval::CrossValidationOptions options;
-    options.folds = config_.cv_folds;
-    options.seed = config_.seed ^ static_cast<uint64_t>(threshold);
-    auto cv = eval::CrossValidateBinary(dataset, target, trainer, options);
-    if (!cv.ok()) return cv.status();
+        const eval::BinaryTrainer trainer = eval::ClassifierTrainer(
+            ml::Spec("naive_bayes"), target, features);
 
-    row.correctly_classified = cv->assessment.accuracy;
-    row.negative_predictive_value = cv->assessment.negative_predictive_value;
-    row.positive_predictive_value = cv->assessment.positive_predictive_value;
-    row.weighted_precision = cv->assessment.weighted_precision;
-    row.weighted_recall = cv->assessment.weighted_recall;
-    row.roc_area = cv->auc;
-    row.kappa = cv->assessment.kappa;
-    row.mcpv = cv->assessment.mcpv;
-    results.push_back(row);
-  }
+        eval::CrossValidationOptions options;
+        options.folds = config_.cv_folds;
+        options.seed = config_.seed ^ static_cast<uint64_t>(threshold);
+        options.executor = config_.executor;
+        auto cv = eval::CrossValidateBinary(dataset, target, trainer, options);
+        if (!cv.ok()) return cv.status();
+
+        row.correctly_classified = cv->assessment.accuracy;
+        row.negative_predictive_value =
+            cv->assessment.negative_predictive_value;
+        row.positive_predictive_value =
+            cv->assessment.positive_predictive_value;
+        row.weighted_precision = cv->assessment.weighted_precision;
+        row.weighted_recall = cv->assessment.weighted_recall;
+        row.roc_area = cv->auc;
+        row.kappa = cv->assessment.kappa;
+        row.mcpv = cv->assessment.mcpv;
+        return util::Status::Ok();
+      }));
   EmitSweepArtifacts("bayes_sweep", dataset, results.size());
   return results;
 }
@@ -174,93 +191,81 @@ CrashPronenessStudy::RunSupportingSweep(data::Dataset& dataset) const {
     return util::InvalidArgumentError("no feature columns available");
   }
 
-  std::vector<SupportingModelResult> results;
-  util::Rng rng(config_.seed ^ 0xabcdefULL);
+  auto counts = PrepareTargets(dataset, config_);
+  if (!counts.ok()) return counts.status();
 
-  for (int threshold : config_.thresholds) {
-    ROADMINE_TRACE_SPAN("study.supporting_sweep.cp" + std::to_string(threshold));
-    ROADMINE_RETURN_IF_ERROR(
-        AddCrashProneTarget(dataset, config_.count_column, threshold));
-    const std::string target = ThresholdTargetName(threshold);
+  std::vector<SupportingModelResult> results(config_.thresholds.size());
+  ROADMINE_RETURN_IF_ERROR(exec::ParallelFor(
+      config_.executor, config_.thresholds.size(),
+      [&](size_t i) -> util::Status {
+        const int threshold = config_.thresholds[i];
+        ROADMINE_TRACE_SPAN("study.supporting_sweep.cp" +
+                            std::to_string(threshold));
+        const std::string target = ThresholdTargetName(threshold);
 
-    auto counts =
-        CountThresholdClasses(dataset, config_.count_column, threshold);
-    if (!counts.ok()) return counts.status();
-    SupportingModelResult row;
-    row.threshold = threshold;
-    if (counts->non_crash_prone == 0 || counts->crash_prone == 0) {
-      results.push_back(row);
-      continue;
-    }
+        SupportingModelResult& row = results[i];
+        row.threshold = threshold;
+        if ((*counts)[i].non_crash_prone == 0 ||
+            (*counts)[i].crash_prone == 0) {
+          return util::Status::Ok();
+        }
 
-    eval::CrossValidationOptions options;
-    options.folds = config_.cv_folds;
-    options.seed = config_.seed ^ static_cast<uint64_t>(threshold * 31);
+        eval::CrossValidationOptions options;
+        options.folds = config_.cv_folds;
+        options.seed = config_.seed ^ static_cast<uint64_t>(threshold * 31);
+        options.executor = config_.executor;
 
-    // Logistic regression, 10-fold CV.
-    {
-      eval::BinaryTrainer trainer =
-          [&features, &target](const data::Dataset& ds,
-                               const std::vector<size_t>& train_rows)
-          -> Result<eval::RowScorer> {
-        auto model = std::make_shared<ml::LogisticRegression>();
-        ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train_rows));
-        return eval::RowScorer([model, &ds](size_t row) {
-          return model->PredictProba(ds, row);
-        });
-      };
-      auto cv = eval::CrossValidateBinary(dataset, target, trainer, options);
-      if (!cv.ok()) return cv.status();
-      row.logistic_mcpv = cv->assessment.mcpv;
-      row.logistic_kappa = cv->assessment.kappa;
-    }
+        // Logistic regression, 10-fold CV.
+        {
+          const eval::BinaryTrainer trainer = eval::ClassifierTrainer(
+              ml::Spec("logistic_regression"), target, features);
+          auto cv =
+              eval::CrossValidateBinary(dataset, target, trainer, options);
+          if (!cv.ok()) return cv.status();
+          row.logistic_mcpv = cv->assessment.mcpv;
+          row.logistic_kappa = cv->assessment.kappa;
+        }
 
-    // Neural network, 10-fold CV.
-    {
-      eval::BinaryTrainer trainer =
-          [&features, &target](const data::Dataset& ds,
-                               const std::vector<size_t>& train_rows)
-          -> Result<eval::RowScorer> {
-        // Low-capacity, regularized MLP: crash rows from one segment are
-        // near-duplicates, so an over-parameterized network "solves" the
-        // extreme thresholds by memorizing segments across CV folds. The
-        // paper's SAS-era networks were comparably small.
-        ml::NeuralNetParams params;
-        params.hidden_layers = {8};
-        params.l2 = 2e-3;
-        params.epochs = 12;
-        auto model = std::make_shared<ml::NeuralNetClassifier>(params);
-        ROADMINE_RETURN_IF_ERROR(model->Fit(ds, target, features, train_rows));
-        return eval::RowScorer([model, &ds](size_t row) {
-          return model->PredictProba(ds, row);
-        });
-      };
-      auto cv = eval::CrossValidateBinary(dataset, target, trainer, options);
-      if (!cv.ok()) return cv.status();
-      row.neural_net_mcpv = cv->assessment.mcpv;
-      row.neural_net_kappa = cv->assessment.kappa;
-    }
+        // Neural network, 10-fold CV.
+        {
+          // Low-capacity, regularized MLP: crash rows from one segment are
+          // near-duplicates, so an over-parameterized network "solves" the
+          // extreme thresholds by memorizing segments across CV folds. The
+          // paper's SAS-era networks were comparably small.
+          ml::ClassifierSpec spec = ml::Spec("neural_net");
+          spec.neural_net.hidden_layers = {8};
+          spec.neural_net.l2 = 2e-3;
+          spec.neural_net.epochs = 12;
+          const eval::BinaryTrainer trainer =
+              eval::ClassifierTrainer(std::move(spec), target, features);
+          auto cv =
+              eval::CrossValidateBinary(dataset, target, trainer, options);
+          if (!cv.ok()) return cv.status();
+          row.neural_net_mcpv = cv->assessment.mcpv;
+          row.neural_net_kappa = cv->assessment.kappa;
+        }
 
-    // M5 model tree on the interval target, train/validation R-squared.
-    {
-      util::Rng split_rng = rng.Fork();
-      auto split = data::StratifiedTrainValidationSplit(
-          dataset, target, config_.train_fraction, split_rng);
-      if (!split.ok()) return split.status();
-      ml::M5Tree tree;
-      ROADMINE_RETURN_IF_ERROR(
-          tree.Fit(dataset, target, features, split->train));
-      auto labels = ml::ExtractNumericTarget(dataset, target);
-      if (!labels.ok()) return labels.status();
-      std::vector<double> actuals;
-      actuals.reserve(split->validation.size());
-      for (size_t r : split->validation) actuals.push_back((*labels)[r]);
-      auto r2 = eval::RSquared(tree.PredictMany(dataset, split->validation),
-                               actuals);
-      row.m5_r_squared = r2.ok() ? *r2 : 0.0;
-    }
-    results.push_back(row);
-  }
+        // M5 model tree on the interval target, train/validation R-squared.
+        {
+          util::Rng split_rng(
+              util::Rng::SplitSeed(config_.seed ^ 0xabcdefULL, i));
+          auto split = data::StratifiedTrainValidationSplit(
+              dataset, target, config_.train_fraction, split_rng);
+          if (!split.ok()) return split.status();
+          ml::M5Tree tree;
+          ROADMINE_RETURN_IF_ERROR(
+              tree.Fit(dataset, target, features, split->train));
+          auto labels = ml::ExtractNumericTarget(dataset, target);
+          if (!labels.ok()) return labels.status();
+          std::vector<double> actuals;
+          actuals.reserve(split->validation.size());
+          for (size_t r : split->validation) actuals.push_back((*labels)[r]);
+          auto r2 = eval::RSquared(
+              tree.PredictMany(dataset, split->validation), actuals);
+          row.m5_r_squared = r2.ok() ? *r2 : 0.0;
+        }
+        return util::Status::Ok();
+      }));
   EmitSweepArtifacts("supporting_sweep", dataset, results.size());
   return results;
 }

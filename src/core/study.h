@@ -21,6 +21,10 @@
 #include "ml/regression_tree.h"
 #include "util/status.h"
 
+namespace roadmine::exec {
+class Executor;
+}  // namespace roadmine::exec
+
 namespace roadmine::core {
 
 struct StudyConfig {
@@ -41,6 +45,13 @@ struct StudyConfig {
   ml::RegressionTreeParams regression_params{.min_samples_leaf = 30,
                                              .max_leaves = 160};
   uint64_t seed = 1234;
+  // Optional parallelism (not owned, may be null = serial): each sweep
+  // runs one task per CP-threshold row, and the per-threshold
+  // cross-validations fan their folds onto the same executor. Every
+  // threshold draws its randomness from a child stream of `seed` keyed by
+  // its position in `thresholds`, so sweep results are bit-identical at
+  // any thread count.
+  exec::Executor* executor = nullptr;
   // When non-empty, each sweep writes observability artifacts into this
   // directory (created if missing): a run manifest
   // (manifest_<sweep>.json with the seed, config echo, dataset shape and

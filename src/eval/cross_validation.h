@@ -2,6 +2,12 @@
 // supporting models (logistic regression, neural networks, naive Bayes)
 // "configured with 10 times cross-validation"; this harness reproduces
 // that protocol for any model exposing a probability scorer.
+//
+// Determinism contract: for a fixed seed, the CrossValidationResult is
+// bit-identical whether folds run serially or on any executor thread
+// count. Fold membership is drawn before any fold trains, each fold's
+// work depends only on its own inputs, and pooled metrics merge in fold
+// order after all folds complete.
 #ifndef ROADMINE_EVAL_CROSS_VALIDATION_H_
 #define ROADMINE_EVAL_CROSS_VALIDATION_H_
 
@@ -14,14 +20,46 @@
 #include "util/rng.h"
 #include "util/status.h"
 
+namespace roadmine::exec {
+class Executor;
+}  // namespace roadmine::exec
+
 namespace roadmine::eval {
 
 // Produced by a trainer: P(positive) for a dataset row.
 using RowScorer = std::function<double(size_t row)>;
 
+// Scores many rows in one call; mirrors
+// ml::BinaryClassifier::PredictProbaBatch, the unified batch entry point.
+using BatchScorer = std::function<util::Status(const std::vector<size_t>& rows,
+                                               std::vector<double>* out)>;
+
+// What a trainer hands back for one fold: always a row scorer, optionally
+// a batch scorer. The harness scores whole held-out folds through the
+// batch path when it is available.
+class FoldScorer {
+ public:
+  FoldScorer() = default;
+  // Implicit so trainers can keep returning a bare RowScorer lambda.
+  FoldScorer(RowScorer row) : row_(std::move(row)) {}  // NOLINT
+  FoldScorer(RowScorer row, BatchScorer batch)
+      : row_(std::move(row)), batch_(std::move(batch)) {}
+
+  // Scores `rows` in order, preferring the batch path.
+  util::Result<std::vector<double>> Score(
+      const std::vector<size_t>& rows) const;
+
+  const RowScorer& row_scorer() const { return row_; }
+  bool has_batch() const { return static_cast<bool>(batch_); }
+
+ private:
+  RowScorer row_;
+  BatchScorer batch_;
+};
+
 // Trains on `train_rows` of `dataset` and returns a scorer for arbitrary
 // rows of the same dataset.
-using BinaryTrainer = std::function<util::Result<RowScorer>(
+using BinaryTrainer = std::function<util::Result<FoldScorer>(
     const data::Dataset& dataset, const std::vector<size_t>& train_rows)>;
 
 struct CrossValidationResult {
@@ -39,14 +77,20 @@ struct CrossValidationOptions {
   double cutoff = 0.5;
   bool stratified = true;
   uint64_t seed = 97;
+  // Optional executor: folds train and score concurrently when set. The
+  // result is bit-identical to a serial run (not owned, may be null).
+  exec::Executor* executor = nullptr;
   // Invoked after each fold completes with (folds_done, folds_total).
   // Long sweeps (e.g. a 10-fold x 7-threshold Bayes sweep) surface
-  // progress through this instead of printing. May be empty.
+  // progress through this instead of printing. May be empty. Under an
+  // executor the callback fires from worker threads (serialized, counts
+  // monotonic) — folds_done is a completion count, not a fold index.
   std::function<void(size_t folds_done, size_t folds_total)> progress;
 };
 
 // Runs k-fold CV of `trainer` on `dataset`. Errors propagate from fold
-// construction or training.
+// construction or training; with concurrent folds the lowest-numbered
+// fold's error is reported, matching a serial run.
 util::Result<CrossValidationResult> CrossValidateBinary(
     const data::Dataset& dataset, const std::string& target_column,
     const BinaryTrainer& trainer, const CrossValidationOptions& options = {});

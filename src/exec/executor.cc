@@ -1,0 +1,188 @@
+#include "exec/executor.h"
+
+#include <chrono>
+#include <exception>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace roadmine::exec {
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Shared completion state for one RunBatch call. Tasks record the
+// lowest-index failure so the reported error matches a serial run.
+struct BatchState {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = 0;
+  size_t first_error_index = std::numeric_limits<size_t>::max();
+  util::Status first_error;
+
+  void Complete(size_t index, util::Status status) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!status.ok() && index < first_error_index) {
+      first_error_index = index;
+      first_error = std::move(status);
+    }
+    if (--remaining == 0) done_cv.notify_all();
+  }
+};
+
+util::Status RunGuarded(const IndexedTask& task, size_t index) {
+  try {
+    return task(index);
+  } catch (const std::exception& e) {
+    return util::InternalError(std::string("task ") + std::to_string(index) +
+                               " threw: " + e.what());
+  } catch (...) {
+    return util::InternalError("task " + std::to_string(index) +
+                               " threw a non-std exception");
+  }
+}
+
+}  // namespace
+
+util::Status SerialExecutor::RunBatch(size_t n, const IndexedTask& task) {
+  for (size_t i = 0; i < n; ++i) {
+    util::Status status = RunGuarded(task, i);
+    if (!status.ok()) return status;
+  }
+  return util::Status::Ok();
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  obs::MetricsRegistry::Global().GetGauge("exec.pool.threads").Set(
+      static_cast<double>(num_threads));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(QueueItem{std::move(fn), NowMicros()});
+  }
+  obs::MetricsRegistry::Global().GetCounter("exec.tasks_submitted")
+      .Increment();
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneQueued() {
+  QueueItem item;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    item = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  const uint64_t start_us = NowMicros();
+  if (item.enqueued_us != 0) {
+    metrics.GetHistogram("exec.task_wait_ms")
+        .Observe(static_cast<double>(start_us - item.enqueued_us) / 1000.0);
+  }
+  item.fn();
+  metrics.GetHistogram("exec.task_run_ms")
+      .Observe(static_cast<double>(NowMicros() - start_us) / 1000.0);
+  metrics.GetCounter("exec.tasks_completed").Increment();
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    drained = queue_.empty() && in_flight_ == 0;
+  }
+  if (drained) idle_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+    }
+    RunOneQueued();
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+util::Status ThreadPool::RunBatch(size_t n, const IndexedTask& task) {
+  if (n == 0) return util::Status::Ok();
+  auto state = std::make_shared<BatchState>();
+  state->remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    Submit([state, &task, i] { state->Complete(i, RunGuarded(task, i)); });
+  }
+  // Help drain the queue: nested RunBatch calls from inside tasks make
+  // progress even when every worker is blocked on a deeper batch, and a
+  // batch submitted to a busy pool never waits idle.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->remaining == 0) break;
+    }
+    if (!RunOneQueued()) {
+      // Queue empty but batch unfinished: tasks are running on workers.
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->done_cv.wait(lock, [&state] { return state->remaining == 0; });
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->first_error;  // OK when no task failed.
+}
+
+util::Status ParallelFor(Executor* executor, size_t n,
+                         const IndexedTask& task) {
+  if (executor == nullptr) {
+    SerialExecutor serial;
+    return serial.RunBatch(n, task);
+  }
+  return executor->RunBatch(n, task);
+}
+
+std::vector<std::pair<size_t, size_t>> PartitionBlocks(size_t n,
+                                                       size_t max_blocks) {
+  std::vector<std::pair<size_t, size_t>> blocks;
+  if (n == 0) return blocks;
+  if (max_blocks == 0) max_blocks = 1;
+  const size_t count = std::min(n, max_blocks);
+  blocks.reserve(count);
+  const size_t base = n / count;
+  const size_t extra = n % count;
+  size_t begin = 0;
+  for (size_t b = 0; b < count; ++b) {
+    const size_t size = base + (b < extra ? 1 : 0);
+    blocks.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return blocks;
+}
+
+}  // namespace roadmine::exec

@@ -1,0 +1,146 @@
+// Deterministic parallel execution for roadmine.
+//
+// The contract every user of this layer relies on: *results are
+// bit-identical between serial execution and any thread count*. The layer
+// guarantees its half of that contract — ParallelFor/ParallelMap index
+// spaces are fixed up front, results land in index-addressed slots, and
+// error selection is by lowest index, never by completion order. Callers
+// supply the other half by giving each task an independent RNG stream
+// (util::Rng::SplitSeed) instead of sharing one sequential stream.
+//
+// Exceptions escaping a task are caught at the pool boundary and surface
+// as util::InternalError (library code is exception-free per DESIGN.md;
+// this is the backstop for third-party code and std:: throws).
+//
+// Nesting is safe: a task may itself call ParallelFor on the same
+// executor. The submitting thread always participates in draining the
+// queue, so a fixed-size pool cannot deadlock on nested batches.
+#ifndef ROADMINE_EXEC_EXECUTOR_H_
+#define ROADMINE_EXEC_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::exec {
+
+// A task in an indexed batch: returns OK or the error that should fail the
+// whole batch. Must be safe to invoke concurrently for distinct indices.
+using IndexedTask = std::function<util::Status(size_t index)>;
+
+// Batch-execution interface. Implementations must run every index of a
+// batch exactly once and report the lowest-index error (matching what a
+// serial left-to-right run would return).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  // Worker threads available beyond the calling thread (0 = serial).
+  virtual size_t concurrency() const = 0;
+
+  // Runs task(i) for every i in [0, n); blocks until all complete or the
+  // batch fails. On failure returns the non-OK status with the smallest
+  // index.
+  virtual util::Status RunBatch(size_t n, const IndexedTask& task) = 0;
+};
+
+// Runs everything inline on the calling thread, in index order, stopping
+// at the first error. The reference semantics ThreadPool must reproduce.
+class SerialExecutor : public Executor {
+ public:
+  size_t concurrency() const override { return 0; }
+  util::Status RunBatch(size_t n, const IndexedTask& task) override;
+};
+
+// Fixed-size worker pool over a shared work queue.
+//
+// Observability (obs::metrics registry):
+//   exec.pool.threads        gauge    worker-thread count
+//   exec.tasks_submitted     counter  tasks enqueued
+//   exec.tasks_completed     counter  tasks finished (ok or not)
+//   exec.task_run_ms         histogram per-task execution latency
+//   exec.task_wait_ms        histogram submit-to-start queue delay
+class ThreadPool : public Executor {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1). The calling thread
+  // additionally helps drain batches it submits, so a ThreadPool(1)
+  // RunBatch uses up to two threads of compute.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t concurrency() const override { return workers_.size(); }
+  util::Status RunBatch(size_t n, const IndexedTask& task) override;
+
+  // Fire-and-forget work item (not part of any batch). Wait() drains it.
+  void Submit(std::function<void()> fn);
+
+  // Blocks until the queue is empty and every in-flight item finished.
+  void Wait();
+
+ private:
+  struct QueueItem {
+    std::function<void()> fn;
+    // Submit timestamp for the wait-latency histogram, in steady-clock
+    // microseconds; 0 disables the observation (metrics disabled).
+    uint64_t enqueued_us = 0;
+  };
+
+  void WorkerLoop();
+  // Pops and runs one queue item; returns false when the queue was empty.
+  bool RunOneQueued();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: work or shutdown.
+  std::condition_variable idle_cv_;   // Signals Wait(): pool drained.
+  std::deque<QueueItem> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Serial when `executor` is null, delegated otherwise. The "optional
+// executor pointer" convention every hot path in this codebase uses.
+util::Status ParallelFor(Executor* executor, size_t n, const IndexedTask& task);
+
+// Maps fn over [0, n) into a vector whose order matches the index space
+// regardless of scheduling. Fails with the lowest-index error.
+template <typename T>
+util::Result<std::vector<T>> ParallelMap(
+    Executor* executor, size_t n,
+    const std::function<util::Result<T>(size_t)>& fn) {
+  std::vector<std::optional<T>> slots(n);
+  util::Status status = ParallelFor(
+      executor, n, [&slots, &fn](size_t i) -> util::Status {
+        util::Result<T> result = fn(i);
+        if (!result.ok()) return result.status();
+        slots[i] = std::move(result).value();
+        return util::Status::Ok();
+      });
+  if (!status.ok()) return status;
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+// Splits [0, n) into at most `max_blocks` contiguous [begin, end) ranges of
+// near-equal size (empty when n == 0). The standard way to coarsen
+// per-element work (segment synthesis, row measurement) into task-sized
+// chunks whose boundaries do not depend on the thread count.
+std::vector<std::pair<size_t, size_t>> PartitionBlocks(size_t n,
+                                                       size_t max_blocks);
+
+}  // namespace roadmine::exec
+
+#endif  // ROADMINE_EXEC_EXECUTOR_H_

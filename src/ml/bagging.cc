@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "exec/executor.h"
 
 namespace roadmine::ml {
 
@@ -22,9 +25,7 @@ Status BaggedTreesClassifier::Fit(const data::Dataset& dataset,
   if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
   if (feature_columns.empty()) return InvalidArgumentError("no features");
 
-  util::Rng rng(params_.seed);
   trees_.clear();
-  trees_.reserve(params_.num_trees);
 
   const size_t sample_size = std::max<size_t>(
       1, static_cast<size_t>(std::llround(
@@ -34,30 +35,41 @@ Status BaggedTreesClassifier::Fit(const data::Dataset& dataset,
              params_.feature_fraction *
              static_cast<double>(feature_columns.size()))));
 
-  for (size_t t = 0; t < params_.num_trees; ++t) {
-    // Bootstrap rows (with replacement).
-    std::vector<size_t> sample;
-    sample.reserve(sample_size);
-    for (size_t i = 0; i < sample_size; ++i) {
-      sample.push_back(rows[static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1))]);
-    }
-    // Optional feature bagging.
-    std::vector<std::string> features = feature_columns;
-    if (features_per_tree < features.size()) {
-      rng.Shuffle(features);
-      features.resize(features_per_tree);
-    }
+  // Member t's bootstrap and feature subset come from child stream t of
+  // the ensemble seed, so they do not depend on which members trained
+  // before it — serial and parallel fits build the same forest.
+  std::vector<std::optional<DecisionTreeClassifier>> slots(params_.num_trees);
+  const Status status = exec::ParallelFor(
+      params_.executor, params_.num_trees, [&](size_t t) -> Status {
+        util::Rng rng(util::Rng::SplitSeed(params_.seed, t));
+        // Bootstrap rows (with replacement).
+        std::vector<size_t> sample;
+        sample.reserve(sample_size);
+        for (size_t i = 0; i < sample_size; ++i) {
+          sample.push_back(rows[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1))]);
+        }
+        // Optional feature bagging.
+        std::vector<std::string> features = feature_columns;
+        if (features_per_tree < features.size()) {
+          rng.Shuffle(features);
+          features.resize(features_per_tree);
+        }
 
-    DecisionTreeClassifier tree(params_.tree);
-    const Status status = tree.Fit(dataset, target_column, features, sample);
-    if (!status.ok()) {
-      // Degenerate bootstrap (e.g. single-class sample in a tiny minority
-      // setting) — skip the member rather than fail the ensemble, unless
-      // nothing trains at all.
-      continue;
-    }
-    trees_.push_back(std::move(tree));
+        DecisionTreeClassifier tree(params_.tree);
+        if (tree.Fit(dataset, target_column, features, sample).ok()) {
+          // A degenerate bootstrap (e.g. single-class sample in a tiny
+          // minority setting) skips the member rather than failing the
+          // ensemble, unless nothing trains at all.
+          slots[t] = std::move(tree);
+        }
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+
+  trees_.reserve(params_.num_trees);
+  for (std::optional<DecisionTreeClassifier>& slot : slots) {
+    if (slot.has_value()) trees_.push_back(std::move(*slot));
   }
   if (trees_.empty()) {
     return InvalidArgumentError("no bootstrap member could be trained");
@@ -81,9 +93,20 @@ int BaggedTreesClassifier::Predict(const data::Dataset& dataset, size_t row,
 
 std::vector<double> BaggedTreesClassifier::PredictProbaMany(
     const data::Dataset& dataset, const std::vector<size_t>& rows) const {
-  std::vector<double> probs;
-  probs.reserve(rows.size());
-  for (size_t r : rows) probs.push_back(PredictProba(dataset, r));
+  std::vector<double> probs(rows.size());
+  // Row blocks are independent reads of fitted trees; block boundaries are
+  // fixed by row count alone, so the output is thread-count-invariant.
+  const auto blocks = exec::PartitionBlocks(
+      rows.size(),
+      params_.executor == nullptr ? 1
+                                  : 4 * params_.executor->concurrency());
+  (void)exec::ParallelFor(
+      params_.executor, blocks.size(), [&](size_t b) -> Status {
+        for (size_t i = blocks[b].first; i < blocks[b].second; ++i) {
+          probs[i] = PredictProba(dataset, rows[i]);
+        }
+        return Status::Ok();
+      });
   return probs;
 }
 

@@ -17,6 +17,10 @@
 #include "util/rng.h"
 #include "util/status.h"
 
+namespace roadmine::exec {
+class Executor;
+}  // namespace roadmine::exec
+
 namespace roadmine::ml {
 
 struct BaggedTreesParams {
@@ -27,7 +31,14 @@ struct BaggedTreesParams {
   // Features considered per tree: a random subset of this fraction
   // (1.0 = all features for every tree; < 1.0 adds feature bagging).
   double feature_fraction = 1.0;
+  // Member t draws its bootstrap/features from child stream t of this
+  // seed (util::Rng::SplitSeed), so the ensemble is identical at any
+  // thread count.
   uint64_t seed = 61;
+  // Optional parallelism for Fit (members) and PredictProbaMany (row
+  // blocks); not owned, may be null (serial). Results are bit-identical
+  // either way.
+  exec::Executor* executor = nullptr;
 };
 
 class BaggedTreesClassifier {

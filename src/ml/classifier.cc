@@ -1,20 +1,16 @@
 #include "ml/classifier.h"
 
-#include "ml/bagging.h"
-#include "ml/decision_tree.h"
-#include "ml/logistic_regression.h"
-#include "ml/naive_bayes.h"
-#include "ml/neural_net.h"
-
 namespace roadmine::ml {
 namespace {
 
 // One adapter template covers every concrete model: they all share the
-// Fit/PredictProba value-type signature.
+// Fit/PredictProba value-type signature. Models exposing PredictProbaMany
+// back the batch entry point with it; the rest inherit the serial loop.
 template <typename Model>
 class Adapter : public BinaryClassifier {
  public:
-  explicit Adapter(const char* name) : name_(name) {}
+  explicit Adapter(const char* name, Model model = {})
+      : model_(std::move(model)), name_(name) {}
 
   util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
@@ -28,6 +24,17 @@ class Adapter : public BinaryClassifier {
     return model_.PredictProba(dataset, row);
   }
 
+  util::Status PredictProbaBatch(const data::Dataset& dataset,
+                                 const std::vector<size_t>& rows,
+                                 std::vector<double>* out) const override {
+    if constexpr (requires { model_.PredictProbaMany(dataset, rows); }) {
+      *out = model_.PredictProbaMany(dataset, rows);
+      return util::Status::Ok();
+    } else {
+      return BinaryClassifier::PredictProbaBatch(dataset, rows, out);
+    }
+  }
+
   const char* name() const override { return name_; }
 
  private:
@@ -37,6 +44,15 @@ class Adapter : public BinaryClassifier {
 
 }  // namespace
 
+util::Status BinaryClassifier::PredictProbaBatch(
+    const data::Dataset& dataset, const std::vector<size_t>& rows,
+    std::vector<double>* out) const {
+  out->clear();
+  out->reserve(rows.size());
+  for (size_t row : rows) out->push_back(PredictProba(dataset, row));
+  return util::Status::Ok();
+}
+
 const std::vector<std::string>& KnownClassifierNames() {
   static const std::vector<std::string>& names = *new std::vector<std::string>{
       "decision_tree", "naive_bayes", "logistic_regression", "neural_net",
@@ -44,29 +60,44 @@ const std::vector<std::string>& KnownClassifierNames() {
   return names;
 }
 
+ClassifierSpec Spec(std::string name) {
+  ClassifierSpec spec;
+  spec.name = std::move(name);
+  return spec;
+}
+
+util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
+    const ClassifierSpec& spec) {
+  if (spec.name == "decision_tree") {
+    return std::unique_ptr<BinaryClassifier>(new Adapter<DecisionTreeClassifier>(
+        "decision_tree", DecisionTreeClassifier(spec.decision_tree)));
+  }
+  if (spec.name == "naive_bayes") {
+    return std::unique_ptr<BinaryClassifier>(new Adapter<NaiveBayesClassifier>(
+        "naive_bayes", NaiveBayesClassifier(spec.naive_bayes)));
+  }
+  if (spec.name == "logistic_regression") {
+    return std::unique_ptr<BinaryClassifier>(new Adapter<LogisticRegression>(
+        "logistic_regression", LogisticRegression(spec.logistic_regression)));
+  }
+  if (spec.name == "neural_net") {
+    NeuralNetParams params = spec.neural_net;
+    if (spec.seed != 0) params.seed = spec.seed;
+    return std::unique_ptr<BinaryClassifier>(new Adapter<NeuralNetClassifier>(
+        "neural_net", NeuralNetClassifier(std::move(params))));
+  }
+  if (spec.name == "bagged_trees") {
+    BaggedTreesParams params = spec.bagged_trees;
+    if (spec.seed != 0) params.seed = spec.seed;
+    return std::unique_ptr<BinaryClassifier>(new Adapter<BaggedTreesClassifier>(
+        "bagged_trees", BaggedTreesClassifier(params)));
+  }
+  return util::NotFoundError("unknown classifier '" + spec.name + "'");
+}
+
 util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
     const std::string& name) {
-  if (name == "decision_tree") {
-    return std::unique_ptr<BinaryClassifier>(
-        new Adapter<DecisionTreeClassifier>("decision_tree"));
-  }
-  if (name == "naive_bayes") {
-    return std::unique_ptr<BinaryClassifier>(
-        new Adapter<NaiveBayesClassifier>("naive_bayes"));
-  }
-  if (name == "logistic_regression") {
-    return std::unique_ptr<BinaryClassifier>(
-        new Adapter<LogisticRegression>("logistic_regression"));
-  }
-  if (name == "neural_net") {
-    return std::unique_ptr<BinaryClassifier>(
-        new Adapter<NeuralNetClassifier>("neural_net"));
-  }
-  if (name == "bagged_trees") {
-    return std::unique_ptr<BinaryClassifier>(
-        new Adapter<BaggedTreesClassifier>("bagged_trees"));
-  }
-  return util::NotFoundError("unknown classifier '" + name + "'");
+  return MakeBinaryClassifier(Spec(name));
 }
 
 }  // namespace roadmine::ml

@@ -4,6 +4,11 @@
 // the hot loops); this facade exists for config-driven call sites — "run
 // whatever model the experiment file names" — in benches, examples, and
 // downstream deployments.
+//
+// Scoring has one batch entry point, PredictProbaBatch: eval/ harnesses
+// and benches score held-out rows through it, so a model that can amortize
+// per-call overhead (encoder lookups, ensemble traversal) or shard the
+// batch across an executor overrides one method and every caller benefits.
 #ifndef ROADMINE_ML_CLASSIFIER_H_
 #define ROADMINE_ML_CLASSIFIER_H_
 
@@ -12,6 +17,11 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "ml/bagging.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/neural_net.h"
 #include "util/status.h"
 
 namespace roadmine::ml {
@@ -29,6 +39,14 @@ class BinaryClassifier {
   virtual double PredictProba(const data::Dataset& dataset,
                               size_t row) const = 0;
 
+  // P(positive) for many rows in one call — the unified batch scoring
+  // entry point. `out` is overwritten with one probability per entry of
+  // `rows`, in order. The default is a serial loop over PredictProba;
+  // models with cheaper batched paths override it.
+  virtual util::Status PredictProbaBatch(const data::Dataset& dataset,
+                                         const std::vector<size_t>& rows,
+                                         std::vector<double>* out) const;
+
   int Predict(const data::Dataset& dataset, size_t row,
               double cutoff = 0.5) const {
     return PredictProba(dataset, row) >= cutoff ? 1 : 0;
@@ -43,8 +61,34 @@ class BinaryClassifier {
 //   "bagged_trees".
 const std::vector<std::string>& KnownClassifierNames();
 
-// Builds a classifier with default parameters by name; errors on an
-// unknown name.
+// A declarative model recipe: the factory name plus per-model parameters
+// and an optional seed override. Experiment drivers (study sweeps, bench
+// tables, the model zoo) build models from specs instead of hand-wiring
+// concrete types, so swapping or re-tuning a model is a data edit.
+struct ClassifierSpec {
+  std::string name;
+
+  // Per-model parameter bundles; only the one matching `name` is used
+  // ("bagged_trees" also reads `bagged_trees.tree`).
+  DecisionTreeParams decision_tree;
+  NaiveBayesParams naive_bayes;
+  LogisticRegressionParams logistic_regression;
+  NeuralNetParams neural_net;
+  BaggedTreesParams bagged_trees;
+
+  // When nonzero, overrides the seed of the stochastic models
+  // (neural_net, bagged_trees); zero keeps the bundle's own seed.
+  uint64_t seed = 0;
+};
+
+// Convenience literal: a spec with `name` and all-default parameters.
+ClassifierSpec Spec(std::string name);
+
+// Builds a classifier from a spec; errors on an unknown name.
+util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
+    const ClassifierSpec& spec);
+
+// Thin wrapper over the spec overload: default parameters by name.
 util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
     const std::string& name);
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "exec/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -192,25 +193,58 @@ Result<data::Dataset> BuildSegmentDataset(
   return acc.Build(/*with_crash_context=*/false);
 }
 
+namespace {
+
+// Measures one segment per dataset row, in parallel over row blocks. Row
+// i uses child stream i of the noise seed, so the measured attributes are
+// a function of (row index, noise seed) alone — never of thread count.
+std::vector<RoadSegment> MeasureRows(
+    const std::vector<const RoadSegment*>& row_segments,
+    const MeasurementNoise& noise, exec::Executor* executor) {
+  std::vector<RoadSegment> measured(row_segments.size());
+  const auto blocks = exec::PartitionBlocks(
+      row_segments.size(),
+      executor == nullptr ? 1 : 8 * executor->concurrency());
+  (void)exec::ParallelFor(
+      executor, blocks.size(), [&](size_t b) -> util::Status {
+        for (size_t i = blocks[b].first; i < blocks[b].second; ++i) {
+          util::Rng rng(util::Rng::SplitSeed(noise.seed, i));
+          measured[i] = MeasureSegment(*row_segments[i], noise, rng);
+        }
+        return util::Status::Ok();
+      });
+  return measured;
+}
+
+}  // namespace
+
 Result<data::Dataset> BuildCrashOnlyDataset(
     const std::vector<RoadSegment>& segments,
-    const std::vector<CrashRecord>& records, const MeasurementNoise& noise) {
+    const std::vector<CrashRecord>& records, const MeasurementNoise& noise,
+    exec::Executor* executor) {
   ROADMINE_TRACE_SPAN("roadgen.build_crash_only_dataset");
   if (segments.empty()) return InvalidArgumentError("no segments");
   std::unordered_map<int64_t, const RoadSegment*> by_id;
   by_id.reserve(segments.size());
   for (const RoadSegment& s : segments) by_id[s.id] = &s;
 
-  util::Rng rng(noise.seed);
-  RowAccumulator acc;
+  std::vector<const RoadSegment*> row_segments;
+  row_segments.reserve(records.size());
   for (const CrashRecord& record : records) {
     auto it = by_id.find(record.segment_id);
     if (it == by_id.end()) {
       return InvalidArgumentError("crash record references unknown segment " +
                                   std::to_string(record.segment_id));
     }
-    acc.AddSegmentAttributes(MeasureSegment(*it->second, noise, rng));
-    acc.AddCrashContext(&record);
+    row_segments.push_back(it->second);
+  }
+  const std::vector<RoadSegment> measured =
+      MeasureRows(row_segments, noise, executor);
+
+  RowAccumulator acc;
+  for (size_t i = 0; i < records.size(); ++i) {
+    acc.AddSegmentAttributes(measured[i]);
+    acc.AddCrashContext(&records[i]);
   }
   auto ds = acc.Build(/*with_crash_context=*/true);
   if (ds.ok()) {
@@ -224,32 +258,39 @@ Result<data::Dataset> BuildCrashOnlyDataset(
 
 Result<data::Dataset> BuildCrashNoCrashDataset(
     const std::vector<RoadSegment>& segments,
-    const std::vector<CrashRecord>& records, const MeasurementNoise& noise) {
+    const std::vector<CrashRecord>& records, const MeasurementNoise& noise,
+    exec::Executor* executor) {
   ROADMINE_TRACE_SPAN("roadgen.build_crash_no_crash_dataset");
   if (segments.empty()) return InvalidArgumentError("no segments");
   std::unordered_map<int64_t, const RoadSegment*> by_id;
   by_id.reserve(segments.size());
   for (const RoadSegment& s : segments) by_id[s.id] = &s;
 
-  util::Rng rng(noise.seed);
-  RowAccumulator acc;
-  // Crash instances first (same layout as the crash-only dataset)...
+  // Crash instances first (same layout as the crash-only dataset), then the
+  // zero-altered counting set: one imaginary non-crash instance per
+  // zero-crash segment, carrying that road's characteristics as measured by
+  // the same survey process.
+  std::vector<const RoadSegment*> row_segments;
+  row_segments.reserve(records.size());
   for (const CrashRecord& record : records) {
     auto it = by_id.find(record.segment_id);
     if (it == by_id.end()) {
       return InvalidArgumentError("crash record references unknown segment " +
                                   std::to_string(record.segment_id));
     }
-    acc.AddSegmentAttributes(MeasureSegment(*it->second, noise, rng));
-    acc.AddCrashContext(&record);
+    row_segments.push_back(it->second);
   }
-  // ...then the zero-altered counting set: one imaginary non-crash instance
-  // per zero-crash segment, carrying that road's characteristics as
-  // measured by the same survey process.
   for (const RoadSegment& s : segments) {
     if (s.total_crashes() != 0) continue;
-    acc.AddSegmentAttributes(MeasureSegment(s, noise, rng));
-    acc.AddCrashContext(nullptr);
+    row_segments.push_back(&s);
+  }
+  const std::vector<RoadSegment> measured =
+      MeasureRows(row_segments, noise, executor);
+
+  RowAccumulator acc;
+  for (size_t i = 0; i < measured.size(); ++i) {
+    acc.AddSegmentAttributes(measured[i]);
+    acc.AddCrashContext(i < records.size() ? &records[i] : nullptr);
   }
   auto ds = acc.Build(/*with_crash_context=*/true);
   if (ds.ok()) {

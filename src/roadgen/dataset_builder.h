@@ -21,6 +21,10 @@
 #include "roadgen/segment.h"
 #include "util/status.h"
 
+namespace roadmine::exec {
+class Executor;
+}  // namespace roadmine::exec
+
 namespace roadmine::roadgen {
 
 // Bookkeeping / outcome columns (excluded from model features).
@@ -52,6 +56,9 @@ struct MeasurementNoise {
   // Noise magnitude as a fraction of each attribute's nominal survey
   // error; 0 disables the stochastic part.
   double level = 0.75;
+  // Dataset row i measures its segment with child stream i of this seed
+  // (util::Rng::SplitSeed), so row measurement parallelizes with
+  // bit-identical output.
   uint64_t seed = 1337;
 };
 
@@ -68,17 +75,19 @@ util::Result<data::Dataset> BuildSegmentDataset(
 
 // Phase-2 dataset: one row per crash. `records` must come from
 // RoadNetworkGenerator::SimulateCrashRecords over the same segments.
+// `executor` (optional, not owned) parallelizes the per-row measurement
+// pass over row blocks; output is bit-identical to a serial build.
 util::Result<data::Dataset> BuildCrashOnlyDataset(
     const std::vector<RoadSegment>& segments,
     const std::vector<CrashRecord>& records,
-    const MeasurementNoise& noise = {});
+    const MeasurementNoise& noise = {}, exec::Executor* executor = nullptr);
 
 // Phase-1 dataset: crash rows + zero-altered non-crash rows. Non-crash
 // rows have missing crash context (year/wet/severity) and crash count 0.
 util::Result<data::Dataset> BuildCrashNoCrashDataset(
     const std::vector<RoadSegment>& segments,
     const std::vector<CrashRecord>& records,
-    const MeasurementNoise& noise = {});
+    const MeasurementNoise& noise = {}, exec::Executor* executor = nullptr);
 
 }  // namespace roadmine::roadgen
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "roadgen/crash_model.h"
@@ -145,9 +146,12 @@ Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
   }
   if (cfg.num_years <= 0) return InvalidArgumentError("num_years <= 0");
 
-  util::Rng rng(cfg.seed);
   std::vector<RoadSegment> segments(cfg.num_segments);
-  for (size_t i = 0; i < cfg.num_segments; ++i) {
+  // Segment i draws everything from child stream i of the seed, so its
+  // synthesis is independent of every other segment — the property that
+  // lets blocks run on any thread count with bit-identical output.
+  auto synthesize = [&cfg, &segments](size_t i) {
+    util::Rng rng(util::Rng::SplitSeed(cfg.seed, i));
     RoadSegment& s = segments[i];
     s.id = static_cast<int64_t>(i) + 1;
     // Tier draw: black spot, crash-prone, or ordinary.
@@ -176,7 +180,17 @@ Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
       s.yearly_crashes[static_cast<size_t>(y)] =
           rng.Poisson(realized / static_cast<double>(cfg.num_years));
     }
-  }
+  };
+  const auto blocks = exec::PartitionBlocks(
+      cfg.num_segments,
+      cfg.executor == nullptr ? 1 : 8 * cfg.executor->concurrency());
+  ROADMINE_RETURN_IF_ERROR(exec::ParallelFor(
+      cfg.executor, blocks.size(), [&](size_t b) -> util::Status {
+        for (size_t i = blocks[b].first; i < blocks[b].second; ++i) {
+          synthesize(i);
+        }
+        return util::Status::Ok();
+      }));
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetCounter("roadgen.networks_generated").Increment();
   metrics.GetCounter("roadgen.segments_generated")
@@ -187,11 +201,14 @@ Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
 std::vector<CrashRecord> RoadNetworkGenerator::SimulateCrashRecords(
     const std::vector<RoadSegment>& segments) const {
   ROADMINE_TRACE_SPAN("roadgen.simulate_crash_records");
-  // Crash-level context must be reproducible independently of Generate's
-  // stream position, so fork a record-specific substream from the seed.
-  util::Rng rng(config_.seed ^ 0xc2a5f00dULL);
-  std::vector<CrashRecord> records;
-  for (const RoadSegment& s : segments) {
+  // Crash-level context draws from a per-segment child stream of a
+  // records-specific seed: independent of Generate's streams, of other
+  // segments, and of scheduling order.
+  const uint64_t records_seed = config_.seed ^ 0xc2a5f00dULL;
+  auto segment_records = [&](size_t index,
+                             std::vector<CrashRecord>& out) {
+    const RoadSegment& s = segments[index];
+    util::Rng rng(util::Rng::SplitSeed(records_seed, index));
     const double wet_p = WetCrashProbability(s);
     for (size_t y = 0; y < s.yearly_crashes.size(); ++y) {
       for (int c = 0; c < s.yearly_crashes[y]; ++c) {
@@ -205,9 +222,30 @@ std::vector<CrashRecord> RoadNetworkGenerator::SimulateCrashRecords(
             rng, {std::max(0.55 - speed_shift, 0.05), 0.30,
                   std::max(0.12 + speed_shift * 0.7, 0.01),
                   std::max(0.03 + speed_shift * 0.3, 0.002)});
-        records.push_back(record);
+        out.push_back(record);
       }
     }
+  };
+
+  const auto blocks = exec::PartitionBlocks(
+      segments.size(),
+      config_.executor == nullptr ? 1 : 8 * config_.executor->concurrency());
+  std::vector<std::vector<CrashRecord>> block_records(blocks.size());
+  (void)exec::ParallelFor(
+      config_.executor, blocks.size(), [&](size_t b) -> util::Status {
+        for (size_t i = blocks[b].first; i < blocks[b].second; ++i) {
+          segment_records(i, block_records[b]);
+        }
+        return util::Status::Ok();
+      });
+
+  // Concatenate in block order: the exact sequence a serial pass emits.
+  std::vector<CrashRecord> records;
+  size_t total = 0;
+  for (const auto& block : block_records) total += block.size();
+  records.reserve(total);
+  for (auto& block : block_records) {
+    records.insert(records.end(), block.begin(), block.end());
   }
   obs::MetricsRegistry::Global()
       .GetCounter("roadgen.crash_records_simulated")

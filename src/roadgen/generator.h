@@ -15,6 +15,10 @@
 #include "util/rng.h"
 #include "util/status.h"
 
+namespace roadmine::exec {
+class Executor;
+}  // namespace roadmine::exec
+
 namespace roadmine::roadgen {
 
 struct GeneratorConfig {
@@ -49,7 +53,15 @@ struct GeneratorConfig {
   int first_year = 2004;
   int num_years = 4;
 
+  // Segment i is synthesized from child stream i of this seed
+  // (util::Rng::SplitSeed), so the network is identical at any thread
+  // count and any segment can be regenerated in isolation.
   uint64_t seed = 42;
+
+  // Optional parallelism for Generate/SimulateCrashRecords: segment
+  // blocks run concurrently when set (not owned, may be null = serial).
+  // Output is bit-identical either way.
+  exec::Executor* executor = nullptr;
 };
 
 class RoadNetworkGenerator {

@@ -79,7 +79,16 @@ double BetaContinuedFraction(double a, double b, double x) {
 
 }  // namespace
 
-double LogGamma(double x) { return std::lgamma(x); }
+double LogGamma(double x) {
+#if defined(__unix__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam` — a data race when
+  // tree fits run on an exec::ThreadPool. lgamma_r is the reentrant form.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double LogBeta(double a, double b) {
   return LogGamma(a) + LogGamma(b) - LogGamma(a + b);

@@ -133,4 +133,20 @@ int Rng::NegativeBinomial(double mean, double dispersion) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+uint64_t Rng::SplitSeed(uint64_t seed, uint64_t stream) {
+  // Two rounds of the SplitMix64 finalizer over (seed, stream). One round
+  // already decorrelates adjacent streams; the second guards against the
+  // structured seeds real callers use (small integers, seed ^ threshold).
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  for (int round = 0; round < 2; ++round) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    z += 0x632be59bd9b4e019ULL;
+  }
+  return z;
+}
+
+Rng Rng::Child(uint64_t stream) const { return Rng(SplitSeed(state_, stream)); }
+
 }  // namespace roadmine::util

@@ -58,7 +58,21 @@ class Rng {
   int NegativeBinomial(double mean, double dispersion);
 
   // A fresh generator seeded from this one (for independent substreams).
+  // Advances this generator's state; use Child()/SplitSeed() when the
+  // substream must not depend on how many draws preceded it.
   Rng Fork();
+
+  // Order-independent seed-splitting: derives the seed of child stream
+  // `stream` from `seed` via a double SplitMix64 finalizer, so task i's
+  // stream depends only on (seed, i) — never on scheduling order or on how
+  // many draws other tasks made. This is what makes parallel loops
+  // bit-identical to serial ones (see DESIGN.md, roadmine::exec).
+  static uint64_t SplitSeed(uint64_t seed, uint64_t stream);
+
+  // A generator for child stream `stream` of this generator's *current*
+  // state. Does not advance this generator; Child(i) called in any order
+  // (or concurrently from a snapshot) yields identical streams.
+  Rng Child(uint64_t stream) const;
 
   // Fisher-Yates shuffle.
   template <typename T>

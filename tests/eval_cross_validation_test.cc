@@ -24,11 +24,11 @@ data::Dataset SeparableDataset(size_t n, uint64_t seed) {
 
 BinaryTrainer NaiveBayesTrainer() {
   return [](const data::Dataset& ds, const std::vector<size_t>& train)
-             -> util::Result<RowScorer> {
+             -> util::Result<FoldScorer> {
     auto model = std::make_shared<ml::NaiveBayesClassifier>();
     ROADMINE_RETURN_IF_ERROR(model->Fit(ds, "y", {"x"}, train));
-    return RowScorer(
-        [model, &ds](size_t row) { return model->PredictProba(ds, row); });
+    return FoldScorer(RowScorer(
+        [model, &ds](size_t row) { return model->PredictProba(ds, row); }));
   };
 }
 
@@ -73,7 +73,7 @@ TEST(CrossValidationTest, TrainerErrorPropagates) {
   data::Dataset ds = SeparableDataset(100, 9);
   BinaryTrainer failing = [](const data::Dataset&,
                              const std::vector<size_t>&)
-      -> util::Result<RowScorer> {
+      -> util::Result<FoldScorer> {
     return util::InternalError("training exploded");
   };
   auto cv = CrossValidateBinary(ds, "y", failing);
