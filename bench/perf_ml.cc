@@ -14,8 +14,11 @@
 // second; the bench_smoke CTest target runs exactly that.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,7 @@
 #include "ml/classifier.h"
 #include "ml/common.h"
 #include "ml/decision_tree.h"
+#include "ml/feature_index.h"
 #include "ml/kmeans.h"
 #include "ml/naive_bayes.h"
 #include "ml/regression_tree.h"
@@ -251,6 +255,80 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
   {
     obs::BenchReport::ScopedStage stage(ctx.report(), "decision_tree_predict");
     scores = tree.PredictProbaMany(ds, all_rows);
+  }
+
+  // --- FeatureIndex A/B: the same tree trained over the legacy
+  // per-node-sort path and over the pre-sorted index, both
+  // single-threaded. A deep tree (many nodes) is the regime the index
+  // targets — every node the legacy path visits re-sorts each numeric
+  // attribute. The indexed side uses the deployed configuration: one
+  // index built per dataset (its cost recorded separately as
+  // tree_index_build) and shared across fits, as bagging and CV do.
+  // Best-of-reps de-noises the ratio; the serialized models must match
+  // exactly (the index's bit-identity contract), so a speedup that costs
+  // correctness fails the smoke test loudly.
+  {
+    ml::DecisionTreeParams ab_params{.min_samples_split = 10,
+                                     .min_samples_leaf = 5,
+                                     .max_leaves = 256};
+    const int reps = smoke ? 1 : 3;
+
+    auto shared_index = ml::FeatureIndex::Build(ds, features);
+    if (!shared_index.ok()) {
+      obs::LogError(kFailTag, {{"stage", "tree_train_ab"},
+                               {"error", shared_index.status().ToString()}});
+      return false;
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      auto rebuilt = ml::FeatureIndex::Build(ds, features);
+      ctx.report().RecordTimingMs(
+          "tree_index_build",
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      if (!rebuilt.ok()) return false;
+    }
+
+    auto best_fit = [&](bool use_index, std::string* model, double* best_ms) {
+      ml::DecisionTreeParams params = ab_params;
+      params.use_feature_index = use_index;
+      params.feature_index = use_index ? &*shared_index : nullptr;
+      *best_ms = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < reps; ++i) {
+        ml::DecisionTreeClassifier t(params);
+        const auto start = std::chrono::steady_clock::now();
+        auto status = t.Fit(ds, "crash_prone_gt8", features, all_rows);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (!status.ok()) {
+          obs::LogError(kFailTag, {{"stage", "tree_train_ab"},
+                                   {"error", status.ToString()}});
+          return false;
+        }
+        *best_ms = std::min(*best_ms, ms);
+        *model = t.Serialize();
+      }
+      return true;
+    };
+    std::string legacy_model, indexed_model;
+    double legacy_ms = 0.0, indexed_ms = 0.0;
+    if (!best_fit(/*use_index=*/false, &legacy_model, &legacy_ms)) {
+      return false;
+    }
+    if (!best_fit(/*use_index=*/true, &indexed_model, &indexed_ms)) {
+      return false;
+    }
+    if (indexed_model != legacy_model) {
+      obs::LogError(kFailTag,
+                    {{"stage", "tree_train_ab"},
+                     {"error", "indexed tree diverged from legacy tree"}});
+      return false;
+    }
+    ctx.report().RecordTimingMs("tree_fit_legacy", legacy_ms);
+    ctx.report().RecordTimingMs("tree_fit_indexed", indexed_ms);
+    ctx.report().RecordMetric("tree_train_speedup", legacy_ms / indexed_ms);
   }
 
   {

@@ -32,20 +32,21 @@ Result<Dataset> DatasetFromCsvText(const std::string& text, char delimiter) {
 
   Dataset dataset;
   for (size_t c = 0; c < num_cols; ++c) {
-    // Infer: numeric iff every non-empty cell parses as a double.
+    // Infer: numeric iff every non-empty cell parses as a double. An
+    // all-empty column stays numeric (all-NaN): "no values" carries no
+    // evidence the column is text, and a categorical column of empty
+    // strings would misread missing data as a real level.
     bool numeric = true;
-    bool any_value = false;
     for (size_t r = 1; r <= num_rows; ++r) {
       const std::string& cell = (*rows)[r][c];
       if (util::Trim(cell).empty()) continue;
-      any_value = true;
       double unused;
       if (!util::ParseDouble(cell, &unused)) {
         numeric = false;
         break;
       }
     }
-    if (numeric && any_value) {
+    if (numeric) {
       std::vector<double> values;
       values.reserve(num_rows);
       for (size_t r = 1; r <= num_rows; ++r) {

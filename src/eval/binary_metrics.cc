@@ -109,6 +109,7 @@ BinaryAssessment Assess(const ConfusionMatrix& cm) {
 
 const char* KappaAgreementBand(double kappa) {
   if (std::isnan(kappa)) return "undefined";
+  if (kappa < 0.0) return "poor";  // Worse than chance (Landis & Koch).
   if (kappa <= 0.20) return "slight";
   if (kappa <= 0.40) return "fair";
   if (kappa <= 0.60) return "moderate";

@@ -50,9 +50,10 @@ double MinimumClassPredictiveValue(const ConfusionMatrix& cm);
 double CohenKappa(const ConfusionMatrix& cm);
 double F1Score(const ConfusionMatrix& cm);
 
-// Armitage & Berry's qualitative bands for Kappa, as cited by the paper:
-// <=0.20 slight, 0.21-0.40 fair, 0.41-0.60 moderate, 0.61-0.80 substantial,
-// >0.80 almost perfect.
+// Landis & Koch qualitative bands for Kappa (the convention the paper's
+// Armitage & Berry citation follows): <0 poor (worse than chance),
+// 0-0.20 slight, 0.21-0.40 fair, 0.41-0.60 moderate, 0.61-0.80
+// substantial, >0.80 almost perfect; NaN -> "undefined".
 const char* KappaAgreementBand(double kappa);
 
 }  // namespace roadmine::eval

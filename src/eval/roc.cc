@@ -1,6 +1,7 @@
 #include "eval/roc.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 namespace roadmine::eval {

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "exec/executor.h"
+#include "ml/feature_index.h"
 
 namespace roadmine::ml {
 
@@ -35,6 +36,20 @@ Status BaggedTreesClassifier::Fit(const data::Dataset& dataset,
              params_.feature_fraction *
              static_cast<double>(feature_columns.size()))));
 
+  // One pre-sorted index serves every member: it depends only on the
+  // dataset's feature columns, not on any bootstrap, and members only read
+  // it. Feature-bagged members use a subset of the indexed columns, which
+  // the index covers by construction.
+  DecisionTreeParams tree_params = params_.tree;
+  std::optional<FeatureIndex> ensemble_index;
+  if (tree_params.use_feature_index && tree_params.feature_index == nullptr) {
+    auto built =
+        FeatureIndex::Build(dataset, feature_columns, params_.executor);
+    if (!built.ok()) return built.status();
+    ensemble_index.emplace(std::move(*built));
+    tree_params.feature_index = &*ensemble_index;
+  }
+
   // Member t's bootstrap and feature subset come from child stream t of
   // the ensemble seed, so they do not depend on which members trained
   // before it — serial and parallel fits build the same forest.
@@ -56,7 +71,7 @@ Status BaggedTreesClassifier::Fit(const data::Dataset& dataset,
           features.resize(features_per_tree);
         }
 
-        DecisionTreeClassifier tree(params_.tree);
+        DecisionTreeClassifier tree(tree_params);
         if (tree.Fit(dataset, target_column, features, sample).ok()) {
           // A degenerate bootstrap (e.g. single-class sample in a tiny
           // minority setting) skips the member rather than failing the

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <queue>
 
+#include "exec/executor.h"
+#include "ml/feature_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/distributions.h"
@@ -132,147 +135,195 @@ struct FitContext {
   const std::vector<int8_t>* labels = nullptr;  // By dataset row id.
   const std::vector<FeatureRef>* features = nullptr;
   const DecisionTreeParams* params = nullptr;
+  // Pre-sorted view of the numeric features (null = legacy per-node sort).
+  IndexedSplitWorkspace* workspace = nullptr;
 };
 
-// Finds the best split of `rows` (indices into the dataset). Returns an
-// invalid spec when no admissible split exists.
-SplitSpec FindBestSplit(const FitContext& ctx, const std::vector<size_t>& rows) {
+// Decides how the split routes missing rows: toward the child whose class
+// mix is nearest the missing rows' mix (majority side when nothing is
+// missing).
+bool MissingGoesLeft(const SplitCounts& c, double missing_pos,
+                     double missing_neg) {
+  const double miss_total = missing_pos + missing_neg;
+  if (miss_total > 0.0) {
+    const double miss_rate = missing_pos / miss_total;
+    const double left_rate = c.left_pos / std::max(c.left_total(), 1.0);
+    const double right_rate = c.right_pos / std::max(c.right_total(), 1.0);
+    return std::fabs(miss_rate - left_rate) <=
+           std::fabs(miss_rate - right_rate);
+  }
+  return c.left_total() >= c.right_total();
+}
+
+// Scans one numeric feature's candidate thresholds over its present rows
+// in ascending value order. Shared by the legacy (gather + sort) and
+// indexed (pre-sorted segment) paths so the candidate enumeration and
+// scoring cannot diverge between them. The class counts are integer-valued
+// doubles, so the accumulation is exact and the result does not depend on
+// the order of equal values.
+template <typename ValueAt, typename LabelAt>
+SplitSpec ScanNumericFeature(const DecisionTreeParams& params, size_t f,
+                             size_t count, const ValueAt& value_at,
+                             const LabelAt& label_at, double missing_pos,
+                             double missing_neg) {
+  SplitSpec best;
+  if (count < 2 * params.min_samples_leaf) return best;
+
+  double total_pos = 0.0;
+  for (size_t i = 0; i < count; ++i) total_pos += label_at(i);
+  const double total = static_cast<double>(count);
+
+  double left_pos = 0.0;
+  for (size_t i = 0; i + 1 < count; ++i) {
+    left_pos += label_at(i);
+    if (value_at(i) == value_at(i + 1)) continue;
+    const double left_n = static_cast<double>(i + 1);
+    if (left_n < params.min_samples_leaf ||
+        total - left_n < params.min_samples_leaf) {
+      continue;
+    }
+    SplitCounts c;
+    c.left_pos = left_pos;
+    c.left_neg = left_n - left_pos;
+    c.right_pos = total_pos - left_pos;
+    c.right_neg = (total - left_n) - c.right_pos;
+    const double score = SplitScore(params.criterion, c);
+    if (score > best.score) {
+      best.valid = true;
+      best.score = score;
+      best.feature = f;
+      best.threshold = 0.5 * (value_at(i) + value_at(i + 1));
+      best.counts = c;
+      best.missing_goes_left = MissingGoesLeft(c, missing_pos, missing_neg);
+    }
+  }
+  return best;
+}
+
+// Best split of feature `f` over the node's rows; invalid when none is
+// admissible. The indexed path reads the node's pre-sorted segment instead
+// of gathering and sorting, and skips globally-constant columns outright
+// (they can never produce a candidate at any node).
+SplitSpec EvaluateFeature(const FitContext& ctx, const std::vector<size_t>& rows,
+                          int node_id, size_t f) {
   const auto& labels = *ctx.labels;
   const auto& params = *ctx.params;
-  SplitSpec best;
+  const FeatureRef& ref = (*ctx.features)[f];
+  const data::Column& col = ctx.dataset->column(ref.column_index);
+  if (ctx.workspace != nullptr && ctx.workspace->IsConstant(f)) return {};
 
-  for (size_t f = 0; f < ctx.features->size(); ++f) {
-    const FeatureRef& ref = (*ctx.features)[f];
-    const data::Column& col = ctx.dataset->column(ref.column_index);
+  double missing_pos = 0.0, missing_neg = 0.0;
 
-    // Partition node rows into present/missing; count missing label mix for
-    // the routing decision later.
-    double missing_pos = 0.0, missing_neg = 0.0;
-
-    if (ref.type == data::ColumnType::kNumeric) {
-      // Gather (value, label) for present rows.
-      std::vector<std::pair<double, int8_t>> present;
-      present.reserve(rows.size());
-      for (size_t r : rows) {
-        const double v = col.NumericAt(r);
-        if (std::isnan(v)) {
-          (labels[r] ? missing_pos : missing_neg) += 1.0;
-        } else {
-          present.emplace_back(v, labels[r]);
-        }
+  if (ref.type == data::ColumnType::kNumeric) {
+    if (ctx.workspace != nullptr) {
+      const IndexedSplitWorkspace::NumericView view =
+          ctx.workspace->NodeNumeric(node_id, f);
+      for (size_t i = 0; i < view.missing_count; ++i) {
+        (labels[view.missing_rows[i]] ? missing_pos : missing_neg) += 1.0;
       }
-      if (present.size() < 2 * params.min_samples_leaf) continue;
-      std::sort(present.begin(), present.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-
-      double total_pos = 0.0;
-      for (const auto& [v, y] : present) total_pos += y;
-      const double total = static_cast<double>(present.size());
-
-      double left_pos = 0.0;
-      for (size_t i = 0; i + 1 < present.size(); ++i) {
-        left_pos += present[i].second;
-        if (present[i].first == present[i + 1].first) continue;
-        const double left_n = static_cast<double>(i + 1);
-        if (left_n < params.min_samples_leaf ||
-            total - left_n < params.min_samples_leaf) {
-          continue;
-        }
-        SplitCounts c;
-        c.left_pos = left_pos;
-        c.left_neg = left_n - left_pos;
-        c.right_pos = total_pos - left_pos;
-        c.right_neg = (total - left_n) - c.right_pos;
-        const double score = SplitScore(params.criterion, c);
-        if (score > best.score) {
-          best.valid = true;
-          best.score = score;
-          best.feature = f;
-          best.threshold = 0.5 * (present[i].first + present[i + 1].first);
-          best.left_categories.clear();
-          best.counts = c;
-          // Missing routing: follow the child whose class mix is nearest
-          // the missing rows' mix (majority side when nothing is missing).
-          const double miss_total = missing_pos + missing_neg;
-          if (miss_total > 0.0) {
-            const double miss_rate = missing_pos / miss_total;
-            const double left_rate = c.left_pos / std::max(c.left_total(), 1.0);
-            const double right_rate =
-                c.right_pos / std::max(c.right_total(), 1.0);
-            best.missing_goes_left = std::fabs(miss_rate - left_rate) <=
-                                     std::fabs(miss_rate - right_rate);
-          } else {
-            best.missing_goes_left = c.left_total() >= c.right_total();
-          }
-        }
-      }
-    } else {
-      // Categorical: order categories by positive rate, scan prefix splits
-      // (optimal for Gini on binary targets; strong heuristic for the
-      // chi-square and entropy criteria).
-      const size_t k = col.category_count();
-      if (k < 2) continue;
-      std::vector<double> pos(k, 0.0), neg(k, 0.0);
-      for (size_t r : rows) {
-        const int32_t code = col.CodeAt(r);
-        if (code < 0) {
-          (labels[r] ? missing_pos : missing_neg) += 1.0;
-        } else {
-          (labels[r] ? pos : neg)[static_cast<size_t>(code)] += 1.0;
-        }
-      }
-      std::vector<size_t> order;
-      double total_pos = 0.0, total_all = 0.0;
-      for (size_t cat = 0; cat < k; ++cat) {
-        if (pos[cat] + neg[cat] <= 0.0) continue;  // Unseen at this node.
-        order.push_back(cat);
-        total_pos += pos[cat];
-        total_all += pos[cat] + neg[cat];
-      }
-      if (order.size() < 2 || total_all < 2 * params.min_samples_leaf) continue;
-      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        const double ra = pos[a] / (pos[a] + neg[a]);
-        const double rb = pos[b] / (pos[b] + neg[b]);
-        return ra < rb;
-      });
-
-      double left_pos = 0.0, left_all = 0.0;
-      for (size_t j = 0; j + 1 < order.size(); ++j) {
-        left_pos += pos[order[j]];
-        left_all += pos[order[j]] + neg[order[j]];
-        if (left_all < params.min_samples_leaf ||
-            total_all - left_all < params.min_samples_leaf) {
-          continue;
-        }
-        SplitCounts c;
-        c.left_pos = left_pos;
-        c.left_neg = left_all - left_pos;
-        c.right_pos = total_pos - left_pos;
-        c.right_neg = (total_all - left_all) - c.right_pos;
-        const double score = SplitScore(params.criterion, c);
-        if (score > best.score) {
-          best.valid = true;
-          best.score = score;
-          best.feature = f;
-          best.left_categories.assign(k, 0);
-          for (size_t jj = 0; jj <= j; ++jj) {
-            best.left_categories[order[jj]] = 1;
-          }
-          best.counts = c;
-          const double miss_total = missing_pos + missing_neg;
-          if (miss_total > 0.0) {
-            const double miss_rate = missing_pos / miss_total;
-            const double left_rate = c.left_pos / std::max(c.left_total(), 1.0);
-            const double right_rate =
-                c.right_pos / std::max(c.right_total(), 1.0);
-            best.missing_goes_left = std::fabs(miss_rate - left_rate) <=
-                                     std::fabs(miss_rate - right_rate);
-          } else {
-            best.missing_goes_left = c.left_total() >= c.right_total();
-          }
-        }
+      return ScanNumericFeature(
+          params, f, view.count, [&](size_t i) { return view.values[i]; },
+          [&](size_t i) { return labels[view.rows[i]]; }, missing_pos,
+          missing_neg);
+    }
+    // Legacy: gather (value, label) for present rows, then sort.
+    std::vector<std::pair<double, int8_t>> present;
+    present.reserve(rows.size());
+    for (size_t r : rows) {
+      const double v = col.NumericAt(r);
+      if (std::isnan(v)) {
+        (labels[r] ? missing_pos : missing_neg) += 1.0;
+      } else {
+        present.emplace_back(v, labels[r]);
       }
     }
+    if (present.size() < 2 * params.min_samples_leaf) return {};
+    std::sort(present.begin(), present.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return ScanNumericFeature(
+        params, f, present.size(),
+        [&](size_t i) { return present[i].first; },
+        [&](size_t i) { return present[i].second; }, missing_pos, missing_neg);
+  }
+
+  // Categorical: order categories by positive rate, scan prefix splits
+  // (optimal for Gini on binary targets; strong heuristic for the
+  // chi-square and entropy criteria). The per-level accumulation already
+  // touches each node row once, so there is no sort to index away.
+  SplitSpec best;
+  const size_t k = col.category_count();
+  if (k < 2) return best;
+  std::vector<double> pos(k, 0.0), neg(k, 0.0);
+  for (size_t r : rows) {
+    const int32_t code = col.CodeAt(r);
+    if (code < 0) {
+      (labels[r] ? missing_pos : missing_neg) += 1.0;
+    } else {
+      (labels[r] ? pos : neg)[static_cast<size_t>(code)] += 1.0;
+    }
+  }
+  std::vector<size_t> order;
+  double total_pos = 0.0, total_all = 0.0;
+  for (size_t cat = 0; cat < k; ++cat) {
+    if (pos[cat] + neg[cat] <= 0.0) continue;  // Unseen at this node.
+    order.push_back(cat);
+    total_pos += pos[cat];
+    total_all += pos[cat] + neg[cat];
+  }
+  if (order.size() < 2 || total_all < 2 * params.min_samples_leaf) return best;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double ra = pos[a] / (pos[a] + neg[a]);
+    const double rb = pos[b] / (pos[b] + neg[b]);
+    return ra < rb;
+  });
+
+  double left_pos = 0.0, left_all = 0.0;
+  for (size_t j = 0; j + 1 < order.size(); ++j) {
+    left_pos += pos[order[j]];
+    left_all += pos[order[j]] + neg[order[j]];
+    if (left_all < params.min_samples_leaf ||
+        total_all - left_all < params.min_samples_leaf) {
+      continue;
+    }
+    SplitCounts c;
+    c.left_pos = left_pos;
+    c.left_neg = left_all - left_pos;
+    c.right_pos = total_pos - left_pos;
+    c.right_neg = (total_all - left_all) - c.right_pos;
+    const double score = SplitScore(params.criterion, c);
+    if (score > best.score) {
+      best.valid = true;
+      best.score = score;
+      best.feature = f;
+      best.left_categories.assign(k, 0);
+      for (size_t jj = 0; jj <= j; ++jj) {
+        best.left_categories[order[jj]] = 1;
+      }
+      best.counts = c;
+      best.missing_goes_left = MissingGoesLeft(c, missing_pos, missing_neg);
+    }
+  }
+  return best;
+}
+
+// Finds the best split of node `node_id` holding `rows` (indices into the
+// dataset). Returns an invalid spec when no admissible split exists.
+// Features evaluate independently; merging the per-feature winners in
+// feature order with a strict comparison reproduces the serial
+// left-to-right scan exactly, so an executor changes nothing but speed.
+SplitSpec FindBestSplit(const FitContext& ctx, const std::vector<size_t>& rows,
+                        int node_id) {
+  const auto& params = *ctx.params;
+  const size_t num_features = ctx.features->size();
+  std::vector<SplitSpec> specs(num_features);
+  (void)exec::ParallelFor(params.executor, num_features,
+                          [&](size_t f) -> Status {
+                            specs[f] = EvaluateFeature(ctx, rows, node_id, f);
+                            return Status::Ok();
+                          });
+  SplitSpec best;
+  for (SplitSpec& spec : specs) {
+    if (spec.valid && spec.score > best.score) best = std::move(spec);
   }
 
   if (!best.valid) return best;
@@ -306,11 +357,36 @@ Status DecisionTreeClassifier::Fit(
   features_ = std::move(*features);
   nodes_.clear();
 
+  // Pre-sorted index: use the caller's shared one when provided (after
+  // validating it matches this fit), else build a private one. The root
+  // sort costs what one legacy node evaluation did; every further node
+  // then splits in O(n) instead of re-sorting.
+  const FeatureIndex* index = nullptr;
+  std::optional<FeatureIndex> local_index;
+  std::optional<IndexedSplitWorkspace> workspace;
+  if (params_.use_feature_index) {
+    if (params_.feature_index != nullptr) {
+      if (params_.feature_index->num_rows() != dataset.num_rows() ||
+          !params_.feature_index->Covers(features_)) {
+        return InvalidArgumentError(
+            "feature_index does not cover this dataset's feature columns");
+      }
+      index = params_.feature_index;
+    } else {
+      auto built = FeatureIndex::Build(dataset, features_, params_.executor);
+      if (!built.ok()) return built.status();
+      local_index.emplace(std::move(*built));
+      index = &*local_index;
+    }
+    workspace.emplace(*index, dataset, features_, rows, params_.executor);
+  }
+
   FitContext ctx;
   ctx.dataset = &dataset;
   ctx.labels = &labels.value();
   ctx.features = &features_;
   ctx.params = &params_;
+  ctx.workspace = workspace ? &*workspace : nullptr;
 
   auto make_node = [&](const std::vector<size_t>& node_rows, int depth) {
     Node node;
@@ -348,7 +424,8 @@ Status DecisionTreeClassifier::Fit(
     if (node.depth >= params_.max_depth) return;
     if (node.total() < params_.min_samples_split) return;
     if (node.count_positive == 0 || node.count_negative == 0) return;
-    SplitSpec spec = FindBestSplit(ctx, node_rows[static_cast<size_t>(node_id)]);
+    SplitSpec spec =
+        FindBestSplit(ctx, node_rows[static_cast<size_t>(node_id)], node_id);
     if (spec.valid) heap.push({spec.score, node_id, std::move(spec)});
   };
   consider(0);
@@ -365,17 +442,15 @@ Status DecisionTreeClassifier::Fit(
     std::vector<size_t> left_rows, right_rows;
     const FeatureRef& ref = features_[spec.feature];
     const data::Column& col = dataset.column(ref.column_index);
-    for (size_t r : node_rows[static_cast<size_t>(node_id)]) {
-      bool go_left;
-      if (col.IsMissing(r)) {
-        go_left = spec.missing_goes_left;
-      } else if (ref.type == data::ColumnType::kNumeric) {
-        go_left = col.NumericAt(r) <= spec.threshold;
-      } else {
-        const int32_t code = col.CodeAt(r);
-        go_left = spec.left_categories[static_cast<size_t>(code)] != 0;
+    auto go_left = [&](size_t r) {
+      if (col.IsMissing(r)) return spec.missing_goes_left;
+      if (ref.type == data::ColumnType::kNumeric) {
+        return col.NumericAt(r) <= spec.threshold;
       }
-      (go_left ? left_rows : right_rows).push_back(r);
+      return spec.left_categories[static_cast<size_t>(col.CodeAt(r))] != 0;
+    };
+    for (size_t r : node_rows[static_cast<size_t>(node_id)]) {
+      (go_left(r) ? left_rows : right_rows).push_back(r);
     }
     if (left_rows.empty() || right_rows.empty()) continue;  // Degenerate.
 
@@ -384,6 +459,11 @@ Status DecisionTreeClassifier::Fit(
     const int right_id = make_node(right_rows, node_depth + 1);
     node_rows.push_back(std::move(left_rows));
     node_rows.push_back(std::move(right_rows));
+    if (workspace) {
+      workspace->SplitNode(node_id, left_id, right_id, [&](uint32_t r) {
+        return go_left(static_cast<size_t>(r));
+      });
+    }
 
     Node& node = nodes_[static_cast<size_t>(node_id)];
     node.is_leaf = false;

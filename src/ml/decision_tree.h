@@ -22,7 +22,13 @@
 #include "ml/common.h"
 #include "util/status.h"
 
+namespace roadmine::exec {
+class Executor;
+}  // namespace roadmine::exec
+
 namespace roadmine::ml {
+
+class FeatureIndex;
 
 enum class SplitCriterion {
   kChiSquare,  // Paper's choice: chi-square statistic, p-value stopping.
@@ -48,6 +54,19 @@ struct DecisionTreeParams {
   // CHAID-style Bonferroni adjustment: multiply the best split's p-value by
   // the number of candidate features before the significance check.
   bool bonferroni_adjust = true;
+  // Search numeric splits over a pre-sorted FeatureIndex (ml/feature_index.h)
+  // instead of re-sorting each node's rows per attribute. The produced tree
+  // is bit-identical either way; this only changes the work done to find it.
+  // The legacy per-node-sort path (false) is kept for A/B benching.
+  bool use_feature_index = true;
+  // Optional pre-built index over the training dataset's feature columns,
+  // shared across fits (ensemble members, CV folds). Not owned; only read
+  // during Fit. When null and use_feature_index is set, Fit builds a
+  // private index. Must cover the fit's features over the same dataset.
+  const FeatureIndex* feature_index = nullptr;
+  // Optional parallelism for the per-feature split scan and index build
+  // (not owned, may be null = serial). Results are bit-identical either way.
+  exec::Executor* executor = nullptr;
 };
 
 class DecisionTreeClassifier {

@@ -1,0 +1,252 @@
+#include "ml/feature_index.h"
+
+#include <cmath>
+
+#include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace roadmine::ml {
+
+using util::InvalidArgumentError;
+using util::Status;
+
+util::Result<FeatureIndex> FeatureIndex::Build(
+    const data::Dataset& dataset, const std::vector<std::string>& columns,
+    exec::Executor* executor) {
+  std::vector<FeatureRef> features;
+  features.reserve(columns.size());
+  for (const std::string& name : columns) {
+    auto index = dataset.ColumnIndex(name);
+    if (!index.ok()) return index.status();
+    FeatureRef ref;
+    ref.name = name;
+    ref.column_index = *index;
+    ref.type = dataset.column(*index).type();
+    features.push_back(std::move(ref));
+  }
+  return Build(dataset, features, executor);
+}
+
+util::Result<FeatureIndex> FeatureIndex::Build(
+    const data::Dataset& dataset, const std::vector<FeatureRef>& features,
+    exec::Executor* executor) {
+  ROADMINE_TRACE_SPAN("ml.feature_index.build");
+  obs::ScopedLatency build_timer(obs::MetricsRegistry::Global().GetHistogram(
+      "ml.feature_index.build_ms", 0.0, 5000.0, 50));
+
+  FeatureIndex out;
+  out.num_rows_ = dataset.num_rows();
+  out.numeric_slot_.assign(dataset.num_columns(), 0);
+  out.categorical_slot_.assign(dataset.num_columns(), 0);
+  for (const FeatureRef& ref : features) {
+    if (ref.column_index >= dataset.num_columns()) {
+      return InvalidArgumentError("feature column index out of range");
+    }
+    if (dataset.column(ref.column_index).type() != ref.type) {
+      return InvalidArgumentError("feature type mismatch for column '" +
+                                  ref.name + "'");
+    }
+    // Duplicate feature entries share one slot.
+    if (ref.type == data::ColumnType::kNumeric) {
+      if (out.numeric_slot_[ref.column_index] == 0) {
+        out.numeric_.emplace_back();
+        out.numeric_slot_[ref.column_index] = out.numeric_.size();
+      }
+    } else {
+      if (out.categorical_slot_[ref.column_index] == 0) {
+        out.categorical_.emplace_back();
+        out.categorical_slot_[ref.column_index] = out.categorical_.size();
+      }
+    }
+  }
+
+  // Each column sorts/buckets independently into its own slot, so the
+  // parallel build is bit-identical to the serial one.
+  const size_t n = dataset.num_rows();
+  std::vector<size_t> numeric_columns, categorical_columns;
+  for (size_t c = 0; c < dataset.num_columns(); ++c) {
+    if (out.numeric_slot_[c] != 0) numeric_columns.push_back(c);
+    if (out.categorical_slot_[c] != 0) categorical_columns.push_back(c);
+  }
+  const size_t total = numeric_columns.size() + categorical_columns.size();
+  const Status status = exec::ParallelFor(executor, total, [&](size_t i) {
+    if (i < numeric_columns.size()) {
+      const size_t c = numeric_columns[i];
+      const data::Column& col = dataset.column(c);
+      NumericColumn& slot = out.numeric_[out.numeric_slot_[c] - 1];
+      slot.sorted_rows.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        const double v = col.NumericAt(r);
+        if (std::isnan(v)) {
+          slot.missing_rows.push_back(static_cast<uint32_t>(r));
+        } else {
+          slot.sorted_rows.push_back(static_cast<uint32_t>(r));
+        }
+      }
+      // Stable by value: ties keep ascending row order, which the
+      // regression bit-identity precondition relies on.
+      std::stable_sort(slot.sorted_rows.begin(), slot.sorted_rows.end(),
+                       [&col](uint32_t a, uint32_t b) {
+                         return col.NumericAt(a) < col.NumericAt(b);
+                       });
+      slot.constant =
+          slot.sorted_rows.empty() ||
+          col.NumericAt(slot.sorted_rows.front()) ==
+              col.NumericAt(slot.sorted_rows.back());
+    } else {
+      const size_t c = categorical_columns[i - numeric_columns.size()];
+      const data::Column& col = dataset.column(c);
+      CategoricalColumn& slot = out.categorical_[out.categorical_slot_[c] - 1];
+      const size_t k = col.category_count();
+      std::vector<uint32_t> counts(k, 0);
+      size_t present = 0;
+      for (size_t r = 0; r < n; ++r) {
+        const int32_t code = col.CodeAt(r);
+        if (code < 0) {
+          slot.missing_rows.push_back(static_cast<uint32_t>(r));
+        } else {
+          ++counts[static_cast<size_t>(code)];
+          ++present;
+        }
+      }
+      slot.bucket_begin.assign(k + 1, 0);
+      for (size_t cat = 0; cat < k; ++cat) {
+        slot.bucket_begin[cat + 1] = slot.bucket_begin[cat] + counts[cat];
+        if (counts[cat] > 0) ++slot.populated_levels;
+      }
+      slot.bucket_rows.resize(present);
+      std::vector<uint32_t> cursor(slot.bucket_begin.begin(),
+                                   slot.bucket_begin.end() - 1);
+      for (size_t r = 0; r < n; ++r) {
+        const int32_t code = col.CodeAt(r);
+        if (code >= 0) {
+          slot.bucket_rows[cursor[static_cast<size_t>(code)]++] =
+              static_cast<uint32_t>(r);
+        }
+      }
+      slot.constant = slot.populated_levels < 2;
+    }
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+bool FeatureIndex::Covers(const std::vector<FeatureRef>& features) const {
+  for (const FeatureRef& ref : features) {
+    if (ref.type == data::ColumnType::kNumeric) {
+      if (Numeric(ref.column_index) == nullptr) return false;
+    } else {
+      if (Categorical(ref.column_index) == nullptr) return false;
+    }
+  }
+  return true;
+}
+
+const FeatureIndex::NumericColumn* FeatureIndex::Numeric(
+    size_t column_index) const {
+  if (column_index >= numeric_slot_.size()) return nullptr;
+  const size_t slot = numeric_slot_[column_index];
+  return slot == 0 ? nullptr : &numeric_[slot - 1];
+}
+
+const FeatureIndex::CategoricalColumn* FeatureIndex::Categorical(
+    size_t column_index) const {
+  if (column_index >= categorical_slot_.size()) return nullptr;
+  const size_t slot = categorical_slot_[column_index];
+  return slot == 0 ? nullptr : &categorical_[slot - 1];
+}
+
+bool StrictlyAscending(const std::vector<size_t>& rows) {
+  for (size_t i = 0; i + 1 < rows.size(); ++i) {
+    if (rows[i] >= rows[i + 1]) return false;
+  }
+  return true;
+}
+
+IndexedSplitWorkspace::IndexedSplitWorkspace(
+    const FeatureIndex& index, const data::Dataset& dataset,
+    const std::vector<FeatureRef>& features, const std::vector<size_t>& rows,
+    exec::Executor* executor)
+    : executor_(executor), num_features_(features.size()) {
+  slot_.assign(features.size(), kNoSlot);
+  constant_.assign(features.size(), 0);
+
+  // Fit-row multiplicities (bootstrap samples carry duplicates).
+  std::vector<uint32_t> mult(index.num_rows(), 0);
+  for (size_t r : rows) ++mult[r];
+
+  size_t numeric_count = 0;
+  for (size_t f = 0; f < features.size(); ++f) {
+    if (features[f].type == data::ColumnType::kNumeric) {
+      slot_[f] = numeric_count++;
+      constant_[f] = index.Numeric(features[f].column_index)->constant;
+    } else {
+      constant_[f] = index.Categorical(features[f].column_index)->constant;
+    }
+  }
+  work_.resize(numeric_count);
+  segments_.resize(numeric_count);
+
+  // Project each numeric column's global sorted order onto the fit rows,
+  // expanding multiplicities into adjacent entries (equal value, equal
+  // row — indistinguishable to split search, so expansion order within a
+  // duplicate group cannot matter).
+  RunPerFeature([&](size_t f) {
+    if (slot_[f] == kNoSlot) return;
+    const FeatureIndex::NumericColumn& col_index =
+        *index.Numeric(features[f].column_index);
+    const data::Column& col = dataset.column(features[f].column_index);
+    NumericWork& work = work_[slot_[f]];
+    work.values.reserve(rows.size());
+    work.rows.reserve(rows.size());
+    for (uint32_t r : col_index.sorted_rows) {
+      for (uint32_t m = 0; m < mult[r]; ++m) {
+        work.values.push_back(col.NumericAt(r));
+        work.rows.push_back(r);
+      }
+    }
+    for (uint32_t r : col_index.missing_rows) {
+      for (uint32_t m = 0; m < mult[r]; ++m) work.missing.push_back(r);
+    }
+    const size_t scratch = std::max(work.rows.size(), work.missing.size());
+    work.scratch_values.resize(scratch);
+    work.scratch_rows.resize(scratch);
+
+    Segment root;
+    root.present_count = work.rows.size();
+    root.missing_count = work.missing.size();
+    segments_[slot_[f]].assign(1, root);
+  });
+}
+
+IndexedSplitWorkspace::NumericView IndexedSplitWorkspace::NodeNumeric(
+    int node, size_t feature) const {
+  const NumericWork& work = work_[slot_[feature]];
+  const Segment& seg = segments_[slot_[feature]][static_cast<size_t>(node)];
+  NumericView view;
+  view.values = work.values.data() + seg.present_begin;
+  view.rows = work.rows.data() + seg.present_begin;
+  view.count = seg.present_count;
+  view.missing_rows = work.missing.data() + seg.missing_begin;
+  view.missing_count = seg.missing_count;
+  return view;
+}
+
+void IndexedSplitWorkspace::EnsureNode(int node) {
+  const size_t needed = static_cast<size_t>(node) + 1;
+  for (std::vector<Segment>& per_node : segments_) {
+    if (per_node.size() < needed) per_node.resize(needed);
+  }
+}
+
+void IndexedSplitWorkspace::RunPerFeature(
+    const std::function<void(size_t)>& fn) {
+  (void)exec::ParallelFor(executor_, num_features_, [&fn](size_t f) {
+    fn(f);
+    return Status::Ok();
+  });
+}
+
+}  // namespace roadmine::ml

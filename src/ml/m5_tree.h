@@ -16,6 +16,8 @@
 namespace roadmine::ml {
 
 struct M5TreeParams {
+  // Parameters of the structural regression tree, including its
+  // FeatureIndex settings (see RegressionTreeParams).
   RegressionTreeParams tree;
   // Ridge penalty for the leaf linear models, relative to the mean
   // diagonal of X^T X (scale-invariant shrinkage).
@@ -26,7 +28,8 @@ struct M5TreeParams {
 
 class M5Tree {
  public:
-  explicit M5Tree(M5TreeParams params = {}) : params_(params) {}
+  explicit M5Tree(M5TreeParams params = {})
+      : params_(params), structure_(params_.tree) {}
 
   // Grows the structural tree, then fits a ridge model per leaf on the
   // numeric features (intercept-only when a leaf is too small or the

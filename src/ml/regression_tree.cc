@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 
+#include "exec/executor.h"
+#include "ml/feature_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/distributions.h"
@@ -64,129 +67,184 @@ struct FitContext {
   const std::vector<double>* target = nullptr;  // By dataset row id.
   const std::vector<FeatureRef>* features = nullptr;
   const RegressionTreeParams* params = nullptr;
+  // Pre-sorted view of the numeric features (null = legacy per-node sort).
+  // Only set when the fit rows are strictly ascending: target sums are
+  // order-sensitive doubles, and that is the precondition under which the
+  // indexed accumulation order provably equals the legacy one (stable sort
+  // ties keep row order; stable partitioning preserves it down the tree).
+  IndexedSplitWorkspace* workspace = nullptr;
 };
 
-SplitSpec FindBestSplit(const FitContext& ctx, const std::vector<size_t>& rows) {
+// Missing rows follow the child whose mean is nearest theirs.
+bool MissingGoesLeft(const TargetStats& left, const TargetStats& right,
+                     const TargetStats& missing_stats) {
+  if (missing_stats.n > 0.0) {
+    return std::fabs(missing_stats.mean() - left.mean()) <=
+           std::fabs(missing_stats.mean() - right.mean());
+  }
+  return left.n >= right.n;
+}
+
+// Scans one numeric feature's candidate thresholds over its present rows
+// in ascending (value, row) order — the shared enumeration for the legacy
+// and indexed paths, which must visit rows in the identical order for the
+// running target sums to match bit-for-bit.
+template <typename ValueAt, typename TargetAt>
+SplitSpec ScanNumericFeature(const RegressionTreeParams& params, size_t f,
+                             size_t count, const ValueAt& value_at,
+                             const TargetAt& target_at,
+                             const TargetStats& missing_stats) {
+  SplitSpec best;
+  if (count < 2 * params.min_samples_leaf) return best;
+
+  TargetStats total;
+  for (size_t i = 0; i < count; ++i) total.Add(target_at(i));
+  const double parent_sse = total.sse();
+
+  TargetStats left;
+  for (size_t i = 0; i + 1 < count; ++i) {
+    left.Add(target_at(i));
+    if (value_at(i) == value_at(i + 1)) continue;
+    if (left.n < params.min_samples_leaf ||
+        total.n - left.n < params.min_samples_leaf) {
+      continue;
+    }
+    TargetStats right;
+    right.n = total.n - left.n;
+    right.sum = total.sum - left.sum;
+    right.sum_sq = total.sum_sq - left.sum_sq;
+    const double gain = parent_sse - left.sse() - right.sse();
+    if (gain > best.gain) {
+      best.valid = true;
+      best.gain = gain;
+      best.feature = f;
+      best.threshold = 0.5 * (value_at(i) + value_at(i + 1));
+      best.p_value = SplitPValue(left, right);
+      best.missing_goes_left = MissingGoesLeft(left, right, missing_stats);
+    }
+  }
+  return best;
+}
+
+// Best split of feature `f` over the node's rows; invalid when none is
+// admissible.
+SplitSpec EvaluateFeature(const FitContext& ctx, const std::vector<size_t>& rows,
+                          int node_id, size_t f) {
   const auto& target = *ctx.target;
   const auto& params = *ctx.params;
-  SplitSpec best;
+  const FeatureRef& ref = (*ctx.features)[f];
+  const data::Column& col = ctx.dataset->column(ref.column_index);
+  if (ctx.workspace != nullptr && ctx.workspace->IsConstant(f)) return {};
 
-  for (size_t f = 0; f < ctx.features->size(); ++f) {
-    const FeatureRef& ref = (*ctx.features)[f];
-    const data::Column& col = ctx.dataset->column(ref.column_index);
-    TargetStats missing_stats;
+  TargetStats missing_stats;
 
-    if (ref.type == data::ColumnType::kNumeric) {
-      std::vector<std::pair<double, double>> present;  // (feature, target).
-      present.reserve(rows.size());
-      for (size_t r : rows) {
-        const double v = col.NumericAt(r);
-        if (std::isnan(v)) {
-          missing_stats.Add(target[r]);
-        } else {
-          present.emplace_back(v, target[r]);
-        }
+  if (ref.type == data::ColumnType::kNumeric) {
+    if (ctx.workspace != nullptr) {
+      const IndexedSplitWorkspace::NumericView view =
+          ctx.workspace->NodeNumeric(node_id, f);
+      for (size_t i = 0; i < view.missing_count; ++i) {
+        missing_stats.Add(target[view.missing_rows[i]]);
       }
-      if (present.size() < 2 * params.min_samples_leaf) continue;
-      std::sort(present.begin(), present.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-
-      TargetStats total;
-      for (const auto& [v, y] : present) total.Add(y);
-      const double parent_sse = total.sse();
-
-      TargetStats left;
-      for (size_t i = 0; i + 1 < present.size(); ++i) {
-        left.Add(present[i].second);
-        if (present[i].first == present[i + 1].first) continue;
-        if (left.n < params.min_samples_leaf ||
-            total.n - left.n < params.min_samples_leaf) {
-          continue;
-        }
-        TargetStats right;
-        right.n = total.n - left.n;
-        right.sum = total.sum - left.sum;
-        right.sum_sq = total.sum_sq - left.sum_sq;
-        const double gain = parent_sse - left.sse() - right.sse();
-        if (gain > best.gain) {
-          best.valid = true;
-          best.gain = gain;
-          best.feature = f;
-          best.threshold = 0.5 * (present[i].first + present[i + 1].first);
-          best.left_categories.clear();
-          best.p_value = SplitPValue(left, right);
-          // Missing rows follow the child whose mean is nearest theirs.
-          if (missing_stats.n > 0.0) {
-            best.missing_goes_left =
-                std::fabs(missing_stats.mean() - left.mean()) <=
-                std::fabs(missing_stats.mean() - right.mean());
-          } else {
-            best.missing_goes_left = left.n >= right.n;
-          }
-        }
-      }
-    } else {
-      const size_t k = col.category_count();
-      if (k < 2) continue;
-      std::vector<TargetStats> per_category(k);
-      for (size_t r : rows) {
-        const int32_t code = col.CodeAt(r);
-        if (code < 0) {
-          missing_stats.Add(target[r]);
-        } else {
-          per_category[static_cast<size_t>(code)].Add(target[r]);
-        }
-      }
-      std::vector<size_t> order;
-      TargetStats total;
-      for (size_t cat = 0; cat < k; ++cat) {
-        if (per_category[cat].n <= 0.0) continue;
-        order.push_back(cat);
-        total.n += per_category[cat].n;
-        total.sum += per_category[cat].sum;
-        total.sum_sq += per_category[cat].sum_sq;
-      }
-      if (order.size() < 2 || total.n < 2 * params.min_samples_leaf) continue;
-      // Order categories by target mean; prefix splits are optimal for SSE
-      // (Fisher's grouping result).
-      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return per_category[a].mean() < per_category[b].mean();
-      });
-      const double parent_sse = total.sse();
-
-      TargetStats left;
-      for (size_t j = 0; j + 1 < order.size(); ++j) {
-        left.n += per_category[order[j]].n;
-        left.sum += per_category[order[j]].sum;
-        left.sum_sq += per_category[order[j]].sum_sq;
-        if (left.n < params.min_samples_leaf ||
-            total.n - left.n < params.min_samples_leaf) {
-          continue;
-        }
-        TargetStats right;
-        right.n = total.n - left.n;
-        right.sum = total.sum - left.sum;
-        right.sum_sq = total.sum_sq - left.sum_sq;
-        const double gain = parent_sse - left.sse() - right.sse();
-        if (gain > best.gain) {
-          best.valid = true;
-          best.gain = gain;
-          best.feature = f;
-          best.left_categories.assign(k, 0);
-          for (size_t jj = 0; jj <= j; ++jj) {
-            best.left_categories[order[jj]] = 1;
-          }
-          best.p_value = SplitPValue(left, right);
-          if (missing_stats.n > 0.0) {
-            best.missing_goes_left =
-                std::fabs(missing_stats.mean() - left.mean()) <=
-                std::fabs(missing_stats.mean() - right.mean());
-          } else {
-            best.missing_goes_left = left.n >= right.n;
-          }
-        }
+      return ScanNumericFeature(
+          params, f, view.count, [&](size_t i) { return view.values[i]; },
+          [&](size_t i) { return target[view.rows[i]]; }, missing_stats);
+    }
+    std::vector<std::pair<double, double>> present;  // (feature, target).
+    present.reserve(rows.size());
+    for (size_t r : rows) {
+      const double v = col.NumericAt(r);
+      if (std::isnan(v)) {
+        missing_stats.Add(target[r]);
+      } else {
+        present.emplace_back(v, target[r]);
       }
     }
+    if (present.size() < 2 * params.min_samples_leaf) return {};
+    // Stable: equal feature values keep their gather (node-row) order, so
+    // the candidate stats are a deterministic function of the row set —
+    // and, for ascending row sets, exactly what the indexed path computes.
+    std::stable_sort(present.begin(), present.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    return ScanNumericFeature(
+        params, f, present.size(), [&](size_t i) { return present[i].first; },
+        [&](size_t i) { return present[i].second; }, missing_stats);
+  }
+
+  SplitSpec best;
+  const size_t k = col.category_count();
+  if (k < 2) return best;
+  std::vector<TargetStats> per_category(k);
+  for (size_t r : rows) {
+    const int32_t code = col.CodeAt(r);
+    if (code < 0) {
+      missing_stats.Add(target[r]);
+    } else {
+      per_category[static_cast<size_t>(code)].Add(target[r]);
+    }
+  }
+  std::vector<size_t> order;
+  TargetStats total;
+  for (size_t cat = 0; cat < k; ++cat) {
+    if (per_category[cat].n <= 0.0) continue;
+    order.push_back(cat);
+    total.n += per_category[cat].n;
+    total.sum += per_category[cat].sum;
+    total.sum_sq += per_category[cat].sum_sq;
+  }
+  if (order.size() < 2 || total.n < 2 * params.min_samples_leaf) return best;
+  // Order categories by target mean; prefix splits are optimal for SSE
+  // (Fisher's grouping result).
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return per_category[a].mean() < per_category[b].mean();
+  });
+  const double parent_sse = total.sse();
+
+  TargetStats left;
+  for (size_t j = 0; j + 1 < order.size(); ++j) {
+    left.n += per_category[order[j]].n;
+    left.sum += per_category[order[j]].sum;
+    left.sum_sq += per_category[order[j]].sum_sq;
+    if (left.n < params.min_samples_leaf ||
+        total.n - left.n < params.min_samples_leaf) {
+      continue;
+    }
+    TargetStats right;
+    right.n = total.n - left.n;
+    right.sum = total.sum - left.sum;
+    right.sum_sq = total.sum_sq - left.sum_sq;
+    const double gain = parent_sse - left.sse() - right.sse();
+    if (gain > best.gain) {
+      best.valid = true;
+      best.gain = gain;
+      best.feature = f;
+      best.left_categories.assign(k, 0);
+      for (size_t jj = 0; jj <= j; ++jj) {
+        best.left_categories[order[jj]] = 1;
+      }
+      best.p_value = SplitPValue(left, right);
+      best.missing_goes_left = MissingGoesLeft(left, right, missing_stats);
+    }
+  }
+  return best;
+}
+
+// Per-feature winners merged in feature order with a strict comparison —
+// exactly the serial left-to-right scan, at any executor thread count.
+SplitSpec FindBestSplit(const FitContext& ctx, const std::vector<size_t>& rows,
+                        int node_id) {
+  const auto& params = *ctx.params;
+  const size_t num_features = ctx.features->size();
+  std::vector<SplitSpec> specs(num_features);
+  (void)exec::ParallelFor(params.executor, num_features,
+                          [&](size_t f) -> Status {
+                            specs[f] = EvaluateFeature(ctx, rows, node_id, f);
+                            return Status::Ok();
+                          });
+  SplitSpec best;
+  for (SplitSpec& spec : specs) {
+    if (spec.valid && spec.gain > best.gain) best = std::move(spec);
   }
 
   if (best.valid && best.p_value > params.significance_level) {
@@ -212,11 +270,36 @@ Status RegressionTree::Fit(const data::Dataset& dataset,
   features_ = std::move(*features);
   nodes_.clear();
 
+  // The indexed path requires strictly ascending fit rows for bit-identity
+  // (see FitContext::workspace); any other row set silently keeps the
+  // legacy per-node sorts. In practice every regression fit in this
+  // codebase trains on ascending row sets.
+  const FeatureIndex* index = nullptr;
+  std::optional<FeatureIndex> local_index;
+  std::optional<IndexedSplitWorkspace> workspace;
+  if (params_.use_feature_index && StrictlyAscending(rows)) {
+    if (params_.feature_index != nullptr) {
+      if (params_.feature_index->num_rows() != dataset.num_rows() ||
+          !params_.feature_index->Covers(features_)) {
+        return InvalidArgumentError(
+            "feature_index does not cover this dataset's feature columns");
+      }
+      index = params_.feature_index;
+    } else {
+      auto built = FeatureIndex::Build(dataset, features_, params_.executor);
+      if (!built.ok()) return built.status();
+      local_index.emplace(std::move(*built));
+      index = &*local_index;
+    }
+    workspace.emplace(*index, dataset, features_, rows, params_.executor);
+  }
+
   FitContext ctx;
   ctx.dataset = &dataset;
   ctx.target = &target.value();
   ctx.features = &features_;
   ctx.params = &params_;
+  ctx.workspace = workspace ? &*workspace : nullptr;
 
   auto make_node = [&](const std::vector<size_t>& node_rows, int depth) {
     TargetStats stats;
@@ -247,7 +330,8 @@ Status RegressionTree::Fit(const data::Dataset& dataset,
     if (node.depth >= params_.max_depth) return;
     if (node.count < params_.min_samples_split) return;
     if (node.sse <= 1e-12) return;  // Already pure.
-    SplitSpec spec = FindBestSplit(ctx, node_rows[static_cast<size_t>(node_id)]);
+    SplitSpec spec =
+        FindBestSplit(ctx, node_rows[static_cast<size_t>(node_id)], node_id);
     if (spec.valid) heap.push({spec.gain, node_id, std::move(spec)});
   };
   consider(0);
@@ -263,16 +347,15 @@ Status RegressionTree::Fit(const data::Dataset& dataset,
     std::vector<size_t> left_rows, right_rows;
     const FeatureRef& ref = features_[spec.feature];
     const data::Column& col = dataset.column(ref.column_index);
-    for (size_t r : node_rows[static_cast<size_t>(node_id)]) {
-      bool go_left;
-      if (col.IsMissing(r)) {
-        go_left = spec.missing_goes_left;
-      } else if (ref.type == data::ColumnType::kNumeric) {
-        go_left = col.NumericAt(r) <= spec.threshold;
-      } else {
-        go_left = spec.left_categories[static_cast<size_t>(col.CodeAt(r))] != 0;
+    auto go_left = [&](size_t r) {
+      if (col.IsMissing(r)) return spec.missing_goes_left;
+      if (ref.type == data::ColumnType::kNumeric) {
+        return col.NumericAt(r) <= spec.threshold;
       }
-      (go_left ? left_rows : right_rows).push_back(r);
+      return spec.left_categories[static_cast<size_t>(col.CodeAt(r))] != 0;
+    };
+    for (size_t r : node_rows[static_cast<size_t>(node_id)]) {
+      (go_left(r) ? left_rows : right_rows).push_back(r);
     }
     if (left_rows.empty() || right_rows.empty()) continue;
 
@@ -281,6 +364,11 @@ Status RegressionTree::Fit(const data::Dataset& dataset,
     const int right_id = make_node(right_rows, node_depth + 1);
     node_rows.push_back(std::move(left_rows));
     node_rows.push_back(std::move(right_rows));
+    if (workspace) {
+      workspace->SplitNode(node_id, left_id, right_id, [&](uint32_t r) {
+        return go_left(static_cast<size_t>(r));
+      });
+    }
 
     Node& node = nodes_[static_cast<size_t>(node_id)];
     node.is_leaf = false;

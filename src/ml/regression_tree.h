@@ -16,7 +16,13 @@
 #include "ml/common.h"
 #include "util/status.h"
 
+namespace roadmine::exec {
+class Executor;
+}  // namespace roadmine::exec
+
 namespace roadmine::ml {
+
+class FeatureIndex;
 
 struct RegressionTreeParams {
   int max_depth = 16;
@@ -26,6 +32,18 @@ struct RegressionTreeParams {
   size_t max_leaves = 0;
   // F-test stop: reject splits whose p-value exceeds this.
   double significance_level = 0.05;
+  // Search numeric splits over a pre-sorted FeatureIndex. Regression
+  // statistics are order-sensitive double sums, so the indexed path is
+  // additionally gated on the fit rows being strictly ascending (the only
+  // case where it provably matches the legacy accumulation order); other
+  // row sets silently use the legacy per-node-sort path. Trees are
+  // bit-identical either way.
+  bool use_feature_index = true;
+  // Optional shared pre-built index; see DecisionTreeParams::feature_index.
+  const FeatureIndex* feature_index = nullptr;
+  // Optional parallelism for the per-feature split scan (not owned, may be
+  // null = serial). Results are bit-identical either way.
+  exec::Executor* executor = nullptr;
 };
 
 class RegressionTree {

@@ -28,16 +28,40 @@ TEST(CsvIoTest, EmptyCellsAreMissing) {
   EXPECT_TRUE(ds->column(1).IsMissing(0));
 }
 
+TEST(CsvIoTest, AllEmptyColumnIsNumericAllMissing) {
+  // A column with no values at all must not become a categorical column
+  // of empty strings; it is a numeric column that is entirely missing.
+  auto ds = DatasetFromCsvText("x,empty\n1,\n2,\n");
+  ASSERT_TRUE(ds.ok());
+  const Column& empty = ds->column(1);
+  EXPECT_EQ(empty.type(), ColumnType::kNumeric);
+  EXPECT_EQ(empty.missing_count(), 2u);
+  EXPECT_TRUE(empty.IsMissing(0));
+  EXPECT_TRUE(empty.IsMissing(1));
+}
+
+TEST(CsvIoTest, AllEmptyColumnRoundTrips) {
+  auto ds = DatasetFromCsvText("x,empty\n1,\n2,\n");
+  ASSERT_TRUE(ds.ok());
+  const std::string text = DatasetToCsvText(*ds);
+  auto again = DatasetFromCsvText(text);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(text, DatasetToCsvText(*again));
+  const Column& empty = again->column(1);
+  EXPECT_EQ(empty.type(), ColumnType::kNumeric);
+  EXPECT_EQ(empty.missing_count(), 2u);
+}
+
 TEST(CsvIoTest, MixedColumnFallsBackToCategorical) {
   auto ds = DatasetFromCsvText("v\n1\nabc\n");
   ASSERT_TRUE(ds.ok());
   EXPECT_EQ(ds->column(0).type(), ColumnType::kCategorical);
 }
 
-TEST(CsvIoTest, AllEmptyColumnIsCategorical) {
+TEST(CsvIoTest, SingleAllEmptyColumnIsNumeric) {
   auto ds = DatasetFromCsvText("v\n\n\n");
   ASSERT_TRUE(ds.ok());
-  EXPECT_EQ(ds->column(0).type(), ColumnType::kCategorical);
+  EXPECT_EQ(ds->column(0).type(), ColumnType::kNumeric);
   EXPECT_EQ(ds->column(0).missing_count(), 2u);
 }
 

@@ -89,6 +89,23 @@ TEST(KappaAgreementBandTest, PaperBands) {
   EXPECT_STREQ(KappaAgreementBand(std::nan("")), "undefined");
 }
 
+TEST(KappaAgreementBandTest, NegativeKappaIsPoorNotSlight) {
+  // Worse-than-chance agreement gets its own Landis-Koch band instead of
+  // being lumped into "slight".
+  EXPECT_STREQ(KappaAgreementBand(-0.01), "poor");
+  EXPECT_STREQ(KappaAgreementBand(-1.0), "poor");
+  // The boundary itself is chance agreement, not worse than chance.
+  EXPECT_STREQ(KappaAgreementBand(0.0), "slight");
+}
+
+TEST(KappaAgreementBandTest, BandForSystematicDisagreement) {
+  // A classifier anti-correlated with the truth: kappa < 0 end to end.
+  const ConfusionMatrix cm{5, 45, 5, 45};  // tp, fp, tn, fn.
+  const double kappa = CohenKappa(cm);
+  EXPECT_LT(kappa, 0.0);
+  EXPECT_STREQ(KappaAgreementBand(kappa), "poor");
+}
+
 // Property sweep: for any consistent confusion matrix, MCPV is bounded by
 // both predictive values and all rates live in [0, 1].
 class MetricsPropertyTest

@@ -77,6 +77,56 @@ TEST(RocCurveTest, TiedScoresEmitOnePoint) {
   EXPECT_EQ(curve->size(), 2u);
 }
 
+// Trapezoidal area under a tie-deduplicated ROC curve. Because RocCurve
+// emits one point per distinct score (consuming all ties before stepping),
+// this area equals the midrank AUC exactly — tied cross-class pairs
+// contribute the trapezoid's diagonal, i.e. half a pair each.
+double TrapezoidArea(const std::vector<RocPoint>& curve) {
+  double area = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    area += 0.5 *
+            (curve[i].false_positive_rate - curve[i - 1].false_positive_rate) *
+            (curve[i].true_positive_rate + curve[i - 1].true_positive_rate);
+  }
+  return area;
+}
+
+TEST(RocTieHandlingTest, MidrankAucMatchesTrapezoidOnTies) {
+  // Ties straddling both classes at 0.5 and 0.7.
+  const std::vector<double> scores = {0.9, 0.7, 0.7, 0.5, 0.5, 0.5, 0.3, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 1, 0, 0, 1, 0};
+  auto auc = RocAuc(scores, labels);
+  auto curve = RocCurve(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(*auc, TrapezoidArea(*curve));
+}
+
+TEST(RocTieHandlingTest, HandComputedTiedAuc) {
+  // pos {0.8, 0.5}, neg {0.5, 0.2}: pairs (0.8,0.5) win, (0.8,0.2) win,
+  // (0.5,0.5) tie = 1/2, (0.5,0.2) win => AUC = 3.5/4.
+  const std::vector<double> scores = {0.8, 0.5, 0.5, 0.2};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  auto auc = RocAuc(scores, labels);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 3.5 / 4.0);
+  auto curve = RocCurve(scores, labels);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(TrapezoidArea(*curve), 3.5 / 4.0);
+}
+
+TEST(RocTieHandlingTest, AllTiedCurveIsSingleDiagonalStep) {
+  auto curve = RocCurve({0.4, 0.4, 0.4, 0.4}, {1, 0, 0, 1});
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 2u);  // Origin + the (1,1) combined step.
+  EXPECT_DOUBLE_EQ(curve->back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve->back().true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(TrapezoidArea(*curve), 0.5);
+  auto auc = RocAuc({0.4, 0.4, 0.4, 0.4}, {1, 0, 0, 1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
 TEST(RocCurveTest, PerfectSeparationCurveHugsCorner) {
   auto curve = RocCurve({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0});
   ASSERT_TRUE(curve.ok());
