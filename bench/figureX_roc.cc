@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::vector<double> tree_scores =
-      tree.PredictProbaMany(ds, split->validation);
+      *tree.PredictBatch(ds, split->validation);
 
   // Naive Bayes scores.
   ml::NaiveBayesClassifier bayes;
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::vector<double> bayes_scores =
-      bayes.PredictProbaMany(ds, split->validation);
+      *bayes.PredictBatch(ds, split->validation);
 
   auto tree_curve = eval::RocCurve(tree_scores, truth);
   auto tree_auc = eval::RocAuc(tree_scores, truth);

@@ -254,7 +254,7 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
   std::vector<double> scores;
   {
     obs::BenchReport::ScopedStage stage(ctx.report(), "decision_tree_predict");
-    scores = tree.PredictProbaMany(ds, all_rows);
+    scores = *tree.PredictBatch(ds, all_rows);
   }
 
   // --- FeatureIndex A/B: the same tree trained over the legacy
@@ -512,14 +512,14 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
     const double bag_serial_ms = timed_ms("bagging_serial", [&] {
       ml::BaggedTreesClassifier model(bag_params);
       if (model.Fit(ds, "crash_prone_gt8", features, all_rows).ok()) {
-        serial_probs = model.PredictProbaMany(ds, all_rows);
+        serial_probs = *model.PredictBatch(ds, all_rows);
       }
     });
     bag_params.executor = &pool;
     const double bag_parallel_ms = timed_ms("bagging_4_threads", [&] {
       ml::BaggedTreesClassifier model(bag_params);
       if (model.Fit(ds, "crash_prone_gt8", features, all_rows).ok()) {
-        parallel_probs = model.PredictProbaMany(ds, all_rows);
+        parallel_probs = *model.PredictBatch(ds, all_rows);
       }
     });
     if (serial_probs.empty() || serial_probs != parallel_probs) {

@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   {
-    auto r2 = eval::RSquared(tree.PredictMany(ds, split->validation), actual);
+    auto r2 =
+        eval::RSquared(*tree.PredictBatch(ds, split->validation), actual);
     regression_table.AddRow({"F-test regression tree",
                              util::FormatDouble(r2.ok() ? *r2 : 0.0, 4),
                              std::to_string(tree.leaf_count()) + " leaves"});
@@ -136,7 +137,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   assess_scores("chi-square decision tree",
-                classifier.PredictProbaMany(ds, split->validation));
+                *classifier.PredictBatch(ds, split->validation));
 
   // Count models: P(Y > 8) from the fitted intensity.
   {

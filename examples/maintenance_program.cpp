@@ -1,15 +1,30 @@
 // Deployment scenario (the paper's future-work direction): train the
-// crash-proneness model at the selected threshold, score the whole segment
-// inventory, and emit a ranked works program with treatment suggestions.
+// crash-proneness model at the selected threshold, persist it, reload it
+// the way a serving process would, and score the whole segment inventory
+// into a ranked works program with treatment suggestions.
+//
+// The full save -> load -> score lifecycle:
+//   1. train a decision tree on the crash-only dataset;
+//   2. Serialize() + serve::SaveModelToFile() the trained model;
+//   3. serve::LoadPredictorFromFile() it back behind ml::Predictor;
+//   4. compile the loaded tree to a serve::FlatModel and register both in
+//      a serve::ScoringService;
+//   5. feed the served model to core::BuildWorksProgram.
 //
 //   $ ./build/examples/maintenance_program
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "core/deployment.h"
 #include "core/thresholds.h"
 #include "ml/decision_tree.h"
 #include "roadgen/dataset_builder.h"
 #include "roadgen/generator.h"
+#include "serve/flat_model.h"
+#include "serve/model_store.h"
+#include "serve/scoring_service.h"
 
 using namespace roadmine;
 
@@ -41,25 +56,53 @@ int main() {
     return 1;
   }
 
+  // Save: the trained model persists as a versioned text block.
+  const std::string model_path = "maintenance_model.roadmine";
+  if (!serve::SaveModelToFile(model.Serialize(), model_path).ok()) return 1;
+  std::printf("saved trained model to %s\n", model_path.c_str());
+
   // Score the per-segment inventory (one row per segment, measured
   // attributes — the operational view an asset system would hold).
   auto inventory = roadgen::BuildSegmentDataset(*segments);
   if (!inventory.ok()) return 1;
 
+  // Load: a serving process knows only the file and the scoring schema;
+  // LoadPredictorFromFile dispatches on the header line and hands back the
+  // model behind the unified ml::Predictor interface.
+  auto loaded = serve::LoadPredictorFromFile(model_path, *inventory);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded model back: %s\n", (*loaded)->name());
+
+  // Serve: register the loaded model (and its compiled flat form) in a
+  // scoring service — the registry a decision-support system would query.
+  auto flat = serve::CompileModel(model);
+  if (!flat.ok()) return 1;
+  serve::ScoringService service;
+  std::shared_ptr<const ml::Predictor> served = std::move(*loaded);
+  if (!service.Register("crash_prone_cp8", "v1", served).ok()) return 1;
+  if (!service
+           .Register("crash_prone_cp8", "v2",
+                     std::make_shared<serve::FlatModel>(std::move(*flat)))
+           .ok()) {
+    return 1;
+  }
+  for (const serve::ModelInfo& info : service.List()) {
+    std::printf("registered %s@%s (%s)\n", info.name.c_str(),
+                info.version.c_str(), info.predictor.c_str());
+  }
+
   core::DeploymentConfig deploy_config;
   deploy_config.max_segments = 25;
-  auto program = core::BuildWorksProgram(
-      *inventory,
-      [&model](const data::Dataset& ds, size_t row) {
-        return model.PredictProba(ds, row);
-      },
-      deploy_config);
+  auto program = core::BuildWorksProgram(*inventory, *served, deploy_config);
   if (!program.ok()) {
     std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("Ranked works program (top 25 of %zu segments):\n\n",
+  std::printf("\nRanked works program (top 25 of %zu segments):\n\n",
               inventory->num_rows());
   std::printf("%s\n", core::RenderWorksProgram(*program, 25).c_str());
   std::printf(
@@ -67,5 +110,6 @@ int main() {
       "with low observed counts are candidates the history alone would\n"
       "miss; agreement with the observed top decile quantifies how much\n"
       "of the ranking is already visible in the crash record.\n");
+  std::remove(model_path.c_str());
   return 0;
 }

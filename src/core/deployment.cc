@@ -50,12 +50,11 @@ std::vector<std::string> RecommendTreatments(const data::Dataset& ds,
   return treatments;
 }
 
-}  // namespace
-
-Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
-                                       const SegmentScorer& scorer,
-                                       const DeploymentConfig& config) {
-  if (!scorer) return InvalidArgumentError("null scorer");
+// Ranks pre-computed per-row probabilities into the works program. The
+// shared back half of both BuildWorksProgram overloads.
+Result<WorksProgram> AssembleProgram(const data::Dataset& segments,
+                                     const std::vector<double>& probabilities,
+                                     const DeploymentConfig& config) {
   auto id_col = segments.ColumnByName(roadgen::kSegmentIdColumn);
   if (!id_col.ok()) return id_col.status();
   auto count_col = segments.ColumnByName(roadgen::kSegmentCrashCountColumn);
@@ -69,7 +68,7 @@ Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
   std::vector<Scored> scored;
   scored.reserve(segments.num_rows());
   for (size_t r = 0; r < segments.num_rows(); ++r) {
-    scored.push_back({r, scorer(segments, r)});
+    scored.push_back({r, probabilities[r]});
   }
 
   // Top-decile agreement between model ranking and observed counts.
@@ -115,6 +114,30 @@ Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
     program.segments.push_back(std::move(ranked));
   }
   return program;
+}
+
+}  // namespace
+
+Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
+                                       const ml::Predictor& model,
+                                       const DeploymentConfig& config) {
+  std::vector<size_t> rows(segments.num_rows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  auto probabilities = model.PredictBatch(segments, rows);
+  if (!probabilities.ok()) return probabilities.status();
+  return AssembleProgram(segments, *probabilities, config);
+}
+
+Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
+                                       const SegmentScorer& scorer,
+                                       const DeploymentConfig& config) {
+  if (!scorer) return InvalidArgumentError("null scorer");
+  std::vector<double> probabilities;
+  probabilities.reserve(segments.num_rows());
+  for (size_t r = 0; r < segments.num_rows(); ++r) {
+    probabilities.push_back(scorer(segments, r));
+  }
+  return AssembleProgram(segments, probabilities, config);
 }
 
 std::string RenderWorksProgram(const WorksProgram& program, size_t max_rows) {

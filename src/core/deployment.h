@@ -14,11 +14,14 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "ml/predictor.h"
 #include "util/status.h"
 
 namespace roadmine::core {
 
-// A model hook: P(crash-prone) for one dataset row.
+// Legacy model hook: P(crash-prone) for one dataset row. New call sites
+// should hand BuildWorksProgram an ml::Predictor (any trained model or a
+// compiled serve::FlatModel); this alias remains for ad-hoc lambdas.
 using SegmentScorer = std::function<double(const data::Dataset&, size_t row)>;
 
 struct RankedSegment {
@@ -40,8 +43,13 @@ struct WorksProgram {
 struct DeploymentConfig {
   // Keep the top `max_segments` (0 = all).
   size_t max_segments = 50;
-  // Probability floor below which a segment is not listed.
-  double min_probability = 0.5;
+  // Optional probability floor below which a segment is not listed. The
+  // default keeps every segment: the program ranks by score, and a
+  // rare-event model whose probabilities all sit below an arbitrary floor
+  // (the old 0.5 default) would otherwise silently produce an empty
+  // program. Opt in explicitly when an absolute floor is meaningful for
+  // the model's calibration.
+  double min_probability = 0.0;
   // Treatment trigger levels (attribute deficits worth flagging).
   double f60_floor = 0.45;          // Reseal / retexture trigger.
   double texture_floor = 1.0;       // mm.
@@ -51,7 +59,15 @@ struct DeploymentConfig {
 };
 
 // Scores every row of the segment-level dataset (one row per segment; see
-// roadgen::BuildSegmentDataset) and assembles the ranked program.
+// roadgen::BuildSegmentDataset) through the model's batch path and
+// assembles the ranked program. Accepts any ml::Predictor — a trained
+// classifier, a loaded model, or a compiled serve::FlatModel.
+util::Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
+                                             const ml::Predictor& model,
+                                             const DeploymentConfig& config = {});
+
+// Thin adapter for legacy std::function call sites; scores row-by-row and
+// assembles the same program.
 util::Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
                                              const SegmentScorer& scorer,
                                              const DeploymentConfig& config = {});

@@ -101,9 +101,9 @@ Result<std::vector<ThresholdModelResult>> CrashPronenessStudy::RunTreeSweep(
           std::vector<double> actuals;
           actuals.reserve(split->validation.size());
           for (size_t r : split->validation) actuals.push_back((*labels)[r]);
-          const std::vector<double> predictions =
-              tree.PredictMany(dataset, split->validation);
-          auto r2 = eval::RSquared(predictions, actuals);
+          auto predictions = tree.PredictBatch(dataset, split->validation);
+          if (!predictions.ok()) return predictions.status();
+          auto r2 = eval::RSquared(*predictions, actuals);
           row.r_squared = r2.ok() ? *r2 : 0.0;
           row.regression_leaves = tree.leaf_count();
         }
@@ -260,8 +260,9 @@ CrashPronenessStudy::RunSupportingSweep(data::Dataset& dataset) const {
           std::vector<double> actuals;
           actuals.reserve(split->validation.size());
           for (size_t r : split->validation) actuals.push_back((*labels)[r]);
-          auto r2 = eval::RSquared(
-              tree.PredictMany(dataset, split->validation), actuals);
+          auto predictions = tree.PredictBatch(dataset, split->validation);
+          if (!predictions.ok()) return predictions.status();
+          auto r2 = eval::RSquared(*predictions, actuals);
           row.m5_r_squared = r2.ok() ? *r2 : 0.0;
         }
         return util::Status::Ok();

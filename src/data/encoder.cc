@@ -1,6 +1,9 @@
 #include "data/encoder.h"
 
 #include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
 
 namespace roadmine::data {
 
@@ -99,6 +102,115 @@ Result<std::vector<std::vector<double>>> FeatureEncoder::Transform(
     EncodeRow(dataset, rows[i], matrix[i]);
   }
   return matrix;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr char kSerializationHeader[] = "roadmine-feature-encoder v1";
+
+// %.17g round-trips any finite double exactly.
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+}  // namespace
+
+std::string FeatureEncoder::Serialize() const {
+  std::string out = kSerializationHeader;
+  out += "\ncolumns " + std::to_string(plans_.size()) + "\n";
+  for (size_t c = 0; c < plans_.size(); ++c) {
+    const ColumnPlan& plan = plans_[c];
+    out += "column\t" + column_names_[c];
+    if (plan.type == ColumnType::kNumeric) {
+      out += "\tnumeric\t" + FormatDouble(plan.mean) + "\t" +
+             FormatDouble(plan.inv_std) + "\n";
+    } else {
+      out += "\tcategorical\t" + std::to_string(plan.width) + "\n";
+    }
+  }
+  return out;
+}
+
+util::Result<FeatureEncoder> FeatureEncoder::Deserialize(
+    const std::string& text, const Dataset& dataset) {
+  const std::vector<std::string> lines = util::Split(text, '\n');
+  size_t pos = 0;
+  auto next_line = [&]() -> const std::string* {
+    while (pos < lines.size() && lines[pos].empty()) ++pos;
+    return pos < lines.size() ? &lines[pos++] : nullptr;
+  };
+
+  const std::string* header = next_line();
+  if (header == nullptr || *header != kSerializationHeader) {
+    return InvalidArgumentError("bad serialization header");
+  }
+  const std::string* count_line = next_line();
+  int64_t column_count = 0;
+  if (count_line == nullptr || !util::StartsWith(*count_line, "columns ") ||
+      !util::ParseInt(count_line->substr(8), &column_count) ||
+      column_count < 0) {
+    return InvalidArgumentError("bad column count line");
+  }
+
+  FeatureEncoder encoder;
+  for (int64_t c = 0; c < column_count; ++c) {
+    const std::string* line = next_line();
+    if (line == nullptr) return InvalidArgumentError("truncated column list");
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    if (parts.size() < 3 || parts[0] != "column") {
+      return InvalidArgumentError("bad column line: " + *line);
+    }
+    auto index = dataset.ColumnIndex(parts[1]);
+    if (!index.ok()) return index.status();
+    const Column& col = dataset.column(*index);
+
+    ColumnPlan plan;
+    plan.column_index = *index;
+    plan.offset = encoder.feature_dim_;
+    if (parts[2] == "numeric") {
+      if (col.type() != ColumnType::kNumeric) {
+        return InvalidArgumentError("column '" + parts[1] + "' is not numeric");
+      }
+      if (parts.size() != 5 || !util::ParseDouble(parts[3], &plan.mean) ||
+          !util::ParseDouble(parts[4], &plan.inv_std)) {
+        return InvalidArgumentError("bad numeric column line: " + *line);
+      }
+      plan.type = ColumnType::kNumeric;
+      plan.width = 1;
+      encoder.feature_names_.push_back(parts[1]);
+    } else if (parts[2] == "categorical") {
+      if (col.type() != ColumnType::kCategorical) {
+        return InvalidArgumentError("column '" + parts[1] +
+                                    "' is not categorical");
+      }
+      int64_t width = 0;
+      if (parts.size() != 4 || !util::ParseInt(parts[3], &width) ||
+          width <= 0) {
+        return InvalidArgumentError("bad categorical column line: " + *line);
+      }
+      if (static_cast<size_t>(width) > col.category_count()) {
+        return InvalidArgumentError(
+            "column '" + parts[1] +
+            "' has a narrower dictionary than the fitted encoder");
+      }
+      plan.type = ColumnType::kCategorical;
+      plan.width = static_cast<size_t>(width);
+      for (size_t k = 0; k < plan.width; ++k) {
+        encoder.feature_names_.push_back(
+            parts[1] + "=" + col.CategoryName(static_cast<int32_t>(k)));
+      }
+    } else {
+      return InvalidArgumentError("bad column type: " + parts[2]);
+    }
+    encoder.feature_dim_ += plan.width;
+    encoder.column_names_.push_back(parts[1]);
+    encoder.plans_.push_back(plan);
+  }
+  return encoder;
 }
 
 }  // namespace roadmine::data

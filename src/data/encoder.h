@@ -45,6 +45,13 @@ class FeatureEncoder {
   util::Result<std::vector<std::vector<double>>> Transform(
       const Dataset& dataset, const std::vector<size_t>& rows) const;
 
+  // Deployment persistence: per-column encoding plans. Columns are stored
+  // by name and re-resolved against the scoring dataset on load; a
+  // categorical dictionary narrower than the fitted width is rejected.
+  std::string Serialize() const;
+  static util::Result<FeatureEncoder> Deserialize(const std::string& text,
+                                                  const Dataset& dataset);
+
  private:
   struct ColumnPlan {
     size_t column_index = 0;

@@ -16,11 +16,11 @@ using util::Result;
 Result<std::vector<double>> FoldScorer::Score(
     const std::vector<size_t>& rows) const {
   if (batch_) {
-    std::vector<double> out;
-    ROADMINE_RETURN_IF_ERROR(batch_(rows, &out));
-    if (out.size() != rows.size()) {
+    auto out = batch_(rows);
+    if (!out.ok()) return out.status();
+    if (out->size() != rows.size()) {
       return util::InternalError("batch scorer returned " +
-                                 std::to_string(out.size()) + " scores for " +
+                                 std::to_string(out->size()) + " scores for " +
                                  std::to_string(rows.size()) + " rows");
     }
     return out;

@@ -32,10 +32,10 @@ namespace roadmine::eval {
 // Produced by a trainer: P(positive) for a dataset row.
 using RowScorer = std::function<double(size_t row)>;
 
-// Scores many rows in one call; mirrors
-// ml::BinaryClassifier::PredictProbaBatch, the unified batch entry point.
-using BatchScorer = std::function<util::Status(const std::vector<size_t>& rows,
-                                               std::vector<double>* out)>;
+// Scores many rows in one call; mirrors ml::Predictor::PredictBatch, the
+// unified batch entry point.
+using BatchScorer = std::function<util::Result<std::vector<double>>(
+    const std::vector<size_t>& rows)>;
 
 // What a trainer hands back for one fold: always a row scorer, optionally
 // a batch scorer. The harness scores whole held-out folds through the

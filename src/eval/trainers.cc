@@ -87,9 +87,8 @@ BinaryTrainer ClassifierTrainer(ml::ClassifierSpec spec, std::string target,
         RowScorer([model, index, &dataset](size_t row) {
           return model->PredictProba(dataset, row);
         }),
-        BatchScorer([model, index, &dataset](const std::vector<size_t>& rows,
-                                             std::vector<double>* out) {
-          return model->PredictProbaBatch(dataset, rows, out);
+        BatchScorer([model, index, &dataset](const std::vector<size_t>& rows) {
+          return model->PredictProbaBatch(dataset, rows);
         }));
   };
 }

@@ -3,9 +3,9 @@
 // Before this helper every bench, example, and study sweep hand-rolled the
 // same twelve-line BinaryTrainer lambda (make model, fit, wrap scorer).
 // ClassifierTrainer collapses that into one call and routes held-out
-// scoring through ml::BinaryClassifier::PredictProbaBatch — the unified
-// batch entry point — so a model that batches or parallelizes its scoring
-// speeds up every evaluation harness at once.
+// scoring through ml::Predictor::PredictBatch — the unified batch entry
+// point — so a model that batches or parallelizes its scoring speeds up
+// every evaluation harness at once.
 #ifndef ROADMINE_EVAL_TRAINERS_H_
 #define ROADMINE_EVAL_TRAINERS_H_
 
@@ -19,7 +19,7 @@ namespace roadmine::eval {
 
 // A BinaryTrainer that builds a fresh classifier from `spec` for each
 // fold, fits it on the fold's training rows, and scores held-out rows
-// through PredictProbaBatch. Spec errors (unknown name) surface when the
+// through PredictBatch. Spec errors (unknown name) surface when the
 // trainer first runs.
 //
 // Tree specs ("decision_tree", "bagged_trees") that leave

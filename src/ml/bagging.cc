@@ -6,6 +6,8 @@
 
 #include "exec/executor.h"
 #include "ml/feature_index.h"
+#include "ml/serialize.h"
+#include "util/string_util.h"
 
 namespace roadmine::ml {
 
@@ -106,8 +108,9 @@ int BaggedTreesClassifier::Predict(const data::Dataset& dataset, size_t row,
   return PredictProba(dataset, row) >= cutoff ? 1 : 0;
 }
 
-std::vector<double> BaggedTreesClassifier::PredictProbaMany(
+util::Result<std::vector<double>> BaggedTreesClassifier::PredictBatch(
     const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (!fitted()) return util::FailedPreconditionError("ensemble not fitted");
   std::vector<double> probs(rows.size());
   // Row blocks are independent reads of fitted trees; block boundaries are
   // fixed by row count alone, so the output is thread-count-invariant.
@@ -131,6 +134,69 @@ size_t BaggedTreesClassifier::total_leaves() const {
     total += tree.leaf_count();
   }
   return total;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr char kSerializationHeader[] = "roadmine-bagged-trees v1";
+}  // namespace
+
+std::string BaggedTreesClassifier::Serialize() const {
+  // Member trees embed as full decision-tree blocks behind "tree <k>"
+  // marker lines; the inner format never emits a bare "tree <k>" line, so
+  // the markers delimit unambiguously.
+  std::string out = kSerializationHeader;
+  out += "\ntrees " + std::to_string(trees_.size()) + "\n";
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    out += "tree " + std::to_string(t) + "\n";
+    out += trees_[t].Serialize();
+  }
+  return out;
+}
+
+util::Result<BaggedTreesClassifier> BaggedTreesClassifier::Deserialize(
+    const std::string& text, const data::Dataset& dataset) {
+  const std::vector<std::string> lines = util::Split(text, '\n');
+  size_t pos = 0;
+  auto next_line = [&]() -> const std::string* {
+    while (pos < lines.size() && lines[pos].empty()) ++pos;
+    return pos < lines.size() ? &lines[pos++] : nullptr;
+  };
+
+  const std::string* header = next_line();
+  if (header == nullptr || *header != kSerializationHeader) {
+    return InvalidArgumentError("bad serialization header");
+  }
+  const std::string* count_line = next_line();
+  int64_t tree_count = 0;
+  if (count_line == nullptr || !util::StartsWith(*count_line, "trees ") ||
+      !util::ParseInt(count_line->substr(6), &tree_count) || tree_count <= 0) {
+    return InvalidArgumentError("bad tree count line");
+  }
+
+  BaggedTreesClassifier ensemble;
+  ensemble.trees_.reserve(static_cast<size_t>(tree_count));
+  for (int64_t t = 0; t < tree_count; ++t) {
+    const std::string* marker = next_line();
+    if (marker == nullptr || *marker != "tree " + std::to_string(t)) {
+      return InvalidArgumentError("missing 'tree " + std::to_string(t) +
+                                  "' marker");
+    }
+    // The member block runs until the next "tree <k>" marker or the end.
+    const std::string next_marker = "tree " + std::to_string(t + 1);
+    std::string block;
+    while (pos < lines.size() && lines[pos] != next_marker) {
+      block += lines[pos++];
+      block += '\n';
+    }
+    auto tree = DecisionTreeClassifier::Deserialize(block, dataset);
+    if (!tree.ok()) return tree.status();
+    ensemble.trees_.push_back(std::move(*tree));
+  }
+  return ensemble;
 }
 
 }  // namespace roadmine::ml

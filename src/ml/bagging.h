@@ -14,6 +14,7 @@
 
 #include "data/dataset.h"
 #include "ml/decision_tree.h"
+#include "ml/predictor.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -35,13 +36,13 @@ struct BaggedTreesParams {
   // seed (util::Rng::SplitSeed), so the ensemble is identical at any
   // thread count.
   uint64_t seed = 61;
-  // Optional parallelism for Fit (members) and PredictProbaMany (row
+  // Optional parallelism for Fit (members) and PredictBatch (row
   // blocks); not owned, may be null (serial). Results are bit-identical
   // either way.
   exec::Executor* executor = nullptr;
 };
 
-class BaggedTreesClassifier {
+class BaggedTreesClassifier : public Predictor {
  public:
   explicit BaggedTreesClassifier(BaggedTreesParams params = {})
       : params_(params) {}
@@ -55,14 +56,27 @@ class BaggedTreesClassifier {
   double PredictProba(const data::Dataset& dataset, size_t row) const;
   int Predict(const data::Dataset& dataset, size_t row,
               double cutoff = 0.5) const;
-  std::vector<double> PredictProbaMany(const data::Dataset& dataset,
-                                       const std::vector<size_t>& rows) const;
+
+  // Predictor: probabilities for many rows, sharded over the params'
+  // executor when present (bit-identical at any thread count).
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+  const char* name() const override { return "bagged_trees"; }
 
   bool fitted() const { return !trees_.empty(); }
   size_t tree_count() const { return trees_.size(); }
   // Total leaves across the ensemble (the "model size" a rule reader
   // would have to digest — the paper's comprehensibility concern).
   size_t total_leaves() const;
+
+  // Read-only member access for model compilers and persistence.
+  const std::vector<DecisionTreeClassifier>& trees() const { return trees_; }
+
+  // Deployment persistence: member trees embedded as decision-tree blocks.
+  std::string Serialize() const;
+  static util::Result<BaggedTreesClassifier> Deserialize(
+      const std::string& text, const data::Dataset& dataset);
 
  private:
   BaggedTreesParams params_;

@@ -4,8 +4,8 @@ namespace roadmine::ml {
 namespace {
 
 // One adapter template covers every concrete model: they all share the
-// Fit/PredictProba value-type signature. Models exposing PredictProbaMany
-// back the batch entry point with it; the rest inherit the serial loop.
+// Fit/PredictProba value-type signature and the Predictor batch contract,
+// which the adapter forwards to directly.
 template <typename Model>
 class Adapter : public BinaryClassifier {
  public:
@@ -24,15 +24,10 @@ class Adapter : public BinaryClassifier {
     return model_.PredictProba(dataset, row);
   }
 
-  util::Status PredictProbaBatch(const data::Dataset& dataset,
-                                 const std::vector<size_t>& rows,
-                                 std::vector<double>* out) const override {
-    if constexpr (requires { model_.PredictProbaMany(dataset, rows); }) {
-      *out = model_.PredictProbaMany(dataset, rows);
-      return util::Status::Ok();
-    } else {
-      return BinaryClassifier::PredictProbaBatch(dataset, rows, out);
-    }
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override {
+    return model_.PredictBatch(dataset, rows);
   }
 
   const char* name() const override { return name_; }
@@ -44,13 +39,12 @@ class Adapter : public BinaryClassifier {
 
 }  // namespace
 
-util::Status BinaryClassifier::PredictProbaBatch(
-    const data::Dataset& dataset, const std::vector<size_t>& rows,
-    std::vector<double>* out) const {
-  out->clear();
-  out->reserve(rows.size());
-  for (size_t row : rows) out->push_back(PredictProba(dataset, row));
-  return util::Status::Ok();
+util::Result<std::vector<double>> BinaryClassifier::PredictBatch(
+    const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (size_t row : rows) out.push_back(PredictProba(dataset, row));
+  return out;
 }
 
 const std::vector<std::string>& KnownClassifierNames() {

@@ -5,10 +5,11 @@
 // whatever model the experiment file names" — in benches, examples, and
 // downstream deployments.
 //
-// Scoring has one batch entry point, PredictProbaBatch: eval/ harnesses
-// and benches score held-out rows through it, so a model that can amortize
-// per-call overhead (encoder lookups, ensemble traversal) or shard the
-// batch across an executor overrides one method and every caller benefits.
+// Scoring goes through the ml::Predictor contract: PredictBatch is the
+// one batch entry point every eval/ harness, bench, and deployment uses,
+// so a model that can amortize per-call overhead (encoder lookups,
+// ensemble traversal) or shard the batch across an executor overrides one
+// method and every caller benefits.
 #ifndef ROADMINE_ML_CLASSIFIER_H_
 #define ROADMINE_ML_CLASSIFIER_H_
 
@@ -22,14 +23,13 @@
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/neural_net.h"
+#include "ml/predictor.h"
 #include "util/status.h"
 
 namespace roadmine::ml {
 
-class BinaryClassifier {
+class BinaryClassifier : public Predictor {
  public:
-  virtual ~BinaryClassifier() = default;
-
   virtual util::Status Fit(const data::Dataset& dataset,
                            const std::string& target_column,
                            const std::vector<std::string>& feature_columns,
@@ -39,21 +39,23 @@ class BinaryClassifier {
   virtual double PredictProba(const data::Dataset& dataset,
                               size_t row) const = 0;
 
-  // P(positive) for many rows in one call — the unified batch scoring
-  // entry point. `out` is overwritten with one probability per entry of
-  // `rows`, in order. The default is a serial loop over PredictProba;
-  // models with cheaper batched paths override it.
-  virtual util::Status PredictProbaBatch(const data::Dataset& dataset,
-                                         const std::vector<size_t>& rows,
-                                         std::vector<double>* out) const;
+  // The Predictor batch entry point. The default is a serial loop over
+  // PredictProba; adapters forward to the concrete model's batch path.
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+
+  // Probability-typed alias of PredictBatch, kept because classifier call
+  // sites read better asking for probabilities.
+  util::Result<std::vector<double>> PredictProbaBatch(
+      const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+    return PredictBatch(dataset, rows);
+  }
 
   int Predict(const data::Dataset& dataset, size_t row,
               double cutoff = 0.5) const {
     return PredictProba(dataset, row) >= cutoff ? 1 : 0;
   }
-
-  // Stable identifier, e.g. "decision_tree".
-  virtual const char* name() const = 0;
 };
 
 // Known classifier names (the factory vocabulary):

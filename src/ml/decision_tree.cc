@@ -541,12 +541,32 @@ int DecisionTreeClassifier::Predict(const data::Dataset& dataset, size_t row,
   return PredictProba(dataset, row) >= cutoff ? 1 : 0;
 }
 
-std::vector<double> DecisionTreeClassifier::PredictProbaMany(
+util::Result<std::vector<double>> DecisionTreeClassifier::PredictBatch(
     const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (!fitted()) return util::FailedPreconditionError("tree not fitted");
   std::vector<double> probs;
   probs.reserve(rows.size());
   for (size_t r : rows) probs.push_back(PredictProba(dataset, r));
   return probs;
+}
+
+std::vector<DecisionTreeClassifier::NodeView>
+DecisionTreeClassifier::ExportNodes() const {
+  std::vector<NodeView> views;
+  views.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    NodeView view;
+    view.is_leaf = node.is_leaf;
+    view.feature = node.feature;
+    view.threshold = node.threshold;
+    view.left_categories = node.left_categories;
+    view.missing_goes_left = node.missing_goes_left;
+    view.left = node.left;
+    view.right = node.right;
+    view.leaf_value = node.positive_fraction();
+    views.push_back(std::move(view));
+  }
+  return views;
 }
 
 // ---------------------------------------------------------------------------

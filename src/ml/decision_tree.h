@@ -20,6 +20,7 @@
 
 #include "data/dataset.h"
 #include "ml/common.h"
+#include "ml/predictor.h"
 #include "util/status.h"
 
 namespace roadmine::exec {
@@ -69,7 +70,7 @@ struct DecisionTreeParams {
   exec::Executor* executor = nullptr;
 };
 
-class DecisionTreeClassifier {
+class DecisionTreeClassifier : public Predictor {
  public:
   explicit DecisionTreeClassifier(DecisionTreeParams params = {})
       : params_(params) {}
@@ -90,9 +91,11 @@ class DecisionTreeClassifier {
   int Predict(const data::Dataset& dataset, size_t row,
               double cutoff = 0.5) const;
 
-  // Probabilities for many rows.
-  std::vector<double> PredictProbaMany(const data::Dataset& dataset,
-                                       const std::vector<size_t>& rows) const;
+  // Predictor: probabilities for many rows, in order.
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+  const char* name() const override { return "decision_tree"; }
 
   // Reduced-error pruning against a validation set: collapses any subtree
   // whose leaf-majority predictions do not beat the subtree on `rows`.
@@ -126,6 +129,22 @@ class DecisionTreeClassifier {
   std::string Serialize() const;
   static util::Result<DecisionTreeClassifier> Deserialize(
       const std::string& text, const data::Dataset& dataset);
+
+  // Read-only flat view of one fitted node, exported for model compilers
+  // (serve::FlatModel). leaf_value is the Laplace-smoothed positive
+  // fraction — exactly what PredictProba returns at that leaf.
+  struct NodeView {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;
+    std::vector<uint8_t> left_categories;
+    bool missing_goes_left = true;
+    int left = -1;
+    int right = -1;
+    double leaf_value = 0.0;
+  };
+  std::vector<NodeView> ExportNodes() const;
+  const std::vector<FeatureRef>& features() const { return features_; }
 
  private:
   struct Node {

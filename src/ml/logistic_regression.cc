@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "ml/common.h"
+#include "ml/serialize.h"
+#include "util/string_util.h"
 
 namespace roadmine::ml {
 
@@ -86,12 +88,81 @@ int LogisticRegression::Predict(const data::Dataset& dataset, size_t row,
   return PredictProba(dataset, row) >= cutoff ? 1 : 0;
 }
 
-std::vector<double> LogisticRegression::PredictProbaMany(
+util::Result<std::vector<double>> LogisticRegression::PredictBatch(
     const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (!fitted_) return util::FailedPreconditionError("model not fitted");
   std::vector<double> probs;
   probs.reserve(rows.size());
   for (size_t r : rows) probs.push_back(PredictProba(dataset, r));
   return probs;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr char kSerializationHeader[] = "roadmine-logistic-regression v1";
+}  // namespace
+
+std::string LogisticRegression::Serialize() const {
+  // The embedded encoder block comes last: its format is self-terminating,
+  // so it can run to end-of-text.
+  std::string out = kSerializationHeader;
+  out += "\nintercept\t" + SerializeDouble(intercept_) + "\n";
+  out += "weights " + std::to_string(weights_.size()) + "\n";
+  for (double w : weights_) out += "w\t" + SerializeDouble(w) + "\n";
+  out += "encoder\n";
+  out += encoder_.Serialize();
+  return out;
+}
+
+util::Result<LogisticRegression> LogisticRegression::Deserialize(
+    const std::string& text, const data::Dataset& dataset) {
+  LineCursor cursor(text);
+  const std::string* header = cursor.Next();
+  if (header == nullptr || *header != kSerializationHeader) {
+    return InvalidArgumentError("bad serialization header");
+  }
+  LogisticRegression model;
+
+  const std::string* intercept_line = cursor.Next();
+  if (intercept_line == nullptr) {
+    return InvalidArgumentError("missing intercept line");
+  }
+  {
+    const std::vector<std::string> parts = util::Split(*intercept_line, '\t');
+    if (parts.size() != 2 || parts[0] != "intercept" ||
+        !util::ParseDouble(parts[1], &model.intercept_)) {
+      return InvalidArgumentError("bad intercept line");
+    }
+  }
+
+  auto weight_count = ParseCountLine(cursor, "weights");
+  if (!weight_count.ok()) return weight_count.status();
+  model.weights_.resize(static_cast<size_t>(*weight_count));
+  for (int64_t j = 0; j < *weight_count; ++j) {
+    const std::string* line = cursor.Next();
+    if (line == nullptr) return InvalidArgumentError("truncated weights");
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    if (parts.size() != 2 || parts[0] != "w" ||
+        !util::ParseDouble(parts[1], &model.weights_[static_cast<size_t>(j)])) {
+      return InvalidArgumentError("bad weight line: " + *line);
+    }
+  }
+
+  const std::string* marker = cursor.Next();
+  if (marker == nullptr || *marker != "encoder") {
+    return InvalidArgumentError("missing encoder block");
+  }
+  auto encoder = data::FeatureEncoder::Deserialize(cursor.Remainder(), dataset);
+  if (!encoder.ok()) return encoder.status();
+  model.encoder_ = std::move(*encoder);
+  if (model.encoder_.feature_dim() != model.weights_.size()) {
+    return InvalidArgumentError("weight count does not match encoder width");
+  }
+  model.fitted_ = true;
+  return model;
 }
 
 }  // namespace roadmine::ml

@@ -11,6 +11,7 @@
 
 #include "data/dataset.h"
 #include "data/encoder.h"
+#include "ml/predictor.h"
 #include "util/status.h"
 
 namespace roadmine::ml {
@@ -24,7 +25,7 @@ struct LogisticRegressionParams {
   double momentum = 0.9;
 };
 
-class LogisticRegression {
+class LogisticRegression : public Predictor {
  public:
   explicit LogisticRegression(LogisticRegressionParams params = {})
       : params_(params) {}
@@ -37,14 +38,23 @@ class LogisticRegression {
   double PredictProba(const data::Dataset& dataset, size_t row) const;
   int Predict(const data::Dataset& dataset, size_t row,
               double cutoff = 0.5) const;
-  std::vector<double> PredictProbaMany(const data::Dataset& dataset,
-                                       const std::vector<size_t>& rows) const;
+
+  // Predictor: probabilities for many rows, in order.
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+  const char* name() const override { return "logistic_regression"; }
 
   bool fitted() const { return fitted_; }
   // Weights in encoded-feature space (index via encoder().feature_names()).
   const std::vector<double>& weights() const { return weights_; }
   double intercept() const { return intercept_; }
   const data::FeatureEncoder& encoder() const { return encoder_; }
+
+  // Deployment persistence: weights plus the embedded feature encoder.
+  std::string Serialize() const;
+  static util::Result<LogisticRegression> Deserialize(
+      const std::string& text, const data::Dataset& dataset);
 
  private:
   LogisticRegressionParams params_;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "ml/linalg.h"
+#include "ml/serialize.h"
+#include "util/string_util.h"
 
 namespace roadmine::ml {
 
@@ -129,12 +131,160 @@ double M5Tree::Predict(const data::Dataset& dataset, size_t row) const {
   return prediction;
 }
 
-std::vector<double> M5Tree::PredictMany(const data::Dataset& dataset,
-                                        const std::vector<size_t>& rows) const {
+util::Result<std::vector<double>> M5Tree::PredictBatch(
+    const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (!fitted()) return util::FailedPreconditionError("tree not fitted");
   std::vector<double> out;
   out.reserve(rows.size());
   for (size_t r : rows) out.push_back(Predict(dataset, r));
   return out;
+}
+
+M5Tree::LeafModelView M5Tree::leaf_model(int node_id) const {
+  LeafModelView view;
+  const size_t id = static_cast<size_t>(node_id);
+  if (id < has_model_.size() && has_model_[id]) {
+    view.has_model = true;
+    view.intercept = leaf_models_[id].intercept;
+    view.weights = leaf_models_[id].weights;
+  }
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr char kSerializationHeader[] = "roadmine-m5-tree v1";
+}  // namespace
+
+std::string M5Tree::Serialize() const {
+  // Leaf models come before the embedded structure block: the structure
+  // tree's own format is self-terminating, so it can run to end-of-text.
+  std::string out = kSerializationHeader;
+  out += "\nsmoothing\t" + SerializeDouble(params_.smoothing) + "\n";
+  out += "numeric_features " + std::to_string(numeric_features_.size()) + "\n";
+  for (const FeatureRef& ref : numeric_features_) {
+    out += "nfeature\t" + ref.name + "\n";
+  }
+  size_t model_count = 0;
+  for (uint8_t has : has_model_) model_count += has;
+  out += "leaf_models " + std::to_string(model_count) + "\n";
+  for (size_t id = 0; id < has_model_.size(); ++id) {
+    if (!has_model_[id]) continue;
+    const LeafModel& model = leaf_models_[id];
+    out += "leaf\t" + std::to_string(id) + "\t" +
+           std::to_string(model.count) + "\t" +
+           SerializeDouble(model.intercept);
+    for (double w : model.weights) out += "\t" + SerializeDouble(w);
+    out += "\n";
+  }
+  out += "structure\n";
+  out += structure_.Serialize();
+  return out;
+}
+
+util::Result<M5Tree> M5Tree::Deserialize(const std::string& text,
+                                         const data::Dataset& dataset) {
+  LineCursor cursor(text);
+  const std::string* header = cursor.Next();
+  if (header == nullptr || *header != kSerializationHeader) {
+    return InvalidArgumentError("bad serialization header");
+  }
+  M5Tree tree;
+
+  const std::string* smoothing_line = cursor.Next();
+  if (smoothing_line == nullptr) {
+    return InvalidArgumentError("missing smoothing line");
+  }
+  {
+    const std::vector<std::string> parts = util::Split(*smoothing_line, '\t');
+    if (parts.size() != 2 || parts[0] != "smoothing" ||
+        !util::ParseDouble(parts[1], &tree.params_.smoothing)) {
+      return InvalidArgumentError("bad smoothing line");
+    }
+  }
+
+  auto feature_count = ParseCountLine(cursor, "numeric_features");
+  if (!feature_count.ok()) return feature_count.status();
+  for (int64_t i = 0; i < *feature_count; ++i) {
+    const std::string* line = cursor.Next();
+    if (line == nullptr) {
+      return InvalidArgumentError("truncated numeric feature list");
+    }
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    if (parts.size() != 2 || parts[0] != "nfeature") {
+      return InvalidArgumentError("bad numeric feature line: " + *line);
+    }
+    auto index = dataset.ColumnIndex(parts[1]);
+    if (!index.ok()) return index.status();
+    if (dataset.column(*index).type() != data::ColumnType::kNumeric) {
+      return InvalidArgumentError("feature '" + parts[1] + "' is not numeric");
+    }
+    FeatureRef ref;
+    ref.name = parts[1];
+    ref.column_index = *index;
+    ref.type = data::ColumnType::kNumeric;
+    tree.numeric_features_.push_back(std::move(ref));
+  }
+
+  auto model_count = ParseCountLine(cursor, "leaf_models");
+  if (!model_count.ok()) return model_count.status();
+  struct PendingModel {
+    size_t id;
+    LeafModel model;
+  };
+  std::vector<PendingModel> pending;
+  pending.reserve(static_cast<size_t>(*model_count));
+  const size_t d = tree.numeric_features_.size();
+  for (int64_t i = 0; i < *model_count; ++i) {
+    const std::string* line = cursor.Next();
+    if (line == nullptr) return InvalidArgumentError("truncated leaf models");
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    if (parts.size() != 4 + d || parts[0] != "leaf") {
+      return InvalidArgumentError("bad leaf model line: " + *line);
+    }
+    PendingModel entry;
+    int64_t value = 0;
+    if (!util::ParseInt(parts[1], &value) || value < 0) {
+      return InvalidArgumentError("bad leaf id");
+    }
+    entry.id = static_cast<size_t>(value);
+    if (!util::ParseInt(parts[2], &value) || value < 0) {
+      return InvalidArgumentError("bad leaf model count");
+    }
+    entry.model.count = static_cast<size_t>(value);
+    if (!util::ParseDouble(parts[3], &entry.model.intercept)) {
+      return InvalidArgumentError("bad leaf model intercept");
+    }
+    entry.model.weights.resize(d);
+    for (size_t j = 0; j < d; ++j) {
+      if (!util::ParseDouble(parts[4 + j], &entry.model.weights[j])) {
+        return InvalidArgumentError("bad leaf model weight");
+      }
+    }
+    pending.push_back(std::move(entry));
+  }
+
+  const std::string* marker = cursor.Next();
+  if (marker == nullptr || *marker != "structure") {
+    return InvalidArgumentError("missing structure block");
+  }
+  auto structure = RegressionTree::Deserialize(cursor.Remainder(), dataset);
+  if (!structure.ok()) return structure.status();
+  tree.structure_ = std::move(*structure);
+
+  tree.leaf_models_.assign(tree.structure_.node_count(), LeafModel{});
+  tree.has_model_.assign(tree.structure_.node_count(), 0);
+  for (PendingModel& entry : pending) {
+    if (entry.id >= tree.leaf_models_.size()) {
+      return InvalidArgumentError("leaf model id out of range");
+    }
+    tree.leaf_models_[entry.id] = std::move(entry.model);
+    tree.has_model_[entry.id] = 1;
+  }
+  return tree;
 }
 
 }  // namespace roadmine::ml

@@ -10,6 +10,7 @@
 
 #include "data/dataset.h"
 #include "ml/common.h"
+#include "ml/predictor.h"
 #include "ml/regression_tree.h"
 #include "util/status.h"
 
@@ -26,7 +27,7 @@ struct M5TreeParams {
   double smoothing = 15.0;
 };
 
-class M5Tree {
+class M5Tree : public Predictor {
  public:
   explicit M5Tree(M5TreeParams params = {})
       : params_(params), structure_(params_.tree) {}
@@ -40,12 +41,33 @@ class M5Tree {
                    const std::vector<size_t>& rows);
 
   double Predict(const data::Dataset& dataset, size_t row) const;
-  std::vector<double> PredictMany(const data::Dataset& dataset,
-                                  const std::vector<size_t>& rows) const;
+
+  // Predictor: smoothed leaf-model predictions for many rows, in order.
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+  const char* name() const override { return "m5_tree"; }
 
   bool fitted() const { return structure_.fitted(); }
   size_t leaf_count() const { return structure_.leaf_count(); }
   const RegressionTree& structure() const { return structure_; }
+
+  // Read-only state exports for model compilers (serve::FlatModel).
+  struct LeafModelView {
+    bool has_model = false;
+    double intercept = 0.0;
+    std::vector<double> weights;  // Parallel to numeric_features().
+  };
+  LeafModelView leaf_model(int node_id) const;
+  const std::vector<FeatureRef>& numeric_features() const {
+    return numeric_features_;
+  }
+  double smoothing() const { return params_.smoothing; }
+
+  // Deployment persistence: leaf models plus the embedded structure tree.
+  std::string Serialize() const;
+  static util::Result<M5Tree> Deserialize(const std::string& text,
+                                          const data::Dataset& dataset);
 
  private:
   struct LeafModel {

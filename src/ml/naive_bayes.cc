@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "ml/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/distributions.h"
+#include "util/string_util.h"
 
 namespace roadmine::ml {
 
@@ -127,12 +129,122 @@ int NaiveBayesClassifier::Predict(const data::Dataset& dataset, size_t row,
   return PredictProba(dataset, row) >= cutoff ? 1 : 0;
 }
 
-std::vector<double> NaiveBayesClassifier::PredictProbaMany(
+util::Result<std::vector<double>> NaiveBayesClassifier::PredictBatch(
     const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (!fitted_) return util::FailedPreconditionError("model not fitted");
   std::vector<double> probs;
   probs.reserve(rows.size());
   for (size_t r : rows) probs.push_back(PredictProba(dataset, r));
   return probs;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr char kSerializationHeader[] = "roadmine-naive-bayes v1";
+}  // namespace
+
+std::string NaiveBayesClassifier::Serialize() const {
+  std::string out = kSerializationHeader;
+  out += "\npriors\t" + SerializeDouble(log_prior_[0]) + "\t" +
+         SerializeDouble(log_prior_[1]) + "\n";
+  AppendFeatureSection(features_, &out);
+  for (size_t f = 0; f < models_.size(); ++f) {
+    const FeatureModel& model = models_[f];
+    if (features_[f].type == data::ColumnType::kNumeric) {
+      out += "gauss";
+      for (int y = 0; y < 2; ++y) {
+        out += "\t" + SerializeDouble(model.gaussian[y].mean) + "\t" +
+               SerializeDouble(model.gaussian[y].variance) + "\t" +
+               std::to_string(model.gaussian[y].count);
+      }
+      out += "\n";
+    } else {
+      out += "cat\t" + std::to_string(model.log_prob[0].size());
+      for (int y = 0; y < 2; ++y) {
+        for (double lp : model.log_prob[y]) out += "\t" + SerializeDouble(lp);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+util::Result<NaiveBayesClassifier> NaiveBayesClassifier::Deserialize(
+    const std::string& text, const data::Dataset& dataset) {
+  LineCursor cursor(text);
+  const std::string* header = cursor.Next();
+  if (header == nullptr || *header != kSerializationHeader) {
+    return InvalidArgumentError("bad serialization header");
+  }
+  NaiveBayesClassifier nb;
+
+  const std::string* priors_line = cursor.Next();
+  if (priors_line == nullptr) return InvalidArgumentError("missing priors");
+  {
+    const std::vector<std::string> parts = util::Split(*priors_line, '\t');
+    if (parts.size() != 3 || parts[0] != "priors" ||
+        !util::ParseDouble(parts[1], &nb.log_prior_[0]) ||
+        !util::ParseDouble(parts[2], &nb.log_prior_[1])) {
+      return InvalidArgumentError("bad priors line");
+    }
+  }
+
+  auto features = ParseFeatureSection(cursor, dataset);
+  if (!features.ok()) return features.status();
+  nb.features_ = std::move(*features);
+
+  nb.models_.reserve(nb.features_.size());
+  for (const FeatureRef& ref : nb.features_) {
+    const std::string* line = cursor.Next();
+    if (line == nullptr) return InvalidArgumentError("truncated feature models");
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    FeatureModel model;
+    if (parts[0] == "gauss") {
+      if (ref.type != data::ColumnType::kNumeric) {
+        return InvalidArgumentError("gauss model for categorical feature '" +
+                                    ref.name + "'");
+      }
+      if (parts.size() != 7) {
+        return InvalidArgumentError("bad gauss line: " + *line);
+      }
+      for (int y = 0; y < 2; ++y) {
+        int64_t count = 0;
+        if (!util::ParseDouble(parts[1 + 3 * y], &model.gaussian[y].mean) ||
+            !util::ParseDouble(parts[2 + 3 * y], &model.gaussian[y].variance) ||
+            !util::ParseInt(parts[3 + 3 * y], &count) || count < 0) {
+          return InvalidArgumentError("bad gauss line: " + *line);
+        }
+        model.gaussian[y].count = static_cast<size_t>(count);
+      }
+    } else if (parts[0] == "cat") {
+      if (ref.type != data::ColumnType::kCategorical) {
+        return InvalidArgumentError("cat model for numeric feature '" +
+                                    ref.name + "'");
+      }
+      int64_t k = 0;
+      if (parts.size() < 2 || !util::ParseInt(parts[1], &k) || k < 0 ||
+          parts.size() != 2 + 2 * static_cast<size_t>(k)) {
+        return InvalidArgumentError("bad cat line: " + *line);
+      }
+      for (int y = 0; y < 2; ++y) {
+        model.log_prob[y].resize(static_cast<size_t>(k));
+        for (int64_t cat = 0; cat < k; ++cat) {
+          if (!util::ParseDouble(parts[2 + static_cast<size_t>(y * k + cat)],
+                                 &model.log_prob[y][static_cast<size_t>(cat)])) {
+            return InvalidArgumentError("bad cat line: " + *line);
+          }
+        }
+      }
+    } else {
+      return InvalidArgumentError("bad feature model line: " + *line);
+    }
+    nb.models_.push_back(std::move(model));
+  }
+  nb.fitted_ = true;
+  return nb;
 }
 
 }  // namespace roadmine::ml

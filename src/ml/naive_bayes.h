@@ -12,6 +12,7 @@
 
 #include "data/dataset.h"
 #include "ml/common.h"
+#include "ml/predictor.h"
 #include "util/status.h"
 
 namespace roadmine::ml {
@@ -24,7 +25,7 @@ struct NaiveBayesParams {
   double min_variance = 1e-6;
 };
 
-class NaiveBayesClassifier {
+class NaiveBayesClassifier : public Predictor {
  public:
   explicit NaiveBayesClassifier(NaiveBayesParams params = {})
       : params_(params) {}
@@ -38,10 +39,20 @@ class NaiveBayesClassifier {
   double PredictProba(const data::Dataset& dataset, size_t row) const;
   int Predict(const data::Dataset& dataset, size_t row,
               double cutoff = 0.5) const;
-  std::vector<double> PredictProbaMany(const data::Dataset& dataset,
-                                       const std::vector<size_t>& rows) const;
+
+  // Predictor: probabilities for many rows, in order.
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+  const char* name() const override { return "naive_bayes"; }
 
   bool fitted() const { return fitted_; }
+
+  // Deployment persistence: priors plus per-feature class-conditional
+  // statistics (Gaussians / log frequency tables).
+  std::string Serialize() const;
+  static util::Result<NaiveBayesClassifier> Deserialize(
+      const std::string& text, const data::Dataset& dataset);
 
  private:
   struct GaussianStats {

@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "ml/common.h"
+#include "ml/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/string_util.h"
 
 namespace roadmine::ml {
 
@@ -192,12 +194,128 @@ int NeuralNetClassifier::Predict(const data::Dataset& dataset, size_t row,
   return PredictProba(dataset, row) >= cutoff ? 1 : 0;
 }
 
-std::vector<double> NeuralNetClassifier::PredictProbaMany(
+util::Result<std::vector<double>> NeuralNetClassifier::PredictBatch(
     const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (!fitted_) return util::FailedPreconditionError("model not fitted");
   std::vector<double> probs;
   probs.reserve(rows.size());
   for (size_t r : rows) probs.push_back(PredictProba(dataset, r));
   return probs;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr char kSerializationHeader[] = "roadmine-neural-net v1";
+}  // namespace
+
+std::string NeuralNetClassifier::Serialize() const {
+  // The embedded encoder block comes last: its format is self-terminating,
+  // so it can run to end-of-text.
+  std::string out = kSerializationHeader;
+  out += "\nfinal_loss\t" + SerializeDouble(final_loss_) + "\n";
+  out += "layers " + std::to_string(layers_.size()) + "\n";
+  for (const Layer& layer : layers_) {
+    out += "layer\t" + std::to_string(layer.in) + "\t" +
+           std::to_string(layer.out) + "\n";
+    for (size_t o = 0; o < layer.out; ++o) {
+      out += "wrow";
+      const double* w = &layer.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) out += "\t" + SerializeDouble(w[i]);
+      out += "\n";
+    }
+    out += "bias";
+    for (double b : layer.bias) out += "\t" + SerializeDouble(b);
+    out += "\n";
+  }
+  out += "encoder\n";
+  out += encoder_.Serialize();
+  return out;
+}
+
+util::Result<NeuralNetClassifier> NeuralNetClassifier::Deserialize(
+    const std::string& text, const data::Dataset& dataset) {
+  LineCursor cursor(text);
+  const std::string* header = cursor.Next();
+  if (header == nullptr || *header != kSerializationHeader) {
+    return InvalidArgumentError("bad serialization header");
+  }
+  NeuralNetClassifier net;
+
+  const std::string* loss_line = cursor.Next();
+  if (loss_line == nullptr) return InvalidArgumentError("missing loss line");
+  {
+    const std::vector<std::string> parts = util::Split(*loss_line, '\t');
+    if (parts.size() != 2 || parts[0] != "final_loss" ||
+        !util::ParseDouble(parts[1], &net.final_loss_)) {
+      return InvalidArgumentError("bad final_loss line");
+    }
+  }
+
+  auto layer_count = ParseCountLine(cursor, "layers");
+  if (!layer_count.ok()) return layer_count.status();
+  if (*layer_count == 0) return InvalidArgumentError("network has no layers");
+  net.layers_.reserve(static_cast<size_t>(*layer_count));
+  for (int64_t l = 0; l < *layer_count; ++l) {
+    const std::string* line = cursor.Next();
+    if (line == nullptr) return InvalidArgumentError("truncated layer list");
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    int64_t in = 0, out_width = 0;
+    if (parts.size() != 3 || parts[0] != "layer" ||
+        !util::ParseInt(parts[1], &in) || in <= 0 ||
+        !util::ParseInt(parts[2], &out_width) || out_width <= 0) {
+      return InvalidArgumentError("bad layer line: " + *line);
+    }
+    Layer layer;
+    layer.in = static_cast<size_t>(in);
+    layer.out = static_cast<size_t>(out_width);
+    layer.weights.resize(layer.in * layer.out);
+    for (size_t o = 0; o < layer.out; ++o) {
+      const std::string* row = cursor.Next();
+      if (row == nullptr) return InvalidArgumentError("truncated weight rows");
+      const std::vector<std::string> row_parts = util::Split(*row, '\t');
+      if (row_parts.size() != 1 + layer.in || row_parts[0] != "wrow") {
+        return InvalidArgumentError("bad weight row: " + *row);
+      }
+      for (size_t i = 0; i < layer.in; ++i) {
+        if (!util::ParseDouble(row_parts[1 + i],
+                               &layer.weights[o * layer.in + i])) {
+          return InvalidArgumentError("bad weight value");
+        }
+      }
+    }
+    const std::string* bias_line = cursor.Next();
+    if (bias_line == nullptr) return InvalidArgumentError("missing bias line");
+    const std::vector<std::string> bias_parts = util::Split(*bias_line, '\t');
+    if (bias_parts.size() != 1 + layer.out || bias_parts[0] != "bias") {
+      return InvalidArgumentError("bad bias line: " + *bias_line);
+    }
+    layer.bias.resize(layer.out);
+    for (size_t o = 0; o < layer.out; ++o) {
+      if (!util::ParseDouble(bias_parts[1 + o], &layer.bias[o])) {
+        return InvalidArgumentError("bad bias value");
+      }
+    }
+    net.layers_.push_back(std::move(layer));
+  }
+  if (net.layers_.back().out != 1) {
+    return InvalidArgumentError("output layer width must be 1");
+  }
+
+  const std::string* marker = cursor.Next();
+  if (marker == nullptr || *marker != "encoder") {
+    return InvalidArgumentError("missing encoder block");
+  }
+  auto encoder = data::FeatureEncoder::Deserialize(cursor.Remainder(), dataset);
+  if (!encoder.ok()) return encoder.status();
+  net.encoder_ = std::move(*encoder);
+  if (net.encoder_.feature_dim() != net.layers_.front().in) {
+    return InvalidArgumentError("input width does not match encoder width");
+  }
+  net.fitted_ = true;
+  return net;
 }
 
 }  // namespace roadmine::ml

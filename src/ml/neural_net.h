@@ -10,6 +10,7 @@
 
 #include "data/dataset.h"
 #include "data/encoder.h"
+#include "ml/predictor.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -26,7 +27,7 @@ struct NeuralNetParams {
   uint64_t seed = 17;
 };
 
-class NeuralNetClassifier {
+class NeuralNetClassifier : public Predictor {
  public:
   explicit NeuralNetClassifier(NeuralNetParams params = {})
       : params_(std::move(params)) {}
@@ -39,12 +40,21 @@ class NeuralNetClassifier {
   double PredictProba(const data::Dataset& dataset, size_t row) const;
   int Predict(const data::Dataset& dataset, size_t row,
               double cutoff = 0.5) const;
-  std::vector<double> PredictProbaMany(const data::Dataset& dataset,
-                                       const std::vector<size_t>& rows) const;
+
+  // Predictor: probabilities for many rows, in order.
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+  const char* name() const override { return "neural_net"; }
 
   bool fitted() const { return fitted_; }
   // Mean training cross-entropy after the final epoch.
   double final_loss() const { return final_loss_; }
+
+  // Deployment persistence: layer weights plus the embedded encoder.
+  std::string Serialize() const;
+  static util::Result<NeuralNetClassifier> Deserialize(
+      const std::string& text, const data::Dataset& dataset);
 
  private:
   struct Layer {

@@ -7,6 +7,7 @@
 
 #include "exec/executor.h"
 #include "ml/feature_index.h"
+#include "ml/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/distributions.h"
@@ -434,8 +435,9 @@ double RegressionTree::Predict(const data::Dataset& dataset, size_t row) const {
   return nodes_[static_cast<size_t>(LeafId(dataset, row))].mean;
 }
 
-std::vector<double> RegressionTree::PredictMany(
+util::Result<std::vector<double>> RegressionTree::PredictBatch(
     const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (!fitted()) return util::FailedPreconditionError("tree not fitted");
   std::vector<double> out;
   out.reserve(rows.size());
   for (size_t r : rows) out.push_back(Predict(dataset, r));
@@ -485,6 +487,143 @@ std::string RegressionTree::ToString() const {
     }
   }
   return out;
+}
+
+std::vector<RegressionTree::NodeView> RegressionTree::ExportNodes() const {
+  std::vector<NodeView> views;
+  views.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    NodeView view;
+    view.is_leaf = node.is_leaf;
+    view.feature = node.feature;
+    view.threshold = node.threshold;
+    view.left_categories = node.left_categories;
+    view.missing_goes_left = node.missing_goes_left;
+    view.left = node.left;
+    view.right = node.right;
+    view.count = node.count;
+    view.mean = node.mean;
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr char kSerializationHeader[] = "roadmine-regression-tree v1";
+}  // namespace
+
+std::string RegressionTree::Serialize() const {
+  std::string out = kSerializationHeader;
+  out += "\n";
+  AppendFeatureSection(features_, &out);
+  out += "nodes " + std::to_string(nodes_.size()) + "\n";
+  for (const Node& node : nodes_) {
+    out += "node\t";
+    out += std::to_string(node.is_leaf ? 1 : 0) + "\t";
+    out += std::to_string(node.depth) + "\t";
+    out += std::to_string(node.feature) + "\t";
+    out += SerializeDouble(node.threshold) + "\t";
+    out += std::to_string(node.missing_goes_left ? 1 : 0) + "\t";
+    out += std::to_string(node.left) + "\t";
+    out += std::to_string(node.right) + "\t";
+    out += std::to_string(node.count) + "\t";
+    out += SerializeDouble(node.mean) + "\t";
+    out += SerializeDouble(node.sse) + "\t";
+    if (node.left_categories.empty()) {
+      out += "-";
+    } else {
+      for (uint8_t bit : node.left_categories) out += bit ? '1' : '0';
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+util::Result<RegressionTree> RegressionTree::Deserialize(
+    const std::string& text, const data::Dataset& dataset) {
+  LineCursor cursor(text);
+  const std::string* header = cursor.Next();
+  if (header == nullptr || *header != kSerializationHeader) {
+    return InvalidArgumentError("bad serialization header");
+  }
+  RegressionTree tree;
+  auto features = ParseFeatureSection(cursor, dataset);
+  if (!features.ok()) return features.status();
+  tree.features_ = std::move(*features);
+
+  auto node_count = ParseCountLine(cursor, "nodes");
+  if (!node_count.ok()) return node_count.status();
+  if (*node_count <= 0) return InvalidArgumentError("no nodes");
+  for (int64_t i = 0; i < *node_count; ++i) {
+    const std::string* line = cursor.Next();
+    if (line == nullptr) return InvalidArgumentError("truncated nodes");
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    if (parts.size() != 12 || parts[0] != "node") {
+      return InvalidArgumentError("bad node line: " + *line);
+    }
+    Node node;
+    int64_t value = 0;
+    if (!util::ParseInt(parts[1], &value)) {
+      return InvalidArgumentError("bad is_leaf");
+    }
+    node.is_leaf = value != 0;
+    if (!util::ParseInt(parts[2], &value)) {
+      return InvalidArgumentError("bad depth");
+    }
+    node.depth = static_cast<int>(value);
+    if (!util::ParseInt(parts[3], &value) || value < 0) {
+      return InvalidArgumentError("bad feature index");
+    }
+    node.feature = static_cast<size_t>(value);
+    if (!node.is_leaf && node.feature >= tree.features_.size()) {
+      return InvalidArgumentError("feature index out of range");
+    }
+    if (!util::ParseDouble(parts[4], &node.threshold)) {
+      return InvalidArgumentError("bad threshold");
+    }
+    if (!util::ParseInt(parts[5], &value)) {
+      return InvalidArgumentError("bad missing direction");
+    }
+    node.missing_goes_left = value != 0;
+    if (!util::ParseInt(parts[6], &value)) {
+      return InvalidArgumentError("bad left child");
+    }
+    node.left = static_cast<int>(value);
+    if (!util::ParseInt(parts[7], &value)) {
+      return InvalidArgumentError("bad right child");
+    }
+    node.right = static_cast<int>(value);
+    if (!node.is_leaf &&
+        (node.left < 0 || node.left >= *node_count || node.right < 0 ||
+         node.right >= *node_count)) {
+      return InvalidArgumentError("child index out of range");
+    }
+    if (!util::ParseInt(parts[8], &value) || value < 0) {
+      return InvalidArgumentError("bad count");
+    }
+    node.count = static_cast<size_t>(value);
+    if (!util::ParseDouble(parts[9], &node.mean)) {
+      return InvalidArgumentError("bad mean");
+    }
+    if (!util::ParseDouble(parts[10], &node.sse)) {
+      return InvalidArgumentError("bad sse");
+    }
+    if (parts[11] != "-") {
+      node.left_categories.reserve(parts[11].size());
+      for (char c : parts[11]) {
+        if (c != '0' && c != '1') {
+          return InvalidArgumentError("bad category mask");
+        }
+        node.left_categories.push_back(c == '1' ? 1 : 0);
+      }
+    }
+    tree.nodes_.push_back(std::move(node));
+  }
+  return tree;
 }
 
 }  // namespace roadmine::ml

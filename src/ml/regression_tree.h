@@ -14,6 +14,7 @@
 
 #include "data/dataset.h"
 #include "ml/common.h"
+#include "ml/predictor.h"
 #include "util/status.h"
 
 namespace roadmine::exec {
@@ -46,7 +47,7 @@ struct RegressionTreeParams {
   exec::Executor* executor = nullptr;
 };
 
-class RegressionTree {
+class RegressionTree : public Predictor {
  public:
   explicit RegressionTree(RegressionTreeParams params = {}) : params_(params) {}
 
@@ -59,8 +60,12 @@ class RegressionTree {
 
   // Leaf mean for one row.
   double Predict(const data::Dataset& dataset, size_t row) const;
-  std::vector<double> PredictMany(const data::Dataset& dataset,
-                                  const std::vector<size_t>& rows) const;
+
+  // Predictor: leaf means for many rows, in order.
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+  const char* name() const override { return "regression_tree"; }
 
   // Stable id of the leaf a row lands in (for leaf-level analysis).
   int LeafId(const data::Dataset& dataset, size_t row) const;
@@ -80,6 +85,29 @@ class RegressionTree {
   size_t node_count() const { return nodes_.size(); }
 
   std::string ToString() const;
+
+  // Deployment persistence, mirroring the decision-tree format: feature
+  // schema re-resolved against `dataset` on load, doubles exact.
+  std::string Serialize() const;
+  static util::Result<RegressionTree> Deserialize(const std::string& text,
+                                                  const data::Dataset& dataset);
+
+  // Read-only flat view of one fitted node for model compilers
+  // (serve::FlatModel). `mean`/`count` are exported for every node, not
+  // just leaves, because M5 smoothing walks ancestor statistics.
+  struct NodeView {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;
+    std::vector<uint8_t> left_categories;
+    bool missing_goes_left = true;
+    int left = -1;
+    int right = -1;
+    size_t count = 0;
+    double mean = 0.0;
+  };
+  std::vector<NodeView> ExportNodes() const;
+  const std::vector<FeatureRef>& features() const { return features_; }
 
  private:
   struct Node {

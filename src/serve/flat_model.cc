@@ -1,0 +1,633 @@
+#include "serve/flat_model.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "ml/serialize.h"
+#include "util/string_util.h"
+
+namespace roadmine::serve {
+
+using util::InvalidArgumentError;
+using util::Result;
+
+namespace {
+
+constexpr char kSerializationHeader[] = "roadmine-flat-model v1";
+
+const char* KindName(FlatModel::Kind kind) {
+  switch (kind) {
+    case FlatModel::Kind::kDecisionTree:
+      return "decision_tree";
+    case FlatModel::Kind::kBaggedTrees:
+      return "bagged_trees";
+    case FlatModel::Kind::kRegressionTree:
+      return "regression_tree";
+    case FlatModel::Kind::kM5Tree:
+      return "m5_tree";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+// Shared state while lowering one or more trees into a FlatModel: the
+// deduplicated feature table plus the growing node pool.
+class FlatModelCompiler {
+ public:
+  explicit FlatModelCompiler(FlatModel* out) : out_(*out) {}
+
+  // Appends `nodes` as one tree. `leaf_value(view)` extracts the leaf
+  // payload; the node views must form a valid tree rooted at index 0.
+  template <typename NodeViewT, typename LeafValueFn>
+  util::Status AppendTree(const std::vector<NodeViewT>& nodes,
+                          const std::vector<ml::FeatureRef>& tree_features,
+                          LeafValueFn leaf_value) {
+    if (nodes.empty()) return InvalidArgumentError("tree has no nodes");
+    // Map the tree's local feature indices into the shared table.
+    std::vector<int32_t> remap(tree_features.size());
+    for (size_t f = 0; f < tree_features.size(); ++f) {
+      auto mapped = MapFeature(tree_features[f]);
+      if (!mapped.ok()) return mapped.status();
+      remap[f] = *mapped;
+    }
+
+    const size_t base = out_.feature_.size();
+    out_.roots_.push_back(static_cast<int32_t>(base));
+    for (const NodeViewT& node : nodes) {
+      if (node.is_leaf) {
+        out_.feature_.push_back(FlatModel::kInvalid);
+        out_.threshold_.push_back(0.0);
+        out_.left_.push_back(FlatModel::kInvalid);
+        out_.right_.push_back(FlatModel::kInvalid);
+        out_.missing_left_.push_back(1);
+        out_.is_categorical_.push_back(0);
+        out_.mask_offset_.push_back(FlatModel::kInvalid);
+        out_.mask_nbits_.push_back(0);
+        out_.leaf_value_.push_back(leaf_value(node));
+        continue;
+      }
+      if (node.feature >= tree_features.size() || node.left < 0 ||
+          node.right < 0 || static_cast<size_t>(node.left) >= nodes.size() ||
+          static_cast<size_t>(node.right) >= nodes.size()) {
+        return InvalidArgumentError("malformed split node");
+      }
+      const bool categorical =
+          tree_features[node.feature].type == data::ColumnType::kCategorical;
+      out_.feature_.push_back(remap[node.feature]);
+      out_.threshold_.push_back(node.threshold);
+      out_.left_.push_back(static_cast<int32_t>(base) + node.left);
+      out_.right_.push_back(static_cast<int32_t>(base) + node.right);
+      out_.missing_left_.push_back(node.missing_goes_left ? 1 : 0);
+      out_.is_categorical_.push_back(categorical ? 1 : 0);
+      if (categorical) {
+        out_.mask_offset_.push_back(
+            static_cast<int32_t>(out_.mask_words_.size()));
+        out_.mask_nbits_.push_back(
+            static_cast<int32_t>(node.left_categories.size()));
+        out_.mask_words_.resize(out_.mask_words_.size() +
+                                (node.left_categories.size() + 63) / 64);
+        for (size_t bit = 0; bit < node.left_categories.size(); ++bit) {
+          if (node.left_categories[bit] != 0) {
+            out_.mask_words_[static_cast<size_t>(out_.mask_offset_.back()) +
+                             bit / 64] |= uint64_t{1} << (bit % 64);
+          }
+        }
+      } else {
+        out_.mask_offset_.push_back(FlatModel::kInvalid);
+        out_.mask_nbits_.push_back(0);
+      }
+      out_.leaf_value_.push_back(0.0);
+    }
+    return util::Status::Ok();
+  }
+
+ private:
+  Result<int32_t> MapFeature(const ml::FeatureRef& ref) {
+    auto it = by_name_.find(ref.name);
+    if (it != by_name_.end()) {
+      const ml::FeatureRef& existing =
+          out_.features_[static_cast<size_t>(it->second)];
+      if (existing.column_index != ref.column_index ||
+          existing.type != ref.type) {
+        return InvalidArgumentError("feature '" + ref.name +
+                                    "' is inconsistent across member trees");
+      }
+      return it->second;
+    }
+    const int32_t id = static_cast<int32_t>(out_.features_.size());
+    out_.features_.push_back(ref);
+    by_name_.emplace(ref.name, id);
+    return id;
+  }
+
+  FlatModel& out_;
+  std::unordered_map<std::string, int32_t> by_name_;
+};
+
+Result<FlatModel> CompileModel(const ml::DecisionTreeClassifier& model) {
+  if (!model.fitted()) return util::FailedPreconditionError("tree not fitted");
+  FlatModel flat;
+  flat.kind_ = FlatModel::Kind::kDecisionTree;
+  FlatModelCompiler compiler(&flat);
+  ROADMINE_RETURN_IF_ERROR(compiler.AppendTree(
+      model.ExportNodes(), model.features(),
+      [](const ml::DecisionTreeClassifier::NodeView& node) {
+        return node.leaf_value;
+      }));
+  return flat;
+}
+
+Result<FlatModel> CompileModel(const ml::BaggedTreesClassifier& model) {
+  if (!model.fitted()) {
+    return util::FailedPreconditionError("ensemble not fitted");
+  }
+  FlatModel flat;
+  flat.kind_ = FlatModel::Kind::kBaggedTrees;
+  FlatModelCompiler compiler(&flat);
+  for (const ml::DecisionTreeClassifier& tree : model.trees()) {
+    ROADMINE_RETURN_IF_ERROR(compiler.AppendTree(
+        tree.ExportNodes(), tree.features(),
+        [](const ml::DecisionTreeClassifier::NodeView& node) {
+          return node.leaf_value;
+        }));
+  }
+  return flat;
+}
+
+Result<FlatModel> CompileModel(const ml::RegressionTree& model) {
+  if (!model.fitted()) return util::FailedPreconditionError("tree not fitted");
+  FlatModel flat;
+  flat.kind_ = FlatModel::Kind::kRegressionTree;
+  FlatModelCompiler compiler(&flat);
+  ROADMINE_RETURN_IF_ERROR(compiler.AppendTree(
+      model.ExportNodes(), model.features(),
+      [](const ml::RegressionTree::NodeView& node) { return node.mean; }));
+  return flat;
+}
+
+Result<FlatModel> CompileModel(const ml::M5Tree& model) {
+  if (!model.fitted()) return util::FailedPreconditionError("tree not fitted");
+  FlatModel flat;
+  flat.kind_ = FlatModel::Kind::kM5Tree;
+  FlatModelCompiler compiler(&flat);
+  const std::vector<ml::RegressionTree::NodeView> nodes =
+      model.structure().ExportNodes();
+  ROADMINE_RETURN_IF_ERROR(compiler.AppendTree(
+      nodes, model.structure().features(),
+      [](const ml::RegressionTree::NodeView& node) { return node.mean; }));
+
+  flat.smoothing_ = model.smoothing();
+  flat.lm_features_ = model.numeric_features();
+  flat.node_mean_.reserve(nodes.size());
+  flat.node_n_.reserve(nodes.size());
+  flat.lm_offset_.assign(nodes.size(), FlatModel::kInvalid);
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    flat.node_mean_.push_back(nodes[id].mean);
+    flat.node_n_.push_back(static_cast<double>(nodes[id].count));
+    const ml::M5Tree::LeafModelView lm =
+        model.leaf_model(static_cast<int>(id));
+    if (!lm.has_model) continue;
+    if (lm.weights.size() != flat.lm_features_.size()) {
+      return InvalidArgumentError("leaf model width mismatch");
+    }
+    flat.lm_offset_[id] = static_cast<int32_t>(flat.lm_pool_.size());
+    flat.lm_pool_.push_back(lm.intercept);
+    flat.lm_pool_.insert(flat.lm_pool_.end(), lm.weights.begin(),
+                         lm.weights.end());
+  }
+  return flat;
+}
+
+// ---------------------------------------------------------------------------
+// Scoring
+// ---------------------------------------------------------------------------
+
+const char* FlatModel::name() const {
+  switch (kind_) {
+    case Kind::kDecisionTree:
+      return "flat_decision_tree";
+    case Kind::kBaggedTrees:
+      return "flat_bagged_trees";
+    case Kind::kRegressionTree:
+      return "flat_regression_tree";
+    case Kind::kM5Tree:
+      return "flat_m5_tree";
+  }
+  return "flat_model";
+}
+
+Result<FlatModel::ResolvedColumns> FlatModel::ResolveColumns(
+    const data::Dataset& dataset) const {
+  ResolvedColumns resolved;
+  auto resolve = [&dataset](const ml::FeatureRef& ref)
+      -> Result<const data::Column*> {
+    if (ref.column_index >= dataset.num_columns() ||
+        dataset.column(ref.column_index).name() != ref.name) {
+      return InvalidArgumentError(
+          "dataset schema does not match the compiled schema at column '" +
+          ref.name + "'");
+    }
+    const data::Column& col = dataset.column(ref.column_index);
+    if (col.type() != ref.type) {
+      return InvalidArgumentError("column '" + ref.name +
+                                  "' has the wrong type");
+    }
+    return &col;
+  };
+  resolved.split_columns.reserve(features_.size());
+  for (const ml::FeatureRef& ref : features_) {
+    auto col = resolve(ref);
+    if (!col.ok()) return col.status();
+    resolved.split_columns.push_back(*col);
+  }
+  resolved.lm_columns.reserve(lm_features_.size());
+  for (const ml::FeatureRef& ref : lm_features_) {
+    auto col = resolve(ref);
+    if (!col.ok()) return col.status();
+    resolved.lm_columns.push_back(*col);
+  }
+  return resolved;
+}
+
+// Reads one dataset row through the resolved columns (single-row path).
+struct FlatModel::ColumnAccessor {
+  const ResolvedColumns& columns;
+  size_t row;
+  double Numeric(size_t f) const {
+    return columns.split_columns[f]->NumericAt(row);
+  }
+  int32_t Code(size_t f) const { return columns.split_columns[f]->CodeAt(row); }
+  double Lm(size_t j) const { return columns.lm_columns[j]->NumericAt(row); }
+};
+
+// Reads one row slice of the matrices PredictBatch gathers up front.
+struct FlatModel::GatheredAccessor {
+  const double* numeric;   // One slot per split feature.
+  const int32_t* codes;
+  const double* lm;        // One slot per leaf-model feature.
+  double Numeric(size_t f) const { return numeric[f]; }
+  int32_t Code(size_t f) const { return codes[f]; }
+  double Lm(size_t j) const { return lm[j]; }
+};
+
+template <typename Accessor>
+size_t FlatModel::FindLeaf(size_t t, const Accessor& acc,
+                           std::vector<size_t>* path) const {
+  size_t id = static_cast<size_t>(roots_[t]);
+  for (;;) {
+    if (path != nullptr) path->push_back(id);
+    const int32_t f = feature_[id];
+    if (f == kInvalid) return id;
+    bool go_left;
+    if (is_categorical_[id] == 0) {
+      // NaN is data::Column's numeric missing encoding (== IsMissing).
+      const double v = acc.Numeric(static_cast<size_t>(f));
+      go_left = std::isnan(v) ? missing_left_[id] != 0 : v <= threshold_[id];
+    } else {
+      const int32_t code = acc.Code(static_cast<size_t>(f));
+      if (code < 0) {  // Negative code == categorical missing.
+        go_left = missing_left_[id] != 0;
+      } else {
+        const size_t bit = static_cast<size_t>(code);
+        go_left =
+            bit < static_cast<size_t>(mask_nbits_[id]) &&
+            ((mask_words_[static_cast<size_t>(mask_offset_[id]) + bit / 64] >>
+              (bit % 64)) &
+             1) != 0;
+      }
+    }
+    id = static_cast<size_t>(go_left ? left_[id] : right_[id]);
+  }
+}
+
+template <typename Accessor>
+double FlatModel::ScoreRow(const Accessor& acc,
+                           std::vector<size_t>* path_scratch) const {
+  switch (kind_) {
+    case Kind::kDecisionTree:
+    case Kind::kRegressionTree:
+      return leaf_value_[FindLeaf(0, acc, nullptr)];
+    case Kind::kBaggedTrees: {
+      // Member order matches the source ensemble, so the sum — and its
+      // rounding — is bit-identical to BaggedTreesClassifier.
+      double sum = 0.0;
+      for (size_t t = 0; t < roots_.size(); ++t) {
+        sum += leaf_value_[FindLeaf(t, acc, nullptr)];
+      }
+      return sum / static_cast<double>(roots_.size());
+    }
+    case Kind::kM5Tree: {
+      path_scratch->clear();
+      const size_t leaf = FindLeaf(0, acc, path_scratch);
+      double prediction;
+      const int32_t offset = lm_offset_[leaf];
+      if (offset != kInvalid) {
+        prediction = lm_pool_[static_cast<size_t>(offset)];
+        for (size_t j = 0; j < lm_features_.size(); ++j) {
+          const double v = acc.Lm(j);
+          if (!std::isnan(v)) {
+            prediction += lm_pool_[static_cast<size_t>(offset) + 1 + j] * v;
+          }
+        }
+      } else {
+        prediction = node_mean_[leaf];
+      }
+      if (smoothing_ <= 0.0) return prediction;
+      // Quinlan smoothing along the recorded root-to-leaf path.
+      const std::vector<size_t>& path = *path_scratch;
+      for (size_t i = path.size() - 1; i-- > 0;) {
+        const double n = node_n_[path[i + 1]];
+        prediction = (n * prediction + smoothing_ * node_mean_[path[i]]) /
+                     (n + smoothing_);
+      }
+      return prediction;
+    }
+  }
+  return 0.0;
+}
+
+Result<double> FlatModel::PredictRow(const data::Dataset& dataset,
+                                     size_t row) const {
+  if (!compiled()) return util::FailedPreconditionError("model not compiled");
+  auto columns = ResolveColumns(dataset);
+  if (!columns.ok()) return columns.status();
+  std::vector<size_t> path;
+  return ScoreRow(ColumnAccessor{*columns, row}, &path);
+}
+
+Result<std::vector<double>> FlatModel::PredictBatch(
+    const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (!compiled()) return util::FailedPreconditionError("model not compiled");
+  auto columns = ResolveColumns(dataset);
+  if (!columns.ok()) return columns.status();
+
+  // Gather the batch's feature values into row-major matrices, column by
+  // column (contiguous source reads). Traversal then touches only these
+  // matrices and the SoA node pool — no column calls inside the descent,
+  // and one matrix row stays hot across every tree of an ensemble.
+  const size_t num_features = features_.size();
+  const size_t num_lm = lm_features_.size();
+  std::vector<double> numeric_vals(rows.size() * num_features, 0.0);
+  std::vector<int32_t> cat_codes(rows.size() * num_features, 0);
+  std::vector<double> lm_vals(rows.size() * num_lm, 0.0);
+  for (size_t f = 0; f < num_features; ++f) {
+    const data::Column& col = *columns->split_columns[f];
+    if (col.type() == data::ColumnType::kNumeric) {
+      const std::vector<double>& src = col.numeric_values();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        numeric_vals[i * num_features + f] = src[rows[i]];
+      }
+    } else {
+      const std::vector<int32_t>& src = col.codes();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        cat_codes[i * num_features + f] = src[rows[i]];
+      }
+    }
+  }
+  for (size_t j = 0; j < num_lm; ++j) {
+    const std::vector<double>& src = columns->lm_columns[j]->numeric_values();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      lm_vals[i * num_lm + j] = src[rows[i]];
+    }
+  }
+
+  std::vector<double> out;
+  out.reserve(rows.size());
+  std::vector<size_t> path;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const GatheredAccessor acc{numeric_vals.data() + i * num_features,
+                               cat_codes.data() + i * num_features,
+                               lm_vals.data() + i * num_lm};
+    out.push_back(ScoreRow(acc, &path));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+std::string FlatModel::Serialize() const {
+  std::string out = kSerializationHeader;
+  out += "\nkind\t";
+  out += KindName(kind_);
+  out += "\nsmoothing\t" + ml::SerializeDouble(smoothing_) + "\n";
+  // Two positional feature sections: split features, then M5 leaf-model
+  // features (empty for the other kinds).
+  ml::AppendFeatureSection(features_, &out);
+  ml::AppendFeatureSection(lm_features_, &out);
+  out += "roots " + std::to_string(roots_.size()) + "\n";
+  for (int32_t root : roots_) {
+    out += "root\t" + std::to_string(root) + "\n";
+  }
+  out += "nodes " + std::to_string(node_count()) + "\n";
+  const bool m5 = kind_ == Kind::kM5Tree;
+  for (size_t id = 0; id < node_count(); ++id) {
+    out += "node\t" + std::to_string(feature_[id]) + "\t" +
+           ml::SerializeDouble(threshold_[id]) + "\t" +
+           std::to_string(static_cast<int>(missing_left_[id])) + "\t" +
+           std::to_string(left_[id]) + "\t" + std::to_string(right_[id]) +
+           "\t" + ml::SerializeDouble(leaf_value_[id]) + "\t" +
+           ml::SerializeDouble(m5 ? node_mean_[id] : 0.0) + "\t" +
+           ml::SerializeDouble(m5 ? node_n_[id] : 0.0) + "\t" +
+           std::to_string(m5 ? lm_offset_[id] : kInvalid) + "\t";
+    if (is_categorical_[id] != 0) {
+      const size_t nbits = static_cast<size_t>(mask_nbits_[id]);
+      const size_t offset = static_cast<size_t>(mask_offset_[id]);
+      for (size_t bit = 0; bit < nbits; ++bit) {
+        out += ((mask_words_[offset + bit / 64] >> (bit % 64)) & 1) != 0
+                   ? '1'
+                   : '0';
+      }
+    } else {
+      out += '-';
+    }
+    out += "\n";
+  }
+  out += "lm_pool " + std::to_string(lm_pool_.size()) + "\n";
+  if (!lm_pool_.empty()) {
+    out += "pool";
+    for (double v : lm_pool_) {
+      out += '\t';
+      out += ml::SerializeDouble(v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<FlatModel> FlatModel::Deserialize(const std::string& text,
+                                         const data::Dataset& dataset) {
+  ml::LineCursor cursor(text);
+  const std::string* header = cursor.Next();
+  if (header == nullptr || *header != kSerializationHeader) {
+    return InvalidArgumentError("bad serialization header");
+  }
+  FlatModel flat;
+
+  const std::string* kind_line = cursor.Next();
+  if (kind_line == nullptr) return InvalidArgumentError("missing kind line");
+  {
+    const std::vector<std::string> parts = util::Split(*kind_line, '\t');
+    if (parts.size() != 2 || parts[0] != "kind") {
+      return InvalidArgumentError("bad kind line");
+    }
+    if (parts[1] == "decision_tree") {
+      flat.kind_ = Kind::kDecisionTree;
+    } else if (parts[1] == "bagged_trees") {
+      flat.kind_ = Kind::kBaggedTrees;
+    } else if (parts[1] == "regression_tree") {
+      flat.kind_ = Kind::kRegressionTree;
+    } else if (parts[1] == "m5_tree") {
+      flat.kind_ = Kind::kM5Tree;
+    } else {
+      return InvalidArgumentError("unknown model kind: " + parts[1]);
+    }
+  }
+
+  const std::string* smoothing_line = cursor.Next();
+  if (smoothing_line == nullptr) {
+    return InvalidArgumentError("missing smoothing line");
+  }
+  {
+    const std::vector<std::string> parts = util::Split(*smoothing_line, '\t');
+    if (parts.size() != 2 || parts[0] != "smoothing" ||
+        !util::ParseDouble(parts[1], &flat.smoothing_)) {
+      return InvalidArgumentError("bad smoothing line");
+    }
+  }
+
+  // Either section may be empty: a single-leaf tree has no split
+  // features, and only the M5 kind carries leaf-model features.
+  auto features = ml::ParseFeatureSection(cursor, dataset, /*allow_empty=*/true);
+  if (!features.ok()) return features.status();
+  flat.features_ = std::move(*features);
+  auto lm_features =
+      ml::ParseFeatureSection(cursor, dataset, /*allow_empty=*/true);
+  if (!lm_features.ok()) return lm_features.status();
+  flat.lm_features_ = std::move(*lm_features);
+
+  auto root_count = ml::ParseCountLine(cursor, "roots");
+  if (!root_count.ok()) return root_count.status();
+  if (*root_count == 0) return InvalidArgumentError("model has no trees");
+  flat.roots_.reserve(static_cast<size_t>(*root_count));
+  for (int64_t t = 0; t < *root_count; ++t) {
+    const std::string* line = cursor.Next();
+    if (line == nullptr) return InvalidArgumentError("truncated root list");
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    int64_t root = 0;
+    if (parts.size() != 2 || parts[0] != "root" ||
+        !util::ParseInt(parts[1], &root) || root < 0) {
+      return InvalidArgumentError("bad root line: " + *line);
+    }
+    flat.roots_.push_back(static_cast<int32_t>(root));
+  }
+
+  auto node_count = ml::ParseCountLine(cursor, "nodes");
+  if (!node_count.ok()) return node_count.status();
+  const int64_t node_total = *node_count;
+  const bool m5 = flat.kind_ == Kind::kM5Tree;
+  for (int64_t id = 0; id < node_total; ++id) {
+    const std::string* line = cursor.Next();
+    if (line == nullptr) return InvalidArgumentError("truncated node list");
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    if (parts.size() != 11 || parts[0] != "node") {
+      return InvalidArgumentError("bad node line: " + *line);
+    }
+    int64_t feature = 0, missing = 0, left = 0, right = 0, lm_offset = 0;
+    double threshold = 0.0, leaf_value = 0.0, mean = 0.0, n = 0.0;
+    if (!util::ParseInt(parts[1], &feature) ||
+        !util::ParseDouble(parts[2], &threshold) ||
+        !util::ParseInt(parts[3], &missing) ||
+        !util::ParseInt(parts[4], &left) ||
+        !util::ParseInt(parts[5], &right) ||
+        !util::ParseDouble(parts[6], &leaf_value) ||
+        !util::ParseDouble(parts[7], &mean) ||
+        !util::ParseDouble(parts[8], &n) ||
+        !util::ParseInt(parts[9], &lm_offset)) {
+      return InvalidArgumentError("bad node line: " + *line);
+    }
+    const std::string& mask = parts[10];
+    const bool is_leaf = feature < 0;
+    if (!is_leaf) {
+      if (static_cast<size_t>(feature) >= flat.features_.size() ||
+          left < 0 || left >= node_total || right < 0 ||
+          right >= node_total) {
+        return InvalidArgumentError("node references out of range: " + *line);
+      }
+    }
+    flat.feature_.push_back(is_leaf ? kInvalid
+                                    : static_cast<int32_t>(feature));
+    flat.threshold_.push_back(threshold);
+    flat.left_.push_back(is_leaf ? kInvalid : static_cast<int32_t>(left));
+    flat.right_.push_back(is_leaf ? kInvalid : static_cast<int32_t>(right));
+    flat.missing_left_.push_back(missing != 0 ? 1 : 0);
+    flat.leaf_value_.push_back(leaf_value);
+    if (m5) {
+      flat.node_mean_.push_back(mean);
+      flat.node_n_.push_back(n);
+      flat.lm_offset_.push_back(lm_offset < 0
+                                    ? kInvalid
+                                    : static_cast<int32_t>(lm_offset));
+    }
+    if (!is_leaf && mask != "-") {
+      flat.is_categorical_.push_back(1);
+      flat.mask_offset_.push_back(static_cast<int32_t>(flat.mask_words_.size()));
+      flat.mask_nbits_.push_back(static_cast<int32_t>(mask.size()));
+      flat.mask_words_.resize(flat.mask_words_.size() + (mask.size() + 63) / 64);
+      for (size_t bit = 0; bit < mask.size(); ++bit) {
+        if (mask[bit] == '1') {
+          flat.mask_words_[static_cast<size_t>(flat.mask_offset_.back()) +
+                           bit / 64] |= uint64_t{1} << (bit % 64);
+        } else if (mask[bit] != '0') {
+          return InvalidArgumentError("bad category mask: " + mask);
+        }
+      }
+    } else {
+      flat.is_categorical_.push_back(0);
+      flat.mask_offset_.push_back(kInvalid);
+      flat.mask_nbits_.push_back(0);
+    }
+  }
+  for (int32_t root : flat.roots_) {
+    if (root >= node_total) {
+      return InvalidArgumentError("root offset out of range");
+    }
+  }
+
+  auto pool_count = ml::ParseCountLine(cursor, "lm_pool");
+  if (!pool_count.ok()) return pool_count.status();
+  if (*pool_count > 0) {
+    const std::string* line = cursor.Next();
+    if (line == nullptr) return InvalidArgumentError("missing lm pool line");
+    const std::vector<std::string> parts = util::Split(*line, '\t');
+    if (parts.size() != 1 + static_cast<size_t>(*pool_count) ||
+        parts[0] != "pool") {
+      return InvalidArgumentError("bad lm pool line");
+    }
+    flat.lm_pool_.resize(static_cast<size_t>(*pool_count));
+    for (int64_t i = 0; i < *pool_count; ++i) {
+      if (!util::ParseDouble(parts[1 + static_cast<size_t>(i)],
+                             &flat.lm_pool_[static_cast<size_t>(i)])) {
+        return InvalidArgumentError("bad lm pool value");
+      }
+    }
+  }
+  if (m5) {
+    const size_t stride = 1 + flat.lm_features_.size();
+    for (int32_t offset : flat.lm_offset_) {
+      if (offset != kInvalid &&
+          static_cast<size_t>(offset) + stride > flat.lm_pool_.size()) {
+        return InvalidArgumentError("lm offset out of range");
+      }
+    }
+  }
+  return flat;
+}
+
+}  // namespace roadmine::serve

@@ -1,0 +1,145 @@
+// Compiled flat models for serving.
+//
+// Training-side trees (ml::DecisionTreeClassifier, ml::RegressionTree,
+// ml::M5Tree, ml::BaggedTreesClassifier) store nodes as per-node structs
+// with heap-allocated category masks, which is the right shape for growing
+// but chases pointers at scoring time. CompileModel() lowers any of them
+// into a FlatModel: one contiguous structure-of-arrays node pool (feature
+// id, threshold, child offsets, packed category bitmasks, leaf payload)
+// traversed without touching the training objects.
+//
+// Equivalence guarantee: a FlatModel's predictions are bit-identical to
+// the source model's PredictBatch on every dataset — routing, Laplace leaf
+// probabilities, ensemble averaging order, M5 leaf models and Quinlan
+// smoothing are replicated operation-for-operation (test-enforced by
+// serve_flat_model_test).
+#ifndef ROADMINE_SERVE_FLAT_MODEL_H_
+#define ROADMINE_SERVE_FLAT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/bagging.h"
+#include "ml/common.h"
+#include "ml/decision_tree.h"
+#include "ml/m5_tree.h"
+#include "ml/predictor.h"
+#include "ml/regression_tree.h"
+#include "util/status.h"
+
+namespace roadmine::serve {
+
+class FlatModel : public ml::Predictor {
+ public:
+  enum class Kind {
+    kDecisionTree,    // Leaf payload: Laplace-smoothed P(positive).
+    kBaggedTrees,     // Mean of member leaf probabilities, member order.
+    kRegressionTree,  // Leaf payload: training mean.
+    kM5Tree,          // Leaf linear models + Quinlan smoothing.
+  };
+
+  FlatModel() = default;
+
+  // Scores one row (probability for classifiers, value for regressors).
+  // The dataset must pass the same schema check as PredictBatch; this
+  // single-row path re-resolves columns per call and exists for
+  // latency-sensitive one-off scoring.
+  util::Result<double> PredictRow(const data::Dataset& dataset,
+                                  size_t row) const;
+
+  // Predictor: scores many rows in order. Resolves the feature schema
+  // against `dataset` once per batch, then traverses the flat pool.
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+  const char* name() const override;
+
+  Kind kind() const { return kind_; }
+  size_t node_count() const { return feature_.size(); }
+  size_t tree_count() const { return roots_.size(); }
+  bool compiled() const { return !roots_.empty(); }
+
+  // Deployment persistence of the compiled form itself, so a serving
+  // process can load the flat pool without the training-side model.
+  std::string Serialize() const;
+  static util::Result<FlatModel> Deserialize(const std::string& text,
+                                             const data::Dataset& dataset);
+
+ private:
+  friend class FlatModelCompiler;  // Builds the pools during CompileModel().
+  friend util::Result<FlatModel> CompileModel(
+      const ml::DecisionTreeClassifier& model);
+  friend util::Result<FlatModel> CompileModel(
+      const ml::BaggedTreesClassifier& model);
+  friend util::Result<FlatModel> CompileModel(const ml::RegressionTree& model);
+  friend util::Result<FlatModel> CompileModel(const ml::M5Tree& model);
+
+  // Feature tables resolved against a scoring dataset (name + type checked
+  // at each stored column index), done once per batch.
+  struct ResolvedColumns {
+    std::vector<const data::Column*> split_columns;  // Parallel to features_.
+    std::vector<const data::Column*> lm_columns;  // Parallel to lm_features_.
+  };
+  util::Result<ResolvedColumns> ResolveColumns(
+      const data::Dataset& dataset) const;
+
+  // Feature-value accessors the traversal templates read through: the
+  // batch path serves values from matrices gathered once per batch (no
+  // per-node column calls); the single-row path reads columns directly.
+  // Both expose data::Column's missing encoding (numeric NaN, negative
+  // categorical code), so routing is bit-identical either way.
+  struct ColumnAccessor;
+  struct GatheredAccessor;
+
+  // Root-to-leaf descent for tree `t`; appends visited node ids to `path`
+  // when it is non-null (M5 smoothing needs the path).
+  template <typename Accessor>
+  size_t FindLeaf(size_t t, const Accessor& acc,
+                  std::vector<size_t>* path) const;
+
+  // Scores one row through every tree.
+  template <typename Accessor>
+  double ScoreRow(const Accessor& acc, std::vector<size_t>* path_scratch) const;
+
+  Kind kind_ = Kind::kDecisionTree;
+
+  // Feature table shared by all trees (deduplicated by column name).
+  std::vector<ml::FeatureRef> features_;
+
+  // Node pool, one slot per node across all trees (SoA). Children are
+  // absolute pool indices; kInvalid marks a leaf.
+  static constexpr int32_t kInvalid = -1;
+  std::vector<int32_t> feature_;       // Index into features_; kInvalid = leaf.
+  std::vector<double> threshold_;      // Numeric split threshold.
+  std::vector<int32_t> left_;          // Absolute child index.
+  std::vector<int32_t> right_;
+  std::vector<uint8_t> missing_left_;  // Missing value routing.
+  std::vector<uint8_t> is_categorical_;
+  std::vector<int32_t> mask_offset_;   // Word offset into mask_words_.
+  std::vector<int32_t> mask_nbits_;    // Category-mask width in bits.
+  std::vector<double> leaf_value_;     // Probability / mean payload.
+  std::vector<uint64_t> mask_words_;   // Packed left-category bitsets.
+
+  // Per-tree root offsets into the node pool, in member order.
+  std::vector<int32_t> roots_;
+
+  // M5 extras (empty for the other kinds).
+  std::vector<double> node_mean_;      // Per-node training mean.
+  std::vector<double> node_n_;         // Per-node training count (as double).
+  std::vector<int32_t> lm_offset_;     // Offset into lm_pool_; kInvalid = none.
+  std::vector<double> lm_pool_;        // [intercept, w_0..w_{d-1}] per model.
+  std::vector<ml::FeatureRef> lm_features_;  // Numeric features, model order.
+  double smoothing_ = 0.0;
+};
+
+// Compiles a fitted model into its flat form. Fails on unfitted models.
+util::Result<FlatModel> CompileModel(const ml::DecisionTreeClassifier& model);
+util::Result<FlatModel> CompileModel(const ml::BaggedTreesClassifier& model);
+util::Result<FlatModel> CompileModel(const ml::RegressionTree& model);
+util::Result<FlatModel> CompileModel(const ml::M5Tree& model);
+
+}  // namespace roadmine::serve
+
+#endif  // ROADMINE_SERVE_FLAT_MODEL_H_

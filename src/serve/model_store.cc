@@ -1,0 +1,99 @@
+#include "serve/model_store.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ml/bagging.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/m5_tree.h"
+#include "ml/naive_bayes.h"
+#include "ml/neural_net.h"
+#include "ml/regression_tree.h"
+#include "serve/flat_model.h"
+#include "util/string_util.h"
+
+namespace roadmine::serve {
+
+using util::InvalidArgumentError;
+using util::Result;
+using util::Status;
+
+Status SaveModelToFile(const std::string& text, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::InternalError("cannot open '" + path + "' for write");
+  out << text;
+  out.close();
+  if (!out) return util::InternalError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<std::string> ReadModelFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::NotFoundError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return util::InternalError("read from '" + path + "' failed");
+  return buffer.str();
+}
+
+namespace {
+
+// Wraps any concrete deserializer as a heap-allocated Predictor.
+template <typename ModelT>
+Result<std::unique_ptr<ml::Predictor>> LoadAs(const std::string& text,
+                                              const data::Dataset& dataset) {
+  auto model = ModelT::Deserialize(text, dataset);
+  if (!model.ok()) return model.status();
+  return std::unique_ptr<ml::Predictor>(
+      std::make_unique<ModelT>(std::move(*model)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ml::Predictor>> LoadPredictor(
+    const std::string& text, const data::Dataset& dataset) {
+  // The header is the first non-empty line.
+  size_t start = 0;
+  while (start < text.size() && (text[start] == '\n' || text[start] == '\r')) {
+    ++start;
+  }
+  size_t end = text.find('\n', start);
+  if (end == std::string::npos) end = text.size();
+  const std::string header = text.substr(start, end - start);
+
+  if (header == "roadmine-decision-tree v1") {
+    return LoadAs<ml::DecisionTreeClassifier>(text, dataset);
+  }
+  if (header == "roadmine-regression-tree v1") {
+    return LoadAs<ml::RegressionTree>(text, dataset);
+  }
+  if (header == "roadmine-m5-tree v1") {
+    return LoadAs<ml::M5Tree>(text, dataset);
+  }
+  if (header == "roadmine-bagged-trees v1") {
+    return LoadAs<ml::BaggedTreesClassifier>(text, dataset);
+  }
+  if (header == "roadmine-naive-bayes v1") {
+    return LoadAs<ml::NaiveBayesClassifier>(text, dataset);
+  }
+  if (header == "roadmine-logistic-regression v1") {
+    return LoadAs<ml::LogisticRegression>(text, dataset);
+  }
+  if (header == "roadmine-neural-net v1") {
+    return LoadAs<ml::NeuralNetClassifier>(text, dataset);
+  }
+  if (header == "roadmine-flat-model v1") {
+    return LoadAs<FlatModel>(text, dataset);
+  }
+  return InvalidArgumentError("unknown model header: '" + header + "'");
+}
+
+Result<std::unique_ptr<ml::Predictor>> LoadPredictorFromFile(
+    const std::string& path, const data::Dataset& dataset) {
+  auto text = ReadModelFile(path);
+  if (!text.ok()) return text.status();
+  return LoadPredictor(*text, dataset);
+}
+
+}  // namespace roadmine::serve

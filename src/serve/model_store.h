@@ -1,0 +1,38 @@
+// Save/load entry points for every persisted model format.
+//
+// Models serialize to versioned text blocks (see ml/serialize.h for the
+// shared format vocabulary). LoadPredictor() dispatches on the header line
+// and returns the loaded model behind the unified ml::Predictor interface,
+// so serving code never names a concrete model type.
+#ifndef ROADMINE_SERVE_MODEL_STORE_H_
+#define ROADMINE_SERVE_MODEL_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "ml/predictor.h"
+#include "util/status.h"
+
+namespace roadmine::serve {
+
+// Writes serialized model text to `path`, overwriting any existing file.
+util::Status SaveModelToFile(const std::string& text, const std::string& path);
+
+// Reads a whole file into memory (the inverse of SaveModelToFile).
+util::Result<std::string> ReadModelFile(const std::string& path);
+
+// Deserializes any supported model block, dispatching on its header line:
+// decision/regression/M5/bagged trees, naive Bayes, logistic regression,
+// neural net, and the compiled flat form. Feature columns are re-resolved
+// against `dataset` (the scoring schema).
+util::Result<std::unique_ptr<ml::Predictor>> LoadPredictor(
+    const std::string& text, const data::Dataset& dataset);
+
+// ReadModelFile + LoadPredictor in one call.
+util::Result<std::unique_ptr<ml::Predictor>> LoadPredictorFromFile(
+    const std::string& path, const data::Dataset& dataset);
+
+}  // namespace roadmine::serve
+
+#endif  // ROADMINE_SERVE_MODEL_STORE_H_

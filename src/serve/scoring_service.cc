@@ -1,0 +1,98 @@
+#include "serve/scoring_service.h"
+
+#include <algorithm>
+
+#include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace roadmine::serve {
+
+using util::Result;
+using util::Status;
+
+Status ScoringService::Register(const std::string& name,
+                                const std::string& version,
+                                std::shared_ptr<const ml::Predictor> model) {
+  if (name.empty()) return util::InvalidArgumentError("empty model name");
+  if (version.empty()) return util::InvalidArgumentError("empty version");
+  if (model == nullptr) return util::InvalidArgumentError("null model");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : entries_) {
+    if (entry.name == name && entry.version == version) {
+      return util::AlreadyExistsError("model '" + name + "' version '" +
+                                      version + "' already registered");
+    }
+  }
+  entries_.push_back(Entry{name, version, std::move(model)});
+  obs::MetricsRegistry::Global()
+      .GetCounter("serve.models_registered")
+      .Increment();
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<const ml::Predictor>> ScoringService::Get(
+    const std::string& name, const std::string& version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Scan back-to-front so an empty version picks the latest registration.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->name != name) continue;
+    if (version.empty() || it->version == version) return it->model;
+  }
+  if (version.empty()) {
+    return util::NotFoundError("no model named '" + name + "'");
+  }
+  return util::NotFoundError("no model '" + name + "' version '" + version +
+                             "'");
+}
+
+std::vector<ModelInfo> ScoringService::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelInfo> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    out.push_back(ModelInfo{entry.name, entry.version, entry.model->name()});
+  }
+  return out;
+}
+
+Result<std::vector<double>> ScoringService::ScoreBatch(
+    const std::string& name, const std::string& version,
+    const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  ROADMINE_TRACE_SPAN("serve.score_batch");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::ScopedLatency timer(
+      metrics.GetHistogram("serve.score_batch_ms", 0.0, 1000.0, 50));
+  metrics.GetCounter("serve.requests").Increment();
+
+  auto model = Get(name, version);
+  if (!model.ok()) return model.status();
+
+  // Block boundaries depend only on the row count, and each block's scores
+  // land in its own index range, so the output is thread-count-invariant.
+  std::vector<double> scores(rows.size());
+  const auto blocks = exec::PartitionBlocks(
+      rows.size(), options_.executor == nullptr
+                       ? 1
+                       : 4 * options_.executor->concurrency());
+  const Status status = exec::ParallelFor(
+      options_.executor, blocks.size(), [&](size_t b) -> Status {
+        const std::vector<size_t> block_rows(
+            rows.begin() + static_cast<ptrdiff_t>(blocks[b].first),
+            rows.begin() + static_cast<ptrdiff_t>(blocks[b].second));
+        auto block_scores = (*model)->PredictBatch(dataset, block_rows);
+        if (!block_scores.ok()) return block_scores.status();
+        if (block_scores->size() != block_rows.size()) {
+          return util::InternalError("model returned a short score block");
+        }
+        std::copy(block_scores->begin(), block_scores->end(),
+                  scores.begin() + static_cast<ptrdiff_t>(blocks[b].first));
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  metrics.GetCounter("serve.rows_scored")
+      .Increment(static_cast<uint64_t>(rows.size()));
+  return scores;
+}
+
+}  // namespace roadmine::serve

@@ -1,0 +1,78 @@
+// Model registry + batch scoring front door.
+//
+// A ScoringService holds loaded models keyed by (name, version) behind the
+// unified ml::Predictor interface and scores row batches through them,
+// sharding large batches over an exec::Executor. Sharding preserves the
+// repo-wide determinism contract: block boundaries depend only on the row
+// count, scores land in index-addressed slots, so results are bit-identical
+// serial vs any thread count.
+#ifndef ROADMINE_SERVE_SCORING_SERVICE_H_
+#define ROADMINE_SERVE_SCORING_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/predictor.h"
+#include "util/status.h"
+
+namespace roadmine::exec {
+class Executor;
+}  // namespace roadmine::exec
+
+namespace roadmine::serve {
+
+struct ScoringServiceOptions {
+  // Batch sharding executor; not owned, may be null (serial). Results are
+  // bit-identical either way.
+  exec::Executor* executor = nullptr;
+};
+
+struct ModelInfo {
+  std::string name;
+  std::string version;
+  std::string predictor;  // ml::Predictor::name() of the registered model.
+};
+
+class ScoringService {
+ public:
+  explicit ScoringService(ScoringServiceOptions options = {})
+      : options_(options) {}
+
+  // Registers a model under (name, version). Fails with AlreadyExistsError
+  // on a duplicate key; versions of one name are otherwise independent.
+  util::Status Register(const std::string& name, const std::string& version,
+                        std::shared_ptr<const ml::Predictor> model);
+
+  // Looks up a model. An empty `version` selects the most recently
+  // registered version of `name`.
+  util::Result<std::shared_ptr<const ml::Predictor>> Get(
+      const std::string& name, const std::string& version = "") const;
+
+  // Registered models in registration order.
+  std::vector<ModelInfo> List() const;
+
+  // Scores `rows` of `dataset` through the named model, sharding the batch
+  // over the service's executor. Instrumented with obs spans and the
+  // serve.requests / serve.rows_scored / serve.score_batch_ms metrics.
+  util::Result<std::vector<double>> ScoreBatch(
+      const std::string& name, const std::string& version,
+      const data::Dataset& dataset, const std::vector<size_t>& rows) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string version;
+    std::shared_ptr<const ml::Predictor> model;
+  };
+
+  ScoringServiceOptions options_;
+  mutable std::mutex mu_;  // Registration and lookup may interleave.
+  std::vector<Entry> entries_;  // Registration order; latest = last match.
+};
+
+}  // namespace roadmine::serve
+
+#endif  // ROADMINE_SERVE_SCORING_SERVICE_H_

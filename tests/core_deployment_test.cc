@@ -30,6 +30,26 @@ SegmentScorer OracleScorer() {
   };
 }
 
+// The same oracle expressed as an ml::Predictor, exercising the primary
+// batch-first overload.
+class OraclePredictor : public ml::Predictor {
+ public:
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& ds,
+      const std::vector<size_t>& rows) const override {
+    auto count = ds.ColumnByName(roadgen::kSegmentCrashCountColumn);
+    if (!count.ok()) return count.status();
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (size_t row : rows) {
+      const double c = (*count)->NumericAt(row);
+      out.push_back(c / (c + 4.0));
+    }
+    return out;
+  }
+  const char* name() const override { return "oracle"; }
+};
+
 TEST(DeploymentTest, RanksByProbabilityDescending) {
   data::Dataset ds = SegmentInventory();
   auto program = BuildWorksProgram(ds, OracleScorer());
@@ -39,6 +59,23 @@ TEST(DeploymentTest, RanksByProbabilityDescending) {
     EXPECT_GE(program->segments[i - 1].crash_prone_probability,
               program->segments[i].crash_prone_probability);
   }
+}
+
+TEST(DeploymentTest, PredictorOverloadMatchesScorerOverload) {
+  data::Dataset ds = SegmentInventory(2000, 7);
+  auto via_scorer = BuildWorksProgram(ds, OracleScorer());
+  auto via_predictor = BuildWorksProgram(ds, OraclePredictor());
+  ASSERT_TRUE(via_scorer.ok());
+  ASSERT_TRUE(via_predictor.ok());
+  ASSERT_EQ(via_scorer->segments.size(), via_predictor->segments.size());
+  for (size_t i = 0; i < via_scorer->segments.size(); ++i) {
+    EXPECT_EQ(via_scorer->segments[i].segment_id,
+              via_predictor->segments[i].segment_id);
+    EXPECT_EQ(via_scorer->segments[i].crash_prone_probability,
+              via_predictor->segments[i].crash_prone_probability);
+  }
+  EXPECT_EQ(via_scorer->top_decile_agreement,
+            via_predictor->top_decile_agreement);
 }
 
 TEST(DeploymentTest, OracleGetsPerfectTopDecileAgreement) {
@@ -90,10 +127,41 @@ TEST(DeploymentTest, TreatmentTriggersFireOnDeficits) {
 
   auto program = BuildWorksProgram(ds, OracleScorer());
   ASSERT_TRUE(program.ok());
-  ASSERT_EQ(program->segments.size(), 1u);  // Only segment 1 clears 0.5.
+  // Both segments are listed (no default probability floor); the deficient
+  // one ranks first.
+  ASSERT_EQ(program->segments.size(), 2u);
   const RankedSegment& worst = program->segments[0];
   EXPECT_EQ(worst.segment_id, 1);
   EXPECT_GE(worst.recommended_treatments.size(), 4u);
+}
+
+TEST(DeploymentTest, RareEventModelStillProducesRankedProgram) {
+  // A calibrated rare-event model may score *every* segment below 0.5.
+  // The program must still rank them rather than come back empty (the old
+  // 0.5 default floor silently dropped everything here).
+  data::Dataset ds = SegmentInventory(500, 11);
+  SegmentScorer rare = [](const data::Dataset& d, size_t row) {
+    auto count = d.ColumnByName(roadgen::kSegmentCrashCountColumn);
+    const double c = (*count)->NumericAt(row);
+    return c / (c + 100.0);  // Monotone in the count but always << 0.5.
+  };
+  auto program = BuildWorksProgram(ds, rare);
+  ASSERT_TRUE(program.ok());
+  ASSERT_FALSE(program->segments.empty());
+  for (size_t i = 0; i < program->segments.size(); ++i) {
+    EXPECT_LT(program->segments[i].crash_prone_probability, 0.5);
+    if (i > 0) {
+      EXPECT_GE(program->segments[i - 1].crash_prone_probability,
+                program->segments[i].crash_prone_probability);
+    }
+  }
+
+  // An absolute floor is still available as an explicit opt-in.
+  DeploymentConfig floored;
+  floored.min_probability = 0.5;
+  auto empty_program = BuildWorksProgram(ds, rare, floored);
+  ASSERT_TRUE(empty_program.ok());
+  EXPECT_TRUE(empty_program->segments.empty());
 }
 
 TEST(DeploymentTest, Errors) {

@@ -238,7 +238,7 @@ TEST(ExecEquivalenceTest, BaggedEnsembleBitIdentical) {
                   .Fit(dataset, target, roadgen::RoadAttributeColumns(), rows)
                   .ok());
   const std::vector<double> serial_probs =
-      serial_model.PredictProbaMany(dataset, rows);
+      *serial_model.PredictBatch(dataset, rows);
 
   for (size_t threads : kThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
@@ -248,7 +248,7 @@ TEST(ExecEquivalenceTest, BaggedEnsembleBitIdentical) {
     ASSERT_TRUE(
         model.Fit(dataset, target, roadgen::RoadAttributeColumns(), rows)
             .ok());
-    const std::vector<double> probs = model.PredictProbaMany(dataset, rows);
+    const std::vector<double> probs = *model.PredictBatch(dataset, rows);
     ASSERT_EQ(serial_probs.size(), probs.size());
     for (size_t i = 0; i < probs.size(); ++i) {
       ASSERT_EQ(Bits(serial_probs[i]), Bits(probs[i])) << "row " << i;

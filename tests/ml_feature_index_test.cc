@@ -369,8 +369,8 @@ TEST(BaggingBitIdentityTest, IndexedEnsembleEqualsLegacy) {
   ASSERT_TRUE(indexed.Fit(ds, "crash_prone_gt8", features, rows).ok());
 
   EXPECT_EQ(indexed.total_leaves(), legacy.total_leaves());
-  const std::vector<double> legacy_scores = legacy.PredictProbaMany(ds, rows);
-  const std::vector<double> indexed_scores = indexed.PredictProbaMany(ds, rows);
+  const std::vector<double> legacy_scores = *legacy.PredictBatch(ds, rows);
+  const std::vector<double> indexed_scores = *indexed.PredictBatch(ds, rows);
   ASSERT_EQ(indexed_scores.size(), legacy_scores.size());
   for (size_t i = 0; i < legacy_scores.size(); ++i) {
     EXPECT_DOUBLE_EQ(indexed_scores[i], legacy_scores[i]);

@@ -35,7 +35,8 @@ double FitR2(size_t n, double noise, uint64_t seed, auto& model,
   for (size_t r = 0; r < ds.num_rows(); ++r) {
     actuals.push_back(ds.column(1).NumericAt(r));
   }
-  auto r2 = eval::RSquared(model.PredictMany(ds, ds.AllRowIndices()), actuals);
+  auto r2 =
+      eval::RSquared(*model.PredictBatch(ds, ds.AllRowIndices()), actuals);
   EXPECT_TRUE(r2.ok());
   (void)n;
   (void)noise;

@@ -34,7 +34,7 @@ TEST(RegressionTreeTest, RecoversStepFunction) {
   RegressionTree tree(params);
   ASSERT_TRUE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
 
-  std::vector<double> predictions = tree.PredictMany(ds, ds.AllRowIndices());
+  std::vector<double> predictions = *tree.PredictBatch(ds, ds.AllRowIndices());
   std::vector<double> actuals;
   for (size_t r = 0; r < ds.num_rows(); ++r) {
     actuals.push_back(ds.column(1).NumericAt(r));

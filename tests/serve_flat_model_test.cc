@@ -1,0 +1,246 @@
+// FlatModel equivalence enforcement: compiled predictions must be
+// bit-identical to the source model on every dataset, including missing
+// values and categorical splits, and invariant to the scoring thread count.
+#include "serve/flat_model.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/thresholds.h"
+#include "exec/executor.h"
+#include "ml/bagging.h"
+#include "ml/decision_tree.h"
+#include "ml/m5_tree.h"
+#include "ml/regression_tree.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+#include "serve/scoring_service.h"
+#include "util/rng.h"
+
+namespace roadmine::serve {
+namespace {
+
+// Segment inventory with the generator's natural missingness (f60) and
+// categorical attributes, plus a CP-4 binary target.
+data::Dataset RoadDataset(size_t n, uint64_t seed) {
+  roadgen::GeneratorConfig config;
+  config.num_segments = n;
+  config.seed = seed;
+  roadgen::RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  EXPECT_TRUE(segments.ok());
+  auto ds = roadgen::BuildSegmentDataset(*segments);
+  EXPECT_TRUE(ds.ok());
+  EXPECT_TRUE(core::AddCrashProneTarget(*ds, roadgen::kSegmentCrashCountColumn,
+                                        4)
+                  .ok());
+  return std::move(*ds);
+}
+
+std::vector<size_t> AllRows(const data::Dataset& ds) {
+  return ds.AllRowIndices();
+}
+
+TEST(FlatModelTest, DecisionTreeBitIdentity) {
+  data::Dataset ds = RoadDataset(3000, 21);
+  ml::DecisionTreeClassifier tree{
+      ml::DecisionTreeParams{.min_samples_leaf = 25}};
+  ASSERT_TRUE(tree.Fit(ds, core::ThresholdTargetName(4),
+                       roadgen::RoadAttributeColumns(), ds.AllRowIndices())
+                  .ok());
+  auto flat = CompileModel(tree);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->kind(), FlatModel::Kind::kDecisionTree);
+  EXPECT_STREQ(flat->name(), "flat_decision_tree");
+  EXPECT_TRUE(flat->compiled());
+  EXPECT_EQ(flat->tree_count(), 1u);
+  EXPECT_EQ(flat->node_count(), tree.node_count());
+
+  auto want = tree.PredictBatch(ds, AllRows(ds));
+  auto got = flat->PredictBatch(ds, AllRows(ds));
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);  // Bit-identical, not merely close.
+
+  // The single-row path agrees with the batch path.
+  for (size_t r = 0; r < ds.num_rows(); r += 97) {
+    auto one = flat->PredictRow(ds, r);
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ(*one, (*want)[r]);
+  }
+}
+
+TEST(FlatModelTest, BaggedEnsembleBitIdentity) {
+  data::Dataset ds = RoadDataset(2000, 33);
+  ml::BaggedTreesParams params;
+  params.num_trees = 9;
+  params.tree.min_samples_leaf = 30;
+  ml::BaggedTreesClassifier bagged(params);
+  ASSERT_TRUE(bagged.Fit(ds, core::ThresholdTargetName(4),
+                         roadgen::RoadAttributeColumns(), ds.AllRowIndices())
+                  .ok());
+  auto flat = CompileModel(bagged);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->kind(), FlatModel::Kind::kBaggedTrees);
+  EXPECT_EQ(flat->tree_count(), 9u);
+
+  auto want = bagged.PredictBatch(ds, AllRows(ds));
+  auto got = flat->PredictBatch(ds, AllRows(ds));
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+}
+
+TEST(FlatModelTest, RegressionTreeBitIdentity) {
+  data::Dataset ds = RoadDataset(2500, 5);
+  ml::RegressionTree tree{ml::RegressionTreeParams{.min_samples_leaf = 20}};
+  ASSERT_TRUE(tree.Fit(ds, roadgen::kSegmentCrashCountColumn,
+                       roadgen::RoadAttributeColumns(), ds.AllRowIndices())
+                  .ok());
+  auto flat = CompileModel(tree);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->kind(), FlatModel::Kind::kRegressionTree);
+
+  auto want = tree.PredictBatch(ds, AllRows(ds));
+  auto got = flat->PredictBatch(ds, AllRows(ds));
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+}
+
+TEST(FlatModelTest, M5TreeBitIdentityWithSmoothing) {
+  data::Dataset ds = RoadDataset(2500, 9);
+  ml::M5TreeParams params;
+  params.tree.min_samples_leaf = 25;
+  params.smoothing = 15.0;  // Smoothing on: the path-walk must match too.
+  ml::M5Tree m5(params);
+  ASSERT_TRUE(m5.Fit(ds, roadgen::kSegmentCrashCountColumn,
+                     roadgen::RoadAttributeColumns(), ds.AllRowIndices())
+                  .ok());
+  auto flat = CompileModel(m5);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->kind(), FlatModel::Kind::kM5Tree);
+
+  auto want = m5.PredictBatch(ds, AllRows(ds));
+  auto got = flat->PredictBatch(ds, AllRows(ds));
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+}
+
+TEST(FlatModelTest, HandRolledMissingAndCategoricalBitIdentity) {
+  // Explicit NaNs and a categorical split so both routing branches and the
+  // category bitmask path are exercised deterministically.
+  util::Rng rng(7);
+  std::vector<double> x, y;
+  std::vector<std::string> surface;
+  for (size_t i = 0; i < 1200; ++i) {
+    const double xi = rng.Uniform(0.0, 10.0);
+    const bool chip = rng.Bernoulli(0.4);
+    x.push_back(rng.Bernoulli(0.1) ? std::numeric_limits<double>::quiet_NaN()
+                                   : xi);
+    surface.push_back(chip ? "chip_seal" : (rng.Bernoulli(0.3) ? "concrete"
+                                                               : "asphalt"));
+    y.push_back((xi > 5.0 || chip) ? 1.0 : 0.0);
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::CategoricalFromStrings("surface", surface))
+          .ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+
+  ml::DecisionTreeClassifier tree{
+      ml::DecisionTreeParams{.min_samples_leaf = 15}};
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x", "surface"}, ds.AllRowIndices()).ok());
+  auto flat = CompileModel(tree);
+  ASSERT_TRUE(flat.ok());
+
+  auto want = tree.PredictBatch(ds, AllRows(ds));
+  auto got = flat->PredictBatch(ds, AllRows(ds));
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+}
+
+TEST(FlatModelTest, CompiledFormSurvivesItsOwnRoundTrip) {
+  data::Dataset ds = RoadDataset(1500, 13);
+  ml::M5TreeParams params;
+  params.tree.min_samples_leaf = 30;
+  ml::M5Tree m5(params);
+  ASSERT_TRUE(m5.Fit(ds, roadgen::kSegmentCrashCountColumn,
+                     roadgen::RoadAttributeColumns(), ds.AllRowIndices())
+                  .ok());
+  auto flat = CompileModel(m5);
+  ASSERT_TRUE(flat.ok());
+  auto reloaded = FlatModel::Deserialize(flat->Serialize(), ds);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->kind(), flat->kind());
+  EXPECT_EQ(reloaded->node_count(), flat->node_count());
+
+  auto want = flat->PredictBatch(ds, AllRows(ds));
+  auto got = reloaded->PredictBatch(ds, AllRows(ds));
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+}
+
+TEST(FlatModelTest, ThreadCountInvariantThroughScoringService) {
+  // Flat and source predictions must agree at 1, 2, and 8 executor threads
+  // — the repo-wide determinism contract applied to serving.
+  data::Dataset ds = RoadDataset(2000, 41);
+  ml::BaggedTreesParams params;
+  params.num_trees = 7;
+  params.tree.min_samples_leaf = 40;
+  auto bagged = std::make_shared<ml::BaggedTreesClassifier>(params);
+  ASSERT_TRUE(bagged
+                  ->Fit(ds, core::ThresholdTargetName(4),
+                        roadgen::RoadAttributeColumns(), ds.AllRowIndices())
+                  .ok());
+  auto flat = CompileModel(*bagged);
+  ASSERT_TRUE(flat.ok());
+  auto flat_model = std::make_shared<FlatModel>(std::move(*flat));
+
+  auto serial_scores = [&](const ml::Predictor& model) {
+    auto out = model.PredictBatch(ds, ds.AllRowIndices());
+    EXPECT_TRUE(out.ok());
+    return *out;
+  };
+  const std::vector<double> want_source = serial_scores(*bagged);
+  const std::vector<double> want_flat = serial_scores(*flat_model);
+  EXPECT_EQ(want_source, want_flat);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    ScoringService service(ScoringServiceOptions{.executor = &pool});
+    ASSERT_TRUE(service.Register("source", "v1", bagged).ok());
+    ASSERT_TRUE(service.Register("flat", "v1", flat_model).ok());
+    auto source = service.ScoreBatch("source", "v1", ds, ds.AllRowIndices());
+    auto flat_scores = service.ScoreBatch("flat", "v1", ds,
+                                          ds.AllRowIndices());
+    ASSERT_TRUE(source.ok());
+    ASSERT_TRUE(flat_scores.ok());
+    EXPECT_EQ(*source, want_source) << threads << " threads";
+    EXPECT_EQ(*flat_scores, want_flat) << threads << " threads";
+  }
+}
+
+TEST(FlatModelTest, UnfittedModelsRejected) {
+  EXPECT_FALSE(CompileModel(ml::DecisionTreeClassifier{}).ok());
+  EXPECT_FALSE(CompileModel(ml::BaggedTreesClassifier{}).ok());
+  EXPECT_FALSE(CompileModel(ml::RegressionTree{}).ok());
+  EXPECT_FALSE(CompileModel(ml::M5Tree{}).ok());
+}
+
+TEST(FlatModelTest, UncompiledModelRefusesToScore) {
+  data::Dataset ds = RoadDataset(200, 3);
+  FlatModel empty;
+  EXPECT_FALSE(empty.compiled());
+  EXPECT_FALSE(empty.PredictBatch(ds, {0}).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::serve

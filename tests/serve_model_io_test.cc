@@ -1,0 +1,181 @@
+// Persistence round-trips for every trained model type: serialize, load
+// back through the model store's header dispatch, and require bit-identical
+// predictions — across randomized roadgen datasets with missing values.
+#include "serve/model_store.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/thresholds.h"
+#include "ml/bagging.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/m5_tree.h"
+#include "ml/naive_bayes.h"
+#include "ml/neural_net.h"
+#include "ml/regression_tree.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+#include "serve/flat_model.h"
+
+namespace roadmine::serve {
+namespace {
+
+data::Dataset RoadDataset(size_t n, uint64_t seed) {
+  roadgen::GeneratorConfig config;
+  config.num_segments = n;
+  config.seed = seed;
+  roadgen::RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  EXPECT_TRUE(segments.ok());
+  auto ds = roadgen::BuildSegmentDataset(*segments);
+  EXPECT_TRUE(ds.ok());
+  EXPECT_TRUE(core::AddCrashProneTarget(*ds, roadgen::kSegmentCrashCountColumn,
+                                        4)
+                  .ok());
+  return std::move(*ds);
+}
+
+// Serializes `model`, loads it back through LoadPredictor (exercising the
+// header dispatch), and checks name + bit-identical batch predictions.
+template <typename ModelT>
+void ExpectRoundTrip(const ModelT& model, const data::Dataset& ds,
+                     const char* expected_name) {
+  const std::string blob = model.Serialize();
+  auto loaded = LoadPredictor(blob, ds);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_STREQ((*loaded)->name(), expected_name);
+  auto want = model.PredictBatch(ds, ds.AllRowIndices());
+  auto got = (*loaded)->PredictBatch(ds, ds.AllRowIndices());
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);  // Bit-identical after the round-trip.
+}
+
+TEST(ModelIoTest, EveryModelTypeRoundTrips) {
+  // A couple of seeds per family: the formats must survive whatever tree
+  // shapes / encoders the data produces, not one lucky fit.
+  for (uint64_t seed : {2u, 19u}) {
+    data::Dataset ds = RoadDataset(1500, seed);
+    const std::string target = core::ThresholdTargetName(4);
+    const std::vector<std::string>& features =
+        roadgen::RoadAttributeColumns();
+    const std::vector<size_t> rows = ds.AllRowIndices();
+
+    ml::DecisionTreeClassifier dt{
+        ml::DecisionTreeParams{.min_samples_leaf = 25}};
+    ASSERT_TRUE(dt.Fit(ds, target, features, rows).ok());
+    ExpectRoundTrip(dt, ds, "decision_tree");
+
+    ml::BaggedTreesParams bag_params;
+    bag_params.num_trees = 5;
+    bag_params.tree.min_samples_leaf = 40;
+    ml::BaggedTreesClassifier bagged(bag_params);
+    ASSERT_TRUE(bagged.Fit(ds, target, features, rows).ok());
+    ExpectRoundTrip(bagged, ds, "bagged_trees");
+
+    ml::RegressionTree rt{ml::RegressionTreeParams{.min_samples_leaf = 25}};
+    ASSERT_TRUE(
+        rt.Fit(ds, roadgen::kSegmentCrashCountColumn, features, rows).ok());
+    ExpectRoundTrip(rt, ds, "regression_tree");
+
+    ml::M5Tree m5;
+    ASSERT_TRUE(
+        m5.Fit(ds, roadgen::kSegmentCrashCountColumn, features, rows).ok());
+    ExpectRoundTrip(m5, ds, "m5_tree");
+
+    ml::NaiveBayesClassifier nb;
+    ASSERT_TRUE(nb.Fit(ds, target, features, rows).ok());
+    ExpectRoundTrip(nb, ds, "naive_bayes");
+
+    ml::LogisticRegressionParams lr_params;
+    lr_params.max_iterations = 60;
+    ml::LogisticRegression lr(lr_params);
+    ASSERT_TRUE(lr.Fit(ds, target, features, rows).ok());
+    ExpectRoundTrip(lr, ds, "logistic_regression");
+
+    ml::NeuralNetParams nn_params;
+    nn_params.hidden_layers = {6};
+    nn_params.epochs = 8;
+    ml::NeuralNetClassifier nn(nn_params);
+    ASSERT_TRUE(nn.Fit(ds, target, features, rows).ok());
+    ExpectRoundTrip(nn, ds, "neural_net");
+
+    auto flat = CompileModel(dt);
+    ASSERT_TRUE(flat.ok());
+    ExpectRoundTrip(*flat, ds, "flat_decision_tree");
+  }
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  data::Dataset ds = RoadDataset(800, 7);
+  ml::DecisionTreeClassifier dt{
+      ml::DecisionTreeParams{.min_samples_leaf = 30}};
+  ASSERT_TRUE(dt.Fit(ds, core::ThresholdTargetName(4),
+                     roadgen::RoadAttributeColumns(), ds.AllRowIndices())
+                  .ok());
+
+  const std::string path = "model_io_test.roadmine";
+  ASSERT_TRUE(SaveModelToFile(dt.Serialize(), path).ok());
+  auto loaded = LoadPredictorFromFile(path, ds);
+  ASSERT_TRUE(loaded.ok());
+  auto want = dt.PredictBatch(ds, ds.AllRowIndices());
+  auto got = (*loaded)->PredictBatch(ds, ds.AllRowIndices());
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MissingFileIsNotFound) {
+  data::Dataset ds = RoadDataset(200, 1);
+  auto loaded = LoadPredictorFromFile("/nonexistent/model.roadmine", ds);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(ModelIoTest, UnknownHeaderRejected) {
+  data::Dataset ds = RoadDataset(200, 1);
+  EXPECT_FALSE(LoadPredictor("", ds).ok());
+  EXPECT_FALSE(LoadPredictor("roadmine-decision-tree v999\n", ds).ok());
+  EXPECT_FALSE(LoadPredictor("not a model at all", ds).ok());
+}
+
+TEST(ModelIoTest, TruncatedBlobsRejected) {
+  data::Dataset ds = RoadDataset(800, 15);
+  const std::string target = core::ThresholdTargetName(4);
+  const std::vector<std::string>& features = roadgen::RoadAttributeColumns();
+
+  ml::NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Fit(ds, target, features, ds.AllRowIndices()).ok());
+  ml::LogisticRegressionParams lr_params;
+  lr_params.max_iterations = 40;
+  ml::LogisticRegression lr(lr_params);
+  ASSERT_TRUE(lr.Fit(ds, target, features, ds.AllRowIndices()).ok());
+
+  for (const std::string& blob : {nb.Serialize(), lr.Serialize()}) {
+    // Cut the blob in half: the self-terminating sections must notice.
+    EXPECT_FALSE(LoadPredictor(blob.substr(0, blob.size() / 2), ds).ok());
+  }
+}
+
+TEST(ModelIoTest, UnknownColumnRejected) {
+  data::Dataset train = RoadDataset(800, 23);
+  ml::DecisionTreeClassifier dt{
+      ml::DecisionTreeParams{.min_samples_leaf = 30}};
+  ASSERT_TRUE(dt.Fit(train, core::ThresholdTargetName(4),
+                     roadgen::RoadAttributeColumns(), train.AllRowIndices())
+                  .ok());
+  const std::string blob = dt.Serialize();
+
+  // A scoring dataset without the fitted columns must be rejected.
+  data::Dataset wrong;
+  ASSERT_TRUE(wrong.AddColumn(data::Column::Numeric("unrelated", {1.0})).ok());
+  EXPECT_FALSE(LoadPredictor(blob, wrong).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::serve
