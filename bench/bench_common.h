@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -25,6 +26,7 @@
 #include "obs/bench_report.h"
 #include "obs/logging.h"
 #include "obs/trace.h"
+#include "obs/trace_aggregate.h"
 #include "roadgen/dataset_builder.h"
 #include "roadgen/generator.h"
 
@@ -182,6 +184,13 @@ class BenchContext {
     if (collector.enabled() && collector.span_count() > 0) {
       (void)collector.WriteJsonl(export_dir_ + "/trace_" + report_.name() +
                                  ".jsonl");
+      // Per-stage rollup (count, total/self wall-clock, percentiles) so
+      // a human can answer "where did the run go" without trace tooling.
+      const obs::TraceAggregate aggregate =
+          obs::AggregateSpans(collector.Snapshot());
+      std::ofstream summary(export_dir_ + "/trace_" + report_.name() +
+                            "_summary.json");
+      if (summary) summary << aggregate.ToJson() << "\n";
     }
   }
 

@@ -31,6 +31,7 @@
 #include "eval/roc.h"
 #include "eval/trainers.h"
 #include "exec/executor.h"
+#include "exec/profiler.h"
 #include "ml/bagging.h"
 #include "ml/classifier.h"
 #include "ml/common.h"
@@ -426,8 +427,15 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
   // contract, enforced here on paper-scale (or smoke-scale) data.
   // Speedups track available cores; on a single-core host they hover
   // near 1x while the bit-identity checks still bite.
+  // A PoolProfiler watches every parallel run: per-thread busy
+  // fractions, queue-depth stats and task-time quantiles land in the
+  // report's "profile" section, and <stage>_busy_fraction_4t /
+  // <stage>_imbalance_4t become first-class bench metrics — the numbers
+  // that explain the speedup ratios right below them.
   {
     exec::ThreadPool pool(4);
+    exec::PoolProfiler profiler;
+    pool.AttachProfiler(&profiler);
     auto timed_ms = [&ctx](const char* stage, auto&& fn) {
       const auto start = std::chrono::steady_clock::now();
       fn();
@@ -452,10 +460,12 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
           eval::CrossValidateBinary(ds, "crash_prone_gt8", trainer, cv_options);
     });
     cv_options.executor = &pool;
+    profiler.Begin(pool.concurrency());
     const double cv_parallel_ms = timed_ms("cv_4_threads", [&] {
       parallel_cv =
           eval::CrossValidateBinary(ds, "crash_prone_gt8", trainer, cv_options);
     });
+    const exec::PoolProfile cv_profile = profiler.Finish("exec.cv");
     if (!serial_cv.ok() || !parallel_cv.ok()) {
       obs::LogError(kFailTag, {{"stage", "cv_speedup"}});
       return false;
@@ -471,6 +481,9 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
       return false;
     }
     ctx.report().RecordMetric("cv_speedup_4t", cv_serial_ms / cv_parallel_ms);
+    ctx.report().RecordMetric("cv_busy_fraction_4t",
+                              cv_profile.busy_fraction_mean);
+    ctx.report().RecordMetric("cv_imbalance_4t", cv_profile.imbalance);
 
     // Generator segment blocks.
     roadgen::GeneratorConfig gen_config;
@@ -516,12 +529,14 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
       }
     });
     bag_params.executor = &pool;
+    profiler.Begin(pool.concurrency());
     const double bag_parallel_ms = timed_ms("bagging_4_threads", [&] {
       ml::BaggedTreesClassifier model(bag_params);
       if (model.Fit(ds, "crash_prone_gt8", features, all_rows).ok()) {
         parallel_probs = *model.PredictBatch(ds, all_rows);
       }
     });
+    const exec::PoolProfile bagging_profile = profiler.Finish("exec.bagging");
     if (serial_probs.empty() || serial_probs != parallel_probs) {
       obs::LogError(kFailTag,
                     {{"stage", "bagging_speedup"},
@@ -530,6 +545,18 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
     }
     ctx.report().RecordMetric("bagging_speedup_4t",
                               bag_serial_ms / bag_parallel_ms);
+    ctx.report().RecordMetric("bagging_busy_fraction_4t",
+                              bagging_profile.busy_fraction_mean);
+    ctx.report().RecordMetric("bagging_imbalance_4t",
+                              bagging_profile.imbalance);
+
+    obs::JsonWriter profile;
+    profile.BeginObject();
+    profile.Key("cv").Raw(cv_profile.ToJson());
+    profile.Key("bagging").Raw(bagging_profile.ToJson());
+    profile.EndObject();
+    ctx.report().RecordSection("profile", profile.str());
+    pool.AttachProfiler(nullptr);  // Detach before the profiler dies.
   }
   return true;
 }

@@ -26,6 +26,7 @@
 #include "bench_common.h"
 #include "core/thresholds.h"
 #include "exec/executor.h"
+#include "exec/profiler.h"
 #include "ml/bagging.h"
 #include "ml/decision_tree.h"
 #include "obs/json.h"
@@ -34,6 +35,7 @@
 #include "roadgen/generator.h"
 #include "serve/flat_model.h"
 #include "serve/scoring_service.h"
+#include "serve/slo.h"
 
 namespace {
 
@@ -271,10 +273,24 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
     exec::ThreadPool fallback_pool(4);
     exec::Executor* pool =
         ctx.executor() != nullptr ? ctx.executor() : &fallback_pool;
+    // Loose-but-real objectives: the bench should normally stay healthy,
+    // and the report's "slo" section shows the rolling quantiles the
+    // tracker derived from the same requests the timings cover.
+    serve::SloConfig slo;
+    slo.p50_ms = 1000.0;
+    slo.p99_ms = 5000.0;
+    slo.min_rows_per_sec = 1000.0;
     serve::ScoringService threaded(
-        serve::ScoringServiceOptions{.executor = pool});
+        serve::ScoringServiceOptions{.executor = pool, .slo = slo});
     if (!threaded.Register("crash_prone", "v1", shared_flat).ok()) {
       return false;
+    }
+    // Profile the pool while the service shards batches over it.
+    exec::PoolProfiler profiler;
+    auto* thread_pool = dynamic_cast<exec::ThreadPool*>(pool);
+    if (thread_pool != nullptr) {
+      thread_pool->AttachProfiler(&profiler);
+      profiler.Begin(thread_pool->concurrency());
     }
     const double threaded_ms = BestOfMs(reps, [&] {
       auto scores = threaded.ScoreBatch("crash_prone", "v1", ds, all_rows);
@@ -288,6 +304,32 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
     ctx.report().RecordTimingMs("service_batch_threaded", threaded_ms);
     ctx.report().RecordMetric("service_threads",
                               static_cast<double>(pool->concurrency()));
+    if (thread_pool != nullptr) {
+      const exec::PoolProfile profile = profiler.Finish("exec.serve");
+      thread_pool->AttachProfiler(nullptr);
+      ctx.report().RecordMetric("service_busy_fraction",
+                                profile.busy_fraction_mean);
+      ctx.report().RecordMetric("service_imbalance", profile.imbalance);
+      obs::JsonWriter section;
+      section.BeginObject();
+      section.Key("service_batch").Raw(profile.ToJson());
+      section.EndObject();
+      ctx.report().RecordSection("profile", section.str());
+    }
+
+    // Rolling SLO state after the benched requests.
+    const std::vector<serve::SloStatus> statuses = threaded.SloReport();
+    if (!statuses.empty()) {
+      const serve::SloStatus& status = statuses.front();
+      ctx.report().RecordMetric("service_p50_ms", status.p50_ms);
+      ctx.report().RecordMetric("service_p99_ms", status.p99_ms);
+      ctx.report().RecordMetric("service_rows_per_sec", status.rows_per_sec);
+      ctx.report().RecordMetric(
+          "service_slo_breaches",
+          static_cast<double>(status.p50_breaches + status.p99_breaches +
+                              status.throughput_breaches));
+      ctx.report().RecordSection("slo", serve::SloReportToJson(statuses));
+    }
   }
   return true;
 }

@@ -4,11 +4,17 @@
 #include <exception>
 #include <limits>
 
+#include "exec/profiler.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace roadmine::exec {
 
 namespace {
+
+// Worker index within the owning pool; -1 marks a thread the pool did
+// not spawn (a batch-submitting caller helping drain the queue).
+thread_local int tls_worker_slot = -1;
 
 uint64_t NowMicros() {
   return static_cast<uint64_t>(
@@ -62,7 +68,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   obs::MetricsRegistry::Global().GetGauge("exec.pool.threads").Set(
       static_cast<double>(num_threads));
@@ -89,13 +95,19 @@ void ThreadPool::Submit(std::function<void()> fn) {
 
 bool ThreadPool::RunOneQueued() {
   QueueItem item;
+  size_t queue_depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return false;
     item = std::move(queue_.front());
     queue_.pop_front();
+    queue_depth = queue_.size();  // Tasks still waiting behind this one.
     ++in_flight_;
   }
+  PoolProfiler* profiler = profiler_.load(std::memory_order_acquire);
+  const bool profiling = profiler != nullptr && profiler->active();
+  const uint64_t profile_start_us =
+      profiling ? obs::TraceCollector::Global().NowMicros() : 0;
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   const uint64_t start_us = NowMicros();
   if (item.enqueued_us != 0) {
@@ -103,9 +115,17 @@ bool ThreadPool::RunOneQueued() {
         .Observe(static_cast<double>(start_us - item.enqueued_us) / 1000.0);
   }
   item.fn();
+  const uint64_t run_us = NowMicros() - start_us;
   metrics.GetHistogram("exec.task_run_ms")
-      .Observe(static_cast<double>(NowMicros() - start_us) / 1000.0);
+      .Observe(static_cast<double>(run_us) / 1000.0);
   metrics.GetCounter("exec.tasks_completed").Increment();
+  if (profiling) {
+    const uint32_t slot = tls_worker_slot >= 0
+                              ? static_cast<uint32_t>(tls_worker_slot)
+                              : static_cast<uint32_t>(workers_.size());
+    profiler->RecordTask({slot, profile_start_us, run_us,
+                          static_cast<uint32_t>(queue_depth)});
+  }
   bool drained = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -116,7 +136,8 @@ bool ThreadPool::RunOneQueued() {
   return true;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t slot) {
+  tls_worker_slot = static_cast<int>(slot);
   while (true) {
     {
       std::unique_lock<std::mutex> lock(mu_);

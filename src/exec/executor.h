@@ -18,6 +18,7 @@
 #ifndef ROADMINE_EXEC_EXECUTOR_H_
 #define ROADMINE_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -31,6 +32,8 @@
 #include "util/status.h"
 
 namespace roadmine::exec {
+
+class PoolProfiler;
 
 // A task in an indexed batch: returns OK or the error that should fail the
 // whole batch. Must be safe to invoke concurrently for distinct indices.
@@ -68,6 +71,9 @@ class SerialExecutor : public Executor {
 //   exec.tasks_completed     counter  tasks finished (ok or not)
 //   exec.task_run_ms         histogram per-task execution latency
 //   exec.task_wait_ms        histogram submit-to-start queue delay
+// For per-batch evidence (per-thread busy fractions, queue depth,
+// imbalance) attach an exec::PoolProfiler (exec/profiler.h) and open a
+// capture window around the stage of interest.
 class ThreadPool : public Executor {
  public:
   // Spawns `num_threads` workers (clamped to >= 1). The calling thread
@@ -88,6 +94,13 @@ class ThreadPool : public Executor {
   // Blocks until the queue is empty and every in-flight item finished.
   void Wait();
 
+  // Attaches (or, with nullptr, detaches) a profiler sampling every task
+  // this pool executes while the profiler has a window open. The
+  // profiler is not owned and must outlive the attachment.
+  void AttachProfiler(PoolProfiler* profiler) {
+    profiler_.store(profiler, std::memory_order_release);
+  }
+
  private:
   struct QueueItem {
     std::function<void()> fn;
@@ -96,7 +109,7 @@ class ThreadPool : public Executor {
     uint64_t enqueued_us = 0;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(size_t slot);
   // Pops and runs one queue item; returns false when the queue was empty.
   bool RunOneQueued();
 
@@ -107,6 +120,7 @@ class ThreadPool : public Executor {
   size_t in_flight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<PoolProfiler*> profiler_{nullptr};
 };
 
 // Serial when `executor` is null, delegated otherwise. The "optional

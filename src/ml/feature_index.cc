@@ -33,7 +33,7 @@ util::Result<FeatureIndex> FeatureIndex::Build(
     exec::Executor* executor) {
   ROADMINE_TRACE_SPAN("ml.feature_index.build");
   obs::ScopedLatency build_timer(obs::MetricsRegistry::Global().GetHistogram(
-      "ml.feature_index.build_ms", 0.0, 5000.0, 50));
+      "ml.feature_index.build_ms"));
 
   FeatureIndex out;
   out.num_rows_ = dataset.num_rows();

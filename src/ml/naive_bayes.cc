@@ -19,7 +19,7 @@ Status NaiveBayesClassifier::Fit(const data::Dataset& dataset,
                                  const std::vector<size_t>& rows) {
   ROADMINE_TRACE_SPAN("ml.naive_bayes.fit");
   obs::ScopedLatency fit_timer(
-      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms", 0.0, 5000.0, 50));
+      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms"));
   if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
   auto labels = ExtractBinaryLabels(dataset, target_column);
   if (!labels.ok()) return labels.status();

@@ -51,7 +51,7 @@ Status NeuralNetClassifier::Fit(const data::Dataset& dataset,
                                 const std::vector<size_t>& rows) {
   ROADMINE_TRACE_SPAN("ml.neural_net.fit");
   obs::ScopedLatency fit_timer(
-      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms", 0.0, 5000.0, 50));
+      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms"));
   if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
   if (params_.batch_size == 0) return InvalidArgumentError("batch_size == 0");
   auto labels = ExtractBinaryLabels(dataset, target_column);

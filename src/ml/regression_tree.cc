@@ -262,7 +262,7 @@ Status RegressionTree::Fit(const data::Dataset& dataset,
                            const std::vector<size_t>& rows) {
   ROADMINE_TRACE_SPAN("ml.regression_tree.fit");
   obs::ScopedLatency fit_timer(
-      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms", 0.0, 5000.0, 50));
+      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms"));
   if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
   auto target = ExtractNumericTarget(dataset, target_column);
   if (!target.ok()) return target.status();

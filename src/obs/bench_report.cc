@@ -32,6 +32,17 @@ void BenchReport::RecordMetric(const std::string& metric, double value) {
   metrics_.emplace_back(metric, value);
 }
 
+void BenchReport::RecordSection(const std::string& section,
+                                std::string json) {
+  for (auto& [existing, stored] : sections_) {
+    if (existing == section) {
+      stored = std::move(json);
+      return;
+    }
+  }
+  sections_.emplace_back(section, std::move(json));
+}
+
 double BenchReport::TotalMs() const {
   double total = 0.0;
   for (const auto& [stage, ms] : timings_ms_) total += ms;
@@ -54,6 +65,9 @@ std::string BenchReport::ToJson() const {
     w.Key(metric).Number(value);
   }
   w.EndObject();
+  for (const auto& [section, json] : sections_) {
+    w.Key(section).Raw(json);
+  }
   w.EndObject();
   return w.str();
 }

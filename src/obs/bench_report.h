@@ -34,6 +34,10 @@ class BenchReport {
   void RecordTimingMs(const std::string& stage, double ms);
   // Last write wins for metrics.
   void RecordMetric(const std::string& metric, double value);
+  // Attaches a pre-serialized JSON value as a top-level report key (e.g.
+  // the executor "profile" or the serving "slo" section); the caller
+  // vouches that `json` is one valid JSON value. Last write wins.
+  void RecordSection(const std::string& section, std::string json);
 
   // Sum of all recorded stage timings.
   double TotalMs() const;
@@ -64,6 +68,7 @@ class BenchReport {
   std::string created_at_;
   std::vector<std::pair<std::string, double>> timings_ms_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 }  // namespace roadmine::obs

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -133,6 +134,12 @@ JsonWriter& JsonWriter::Bool(bool value) {
 JsonWriter& JsonWriter::Null() {
   BeforeValue();
   out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
   return *this;
 }
 
@@ -289,10 +296,222 @@ class Validator {
   size_t pos_ = 0;
 };
 
+// Recursive-descent parser building a JsonValue DOM. Mirrors the
+// Validator's grammar; kept separate so validation stays allocation-free.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Result<JsonValue> Run() {
+    SkipSpace();
+    JsonValue value;
+    ROADMINE_RETURN_IF_ERROR(Value(0, &value));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  util::Status Error(const std::string& what) const {
+    return util::InvalidArgumentError("invalid JSON at byte " +
+                                      std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  util::Status Value(int depth, JsonValue* out) {
+    if (depth > 128) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return Object(depth, out);
+    if (c == '[') return Array(depth, out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return StringValue(&out->string_value);
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      out->kind = JsonValue::Kind::kNumber;
+      return NumberValue(&out->number_value);
+    }
+    if (ConsumeWord("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return util::Status::Ok();
+    }
+    if (ConsumeWord("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return util::Status::Ok();
+    }
+    if (ConsumeWord("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return util::Status::Ok();
+    }
+    return Error("unexpected character");
+  }
+
+  util::Status Object(int depth, JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) return util::Status::Ok();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      ROADMINE_RETURN_IF_ERROR(StringValue(&key));
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      SkipSpace();
+      JsonValue member;
+      ROADMINE_RETURN_IF_ERROR(Value(depth + 1, &member));
+      out->members.emplace_back(std::move(key), std::move(member));
+      SkipSpace();
+      if (Consume('}')) return util::Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  util::Status Array(int depth, JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) return util::Status::Ok();
+    while (true) {
+      SkipSpace();
+      JsonValue item;
+      ROADMINE_RETURN_IF_ERROR(Value(depth + 1, &item));
+      out->items.push_back(std::move(item));
+      SkipSpace();
+      if (Consume(']')) return util::Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  util::Status StringValue(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return util::Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              if (pos_ + static_cast<size_t>(i) >= text_.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(
+                      text_[pos_ + static_cast<size_t>(i)]))) {
+                return Error("bad \\u escape");
+              }
+              const char h = text_[pos_ + static_cast<size_t>(i)];
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         h <= '9' ? h - '0' : (std::tolower(h) - 'a' + 10));
+            }
+            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Error("bad escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  util::Status NumberValue(double* out) {
+    const size_t start = pos_;
+    Consume('-');
+    if (!DigitRun()) return Error("expected digits");
+    if (Consume('.')) {
+      if (!DigitRun()) return Error("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!DigitRun()) return Error("expected exponent digits");
+    }
+    *out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+    return util::Status::Ok();
+  }
+
+  bool DigitRun() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
 }  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
 
 util::Status ValidateJson(std::string_view text) {
   return Validator(text).Run();
+}
+
+util::Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Run();
 }
 
 util::Result<std::string> ReadFileToString(const std::string& path) {

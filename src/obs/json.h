@@ -46,6 +46,9 @@ class JsonWriter {
   JsonWriter& UInt(uint64_t value);
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
+  // Splices a pre-serialized JSON value verbatim (the caller vouches for
+  // its validity); used to embed subsections built by other writers.
+  JsonWriter& Raw(std::string_view json);
 
   const std::string& str() const { return out_; }
 
@@ -61,6 +64,34 @@ class JsonWriter {
 // Validates that `text` is exactly one well-formed JSON value (objects,
 // arrays, strings, numbers, booleans, null) with no trailing garbage.
 util::Status ValidateJson(std::string_view text);
+
+// Minimal owning JSON document for the few places that *read* JSON back
+// (bench_compare diffing BENCH_*.json files, tests inspecting reports).
+// Numbers are doubles; object members keep insertion order. Escaped
+// \uXXXX code points outside ASCII decode to '?' — the observability
+// files this parser exists for never contain them.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;  // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses exactly one JSON value (with no trailing garbage) into a DOM.
+util::Result<JsonValue> ParseJson(std::string_view text);
 
 // Reads a whole file; convenience for validation round-trips.
 util::Result<std::string> ReadFileToString(const std::string& path);

@@ -1,16 +1,45 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "obs/json.h"
 
 namespace roadmine::obs {
 
+size_t LatencyHistogram::BucketIndex(double value) {
+  // Caller guarantees kLoBoundMs <= value < kHiBoundMs.
+  const double decades = std::log10(value / kLoBoundMs);
+  const auto index =
+      static_cast<size_t>(decades * static_cast<double>(kBucketsPerDecade));
+  return std::min(index, kBucketCount - 1);
+}
+
 void LatencyHistogram::Observe(double value) {
+  if (std::isnan(value)) return;
   std::lock_guard<std::mutex> lock(mu_);
-  histogram_.Add(value);
+  if (value < kLoBoundMs) {
+    ++underflow_;
+  } else if (value >= kHiBoundMs) {
+    ++overflow_;
+  } else {
+    ++buckets_[BucketIndex(value)];
+  }
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
   sum_ += value;
   ++count_;
+}
+
+void LatencyHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.fill(0);
+  underflow_ = 0;
+  overflow_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
 }
 
 size_t LatencyHistogram::count() const {
@@ -38,9 +67,44 @@ double LatencyHistogram::mean() const {
   return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
-stats::Histogram LatencyHistogram::SnapshotBins() const {
+uint64_t LatencyHistogram::underflow() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return histogram_;
+  return underflow_;
+}
+
+uint64_t LatencyHistogram::overflow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overflow_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
+}
+
+double LatencyHistogram::QuantileLocked(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank walk over underflow, the log buckets, then overflow.
+  const auto rank =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  // The extreme ranks are tracked exactly; don't answer them with a
+  // bucket midpoint.
+  if (rank == 0) return min_;
+  if (rank == count_ - 1) return max_;
+  uint64_t cumulative = underflow_;
+  if (rank < cumulative) return min_;  // Underflow holds the smallest values.
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i];
+    if (rank < cumulative) {
+      const double mid =
+          kLoBoundMs *
+          std::pow(10.0, (static_cast<double>(i) + 0.5) /
+                             static_cast<double>(kBucketsPerDecade));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;  // Overflow holds the largest values.
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -62,20 +126,18 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   return *slot;
 }
 
-LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name,
-                                                double lo, double hi,
-                                                size_t bin_count) {
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<LatencyHistogram>(lo, hi, bin_count);
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
   return *slot;
 }
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_.clear();
-  gauges_.clear();
-  histograms_.clear();
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
@@ -98,6 +160,12 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
     h.min = histogram->min();
     h.max = histogram->max();
     h.mean = histogram->mean();
+    h.p50 = histogram->Quantile(0.50);
+    h.p90 = histogram->Quantile(0.90);
+    h.p99 = histogram->Quantile(0.99);
+    h.p999 = histogram->Quantile(0.999);
+    h.underflow = histogram->underflow();
+    h.overflow = histogram->overflow();
     snapshot.histograms.push_back(std::move(h));
   }
   return snapshot;
@@ -125,6 +193,12 @@ std::string MetricsRegistry::ToJson() const {
     w.Key("min").Number(h.min);
     w.Key("max").Number(h.max);
     w.Key("mean").Number(h.mean);
+    w.Key("p50").Number(h.p50);
+    w.Key("p90").Number(h.p90);
+    w.Key("p99").Number(h.p99);
+    w.Key("p999").Number(h.p999);
+    w.Key("underflow").UInt(h.underflow);
+    w.Key("overflow").UInt(h.overflow);
     w.EndObject();
   }
   w.EndObject();

@@ -1,16 +1,17 @@
-// Process-wide metrics registry: named counters, gauges, and latency
-// histograms (binning via stats::Histogram). Instrumented code fetches a
+// Process-wide metrics registry: named counters, gauges, and log-bucketed
+// latency histograms with tail quantiles. Instrumented code fetches a
 // handle once per operation and updates it; exporters (bench reports,
 // run manifests) snapshot the whole registry as JSON.
 //
 // Concurrency: handle lookup takes the registry mutex; Counter/Gauge
 // updates are lock-free atomics; histogram observation takes a
-// per-histogram mutex. Handles stay valid until Reset() — hot loops
-// should accumulate locally and publish once per stage rather than
-// holding handles across Reset() boundaries (tests reset the registry).
+// per-histogram mutex. Handles stay valid for the life of the process:
+// Reset() zeroes every metric *in place* instead of destroying it, so a
+// hot loop may cache a handle once and keep using it across test resets.
 #ifndef ROADMINE_OBS_METRICS_H_
 #define ROADMINE_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -19,8 +20,6 @@
 #include <mutex>
 #include <string>
 #include <vector>
-
-#include "stats/histogram.h"
 
 namespace roadmine::obs {
 
@@ -31,6 +30,7 @@ class Counter {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> value_{0};
@@ -42,31 +42,57 @@ class Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
 };
 
-// Latency (or any nonnegative magnitude) distribution: fixed-width bins
-// from stats::Histogram plus exact count/sum/min/max.
+// Latency (or any nonnegative magnitude) distribution with tail
+// quantiles. HDR-style log bucketing: [kLoBoundMs, kHiBoundMs) is covered
+// by kBucketsPerDecade geometric buckets per decade (~6% relative
+// resolution), so one fixed layout serves microsecond predict calls and
+// minute-long training stages alike. Observations outside the bucketed
+// range are never clamped — they are tallied in explicit underflow /
+// overflow counters (and still contribute exactly to count/sum/min/max).
 class LatencyHistogram {
  public:
-  LatencyHistogram(double lo, double hi, size_t bin_count)
-      : histogram_(lo, hi, bin_count) {}
+  static constexpr double kLoBoundMs = 1e-3;  // 1 microsecond.
+  static constexpr double kHiBoundMs = 1e6;   // ~16.7 minutes.
+  static constexpr size_t kBucketsPerDecade = 40;
+  static constexpr size_t kDecades = 9;  // log10(kHiBoundMs / kLoBoundMs).
+  static constexpr size_t kBucketCount = kBucketsPerDecade * kDecades;
 
+  LatencyHistogram() = default;
+
+  // NaN observations are dropped; negative and sub-microsecond values
+  // count as underflow, values >= kHiBoundMs as overflow.
   void Observe(double value);
 
-  size_t count() const;
+  // Zeroes the distribution in place; the handle stays valid.
+  void Reset();
+
+  size_t count() const;  // All observations, including under/overflow.
   double sum() const;
   double min() const;  // 0 when empty.
   double max() const;
   double mean() const;
-  // Copy of the underlying bins for inspection/export.
-  stats::Histogram SnapshotBins() const;
+  uint64_t underflow() const;
+  uint64_t overflow() const;
+
+  // Quantile estimate for q in [0, 1]: geometric bucket midpoint clamped
+  // to the exact observed [min, max], so a single-valued distribution
+  // reports that value exactly. Returns 0 when empty.
+  double Quantile(double q) const;
 
  private:
+  static size_t BucketIndex(double value);
+  double QuantileLocked(double q) const;
+
   mutable std::mutex mu_;
-  stats::Histogram histogram_;
+  std::array<uint64_t, kBucketCount> buckets_{};
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
   size_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
@@ -81,12 +107,12 @@ class MetricsRegistry {
 
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
-  // Range/bins apply only on first creation of `name`.
-  LatencyHistogram& GetHistogram(const std::string& name, double lo = 0.0,
-                                 double hi = 1000.0, size_t bin_count = 40);
+  LatencyHistogram& GetHistogram(const std::string& name);
 
-  // Removes every metric (invalidates outstanding handles); tests call
-  // this between cases so assertions see only their own activity.
+  // Zeroes every metric in place. Outstanding handles remain valid (the
+  // historical clear-the-map Reset dangled every cached handle); names
+  // registered before the reset still appear in snapshots, with zeroed
+  // values, so tests should assert on the names they touch.
   void Reset();
 
   struct HistogramSnapshot {
@@ -96,6 +122,12 @@ class MetricsRegistry {
     double min = 0.0;
     double max = 0.0;
     double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
   };
   struct Snapshot {
     std::vector<std::pair<std::string, uint64_t>> counters;
@@ -106,7 +138,7 @@ class MetricsRegistry {
   Snapshot TakeSnapshot() const;
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
-  // sum, min, max, mean}}}.
+  // sum, min, max, mean, p50, p90, p99, p999, underflow, overflow}}}.
   std::string ToJson() const;
 
  private:

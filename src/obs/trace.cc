@@ -48,6 +48,7 @@ TraceCollector& TraceCollector::Global() {
 void TraceCollector::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
+  counters_.clear();
 }
 
 size_t TraceCollector::span_count() const {
@@ -63,6 +64,17 @@ std::vector<SpanRecord> TraceCollector::Snapshot() const {
 void TraceCollector::Record(SpanRecord record) {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.push_back(std::move(record));
+}
+
+void TraceCollector::RecordCounter(CounterRecord record) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(std::move(record));
+}
+
+std::vector<CounterRecord> TraceCollector::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
 }
 
 uint64_t TraceCollector::NowMicros() const {
@@ -91,6 +103,7 @@ std::string TraceCollector::ToJsonl() const {
 
 std::string TraceCollector::ToChromeTrace() const {
   const std::vector<SpanRecord> spans = Snapshot();
+  const std::vector<CounterRecord> counters = CounterSnapshot();
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents").BeginArray();
@@ -102,6 +115,17 @@ std::string TraceCollector::ToChromeTrace() const {
     w.Key("dur").UInt(span.duration_us);
     w.Key("pid").UInt(0);
     w.Key("tid").UInt(span.thread_id);
+    w.EndObject();
+  }
+  for (const CounterRecord& counter : counters) {
+    w.BeginObject();
+    w.Key("name").String(counter.name);
+    w.Key("ph").String("C");
+    w.Key("ts").UInt(counter.ts_us);
+    w.Key("pid").UInt(0);
+    w.Key("args").BeginObject();
+    w.Key("value").Number(counter.value);
+    w.EndObject();
     w.EndObject();
   }
   w.EndArray();

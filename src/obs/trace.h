@@ -38,6 +38,15 @@ struct SpanRecord {
   uint32_t depth = 0;        // Nesting depth within the opening thread.
 };
 
+// A sampled scalar (queue depth, busy fraction, ...) exported as a
+// Chrome-trace counter ("ph":"C") event so profiler output renders as a
+// stacked series under the span timeline.
+struct CounterRecord {
+  std::string name;
+  uint64_t ts_us = 0;  // Microseconds since the collector epoch.
+  double value = 0.0;
+};
+
 // Thread-safe, process-wide sink for completed spans. Disabled (and
 // therefore span-free) until Enable() is called, so library users who
 // never opt in pay one relaxed load per instrumented scope.
@@ -54,6 +63,7 @@ class TraceCollector {
 
   size_t span_count() const;
   std::vector<SpanRecord> Snapshot() const;
+  std::vector<CounterRecord> CounterSnapshot() const;
 
   // One JSON object per line:
   //   {"name": "...", "start_us": 1, "dur_us": 2, "tid": 0, "depth": 0}
@@ -66,6 +76,10 @@ class TraceCollector {
   // Internal API used by ScopedSpan (public so tests can record
   // synthetic spans without timing dependence).
   void Record(SpanRecord record);
+  // No-op while the collector is disabled (counters obey the same opt-in
+  // as spans). Emitters are stage-sized — the PoolProfiler flushes one
+  // batch of samples per profiled window, never per task.
+  void RecordCounter(CounterRecord record);
   uint64_t NowMicros() const;
 
  private:
@@ -75,6 +89,7 @@ class TraceCollector {
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
+  std::vector<CounterRecord> counters_;
 };
 
 #if ROADMINE_TRACE_ENABLED

@@ -1,0 +1,43 @@
+// Rolls a trace (the TraceCollector's span list) up into per-stage
+// tables: for every distinct span name, how often it ran, its total and
+// *self* wall-clock (total minus time spent in child spans on the same
+// thread), and duration percentiles. This is the "where did the run
+// actually go" view the raw JSONL cannot answer without tooling —
+// bench runs write it next to the trace as trace_<name>_summary.json.
+#ifndef ROADMINE_OBS_TRACE_AGGREGATE_H_
+#define ROADMINE_OBS_TRACE_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace roadmine::obs {
+
+struct StageStats {
+  std::string name;
+  size_t count = 0;
+  double total_ms = 0.0;  // Sum of span durations.
+  double self_ms = 0.0;   // Total minus same-thread child span time.
+  double p50_ms = 0.0;    // Percentiles over individual span durations.
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct TraceAggregate {
+  std::vector<StageStats> stages;  // Sorted by self_ms, descending.
+
+  // {"stages": [{"name": ..., "count": ..., "total_ms": ..., ...}, ...]}
+  std::string ToJson() const;
+  // Fixed-width text table for terminal output.
+  std::string Render() const;
+};
+
+// Aggregates spans grouped by name. Spans are assumed to nest properly
+// within each thread (the ScopedSpan guarantee); spans on different
+// threads never count as each other's children.
+TraceAggregate AggregateSpans(const std::vector<SpanRecord>& spans);
+
+}  // namespace roadmine::obs
+
+#endif  // ROADMINE_OBS_TRACE_AGGREGATE_H_

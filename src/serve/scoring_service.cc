@@ -24,7 +24,8 @@ Status ScoringService::Register(const std::string& name,
                                       version + "' already registered");
     }
   }
-  entries_.push_back(Entry{name, version, std::move(model)});
+  entries_.push_back(Entry{name, version, std::move(model),
+                           std::make_shared<SloTracker>(options_.slo)});
   obs::MetricsRegistry::Global()
       .GetCounter("serve.models_registered")
       .Increment();
@@ -62,12 +63,31 @@ Result<std::vector<double>> ScoringService::ScoreBatch(
   ROADMINE_TRACE_SPAN("serve.score_batch");
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   obs::ScopedLatency timer(
-      metrics.GetHistogram("serve.score_batch_ms", 0.0, 1000.0, 50));
+      metrics.GetHistogram("serve.score_batch_ms"));
   metrics.GetCounter("serve.requests").Increment();
 
-  auto model = Get(name, version);
-  if (!model.ok()) return model.status();
-
+  std::shared_ptr<const ml::Predictor> predictor;
+  std::shared_ptr<SloTracker> slo;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Scan back-to-front so an empty version picks the latest
+    // registration (the Get() contract).
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->name != name) continue;
+      if (version.empty() || it->version == version) {
+        predictor = it->model;
+        slo = it->slo;
+        break;
+      }
+    }
+  }
+  if (predictor == nullptr) {
+    if (version.empty()) {
+      return util::NotFoundError("no model named '" + name + "'");
+    }
+    return util::NotFoundError("no model '" + name + "' version '" + version +
+                               "'");
+  }
   // Block boundaries depend only on the row count, and each block's scores
   // land in its own index range, so the output is thread-count-invariant.
   std::vector<double> scores(rows.size());
@@ -80,7 +100,7 @@ Result<std::vector<double>> ScoringService::ScoreBatch(
         const std::vector<size_t> block_rows(
             rows.begin() + static_cast<ptrdiff_t>(blocks[b].first),
             rows.begin() + static_cast<ptrdiff_t>(blocks[b].second));
-        auto block_scores = (*model)->PredictBatch(dataset, block_rows);
+        auto block_scores = predictor->PredictBatch(dataset, block_rows);
         if (!block_scores.ok()) return block_scores.status();
         if (block_scores->size() != block_rows.size()) {
           return util::InternalError("model returned a short score block");
@@ -92,7 +112,25 @@ Result<std::vector<double>> ScoringService::ScoreBatch(
   if (!status.ok()) return status;
   metrics.GetCounter("serve.rows_scored")
       .Increment(static_cast<uint64_t>(rows.size()));
+  const size_t new_breaches = slo->Record(timer.ElapsedMs(), rows.size());
+  if (new_breaches > 0) {
+    metrics.GetCounter("serve.slo_breaches")
+        .Increment(static_cast<uint64_t>(new_breaches));
+  }
   return scores;
+}
+
+std::vector<SloStatus> ScoringService::SloReport() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SloStatus> report;
+  report.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    SloStatus status = entry.slo->Snapshot();
+    status.name = entry.name;
+    status.version = entry.version;
+    report.push_back(std::move(status));
+  }
+  return report;
 }
 
 }  // namespace roadmine::serve

@@ -6,6 +6,11 @@
 // repo-wide determinism contract: block boundaries depend only on the row
 // count, scores land in index-addressed slots, so results are bit-identical
 // serial vs any thread count.
+//
+// Every registered model carries a serve::SloTracker: ScoreBatch records
+// its latency and row count into the model's rolling window, and
+// SloReport() snapshots per-(name, version) p50/p99 latency, rows/sec,
+// and cumulative breach counts against the service's SloConfig.
 #ifndef ROADMINE_SERVE_SCORING_SERVICE_H_
 #define ROADMINE_SERVE_SCORING_SERVICE_H_
 
@@ -16,6 +21,7 @@
 
 #include "data/dataset.h"
 #include "ml/predictor.h"
+#include "serve/slo.h"
 #include "util/status.h"
 
 namespace roadmine::exec {
@@ -28,6 +34,9 @@ struct ScoringServiceOptions {
   // Batch sharding executor; not owned, may be null (serial). Results are
   // bit-identical either way.
   exec::Executor* executor = nullptr;
+  // Latency/throughput objectives applied to every registered model
+  // (default: all checks disabled, window of 256 requests).
+  SloConfig slo;
 };
 
 struct ModelInfo {
@@ -56,16 +65,22 @@ class ScoringService {
 
   // Scores `rows` of `dataset` through the named model, sharding the batch
   // over the service's executor. Instrumented with obs spans and the
-  // serve.requests / serve.rows_scored / serve.score_batch_ms metrics.
+  // serve.requests / serve.rows_scored / serve.score_batch_ms metrics;
+  // also feeds the model's SLO tracker (serve.slo_breaches counts every
+  // newly breached objective process-wide).
   util::Result<std::vector<double>> ScoreBatch(
       const std::string& name, const std::string& version,
       const data::Dataset& dataset, const std::vector<size_t>& rows) const;
+
+  // Per-model SLO state, in registration order.
+  std::vector<SloStatus> SloReport() const;
 
  private:
   struct Entry {
     std::string name;
     std::string version;
     std::shared_ptr<const ml::Predictor> model;
+    std::shared_ptr<SloTracker> slo;
   };
 
   ScoringServiceOptions options_;

@@ -1,0 +1,87 @@
+// Serving SLO tracking: rolling tail-latency and throughput windows per
+// registered model, checked against configurable objectives.
+//
+// Every ScoreBatch records (latency_ms, rows) into the model's
+// SloTracker. The tracker keeps the last `window` requests in a ring,
+// recomputes rolling p50/p99 latency and rows/sec after each record, and
+// counts a breach each time a rolling statistic lands on the wrong side
+// of its objective. Breach counters are cumulative for the life of the
+// service — a paging signal, not a gauge — while the quantiles always
+// describe the current window.
+#ifndef ROADMINE_SERVE_SLO_H_
+#define ROADMINE_SERVE_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace roadmine::serve {
+
+struct SloConfig {
+  // Objectives; 0 disables the corresponding check.
+  double p50_ms = 0.0;            // Rolling p50 latency must stay below.
+  double p99_ms = 0.0;            // Rolling p99 latency must stay below.
+  double min_rows_per_sec = 0.0;  // Rolling throughput must stay above.
+  size_t window = 256;            // Requests per rolling window (>= 1).
+};
+
+// Point-in-time view of one model's SLO state.
+struct SloStatus {
+  std::string name;
+  std::string version;
+  uint64_t requests = 0;  // Lifetime totals.
+  uint64_t rows = 0;
+  double p50_ms = 0.0;  // Over the current rolling window.
+  double p99_ms = 0.0;
+  double rows_per_sec = 0.0;
+  uint64_t p50_breaches = 0;  // Cumulative breach counts.
+  uint64_t p99_breaches = 0;
+  uint64_t throughput_breaches = 0;
+  bool healthy = true;  // No objective currently breached.
+};
+
+// Thread-safe rolling-window tracker for one (name, version) entry.
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config);
+
+  // Records one scored request and re-evaluates the rolling objectives.
+  // Returns the number of objectives newly counted as breached by this
+  // request (0-3), so callers can bump aggregate breach metrics.
+  size_t Record(double latency_ms, size_t rows);
+
+  // name/version are left empty; the owning service fills them in.
+  SloStatus Snapshot() const;
+
+  const SloConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    double latency_ms = 0.0;
+    size_t rows = 0;
+  };
+
+  // Rolling stats over the ring; callers hold mu_.
+  double QuantileLocked(double q) const;
+  double RowsPerSecLocked() const;
+
+  SloConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Request> ring_;  // Capacity config_.window, filled lazily.
+  size_t next_ = 0;            // Ring write cursor.
+  uint64_t requests_ = 0;
+  uint64_t rows_ = 0;
+  uint64_t p50_breaches_ = 0;
+  uint64_t p99_breaches_ = 0;
+  uint64_t throughput_breaches_ = 0;
+  bool currently_healthy_ = true;
+};
+
+// JSON array of per-model SLO statuses, as embedded in bench reports:
+// [{"name": ..., "version": ..., "p50_ms": ..., "p99_breaches": ...}, ...]
+std::string SloReportToJson(const std::vector<SloStatus>& statuses);
+
+}  // namespace roadmine::serve
+
+#endif  // ROADMINE_SERVE_SLO_H_

@@ -1,0 +1,121 @@
+// AggregateSpans: per-stage rollups with self-time (total minus
+// same-thread child time), duration percentiles, and the JSON/text
+// renderings bench runs write as trace_<name>_summary.json.
+#include "obs/trace_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace roadmine::obs {
+namespace {
+
+SpanRecord Span(const char* name, uint64_t start_us, uint64_t duration_us,
+                uint32_t thread_id, uint32_t depth) {
+  return {.name = name, .start_us = start_us, .duration_us = duration_us,
+          .thread_id = thread_id, .depth = depth};
+}
+
+const StageStats* FindStage(const TraceAggregate& aggregate,
+                            const std::string& name) {
+  for (const StageStats& stage : aggregate.stages) {
+    if (stage.name == name) return &stage;
+  }
+  return nullptr;
+}
+
+TEST(TraceAggregateTest, EmptyTraceYieldsNoStages) {
+  EXPECT_TRUE(AggregateSpans({}).stages.empty());
+}
+
+TEST(TraceAggregateTest, SelfTimeExcludesChildSpans) {
+  // parent [0, 1000us] wraps child [200, 500us) on the same thread.
+  const auto aggregate = AggregateSpans({
+      Span("child", 200, 300, 1, 1),
+      Span("parent", 0, 1000, 1, 0),
+  });
+  const StageStats* parent = FindStage(aggregate, "parent");
+  const StageStats* child = FindStage(aggregate, "child");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_DOUBLE_EQ(parent->total_ms, 1.0);
+  EXPECT_DOUBLE_EQ(parent->self_ms, 0.7);  // 1000us minus the 300us child.
+  EXPECT_DOUBLE_EQ(child->total_ms, 0.3);
+  EXPECT_DOUBLE_EQ(child->self_ms, 0.3);   // Leaf: self == total.
+}
+
+TEST(TraceAggregateTest, GrandchildChargesOnlyItsDirectParent) {
+  // a [0,1000] > b [100,900) > c [200,300). c's time must come out of
+  // b's self-time only, not a's (a already excludes all of b).
+  const auto aggregate = AggregateSpans({
+      Span("c", 200, 100, 1, 2),
+      Span("b", 100, 800, 1, 1),
+      Span("a", 0, 1000, 1, 0),
+  });
+  EXPECT_DOUBLE_EQ(FindStage(aggregate, "a")->self_ms, 0.2);
+  EXPECT_DOUBLE_EQ(FindStage(aggregate, "b")->self_ms, 0.7);
+  EXPECT_DOUBLE_EQ(FindStage(aggregate, "c")->self_ms, 0.1);
+}
+
+TEST(TraceAggregateTest, ThreadsDoNotParentEachOther) {
+  // Identical intervals on different threads: neither is the other's
+  // child, so both keep full self-time.
+  const auto aggregate = AggregateSpans({
+      Span("left", 0, 1000, 1, 0),
+      Span("right", 0, 1000, 2, 0),
+  });
+  EXPECT_DOUBLE_EQ(FindStage(aggregate, "left")->self_ms, 1.0);
+  EXPECT_DOUBLE_EQ(FindStage(aggregate, "right")->self_ms, 1.0);
+}
+
+TEST(TraceAggregateTest, RepeatedStagesAggregateAndRankBySelfTime) {
+  std::vector<SpanRecord> spans;
+  for (int i = 0; i < 10; ++i) {
+    spans.push_back(Span("hot", static_cast<uint64_t>(i) * 2000, 1000, 1, 0));
+  }
+  spans.push_back(Span("cold", 50000, 400, 1, 0));
+  const auto aggregate = AggregateSpans(spans);
+
+  ASSERT_EQ(aggregate.stages.size(), 2u);
+  // Sorted by self_ms descending: the 10ms stage outranks the 0.4ms one.
+  EXPECT_EQ(aggregate.stages[0].name, "hot");
+  EXPECT_EQ(aggregate.stages[0].count, 10u);
+  EXPECT_DOUBLE_EQ(aggregate.stages[0].total_ms, 10.0);
+  EXPECT_DOUBLE_EQ(aggregate.stages[0].p50_ms, 1.0);
+  EXPECT_DOUBLE_EQ(aggregate.stages[0].max_ms, 1.0);
+  EXPECT_EQ(aggregate.stages[1].name, "cold");
+}
+
+TEST(TraceAggregateTest, PercentilesTrackOutliers) {
+  std::vector<SpanRecord> spans;
+  for (int i = 0; i < 99; ++i) {
+    spans.push_back(Span("stage", static_cast<uint64_t>(i) * 2000, 1000, 1,
+                         0));
+  }
+  spans.push_back(Span("stage", 990000, 100000, 1, 0));  // 100ms outlier.
+  const auto aggregate = AggregateSpans(spans);
+  const StageStats* stage = FindStage(aggregate, "stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_DOUBLE_EQ(stage->p50_ms, 1.0);
+  EXPECT_DOUBLE_EQ(stage->max_ms, 100.0);
+  EXPECT_GE(stage->p99_ms, 1.0);  // The tail sees the outlier region.
+}
+
+TEST(TraceAggregateTest, JsonAndTableRenderings) {
+  const auto aggregate = AggregateSpans({
+      Span("fit", 0, 1500, 1, 0),
+      Span("predict", 2000, 500, 1, 0),
+  });
+  const std::string json = aggregate.ToJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"fit\""), std::string::npos);
+  EXPECT_NE(json.find("\"self_ms\""), std::string::npos);
+
+  const std::string table = aggregate.Render();
+  EXPECT_NE(table.find("fit"), std::string::npos);
+  EXPECT_NE(table.find("predict"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roadmine::obs

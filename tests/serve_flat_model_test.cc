@@ -215,7 +215,7 @@ TEST(FlatModelTest, ThreadCountInvariantThroughScoringService) {
 
   for (size_t threads : {1u, 2u, 8u}) {
     exec::ThreadPool pool(threads);
-    ScoringService service(ScoringServiceOptions{.executor = &pool});
+    ScoringService service(ScoringServiceOptions{.executor = &pool, .slo = {}});
     ASSERT_TRUE(service.Register("source", "v1", bagged).ok());
     ASSERT_TRUE(service.Register("flat", "v1", flat_model).ok());
     auto source = service.ScoreBatch("source", "v1", ds, ds.AllRowIndices());

@@ -115,7 +115,7 @@ TEST(ScoringServiceTest, ThreadedScoresAreBitIdenticalToSerial) {
 
   for (size_t threads : {2u, 8u}) {
     exec::ThreadPool pool(threads);
-    ScoringService threaded(ScoringServiceOptions{.executor = &pool});
+    ScoringService threaded(ScoringServiceOptions{.executor = &pool, .slo = {}});
     ASSERT_TRUE(threaded.Register("m", "v1", tree).ok());
     auto got = threaded.ScoreBatch("m", "v1", ds, ds.AllRowIndices());
     ASSERT_TRUE(got.ok());
@@ -144,7 +144,7 @@ TEST(ScoringServiceTest, ModelErrorsPropagate) {
 
   // The same propagation holds under a threaded executor.
   exec::ThreadPool pool(4);
-  ScoringService threaded(ScoringServiceOptions{.executor = &pool});
+  ScoringService threaded(ScoringServiceOptions{.executor = &pool, .slo = {}});
   ASSERT_TRUE(
       threaded.Register("bad", "v1", std::make_shared<FailingPredictor>())
           .ok());

@@ -1,0 +1,183 @@
+// SloTracker rolling-window semantics (quantiles, throughput, breach
+// accounting) and the ScoringService integration: every scored batch
+// feeds the model's tracker, SloReport() names each entry, and breaches
+// surface through the serve.slo_breaches counter.
+#include "serve/slo.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/thresholds.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+#include "serve/scoring_service.h"
+
+namespace roadmine::serve {
+namespace {
+
+TEST(SloTrackerTest, HealthyUnderObjectives) {
+  SloConfig config;
+  config.p50_ms = 10.0;
+  config.p99_ms = 20.0;
+  config.min_rows_per_sec = 100.0;
+  SloTracker tracker(config);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(tracker.Record(5.0, 100), 0u);  // 100 rows / 5ms = 20k rows/s.
+  }
+  const SloStatus status = tracker.Snapshot();
+  EXPECT_TRUE(status.healthy);
+  EXPECT_EQ(status.requests, 50u);
+  EXPECT_EQ(status.rows, 5000u);
+  EXPECT_DOUBLE_EQ(status.p50_ms, 5.0);
+  EXPECT_DOUBLE_EQ(status.p99_ms, 5.0);
+  EXPECT_NEAR(status.rows_per_sec, 20000.0, 1.0);
+  EXPECT_EQ(status.p50_breaches, 0u);
+  EXPECT_EQ(status.p99_breaches, 0u);
+  EXPECT_EQ(status.throughput_breaches, 0u);
+}
+
+TEST(SloTrackerTest, DisabledObjectivesNeverBreach) {
+  SloTracker tracker(SloConfig{});  // All objectives 0 = disabled.
+  EXPECT_EQ(tracker.Record(1e9, 0), 0u);
+  EXPECT_TRUE(tracker.Snapshot().healthy);
+}
+
+TEST(SloTrackerTest, TailLatencyBreachCountsCumulatively) {
+  SloConfig config;
+  config.p99_ms = 10.0;
+  config.window = 8;
+  SloTracker tracker(config);
+  for (int i = 0; i < 8; ++i) tracker.Record(1.0, 10);
+  EXPECT_TRUE(tracker.Snapshot().healthy);
+
+  // One slow request drives the windowed p99 over the objective, and
+  // keeps it there until the window rolls the outlier out.
+  EXPECT_EQ(tracker.Record(100.0, 10), 1u);
+  EXPECT_FALSE(tracker.Snapshot().healthy);
+  size_t extra = 0;
+  for (int i = 0; i < 7; ++i) extra += tracker.Record(1.0, 10);
+  // The outlier stays in the 8-deep window for these 7 records.
+  EXPECT_EQ(extra, 7u);
+  // The 8th fast record evicts it; rolling p99 recovers.
+  EXPECT_EQ(tracker.Record(1.0, 10), 0u);
+  const SloStatus status = tracker.Snapshot();
+  EXPECT_TRUE(status.healthy);
+  EXPECT_DOUBLE_EQ(status.p99_ms, 1.0);
+  EXPECT_EQ(status.p99_breaches, 8u);  // Cumulative, not a gauge.
+}
+
+TEST(SloTrackerTest, ThroughputBreach) {
+  SloConfig config;
+  config.min_rows_per_sec = 1000.0;
+  config.window = 4;
+  SloTracker tracker(config);
+  // 10 rows per 100ms = 100 rows/sec, well under the floor.
+  EXPECT_EQ(tracker.Record(100.0, 10), 1u);
+  const SloStatus status = tracker.Snapshot();
+  EXPECT_FALSE(status.healthy);
+  EXPECT_EQ(status.throughput_breaches, 1u);
+  EXPECT_NEAR(status.rows_per_sec, 100.0, 0.01);
+}
+
+TEST(SloTrackerTest, MultipleObjectivesCanBreachAtOnce) {
+  SloConfig config;
+  config.p50_ms = 1.0;
+  config.p99_ms = 1.0;
+  config.min_rows_per_sec = 1e6;
+  SloTracker tracker(config);
+  // Slow AND low-throughput: all three objectives blow at once.
+  EXPECT_EQ(tracker.Record(500.0, 1), 3u);
+}
+
+TEST(SloTrackerTest, ReportJsonIsValid) {
+  SloConfig config;
+  config.p99_ms = 10.0;
+  SloTracker tracker(config);
+  tracker.Record(2.0, 100);
+  SloStatus status = tracker.Snapshot();
+  status.name = "crash_prone";
+  status.version = "v2";
+  const std::string json = SloReportToJson({status});
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"crash_prone\""), std::string::npos);
+  EXPECT_NE(json.find("\"healthy\": true"), std::string::npos);
+}
+
+// --- ScoringService integration -------------------------------------
+
+data::Dataset RoadDataset(size_t n, uint64_t seed) {
+  roadgen::GeneratorConfig config;
+  config.num_segments = n;
+  config.seed = seed;
+  roadgen::RoadNetworkGenerator gen(config);
+  auto segments = gen.Generate();
+  EXPECT_TRUE(segments.ok());
+  auto ds = roadgen::BuildSegmentDataset(*segments);
+  EXPECT_TRUE(ds.ok());
+  EXPECT_TRUE(core::AddCrashProneTarget(*ds, roadgen::kSegmentCrashCountColumn,
+                                        4)
+                  .ok());
+  return std::move(*ds);
+}
+
+class ConstantPredictor : public ml::Predictor {
+ public:
+  util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset&, const std::vector<size_t>& rows) const override {
+    return std::vector<double>(rows.size(), 0.5);
+  }
+  const char* name() const override { return "constant"; }
+};
+
+TEST(ScoringServiceSloTest, ScoreBatchFeedsTrackerAndReportNamesModels) {
+  data::Dataset ds = RoadDataset(200, 3);
+  SloConfig slo;
+  slo.p99_ms = 60000.0;  // Unbreachable in a test run.
+  ScoringService service(ScoringServiceOptions{.executor = nullptr, .slo = slo});
+  ASSERT_TRUE(
+      service.Register("m", "v1", std::make_shared<ConstantPredictor>())
+          .ok());
+  ASSERT_TRUE(
+      service.Register("m", "v2", std::make_shared<ConstantPredictor>())
+          .ok());
+
+  const std::vector<size_t> rows = ds.AllRowIndices();
+  ASSERT_TRUE(service.ScoreBatch("m", "v2", ds, rows).ok());
+  ASSERT_TRUE(service.ScoreBatch("m", "v2", ds, rows).ok());
+
+  const std::vector<SloStatus> report = service.SloReport();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].name, "m");
+  EXPECT_EQ(report[0].version, "v1");
+  EXPECT_EQ(report[0].requests, 0u);  // Never scored.
+  EXPECT_EQ(report[1].version, "v2");
+  EXPECT_EQ(report[1].requests, 2u);
+  EXPECT_EQ(report[1].rows, 2 * rows.size());
+  EXPECT_TRUE(report[1].healthy);
+}
+
+TEST(ScoringServiceSloTest, BreachesBumpGlobalCounter) {
+  data::Dataset ds = RoadDataset(200, 3);
+  obs::MetricsRegistry::Global().Reset();
+  SloConfig slo;
+  slo.min_rows_per_sec = 1e15;  // Impossible: every request breaches.
+  ScoringService service(ScoringServiceOptions{.executor = nullptr, .slo = slo});
+  ASSERT_TRUE(
+      service.Register("m", "v1", std::make_shared<ConstantPredictor>())
+          .ok());
+  ASSERT_TRUE(service.ScoreBatch("m", "v1", ds, ds.AllRowIndices()).ok());
+
+  const std::vector<SloStatus> report = service.SloReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_FALSE(report[0].healthy);
+  EXPECT_GE(report[0].throughput_breaches, 1u);
+  EXPECT_GE(
+      obs::MetricsRegistry::Global().GetCounter("serve.slo_breaches").value(),
+      1u);
+}
+
+}  // namespace
+}  // namespace roadmine::serve

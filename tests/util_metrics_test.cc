@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -45,8 +46,7 @@ TEST_F(MetricsTest, GaugeLastWriteWins) {
 }
 
 TEST_F(MetricsTest, HistogramTracksExactMoments) {
-  LatencyHistogram& h =
-      MetricsRegistry::Global().GetHistogram("fit_ms", 0.0, 100.0, 10);
+  LatencyHistogram& h = MetricsRegistry::Global().GetHistogram("fit_ms");
   h.Observe(10.0);
   h.Observe(30.0);
   h.Observe(20.0);
@@ -55,16 +55,77 @@ TEST_F(MetricsTest, HistogramTracksExactMoments) {
   EXPECT_DOUBLE_EQ(h.min(), 10.0);
   EXPECT_DOUBLE_EQ(h.max(), 30.0);
   EXPECT_DOUBLE_EQ(h.mean(), 20.0);
-  EXPECT_EQ(h.SnapshotBins().total(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
 }
 
-TEST_F(MetricsTest, HistogramRangeAppliesOnFirstCreationOnly) {
-  LatencyHistogram& first =
-      MetricsRegistry::Global().GetHistogram("ranged", 0.0, 10.0, 5);
-  LatencyHistogram& again =
-      MetricsRegistry::Global().GetHistogram("ranged", 0.0, 999.0, 77);
-  EXPECT_EQ(&first, &again);
-  EXPECT_EQ(first.SnapshotBins().bin_count(), 5u);
+TEST_F(MetricsTest, HistogramQuantilesAreLogBucketAccurate) {
+  LatencyHistogram h;
+  // 1..1000 ms uniformly: the geometric buckets are ~6% wide, so every
+  // quantile estimate must land within 10% of the exact answer.
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_NEAR(h.Quantile(0.50), 500.0, 50.0);
+  EXPECT_NEAR(h.Quantile(0.90), 900.0, 90.0);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 99.0);
+  // Quantiles are clamped to the exact observed range.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+}
+
+TEST_F(MetricsTest, HistogramSingleValueReportsExactly) {
+  LatencyHistogram h;
+  h.Observe(7.25);
+  // One observation: every quantile collapses to the exact value via the
+  // [min, max] clamp, regardless of bucket geometry.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 7.25);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 7.25);
+}
+
+TEST_F(MetricsTest, HistogramSpansMicrosecondsToMinutes) {
+  LatencyHistogram h;
+  h.Observe(0.002);     // 2 microseconds.
+  h.Observe(120000.0);  // 2 minutes.
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_NEAR(h.Quantile(0.0), 0.002, 0.002 * 0.1);
+  EXPECT_NEAR(h.Quantile(1.0), 120000.0, 120000.0 * 0.1);
+}
+
+TEST_F(MetricsTest, HistogramOutOfRangeCountsNotClamps) {
+  LatencyHistogram h;
+  h.Observe(-5.0);   // Below any bucket.
+  h.Observe(1e-9);   // Sub-microsecond.
+  h.Observe(5e6);    // Beyond the bucketed range.
+  h.Observe(10.0);   // In range.
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  // Exact moments still see the raw values (no clamping).
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5e6);
+  EXPECT_DOUBLE_EQ(h.sum(), -5.0 + 1e-9 + 5e6 + 10.0);
+  // Quantile walk covers the under/overflow regions: the bottom ranks
+  // report min, the top rank reports max.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5e6);
+  // NaN observations are dropped entirely.
+  h.Observe(std::nan(""));
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST_F(MetricsTest, HistogramResetZeroesInPlace) {
+  LatencyHistogram& h = MetricsRegistry::Global().GetHistogram("reset_me");
+  h.Observe(3.0);
+  h.Observe(2e9);
+  ASSERT_EQ(h.count(), 2u);
+  ASSERT_EQ(h.overflow(), 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  h.Observe(4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 4.0);
 }
 
 TEST_F(MetricsTest, ConcurrentCounterIncrementsAllLand) {
@@ -81,40 +142,87 @@ TEST_F(MetricsTest, ConcurrentCounterIncrementsAllLand) {
   EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kIncrements);
 }
 
-TEST_F(MetricsTest, ResetDropsEverything) {
-  MetricsRegistry::Global().GetCounter("a").Increment();
-  MetricsRegistry::Global().GetGauge("b").Set(1.0);
-  MetricsRegistry::Global().GetHistogram("c").Observe(1.0);
-  MetricsRegistry::Global().Reset();
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsHandlesValid) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& c = registry.GetCounter("survivor");
+  Gauge& g = registry.GetGauge("survivor");
+  LatencyHistogram& h = registry.GetHistogram("survivor");
+  c.Increment(7);
+  g.Set(1.5);
+  h.Observe(2.0);
 
-  auto snapshot = MetricsRegistry::Global().TakeSnapshot();
-  EXPECT_TRUE(snapshot.counters.empty());
-  EXPECT_TRUE(snapshot.gauges.empty());
-  EXPECT_TRUE(snapshot.histograms.empty());
-  // Re-fetching after Reset starts from zero.
-  EXPECT_EQ(MetricsRegistry::Global().GetCounter("a").value(), 0u);
+  registry.Reset();
+
+  // The handles fetched before the reset are the same objects afterward
+  // (the historical clear-the-map Reset dangled them), now zeroed.
+  EXPECT_EQ(&c, &registry.GetCounter("survivor"));
+  EXPECT_EQ(&g, &registry.GetGauge("survivor"));
+  EXPECT_EQ(&h, &registry.GetHistogram("survivor"));
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // And they keep working.
+  c.Increment();
+  EXPECT_EQ(c.value(), 1u);
 }
 
-TEST_F(MetricsTest, SnapshotIsNameSorted) {
+TEST_F(MetricsTest, SnapshotIsNameSortedAndScoped) {
   MetricsRegistry::Global().GetCounter("zebra").Increment();
   MetricsRegistry::Global().GetCounter("alpha").Increment(2);
   auto snapshot = MetricsRegistry::Global().TakeSnapshot();
-  ASSERT_EQ(snapshot.counters.size(), 2u);
-  EXPECT_EQ(snapshot.counters[0].first, "alpha");
-  EXPECT_EQ(snapshot.counters[0].second, 2u);
-  EXPECT_EQ(snapshot.counters[1].first, "zebra");
+  // Names registered by other tests may persist (Reset zeroes in place),
+  // so assert relative order and values of the names this test touched.
+  size_t alpha_pos = snapshot.counters.size();
+  size_t zebra_pos = snapshot.counters.size();
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (snapshot.counters[i].first == "alpha") {
+      alpha_pos = i;
+      EXPECT_EQ(snapshot.counters[i].second, 2u);
+    }
+    if (snapshot.counters[i].first == "zebra") {
+      zebra_pos = i;
+      EXPECT_EQ(snapshot.counters[i].second, 1u);
+    }
+  }
+  ASSERT_LT(alpha_pos, snapshot.counters.size());
+  ASSERT_LT(zebra_pos, snapshot.counters.size());
+  EXPECT_LT(alpha_pos, zebra_pos);
+}
+
+TEST_F(MetricsTest, SnapshotCarriesQuantilesAndOverflow) {
+  LatencyHistogram& h = MetricsRegistry::Global().GetHistogram("snap_ms");
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  h.Observe(2e9);  // Overflow.
+  auto snapshot = MetricsRegistry::Global().TakeSnapshot();
+  const MetricsRegistry::HistogramSnapshot* found = nullptr;
+  for (const auto& hs : snapshot.histograms) {
+    if (hs.name == "snap_ms") found = &hs;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count, 101u);
+  EXPECT_EQ(found->overflow, 1u);
+  EXPECT_GT(found->p50, 40.0);
+  EXPECT_LT(found->p50, 60.0);
+  EXPECT_GE(found->p99, found->p90);
+  EXPECT_GE(found->p999, found->p99);
+  EXPECT_DOUBLE_EQ(found->max, 2e9);
 }
 
 TEST_F(MetricsTest, ToJsonIsValidAndCoversAllKinds) {
   MetricsRegistry::Global().GetCounter("runs").Increment(3);
   MetricsRegistry::Global().GetGauge("rows").Set(16750.0);
-  MetricsRegistry::Global().GetHistogram("ms", 0.0, 50.0, 5).Observe(12.5);
+  MetricsRegistry::Global().GetHistogram("ms").Observe(12.5);
 
   const std::string json = MetricsRegistry::Global().ToJson();
   EXPECT_TRUE(ValidateJson(json).ok()) << json;
   EXPECT_NE(json.find("\"runs\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"rows\": 16750"), std::string::npos);
   EXPECT_NE(json.find("\"ms\""), std::string::npos);
+  // Histogram entries expose the tail quantiles and range counters.
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  EXPECT_NE(json.find("\"underflow\""), std::string::npos);
+  EXPECT_NE(json.find("\"overflow\""), std::string::npos);
 }
 
 TEST_F(MetricsTest, ScopedLatencyObservesOnDestruction) {

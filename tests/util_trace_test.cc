@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "exec/executor.h"
 #include "obs/json.h"
 
 namespace roadmine::obs {
@@ -91,7 +94,97 @@ TEST_F(TraceTest, ThreadsGetDistinctIdsAndIndependentDepths) {
   EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
 }
 
+TEST_F(TraceTest, PoolWorkersNestSpansIndependently) {
+  // Spans created inside thread-pool tasks must keep per-thread
+  // bookkeeping intact: a stable thread id per OS thread, depth that
+  // nests within the task, and intervals where each child lies inside
+  // its same-thread parent.
+  constexpr size_t kTasks = 32;
+  {
+    exec::ThreadPool pool(4);
+    auto status = exec::ParallelFor(&pool, kTasks, [](size_t) {
+      ScopedSpan outer("task.outer");
+      {
+        ScopedSpan inner("task.inner");
+      }
+      return util::Status::Ok();
+    });
+    ASSERT_TRUE(status.ok());
+  }
+
+  auto spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2 * kTasks);
+  std::map<uint32_t, size_t> outer_by_thread;
+  size_t inner_seen = 0;
+  for (const auto& s : spans) {
+    if (s.name == "task.outer") {
+      EXPECT_EQ(s.depth, 0u);
+      ++outer_by_thread[s.thread_id];
+    } else {
+      ASSERT_EQ(s.name, "task.inner");
+      EXPECT_EQ(s.depth, 1u);
+      ++inner_seen;
+      // The matching outer span on the same thread encloses it: spans
+      // record at scope exit, so the parent is the first later-recorded
+      // same-thread span at lower depth.
+      bool enclosed = false;
+      for (const auto& candidate : spans) {
+        if (candidate.thread_id != s.thread_id || candidate.depth != 0) {
+          continue;
+        }
+        if (candidate.start_us <= s.start_us &&
+            candidate.start_us + candidate.duration_us >=
+                s.start_us + s.duration_us) {
+          enclosed = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(enclosed) << "inner span not enclosed by any outer span "
+                            << "on thread " << s.thread_id;
+    }
+  }
+  EXPECT_EQ(inner_seen, kTasks);
+  size_t outer_total = 0;
+  for (const auto& [tid, count] : outer_by_thread) outer_total += count;
+  EXPECT_EQ(outer_total, kTasks);
+  // 4 workers + possibly the helping caller thread.
+  EXPECT_LE(outer_by_thread.size(), 5u);
+
+  // The multi-threaded capture still serializes to one well-formed
+  // Chrome trace document.
+  EXPECT_TRUE(ValidateJson(TraceCollector::Global().ToChromeTrace()).ok());
+}
+
 #endif  // ROADMINE_TRACE_ENABLED
+
+TEST_F(TraceTest, CounterEventsAppearInChromeTrace) {
+  TraceCollector::Global().Record(
+      {.name = "stage", .start_us = 10, .duration_us = 5, .thread_id = 0,
+       .depth = 0});
+  TraceCollector::Global().RecordCounter(
+      {.name = "exec.queue_depth", .ts_us = 12, .value = 3.0});
+
+  ASSERT_EQ(TraceCollector::Global().CounterSnapshot().size(), 1u);
+  const std::string trace = TraceCollector::Global().ToChromeTrace();
+  EXPECT_TRUE(ValidateJson(trace).ok()) << trace;
+  EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(trace.find("\"exec.queue_depth\""), std::string::npos);
+  EXPECT_NE(trace.find("\"value\": 3"), std::string::npos);
+}
+
+TEST_F(TraceTest, CountersIgnoredWhileDisabledAndDroppedOnClear) {
+  TraceCollector::Global().Disable();
+  TraceCollector::Global().RecordCounter({.name = "ignored", .ts_us = 1,
+                                          .value = 1.0});
+  EXPECT_TRUE(TraceCollector::Global().CounterSnapshot().empty());
+
+  TraceCollector::Global().Enable();
+  TraceCollector::Global().RecordCounter({.name = "kept", .ts_us = 2,
+                                          .value = 2.0});
+  ASSERT_EQ(TraceCollector::Global().CounterSnapshot().size(), 1u);
+  TraceCollector::Global().Clear();
+  EXPECT_TRUE(TraceCollector::Global().CounterSnapshot().empty());
+}
 
 TEST_F(TraceTest, JsonlLinesAreValidJsonObjects) {
   TraceCollector::Global().Record(

@@ -1,0 +1,170 @@
+// bench_compare: the perf-regression gate over BENCH_*.json reports.
+//
+//   bench_compare [--threshold=0.15] [--min-ms=5] baseline.json candidate.json
+//
+// Diffs the candidate's per-stage `timings_ms` against the baseline and
+// prints a table of deltas. A stage REGRESSES when its candidate time
+// exceeds baseline * (1 + threshold) AND grows by more than --min-ms
+// absolute milliseconds (so microsecond stages can't flake the gate).
+// A stage present in the baseline but missing from the candidate also
+// fails (a silently dropped stage is not a speedup); stages new in the
+// candidate are informational only.
+//
+// Exit status: 0 = no regressions, 1 = at least one regression,
+// 2 = usage or unreadable/malformed input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace {
+
+using roadmine::obs::JsonValue;
+
+struct StageDelta {
+  std::string stage;
+  double base_ms = 0.0;
+  double cand_ms = 0.0;
+  bool missing = false;    // In baseline, absent from candidate.
+  bool added = false;      // In candidate only; informational.
+  bool regressed = false;
+};
+
+// Pulls the `timings_ms` object out of a parsed bench report.
+const JsonValue* FindTimings(const JsonValue& report, const char* path) {
+  if (!report.is_object()) {
+    std::fprintf(stderr, "bench_compare: %s: top level is not an object\n",
+                 path);
+    return nullptr;
+  }
+  const JsonValue* timings = report.Find("timings_ms");
+  if (timings == nullptr || !timings->is_object()) {
+    std::fprintf(stderr,
+                 "bench_compare: %s: missing \"timings_ms\" object\n", path);
+    return nullptr;
+  }
+  return timings;
+}
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  char* end = nullptr;
+  const double value = std::strtod(arg + len + 1, &end);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "bench_compare: bad value in '%s'\n", arg);
+    std::exit(2);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.15;  // Fail on >15% growth by default...
+  double min_ms = 5.0;      // ...but only when it also exceeds 5ms.
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseDoubleFlag(argv[i], "--threshold", &threshold)) continue;
+    if (ParseDoubleFlag(argv[i], "--min-ms", &min_ms)) continue;
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "bench_compare: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+    paths.push_back(argv[i]);
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare [--threshold=FRAC] [--min-ms=MS] "
+                 "baseline.json candidate.json\n");
+    return 2;
+  }
+
+  JsonValue reports[2];
+  for (int i = 0; i < 2; ++i) {
+    auto text = roadmine::obs::ReadFileToString(paths[i]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "bench_compare: %s\n",
+                   text.status().ToString().c_str());
+      return 2;
+    }
+    auto parsed = roadmine::obs::ParseJson(*text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_compare: %s: %s\n", paths[i],
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    reports[i] = std::move(*parsed);
+  }
+  const JsonValue* base = FindTimings(reports[0], paths[0]);
+  const JsonValue* cand = FindTimings(reports[1], paths[1]);
+  if (base == nullptr || cand == nullptr) return 2;
+
+  std::vector<StageDelta> deltas;
+  for (const auto& [stage, value] : base->members) {
+    StageDelta delta;
+    delta.stage = stage;
+    delta.base_ms = value.number_value;
+    const JsonValue* match = cand->Find(stage);
+    if (match == nullptr || !match->is_number()) {
+      delta.missing = true;
+      delta.regressed = true;
+    } else {
+      delta.cand_ms = match->number_value;
+      const double grew_by = delta.cand_ms - delta.base_ms;
+      delta.regressed = delta.cand_ms > delta.base_ms * (1.0 + threshold) &&
+                        grew_by > min_ms;
+    }
+    deltas.push_back(delta);
+  }
+  for (const auto& [stage, value] : cand->members) {
+    if (base->Find(stage) != nullptr) continue;
+    StageDelta delta;
+    delta.stage = stage;
+    delta.cand_ms = value.number_value;
+    delta.added = true;
+    deltas.push_back(delta);
+  }
+
+  std::printf("%-32s %12s %12s %9s  %s\n", "stage", "baseline_ms",
+              "candidate_ms", "delta_%", "status");
+  int regressions = 0;
+  for (const StageDelta& delta : deltas) {
+    const char* status = "ok";
+    if (delta.missing) {
+      status = "MISSING";
+    } else if (delta.added) {
+      status = "new";
+    } else if (delta.regressed) {
+      status = "REGRESSED";
+    }
+    if (delta.regressed) ++regressions;
+    if (delta.missing) {
+      std::printf("%-32s %12.3f %12s %9s  %s\n", delta.stage.c_str(),
+                  delta.base_ms, "-", "-", status);
+    } else if (delta.added) {
+      std::printf("%-32s %12s %12.3f %9s  %s\n", delta.stage.c_str(), "-",
+                  delta.cand_ms, "-", status);
+    } else {
+      const double pct = delta.base_ms > 0.0
+                             ? 100.0 * (delta.cand_ms - delta.base_ms) /
+                                   delta.base_ms
+                             : 0.0;
+      std::printf("%-32s %12.3f %12.3f %+8.1f%%  %s\n", delta.stage.c_str(),
+                  delta.base_ms, delta.cand_ms, pct, status);
+    }
+  }
+  if (regressions > 0) {
+    std::printf("%d stage(s) regressed beyond %.0f%% (+%.1fms floor)\n",
+                regressions, threshold * 100.0, min_ms);
+    return 1;
+  }
+  std::printf("no regressions beyond %.0f%% (+%.1fms floor)\n",
+              threshold * 100.0, min_ms);
+  return 0;
+}
