@@ -20,6 +20,7 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -205,7 +206,10 @@ constexpr char kFailTag[] = "perf_ml instrumented pass failed";
 // (after logging) on any pipeline error so the smoke test fails loudly.
 bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
   roadgen::GeneratorConfig config;
-  config.num_segments = smoke ? 800 : 6000;
+  // Full scale is sized so the parallel stages (CV folds, bagging
+  // members) dominate scheduling overhead — the regime the exec
+  // speedup floors are gated at (bench/CMakeLists.txt perf_gate_ml).
+  config.num_segments = smoke ? 800 : 12000;
   config.seed = 99;
 
   data::Dataset ds;
@@ -436,6 +440,12 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
     exec::ThreadPool pool(4);
     exec::PoolProfiler profiler;
     pool.AttachProfiler(&profiler);
+    // Speedup ratios only mean something relative to the cores that were
+    // actually available; record them next to the ratios so a gate (or a
+    // human) can tell "scheduler regression" from "small machine".
+    ctx.report().RecordMetric(
+        "hardware_threads",
+        static_cast<double>(std::thread::hardware_concurrency()));
     auto timed_ms = [&ctx](const char* stage, auto&& fn) {
       const auto start = std::chrono::steady_clock::now();
       fn();
@@ -487,7 +497,7 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
 
     // Generator segment blocks.
     roadgen::GeneratorConfig gen_config;
-    gen_config.num_segments = smoke ? 2000 : 6000;
+    gen_config.num_segments = smoke ? 2000 : 12000;
     gen_config.seed = 7;
     util::Result<std::vector<roadgen::RoadSegment>> serial_segments =
         util::InternalError("not run");
@@ -518,7 +528,7 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
 
     // Bagged ensemble members.
     ml::BaggedTreesParams bag_params;
-    bag_params.num_trees = smoke ? 6 : 24;
+    bag_params.num_trees = smoke ? 6 : 32;
     bag_params.tree.min_samples_leaf = 30;
     bag_params.tree.max_leaves = 32;
     std::vector<double> serial_probs, parallel_probs;

@@ -13,8 +13,12 @@ namespace roadmine::exec {
 namespace {
 
 // Worker index within the owning pool; -1 marks a thread the pool did
-// not spawn (a batch-submitting caller helping drain the queue).
+// not spawn (a batch-submitting caller helping drain work).
 thread_local int tls_worker_slot = -1;
+
+// ScopedGrainForTesting override; 0 = inactive. Installed from a test
+// driver thread before work is spawned (see header).
+size_t g_test_grain = 0;
 
 uint64_t NowMicros() {
   return static_cast<uint64_t>(
@@ -23,26 +27,7 @@ uint64_t NowMicros() {
           .count());
 }
 
-// Shared completion state for one RunBatch call. Tasks record the
-// lowest-index failure so the reported error matches a serial run.
-struct BatchState {
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t remaining = 0;
-  size_t first_error_index = std::numeric_limits<size_t>::max();
-  util::Status first_error;
-
-  void Complete(size_t index, util::Status status) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (!status.ok() && index < first_error_index) {
-      first_error_index = index;
-      first_error = std::move(status);
-    }
-    if (--remaining == 0) done_cv.notify_all();
-  }
-};
-
-util::Status RunGuarded(const IndexedTask& task, size_t index) {
+util::Status RunIndexGuarded(const IndexedTask& task, size_t index) {
   try {
     return task(index);
   } catch (const std::exception& e) {
@@ -54,17 +39,130 @@ util::Status RunGuarded(const IndexedTask& task, size_t index) {
   }
 }
 
+util::Status RunRangeGuarded(const RangeTask& task, size_t begin, size_t end) {
+  try {
+    return task(begin, end);
+  } catch (const std::exception& e) {
+    return util::InternalError("chunk [" + std::to_string(begin) + ", " +
+                               std::to_string(end) + ") threw: " + e.what());
+  } catch (...) {
+    return util::InternalError("chunk [" + std::to_string(begin) + ", " +
+                               std::to_string(end) +
+                               ") threw a non-std exception");
+  }
+}
+
+// Adapts a per-index task to the chunk runner: indices ascending,
+// stopping at the first error — so the chunk's status is exactly what a
+// serial run of that range would return.
+RangeTask PerIndexRange(const IndexedTask& task) {
+  return [&task](size_t begin, size_t end) -> util::Status {
+    for (size_t i = begin; i < end; ++i) {
+      util::Status status = RunIndexGuarded(task, i);
+      if (!status.ok()) return status;
+    }
+    return util::Status::Ok();
+  };
+}
+
 }  // namespace
 
-util::Status SerialExecutor::RunBatch(size_t n, const IndexedTask& task) {
-  for (size_t i = 0; i < n; ++i) {
-    util::Status status = RunGuarded(task, i);
+ChunkPlan PlanChunks(size_t n, const ScheduleOptions& options,
+                     size_t workers) {
+  if (g_test_grain > 0) {
+    return ChunkPlan::Make(n, n == 0 ? 0 : (n + g_test_grain - 1) /
+                                               g_test_grain);
+  }
+  size_t chunks;
+  if (options.grain > 0) {
+    chunks = n == 0 ? 0 : (n + options.grain - 1) / options.grain;
+  } else if (workers == 0) {
+    chunks = 1;  // Serial: one chunk, zero scheduling overhead.
+  } else {
+    chunks = std::min(n, kChunksPerThread * (workers + 1));
+  }
+  if (options.max_chunks > 0) chunks = std::min(chunks, options.max_chunks);
+  return ChunkPlan::Make(n, chunks);
+}
+
+ScopedGrainForTesting::ScopedGrainForTesting(size_t grain)
+    : previous_(g_test_grain) {
+  g_test_grain = grain;
+}
+
+ScopedGrainForTesting::~ScopedGrainForTesting() { g_test_grain = previous_; }
+
+util::Status Executor::RunBatch(size_t n, const IndexedTask& task) {
+  return RunRanges(n, PerIndexRange(task), kPerIndex);
+}
+
+util::Status Executor::RunBatch(size_t n, const IndexedTask& task,
+                                const ScheduleOptions& options) {
+  return RunRanges(n, PerIndexRange(task), options);
+}
+
+util::Status SerialExecutor::RunRanges(size_t n, const RangeTask& task,
+                                       const ScheduleOptions& options) {
+  const ChunkPlan plan = PlanChunks(n, options, /*workers=*/0);
+  for (size_t c = 0; c < plan.num_chunks; ++c) {
+    util::Status status =
+        RunRangeGuarded(task, plan.ChunkBegin(c), plan.ChunkEnd(c));
     if (!status.ok()) return status;
   }
   return util::Status::Ok();
 }
 
-ThreadPool::ThreadPool(size_t num_threads) {
+// Cached registry handles; see header. Looked up once per pool.
+struct ThreadPool::MetricHandles {
+  MetricHandles()
+      : submitted(obs::MetricsRegistry::Global().GetCounter(
+            "exec.tasks_submitted")),
+        completed(obs::MetricsRegistry::Global().GetCounter(
+            "exec.tasks_completed")),
+        run_ms(obs::MetricsRegistry::Global().GetHistogram(
+            "exec.task_run_ms")),
+        wait_ms(obs::MetricsRegistry::Global().GetHistogram(
+            "exec.task_wait_ms")) {}
+
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::LatencyHistogram& run_ms;
+  obs::LatencyHistogram& wait_ms;
+};
+
+// Shared state for one RunRanges call. Chunks are claimed from
+// `next_chunk` in ascending order; completion records the failure with
+// the lowest begin so the reported error matches a serial run.
+struct ThreadPool::RangeBatch {
+  const RangeTask* task = nullptr;
+  ChunkPlan plan;
+  uint64_t enqueued_us = 0;
+
+  std::atomic<size_t> next_chunk{0};
+  // Set on first failure; chunks claimed afterwards are skipped. Safe
+  // for the lowest-begin rule: tickets are issued ascending, so every
+  // unclaimed chunk begins above every claimed (hence every failed)
+  // one — exactly the work a serial run would never reach.
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t chunks_remaining = 0;
+  size_t first_error_begin = std::numeric_limits<size_t>::max();
+  util::Status first_error;
+
+  void Complete(size_t begin, util::Status status) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!status.ok() && begin < first_error_begin) {
+      first_error_begin = begin;
+      first_error = std::move(status);
+    }
+    if (--chunks_remaining == 0) done_cv.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : metrics_(std::make_unique<MetricHandles>()) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -83,14 +181,17 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> fn) {
+void ThreadPool::SubmitInternal(std::function<void()> fn, bool record) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(QueueItem{std::move(fn), NowMicros()});
+    queue_.push_back(QueueItem{std::move(fn), NowMicros(), record});
   }
-  obs::MetricsRegistry::Global().GetCounter("exec.tasks_submitted")
-      .Increment();
+  if (record) metrics_->submitted.Increment();
   work_cv_.notify_one();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  SubmitInternal(std::move(fn), /*record=*/true);
 }
 
 bool ThreadPool::RunOneQueued() {
@@ -101,30 +202,34 @@ bool ThreadPool::RunOneQueued() {
     if (queue_.empty()) return false;
     item = std::move(queue_.front());
     queue_.pop_front();
-    queue_depth = queue_.size();  // Tasks still waiting behind this one.
+    queue_depth = queue_.size();  // Items still waiting behind this one.
     ++in_flight_;
   }
-  PoolProfiler* profiler = profiler_.load(std::memory_order_acquire);
-  const bool profiling = profiler != nullptr && profiler->active();
-  const uint64_t profile_start_us =
-      profiling ? obs::TraceCollector::Global().NowMicros() : 0;
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  const uint64_t start_us = NowMicros();
-  if (item.enqueued_us != 0) {
-    metrics.GetHistogram("exec.task_wait_ms")
-        .Observe(static_cast<double>(start_us - item.enqueued_us) / 1000.0);
-  }
-  item.fn();
-  const uint64_t run_us = NowMicros() - start_us;
-  metrics.GetHistogram("exec.task_run_ms")
-      .Observe(static_cast<double>(run_us) / 1000.0);
-  metrics.GetCounter("exec.tasks_completed").Increment();
-  if (profiling) {
-    const uint32_t slot = tls_worker_slot >= 0
-                              ? static_cast<uint32_t>(tls_worker_slot)
-                              : static_cast<uint32_t>(workers_.size());
-    profiler->RecordTask({slot, profile_start_us, run_us,
-                          static_cast<uint32_t>(queue_depth)});
+  if (!item.record) {
+    // Batch-helper plumbing: the chunks it claims account for
+    // themselves inside DrainChunks.
+    item.fn();
+  } else {
+    PoolProfiler* profiler = profiler_.load(std::memory_order_acquire);
+    const bool profiling = profiler != nullptr && profiler->active();
+    const uint64_t profile_start_us =
+        profiling ? obs::TraceCollector::Global().NowMicros() : 0;
+    const uint64_t start_us = NowMicros();
+    if (item.enqueued_us != 0) {
+      metrics_->wait_ms.Observe(
+          static_cast<double>(start_us - item.enqueued_us) / 1000.0);
+    }
+    item.fn();
+    const uint64_t run_us = NowMicros() - start_us;
+    metrics_->run_ms.Observe(static_cast<double>(run_us) / 1000.0);
+    metrics_->completed.Increment();
+    if (profiling) {
+      const uint32_t slot = tls_worker_slot >= 0
+                                ? static_cast<uint32_t>(tls_worker_slot)
+                                : static_cast<uint32_t>(workers_.size());
+      profiler->RecordTask({slot, profile_start_us, run_us,
+                            static_cast<uint32_t>(queue_depth)});
+    }
   }
   bool drained = false;
   {
@@ -153,57 +258,113 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
-util::Status ThreadPool::RunBatch(size_t n, const IndexedTask& task) {
-  if (n == 0) return util::Status::Ok();
-  auto state = std::make_shared<BatchState>();
-  state->remaining = n;
-  for (size_t i = 0; i < n; ++i) {
-    Submit([state, &task, i] { state->Complete(i, RunGuarded(task, i)); });
+void ThreadPool::DrainChunks(const std::shared_ptr<RangeBatch>& batch) {
+  while (true) {
+    const size_t chunk =
+        batch->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= batch->plan.num_chunks) return;
+    const size_t begin = batch->plan.ChunkBegin(chunk);
+    const size_t end = batch->plan.ChunkEnd(chunk);
+    util::Status status;  // OK for skipped chunks past a failure.
+    if (!batch->failed.load(std::memory_order_acquire)) {
+      PoolProfiler* profiler = profiler_.load(std::memory_order_acquire);
+      const bool profiling = profiler != nullptr && profiler->active();
+      const uint64_t profile_start_us =
+          profiling ? obs::TraceCollector::Global().NowMicros() : 0;
+      const uint64_t start_us = NowMicros();
+      metrics_->wait_ms.Observe(
+          static_cast<double>(start_us - batch->enqueued_us) / 1000.0);
+      status = RunRangeGuarded(*batch->task, begin, end);
+      const uint64_t run_us = NowMicros() - start_us;
+      metrics_->run_ms.Observe(static_cast<double>(run_us) / 1000.0);
+      if (profiling) {
+        const uint32_t slot = tls_worker_slot >= 0
+                                  ? static_cast<uint32_t>(tls_worker_slot)
+                                  : static_cast<uint32_t>(workers_.size());
+        // Backlog of still-unclaimed chunks stands in for queue depth.
+        const size_t claimed = batch->next_chunk.load(
+            std::memory_order_relaxed);
+        const size_t backlog =
+            claimed < batch->plan.num_chunks ? batch->plan.num_chunks - claimed
+                                             : 0;
+        profiler->RecordTask({slot, profile_start_us, run_us,
+                              static_cast<uint32_t>(backlog)});
+      }
+      if (!status.ok()) batch->failed.store(true, std::memory_order_release);
+    }
+    metrics_->completed.Increment();
+    batch->Complete(begin, std::move(status));
   }
-  // Help drain the queue: nested RunBatch calls from inside tasks make
-  // progress even when every worker is blocked on a deeper batch, and a
-  // batch submitted to a busy pool never waits idle.
+}
+
+util::Status ThreadPool::RunRanges(size_t n, const RangeTask& task,
+                                   const ScheduleOptions& options) {
+  if (n == 0) return util::Status::Ok();
+  const ChunkPlan plan = PlanChunks(n, options, workers_.size());
+
+  auto batch = std::make_shared<RangeBatch>();
+  batch->task = &task;
+  batch->plan = plan;
+  batch->enqueued_us = NowMicros();
+  batch->chunks_remaining = plan.num_chunks;
+  metrics_->submitted.Increment(plan.num_chunks);
+
+  // One wake-up per worker, capped at the chunk count — batch cost does
+  // not scale with n. A single-chunk batch runs entirely on the caller.
+  if (plan.num_chunks > 1) {
+    const size_t helpers = std::min(workers_.size(), plan.num_chunks - 1);
+    for (size_t h = 0; h < helpers; ++h) {
+      SubmitInternal([this, batch] { DrainChunks(batch); },
+                     /*record=*/false);
+    }
+  }
+
+  // The caller claims chunks too: nested RunRanges calls from inside
+  // tasks make progress even when every worker is blocked on a deeper
+  // batch, and a batch submitted to a busy pool never waits idle.
+  DrainChunks(batch);
+
+  // All chunks claimed; some may still be running on workers. Keep
+  // helping with queued work (other batches, nested batches) while
+  // waiting.
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (state->remaining == 0) break;
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (batch->chunks_remaining == 0) break;
     }
     if (!RunOneQueued()) {
-      // Queue empty but batch unfinished: tasks are running on workers.
-      std::unique_lock<std::mutex> lock(state->mu);
-      state->done_cv.wait(lock, [&state] { return state->remaining == 0; });
+      std::unique_lock<std::mutex> lock(batch->mu);
+      batch->done_cv.wait(lock,
+                          [&batch] { return batch->chunks_remaining == 0; });
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(state->mu);
-  return state->first_error;  // OK when no task failed.
+  std::lock_guard<std::mutex> lock(batch->mu);
+  return batch->first_error;  // OK when no chunk failed.
 }
 
 util::Status ParallelFor(Executor* executor, size_t n,
                          const IndexedTask& task) {
-  if (executor == nullptr) {
-    SerialExecutor serial;
-    return serial.RunBatch(n, task);
-  }
-  return executor->RunBatch(n, task);
+  return ParallelFor(executor, n, task, kPerIndex);
 }
 
-std::vector<std::pair<size_t, size_t>> PartitionBlocks(size_t n,
-                                                       size_t max_blocks) {
-  std::vector<std::pair<size_t, size_t>> blocks;
-  if (n == 0) return blocks;
-  if (max_blocks == 0) max_blocks = 1;
-  const size_t count = std::min(n, max_blocks);
-  blocks.reserve(count);
-  const size_t base = n / count;
-  const size_t extra = n % count;
-  size_t begin = 0;
-  for (size_t b = 0; b < count; ++b) {
-    const size_t size = base + (b < extra ? 1 : 0);
-    blocks.emplace_back(begin, begin + size);
-    begin += size;
+util::Status ParallelFor(Executor* executor, size_t n, const IndexedTask& task,
+                         const ScheduleOptions& options) {
+  if (executor == nullptr) {
+    SerialExecutor serial;
+    return serial.RunBatch(n, task, options);
   }
-  return blocks;
+  return executor->RunBatch(n, task, options);
+}
+
+util::Status ParallelForRanges(Executor* executor, size_t n,
+                               const RangeTask& task,
+                               const ScheduleOptions& options) {
+  if (executor == nullptr) {
+    SerialExecutor serial;
+    return serial.RunRanges(n, task, options);
+  }
+  return executor->RunRanges(n, task, options);
 }
 
 }  // namespace roadmine::exec

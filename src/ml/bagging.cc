@@ -66,15 +66,19 @@ Status BaggedTreesClassifier::Fit(const data::Dataset& dataset,
           sample.push_back(rows[static_cast<size_t>(
               rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1))]);
         }
-        // Optional feature bagging.
-        std::vector<std::string> features = feature_columns;
-        if (features_per_tree < features.size()) {
-          rng.Shuffle(features);
-          features.resize(features_per_tree);
+        // Optional feature bagging; the full-feature case reuses the
+        // caller's list instead of copying it per member.
+        const std::vector<std::string>* features = &feature_columns;
+        std::vector<std::string> bagged;
+        if (features_per_tree < feature_columns.size()) {
+          bagged = feature_columns;
+          rng.Shuffle(bagged);
+          bagged.resize(features_per_tree);
+          features = &bagged;
         }
 
         DecisionTreeClassifier tree(tree_params);
-        if (tree.Fit(dataset, target_column, features, sample).ok()) {
+        if (tree.Fit(dataset, target_column, *features, sample).ok()) {
           // A degenerate bootstrap (e.g. single-class sample in a tiny
           // minority setting) skips the member rather than failing the
           // ensemble, unless nothing trains at all.
@@ -112,19 +116,18 @@ util::Result<std::vector<double>> BaggedTreesClassifier::PredictBatch(
     const data::Dataset& dataset, const std::vector<size_t>& rows) const {
   if (!fitted()) return util::FailedPreconditionError("ensemble not fitted");
   std::vector<double> probs(rows.size());
-  // Row blocks are independent reads of fitted trees; block boundaries are
-  // fixed by row count alone, so the output is thread-count-invariant.
-  const auto blocks = exec::PartitionBlocks(
-      rows.size(),
-      params_.executor == nullptr ? 1
-                                  : 4 * params_.executor->concurrency());
-  (void)exec::ParallelFor(
-      params_.executor, blocks.size(), [&](size_t b) -> Status {
-        for (size_t i = blocks[b].first; i < blocks[b].second; ++i) {
+  // Chunks are independent reads of fitted trees into index-addressed
+  // slots, so the output is thread-count-invariant at any chunking. The
+  // task itself is infallible, but the scheduler's exception backstop is
+  // not — propagate rather than return scores that were never computed.
+  ROADMINE_RETURN_IF_ERROR(exec::ParallelForRanges(
+      params_.executor, rows.size(),
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
           probs[i] = PredictProba(dataset, rows[i]);
         }
         return Status::Ok();
-      });
+      }));
   return probs;
 }
 

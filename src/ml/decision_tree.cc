@@ -306,21 +306,35 @@ SplitSpec EvaluateFeature(const FitContext& ctx, const std::vector<size_t>& rows
   return best;
 }
 
+// Engage the executor for per-feature split scans only at nodes at least
+// this large: below it, the scan is cheaper than waking the pool. The
+// cutoff depends only on the node's row count — never on the thread
+// count — so it cannot perturb results (and the executor couldn't
+// anyway: per-feature winners merge in feature order either way).
+constexpr size_t kParallelSplitMinRows = 4096;
+
 // Finds the best split of node `node_id` holding `rows` (indices into the
 // dataset). Returns an invalid spec when no admissible split exists.
 // Features evaluate independently; merging the per-feature winners in
 // feature order with a strict comparison reproduces the serial
 // left-to-right scan exactly, so an executor changes nothing but speed.
-SplitSpec FindBestSplit(const FitContext& ctx, const std::vector<size_t>& rows,
-                        int node_id) {
+// Fails only through the scheduler's exception backstop (EvaluateFeature
+// returns no status of its own), but that failure must not be dropped:
+// a swallowed error here would silently yield a leaf where a split
+// belongs.
+util::Result<SplitSpec> FindBestSplit(const FitContext& ctx,
+                                      const std::vector<size_t>& rows,
+                                      int node_id) {
   const auto& params = *ctx.params;
   const size_t num_features = ctx.features->size();
   std::vector<SplitSpec> specs(num_features);
-  (void)exec::ParallelFor(params.executor, num_features,
-                          [&](size_t f) -> Status {
-                            specs[f] = EvaluateFeature(ctx, rows, node_id, f);
-                            return Status::Ok();
-                          });
+  exec::Executor* executor =
+      rows.size() >= kParallelSplitMinRows ? params.executor : nullptr;
+  ROADMINE_RETURN_IF_ERROR(exec::ParallelFor(
+      executor, num_features, [&](size_t f) -> Status {
+        specs[f] = EvaluateFeature(ctx, rows, node_id, f);
+        return Status::Ok();
+      }));
   SplitSpec best;
   for (SplitSpec& spec : specs) {
     if (spec.valid && spec.score > best.score) best = std::move(spec);
@@ -419,16 +433,20 @@ Status DecisionTreeClassifier::Fit(
   };
   std::priority_queue<HeapEntry> heap;
 
-  auto consider = [&](int node_id) {
+  auto consider = [&](int node_id) -> Status {
     const Node& node = nodes_[static_cast<size_t>(node_id)];
-    if (node.depth >= params_.max_depth) return;
-    if (node.total() < params_.min_samples_split) return;
-    if (node.count_positive == 0 || node.count_negative == 0) return;
-    SplitSpec spec =
+    if (node.depth >= params_.max_depth) return Status::Ok();
+    if (node.total() < params_.min_samples_split) return Status::Ok();
+    if (node.count_positive == 0 || node.count_negative == 0) {
+      return Status::Ok();
+    }
+    auto spec =
         FindBestSplit(ctx, node_rows[static_cast<size_t>(node_id)], node_id);
-    if (spec.valid) heap.push({spec.score, node_id, std::move(spec)});
+    if (!spec.ok()) return spec.status();
+    if (spec->valid) heap.push({spec->score, node_id, std::move(*spec)});
+    return Status::Ok();
   };
-  consider(0);
+  ROADMINE_RETURN_IF_ERROR(consider(0));
 
   size_t leaves = 1;
   while (!heap.empty() &&
@@ -491,8 +509,8 @@ Status DecisionTreeClassifier::Fit(
     node_rows[static_cast<size_t>(node_id)].shrink_to_fit();
     ++leaves;
 
-    consider(left_id);
-    consider(right_id);
+    ROADMINE_RETURN_IF_ERROR(consider(left_id));
+    ROADMINE_RETURN_IF_ERROR(consider(right_id));
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetCounter("ml.decision_tree.fits").Increment();

@@ -243,6 +243,13 @@ void IndexedSplitWorkspace::EnsureNode(int node) {
 
 void IndexedSplitWorkspace::RunPerFeature(
     const std::function<void(size_t)>& fn) {
+  // Infallible by construction: `fn` is a void per-feature partition or
+  // gather over preallocated buffers — it returns no status and calls
+  // nothing that throws, so the only failure the batch could carry is
+  // the scheduler's exception backstop for a std:: throw that cannot
+  // occur here. The status is discarded deliberately; callers
+  // (SplitNode, the workspace constructor) have no error channel and a
+  // partial partition is impossible without an exception.
   (void)exec::ParallelFor(executor_, num_features_, [&fn](size_t f) {
     fn(f);
     return Status::Ok();

@@ -231,18 +231,28 @@ SplitSpec EvaluateFeature(const FitContext& ctx, const std::vector<size_t>& rows
   return best;
 }
 
+// Engage the executor only at nodes at least this large (a function of
+// the node's row count alone, so it cannot perturb results); smaller
+// scans are cheaper than waking the pool. Matches decision_tree.cc.
+constexpr size_t kParallelSplitMinRows = 4096;
+
 // Per-feature winners merged in feature order with a strict comparison —
 // exactly the serial left-to-right scan, at any executor thread count.
-SplitSpec FindBestSplit(const FitContext& ctx, const std::vector<size_t>& rows,
-                        int node_id) {
+// Fails only through the scheduler's exception backstop, which must be
+// propagated: a swallowed error would silently turn a split into a leaf.
+util::Result<SplitSpec> FindBestSplit(const FitContext& ctx,
+                                      const std::vector<size_t>& rows,
+                                      int node_id) {
   const auto& params = *ctx.params;
   const size_t num_features = ctx.features->size();
   std::vector<SplitSpec> specs(num_features);
-  (void)exec::ParallelFor(params.executor, num_features,
-                          [&](size_t f) -> Status {
-                            specs[f] = EvaluateFeature(ctx, rows, node_id, f);
-                            return Status::Ok();
-                          });
+  exec::Executor* executor =
+      rows.size() >= kParallelSplitMinRows ? params.executor : nullptr;
+  ROADMINE_RETURN_IF_ERROR(exec::ParallelFor(
+      executor, num_features, [&](size_t f) -> Status {
+        specs[f] = EvaluateFeature(ctx, rows, node_id, f);
+        return Status::Ok();
+      }));
   SplitSpec best;
   for (SplitSpec& spec : specs) {
     if (spec.valid && spec.gain > best.gain) best = std::move(spec);
@@ -326,16 +336,18 @@ Status RegressionTree::Fit(const data::Dataset& dataset,
   };
   std::priority_queue<HeapEntry> heap;
 
-  auto consider = [&](int node_id) {
+  auto consider = [&](int node_id) -> Status {
     const Node& node = nodes_[static_cast<size_t>(node_id)];
-    if (node.depth >= params_.max_depth) return;
-    if (node.count < params_.min_samples_split) return;
-    if (node.sse <= 1e-12) return;  // Already pure.
-    SplitSpec spec =
+    if (node.depth >= params_.max_depth) return Status::Ok();
+    if (node.count < params_.min_samples_split) return Status::Ok();
+    if (node.sse <= 1e-12) return Status::Ok();  // Already pure.
+    auto spec =
         FindBestSplit(ctx, node_rows[static_cast<size_t>(node_id)], node_id);
-    if (spec.valid) heap.push({spec.gain, node_id, std::move(spec)});
+    if (!spec.ok()) return spec.status();
+    if (spec->valid) heap.push({spec->gain, node_id, std::move(*spec)});
+    return Status::Ok();
   };
-  consider(0);
+  ROADMINE_RETURN_IF_ERROR(consider(0));
 
   size_t leaves = 1;
   while (!heap.empty() &&
@@ -383,8 +395,8 @@ Status RegressionTree::Fit(const data::Dataset& dataset,
     node_rows[static_cast<size_t>(node_id)].shrink_to_fit();
     ++leaves;
 
-    consider(left_id);
-    consider(right_id);
+    ROADMINE_RETURN_IF_ERROR(consider(left_id));
+    ROADMINE_RETURN_IF_ERROR(consider(right_id));
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetCounter("ml.regression_tree.fits").Increment();

@@ -202,12 +202,13 @@ std::vector<RoadSegment> MeasureRows(
     const std::vector<const RoadSegment*>& row_segments,
     const MeasurementNoise& noise, exec::Executor* executor) {
   std::vector<RoadSegment> measured(row_segments.size());
-  const auto blocks = exec::PartitionBlocks(
-      row_segments.size(),
-      executor == nullptr ? 1 : 8 * executor->concurrency());
-  (void)exec::ParallelFor(
-      executor, blocks.size(), [&](size_t b) -> util::Status {
-        for (size_t i = blocks[b].first; i < blocks[b].second; ++i) {
+  // Infallible: the task returns OK unconditionally and calls nothing
+  // that throws, so the batch status carries no information — the
+  // scheduler's exception backstop is its only failure source.
+  (void)exec::ParallelForRanges(
+      executor, row_segments.size(),
+      [&](size_t begin, size_t end) -> util::Status {
+        for (size_t i = begin; i < end; ++i) {
           util::Rng rng(util::Rng::SplitSeed(noise.seed, i));
           measured[i] = MeasureSegment(*row_segments[i], noise, rng);
         }

@@ -181,14 +181,14 @@ Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
           rng.Poisson(realized / static_cast<double>(cfg.num_years));
     }
   };
-  const auto blocks = exec::PartitionBlocks(
-      cfg.num_segments,
-      cfg.executor == nullptr ? 1 : 8 * cfg.executor->concurrency());
-  ROADMINE_RETURN_IF_ERROR(exec::ParallelFor(
-      cfg.executor, blocks.size(), [&](size_t b) -> util::Status {
-        for (size_t i = blocks[b].first; i < blocks[b].second; ++i) {
-          synthesize(i);
-        }
+  // Auto-chunked: the scheduler carves the segment range; synthesis is
+  // infallible (the task returns OK unconditionally and cannot throw
+  // ROADMINE-side), so the only possible failure is the scheduler's own
+  // exception backstop — propagate it rather than swallow it.
+  ROADMINE_RETURN_IF_ERROR(exec::ParallelForRanges(
+      cfg.executor, static_cast<size_t>(cfg.num_segments),
+      [&](size_t begin, size_t end) -> util::Status {
+        for (size_t i = begin; i < end; ++i) synthesize(i);
         return util::Status::Ok();
       }));
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
@@ -227,26 +227,22 @@ std::vector<CrashRecord> RoadNetworkGenerator::SimulateCrashRecords(
     }
   };
 
-  const auto blocks = exec::PartitionBlocks(
-      segments.size(),
-      config_.executor == nullptr ? 1 : 8 * config_.executor->concurrency());
-  std::vector<std::vector<CrashRecord>> block_records(blocks.size());
-  (void)exec::ParallelFor(
-      config_.executor, blocks.size(), [&](size_t b) -> util::Status {
-        for (size_t i = blocks[b].first; i < blocks[b].second; ++i) {
-          segment_records(i, block_records[b]);
-        }
+  // ParallelAppend concatenates per-chunk buffers in chunk order — the
+  // exact sequence a serial pass emits. Record synthesis is infallible:
+  // the task returns OK unconditionally and calls nothing that throws,
+  // so the scheduler's exception backstop is the only failure source.
+  auto records_result = exec::ParallelAppend<CrashRecord>(
+      config_.executor, segments.size(),
+      [&](size_t i, std::vector<CrashRecord>& out) -> util::Status {
+        segment_records(i, out);
         return util::Status::Ok();
       });
-
-  // Concatenate in block order: the exact sequence a serial pass emits.
-  std::vector<CrashRecord> records;
-  size_t total = 0;
-  for (const auto& block : block_records) total += block.size();
-  records.reserve(total);
-  for (auto& block : block_records) {
-    records.insert(records.end(), block.begin(), block.end());
+  if (!records_result.ok()) {
+    // Unreachable short of a std:: throw inside Rng; keep the pipeline
+    // total-ordered by returning an empty record set.
+    return {};
   }
+  std::vector<CrashRecord> records = std::move(records_result).value();
   obs::MetricsRegistry::Global()
       .GetCounter("roadgen.crash_records_simulated")
       .Increment(static_cast<uint64_t>(records.size()));

@@ -88,25 +88,23 @@ Result<std::vector<double>> ScoringService::ScoreBatch(
     return util::NotFoundError("no model '" + name + "' version '" + version +
                                "'");
   }
-  // Block boundaries depend only on the row count, and each block's scores
-  // land in its own index range, so the output is thread-count-invariant.
+  // Chunk boundaries depend only on the row count, and each chunk's
+  // scores land in its own index range, so the output is
+  // thread-count-invariant.
   std::vector<double> scores(rows.size());
-  const auto blocks = exec::PartitionBlocks(
-      rows.size(), options_.executor == nullptr
-                       ? 1
-                       : 4 * options_.executor->concurrency());
-  const Status status = exec::ParallelFor(
-      options_.executor, blocks.size(), [&](size_t b) -> Status {
-        const std::vector<size_t> block_rows(
-            rows.begin() + static_cast<ptrdiff_t>(blocks[b].first),
-            rows.begin() + static_cast<ptrdiff_t>(blocks[b].second));
-        auto block_scores = predictor->PredictBatch(dataset, block_rows);
-        if (!block_scores.ok()) return block_scores.status();
-        if (block_scores->size() != block_rows.size()) {
+  const Status status = exec::ParallelForRanges(
+      options_.executor, rows.size(),
+      [&](size_t begin, size_t end) -> Status {
+        const std::vector<size_t> chunk_rows(
+            rows.begin() + static_cast<ptrdiff_t>(begin),
+            rows.begin() + static_cast<ptrdiff_t>(end));
+        auto chunk_scores = predictor->PredictBatch(dataset, chunk_rows);
+        if (!chunk_scores.ok()) return chunk_scores.status();
+        if (chunk_scores->size() != chunk_rows.size()) {
           return util::InternalError("model returned a short score block");
         }
-        std::copy(block_scores->begin(), block_scores->end(),
-                  scores.begin() + static_cast<ptrdiff_t>(blocks[b].first));
+        std::copy(chunk_scores->begin(), chunk_scores->end(),
+                  scores.begin() + static_cast<ptrdiff_t>(begin));
         return Status::Ok();
       });
   if (!status.ok()) return status;

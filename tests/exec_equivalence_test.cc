@@ -24,6 +24,12 @@ namespace {
 // Thread counts every invariant is checked at (beyond serial).
 const size_t kThreadCounts[] = {1, 2, 8};
 
+// Chunk grains the CV/study/bagging invariants are additionally swept
+// at: per-index, an uneven prime, and effectively-one-chunk. The serial
+// baseline always runs at the default (auto) grain, so every comparison
+// also crosses a boundary-layout change.
+const size_t kGrainSweep[] = {1, 7, 1u << 30};
+
 uint64_t Bits(double v) {
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
@@ -85,22 +91,26 @@ TEST(ExecEquivalenceTest, RoadgenPipelineBitIdentical) {
   ASSERT_TRUE(serial_crash_only.ok());
   ASSERT_TRUE(serial_both.ok());
 
-  for (size_t threads : kThreadCounts) {
-    SCOPED_TRACE("threads=" + std::to_string(threads));
-    exec::ThreadPool pool(threads);
-    roadgen::RoadNetworkGenerator gen(SmallNetworkConfig(&pool));
-    auto segments = gen.Generate();
-    ASSERT_TRUE(segments.ok());
-    const auto records = gen.SimulateCrashRecords(*segments);
-    ASSERT_EQ(records.size(), serial_records.size());
-    auto crash_only =
-        roadgen::BuildCrashOnlyDataset(*segments, records, {}, &pool);
-    auto both =
-        roadgen::BuildCrashNoCrashDataset(*segments, records, {}, &pool);
-    ASSERT_TRUE(crash_only.ok());
-    ASSERT_TRUE(both.ok());
-    ExpectDatasetsIdentical(*serial_crash_only, *crash_only);
-    ExpectDatasetsIdentical(*serial_both, *both);
+  for (size_t grain : kGrainSweep) {
+    SCOPED_TRACE("grain=" + std::to_string(grain));
+    exec::ScopedGrainForTesting scoped_grain(grain);
+    for (size_t threads : kThreadCounts) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      exec::ThreadPool pool(threads);
+      roadgen::RoadNetworkGenerator gen(SmallNetworkConfig(&pool));
+      auto segments = gen.Generate();
+      ASSERT_TRUE(segments.ok());
+      const auto records = gen.SimulateCrashRecords(*segments);
+      ASSERT_EQ(records.size(), serial_records.size());
+      auto crash_only =
+          roadgen::BuildCrashOnlyDataset(*segments, records, {}, &pool);
+      auto both =
+          roadgen::BuildCrashNoCrashDataset(*segments, records, {}, &pool);
+      ASSERT_TRUE(crash_only.ok());
+      ASSERT_TRUE(both.ok());
+      ExpectDatasetsIdentical(*serial_crash_only, *crash_only);
+      ExpectDatasetsIdentical(*serial_both, *both);
+    }
   }
 }
 
@@ -126,27 +136,34 @@ TEST(ExecEquivalenceTest, CrossValidationBitIdentical) {
                   .ok());
 
   const eval::CrossValidationResult serial = RunCv(dataset, nullptr);
-  for (size_t threads : kThreadCounts) {
-    SCOPED_TRACE("threads=" + std::to_string(threads));
-    exec::ThreadPool pool(threads);
-    const eval::CrossValidationResult parallel = RunCv(dataset, &pool);
+  auto expect_matches_serial = [&](const eval::CrossValidationResult& other) {
     EXPECT_EQ(serial.pooled_confusion.true_positive,
-              parallel.pooled_confusion.true_positive);
+              other.pooled_confusion.true_positive);
     EXPECT_EQ(serial.pooled_confusion.false_positive,
-              parallel.pooled_confusion.false_positive);
+              other.pooled_confusion.false_positive);
     EXPECT_EQ(serial.pooled_confusion.true_negative,
-              parallel.pooled_confusion.true_negative);
+              other.pooled_confusion.true_negative);
     EXPECT_EQ(serial.pooled_confusion.false_negative,
-              parallel.pooled_confusion.false_negative);
-    EXPECT_EQ(Bits(serial.auc), Bits(parallel.auc));
-    EXPECT_EQ(Bits(serial.assessment.mcpv), Bits(parallel.assessment.mcpv));
-    EXPECT_EQ(Bits(serial.assessment.kappa), Bits(parallel.assessment.kappa));
-    ASSERT_EQ(serial.per_fold.size(), parallel.per_fold.size());
+              other.pooled_confusion.false_negative);
+    EXPECT_EQ(Bits(serial.auc), Bits(other.auc));
+    EXPECT_EQ(Bits(serial.assessment.mcpv), Bits(other.assessment.mcpv));
+    EXPECT_EQ(Bits(serial.assessment.kappa), Bits(other.assessment.kappa));
+    ASSERT_EQ(serial.per_fold.size(), other.per_fold.size());
     for (size_t f = 0; f < serial.per_fold.size(); ++f) {
       EXPECT_EQ(Bits(serial.per_fold[f].accuracy),
-                Bits(parallel.per_fold[f].accuracy));
-      EXPECT_EQ(Bits(serial.per_fold[f].mcpv),
-                Bits(parallel.per_fold[f].mcpv));
+                Bits(other.per_fold[f].accuracy));
+      EXPECT_EQ(Bits(serial.per_fold[f].mcpv), Bits(other.per_fold[f].mcpv));
+    }
+  };
+
+  for (size_t grain : kGrainSweep) {
+    SCOPED_TRACE("grain=" + std::to_string(grain));
+    exec::ScopedGrainForTesting scoped_grain(grain);
+    expect_matches_serial(RunCv(dataset, nullptr));
+    for (size_t threads : kThreadCounts) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      exec::ThreadPool pool(threads);
+      expect_matches_serial(RunCv(dataset, &pool));
     }
   }
 }
@@ -168,30 +185,34 @@ TEST(ExecEquivalenceTest, TreeSweepRowsBitIdentical) {
   auto serial = serial_study.RunTreeSweep(dataset);
   ASSERT_TRUE(serial.ok());
 
-  for (size_t threads : kThreadCounts) {
-    SCOPED_TRACE("threads=" + std::to_string(threads));
-    exec::ThreadPool pool(threads);
-    core::CrashPronenessStudy study(SmallStudyConfig(&pool));
-    auto parallel = study.RunTreeSweep(dataset);
-    ASSERT_TRUE(parallel.ok());
-    ASSERT_EQ(serial->size(), parallel->size());
-    for (size_t i = 0; i < serial->size(); ++i) {
-      const auto& s = (*serial)[i];
-      const auto& p = (*parallel)[i];
-      EXPECT_EQ(s.threshold, p.threshold);
-      EXPECT_EQ(s.non_crash_prone, p.non_crash_prone);
-      EXPECT_EQ(s.crash_prone, p.crash_prone);
-      EXPECT_EQ(Bits(s.r_squared), Bits(p.r_squared));
-      EXPECT_EQ(s.regression_leaves, p.regression_leaves);
-      EXPECT_EQ(Bits(s.negative_predictive_value),
-                Bits(p.negative_predictive_value));
-      EXPECT_EQ(Bits(s.positive_predictive_value),
-                Bits(p.positive_predictive_value));
-      EXPECT_EQ(Bits(s.misclassification_rate),
-                Bits(p.misclassification_rate));
-      EXPECT_EQ(Bits(s.mcpv), Bits(p.mcpv));
-      EXPECT_EQ(Bits(s.kappa), Bits(p.kappa));
-      EXPECT_EQ(s.tree_leaves, p.tree_leaves);
+  for (size_t grain : kGrainSweep) {
+    SCOPED_TRACE("grain=" + std::to_string(grain));
+    exec::ScopedGrainForTesting scoped_grain(grain);
+    for (size_t threads : kThreadCounts) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      exec::ThreadPool pool(threads);
+      core::CrashPronenessStudy study(SmallStudyConfig(&pool));
+      auto parallel = study.RunTreeSweep(dataset);
+      ASSERT_TRUE(parallel.ok());
+      ASSERT_EQ(serial->size(), parallel->size());
+      for (size_t i = 0; i < serial->size(); ++i) {
+        const auto& s = (*serial)[i];
+        const auto& p = (*parallel)[i];
+        EXPECT_EQ(s.threshold, p.threshold);
+        EXPECT_EQ(s.non_crash_prone, p.non_crash_prone);
+        EXPECT_EQ(s.crash_prone, p.crash_prone);
+        EXPECT_EQ(Bits(s.r_squared), Bits(p.r_squared));
+        EXPECT_EQ(s.regression_leaves, p.regression_leaves);
+        EXPECT_EQ(Bits(s.negative_predictive_value),
+                  Bits(p.negative_predictive_value));
+        EXPECT_EQ(Bits(s.positive_predictive_value),
+                  Bits(p.positive_predictive_value));
+        EXPECT_EQ(Bits(s.misclassification_rate),
+                  Bits(p.misclassification_rate));
+        EXPECT_EQ(Bits(s.mcpv), Bits(p.mcpv));
+        EXPECT_EQ(Bits(s.kappa), Bits(p.kappa));
+        EXPECT_EQ(s.tree_leaves, p.tree_leaves);
+      }
     }
   }
 }
@@ -240,18 +261,22 @@ TEST(ExecEquivalenceTest, BaggedEnsembleBitIdentical) {
   const std::vector<double> serial_probs =
       *serial_model.PredictBatch(dataset, rows);
 
-  for (size_t threads : kThreadCounts) {
-    SCOPED_TRACE("threads=" + std::to_string(threads));
-    exec::ThreadPool pool(threads);
-    params.executor = &pool;
-    ml::BaggedTreesClassifier model(params);
-    ASSERT_TRUE(
-        model.Fit(dataset, target, roadgen::RoadAttributeColumns(), rows)
-            .ok());
-    const std::vector<double> probs = *model.PredictBatch(dataset, rows);
-    ASSERT_EQ(serial_probs.size(), probs.size());
-    for (size_t i = 0; i < probs.size(); ++i) {
-      ASSERT_EQ(Bits(serial_probs[i]), Bits(probs[i])) << "row " << i;
+  for (size_t grain : kGrainSweep) {
+    SCOPED_TRACE("grain=" + std::to_string(grain));
+    exec::ScopedGrainForTesting scoped_grain(grain);
+    for (size_t threads : kThreadCounts) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      exec::ThreadPool pool(threads);
+      params.executor = &pool;
+      ml::BaggedTreesClassifier model(params);
+      ASSERT_TRUE(
+          model.Fit(dataset, target, roadgen::RoadAttributeColumns(), rows)
+              .ok());
+      const std::vector<double> probs = *model.PredictBatch(dataset, rows);
+      ASSERT_EQ(serial_probs.size(), probs.size());
+      for (size_t i = 0; i < probs.size(); ++i) {
+        ASSERT_EQ(Bits(serial_probs[i]), Bits(probs[i])) << "row " << i;
+      }
     }
   }
 }

@@ -120,17 +120,19 @@ TEST(ThreadPoolTest, ZeroThreadRequestClampsToOne) {
   EXPECT_EQ(runs.load(), 5);
 }
 
-TEST(PartitionBlocksTest, CoversRangeContiguouslyWithNearEqualSizes) {
+TEST(ChunkPlanTest, CoversRangeContiguouslyWithNearEqualSizes) {
   for (size_t n : {0u, 1u, 7u, 64u, 1001u}) {
-    for (size_t max_blocks : {1u, 3u, 8u, 2000u}) {
-      const auto blocks = PartitionBlocks(n, max_blocks);
+    for (size_t chunks : {1u, 3u, 8u, 2000u}) {
+      const ChunkPlan plan = ChunkPlan::Make(n, chunks);
       if (n == 0) {
-        EXPECT_TRUE(blocks.empty());
+        EXPECT_EQ(plan.num_chunks, 0u);
         continue;
       }
-      ASSERT_EQ(blocks.size(), std::min(n, max_blocks));
+      ASSERT_EQ(plan.num_chunks, std::min(n, chunks));
       size_t expected_begin = 0, min_size = n, max_size = 0;
-      for (const auto& [begin, end] : blocks) {
+      for (size_t c = 0; c < plan.num_chunks; ++c) {
+        const size_t begin = plan.ChunkBegin(c);
+        const size_t end = plan.ChunkEnd(c);
         EXPECT_EQ(begin, expected_begin);
         ASSERT_LT(begin, end);
         min_size = std::min(min_size, end - begin);
@@ -143,10 +145,146 @@ TEST(PartitionBlocksTest, CoversRangeContiguouslyWithNearEqualSizes) {
   }
 }
 
-TEST(PartitionBlocksTest, BoundariesIndependentOfBlockIterationOrder) {
-  // Same (n, max_blocks) always yields the same partition — the property
-  // block-parallel loops rely on for serial/parallel bit-identity.
-  EXPECT_EQ(PartitionBlocks(1000, 16), PartitionBlocks(1000, 16));
+TEST(ChunkPlanTest, PlanChunksHonorsGrainAndCaps) {
+  // Explicit grain: ceil(n / grain) chunks.
+  EXPECT_EQ(PlanChunks(100, {/*grain=*/7, /*max_chunks=*/0}, 4).num_chunks,
+            15u);
+  // max_chunks caps whatever grain produced.
+  EXPECT_EQ(PlanChunks(100, {/*grain=*/1, /*max_chunks=*/8}, 4).num_chunks,
+            8u);
+  // Auto grain: ~kChunksPerThread chunks per participating thread.
+  EXPECT_EQ(PlanChunks(10000, {}, 4).num_chunks, kChunksPerThread * 5);
+  // Auto grain on a serial executor: one chunk, zero overhead.
+  EXPECT_EQ(PlanChunks(10000, {}, 0).num_chunks, 1u);
+  // Never more chunks than indices.
+  EXPECT_EQ(PlanChunks(3, {}, 16).num_chunks, 3u);
+}
+
+TEST(ChunkPlanTest, BoundariesAreAPureFunctionOfInputs) {
+  // Same (n, chunks) always yields the same partition — the property
+  // range-parallel loops rely on for serial/parallel bit-identity.
+  const ChunkPlan a = ChunkPlan::Make(1000, 16);
+  const ChunkPlan b = ChunkPlan::Make(1000, 16);
+  for (size_t c = 0; c < a.num_chunks; ++c) {
+    EXPECT_EQ(a.ChunkBegin(c), b.ChunkBegin(c));
+  }
+}
+
+TEST(ThreadPoolTest, RunRangesCoversEveryIndexOnceAtAnyGrain) {
+  ThreadPool pool(4);
+  for (size_t grain : {1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> counts(257);
+    util::Status status = pool.RunRanges(
+        counts.size(),
+        [&counts](size_t begin, size_t end) -> util::Status {
+          for (size_t i = begin; i < end; ++i) counts[i].fetch_add(1);
+          return util::Status::Ok();
+        },
+        ScheduleOptions{grain, 0});
+    ASSERT_TRUE(status.ok());
+    for (const std::atomic<int>& c : counts) EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, LowestIndexErrorReportedUnderChunking) {
+  // The failure at index 3 finishes last; chunked scheduling with
+  // early-abort must still report it, at every grain, because claimed
+  // chunks run to completion and unclaimed chunks all begin later.
+  ThreadPool pool(4);
+  for (size_t grain : {1u, 7u, 64u}) {
+    util::Status status = pool.RunRanges(
+        64,
+        [](size_t begin, size_t end) -> util::Status {
+          for (size_t i = begin; i < end; ++i) {
+            if (i == 3) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(20));
+              return util::InvalidArgumentError("task 3 failed");
+            }
+            if (i == 40) return util::InvalidArgumentError("task 40 failed");
+          }
+          return util::Status::Ok();
+        },
+        ScheduleOptions{grain, 0});
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "task 3 failed") << "grain " << grain;
+  }
+}
+
+TEST(ThreadPoolTest, NestedRangeBatchesDoNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  util::Status status = pool.RunRanges(
+      8,
+      [&pool, &total](size_t begin, size_t end) -> util::Status {
+        for (size_t i = begin; i < end; ++i) {
+          util::Status inner = pool.RunRanges(
+              16,
+              [&total](size_t ib, size_t ie) -> util::Status {
+                total.fetch_add(static_cast<int>(ie - ib));
+                return util::Status::Ok();
+              },
+              ScheduleOptions{/*grain=*/3, 0});
+          if (!inner.ok()) return inner;
+        }
+        return util::Status::Ok();
+      },
+      ScheduleOptions{/*grain=*/2, 0});
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, ScopedGrainOverrideForcesChunking) {
+  ThreadPool pool(2);
+  std::atomic<int> chunks{0};
+  {
+    ScopedGrainForTesting grain(7);
+    ASSERT_TRUE(pool.RunRanges(
+                        100,
+                        [&chunks](size_t, size_t) -> util::Status {
+                          chunks.fetch_add(1);
+                          return util::Status::Ok();
+                        },
+                        ScheduleOptions{})
+                    .ok());
+  }
+  EXPECT_EQ(chunks.load(), 15);  // ceil(100 / 7), options ignored.
+}
+
+TEST(ParallelAppendTest, MatchesSerialConcatenationAtEveryGrain) {
+  // Index i emits i copies of i; the concatenation must equal the serial
+  // left-to-right emission at any chunking and thread count.
+  std::vector<int> expected;
+  for (int i = 0; i < 40; ++i) {
+    for (int c = 0; c < i; ++c) expected.push_back(i);
+  }
+  auto emit = [](size_t i, std::vector<int>& out) -> util::Status {
+    for (size_t c = 0; c < i; ++c) out.push_back(static_cast<int>(i));
+    return util::Status::Ok();
+  };
+  ThreadPool pool(4);
+  for (size_t grain : {1u, 7u, 40u}) {
+    ScopedGrainForTesting scoped(grain);
+    auto serial = ParallelAppend<int>(nullptr, 40, emit);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(*serial, expected) << "serial, grain " << grain;
+    auto threaded = ParallelAppend<int>(&pool, 40, emit);
+    ASSERT_TRUE(threaded.ok());
+    EXPECT_EQ(*threaded, expected) << "threaded, grain " << grain;
+  }
+}
+
+TEST(ParallelAppendTest, FailurePropagatesLowestChunk) {
+  ThreadPool pool(2);
+  auto result = ParallelAppend<int>(
+      &pool, 100,
+      [](size_t i, std::vector<int>& out) -> util::Status {
+        if (i == 13) return util::InvalidArgumentError("emit 13 failed");
+        out.push_back(static_cast<int>(i));
+        return util::Status::Ok();
+      },
+      ScheduleOptions{/*grain=*/5, 0});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "emit 13 failed");
 }
 
 TEST(SplitSeedTest, ChildStreamsAreOrderIndependentAndDistinct) {

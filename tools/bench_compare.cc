@@ -1,6 +1,7 @@
 // bench_compare: the perf-regression gate over BENCH_*.json reports.
 //
-//   bench_compare [--threshold=0.15] [--min-ms=5] baseline.json candidate.json
+//   bench_compare [--threshold=0.15] [--min-ms=5]
+//                 [--min-metric=NAME:FLOOR]... baseline.json candidate.json
 //
 // Diffs the candidate's per-stage `timings_ms` against the baseline and
 // prints a table of deltas. A stage REGRESSES when its candidate time
@@ -9,6 +10,12 @@
 // A stage present in the baseline but missing from the candidate also
 // fails (a silently dropped stage is not a speedup); stages new in the
 // candidate are informational only.
+//
+// Each repeatable --min-metric=NAME:FLOOR asserts an absolute floor on
+// the CANDIDATE report's `metrics` section (baselines drift with
+// machines; a floor like cv_speedup_4t:2.0 is a property of the code,
+// so it is checked against the fresh run, not the diff). A metric that
+// is missing, non-numeric, or below its floor is a regression.
 //
 // Exit status: 0 = no regressions, 1 = at least one regression,
 // 2 = usage or unreadable/malformed input.
@@ -63,15 +70,78 @@ bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
   return true;
 }
 
+struct MetricFloor {
+  std::string name;
+  double floor = 0.0;
+};
+
+// Parses a repeatable --min-metric=NAME:FLOOR argument.
+bool ParseMinMetricFlag(const char* arg, std::vector<MetricFloor>* out) {
+  constexpr char kPrefix[] = "--min-metric";
+  const size_t len = std::strlen(kPrefix);
+  if (std::strncmp(arg, kPrefix, len) != 0 || arg[len] != '=') return false;
+  const char* spec = arg + len + 1;
+  const char* colon = std::strrchr(spec, ':');
+  if (colon == nullptr || colon == spec) {
+    std::fprintf(stderr,
+                 "bench_compare: '%s' is not --min-metric=NAME:FLOOR\n", arg);
+    std::exit(2);
+  }
+  char* end = nullptr;
+  const double floor = std::strtod(colon + 1, &end);
+  if (end == colon + 1 || end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "bench_compare: bad floor in '%s'\n", arg);
+    std::exit(2);
+  }
+  out->push_back({std::string(spec, static_cast<size_t>(colon - spec)),
+                  floor});
+  return true;
+}
+
+// Enforces --min-metric floors against the candidate report. Returns the
+// number of violations; a missing or non-numeric metric counts (a gate
+// whose metric silently vanished must not pass).
+int CheckMetricFloors(const JsonValue& candidate, const char* path,
+                      const std::vector<MetricFloor>& floors) {
+  if (floors.empty()) return 0;
+  const JsonValue* metrics =
+      candidate.is_object() ? candidate.Find("metrics") : nullptr;
+  int violations = 0;
+  std::printf("%-32s %12s %12s  %s\n", "metric", "floor", "candidate",
+              "status");
+  for (const MetricFloor& floor : floors) {
+    const JsonValue* value =
+        (metrics != nullptr && metrics->is_object())
+            ? metrics->Find(floor.name)
+            : nullptr;
+    if (value == nullptr || !value->is_number()) {
+      ++violations;
+      std::printf("%-32s %12.3f %12s  MISSING\n", floor.name.c_str(),
+                  floor.floor, "-");
+      continue;
+    }
+    const bool below = value->number_value < floor.floor;
+    if (below) ++violations;
+    std::printf("%-32s %12.3f %12.3f  %s\n", floor.name.c_str(), floor.floor,
+                value->number_value, below ? "BELOW FLOOR" : "ok");
+  }
+  if (violations > 0) {
+    std::printf("%d metric floor(s) violated in %s\n", violations, path);
+  }
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double threshold = 0.15;  // Fail on >15% growth by default...
   double min_ms = 5.0;      // ...but only when it also exceeds 5ms.
+  std::vector<MetricFloor> floors;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (ParseDoubleFlag(argv[i], "--threshold", &threshold)) continue;
     if (ParseDoubleFlag(argv[i], "--min-ms", &min_ms)) continue;
+    if (ParseMinMetricFlag(argv[i], &floors)) continue;
     if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "bench_compare: unknown flag '%s'\n", argv[i]);
       return 2;
@@ -81,7 +151,7 @@ int main(int argc, char** argv) {
   if (paths.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare [--threshold=FRAC] [--min-ms=MS] "
-                 "baseline.json candidate.json\n");
+                 "[--min-metric=NAME:FLOOR]... baseline.json candidate.json\n");
     return 2;
   }
 
@@ -159,9 +229,13 @@ int main(int argc, char** argv) {
                   delta.base_ms, delta.cand_ms, pct, status);
     }
   }
-  if (regressions > 0) {
-    std::printf("%d stage(s) regressed beyond %.0f%% (+%.1fms floor)\n",
-                regressions, threshold * 100.0, min_ms);
+  const int floor_violations = CheckMetricFloors(reports[1], paths[1], floors);
+
+  if (regressions > 0 || floor_violations > 0) {
+    if (regressions > 0) {
+      std::printf("%d stage(s) regressed beyond %.0f%% (+%.1fms floor)\n",
+                  regressions, threshold * 100.0, min_ms);
+    }
     return 1;
   }
   std::printf("no regressions beyond %.0f%% (+%.1fms floor)\n",
