@@ -182,6 +182,7 @@ class BenchContext {
     }
     obs::TraceCollector& collector = obs::TraceCollector::Global();
     if (collector.enabled() && collector.span_count() > 0) {
+      // Best-effort trace export; a failed write must not fail the bench.
       (void)collector.WriteJsonl(export_dir_ + "/trace_" + report_.name() +
                                  ".jsonl");
       // Per-stage rollup (count, total/self wall-clock, percentiles) so

@@ -34,8 +34,10 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", core::RenderMcpvComparison(*phase1, *phase2).c_str());
   if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
+    // Best-effort artifact: a failed CSV write must not fail the bench run.
     (void)core::WriteCsvArtifact(dir, "figure2_phase1.csv",
                                  core::TreeSweepToCsv(*phase1));
+    // Best-effort artifact: a failed CSV write must not fail the bench run.
     (void)core::WriteCsvArtifact(dir, "figure2_phase2.csv",
                                  core::TreeSweepToCsv(*phase2));
   }

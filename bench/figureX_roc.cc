@@ -103,8 +103,10 @@ int main(int argc, char** argv) {
       "model'; Table 5's CP-8 ROC area was 0.869.\n");
 
   if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
+    // Best-effort artifact: a failed CSV write must not fail the bench run.
     (void)core::WriteCsvArtifact(dir, "roc_tree_cp8.csv",
                                  core::RocCurveToCsv(*tree_curve));
+    // Best-effort artifact: a failed CSV write must not fail the bench run.
     (void)core::WriteCsvArtifact(dir, "roc_bayes_cp8.csv",
                                  core::RocCurveToCsv(*bayes_curve));
   }

@@ -61,6 +61,7 @@ const data::Dataset& BenchDataset() {
     auto ds = roadgen::BuildCrashOnlyDataset(*segments,
                                              gen.SimulateCrashRecords(*segments));
     auto* owned = new data::Dataset(std::move(*ds));
+    // Infallible here: the freshly built dataset always carries the crash-count column.
     (void)core::AddCrashProneTarget(*owned, roadgen::kSegmentCrashCountColumn,
                                     8);
     return owned;
@@ -100,6 +101,7 @@ void BM_DecisionTreePredict(benchmark::State& state) {
   const data::Dataset& ds = BenchDataset();
   ml::DecisionTreeClassifier tree{
       ml::DecisionTreeParams{.min_samples_leaf = 30, .max_leaves = 64}};
+  // Setup-only fit on the shared fixture; the timed loop below would read zeros if it failed.
   (void)tree.Fit(ds, "crash_prone_gt8", roadgen::RoadAttributeColumns(),
                  ds.AllRowIndices());
   size_t row = 0;
@@ -156,6 +158,7 @@ BENCHMARK(BM_KMeansFit)->Arg(8)->Arg(32);
 void BM_EncoderTransform(benchmark::State& state) {
   const data::Dataset& ds = BenchDataset();
   data::FeatureEncoder encoder;
+  // Setup-only fit on the shared fixture; Transform below surfaces any failure.
   (void)encoder.Fit(ds, roadgen::RoadAttributeColumns(), ds.AllRowIndices());
   const std::vector<size_t> rows = ds.AllRowIndices();
   for (auto _ : state) {
@@ -445,6 +448,7 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
     // human) can tell "scheduler regression" from "small machine".
     ctx.report().RecordMetric(
         "hardware_threads",
+        // roadmine-lint: allow(determinism) — host metadata probe, no threading.
         static_cast<double>(std::thread::hardware_concurrency()));
     auto timed_ms = [&ctx](const char* stage, auto&& fn) {
       const auto start = std::chrono::steady_clock::now();

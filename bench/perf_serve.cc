@@ -50,6 +50,7 @@ data::Dataset MakeServeDataset(size_t num_segments, uint64_t seed) {
   roadgen::RoadNetworkGenerator gen(config);
   auto segments = gen.Generate();
   auto ds = roadgen::BuildSegmentDataset(*segments);
+  // Infallible here: the freshly built dataset always carries the crash-count column.
   (void)core::AddCrashProneTarget(*ds, roadgen::kSegmentCrashCountColumn, 4);
   return std::move(*ds);
 }
@@ -80,6 +81,7 @@ const data::Dataset& BenchDataset() {
 const ml::BaggedTreesClassifier& BenchEnsemble() {
   static const ml::BaggedTreesClassifier& model = *[] {
     auto* owned = new ml::BaggedTreesClassifier(ServeEnsembleParams(16));
+    // Setup-only fit on the shared fixture; compile/serve below surfaces any failure.
     (void)owned->Fit(BenchDataset(), kTarget,
                      roadgen::RoadAttributeColumns(),
                      BenchDataset().AllRowIndices());

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", core::RenderThresholdTable(table).c_str());
   if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
+    // Best-effort artifact: a failed CSV write must not fail the bench run.
     (void)core::WriteCsvArtifact(dir, "table1_thresholds.csv",
                                  core::ThresholdCountsToCsv(table));
   }

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", core::RenderBayesTable(*results).c_str());
   if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
+    // Best-effort artifact: a failed CSV write must not fail the bench run.
     (void)core::WriteCsvArtifact(dir, "table5_bayes.csv",
                                  core::BayesSweepToCsv(*results));
   }

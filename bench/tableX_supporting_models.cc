@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", core::RenderSupportingTable(*results).c_str());
   if (const std::string& dir = ctx.export_dir(); !dir.empty()) {
+    // Best-effort artifact: a failed CSV write must not fail the bench run.
     (void)core::WriteCsvArtifact(dir, "supporting_models.csv",
                                  core::SupportingSweepToCsv(*results));
   }

@@ -51,7 +51,7 @@ struct ClusterAnalysisConfig {
 
 // Clusters `rows` of `dataset` on road attributes and profiles each
 // cluster's crash-count distribution.
-util::Result<ClusterAnalysisResult> AnalyzeCrashClusters(
+[[nodiscard]] util::Result<ClusterAnalysisResult> AnalyzeCrashClusters(
     const data::Dataset& dataset, const std::vector<size_t>& rows,
     const ClusterAnalysisConfig& config = {});
 
@@ -69,7 +69,7 @@ struct AttributeContrast {
 // Contrasts `member_rows` (rows of one cluster) against all `rows` on the
 // numeric attributes in `attributes` (default: numeric road attributes
 // present in the dataset). Sorted by |z|, largest first.
-util::Result<std::vector<AttributeContrast>> ContrastClusterAttributes(
+[[nodiscard]] util::Result<std::vector<AttributeContrast>> ContrastClusterAttributes(
     const data::Dataset& dataset, const std::vector<size_t>& rows,
     const std::vector<size_t>& member_rows,
     std::vector<std::string> attributes = {});

@@ -34,13 +34,13 @@ class StudyLog {
 
   // Enters a stage. Errors if it would silently skip *backwards*; use
   // ReopenStage for deliberate iteration.
-  util::Status EnterStage(CrispDmStage stage);
+  [[nodiscard]] util::Status EnterStage(CrispDmStage stage);
 
   // Records an explicit iteration back to an earlier stage.
-  util::Status ReopenStage(CrispDmStage stage, const std::string& reason);
+  [[nodiscard]] util::Status ReopenStage(CrispDmStage stage, const std::string& reason);
 
   // Attaches a note to the current stage. Errors before any EnterStage.
-  util::Status Note(const std::string& note);
+  [[nodiscard]] util::Status Note(const std::string& note);
 
   CrispDmStage current_stage() const { return current_; }
   bool started() const { return started_; }

@@ -62,13 +62,13 @@ struct DeploymentConfig {
 // roadgen::BuildSegmentDataset) through the model's batch path and
 // assembles the ranked program. Accepts any ml::Predictor — a trained
 // classifier, a loaded model, or a compiled serve::FlatModel.
-util::Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
+[[nodiscard]] util::Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
                                              const ml::Predictor& model,
                                              const DeploymentConfig& config = {});
 
 // Thin adapter for legacy std::function call sites; scores row-by-row and
 // assembles the same program.
-util::Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
+[[nodiscard]] util::Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
                                              const SegmentScorer& scorer,
                                              const DeploymentConfig& config = {});
 

@@ -37,7 +37,7 @@ std::string RocCurveToCsv(const std::vector<eval::RocPoint>& curve);
 
 // Writes `csv` to `directory/filename`; creates nothing (the directory
 // must exist) and errors on I/O failure.
-util::Status WriteCsvArtifact(const std::string& directory,
+[[nodiscard]] util::Status WriteCsvArtifact(const std::string& directory,
                               const std::string& filename,
                               const std::string& csv);
 

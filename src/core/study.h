@@ -111,15 +111,15 @@ class CrashPronenessStudy {
   // Tree sweep (Tables 3/4): pass the crash/no-crash dataset for Phase 1 or
   // the crash-only dataset for Phase 2. `dataset` gains the derived target
   // columns as a side effect.
-  util::Result<std::vector<ThresholdModelResult>> RunTreeSweep(
+  [[nodiscard]] util::Result<std::vector<ThresholdModelResult>> RunTreeSweep(
       data::Dataset& dataset) const;
 
   // Naive Bayes sweep under cross-validation (Table 5).
-  util::Result<std::vector<BayesThresholdResult>> RunBayesSweep(
+  [[nodiscard]] util::Result<std::vector<BayesThresholdResult>> RunBayesSweep(
       data::Dataset& dataset) const;
 
   // Logistic regression / neural net / M5 sweep (§4 "additional modeling").
-  util::Result<std::vector<SupportingModelResult>> RunSupportingSweep(
+  [[nodiscard]] util::Result<std::vector<SupportingModelResult>> RunSupportingSweep(
       data::Dataset& dataset) const;
 
   // The paper's selection rule: the best threshold is the one with the

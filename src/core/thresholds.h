@@ -27,7 +27,7 @@ std::string ThresholdTargetName(int threshold);
 // Adds (or replaces) the CP-t target column derived from `count_column`
 // (numeric 0/1: 1 iff count > threshold). Errors if the count column is
 // absent, non-numeric, or has missing values.
-util::Status AddCrashProneTarget(data::Dataset& dataset,
+[[nodiscard]] util::Status AddCrashProneTarget(data::Dataset& dataset,
                                  const std::string& count_column,
                                  int threshold);
 
@@ -42,7 +42,7 @@ struct ThresholdClassCounts {
 };
 
 // Class sizes a CP-t target would have on `dataset` (Table-1 row).
-util::Result<ThresholdClassCounts> CountThresholdClasses(
+[[nodiscard]] util::Result<ThresholdClassCounts> CountThresholdClasses(
     const data::Dataset& dataset, const std::string& count_column,
     int threshold);
 

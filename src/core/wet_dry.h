@@ -51,7 +51,7 @@ struct WetDryConfig {
 };
 
 // Runs the banded wet/dry analysis over `rows` of `dataset`.
-util::Result<WetDryResult> AnalyzeWetDry(const data::Dataset& dataset,
+[[nodiscard]] util::Result<WetDryResult> AnalyzeWetDry(const data::Dataset& dataset,
                                          const std::vector<size_t>& rows,
                                          const WetDryConfig& config = {});
 

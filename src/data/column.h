@@ -24,7 +24,7 @@ class Column {
 
   // Factory: categorical column from explicit codes and a dictionary.
   // Codes must be -1 (missing) or valid dictionary indices.
-  static util::Result<Column> Categorical(std::string name,
+  [[nodiscard]] static util::Result<Column> Categorical(std::string name,
                                           std::vector<int32_t> codes,
                                           std::vector<std::string> categories);
 
@@ -63,7 +63,7 @@ class Column {
   // Appends one value. For categorical columns, the code must be within the
   // dictionary or -1.
   void AppendNumeric(double value);
-  util::Status AppendCode(int32_t code);
+  [[nodiscard]] util::Status AppendCode(int32_t code);
 
  private:
   Column() = default;

@@ -12,11 +12,11 @@
 namespace roadmine::data {
 
 // Parses CSV text whose first record is the header row.
-util::Result<Dataset> DatasetFromCsvText(const std::string& text,
+[[nodiscard]] util::Result<Dataset> DatasetFromCsvText(const std::string& text,
                                          char delimiter = ',');
 
 // Reads a CSV file from disk.
-util::Result<Dataset> ReadCsvFile(const std::string& path,
+[[nodiscard]] util::Result<Dataset> ReadCsvFile(const std::string& path,
                                   char delimiter = ',');
 
 // Serializes with a header row; numeric cells use `numeric_digits`.
@@ -24,7 +24,7 @@ std::string DatasetToCsvText(const Dataset& dataset, char delimiter = ',',
                              int numeric_digits = 6);
 
 // Writes to disk; errors on I/O failure.
-util::Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+[[nodiscard]] util::Status WriteCsvFile(const Dataset& dataset, const std::string& path,
                           char delimiter = ',', int numeric_digits = 6);
 
 }  // namespace roadmine::data

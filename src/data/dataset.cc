@@ -79,8 +79,12 @@ std::vector<std::string> Dataset::ColumnNames() const {
 Dataset Dataset::GatherRows(const std::vector<size_t>& indices) const {
   Dataset out;
   for (const Column& col : columns_) {
-    // AddColumn cannot fail here: names are unique and sizes equal.
-    (void)out.AddColumn(col.Gather(indices));
+    // Infallible by the Dataset invariant — `columns_` already has unique
+    // names and equal sizes, and Gather preserves both — but a future
+    // Column::Gather change could break that silently, so the proof is
+    // enforced: a non-OK status here aborts with its message instead of
+    // being discarded.
+    ROADMINE_CHECK_OK(out.AddColumn(col.Gather(indices)));
   }
   return out;
 }

@@ -21,27 +21,27 @@ class Dataset {
 
   // Adds a column. Errors on duplicate names or row-count mismatch with the
   // columns already present.
-  util::Status AddColumn(Column column);
+  [[nodiscard]] util::Status AddColumn(Column column);
 
   // Replaces a same-named column (adds if absent). Same size rules.
-  util::Status ReplaceColumn(Column column);
+  [[nodiscard]] util::Status ReplaceColumn(Column column);
 
   // Drops a column by name; error if absent.
-  util::Status DropColumn(const std::string& name);
+  [[nodiscard]] util::Status DropColumn(const std::string& name);
 
   size_t num_rows() const;
   size_t num_columns() const { return columns_.size(); }
   bool empty() const { return num_rows() == 0; }
 
   // Index lookup; error if absent.
-  util::Result<size_t> ColumnIndex(const std::string& name) const;
+  [[nodiscard]] util::Result<size_t> ColumnIndex(const std::string& name) const;
   bool HasColumn(const std::string& name) const;
 
   const Column& column(size_t index) const { return columns_[index]; }
   Column& mutable_column(size_t index) { return columns_[index]; }
 
   // Column by name; error if absent.
-  util::Result<const Column*> ColumnByName(const std::string& name) const;
+  [[nodiscard]] util::Result<const Column*> ColumnByName(const std::string& name) const;
 
   std::vector<std::string> ColumnNames() const;
 
@@ -50,7 +50,7 @@ class Dataset {
   Dataset GatherRows(const std::vector<size_t>& indices) const;
 
   // New dataset with only the named columns; error if any is absent.
-  util::Result<Dataset> SelectColumns(
+  [[nodiscard]] util::Result<Dataset> SelectColumns(
       const std::vector<std::string>& names) const;
 
   // All row indices [0, num_rows) — the default "train on everything" set.

@@ -33,17 +33,17 @@ class Discretizer {
   explicit Discretizer(DiscretizerParams params = {}) : params_(params) {}
 
   // Learns edges for `columns` (all must be numeric) from `rows`.
-  util::Status Fit(const Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const Dataset& dataset,
                    const std::vector<std::string>& columns,
                    const std::vector<size_t>& rows);
 
   // Returns a copy of `dataset` with every fitted column replaced by its
   // categorical binning (other columns untouched).
-  util::Result<Dataset> Transform(const Dataset& dataset) const;
+  [[nodiscard]] util::Result<Dataset> Transform(const Dataset& dataset) const;
 
   bool fitted() const { return !edges_.empty(); }
   // Interior bin edges of a fitted column; errors if not fitted for it.
-  util::Result<std::vector<double>> EdgesFor(const std::string& column) const;
+  [[nodiscard]] util::Result<std::vector<double>> EdgesFor(const std::string& column) const;
 
  private:
   DiscretizerParams params_;

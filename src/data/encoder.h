@@ -24,7 +24,7 @@ class FeatureEncoder {
 
   // Learns encoding statistics for `feature_columns` from `rows` of
   // `dataset`. Errors if a column is missing or `rows` is empty.
-  util::Status Fit(const Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const Dataset& dataset,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);
 
@@ -42,14 +42,14 @@ class FeatureEncoder {
                  std::vector<double>& out) const;
 
   // Encodes many rows into a row-major matrix.
-  util::Result<std::vector<std::vector<double>>> Transform(
+  [[nodiscard]] util::Result<std::vector<std::vector<double>>> Transform(
       const Dataset& dataset, const std::vector<size_t>& rows) const;
 
   // Deployment persistence: per-column encoding plans. Columns are stored
   // by name and re-resolved against the scoring dataset on load; a
   // categorical dictionary narrower than the fitted width is rejected.
   std::string Serialize() const;
-  static util::Result<FeatureEncoder> Deserialize(const std::string& text,
+  [[nodiscard]] static util::Result<FeatureEncoder> Deserialize(const std::string& text,
                                                   const Dataset& dataset);
 
  private:

@@ -18,13 +18,13 @@ namespace roadmine::data {
 // Row indices after under-sampling the majority class of a binary target so
 // that |majority| <= ratio * |minority| (ratio >= 1.0; 1.0 = exact balance).
 // Sampling is without replacement; minority rows are all kept.
-util::Result<std::vector<size_t>> UndersampleMajority(
+[[nodiscard]] util::Result<std::vector<size_t>> UndersampleMajority(
     const Dataset& dataset, const std::string& target_column, double ratio,
     util::Rng& rng);
 
 // Row indices after over-sampling the minority class (with replacement)
 // until |minority| >= |majority| / ratio.
-util::Result<std::vector<size_t>> OversampleMinority(
+[[nodiscard]] util::Result<std::vector<size_t>> OversampleMinority(
     const Dataset& dataset, const std::string& target_column, double ratio,
     util::Rng& rng);
 

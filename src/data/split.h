@@ -23,23 +23,23 @@ struct TrainValidationIndices {
 
 // Random split: `train_fraction` of rows (rounded) go to train. Errors if
 // the fraction is outside (0, 1) or the dataset is empty.
-util::Result<TrainValidationIndices> TrainValidationSplit(
+[[nodiscard]] util::Result<TrainValidationIndices> TrainValidationSplit(
     size_t num_rows, double train_fraction, util::Rng& rng);
 
 // Stratified split: preserves the proportion of each label of the binary
 // target column (codes 0/1; missing labels are an error).
-util::Result<TrainValidationIndices> StratifiedTrainValidationSplit(
+[[nodiscard]] util::Result<TrainValidationIndices> StratifiedTrainValidationSplit(
     const Dataset& dataset, const std::string& target_column,
     double train_fraction, util::Rng& rng);
 
 // K disjoint folds covering [0, num_rows). Fold sizes differ by at most 1.
 // Errors if k < 2 or k > num_rows.
-util::Result<std::vector<std::vector<size_t>>> KFoldIndices(size_t num_rows,
+[[nodiscard]] util::Result<std::vector<std::vector<size_t>>> KFoldIndices(size_t num_rows,
                                                             size_t k,
                                                             util::Rng& rng);
 
 // Stratified k-fold on a binary target column.
-util::Result<std::vector<std::vector<size_t>>> StratifiedKFoldIndices(
+[[nodiscard]] util::Result<std::vector<std::vector<size_t>>> StratifiedKFoldIndices(
     const Dataset& dataset, const std::string& target_column, size_t k,
     util::Rng& rng);
 

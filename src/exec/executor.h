@@ -161,17 +161,17 @@ class Executor {
   // concurrency()); blocks until all complete or the batch fails. On
   // failure returns the non-OK status from the failing chunk with the
   // smallest begin.
-  virtual util::Status RunRanges(size_t n, const RangeTask& task,
+  [[nodiscard]] virtual util::Status RunRanges(size_t n, const RangeTask& task,
                                  const ScheduleOptions& options) = 0;
 
   // Per-index convenience: runs task(i) for every i in [0, n) at
   // per-index granularity (kPerIndex), reporting the lowest-index
   // error. Indices inside a chunk run ascending, stopping at the first
   // error, so the reported status is exactly the serial one.
-  util::Status RunBatch(size_t n, const IndexedTask& task);
+  [[nodiscard]] util::Status RunBatch(size_t n, const IndexedTask& task);
 
   // Same, with explicit chunking (for fine-grained per-index work).
-  util::Status RunBatch(size_t n, const IndexedTask& task,
+  [[nodiscard]] util::Status RunBatch(size_t n, const IndexedTask& task,
                         const ScheduleOptions& options);
 };
 
@@ -183,7 +183,7 @@ class Executor {
 class SerialExecutor : public Executor {
  public:
   size_t concurrency() const override { return 0; }
-  util::Status RunRanges(size_t n, const RangeTask& task,
+  [[nodiscard]] util::Status RunRanges(size_t n, const RangeTask& task,
                          const ScheduleOptions& options) override;
 };
 
@@ -218,7 +218,7 @@ class ThreadPool : public Executor {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t concurrency() const override { return workers_.size(); }
-  util::Status RunRanges(size_t n, const RangeTask& task,
+  [[nodiscard]] util::Status RunRanges(size_t n, const RangeTask& task,
                          const ScheduleOptions& options) override;
 
   // Fire-and-forget work item (not part of any batch). Wait() drains it.
@@ -276,14 +276,14 @@ class ThreadPool : public Executor {
 // The no-options overload schedules per index (kPerIndex) — the right
 // call for coarse tasks; pass options (grain 0 = auto) to chunk
 // fine-grained work.
-util::Status ParallelFor(Executor* executor, size_t n, const IndexedTask& task);
-util::Status ParallelFor(Executor* executor, size_t n, const IndexedTask& task,
+[[nodiscard]] util::Status ParallelFor(Executor* executor, size_t n, const IndexedTask& task);
+[[nodiscard]] util::Status ParallelFor(Executor* executor, size_t n, const IndexedTask& task,
                          const ScheduleOptions& options);
 
 // Range flavor: the task sees whole chunks — use when per-chunk setup
 // (a buffer, a sub-batch call) matters. Replaces the old
 // PartitionBlocks + per-block ParallelFor boilerplate.
-util::Status ParallelForRanges(Executor* executor, size_t n,
+[[nodiscard]] util::Status ParallelForRanges(Executor* executor, size_t n,
                                const RangeTask& task,
                                const ScheduleOptions& options = {});
 
@@ -293,7 +293,7 @@ util::Status ParallelForRanges(Executor* executor, size_t n,
 // default per-index options suit the coarse tasks (folds, members)
 // ParallelMap is used for.
 template <typename T>
-util::Result<std::vector<T>> ParallelMap(
+[[nodiscard]] util::Result<std::vector<T>> ParallelMap(
     Executor* executor, size_t n,
     const std::function<util::Result<T>(size_t)>& fn,
     const ScheduleOptions& options = kPerIndex) {
@@ -323,7 +323,7 @@ util::Result<std::vector<T>> ParallelMap(
 // within its chunk — which it gets for free, since the chunk runner
 // visits indices ascending.
 template <typename T>
-util::Result<std::vector<T>> ParallelAppend(
+[[nodiscard]] util::Result<std::vector<T>> ParallelAppend(
     Executor* executor, size_t n,
     const std::function<util::Status(size_t index, std::vector<T>& out)>& fn,
     const ScheduleOptions& options = {}) {

@@ -47,7 +47,7 @@ class BaggedTreesClassifier : public Predictor {
   explicit BaggedTreesClassifier(BaggedTreesParams params = {})
       : params_(params) {}
 
-  util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);
@@ -59,7 +59,7 @@ class BaggedTreesClassifier : public Predictor {
 
   // Predictor: probabilities for many rows, sharded over the params'
   // executor when present (bit-identical at any thread count).
-  util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset,
       const std::vector<size_t>& rows) const override;
   const char* name() const override { return "bagged_trees"; }
@@ -75,7 +75,7 @@ class BaggedTreesClassifier : public Predictor {
 
   // Deployment persistence: member trees embedded as decision-tree blocks.
   std::string Serialize() const;
-  static util::Result<BaggedTreesClassifier> Deserialize(
+  [[nodiscard]] static util::Result<BaggedTreesClassifier> Deserialize(
       const std::string& text, const data::Dataset& dataset);
 
  private:

@@ -30,7 +30,7 @@ namespace roadmine::ml {
 
 class BinaryClassifier : public Predictor {
  public:
-  virtual util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] virtual util::Status Fit(const data::Dataset& dataset,
                            const std::string& target_column,
                            const std::vector<std::string>& feature_columns,
                            const std::vector<size_t>& rows) = 0;
@@ -41,13 +41,13 @@ class BinaryClassifier : public Predictor {
 
   // The Predictor batch entry point. The default is a serial loop over
   // PredictProba; adapters forward to the concrete model's batch path.
-  util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset,
       const std::vector<size_t>& rows) const override;
 
   // Probability-typed alias of PredictBatch, kept because classifier call
   // sites read better asking for probabilities.
-  util::Result<std::vector<double>> PredictProbaBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictProbaBatch(
       const data::Dataset& dataset, const std::vector<size_t>& rows) const {
     return PredictBatch(dataset, rows);
   }
@@ -87,11 +87,11 @@ struct ClassifierSpec {
 ClassifierSpec Spec(std::string name);
 
 // Builds a classifier from a spec; errors on an unknown name.
-util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
+[[nodiscard]] util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
     const ClassifierSpec& spec);
 
 // Thin wrapper over the spec overload: default parameters by name.
-util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
+[[nodiscard]] util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
     const std::string& name);
 
 }  // namespace roadmine::ml

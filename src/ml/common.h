@@ -15,12 +15,12 @@ namespace roadmine::ml {
 // Per-row 0/1 labels from a binary target column. Numeric columns map
 // nonzero -> 1; categorical columns map code 0 -> 0, anything else -> 1.
 // Missing labels are an error (targets are never missing in this study).
-util::Result<std::vector<int8_t>> ExtractBinaryLabels(
+[[nodiscard]] util::Result<std::vector<int8_t>> ExtractBinaryLabels(
     const data::Dataset& dataset, const std::string& target_column);
 
 // Per-row numeric target values for regression; must be a numeric column
 // with no missing values.
-util::Result<std::vector<double>> ExtractNumericTarget(
+[[nodiscard]] util::Result<std::vector<double>> ExtractNumericTarget(
     const data::Dataset& dataset, const std::string& target_column);
 
 // A resolved feature column reference.
@@ -32,7 +32,7 @@ struct FeatureRef {
 
 // Resolves feature names against a dataset; errors if a name is absent or
 // names the target column.
-util::Result<std::vector<FeatureRef>> ResolveFeatures(
+[[nodiscard]] util::Result<std::vector<FeatureRef>> ResolveFeatures(
     const data::Dataset& dataset, const std::vector<std::string>& features,
     const std::string& target_column);
 

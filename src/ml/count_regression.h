@@ -36,7 +36,7 @@ class PoissonRegression {
   explicit PoissonRegression(PoissonRegressionParams params = {})
       : params_(params) {}
 
-  util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);
@@ -83,7 +83,7 @@ class ZeroInflatedPoisson {
   explicit ZeroInflatedPoisson(ZeroInflatedPoissonParams params = {})
       : params_(params) {}
 
-  util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);

@@ -78,7 +78,7 @@ class DecisionTreeClassifier : public Predictor {
   // Learns a tree over `rows` of `dataset`. The target column must be
   // binary (see ExtractBinaryLabels); features may be numeric or
   // categorical, with missing values allowed.
-  util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);
@@ -92,7 +92,7 @@ class DecisionTreeClassifier : public Predictor {
               double cutoff = 0.5) const;
 
   // Predictor: probabilities for many rows, in order.
-  util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset,
       const std::vector<size_t>& rows) const override;
   const char* name() const override { return "decision_tree"; }
@@ -100,7 +100,7 @@ class DecisionTreeClassifier : public Predictor {
   // Reduced-error pruning against a validation set: collapses any subtree
   // whose leaf-majority predictions do not beat the subtree on `rows`.
   // Must be called after Fit; `dataset` must carry the same schema.
-  util::Status PruneReducedError(const data::Dataset& dataset,
+  [[nodiscard]] util::Status PruneReducedError(const data::Dataset& dataset,
                                  const std::string& target_column,
                                  const std::vector<size_t>& rows);
 
@@ -127,7 +127,7 @@ class DecisionTreeClassifier : public Predictor {
   // columns are re-resolved against `dataset` on load, so a model trained
   // on one network can score any dataset with the same schema.
   std::string Serialize() const;
-  static util::Result<DecisionTreeClassifier> Deserialize(
+  [[nodiscard]] static util::Result<DecisionTreeClassifier> Deserialize(
       const std::string& text, const data::Dataset& dataset);
 
   // Read-only flat view of one fitted node, exported for model compilers

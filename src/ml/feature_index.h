@@ -76,13 +76,13 @@ class FeatureIndex {
   // Builds the index for the named columns of `dataset`. Columns build
   // independently, so an executor parallelizes the per-column sorts; the
   // result is identical at any thread count.
-  static util::Result<FeatureIndex> Build(
+  [[nodiscard]] static util::Result<FeatureIndex> Build(
       const data::Dataset& dataset,
       const std::vector<std::string>& columns,
       exec::Executor* executor = nullptr);
 
   // Same, for columns already resolved to FeatureRefs.
-  static util::Result<FeatureIndex> Build(
+  [[nodiscard]] static util::Result<FeatureIndex> Build(
       const data::Dataset& dataset, const std::vector<FeatureRef>& features,
       exec::Executor* executor = nullptr);
 

@@ -43,7 +43,7 @@ class KMeans {
   explicit KMeans(KMeansParams params = {}) : params_(params) {}
 
   // Clusters `rows` of `dataset` on `feature_columns`.
-  util::Result<KMeansResult> Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Result<KMeansResult> Fit(const data::Dataset& dataset,
                                  const std::vector<std::string>& feature_columns,
                                  const std::vector<size_t>& rows);
 

@@ -30,7 +30,7 @@ class LogisticRegression : public Predictor {
   explicit LogisticRegression(LogisticRegressionParams params = {})
       : params_(params) {}
 
-  util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);
@@ -40,7 +40,7 @@ class LogisticRegression : public Predictor {
               double cutoff = 0.5) const;
 
   // Predictor: probabilities for many rows, in order.
-  util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset,
       const std::vector<size_t>& rows) const override;
   const char* name() const override { return "logistic_regression"; }
@@ -53,7 +53,7 @@ class LogisticRegression : public Predictor {
 
   // Deployment persistence: weights plus the embedded feature encoder.
   std::string Serialize() const;
-  static util::Result<LogisticRegression> Deserialize(
+  [[nodiscard]] static util::Result<LogisticRegression> Deserialize(
       const std::string& text, const data::Dataset& dataset);
 
  private:

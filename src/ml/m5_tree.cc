@@ -177,7 +177,10 @@ std::string M5Tree::Serialize() const {
     out += "leaf\t" + std::to_string(id) + "\t" +
            std::to_string(model.count) + "\t" +
            SerializeDouble(model.intercept);
-    for (double w : model.weights) out += "\t" + SerializeDouble(w);
+    for (double w : model.weights) {
+      out += '\t';
+      out += SerializeDouble(w);
+    }
     out += "\n";
   }
   out += "structure\n";

@@ -35,7 +35,7 @@ class M5Tree : public Predictor {
   // Grows the structural tree, then fits a ridge model per leaf on the
   // numeric features (intercept-only when a leaf is too small or the
   // normal equations are ill-conditioned).
-  util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);
@@ -43,7 +43,7 @@ class M5Tree : public Predictor {
   double Predict(const data::Dataset& dataset, size_t row) const;
 
   // Predictor: smoothed leaf-model predictions for many rows, in order.
-  util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset,
       const std::vector<size_t>& rows) const override;
   const char* name() const override { return "m5_tree"; }
@@ -66,7 +66,7 @@ class M5Tree : public Predictor {
 
   // Deployment persistence: leaf models plus the embedded structure tree.
   std::string Serialize() const;
-  static util::Result<M5Tree> Deserialize(const std::string& text,
+  [[nodiscard]] static util::Result<M5Tree> Deserialize(const std::string& text,
                                           const data::Dataset& dataset);
 
  private:

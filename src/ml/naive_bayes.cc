@@ -156,15 +156,21 @@ std::string NaiveBayesClassifier::Serialize() const {
     if (features_[f].type == data::ColumnType::kNumeric) {
       out += "gauss";
       for (int y = 0; y < 2; ++y) {
-        out += "\t" + SerializeDouble(model.gaussian[y].mean) + "\t" +
-               SerializeDouble(model.gaussian[y].variance) + "\t" +
-               std::to_string(model.gaussian[y].count);
+        out += '\t';
+        out += SerializeDouble(model.gaussian[y].mean);
+        out += '\t';
+        out += SerializeDouble(model.gaussian[y].variance);
+        out += '\t';
+        out += std::to_string(model.gaussian[y].count);
       }
       out += "\n";
     } else {
       out += "cat\t" + std::to_string(model.log_prob[0].size());
       for (int y = 0; y < 2; ++y) {
-        for (double lp : model.log_prob[y]) out += "\t" + SerializeDouble(lp);
+        for (double lp : model.log_prob[y]) {
+          out += '\t';
+          out += SerializeDouble(lp);
+        }
       }
       out += "\n";
     }

@@ -30,7 +30,7 @@ class NaiveBayesClassifier : public Predictor {
   explicit NaiveBayesClassifier(NaiveBayesParams params = {})
       : params_(params) {}
 
-  util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);
@@ -41,7 +41,7 @@ class NaiveBayesClassifier : public Predictor {
               double cutoff = 0.5) const;
 
   // Predictor: probabilities for many rows, in order.
-  util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset,
       const std::vector<size_t>& rows) const override;
   const char* name() const override { return "naive_bayes"; }
@@ -51,7 +51,7 @@ class NaiveBayesClassifier : public Predictor {
   // Deployment persistence: priors plus per-feature class-conditional
   // statistics (Gaussians / log frequency tables).
   std::string Serialize() const;
-  static util::Result<NaiveBayesClassifier> Deserialize(
+  [[nodiscard]] static util::Result<NaiveBayesClassifier> Deserialize(
       const std::string& text, const data::Dataset& dataset);
 
  private:

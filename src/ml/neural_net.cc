@@ -223,11 +223,17 @@ std::string NeuralNetClassifier::Serialize() const {
     for (size_t o = 0; o < layer.out; ++o) {
       out += "wrow";
       const double* w = &layer.weights[o * layer.in];
-      for (size_t i = 0; i < layer.in; ++i) out += "\t" + SerializeDouble(w[i]);
+      for (size_t i = 0; i < layer.in; ++i) {
+        out += '\t';
+        out += SerializeDouble(w[i]);
+      }
       out += "\n";
     }
     out += "bias";
-    for (double b : layer.bias) out += "\t" + SerializeDouble(b);
+    for (double b : layer.bias) {
+      out += '\t';
+      out += SerializeDouble(b);
+    }
     out += "\n";
   }
   out += "encoder\n";

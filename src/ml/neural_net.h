@@ -32,7 +32,7 @@ class NeuralNetClassifier : public Predictor {
   explicit NeuralNetClassifier(NeuralNetParams params = {})
       : params_(std::move(params)) {}
 
-  util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);
@@ -42,7 +42,7 @@ class NeuralNetClassifier : public Predictor {
               double cutoff = 0.5) const;
 
   // Predictor: probabilities for many rows, in order.
-  util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset,
       const std::vector<size_t>& rows) const override;
   const char* name() const override { return "neural_net"; }
@@ -53,7 +53,7 @@ class NeuralNetClassifier : public Predictor {
 
   // Deployment persistence: layer weights plus the embedded encoder.
   std::string Serialize() const;
-  static util::Result<NeuralNetClassifier> Deserialize(
+  [[nodiscard]] static util::Result<NeuralNetClassifier> Deserialize(
       const std::string& text, const data::Dataset& dataset);
 
  private:

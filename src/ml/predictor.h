@@ -31,7 +31,7 @@ class Predictor {
   // classifiers return P(positive); regression models return the predicted
   // target. Errors when the model is unfitted or the dataset does not
   // carry the fitted schema.
-  virtual util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] virtual util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset, const std::vector<size_t>& rows) const = 0;
 
   // Stable model-type identifier, e.g. "decision_tree".

@@ -53,7 +53,7 @@ class RegressionTree : public Predictor {
 
   // Learns a tree over `rows`. Target must be numeric without missing
   // values; features may be numeric or categorical with missing allowed.
-  util::Status Fit(const data::Dataset& dataset,
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
                    const std::string& target_column,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);
@@ -62,7 +62,7 @@ class RegressionTree : public Predictor {
   double Predict(const data::Dataset& dataset, size_t row) const;
 
   // Predictor: leaf means for many rows, in order.
-  util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset,
       const std::vector<size_t>& rows) const override;
   const char* name() const override { return "regression_tree"; }
@@ -89,7 +89,7 @@ class RegressionTree : public Predictor {
   // Deployment persistence, mirroring the decision-tree format: feature
   // schema re-resolved against `dataset` on load, doubles exact.
   std::string Serialize() const;
-  static util::Result<RegressionTree> Deserialize(const std::string& text,
+  [[nodiscard]] static util::Result<RegressionTree> Deserialize(const std::string& text,
                                                   const data::Dataset& dataset);
 
   // Read-only flat view of one fitted node for model compilers

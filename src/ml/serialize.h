@@ -56,12 +56,12 @@ void AppendFeatureSection(const std::vector<FeatureRef>& features,
 // Training formats always carry at least one feature; pass `allow_empty`
 // for sections that may legitimately be empty (a compiled FlatModel's
 // leaf-model features, or a single-leaf tree with no splits).
-util::Result<std::vector<FeatureRef>> ParseFeatureSection(
+[[nodiscard]] util::Result<std::vector<FeatureRef>> ParseFeatureSection(
     LineCursor& cursor, const data::Dataset& dataset,
     bool allow_empty = false);
 
 // Parses "<keyword> <count>" with a nonnegative count.
-util::Result<int64_t> ParseCountLine(LineCursor& cursor,
+[[nodiscard]] util::Result<int64_t> ParseCountLine(LineCursor& cursor,
                                      const std::string& keyword);
 
 }  // namespace roadmine::ml

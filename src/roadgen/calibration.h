@@ -58,7 +58,7 @@ struct CalibrationOptions {
 // Coarse grid search over (prone_fraction, ordinary_mean_4yr,
 // prone_mean_4yr) around `base`, then rescales num_segments so absolute
 // instance counts match. Returns the best config found.
-util::Result<GeneratorConfig> CalibrateToPaper(
+[[nodiscard]] util::Result<GeneratorConfig> CalibrateToPaper(
     const GeneratorConfig& base, const PaperTargets& targets = {},
     const CalibrationOptions& options = {});
 

@@ -70,21 +70,21 @@ RoadSegment MeasureSegment(const RoadSegment& segment,
 
 // One row per segment (network inventory view; used for cluster analysis
 // at segment granularity and by tests).
-util::Result<data::Dataset> BuildSegmentDataset(
+[[nodiscard]] util::Result<data::Dataset> BuildSegmentDataset(
     const std::vector<RoadSegment>& segments);
 
 // Phase-2 dataset: one row per crash. `records` must come from
 // RoadNetworkGenerator::SimulateCrashRecords over the same segments.
 // `executor` (optional, not owned) parallelizes the per-row measurement
 // pass over row blocks; output is bit-identical to a serial build.
-util::Result<data::Dataset> BuildCrashOnlyDataset(
+[[nodiscard]] util::Result<data::Dataset> BuildCrashOnlyDataset(
     const std::vector<RoadSegment>& segments,
     const std::vector<CrashRecord>& records,
     const MeasurementNoise& noise = {}, exec::Executor* executor = nullptr);
 
 // Phase-1 dataset: crash rows + zero-altered non-crash rows. Non-crash
 // rows have missing crash context (year/wet/severity) and crash count 0.
-util::Result<data::Dataset> BuildCrashNoCrashDataset(
+[[nodiscard]] util::Result<data::Dataset> BuildCrashNoCrashDataset(
     const std::vector<RoadSegment>& segments,
     const std::vector<CrashRecord>& records,
     const MeasurementNoise& noise = {}, exec::Executor* executor = nullptr);

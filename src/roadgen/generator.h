@@ -74,7 +74,7 @@ class RoadNetworkGenerator {
   // Generates the network and simulates crash counts. Deterministic in
   // config().seed. Errors on nonsensical configs (zero segments, negative
   // rates, fractions outside [0,1]).
-  util::Result<std::vector<RoadSegment>> Generate() const;
+  [[nodiscard]] util::Result<std::vector<RoadSegment>> Generate() const;
 
   // Expands per-segment yearly counts into individual crash records with
   // crash-level context (year, wet surface, severity).

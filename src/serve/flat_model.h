@@ -46,12 +46,12 @@ class FlatModel : public ml::Predictor {
   // The dataset must pass the same schema check as PredictBatch; this
   // single-row path re-resolves columns per call and exists for
   // latency-sensitive one-off scoring.
-  util::Result<double> PredictRow(const data::Dataset& dataset,
+  [[nodiscard]] util::Result<double> PredictRow(const data::Dataset& dataset,
                                   size_t row) const;
 
   // Predictor: scores many rows in order. Resolves the feature schema
   // against `dataset` once per batch, then traverses the flat pool.
-  util::Result<std::vector<double>> PredictBatch(
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
       const data::Dataset& dataset,
       const std::vector<size_t>& rows) const override;
   const char* name() const override;
@@ -64,7 +64,7 @@ class FlatModel : public ml::Predictor {
   // Deployment persistence of the compiled form itself, so a serving
   // process can load the flat pool without the training-side model.
   std::string Serialize() const;
-  static util::Result<FlatModel> Deserialize(const std::string& text,
+  [[nodiscard]] static util::Result<FlatModel> Deserialize(const std::string& text,
                                              const data::Dataset& dataset);
 
  private:
@@ -82,7 +82,7 @@ class FlatModel : public ml::Predictor {
     std::vector<const data::Column*> split_columns;  // Parallel to features_.
     std::vector<const data::Column*> lm_columns;  // Parallel to lm_features_.
   };
-  util::Result<ResolvedColumns> ResolveColumns(
+  [[nodiscard]] util::Result<ResolvedColumns> ResolveColumns(
       const data::Dataset& dataset) const;
 
   // Feature-value accessors the traversal templates read through: the
@@ -135,10 +135,10 @@ class FlatModel : public ml::Predictor {
 };
 
 // Compiles a fitted model into its flat form. Fails on unfitted models.
-util::Result<FlatModel> CompileModel(const ml::DecisionTreeClassifier& model);
-util::Result<FlatModel> CompileModel(const ml::BaggedTreesClassifier& model);
-util::Result<FlatModel> CompileModel(const ml::RegressionTree& model);
-util::Result<FlatModel> CompileModel(const ml::M5Tree& model);
+[[nodiscard]] util::Result<FlatModel> CompileModel(const ml::DecisionTreeClassifier& model);
+[[nodiscard]] util::Result<FlatModel> CompileModel(const ml::BaggedTreesClassifier& model);
+[[nodiscard]] util::Result<FlatModel> CompileModel(const ml::RegressionTree& model);
+[[nodiscard]] util::Result<FlatModel> CompileModel(const ml::M5Tree& model);
 
 }  // namespace roadmine::serve
 

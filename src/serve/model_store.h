@@ -17,20 +17,20 @@
 namespace roadmine::serve {
 
 // Writes serialized model text to `path`, overwriting any existing file.
-util::Status SaveModelToFile(const std::string& text, const std::string& path);
+[[nodiscard]] util::Status SaveModelToFile(const std::string& text, const std::string& path);
 
 // Reads a whole file into memory (the inverse of SaveModelToFile).
-util::Result<std::string> ReadModelFile(const std::string& path);
+[[nodiscard]] util::Result<std::string> ReadModelFile(const std::string& path);
 
 // Deserializes any supported model block, dispatching on its header line:
 // decision/regression/M5/bagged trees, naive Bayes, logistic regression,
 // neural net, and the compiled flat form. Feature columns are re-resolved
 // against `dataset` (the scoring schema).
-util::Result<std::unique_ptr<ml::Predictor>> LoadPredictor(
+[[nodiscard]] util::Result<std::unique_ptr<ml::Predictor>> LoadPredictor(
     const std::string& text, const data::Dataset& dataset);
 
 // ReadModelFile + LoadPredictor in one call.
-util::Result<std::unique_ptr<ml::Predictor>> LoadPredictorFromFile(
+[[nodiscard]] util::Result<std::unique_ptr<ml::Predictor>> LoadPredictorFromFile(
     const std::string& path, const data::Dataset& dataset);
 
 }  // namespace roadmine::serve

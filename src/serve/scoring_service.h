@@ -52,12 +52,12 @@ class ScoringService {
 
   // Registers a model under (name, version). Fails with AlreadyExistsError
   // on a duplicate key; versions of one name are otherwise independent.
-  util::Status Register(const std::string& name, const std::string& version,
+  [[nodiscard]] util::Status Register(const std::string& name, const std::string& version,
                         std::shared_ptr<const ml::Predictor> model);
 
   // Looks up a model. An empty `version` selects the most recently
   // registered version of `name`.
-  util::Result<std::shared_ptr<const ml::Predictor>> Get(
+  [[nodiscard]] util::Result<std::shared_ptr<const ml::Predictor>> Get(
       const std::string& name, const std::string& version = "") const;
 
   // Registered models in registration order.
@@ -68,7 +68,7 @@ class ScoringService {
   // serve.requests / serve.rows_scored / serve.score_batch_ms metrics;
   // also feeds the model's SLO tracker (serve.slo_breaches counts every
   // newly breached objective process-wide).
-  util::Result<std::vector<double>> ScoreBatch(
+  [[nodiscard]] util::Result<std::vector<double>> ScoreBatch(
       const std::string& name, const std::string& version,
       const data::Dataset& dataset, const std::vector<size_t>& rows) const;
 

@@ -1,6 +1,20 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace roadmine::util {
+
+namespace internal {
+
+void DieOnBadStatus(const char* what, const Status& status) {
+  std::fprintf(stderr, "roadmine fatal: %s: %s\n", what,
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

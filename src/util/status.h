@@ -1,11 +1,14 @@
 // Lightweight error-handling vocabulary for roadmine.
 //
 // Library code does not throw exceptions (see DESIGN.md §5.6); fallible
-// operations return `Status` or `Result<T>`. Both are cheap value types.
+// operations return `Status` or `Result<T>`. Both are cheap value types
+// and both are `[[nodiscard]]`: a call site must consume the return,
+// propagate it with ROADMINE_RETURN_IF_ERROR, assert it with
+// ROADMINE_CHECK_OK, or discard it explicitly with `(void)` next to a
+// comment proving the call cannot fail (enforced by tools/roadmine_lint).
 #ifndef ROADMINE_UTIL_STATUS_H_
 #define ROADMINE_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -30,8 +33,10 @@ enum class StatusCode {
 // Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
 const char* StatusCodeName(StatusCode code);
 
-// A success-or-error value. Default-constructed Status is OK.
-class Status {
+// A success-or-error value. Default-constructed Status is OK. The class
+// is [[nodiscard]] so every function returning one by value warns when
+// the caller silently drops it.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -39,12 +44,12 @@ class Status {
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   // "OK" or "INVALID_ARGUMENT: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -67,33 +72,39 @@ Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status DataLossError(std::string message);
 
-// A value-or-error union. Accessing value() on an error aborts in debug
-// builds; callers must check ok() first.
+namespace internal {
+// Prints `what` and the status to stderr and aborts. Out of line so the
+// template below stays small and the crash has one symbol to grep for.
+[[noreturn]] void DieOnBadStatus(const char* what, const Status& status);
+}  // namespace internal
+
+// A value-or-error union. Accessing value() on an error aborts — in
+// every build mode, printing the carried status — so a dropped error can
+// never decay into dereferencing an empty optional (UB).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : value_(std::move(value)) {}
   Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "Result constructed from OK status without value");
     if (status_.ok()) {
-      status_ = InternalError("Result constructed from OK status");
+      internal::DieOnBadStatus("Result constructed from OK status", status_);
     }
   }
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckEngaged();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckEngaged();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckEngaged();
     return *std::move(value_);
   }
 
@@ -103,6 +114,12 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void CheckEngaged() const {
+    if (!value_.has_value()) {
+      internal::DieOnBadStatus("Result::value() called on error", status_);
+    }
+  }
+
   std::optional<T> value_;
   Status status_;  // OK iff value_ is engaged.
 };
@@ -114,6 +131,18 @@ class Result {
   do {                                                  \
     ::roadmine::util::Status _status = (expr);          \
     if (!_status.ok()) return _status;                  \
+  } while (false)
+
+// Asserts that a Status expression is OK, aborting with the status text
+// otherwise — in every build mode. For call sites that are infallible by
+// construction but have no error channel: the proof stays a crash, not UB.
+#define ROADMINE_CHECK_OK(expr)                                        \
+  do {                                                                 \
+    ::roadmine::util::Status _status = (expr);                         \
+    if (!_status.ok()) {                                               \
+      ::roadmine::util::internal::DieOnBadStatus(                      \
+          "ROADMINE_CHECK_OK(" #expr ") failed", _status);             \
+    }                                                                  \
   } while (false)
 
 #endif  // ROADMINE_UTIL_STATUS_H_

@@ -1,0 +1,393 @@
+// Fixture suite for tools/lint: one known-good and one known-bad snippet
+// per rule R1–R5, plus suppression-comment and JSON-output cases. The
+// snippets go through the real two-pass pipeline (LintSources), so the
+// fallible-name vocabulary is learned from the fixtures themselves.
+#include "lint/linter.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace roadmine::lint {
+namespace {
+
+// Shared declaration header: teaches pass 1 the fallible vocabulary the
+// statement snippets call.
+SourceFile Decls() {
+  return {"src/fake/decls.h",
+          "#ifndef ROADMINE_FAKE_DECLS_H_\n"
+          "#define ROADMINE_FAKE_DECLS_H_\n"
+          "namespace fake {\n"
+          "util::Status Save();\n"
+          "util::Result<int> Load();\n"
+          "struct Sink { util::Status Push(int v); void Log(int v); };\n"
+          "}\n"
+          "#endif  // ROADMINE_FAKE_DECLS_H_\n"};
+}
+
+std::vector<Finding> Lint(const std::string& path, const std::string& text,
+                          const std::string& only_rule = "") {
+  Options options;
+  if (!only_rule.empty()) options.enabled_rules.insert(only_rule);
+  return LintSources({Decls(), {path, text}}, options);
+}
+
+// --- R1: dropped-status -------------------------------------------------
+
+TEST(DroppedStatusTest, FlagsBareFallibleCallStatement) {
+  const auto findings = Lint("src/fake/use.cc",
+                             "#include \"fake/decls.h\"\n"
+                             "void Use() {\n"
+                             "  fake::Save();\n"
+                             "}\n",
+                             kRuleDroppedStatus);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleDroppedStatus);
+  EXPECT_EQ(findings[0].file, "src/fake/use.cc");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("Save"), std::string::npos);
+}
+
+TEST(DroppedStatusTest, FlagsMemberAndResultCalls) {
+  const auto findings = Lint("src/fake/use.cc",
+                             "void Use(fake::Sink& sink) {\n"
+                             "  sink.Push(1);\n"
+                             "  fake::Load();\n"
+                             "}\n",
+                             kRuleDroppedStatus);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+}
+
+TEST(DroppedStatusTest, FlagsCallInSingleLineIfBody) {
+  const auto findings = Lint("src/fake/use.cc",
+                             "void Use(bool c) {\n"
+                             "  if (c) fake::Save();\n"
+                             "}\n",
+                             kRuleDroppedStatus);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(DroppedStatusTest, AcceptsConsumedPropagatedAndCheckedCalls) {
+  const auto findings =
+      Lint("src/fake/use.cc",
+           "util::Status Use(fake::Sink& sink) {\n"
+           "  util::Status status = fake::Save();\n"
+           "  if (!status.ok()) return status;\n"
+           "  ROADMINE_RETURN_IF_ERROR(sink.Push(2));\n"
+           "  ROADMINE_CHECK_OK(fake::Save());\n"
+           "  auto loaded = fake::Load();\n"
+           "  sink.Log(3);\n"  // Void function: not fallible, no finding.
+           "  return fake::Save();\n"
+           "}\n",
+           kRuleDroppedStatus);
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings, 2);
+}
+
+TEST(DroppedStatusTest, VoidDiscardRequiresAdjacentComment) {
+  const auto bad = Lint("src/fake/use.cc",
+                        "void Use() {\n"
+                        "  (void)fake::Save();\n"
+                        "}\n",
+                        kRuleDroppedStatus);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_NE(bad[0].message.find("infallibility comment"), std::string::npos);
+
+  const auto good = Lint("src/fake/use.cc",
+                         "void Use() {\n"
+                         "  // Infallible: Save on an open sink cannot fail.\n"
+                         "  (void)fake::Save();\n"
+                         "  (void)fake::Load();  // Prefetch only.\n"
+                         "}\n",
+                         kRuleDroppedStatus);
+  EXPECT_TRUE(good.empty()) << FindingsToText(good, 2);
+}
+
+TEST(DroppedStatusTest, DeclarationsAreNotCalls) {
+  const auto findings = Lint("src/fake/other.h",
+                             "#ifndef ROADMINE_FAKE_OTHER_H_\n"
+                             "#define ROADMINE_FAKE_OTHER_H_\n"
+                             "util::Status Save();\n"
+                             "namespace x { util::Result<int> Load(); }\n"
+                             "#endif  // ROADMINE_FAKE_OTHER_H_\n",
+                             kRuleDroppedStatus);
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings, 2);
+}
+
+TEST(DroppedStatusTest, LambdaBodyInsideCallStaysPartOfStatement) {
+  // The PR-7 bug class: a fallible parallel-for whose status is dropped,
+  // with the lambda body (and its own clean statements) inline.
+  const auto findings =
+      Lint("src/fake/use.cc",
+           "util::Status ParallelFor(int n, int fn);\n"
+           "void Use() {\n"
+           "  ParallelFor(4, [&](size_t i) {\n"
+           "    int x = 0;\n"
+           "    return x;\n"
+           "  });\n"
+           "}\n",
+           kRuleDroppedStatus);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+// --- R2: determinism ----------------------------------------------------
+
+TEST(DeterminismTest, FlagsThreadingAndRandomnessOutsideExec) {
+  const auto findings = Lint("src/ml/foo.cc",
+                             "void Use() {\n"
+                             "  std::thread worker;\n"
+                             "  std::atomic<int> counter{0};\n"
+                             "  int x = rand();\n"
+                             "  std::random_device entropy;\n"
+                             "  unsigned seed = time(nullptr);\n"
+                             "}\n",
+                             kRuleDeterminism);
+  EXPECT_EQ(findings.size(), 5u) << FindingsToText(findings, 2);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, kRuleDeterminism);
+  }
+}
+
+TEST(DeterminismTest, ExecAndObsAreExempt) {
+  const std::string body =
+      "void Use() {\n"
+      "  std::thread worker;\n"
+      "  std::atomic<int> counter{0};\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/exec/pool.cc", body, kRuleDeterminism).empty());
+  EXPECT_TRUE(Lint("src/obs/metrics.cc", body, kRuleDeterminism).empty());
+  EXPECT_FALSE(Lint("src/serve/svc.cc", body, kRuleDeterminism).empty());
+}
+
+TEST(DeterminismTest, FixedSeedEngineIsAllowed) {
+  // The contract bans *entropy*, not deterministic engines.
+  const auto findings = Lint("src/ml/foo.cc",
+                             "void Use() {\n"
+                             "  std::mt19937 engine(42);\n"
+                             "  my.rand();\n"  // Member call: not C rand().
+                             "}\n",
+                             kRuleDeterminism);
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings, 2);
+}
+
+// --- R3: float-format ---------------------------------------------------
+
+TEST(FloatFormatTest, FlagsLossyFormatsInSavePaths) {
+  const auto findings = Lint(
+      "src/ml/serialize.cc",
+      "void Save(char* b, unsigned long n, double v) {\n"
+      "  std::snprintf(b, n, \"%.12g\", v);\n"
+      "  std::snprintf(b, n, \"%f\", v);\n"
+      "}\n",
+      kRuleFloatFormat);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].message.find("%.12g"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("%f"), std::string::npos);
+}
+
+TEST(FloatFormatTest, AcceptsExactRoundTripFormatAndNonFloatSpecs) {
+  const auto findings = Lint(
+      "src/data/encoder.cc",
+      "void Save(char* b, unsigned long n, double v, int i) {\n"
+      "  std::snprintf(b, n, \"%.17g\", v);\n"
+      "  std::snprintf(b, n, \"%d rows (100%%)\", i);\n"
+      "}\n",
+      kRuleFloatFormat);
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings, 2);
+}
+
+TEST(FloatFormatTest, OnlySavePathFilesAreChecked) {
+  // %.2f is fine in report/table code — only save paths must round-trip.
+  const auto findings = Lint(
+      "src/core/report.cc",
+      "void Print(char* b, unsigned long n, double v) {\n"
+      "  std::snprintf(b, n, \"%.2f\", v);\n"
+      "}\n",
+      kRuleFloatFormat);
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings, 2);
+}
+
+// --- R4: raw-lock -------------------------------------------------------
+
+TEST(RawLockTest, FlagsRawLockUnlock) {
+  const auto findings = Lint("src/serve/svc.cc",
+                             "void Use(std::mutex& mu) {\n"
+                             "  mu.lock();\n"
+                             "  mu.unlock();\n"
+                             "  if (mu.try_lock()) { mu.unlock(); }\n"
+                             "}\n",
+                             kRuleRawLock);
+  EXPECT_EQ(findings.size(), 4u) << FindingsToText(findings, 2);
+}
+
+TEST(RawLockTest, GuardsAreClean) {
+  const auto findings =
+      Lint("src/serve/svc.cc",
+           "void Use(std::mutex& mu) {\n"
+           "  std::lock_guard<std::mutex> hold(mu);\n"
+           "  std::unique_lock<std::mutex> deferred(mu, std::defer_lock);\n"
+           "}\n",
+           kRuleRawLock);
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings, 2);
+}
+
+// --- R5: header-guard ---------------------------------------------------
+
+TEST(HeaderGuardTest, FlagsWrongAndMissingGuards) {
+  const auto wrong = Lint("src/data/thing.h",
+                          "#ifndef WRONG_NAME_H\n"
+                          "#define WRONG_NAME_H\n"
+                          "#endif\n",
+                          kRuleHeaderGuard);
+  ASSERT_EQ(wrong.size(), 1u);
+  EXPECT_NE(wrong[0].message.find("ROADMINE_DATA_THING_H_"),
+            std::string::npos);
+
+  const auto missing = Lint("src/data/thing.h", "int x;\n",
+                            kRuleHeaderGuard);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].message.find("missing"), std::string::npos);
+}
+
+TEST(HeaderGuardTest, AcceptsCanonicalGuardAndSkipsNonHeaders) {
+  const auto good = Lint("src/data/thing.h",
+                         "#ifndef ROADMINE_DATA_THING_H_\n"
+                         "#define ROADMINE_DATA_THING_H_\n"
+                         "#endif  // ROADMINE_DATA_THING_H_\n",
+                         kRuleHeaderGuard);
+  EXPECT_TRUE(good.empty()) << FindingsToText(good, 2);
+  // The src/ prefix is elided; other roots keep their first component.
+  const auto tool = Lint("tools/lint/thing.h",
+                         "#ifndef ROADMINE_TOOLS_LINT_THING_H_\n"
+                         "#define ROADMINE_TOOLS_LINT_THING_H_\n"
+                         "#endif\n",
+                         kRuleHeaderGuard);
+  EXPECT_TRUE(tool.empty()) << FindingsToText(tool, 2);
+  EXPECT_TRUE(Lint("src/data/thing.cc", "int x;\n", kRuleHeaderGuard)
+                  .empty());
+}
+
+// --- Suppressions -------------------------------------------------------
+
+TEST(SuppressionTest, SameLineAndNextLineAllowComments) {
+  const auto findings = Lint(
+      "src/ml/foo.cc",
+      "void Use() {\n"
+      "  std::thread a;  // roadmine-lint: allow(determinism)\n"
+      "  // roadmine-lint: allow(determinism) — probe, not a spawn.\n"
+      "  std::thread b;\n"
+      "  std::thread c;\n"  // Not covered: still flagged.
+      "}\n",
+      kRuleDeterminism);
+  ASSERT_EQ(findings.size(), 1u) << FindingsToText(findings, 2);
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(SuppressionTest, OnlyNamedRulesAreSuppressed) {
+  const auto findings = Lint(
+      "src/ml/foo.cc",
+      "void Use(std::mutex& mu) {\n"
+      "  mu.lock();  // roadmine-lint: allow(determinism)\n"
+      "}\n",
+      kRuleRawLock);
+  ASSERT_EQ(findings.size(), 1u);  // Wrong rule id: raw-lock still fires.
+}
+
+TEST(SuppressionTest, CommaSeparatedRuleList) {
+  const auto findings = Lint(
+      "src/ml/foo.cc",
+      "void Use(std::mutex& mu) {\n"
+      "  // roadmine-lint: allow(determinism, raw-lock)\n"
+      "  std::thread t; mu.lock();\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings, 2);
+}
+
+// --- Output formats and ordering ---------------------------------------
+
+TEST(OutputTest, JsonReportIsValidAndComplete) {
+  const auto findings = Lint("src/fake/use.cc",
+                             "void Use() {\n"
+                             "  fake::Save();\n"
+                             "}\n",
+                             kRuleDroppedStatus);
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = FindingsToJson(findings, 2);
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Find("tool")->string_value, "roadmine_lint");
+  EXPECT_EQ(parsed->Find("files_scanned")->number_value, 2.0);
+  EXPECT_EQ(parsed->Find("finding_count")->number_value, 1.0);
+  const obs::JsonValue* list = parsed->Find("findings");
+  ASSERT_TRUE(list != nullptr && list->is_array());
+  ASSERT_EQ(list->items.size(), 1u);
+  EXPECT_EQ(list->items[0].Find("file")->string_value, "src/fake/use.cc");
+  EXPECT_EQ(list->items[0].Find("line")->number_value, 2.0);
+  EXPECT_EQ(list->items[0].Find("rule")->string_value, kRuleDroppedStatus);
+}
+
+TEST(OutputTest, TextReportHasFileLineRuleShape) {
+  const auto findings = Lint("src/fake/use.cc",
+                             "void Use() {\n"
+                             "  fake::Save();\n"
+                             "}\n",
+                             kRuleDroppedStatus);
+  const std::string text = FindingsToText(findings, 2);
+  EXPECT_NE(text.find("src/fake/use.cc:2: [dropped-status]"),
+            std::string::npos);
+  EXPECT_NE(text.find("1 finding(s) in 2 file(s) scanned"),
+            std::string::npos);
+}
+
+TEST(OutputTest, FindingsAreSortedByFileThenLine) {
+  Options options;
+  const auto findings = LintSources(
+      {{"src/b.cc", "void B() { std::thread t1; }\n"},
+       {"src/a.cc", "void A() {\n  std::thread t2;\n  std::thread t3;\n}\n"}},
+      options);
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].file, "src/a.cc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+  EXPECT_EQ(findings[2].file, "src/b.cc");
+}
+
+// --- CollectSources (disk round-trip) -----------------------------------
+
+TEST(CollectSourcesTest, WalksDirectoriesAndAppliesRoot) {
+  const std::string dir = testing::TempDir() + "/lint_walk";
+  std::filesystem::create_directories(dir + "/sub");
+  std::ofstream(dir + "/sub/a.h") << "#ifndef X\n#define X\n#endif\n";
+  std::ofstream(dir + "/sub/b.cc") << "void B() { std::thread t; }\n";
+  std::ofstream(dir + "/sub/notes.txt") << "ignored\n";
+
+  auto sources = CollectSources({dir});
+  ASSERT_TRUE(sources.ok()) << sources.status();
+  ASSERT_EQ(sources->size(), 2u);  // .txt skipped.
+
+  Options options;
+  options.root = dir;
+  const auto findings = LintSources(*sources, options);
+  // a.h: wrong guard; b.cc: std::thread.
+  ASSERT_EQ(findings.size(), 2u) << FindingsToText(findings, 2);
+  EXPECT_EQ(findings[0].file, "sub/a.h");
+  EXPECT_EQ(findings[0].rule, kRuleHeaderGuard);
+  EXPECT_EQ(findings[1].file, "sub/b.cc");
+  EXPECT_EQ(findings[1].rule, kRuleDeterminism);
+}
+
+TEST(CollectSourcesTest, MissingPathFails) {
+  auto sources = CollectSources({"/definitely/not/a/path"});
+  EXPECT_FALSE(sources.ok());
+}
+
+}  // namespace
+}  // namespace roadmine::lint

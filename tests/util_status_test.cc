@@ -77,6 +77,47 @@ TEST(ResultTest, ArrowOperator) {
   EXPECT_EQ(result->size(), 3u);
 }
 
+// --- The [[nodiscard]] + abort error contract (DESIGN.md §5.6) ---------
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatusMessage) {
+  // The abort is unconditional — release builds included — and the crash
+  // output carries the discarded status, not just "empty optional".
+  Result<int> result(NotFoundError("segment 17 missing"));
+  EXPECT_DEATH({ (void)result.value(); },
+               "Result::value\\(\\) called on error.*"
+               "NOT_FOUND: segment 17 missing");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorAborts) {
+  Result<int> result(InternalError("boom"));
+  EXPECT_DEATH({ (void)*result; }, "INTERNAL: boom");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> result(Status::Ok()); },
+               "Result constructed from OK status");
+}
+
+TEST(CheckOkTest, PassesThroughOkStatus) {
+  ROADMINE_CHECK_OK(Status::Ok());  // Must not abort.
+}
+
+TEST(CheckOkDeathTest, AbortsWithExpressionAndStatus) {
+  EXPECT_DEATH({ ROADMINE_CHECK_OK(DataLossError("page torn")); },
+               "ROADMINE_CHECK_OK.*DATA_LOSS: page torn");
+}
+
+TEST(NodiscardTest, VoidCastIsTheSanctionedDiscard) {
+  // Status and Result<T> are [[nodiscard]]: a bare `FailingStatus();`
+  // statement does not compile warning-clean. The `(void)` cast below is
+  // the sanctioned escape hatch (roadmine_lint then requires the
+  // adjacent comment this block provides).
+  auto failing_status = []() -> Status { return InternalError("x"); };
+  auto failing_result = []() -> Result<int> { return InternalError("x"); };
+  (void)failing_status();
+  (void)failing_result();
+}
+
 Status FailingStep() { return InternalError("step failed"); }
 
 Status Pipeline() {

@@ -1,0 +1,810 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace roadmine::lint {
+
+namespace {
+
+using util::Status;
+
+// ---------------------------------------------------------------------------
+// Lexer: a C++-shaped token stream with per-line comment capture. This is
+// deliberately not a real preprocessor — preprocessor lines (with their
+// backslash continuations) are captured whole and kept out of the token
+// stream so macro bodies never look like statements.
+
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct PreprocLine {
+  int line;          // Line of the '#'.
+  std::string text;  // Full directive, continuations joined.
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<PreprocLine> preproc;
+  std::set<int> comment_lines;
+  std::map<int, std::string> comment_text;  // Concatenated per line.
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void RecordComment(Lexed& out, int line, std::string_view text) {
+  out.comment_lines.insert(line);
+  out.comment_text[line] += std::string(text);
+}
+
+Lexed Lex(const std::string& text) {
+  Lexed out;
+  const size_t n = text.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // Only whitespace seen since the last newline.
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: consume to end of line, honoring
+      // backslash continuations.
+      const int start_line = line;
+      std::string directive;
+      while (i < n) {
+        const size_t eol = text.find('\n', i);
+        const size_t end = (eol == std::string::npos) ? n : eol;
+        std::string_view chunk(text.data() + i, end - i);
+        // Strip trailing \r for continuation detection.
+        while (!chunk.empty() && chunk.back() == '\r') chunk.remove_suffix(1);
+        const bool continues = !chunk.empty() && chunk.back() == '\\';
+        directive += std::string(continues
+                                     ? chunk.substr(0, chunk.size() - 1)
+                                     : chunk);
+        i = end;
+        if (eol != std::string::npos) {
+          ++line;
+          ++i;
+        }
+        if (!continues) break;
+        directive += ' ';
+      }
+      out.preproc.push_back({start_line, directive});
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t eol = text.find('\n', i);
+      const size_t end = (eol == std::string::npos) ? n : eol;
+      RecordComment(out, line, std::string_view(text.data() + i, end - i));
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t j = i + 2;
+      size_t seg_start = i;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') {
+          RecordComment(out, line,
+                        std::string_view(text.data() + seg_start,
+                                         j - seg_start));
+          ++line;
+          seg_start = j + 1;
+        }
+        ++j;
+      }
+      const size_t end = (j + 1 < n) ? j + 2 : n;
+      RecordComment(out, line,
+                    std::string_view(text.data() + seg_start,
+                                     end - seg_start));
+      i = end;
+      continue;
+    }
+    if (c == '"' || (c == 'R' && i + 1 < n && text[i + 1] == '"')) {
+      // String literal; raw strings get delimiter-aware termination.
+      if (c == 'R') {
+        size_t j = i + 2;
+        std::string delim;
+        while (j < n && text[j] != '(') delim += text[j++];
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = text.find(closer, j);
+        const size_t stop = (end == std::string::npos)
+                                ? n
+                                : end + closer.size();
+        std::string literal = text.substr(i, stop - i);
+        out.tokens.push_back({Token::kString, std::move(literal), line});
+        line += static_cast<int>(
+            std::count(text.begin() + static_cast<long>(i),
+                       text.begin() + static_cast<long>(stop), '\n'));
+        i = stop;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && text[j] != '"') {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      const size_t stop = (j < n) ? j + 1 : n;
+      out.tokens.push_back({Token::kString, text.substr(i, stop - i), line});
+      i = stop;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && text[j] != '\'') {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      const size_t stop = (j < n) ? j + 1 : n;
+      out.tokens.push_back({Token::kChar, text.substr(i, stop - i), line});
+      i = stop;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      out.tokens.push_back({Token::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < n &&
+             (IsIdentChar(text[j]) || text[j] == '.' || text[j] == '\'' ||
+              ((text[j] == '+' || text[j] == '-') && j > 0 &&
+               (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({Token::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; '::' and '->' are the only multi-char tokens the rules
+    // care about (so '>>' stays two '>'s for template-depth counting).
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      out.tokens.push_back({Token::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      out.tokens.push_back({Token::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({Token::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// roadmine-lint: allow(rule-id[,rule-id...])` applies to
+// its own line and the following line.
+
+std::map<int, std::set<std::string>> ParseSuppressions(const Lexed& lexed) {
+  std::map<int, std::set<std::string>> allow;
+  for (const auto& [line, text] : lexed.comment_text) {
+    size_t pos = text.find("roadmine-lint:");
+    while (pos != std::string::npos) {
+      const size_t open = text.find("allow(", pos);
+      if (open == std::string::npos) break;
+      const size_t close = text.find(')', open);
+      if (close == std::string::npos) break;
+      std::string inside = text.substr(open + 6, close - open - 6);
+      std::string rule;
+      std::istringstream stream(inside);
+      while (std::getline(stream, rule, ',')) {
+        // Trim spaces.
+        const size_t b = rule.find_first_not_of(" \t");
+        const size_t e = rule.find_last_not_of(" \t");
+        if (b == std::string::npos) continue;
+        const std::string id = rule.substr(b, e - b + 1);
+        allow[line].insert(id);
+        allow[line + 1].insert(id);
+      }
+      pos = text.find("roadmine-lint:", close);
+    }
+  }
+  return allow;
+}
+
+bool Suppressed(const std::map<int, std::set<std::string>>& allow, int line,
+                const std::string& rule) {
+  auto it = allow.find(line);
+  return it != allow.end() && it->second.contains(rule);
+}
+
+// ---------------------------------------------------------------------------
+// Path helpers.
+
+// Normalizes to forward slashes and strips `root/` when present.
+std::string RelativePath(const std::string& path, const std::string& root) {
+  namespace fs = std::filesystem;
+  std::string p = fs::path(path).lexically_normal().generic_string();
+  if (root.empty()) return p;
+  std::string r = fs::path(root).lexically_normal().generic_string();
+  if (!r.empty() && r.back() != '/') r += '/';
+  if (p.size() > r.size() && p.compare(0, r.size(), r) == 0) {
+    return p.substr(r.size());
+  }
+  return p;
+}
+
+bool PathStartsWith(const std::string& rel, std::string_view prefix) {
+  return rel.size() >= prefix.size() &&
+         rel.compare(0, prefix.size(), prefix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: fallible-function names. A function is fallible when its
+// declared return type is `Status` or `Result<...>` (optionally
+// `util::`-qualified): `[util::]Status|Result<...>  qualified-name (`.
+
+bool TokenIs(const std::vector<Token>& t, size_t i, std::string_view text) {
+  return i < t.size() && t[i].text == text;
+}
+
+void CollectFallibleNames(const Lexed& lexed, std::set<std::string>* names) {
+  const std::vector<Token>& t = lexed.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    const bool is_status = t[i].text == "Status";
+    const bool is_result = t[i].text == "Result";
+    if (!is_status && !is_result) continue;
+    size_t j = i + 1;
+    if (is_result) {
+      // Require and skip a balanced template argument list.
+      if (!TokenIs(t, j, "<")) continue;
+      int depth = 1;
+      ++j;
+      size_t guard = 0;
+      while (j < t.size() && depth > 0 && ++guard < 256) {
+        if (t[j].text == "<") ++depth;
+        else if (t[j].text == ">") --depth;
+        else if (t[j].text == ";" || t[j].text == "{") break;
+        ++j;
+      }
+      if (depth != 0) continue;
+    }
+    // Qualified-name chain: ident (:: ident)*, then '('.
+    if (j >= t.size() || t[j].kind != Token::kIdent) continue;
+    size_t last_ident = j;
+    ++j;
+    while (j + 1 < t.size() && t[j].text == "::" &&
+           t[j + 1].kind == Token::kIdent) {
+      last_ident = j + 1;
+      j += 2;
+    }
+    if (!TokenIs(t, j, "(")) continue;
+    names->insert(t[last_ident].text);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R1: dropped-status. Scans `;`-terminated statements (at paren depth 0;
+// `{`/`}` at depth 0 reset the statement so control headers and bodies
+// are never candidates, while lambda bodies *inside* call parens stay
+// part of the enclosing statement).
+
+const std::set<std::string>& StatementKeywords() {
+  static const std::set<std::string> kKeywords = {
+      "return",   "if",      "while",    "for",     "switch",  "do",
+      "else",     "case",    "default",  "break",   "continue", "goto",
+      "using",    "typedef", "template", "namespace", "static_assert",
+      "throw",    "delete",  "new",      "friend",  "extern",  "struct",
+      "class",    "enum",    "union",    "public",  "protected", "private",
+      "co_return", "co_await", "co_yield"};
+  return kKeywords;
+}
+
+struct StatementCheckContext {
+  const std::set<std::string>* fallible;
+  const Lexed* lexed;
+  const std::map<int, std::set<std::string>>* allow;
+  const std::string* report_path;
+  std::vector<Finding>* findings;
+};
+
+void EvalStatement(const std::vector<Token>& t, size_t begin, size_t end,
+                   const StatementCheckContext& ctx) {
+  if (begin >= end) return;
+  // Statements routed through the status macros are consumed by contract.
+  for (size_t i = begin; i < end; ++i) {
+    if (t[i].kind == Token::kIdent &&
+        (t[i].text == "ROADMINE_RETURN_IF_ERROR" ||
+         t[i].text == "ROADMINE_CHECK_OK")) {
+      return;
+    }
+  }
+  size_t pos = begin;
+  // Single-line control statements (`if (x) Foo();`) still end in a
+  // candidate call: hop over the header and evaluate what follows.
+  while (pos < end && t[pos].kind == Token::kIdent) {
+    const std::string& kw = t[pos].text;
+    if (kw == "else") {
+      ++pos;
+      continue;
+    }
+    if ((kw == "if" || kw == "while" || kw == "for" || kw == "switch") &&
+        pos + 1 < end && t[pos + 1].text == "(") {
+      int hdr = 0;
+      size_t i = pos + 1;
+      do {
+        if (t[i].text == "(") ++hdr;
+        else if (t[i].text == ")") --hdr;
+        ++i;
+      } while (i < end && hdr > 0);
+      pos = i;
+      continue;
+    }
+    break;
+  }
+  const bool void_discard = pos + 2 < end && t[pos].text == "(" &&
+                            t[pos + 1].text == "void" &&
+                            t[pos + 2].text == ")";
+  if (void_discard) pos += 3;
+  if (pos >= end) return;
+  if (t[pos].kind == Token::kIdent &&
+      StatementKeywords().contains(t[pos].text)) {
+    return;
+  }
+  // A top-level '=' means the value is stored (also covers compound
+  // assignment, whose '=' lexes as its own token).
+  int depth = 0;
+  size_t first_call = end;
+  for (size_t i = pos; i < end; ++i) {
+    if (t[i].text == "(") {
+      if (depth == 0 && first_call == end) first_call = i;
+      ++depth;
+    } else if (t[i].text == ")") {
+      if (depth > 0) --depth;
+    } else if (depth == 0 && t[i].text == "=") {
+      return;
+    }
+  }
+  if (first_call == end || first_call == pos) return;
+  const size_t callee = first_call - 1;
+  if (t[callee].kind != Token::kIdent) return;
+  // Walk the qualified/member chain back to its head.
+  size_t head = callee;
+  bool chained_off_call = false;
+  while (head >= pos + 2 &&
+         (t[head - 1].text == "::" || t[head - 1].text == "." ||
+          t[head - 1].text == "->")) {
+    if (t[head - 2].kind == Token::kIdent) {
+      head -= 2;
+    } else if (t[head - 2].text == ")" || t[head - 2].text == "]") {
+      chained_off_call = true;
+      break;
+    } else {
+      break;
+    }
+  }
+  if (head > pos && !chained_off_call) {
+    // Something precedes the name chain (e.g. a return type): this is a
+    // declaration or a declarator, not a discarded call.
+    return;
+  }
+  if (!ctx.fallible->contains(t[callee].text)) return;
+  const int line = t[begin].line;
+  if (Suppressed(*ctx.allow, line, kRuleDroppedStatus)) return;
+  if (void_discard) {
+    const bool has_comment = ctx.lexed->comment_lines.contains(line) ||
+                             ctx.lexed->comment_lines.contains(line - 1);
+    if (!has_comment) {
+      ctx.findings->push_back(
+          {*ctx.report_path, line, kRuleDroppedStatus,
+           "explicit (void) discard of fallible '" + t[callee].text +
+               "' needs an adjacent infallibility comment (same line or "
+               "the line above)"});
+    }
+    return;
+  }
+  ctx.findings->push_back(
+      {*ctx.report_path, line, kRuleDroppedStatus,
+       "result of fallible '" + t[callee].text +
+           "' is discarded; consume it, ROADMINE_RETURN_IF_ERROR it, or "
+           "(void)-cast it with an infallibility comment"});
+}
+
+void CheckDroppedStatus(const Lexed& lexed,
+                        const StatementCheckContext& ctx) {
+  const std::vector<Token>& t = lexed.tokens;
+  size_t stmt_begin = 0;
+  int paren = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kPunct) continue;
+    const std::string& p = t[i].text;
+    if (p == "(") {
+      ++paren;
+    } else if (p == ")") {
+      if (paren > 0) --paren;
+    } else if (p == ";" && paren == 0) {
+      EvalStatement(t, stmt_begin, i, ctx);
+      stmt_begin = i + 1;
+    } else if ((p == "{" || p == "}") && paren == 0) {
+      stmt_begin = i + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: determinism. Thread/atomic/RNG primitives belong to src/exec/ and
+// src/obs/; everywhere else they break the serial==threaded and
+// fixed-seed reproducibility contracts.
+
+void CheckDeterminism(const Lexed& lexed, const std::string& rel,
+                      const std::map<int, std::set<std::string>>& allow,
+                      const std::string& report_path,
+                      std::vector<Finding>* findings) {
+  if (PathStartsWith(rel, "src/exec/") || PathStartsWith(rel, "src/obs/")) {
+    return;
+  }
+  static const std::set<std::string> kBannedStdNames = {
+      "thread", "jthread",     "async",       "atomic",
+      "atomic_flag", "atomic_bool", "atomic_int", "atomic_size_t",
+      "condition_variable", "condition_variable_any", "random_device"};
+  static const std::set<std::string> kBannedCalls = {"rand", "srand",
+                                                     "random_shuffle"};
+  const std::vector<Token>& t = lexed.tokens;
+  auto flag = [&](size_t i, const std::string& what) {
+    if (Suppressed(allow, t[i].line, kRuleDeterminism)) return;
+    findings->push_back(
+        {report_path, t[i].line, kRuleDeterminism,
+         what + " is banned outside src/exec/ and src/obs/ (determinism "
+                "contract: fixed seeds, exec-only threading)"});
+  };
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    const std::string& name = t[i].text;
+    const bool qualified_std = i >= 2 && t[i - 1].text == "::" &&
+                               t[i - 2].kind == Token::kIdent &&
+                               t[i - 2].text == "std";
+    if (qualified_std && kBannedStdNames.contains(name)) {
+      flag(i - 2, "std::" + name);
+      continue;
+    }
+    if (name == "random_device" && !qualified_std) {
+      flag(i, "random_device");
+      continue;
+    }
+    if (kBannedCalls.contains(name) && TokenIs(t, i + 1, "(")) {
+      // Member calls (x.rand()) are someone else's API; only flag free /
+      // std-qualified uses.
+      const bool member = i >= 1 &&
+                          (t[i - 1].text == "." || t[i - 1].text == "->");
+      const bool qualified_other =
+          i >= 2 && t[i - 1].text == "::" && !(qualified_std);
+      if (!member && !qualified_other) flag(i, name + "()");
+      continue;
+    }
+    // Wall-clock seeding: time(nullptr) / time(NULL) / time(0).
+    if (name == "time" && TokenIs(t, i + 1, "(") &&
+        (TokenIs(t, i + 2, "nullptr") || TokenIs(t, i + 2, "NULL") ||
+         TokenIs(t, i + 2, "0")) &&
+        TokenIs(t, i + 3, ")")) {
+      const bool member = i >= 1 &&
+                          (t[i - 1].text == "." || t[i - 1].text == "->");
+      if (!member) flag(i, "wall-clock time() seeding");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: float-format. Serialization save paths must format doubles with
+// %.17g — the shortest printf format that round-trips any finite double.
+
+bool IsFloatFormatFile(const std::string& rel) {
+  return rel.find("serialize") != std::string::npos ||
+         rel.find("encoder") != std::string::npos ||
+         rel.find("model_store") != std::string::npos;
+}
+
+void CheckFloatFormat(const Lexed& lexed, const std::string& rel,
+                      const std::map<int, std::set<std::string>>& allow,
+                      const std::string& report_path,
+                      std::vector<Finding>* findings) {
+  if (!IsFloatFormatFile(rel)) return;
+  for (const Token& tok : lexed.tokens) {
+    if (tok.kind != Token::kString) continue;
+    const std::string& s = tok.text;
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      if (s[i] != '%') continue;
+      if (s[i + 1] == '%') {
+        ++i;
+        continue;
+      }
+      // Parse a printf conversion: flags, width, precision, conversion.
+      size_t j = i + 1;
+      while (j < s.size() && std::strchr("-+ #0", s[j]) != nullptr) ++j;
+      while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j])))
+        ++j;
+      if (j < s.size() && s[j] == '.') {
+        ++j;
+        while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j])))
+          ++j;
+      }
+      while (j < s.size() && std::strchr("lhLzjt", s[j]) != nullptr) ++j;
+      if (j >= s.size()) break;
+      const char conv = s[j];
+      if (std::strchr("aefgAEFG", conv) != nullptr) {
+        const std::string spec = s.substr(i, j - i + 1);
+        if (spec != "%.17g" &&
+            !Suppressed(allow, tok.line, kRuleFloatFormat)) {
+          findings->push_back(
+              {report_path, tok.line, kRuleFloatFormat,
+               "float format '" + spec + "' in a serialization save path; "
+               "use %.17g so the value round-trips bit-exactly"});
+        }
+      }
+      i = j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: raw-lock. Guards (std::lock_guard / std::unique_lock /
+// std::scoped_lock) make unlock-on-every-path structural; raw
+// .lock()/.unlock() calls make it a reviewer obligation.
+
+void CheckRawLock(const Lexed& lexed,
+                  const std::map<int, std::set<std::string>>& allow,
+                  const std::string& report_path,
+                  std::vector<Finding>* findings) {
+  const std::vector<Token>& t = lexed.tokens;
+  for (size_t i = 2; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    const std::string& name = t[i].text;
+    if (name != "lock" && name != "unlock" && name != "try_lock") continue;
+    const bool member = t[i - 1].text == "." || t[i - 1].text == "->";
+    if (!member || !TokenIs(t, i + 1, "(")) continue;
+    if (Suppressed(allow, t[i].line, kRuleRawLock)) continue;
+    findings->push_back(
+        {report_path, t[i].line, kRuleRawLock,
+         "raw ." + name + "() on a mutex; use std::lock_guard / "
+         "std::unique_lock so unlock is structural"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5: header-guard. `src/util/status.h` guards with
+// ROADMINE_UTIL_STATUS_H_ — the path (minus a leading "src/"),
+// upper-cased, separators folded to '_'.
+
+std::string ExpectedGuard(std::string rel) {
+  if (PathStartsWith(rel, "src/")) rel = rel.substr(4);
+  if (rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0) {
+    rel = rel.substr(0, rel.size() - 2);
+  }
+  std::string guard = "ROADMINE_";
+  for (char c : rel) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += "_H_";
+  return guard;
+}
+
+void CheckHeaderGuard(const Lexed& lexed, const std::string& rel,
+                      const std::map<int, std::set<std::string>>& allow,
+                      const std::string& report_path,
+                      std::vector<Finding>* findings) {
+  if (rel.size() < 2 || rel.compare(rel.size() - 2, 2, ".h") != 0) return;
+  const std::string expected = ExpectedGuard(rel);
+  const PreprocLine* ifndef = nullptr;
+  const PreprocLine* define = nullptr;
+  for (const PreprocLine& p : lexed.preproc) {
+    if (ifndef == nullptr && p.text.find("#ifndef") != std::string::npos) {
+      ifndef = &p;
+      continue;
+    }
+    if (ifndef != nullptr && p.text.find("#define") != std::string::npos) {
+      define = &p;
+      break;
+    }
+  }
+  auto second_field = [](const std::string& text) -> std::string {
+    std::istringstream stream(text);
+    std::string directive, name;
+    stream >> directive >> name;
+    return name;
+  };
+  if (ifndef == nullptr || define == nullptr) {
+    if (!Suppressed(allow, 1, kRuleHeaderGuard)) {
+      findings->push_back({report_path, 1, kRuleHeaderGuard,
+                           "missing #ifndef/#define include guard (expected " +
+                               expected + ")"});
+    }
+    return;
+  }
+  const std::string got_ifndef = second_field(ifndef->text);
+  const std::string got_define = second_field(define->text);
+  if (got_ifndef != expected || got_define != expected) {
+    if (!Suppressed(allow, ifndef->line, kRuleHeaderGuard)) {
+      findings->push_back(
+          {report_path, ifndef->line, kRuleHeaderGuard,
+           "include guard is '" + got_ifndef + "', expected '" + expected +
+               "'"});
+    }
+  }
+}
+
+bool RuleEnabled(const Options& options, const char* rule) {
+  return options.enabled_rules.empty() ||
+         options.enabled_rules.contains(rule);
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> kRules = {
+      kRuleDroppedStatus, kRuleDeterminism, kRuleFloatFormat, kRuleRawLock,
+      kRuleHeaderGuard};
+  return kRules;
+}
+
+std::vector<Finding> LintSources(const std::vector<SourceFile>& sources,
+                                 const Options& options) {
+  // Pass 1: lex everything once and learn the fallible vocabulary.
+  std::vector<Lexed> lexed;
+  lexed.reserve(sources.size());
+  std::set<std::string> fallible;
+  for (const SourceFile& source : sources) {
+    lexed.push_back(Lex(source.text));
+    CollectFallibleNames(lexed.back(), &fallible);
+  }
+  // The status macros consume their argument by contract, and Status's
+  // named constructors are value factories, not fallible calls.
+  fallible.erase("Ok");
+
+  std::vector<Finding> findings;
+  for (size_t k = 0; k < sources.size(); ++k) {
+    const std::string rel = RelativePath(sources[k].path, options.root);
+    const auto allow = ParseSuppressions(lexed[k]);
+    if (RuleEnabled(options, kRuleDroppedStatus)) {
+      StatementCheckContext ctx;
+      ctx.fallible = &fallible;
+      ctx.lexed = &lexed[k];
+      ctx.allow = &allow;
+      ctx.report_path = &rel;
+      ctx.findings = &findings;
+      CheckDroppedStatus(lexed[k], ctx);
+    }
+    if (RuleEnabled(options, kRuleDeterminism)) {
+      CheckDeterminism(lexed[k], rel, allow, rel, &findings);
+    }
+    if (RuleEnabled(options, kRuleFloatFormat)) {
+      CheckFloatFormat(lexed[k], rel, allow, rel, &findings);
+    }
+    if (RuleEnabled(options, kRuleRawLock)) {
+      CheckRawLock(lexed[k], allow, rel, &findings);
+    }
+    if (RuleEnabled(options, kRuleHeaderGuard)) {
+      CheckHeaderGuard(lexed[k], rel, allow, rel, &findings);
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+util::Result<std::vector<SourceFile>> CollectSources(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const std::string& path : paths) {
+    const fs::file_status status = fs::status(path, ec);
+    if (ec) {
+      return util::NotFoundError("cannot stat '" + path + "': " +
+                                 ec.message());
+    }
+    if (fs::is_directory(status)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cc") {
+          files.push_back(it->path().generic_string());
+        }
+      }
+      if (ec) {
+        return util::InternalError("error walking '" + path + "': " +
+                                   ec.message());
+      }
+    } else if (fs::is_regular_file(status)) {
+      files.push_back(fs::path(path).generic_string());
+    } else {
+      return util::InvalidArgumentError("'" + path +
+                                        "' is neither file nor directory");
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) return util::NotFoundError("cannot read '" + file + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    sources.push_back({file, text.str()});
+  }
+  return sources;
+}
+
+std::string FindingsToText(const std::vector<Finding>& findings,
+                           size_t files_scanned) {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += finding.file;
+    out += ':';
+    out += std::to_string(finding.line);
+    out += ": [";
+    out += finding.rule;
+    out += "] ";
+    out += finding.message;
+    out += '\n';
+  }
+  out += std::to_string(findings.size());
+  out += " finding(s) in ";
+  out += std::to_string(files_scanned);
+  out += " file(s) scanned\n";
+  return out;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings,
+                           size_t files_scanned) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("tool").String("roadmine_lint");
+  writer.Key("files_scanned").UInt(files_scanned);
+  writer.Key("finding_count").UInt(findings.size());
+  writer.Key("findings").BeginArray();
+  for (const Finding& finding : findings) {
+    writer.BeginObject();
+    writer.Key("file").String(finding.file);
+    writer.Key("line").Int(finding.line);
+    writer.Key("rule").String(finding.rule);
+    writer.Key("message").String(finding.message);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
+}
+
+}  // namespace roadmine::lint

@@ -1,0 +1,92 @@
+// roadmine-lint: a self-contained (no libclang) token/line-level static
+// analyzer for the repo's own contracts. It exists because the invariants
+// that make the study reproducible — no dropped Status/Result, serial ==
+// threaded output, %.17g round-trip serialization, threading confined to
+// the exec layer — are cheap to violate silently and expensive to debug.
+//
+// Rules (ids are stable; diagnostics print `file:line: [rule] message`):
+//   dropped-status  (R1)  a call statement whose Status/Result return is
+//                         neither consumed, ROADMINE_RETURN_IF_ERROR'd,
+//                         ROADMINE_CHECK_OK'd, nor `(void)`-cast with an
+//                         adjacent infallibility comment.
+//   determinism     (R2)  rand()/srand()/std::random_device, time-seeded
+//                         RNG patterns, and std::thread / std::async /
+//                         std::atomic / std::condition_variable outside
+//                         src/exec/ and src/obs/.
+//   float-format    (R3)  in serialization save paths (files whose path
+//                         contains "serialize", "encoder" or
+//                         "model_store"), any printf float conversion
+//                         that is not exactly %.17g.
+//   raw-lock        (R4)  raw .lock()/.unlock()/.try_lock() member calls;
+//                         use std::lock_guard / std::unique_lock guards.
+//   header-guard    (R5)  .h include guards must be ROADMINE_<PATH>_H_
+//                         (path relative to the repo root, "src/" elided).
+//
+// Suppression: a comment `// roadmine-lint: allow(rule-id[,rule-id...])`
+// suppresses matching findings on its own line and on the next line.
+#ifndef ROADMINE_TOOLS_LINT_LINTER_H_
+#define ROADMINE_TOOLS_LINT_LINTER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace roadmine::lint {
+
+inline constexpr char kRuleDroppedStatus[] = "dropped-status";  // R1
+inline constexpr char kRuleDeterminism[] = "determinism";       // R2
+inline constexpr char kRuleFloatFormat[] = "float-format";      // R3
+inline constexpr char kRuleRawLock[] = "raw-lock";              // R4
+inline constexpr char kRuleHeaderGuard[] = "header-guard";      // R5
+
+// All rule ids, in R1..R5 order.
+const std::vector<std::string>& AllRules();
+
+struct Finding {
+  std::string file;  // As reported: relative to Options::root when under it.
+  int line = 0;      // 1-based.
+  std::string rule;
+  std::string message;
+};
+
+// A source file presented to the linter. `path` drives the path-scoped
+// rules (R2 exemptions, R3 file filter, R5 guard names) so in-memory
+// fixtures behave exactly like on-disk files.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+struct Options {
+  // Paths are reported and matched relative to this root (empty = as-is).
+  std::string root;
+  // Empty = all rules; otherwise only the listed rule ids run.
+  std::set<std::string> enabled_rules;
+};
+
+// Lints a set of sources. Runs two passes: the first collects the names
+// of fallible functions (declared return type Status / Result<...>)
+// across *all* sources, the second applies the rules per file. Findings
+// are ordered by (file, line).
+std::vector<Finding> LintSources(const std::vector<SourceFile>& sources,
+                                 const Options& options);
+
+// Expands files and directories (recursively, *.h and *.cc) into sorted
+// SourceFile contents. Fails on unreadable paths.
+util::Result<std::vector<SourceFile>> CollectSources(
+    const std::vector<std::string>& paths);
+
+// `path:line: [rule] message` lines followed by a one-line summary.
+std::string FindingsToText(const std::vector<Finding>& findings,
+                           size_t files_scanned);
+
+// Machine-readable report:
+// {"tool":"roadmine_lint","files_scanned":N,"findings":[...]}.
+std::string FindingsToJson(const std::vector<Finding>& findings,
+                           size_t files_scanned);
+
+}  // namespace roadmine::lint
+
+#endif  // ROADMINE_TOOLS_LINT_LINTER_H_

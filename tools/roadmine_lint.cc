@@ -1,0 +1,81 @@
+// roadmine_lint: the repo-contract static analyzer (see lint/linter.h
+// for the rule catalogue).
+//
+//   roadmine_lint [--json] [--root=DIR] [--rule=ID]... PATH...
+//
+// PATHs are files or directories (searched recursively for *.h / *.cc).
+// --root anchors reported paths and the path-scoped rules (header-guard
+// names, the src/exec + src/obs determinism exemption); pass the repo
+// root. --rule restricts the run to the listed rule ids (repeatable);
+// default is all rules. --json emits the machine-readable report on
+// stdout instead of the text table.
+//
+// Exit status, bench_compare-style so scripts can gate on it:
+//   0 = clean, 1 = findings, 2 = usage error or unreadable input.
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: roadmine_lint [--json] [--root=DIR] [--rule=ID]... "
+               "PATH...\n       rule ids:");
+  for (const std::string& rule : roadmine::lint::AllRules()) {
+    std::fprintf(stderr, " %s", rule.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  roadmine::lint::Options options;
+  bool json = false;
+  std::vector<std::string> paths;
+  const std::set<std::string> known_rules(roadmine::lint::AllRules().begin(),
+                                          roadmine::lint::AllRules().end());
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(arg, "--root=", 7) == 0) {
+      options.root = arg + 7;
+    } else if (std::strncmp(arg, "--rule=", 7) == 0) {
+      const std::string rule = arg + 7;
+      if (!known_rules.contains(rule)) {
+        std::fprintf(stderr, "roadmine_lint: unknown rule '%s'\n",
+                     rule.c_str());
+        return Usage();
+      }
+      options.enabled_rules.insert(rule);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "roadmine_lint: unknown flag '%s'\n", arg);
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  auto sources = roadmine::lint::CollectSources(paths);
+  if (!sources.ok()) {
+    std::fprintf(stderr, "roadmine_lint: %s\n",
+                 sources.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<roadmine::lint::Finding> findings =
+      roadmine::lint::LintSources(*sources, options);
+  const std::string report =
+      json ? roadmine::lint::FindingsToJson(findings, sources->size())
+           : roadmine::lint::FindingsToText(findings, sources->size());
+  std::fputs(report.c_str(), stdout);
+  if (json) std::fputc('\n', stdout);
+  return findings.empty() ? 0 : 1;
+}
