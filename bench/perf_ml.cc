@@ -38,6 +38,8 @@
 #include "ml/common.h"
 #include "ml/decision_tree.h"
 #include "ml/feature_index.h"
+#include "ml/gradient_boosting.h"
+#include "ml/histogram_index.h"
 #include "ml/kmeans.h"
 #include "ml/naive_bayes.h"
 #include "ml/regression_tree.h"
@@ -112,6 +114,39 @@ void BM_DecisionTreePredict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DecisionTreePredict);
+
+void BM_HistogramDecisionTreeFit(benchmark::State& state) {
+  const data::Dataset& ds = BenchDataset();
+  ml::DecisionTreeParams params{.min_samples_leaf = 30,
+                                .max_leaves = static_cast<size_t>(
+                                    state.range(0))};
+  params.use_histogram = true;
+  for (auto _ : state) {
+    ml::DecisionTreeClassifier tree(params);
+    auto status = tree.Fit(ds, "crash_prone_gt8",
+                           roadgen::RoadAttributeColumns(),
+                           ds.AllRowIndices());
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_rows());
+}
+BENCHMARK(BM_HistogramDecisionTreeFit)->Arg(16)->Arg(64);
+
+void BM_GradientBoostedTreesFit(benchmark::State& state) {
+  const data::Dataset& ds = BenchDataset();
+  ml::GradientBoostedTreesParams params;
+  params.num_trees = static_cast<size_t>(state.range(0));
+  params.max_depth = 4;
+  for (auto _ : state) {
+    ml::GradientBoostedTrees model(params);
+    auto status = model.Fit(ds, "crash_prone_gt8",
+                            roadgen::RoadAttributeColumns(),
+                            ds.AllRowIndices());
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_rows());
+}
+BENCHMARK(BM_GradientBoostedTreesFit)->Arg(10)->Arg(40);
 
 void BM_RegressionTreeFit(benchmark::State& state) {
   const data::Dataset& ds = BenchDataset();
@@ -337,6 +372,87 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
     ctx.report().RecordTimingMs("tree_fit_legacy", legacy_ms);
     ctx.report().RecordTimingMs("tree_fit_indexed", indexed_ms);
     ctx.report().RecordMetric("tree_train_speedup", legacy_ms / indexed_ms);
+
+    // --- Histogram A/B: the same configuration trained over quantile
+    // bins instead of every sorted value. The tree may differ from the
+    // exact one (the documented binning tolerance: candidates coarsen to
+    // bin uppers), so this leg gates time, not structure — the
+    // equivalence suite (ml_histogram_index_test) pins the semantics.
+    double hist_ms = std::numeric_limits<double>::infinity();
+    size_t hist_leaves = 0;
+    {
+      ml::DecisionTreeParams params = ab_params;
+      params.use_histogram = true;
+      for (int i = 0; i < reps; ++i) {
+        ml::DecisionTreeClassifier t(params);
+        const auto start = std::chrono::steady_clock::now();
+        auto status = t.Fit(ds, "crash_prone_gt8", features, all_rows);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (!status.ok()) {
+          obs::LogError(kFailTag, {{"stage", "tree_train_hist"},
+                                   {"error", status.ToString()}});
+          return false;
+        }
+        hist_ms = std::min(hist_ms, ms);
+        hist_leaves = t.leaf_count();
+      }
+    }
+    ctx.report().RecordTimingMs("tree_fit_hist", hist_ms);
+    ctx.report().RecordMetric("hist_tree_leaves",
+                              static_cast<double>(hist_leaves));
+    ctx.report().RecordMetric("hist_train_speedup", indexed_ms / hist_ms);
+  }
+
+  // --- Gradient-boosted trees: fit + whole-dataset scoring, with the
+  // training-set AUC as the deterministic quality headline (same model on
+  // every host, so the floor can live in the smoke gate).
+  {
+    ml::GradientBoostedTreesParams gbt_params;
+    gbt_params.num_trees = smoke ? 10 : 40;
+    gbt_params.max_depth = 4;
+    gbt_params.subsample = 0.8;
+    gbt_params.colsample = 0.8;
+    ml::GradientBoostedTrees gbt(gbt_params);
+    {
+      obs::BenchReport::ScopedStage stage(ctx.report(), "gbt_fit");
+      auto status = gbt.Fit(ds, "crash_prone_gt8", features, all_rows);
+      if (!status.ok()) {
+        obs::LogError(kFailTag,
+                      {{"stage", "gbt_fit"}, {"error", status.ToString()}});
+        return false;
+      }
+    }
+    ctx.report().RecordMetric("gbt_trees",
+                              static_cast<double>(gbt.tree_count()));
+    ctx.report().RecordMetric("gbt_leaves",
+                              static_cast<double>(gbt.total_leaves()));
+    std::vector<double> gbt_scores;
+    {
+      obs::BenchReport::ScopedStage stage(ctx.report(), "gbt_predict");
+      auto probs = gbt.PredictBatch(ds, all_rows);
+      if (!probs.ok()) {
+        obs::LogError(kFailTag, {{"stage", "gbt_predict"},
+                                 {"error", probs.status().ToString()}});
+        return false;
+      }
+      gbt_scores = std::move(*probs);
+    }
+    auto labels = ml::ExtractBinaryLabels(ds, "crash_prone_gt8");
+    if (!labels.ok()) {
+      obs::LogError(kFailTag, {{"stage", "gbt_labels"},
+                               {"error", labels.status().ToString()}});
+      return false;
+    }
+    const std::vector<int> int_labels(labels->begin(), labels->end());
+    auto auc = eval::RocAuc(gbt_scores, int_labels);
+    if (!auc.ok()) {
+      obs::LogError(kFailTag,
+                    {{"stage", "gbt_auc"}, {"error", auc.status().ToString()}});
+      return false;
+    }
+    ctx.report().RecordMetric("gbt_auc", *auc);
   }
 
   {
@@ -563,6 +679,36 @@ bool RunInstrumentedPass(bench::BenchContext& ctx, bool smoke) {
                               bagging_profile.busy_fraction_mean);
     ctx.report().RecordMetric("bagging_imbalance_4t",
                               bagging_profile.imbalance);
+
+    // Gradient-boosting histogram build + split scan. The serialized
+    // ensembles must match byte-for-byte — the boosting determinism
+    // contract on paper-scale data. (Smoke data sits below the executor
+    // row cutoff, so the smoke ratio hovers near 1x by design.)
+    ml::GradientBoostedTreesParams gbt_ab;
+    gbt_ab.num_trees = smoke ? 4 : 16;
+    gbt_ab.max_depth = 4;
+    std::string gbt_serial_text, gbt_parallel_text;
+    const double gbt_serial_ms = timed_ms("gbt_serial", [&] {
+      ml::GradientBoostedTrees model(gbt_ab);
+      if (model.Fit(ds, "crash_prone_gt8", features, all_rows).ok()) {
+        gbt_serial_text = model.Serialize();
+      }
+    });
+    gbt_ab.executor = &pool;
+    const double gbt_parallel_ms = timed_ms("gbt_4_threads", [&] {
+      ml::GradientBoostedTrees model(gbt_ab);
+      if (model.Fit(ds, "crash_prone_gt8", features, all_rows).ok()) {
+        gbt_parallel_text = model.Serialize();
+      }
+    });
+    if (gbt_serial_text.empty() || gbt_serial_text != gbt_parallel_text) {
+      obs::LogError(kFailTag,
+                    {{"stage", "gbt_speedup"},
+                     {"error", "serial/parallel boosted ensembles diverged"}});
+      return false;
+    }
+    ctx.report().RecordMetric("gbt_speedup_4t",
+                              gbt_serial_ms / gbt_parallel_ms);
 
     obs::JsonWriter profile;
     profile.BeginObject();

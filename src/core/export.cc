@@ -36,7 +36,8 @@ std::string TreeSweepToCsv(const std::vector<ThresholdModelResult>& rows) {
   std::string out = Line({"threshold", "non_crash_prone", "crash_prone",
                           "r_squared", "regression_leaves", "npv", "ppv",
                           "misclassification_rate", "mcpv", "kappa",
-                          "tree_leaves"});
+                          "tree_leaves", "gbt_mcpv", "gbt_kappa", "gbt_auc",
+                          "gbt_leaves"});
   for (const ThresholdModelResult& row : rows) {
     out += Line({std::to_string(row.threshold),
                  std::to_string(row.non_crash_prone),
@@ -45,7 +46,9 @@ std::string TreeSweepToCsv(const std::vector<ThresholdModelResult>& rows) {
                  Num(row.negative_predictive_value),
                  Num(row.positive_predictive_value),
                  Num(row.misclassification_rate), Num(row.mcpv),
-                 Num(row.kappa), std::to_string(row.tree_leaves)});
+                 Num(row.kappa), std::to_string(row.tree_leaves),
+                 Num(row.gbt_mcpv), Num(row.gbt_kappa), Num(row.gbt_auc),
+                 std::to_string(row.gbt_leaves)});
   }
   return out;
 }

@@ -49,7 +49,8 @@ std::string RenderThresholdTable(
 std::string RenderTreeSweepTable(
     const std::string& title, const std::vector<ThresholdModelResult>& rows) {
   TextTable table({"Target", "R-squared", "Reg leaves", "NPV", "PPV",
-                   "Misclass %", "DT leaves", "MCPV", "Kappa"});
+                   "Misclass %", "DT leaves", "MCPV", "Kappa", "GBT MCPV",
+                   "GBT Kappa", "GBT AUC", "GBT leaves"});
   for (const ThresholdModelResult& row : rows) {
     table.AddRow({Gt(row.threshold), FormatDouble(row.r_squared, 4),
                   std::to_string(row.regression_leaves),
@@ -57,7 +58,10 @@ std::string RenderTreeSweepTable(
                   FormatDouble(row.positive_predictive_value, 2),
                   FormatDouble(row.misclassification_rate * 100.0, 2),
                   std::to_string(row.tree_leaves), FormatDouble(row.mcpv, 3),
-                  FormatDouble(row.kappa, 3)});
+                  FormatDouble(row.kappa, 3), FormatDouble(row.gbt_mcpv, 3),
+                  FormatDouble(row.gbt_kappa, 3),
+                  FormatDouble(row.gbt_auc, 3),
+                  std::to_string(row.gbt_leaves)});
   }
   std::string out = title;
   out += "\n";

@@ -12,6 +12,7 @@
 #include "eval/confusion.h"
 #include "eval/cross_validation.h"
 #include "eval/regression_metrics.h"
+#include "eval/roc.h"
 #include "eval/trainers.h"
 #include "ml/classifier.h"
 #include "ml/common.h"
@@ -126,6 +127,36 @@ Result<std::vector<ThresholdModelResult>> CrashPronenessStudy::RunTreeSweep(
           row.mcpv = assessment.mcpv;
           row.kappa = assessment.kappa;
           row.tree_leaves = tree.leaf_count();
+        }
+
+        // Gradient-boosted trees on the same Boolean target and split —
+        // the production-scale comparison row next to the paper's single
+        // tree. Reseeded per threshold from a child stream so row i is
+        // reproducible in isolation.
+        {
+          ml::GradientBoostedTreesParams params = config_.gbt_params;
+          params.seed = util::Rng::SplitSeed(config_.seed ^ params.seed, i);
+          ml::GradientBoostedTrees gbt(params);
+          ROADMINE_RETURN_IF_ERROR(
+              gbt.Fit(dataset, target, features, split->train));
+          auto labels = ml::ExtractBinaryLabels(dataset, target);
+          if (!labels.ok()) return labels.status();
+          auto probs = gbt.PredictBatch(dataset, split->validation);
+          if (!probs.ok()) return probs.status();
+          eval::ConfusionMatrix cm;
+          std::vector<int> validation_labels;
+          validation_labels.reserve(split->validation.size());
+          for (size_t j = 0; j < split->validation.size(); ++j) {
+            const int label = (*labels)[split->validation[j]];
+            validation_labels.push_back(label);
+            cm.Add(label != 0, (*probs)[j] >= 0.5);
+          }
+          const eval::BinaryAssessment assessment = eval::Assess(cm);
+          row.gbt_mcpv = assessment.mcpv;
+          row.gbt_kappa = assessment.kappa;
+          auto auc = eval::RocAuc(*probs, validation_labels);
+          row.gbt_auc = auc.ok() ? *auc : 0.0;
+          row.gbt_leaves = gbt.total_leaves();
         }
         return util::Status::Ok();
       }));

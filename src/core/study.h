@@ -18,6 +18,7 @@
 #include "data/dataset.h"
 #include "eval/binary_metrics.h"
 #include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
 #include "ml/regression_tree.h"
 #include "util/status.h"
 
@@ -44,6 +45,15 @@ struct StudyConfig {
                                      .max_leaves = 64};
   ml::RegressionTreeParams regression_params{.min_samples_leaf = 30,
                                              .max_leaves = 160};
+  // Gradient-boosted trees ride the same sweep as the production-scale
+  // comparison point (histogram-binned, shallow, subsampled). Each
+  // threshold reseeds from a child stream, so leave `seed` here as the
+  // base. The executor is NOT forwarded: sweep rows already occupy the
+  // study executor, and nesting would not change the fitted model anyway.
+  ml::GradientBoostedTreesParams gbt_params{.num_trees = 40,
+                                            .max_depth = 4,
+                                            .subsample = 0.8,
+                                            .colsample = 0.8};
   uint64_t seed = 1234;
   // Optional parallelism (not owned, may be null = serial): each sweep
   // runs one task per CP-threshold row, and the per-threshold
@@ -76,6 +86,11 @@ struct ThresholdModelResult {
   double mcpv = 0.0;
   double kappa = 0.0;
   size_t tree_leaves = 0;
+  // Gradient-boosted trees (Boolean target), same validation split.
+  double gbt_mcpv = 0.0;
+  double gbt_kappa = 0.0;
+  double gbt_auc = 0.0;
+  size_t gbt_leaves = 0;
 };
 
 // One Table-5 row (naive Bayes under 10-fold CV).

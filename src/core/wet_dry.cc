@@ -68,7 +68,7 @@ Result<WetDryResult> AnalyzeWetDry(const data::Dataset& dataset,
   for (size_t b = 1; b < config.num_bands; ++b) {
     const double p =
         static_cast<double>(b) / static_cast<double>(config.num_bands);
-    edges.push_back(stats::Quantile(values, p));
+    edges.push_back(stats::QuantileSorted(values, p));
   }
 
   result.bands.resize(config.num_bands);

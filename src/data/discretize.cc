@@ -53,7 +53,7 @@ Status Discretizer::Fit(const Dataset& dataset,
       for (size_t b = 1; b < params_.num_bins; ++b) {
         const double p =
             static_cast<double>(b) / static_cast<double>(params_.num_bins);
-        edges.push_back(stats::Quantile(values, p));
+        edges.push_back(stats::QuantileSorted(values, p));
       }
       // Collapse duplicate edges (heavy ties can merge quantiles).
       edges.erase(std::unique(edges.begin(), edges.end()), edges.end());

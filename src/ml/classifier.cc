@@ -50,7 +50,7 @@ util::Result<std::vector<double>> BinaryClassifier::PredictBatch(
 const std::vector<std::string>& KnownClassifierNames() {
   static const std::vector<std::string>& names = *new std::vector<std::string>{
       "decision_tree", "naive_bayes", "logistic_regression", "neural_net",
-      "bagged_trees"};
+      "bagged_trees", "gbt"};
   return names;
 }
 
@@ -85,6 +85,12 @@ util::Result<std::unique_ptr<BinaryClassifier>> MakeBinaryClassifier(
     if (spec.seed != 0) params.seed = spec.seed;
     return std::unique_ptr<BinaryClassifier>(new Adapter<BaggedTreesClassifier>(
         "bagged_trees", BaggedTreesClassifier(params)));
+  }
+  if (spec.name == "gbt") {
+    GradientBoostedTreesParams params = spec.gbt;
+    if (spec.seed != 0) params.seed = spec.seed;
+    return std::unique_ptr<BinaryClassifier>(new Adapter<GradientBoostedTrees>(
+        "gbt", GradientBoostedTrees(params)));
   }
   return util::NotFoundError("unknown classifier '" + spec.name + "'");
 }

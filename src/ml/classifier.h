@@ -20,6 +20,7 @@
 #include "data/dataset.h"
 #include "ml/bagging.h"
 #include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/neural_net.h"
@@ -60,7 +61,7 @@ class BinaryClassifier : public Predictor {
 
 // Known classifier names (the factory vocabulary):
 //   "decision_tree", "naive_bayes", "logistic_regression", "neural_net",
-//   "bagged_trees".
+//   "bagged_trees", "gbt".
 const std::vector<std::string>& KnownClassifierNames();
 
 // A declarative model recipe: the factory name plus per-model parameters
@@ -77,9 +78,10 @@ struct ClassifierSpec {
   LogisticRegressionParams logistic_regression;
   NeuralNetParams neural_net;
   BaggedTreesParams bagged_trees;
+  GradientBoostedTreesParams gbt;
 
   // When nonzero, overrides the seed of the stochastic models
-  // (neural_net, bagged_trees); zero keeps the bundle's own seed.
+  // (neural_net, bagged_trees, gbt); zero keeps the bundle's own seed.
   uint64_t seed = 0;
 };
 

@@ -41,6 +41,21 @@ struct FeatureRef {
 std::vector<std::string> FeatureNamesExcluding(
     const data::Dataset& dataset, const std::vector<std::string>& excluded);
 
+// Overflow-safe split threshold between two consecutive distinct sorted
+// values, guaranteed to land in [left, right). Trees route rows with
+// `x <= threshold` left, so the threshold must be >= left and strictly
+// below right or rows equal to `right` would be misrouted at predict
+// time. `0.5 * (left + right)` violates both bounds: the sum overflows to
+// inf for same-sign magnitudes above ~9e307, and for adjacent
+// representable doubles the unrepresentable midpoint can round half-to-even
+// onto `right` itself. `0.5 * left + 0.5 * right` never overflows for
+// finite inputs and agrees with the naive form whenever that form is
+// finite and normal; the clamp to `left` covers the adjacent-double case.
+inline double SplitMidpoint(double left, double right) {
+  const double mid = 0.5 * left + 0.5 * right;
+  return mid < right ? mid : left;
+}
+
 }  // namespace roadmine::ml
 
 #endif  // ROADMINE_ML_COMMON_H_

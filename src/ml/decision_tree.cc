@@ -8,6 +8,7 @@
 
 #include "exec/executor.h"
 #include "ml/feature_index.h"
+#include "ml/histogram_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/distributions.h"
@@ -137,6 +138,9 @@ struct FitContext {
   const DecisionTreeParams* params = nullptr;
   // Pre-sorted view of the numeric features (null = legacy per-node sort).
   IndexedSplitWorkspace* workspace = nullptr;
+  // Quantile-binned view (null = exact-greedy). Numeric features scan
+  // per-bin class counts instead of sorted values when set.
+  const HistogramIndex* hist = nullptr;
 };
 
 // Decides how the split routes missing rows: toward the child whose class
@@ -192,7 +196,56 @@ SplitSpec ScanNumericFeature(const DecisionTreeParams& params, size_t f,
       best.valid = true;
       best.score = score;
       best.feature = f;
-      best.threshold = 0.5 * (value_at(i) + value_at(i + 1));
+      best.threshold = SplitMidpoint(value_at(i), value_at(i + 1));
+      best.counts = c;
+      best.missing_goes_left = MissingGoesLeft(c, missing_pos, missing_neg);
+    }
+  }
+  return best;
+}
+
+// Scans one numeric feature's binned class counts in ascending bin order.
+// Candidates sit at nonempty bins' upper bounds (the corrected cut
+// semantics: a threshold is an actual data value, so `x <= threshold`
+// routes binned rows exactly as the bin comparison did). When bins map
+// 1:1 onto the node's distinct present values this enumerates the same
+// (counts, candidate-order) sequence as ScanNumericFeature, so scores,
+// the strict-> winner, and the induced partition all coincide with the
+// exact-greedy scan.
+SplitSpec ScanBinnedFeature(const DecisionTreeParams& params, size_t f,
+                            const std::vector<double>& upper,
+                            const std::vector<double>& pos,
+                            const std::vector<double>& neg,
+                            double missing_pos, double missing_neg) {
+  SplitSpec best;
+  double total_pos = 0.0, total = 0.0;
+  for (size_t b = 0; b < upper.size(); ++b) {
+    total_pos += pos[b];
+    total += pos[b] + neg[b];
+  }
+  if (total < 2.0 * static_cast<double>(params.min_samples_leaf)) return best;
+
+  double left_pos = 0.0, left_n = 0.0;
+  for (size_t b = 0; b + 1 < upper.size(); ++b) {
+    left_pos += pos[b];
+    left_n += pos[b] + neg[b];
+    if (pos[b] + neg[b] <= 0.0) continue;  // Same partition as previous cut.
+    if (total - left_n <= 0.0) break;      // Everything after is empty.
+    if (left_n < static_cast<double>(params.min_samples_leaf) ||
+        total - left_n < static_cast<double>(params.min_samples_leaf)) {
+      continue;
+    }
+    SplitCounts c;
+    c.left_pos = left_pos;
+    c.left_neg = left_n - left_pos;
+    c.right_pos = total_pos - left_pos;
+    c.right_neg = (total - left_n) - c.right_pos;
+    const double score = SplitScore(params.criterion, c);
+    if (score > best.score) {
+      best.valid = true;
+      best.score = score;
+      best.feature = f;
+      best.threshold = upper[b];
       best.counts = c;
       best.missing_goes_left = MissingGoesLeft(c, missing_pos, missing_neg);
     }
@@ -213,6 +266,23 @@ SplitSpec EvaluateFeature(const FitContext& ctx, const std::vector<size_t>& rows
   if (ctx.workspace != nullptr && ctx.workspace->IsConstant(f)) return {};
 
   double missing_pos = 0.0, missing_neg = 0.0;
+
+  if (ref.type == data::ColumnType::kNumeric && ctx.hist != nullptr) {
+    const HistogramIndex::FeatureBins& bins =
+        ctx.hist->ColumnBins(ref.column_index);
+    if (bins.constant) return {};
+    std::vector<double> pos(bins.num_bins, 0.0), neg(bins.num_bins, 0.0);
+    for (size_t r : rows) {
+      const uint16_t code = bins.codes[r];
+      if (code == HistogramIndex::kMissingBin) {
+        (labels[r] ? missing_pos : missing_neg) += 1.0;
+      } else {
+        (labels[r] ? pos : neg)[code] += 1.0;
+      }
+    }
+    return ScanBinnedFeature(params, f, bins.upper, pos, neg, missing_pos,
+                             missing_neg);
+  }
 
   if (ref.type == data::ColumnType::kNumeric) {
     if (ctx.workspace != nullptr) {
@@ -375,10 +445,33 @@ Status DecisionTreeClassifier::Fit(
   // validating it matches this fit), else build a private one. The root
   // sort costs what one legacy node evaluation did; every further node
   // then splits in O(n) instead of re-sorting.
+  // Histogram mode replaces the exact-greedy numeric scan entirely, so
+  // the pre-sorted index would be dead weight; categorical features keep
+  // the per-level scan, which needs no index either way.
+  const HistogramIndex* hist = nullptr;
+  std::optional<HistogramIndex> local_hist;
+  if (params_.use_histogram) {
+    if (params_.histogram_index != nullptr) {
+      if (params_.histogram_index->num_rows() != dataset.num_rows() ||
+          !params_.histogram_index->Covers(features_)) {
+        return InvalidArgumentError(
+            "histogram_index does not cover this dataset's feature columns");
+      }
+      hist = params_.histogram_index;
+    } else {
+      auto built = HistogramIndex::Build(dataset, features_, rows,
+                                         {.max_bins = params_.max_bins},
+                                         params_.executor);
+      if (!built.ok()) return built.status();
+      local_hist.emplace(std::move(*built));
+      hist = &*local_hist;
+    }
+  }
+
   const FeatureIndex* index = nullptr;
   std::optional<FeatureIndex> local_index;
   std::optional<IndexedSplitWorkspace> workspace;
-  if (params_.use_feature_index) {
+  if (params_.use_feature_index && !params_.use_histogram) {
     if (params_.feature_index != nullptr) {
       if (params_.feature_index->num_rows() != dataset.num_rows() ||
           !params_.feature_index->Covers(features_)) {
@@ -401,6 +494,7 @@ Status DecisionTreeClassifier::Fit(
   ctx.features = &features_;
   ctx.params = &params_;
   ctx.workspace = workspace ? &*workspace : nullptr;
+  ctx.hist = hist;
 
   auto make_node = [&](const std::vector<size_t>& node_rows, int depth) {
     Node node;

@@ -30,6 +30,7 @@ class Executor;
 namespace roadmine::ml {
 
 class FeatureIndex;
+class HistogramIndex;
 
 enum class SplitCriterion {
   kChiSquare,  // Paper's choice: chi-square statistic, p-value stopping.
@@ -65,6 +66,23 @@ struct DecisionTreeParams {
   // during Fit. When null and use_feature_index is set, Fit builds a
   // private index. Must cover the fit's features over the same dataset.
   const FeatureIndex* feature_index = nullptr;
+  // Search numeric splits over quantile-binned histograms
+  // (ml/histogram_index.h) instead of every sorted value: per-node class
+  // counts per bin, candidates only at bin upper bounds (actual data
+  // values — see the corrected-cut-semantics note there). Takes
+  // precedence over use_feature_index for numeric features; categorical
+  // features keep their per-level scan, which is already histogram-shaped.
+  // When every column's distinct values fit in max_bins the tree equals
+  // the exact-greedy one on the training rows bit-for-bit (thresholds
+  // differ — bin uppers instead of midpoints — but route identically);
+  // with merged bins the candidate set coarsens (DESIGN.md §12).
+  bool use_histogram = false;
+  // Bins per numeric column for the histogram path (2..65534).
+  size_t max_bins = 256;
+  // Optional pre-built histogram index shared across fits; same ownership
+  // and coverage rules as feature_index. When null and use_histogram is
+  // set, Fit bins the fit rows privately.
+  const HistogramIndex* histogram_index = nullptr;
   // Optional parallelism for the per-feature split scan and index build
   // (not owned, may be null = serial). Results are bit-identical either way.
   exec::Executor* executor = nullptr;

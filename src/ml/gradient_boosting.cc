@@ -1,0 +1,646 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+
+#include "exec/executor.h"
+#include "ml/histogram_index.h"
+#include "ml/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace roadmine::ml {
+
+using util::InvalidArgumentError;
+using util::Result;
+using util::Status;
+
+namespace {
+
+double Sigmoid(double margin) { return 1.0 / (1.0 + std::exp(-margin)); }
+
+// Engage the executor for histogram builds / split scans only at nodes at
+// least this large (same rationale and value as the exact-greedy trees:
+// the cutoff depends only on the node's row count, never the thread
+// count, and per-feature work merges in feature order regardless).
+constexpr size_t kParallelMinRows = 4096;
+
+// One candidate split of one node; merged across features in feature
+// order with a strict gain comparison.
+struct SplitCand {
+  bool valid = false;
+  double gain = 0.0;
+  size_t feature = 0;  // Index into the fit's feature list.
+  double threshold = 0.0;
+  std::vector<uint8_t> left_categories;
+  bool missing_goes_left = true;
+};
+
+// Per-node gradient/hessian histogram over the active features: flat
+// (g, h, count) arrays where active feature a owns slots
+// [offset[a], offset[a] + num_bins], the last slot holding the missing
+// rows. Subtractable: parent - smaller child = larger child, slot-wise.
+struct NodeHist {
+  std::vector<double> g, h, cnt;
+
+  void Allocate(size_t slots) {
+    g.assign(slots, 0.0);
+    h.assign(slots, 0.0);
+    cnt.assign(slots, 0.0);
+  }
+  void SubtractFrom(const NodeHist& parent, const NodeHist& sibling) {
+    const size_t slots = parent.g.size();
+    g.resize(slots);
+    h.resize(slots);
+    cnt.resize(slots);
+    for (size_t s = 0; s < slots; ++s) {
+      g[s] = parent.g[s] - sibling.g[s];
+      h[s] = parent.h[s] - sibling.h[s];
+      cnt[s] = parent.cnt[s] - sibling.cnt[s];
+    }
+  }
+};
+
+// Shared state for growing one boosted tree.
+struct TreeContext {
+  const data::Dataset* dataset = nullptr;
+  const std::vector<FeatureRef>* features = nullptr;
+  const HistogramIndex* hist = nullptr;
+  const GradientBoostedTreesParams* params = nullptr;
+  const std::vector<double>* grad = nullptr;  // By dataset row id.
+  const std::vector<double>* hess = nullptr;
+  std::vector<size_t> active;  // Feature indices this tree may split on.
+  std::vector<size_t> offset;  // Slot offset per active feature.
+  size_t total_slots = 0;
+};
+
+// Accumulates the histogram of `rows`. Each active feature writes only
+// its own slot range and sums in row order, so an executor changes
+// nothing but speed.
+Status BuildHist(const TreeContext& ctx, const std::vector<size_t>& rows,
+                 NodeHist* out) {
+  out->Allocate(ctx.total_slots);
+  exec::Executor* executor =
+      rows.size() >= kParallelMinRows ? ctx.params->executor : nullptr;
+  return exec::ParallelFor(
+      executor, ctx.active.size(), [&](size_t a) -> Status {
+        const FeatureRef& ref = (*ctx.features)[ctx.active[a]];
+        const HistogramIndex::FeatureBins& bins =
+            ctx.hist->ColumnBins(ref.column_index);
+        const size_t base = ctx.offset[a];
+        const size_t miss = base + bins.num_bins;
+        for (size_t r : rows) {
+          const uint16_t code = bins.codes[r];
+          const size_t slot =
+              code == HistogramIndex::kMissingBin ? miss : base + code;
+          out->g[slot] += (*ctx.grad)[r];
+          out->h[slot] += (*ctx.hess)[r];
+          out->cnt[slot] += 1.0;
+        }
+        return Status::Ok();
+      });
+}
+
+// xgboost structure gain of a (GL, HL) / (GR, HR) partition relative to
+// keeping the node whole, under L2 penalty lambda.
+double SplitGain(double gl, double hl, double gr, double hr, double lambda,
+                 double parent_term) {
+  return 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda)) -
+         parent_term;
+}
+
+// Best split of active feature `a` from the node histogram. Missing rows
+// are tried on both sides at every cut; ties keep the left direction.
+SplitCand ScanFeature(const TreeContext& ctx, const NodeHist& hist, size_t a,
+                      double node_g, double node_h, double node_cnt) {
+  const GradientBoostedTreesParams& params = *ctx.params;
+  const size_t f = ctx.active[a];
+  const FeatureRef& ref = (*ctx.features)[f];
+  const HistogramIndex::FeatureBins& bins =
+      ctx.hist->ColumnBins(ref.column_index);
+  SplitCand best;
+  best.gain = params.gamma;  // Strict >: a split must beat gamma.
+  if (bins.constant || bins.num_bins < 2) return best;
+
+  const size_t base = ctx.offset[a];
+  const size_t miss = base + bins.num_bins;
+  const double gm = hist.g[miss], hm = hist.h[miss], cm = hist.cnt[miss];
+  const double parent_term =
+      0.5 * node_g * node_g / (node_h + params.lambda);
+
+  auto try_cut = [&](double cum_g, double cum_h, double cum_c,
+                     auto&& record) {
+    // dir 0: missing left; dir 1: missing right. When nothing is missing
+    // both directions tie and the strict comparison keeps dir 0.
+    for (int dir = 0; dir < 2; ++dir) {
+      const double gl = cum_g + (dir == 0 ? gm : 0.0);
+      const double hl = cum_h + (dir == 0 ? hm : 0.0);
+      const double cl = cum_c + (dir == 0 ? cm : 0.0);
+      const double gr = node_g - gl;
+      const double hr = node_h - hl;
+      const double cr = node_cnt - cl;
+      if (cl < 1.0 || cr < 1.0) continue;
+      if (hl < params.min_child_weight || hr < params.min_child_weight) {
+        continue;
+      }
+      const double gain =
+          SplitGain(gl, hl, gr, hr, params.lambda, parent_term);
+      if (gain > best.gain) {
+        best.valid = true;
+        best.gain = gain;
+        best.feature = f;
+        best.missing_goes_left = dir == 0;
+        record();
+      }
+    }
+  };
+
+  if (bins.is_numeric) {
+    double cum_g = 0.0, cum_h = 0.0, cum_c = 0.0;
+    for (size_t b = 0; b + 1 < bins.num_bins; ++b) {
+      cum_g += hist.g[base + b];
+      cum_h += hist.h[base + b];
+      cum_c += hist.cnt[base + b];
+      if (hist.cnt[base + b] <= 0.0) continue;  // Same partition as b-1.
+      try_cut(cum_g, cum_h, cum_c, [&] {
+        best.threshold = bins.upper[b];
+        best.left_categories.clear();
+      });
+    }
+    return best;
+  }
+
+  // Categorical: order the node's present levels by gradient-to-hessian
+  // ratio (the sign of the optimal leaf weight), then prefix-scan exactly
+  // like the numeric bins. Level index breaks ties for determinism.
+  std::vector<size_t> order;
+  for (size_t level = 0; level < bins.num_bins; ++level) {
+    if (hist.cnt[base + level] > 0.0) order.push_back(level);
+  }
+  if (order.size() < 2) return best;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    const double rx = hist.g[base + x] / (hist.h[base + x] + params.lambda);
+    const double ry = hist.g[base + y] / (hist.h[base + y] + params.lambda);
+    if (rx != ry) return rx < ry;
+    return x < y;
+  });
+  double cum_g = 0.0, cum_h = 0.0, cum_c = 0.0;
+  for (size_t j = 0; j + 1 < order.size(); ++j) {
+    cum_g += hist.g[base + order[j]];
+    cum_h += hist.h[base + order[j]];
+    cum_c += hist.cnt[base + order[j]];
+    try_cut(cum_g, cum_h, cum_c, [&] {
+      best.left_categories.assign(bins.num_bins, 0);
+      for (size_t jj = 0; jj <= j; ++jj) {
+        best.left_categories[order[jj]] = 1;
+      }
+    });
+  }
+  return best;
+}
+
+// Merges the per-feature winners in active-feature order; strict > makes
+// the merge independent of how the scans were scheduled.
+Result<SplitCand> FindBestSplit(const TreeContext& ctx, const NodeHist& hist,
+                                double node_g, double node_h,
+                                double node_cnt, size_t node_rows) {
+  std::vector<SplitCand> cands(ctx.active.size());
+  exec::Executor* executor =
+      node_rows >= kParallelMinRows ? ctx.params->executor : nullptr;
+  ROADMINE_RETURN_IF_ERROR(exec::ParallelFor(
+      executor, ctx.active.size(), [&](size_t a) -> Status {
+        cands[a] = ScanFeature(ctx, hist, a, node_g, node_h, node_cnt);
+        return Status::Ok();
+      }));
+  SplitCand best;
+  best.gain = ctx.params->gamma;
+  for (SplitCand& cand : cands) {
+    if (cand.valid && cand.gain > best.gain) best = std::move(cand);
+  }
+  return best;
+}
+
+}  // namespace
+
+Status GradientBoostedTrees::Fit(const data::Dataset& dataset,
+                                 const std::string& target_column,
+                                 const std::vector<std::string>& feature_columns,
+                                 const std::vector<size_t>& rows) {
+  ROADMINE_TRACE_SPAN("ml.gbt.fit");
+  obs::ScopedLatency fit_timer(
+      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms"));
+  if (rows.empty()) return InvalidArgumentError("cannot fit on 0 rows");
+  if (params_.num_trees == 0) {
+    return InvalidArgumentError("num_trees must be positive");
+  }
+  if (params_.learning_rate <= 0.0) {
+    return InvalidArgumentError("learning_rate must be positive");
+  }
+  auto labels = ExtractBinaryLabels(dataset, target_column);
+  if (!labels.ok()) return labels.status();
+  auto features = ResolveFeatures(dataset, feature_columns, target_column);
+  if (!features.ok()) return features.status();
+  features_ = std::move(*features);
+  trees_.clear();
+
+  const HistogramIndex* hist = params_.histogram_index;
+  std::optional<HistogramIndex> local_hist;
+  if (hist != nullptr) {
+    if (hist->num_rows() != dataset.num_rows() || !hist->Covers(features_)) {
+      return InvalidArgumentError(
+          "histogram_index does not cover this dataset's feature columns");
+    }
+  } else {
+    auto built = HistogramIndex::Build(dataset, features_, rows,
+                                       {.max_bins = params_.max_bins},
+                                       params_.executor);
+    if (!built.ok()) return built.status();
+    local_hist.emplace(std::move(*built));
+    hist = &*local_hist;
+  }
+
+  // Log-odds prior with the same Laplace smoothing the tree leaves use.
+  double positives = 0.0;
+  for (size_t r : rows) positives += (*labels)[r];
+  const double prior = (positives + 1.0) / (static_cast<double>(rows.size()) + 2.0);
+  base_score_ = std::log(prior / (1.0 - prior));
+
+  std::vector<double> margin(dataset.num_rows(), 0.0);
+  std::vector<double> grad(dataset.num_rows(), 0.0);
+  std::vector<double> hess(dataset.num_rows(), 0.0);
+
+  TreeContext ctx;
+  ctx.dataset = &dataset;
+  ctx.features = &features_;
+  ctx.hist = hist;
+  ctx.params = &params_;
+  ctx.grad = &grad;
+  ctx.hess = &hess;
+
+  const size_t num_features = features_.size();
+  std::vector<size_t> all_features(num_features);
+  for (size_t f = 0; f < num_features; ++f) all_features[f] = f;
+
+  for (size_t t = 0; t < params_.num_trees; ++t) {
+    // Row and column draws come from child streams keyed by the round, so
+    // neither depends on scheduling or on the other's draw count.
+    util::Rng row_rng(util::Rng::SplitSeed(params_.seed, 2 * t));
+    util::Rng col_rng(util::Rng::SplitSeed(params_.seed, 2 * t + 1));
+
+    std::vector<size_t> sampled;
+    if (params_.subsample < 1.0) {
+      sampled.reserve(rows.size());
+      for (size_t r : rows) {
+        if (row_rng.Bernoulli(params_.subsample)) sampled.push_back(r);
+      }
+      if (sampled.empty()) continue;  // Nothing drawn: no tree this round.
+    } else {
+      sampled = rows;
+    }
+
+    ctx.active = all_features;
+    if (params_.colsample < 1.0) {
+      const size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(
+                 params_.colsample * static_cast<double>(num_features))));
+      col_rng.Shuffle(ctx.active);
+      ctx.active.resize(std::min(keep, ctx.active.size()));
+      std::sort(ctx.active.begin(), ctx.active.end());
+    }
+    ctx.offset.clear();
+    ctx.total_slots = 0;
+    for (size_t f : ctx.active) {
+      ctx.offset.push_back(ctx.total_slots);
+      ctx.total_slots +=
+          hist->ColumnBins(features_[f].column_index).num_bins + 1;
+    }
+
+    for (size_t r : sampled) {
+      const double p = Sigmoid(base_score_ + margin[r]);
+      grad[r] = p - static_cast<double>((*labels)[r]);
+      hess[r] = p * (1.0 - p);
+    }
+
+    std::vector<Node> tree;
+    struct Pending {
+      int node;
+      int depth;
+      std::vector<size_t> rows;
+      double g, h;
+      NodeHist hist;
+    };
+    std::deque<Pending> queue;
+
+    auto make_node = [&](const std::vector<size_t>& node_rows, double* out_g,
+                         double* out_h) {
+      double g_sum = 0.0, h_sum = 0.0;
+      for (size_t r : node_rows) {
+        g_sum += grad[r];
+        h_sum += hess[r];
+      }
+      Node node;
+      node.leaf_value =
+          params_.learning_rate * (-g_sum / (h_sum + params_.lambda));
+      tree.push_back(std::move(node));
+      *out_g = g_sum;
+      *out_h = h_sum;
+      return static_cast<int>(tree.size()) - 1;
+    };
+
+    {
+      Pending root;
+      root.depth = 0;
+      root.rows = std::move(sampled);
+      root.node = make_node(root.rows, &root.g, &root.h);
+      ROADMINE_RETURN_IF_ERROR(BuildHist(ctx, root.rows, &root.hist));
+      queue.push_back(std::move(root));
+    }
+
+    while (!queue.empty()) {
+      Pending pending = std::move(queue.front());
+      queue.pop_front();
+      if (pending.depth >= params_.max_depth || pending.rows.size() < 2) {
+        continue;
+      }
+      auto cand = FindBestSplit(ctx, pending.hist, pending.g, pending.h,
+                                static_cast<double>(pending.rows.size()),
+                                pending.rows.size());
+      if (!cand.ok()) return cand.status();
+      if (!cand->valid) continue;
+
+      // Partition by raw value — identical to the bin comparison the scan
+      // priced, because every numeric threshold is a bin upper bound.
+      const FeatureRef& ref = features_[cand->feature];
+      const data::Column& col = dataset.column(ref.column_index);
+      auto go_left = [&](size_t r) {
+        if (col.IsMissing(r)) return cand->missing_goes_left;
+        if (ref.type == data::ColumnType::kNumeric) {
+          return col.NumericAt(r) <= cand->threshold;
+        }
+        const auto code = static_cast<size_t>(col.CodeAt(r));
+        return code < cand->left_categories.size() &&
+               cand->left_categories[code] != 0;
+      };
+      std::vector<size_t> left_rows, right_rows;
+      for (size_t r : pending.rows) {
+        (go_left(r) ? left_rows : right_rows).push_back(r);
+      }
+      if (left_rows.empty() || right_rows.empty()) continue;  // Degenerate.
+
+      Pending left, right;
+      left.depth = right.depth = pending.depth + 1;
+      left.rows = std::move(left_rows);
+      right.rows = std::move(right_rows);
+      left.node = make_node(left.rows, &left.g, &left.h);
+      right.node = make_node(right.rows, &right.g, &right.h);
+
+      // Sibling subtraction: only the smaller child re-scans its rows;
+      // the larger one is parent minus sibling, slot for slot.
+      if (left.rows.size() <= right.rows.size()) {
+        ROADMINE_RETURN_IF_ERROR(BuildHist(ctx, left.rows, &left.hist));
+        right.hist.SubtractFrom(pending.hist, left.hist);
+      } else {
+        ROADMINE_RETURN_IF_ERROR(BuildHist(ctx, right.rows, &right.hist));
+        left.hist.SubtractFrom(pending.hist, right.hist);
+      }
+
+      Node& node = tree[static_cast<size_t>(pending.node)];
+      node.feature = static_cast<int>(cand->feature);
+      node.threshold = cand->threshold;
+      node.left_categories = std::move(cand->left_categories);
+      node.missing_goes_left = cand->missing_goes_left;
+      node.left = left.node;
+      node.right = right.node;
+
+      queue.push_back(std::move(left));
+      queue.push_back(std::move(right));
+    }
+
+    // Every fit row moves by its leaf weight, sampled or not.
+    for (size_t r : rows) margin[r] += TreeWeight(tree, dataset, r);
+    trees_.push_back(std::move(tree));
+  }
+
+  if (trees_.empty()) {
+    return InvalidArgumentError(
+        "no trees were built (every round's row sample was empty)");
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("ml.gbt.fits").Increment();
+  metrics.GetGauge("ml.gbt.trees").Set(static_cast<double>(trees_.size()));
+  metrics.GetGauge("ml.gbt.leaves").Set(static_cast<double>(total_leaves()));
+  return Status::Ok();
+}
+
+double GradientBoostedTrees::TreeWeight(const std::vector<Node>& tree,
+                                        const data::Dataset& dataset,
+                                        size_t row) const {
+  size_t id = 0;
+  for (;;) {
+    const Node& node = tree[id];
+    if (node.feature < 0) return node.leaf_value;
+    const FeatureRef& ref = features_[static_cast<size_t>(node.feature)];
+    const data::Column& col = dataset.column(ref.column_index);
+    bool go_left;
+    if (col.IsMissing(row)) {
+      go_left = node.missing_goes_left;
+    } else if (ref.type == data::ColumnType::kNumeric) {
+      go_left = col.NumericAt(row) <= node.threshold;
+    } else {
+      const auto code = static_cast<size_t>(col.CodeAt(row));
+      go_left = code < node.left_categories.size() &&
+                node.left_categories[code] != 0;
+    }
+    id = static_cast<size_t>(go_left ? node.left : node.right);
+  }
+}
+
+double GradientBoostedTrees::PredictProba(const data::Dataset& dataset,
+                                          size_t row) const {
+  double margin = base_score_;
+  for (const std::vector<Node>& tree : trees_) {
+    margin += TreeWeight(tree, dataset, row);
+  }
+  return Sigmoid(margin);
+}
+
+Result<std::vector<double>> GradientBoostedTrees::PredictBatch(
+    const data::Dataset& dataset, const std::vector<size_t>& rows) const {
+  if (!fitted()) return util::FailedPreconditionError("model not fitted");
+  for (const FeatureRef& ref : features_) {
+    if (ref.column_index >= dataset.num_columns() ||
+        dataset.column(ref.column_index).name() != ref.name ||
+        dataset.column(ref.column_index).type() != ref.type) {
+      return InvalidArgumentError(
+          "dataset schema does not match the fitted schema at column '" +
+          ref.name + "'");
+    }
+  }
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (size_t r : rows) out.push_back(PredictProba(dataset, r));
+  return out;
+}
+
+size_t GradientBoostedTrees::total_leaves() const {
+  size_t leaves = 0;
+  for (const std::vector<Node>& tree : trees_) {
+    for (const Node& node : tree) {
+      if (node.feature < 0) ++leaves;
+    }
+  }
+  return leaves;
+}
+
+std::vector<GradientBoostedTrees::NodeView>
+GradientBoostedTrees::ExportTreeNodes(size_t t) const {
+  std::vector<NodeView> views;
+  const std::vector<Node>& tree = trees_[t];
+  views.reserve(tree.size());
+  for (const Node& node : tree) {
+    NodeView view;
+    view.is_leaf = node.feature < 0;
+    view.feature = node.feature < 0 ? 0 : static_cast<size_t>(node.feature);
+    view.threshold = node.threshold;
+    view.left_categories = node.left_categories;
+    view.missing_goes_left = node.missing_goes_left;
+    view.left = node.left;
+    view.right = node.right;
+    view.leaf_value = node.leaf_value;
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr char kSerializationHeader[] = "roadmine-gbt v1";
+}  // namespace
+
+std::string GradientBoostedTrees::Serialize() const {
+  std::string out = kSerializationHeader;
+  out += "\nbase\t" + SerializeDouble(base_score_) + "\n";
+  AppendFeatureSection(features_, &out);
+  out += "trees " + std::to_string(trees_.size()) + "\n";
+  for (const std::vector<Node>& tree : trees_) {
+    out += "tree " + std::to_string(tree.size()) + "\n";
+    for (const Node& node : tree) {
+      out += "node\t";
+      out += std::to_string(node.feature < 0 ? 1 : 0) + "\t";
+      out += std::to_string(node.feature < 0 ? 0 : node.feature) + "\t";
+      out += SerializeDouble(node.threshold) + "\t";
+      out += std::to_string(node.missing_goes_left ? 1 : 0) + "\t";
+      out += std::to_string(node.left) + "\t";
+      out += std::to_string(node.right) + "\t";
+      out += SerializeDouble(node.leaf_value) + "\t";
+      if (node.left_categories.empty()) {
+        out += "-";
+      } else {
+        for (uint8_t bit : node.left_categories) out += bit ? '1' : '0';
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<GradientBoostedTrees> GradientBoostedTrees::Deserialize(
+    const std::string& text, const data::Dataset& dataset) {
+  LineCursor cursor(text);
+  const std::string* header = cursor.Next();
+  if (header == nullptr || *header != kSerializationHeader) {
+    return InvalidArgumentError("bad serialization header");
+  }
+  GradientBoostedTrees model;
+
+  const std::string* base_line = cursor.Next();
+  if (base_line == nullptr) return InvalidArgumentError("missing base line");
+  {
+    const std::vector<std::string> parts = util::Split(*base_line, '\t');
+    if (parts.size() != 2 || parts[0] != "base" ||
+        !util::ParseDouble(parts[1], &model.base_score_)) {
+      return InvalidArgumentError("bad base line: " + *base_line);
+    }
+  }
+
+  auto features = ParseFeatureSection(cursor, dataset);
+  if (!features.ok()) return features.status();
+  model.features_ = std::move(*features);
+
+  auto tree_count = ParseCountLine(cursor, "trees");
+  if (!tree_count.ok()) return tree_count.status();
+  if (*tree_count <= 0) return InvalidArgumentError("no trees");
+  for (int64_t t = 0; t < *tree_count; ++t) {
+    auto node_count = ParseCountLine(cursor, "tree");
+    if (!node_count.ok()) return node_count.status();
+    if (*node_count <= 0) return InvalidArgumentError("empty tree block");
+    std::vector<Node> tree;
+    tree.reserve(static_cast<size_t>(*node_count));
+    for (int64_t i = 0; i < *node_count; ++i) {
+      const std::string* line = cursor.Next();
+      if (line == nullptr) return InvalidArgumentError("truncated tree");
+      const std::vector<std::string> parts = util::Split(*line, '\t');
+      if (parts.size() != 9 || parts[0] != "node") {
+        return InvalidArgumentError("bad node line: " + *line);
+      }
+      Node node;
+      int64_t value = 0;
+      if (!util::ParseInt(parts[1], &value)) {
+        return InvalidArgumentError("bad is_leaf");
+      }
+      const bool is_leaf = value != 0;
+      if (!util::ParseInt(parts[2], &value) || value < 0) {
+        return InvalidArgumentError("bad feature index");
+      }
+      node.feature = is_leaf ? -1 : static_cast<int>(value);
+      if (!is_leaf &&
+          static_cast<size_t>(value) >= model.features_.size()) {
+        return InvalidArgumentError("feature index out of range");
+      }
+      if (!util::ParseDouble(parts[3], &node.threshold)) {
+        return InvalidArgumentError("bad threshold");
+      }
+      if (!util::ParseInt(parts[4], &value)) {
+        return InvalidArgumentError("bad missing direction");
+      }
+      node.missing_goes_left = value != 0;
+      if (!util::ParseInt(parts[5], &value)) {
+        return InvalidArgumentError("bad left child");
+      }
+      node.left = static_cast<int>(value);
+      if (!util::ParseInt(parts[6], &value)) {
+        return InvalidArgumentError("bad right child");
+      }
+      node.right = static_cast<int>(value);
+      if (!is_leaf &&
+          (node.left < 0 || node.left >= *node_count || node.right < 0 ||
+           node.right >= *node_count)) {
+        return InvalidArgumentError("child index out of range");
+      }
+      if (!util::ParseDouble(parts[7], &node.leaf_value)) {
+        return InvalidArgumentError("bad leaf value");
+      }
+      if (parts[8] != "-") {
+        node.left_categories.reserve(parts[8].size());
+        for (char c : parts[8]) {
+          if (c != '0' && c != '1') {
+            return InvalidArgumentError("bad category mask");
+          }
+          node.left_categories.push_back(c == '1' ? 1 : 0);
+        }
+      }
+      tree.push_back(std::move(node));
+    }
+    model.trees_.push_back(std::move(tree));
+  }
+  return model;
+}
+
+}  // namespace roadmine::ml

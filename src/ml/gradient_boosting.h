@@ -1,0 +1,150 @@
+// Gradient-boosted trees on binned features (logistic loss).
+//
+// The paper deliberately avoided boosting during discovery (see
+// ml/bagging.h for the quote); this learner is the production-scale
+// counterpart the ROADMAP calls for: second-order gradient boosting in
+// the xgboost mold, trained entirely over an ml::HistogramIndex —
+// per-node gradient/hessian histograms, sibling subtraction (build the
+// smaller child, derive the larger as parent minus smaller), and a
+// per-feature parallel split scan merged in feature order. Every numeric
+// threshold is a bin upper bound (an actual data value), so training-time
+// code routing and serving-time `x <= threshold` routing agree exactly on
+// the training rows (the corrected cut semantics, DESIGN.md §12).
+//
+// Determinism: row subsampling draws from Rng::SplitSeed child stream 2t
+// and column subsampling from stream 2t+1 of tree t, per-feature split
+// candidates are computed independently and merged with a strict
+// comparison in feature order, and histogram accumulation is serial in
+// row order within each feature — the fitted ensemble is bit-identical
+// at any thread count.
+#ifndef ROADMINE_ML_GRADIENT_BOOSTING_H_
+#define ROADMINE_ML_GRADIENT_BOOSTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/common.h"
+#include "ml/predictor.h"
+#include "util/status.h"
+
+namespace roadmine::exec {
+class Executor;
+}  // namespace roadmine::exec
+
+namespace roadmine::ml {
+
+class HistogramIndex;
+
+struct GradientBoostedTreesParams {
+  // Boosting rounds (one tree per round; rounds whose row sample comes up
+  // empty append no tree).
+  size_t num_trees = 80;
+  // Hard depth cap per tree (root = depth 0). Boosted trees stay shallow;
+  // depth carries the interaction order, not the model capacity.
+  int max_depth = 5;
+  // Shrinkage applied to every leaf weight.
+  double learning_rate = 0.15;
+  // L2 penalty on leaf weights (xgboost lambda). Keeps leaf values and
+  // gain denominators finite even on saturated nodes.
+  double lambda = 1.0;
+  // Minimum gain for a split to happen (strict: gain must exceed this).
+  double gamma = 0.0;
+  // Minimum hessian sum on each side of a split.
+  double min_child_weight = 1.0;
+  // Fraction of training rows drawn (Bernoulli) per tree.
+  double subsample = 1.0;
+  // Fraction of feature columns drawn (without replacement) per tree.
+  double colsample = 1.0;
+  // Bins per numeric column when Fit builds its own HistogramIndex.
+  size_t max_bins = 256;
+  // Tree t draws rows from SplitSeed child stream 2t and columns from
+  // 2t+1, so the ensemble is identical at any thread count.
+  uint64_t seed = 61;
+  // Optional pre-built binning shared across fits (CV folds, studies).
+  // Not owned; must cover the fit's features over the same dataset.
+  const HistogramIndex* histogram_index = nullptr;
+  // Optional parallelism for histogram build and the per-feature split
+  // scan (not owned, may be null = serial). Bit-identical either way.
+  exec::Executor* executor = nullptr;
+};
+
+class GradientBoostedTrees : public Predictor {
+ public:
+  explicit GradientBoostedTrees(GradientBoostedTreesParams params = {})
+      : params_(params) {}
+
+  [[nodiscard]] util::Status Fit(const data::Dataset& dataset,
+                                 const std::string& target_column,
+                                 const std::vector<std::string>& feature_columns,
+                                 const std::vector<size_t>& rows);
+
+  // sigmoid(base + sum of per-tree leaf weights).
+  double PredictProba(const data::Dataset& dataset, size_t row) const;
+  int Predict(const data::Dataset& dataset, size_t row,
+              double cutoff = 0.5) const {
+    return PredictProba(dataset, row) >= cutoff ? 1 : 0;
+  }
+
+  // Predictor: probabilities for many rows, in order.
+  [[nodiscard]] util::Result<std::vector<double>> PredictBatch(
+      const data::Dataset& dataset,
+      const std::vector<size_t>& rows) const override;
+  const char* name() const override { return "gradient_boosted_trees"; }
+
+  bool fitted() const { return !trees_.empty(); }
+  size_t tree_count() const { return trees_.size(); }
+  // Total leaves across the ensemble (the model-size figure the study
+  // tables report for the other tree families).
+  size_t total_leaves() const;
+  // Log-odds prior added to every margin before the trees.
+  double base_score() const { return base_score_; }
+  const std::vector<FeatureRef>& features() const { return features_; }
+
+  // Read-only flat view of one fitted node for model compilers
+  // (serve::FlatModel). leaf_value is the shrinkage-scaled leaf weight —
+  // a margin contribution, not a probability.
+  struct NodeView {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;
+    std::vector<uint8_t> left_categories;
+    bool missing_goes_left = true;
+    int left = -1;
+    int right = -1;
+    double leaf_value = 0.0;
+  };
+  std::vector<NodeView> ExportTreeNodes(size_t t) const;
+
+  // Deployment persistence ("roadmine-gbt v1"): base score, feature
+  // schema, then each tree's node block. %.17g doubles round-trip
+  // bit-for-bit.
+  std::string Serialize() const;
+  [[nodiscard]] static util::Result<GradientBoostedTrees> Deserialize(
+      const std::string& text, const data::Dataset& dataset);
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 = leaf.
+    double threshold = 0.0;
+    std::vector<uint8_t> left_categories;  // Non-empty = categorical split.
+    bool missing_goes_left = true;
+    int left = -1;
+    int right = -1;
+    double leaf_value = 0.0;  // Shrinkage applied at training time.
+  };
+
+  // Adds tree t's leaf weight for `row` (raw column values).
+  double TreeWeight(const std::vector<Node>& tree, const data::Dataset& dataset,
+                    size_t row) const;
+
+  GradientBoostedTreesParams params_;
+  std::vector<FeatureRef> features_;
+  double base_score_ = 0.0;
+  std::vector<std::vector<Node>> trees_;
+};
+
+}  // namespace roadmine::ml
+
+#endif  // ROADMINE_ML_GRADIENT_BOOSTING_H_

@@ -119,7 +119,7 @@ SplitSpec ScanNumericFeature(const RegressionTreeParams& params, size_t f,
       best.valid = true;
       best.gain = gain;
       best.feature = f;
-      best.threshold = 0.5 * (value_at(i) + value_at(i + 1));
+      best.threshold = SplitMidpoint(value_at(i), value_at(i + 1));
       best.p_value = SplitPValue(left, right);
       best.missing_goes_left = MissingGoesLeft(left, right, missing_stats);
     }

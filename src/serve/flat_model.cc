@@ -25,6 +25,8 @@ const char* KindName(FlatModel::Kind kind) {
       return "regression_tree";
     case FlatModel::Kind::kM5Tree:
       return "m5_tree";
+    case FlatModel::Kind::kGbt:
+      return "gbt";
   }
   return "unknown";
 }
@@ -203,6 +205,24 @@ Result<FlatModel> CompileModel(const ml::M5Tree& model) {
   return flat;
 }
 
+Result<FlatModel> CompileModel(const ml::GradientBoostedTrees& model) {
+  if (!model.fitted()) {
+    return util::FailedPreconditionError("ensemble not fitted");
+  }
+  FlatModel flat;
+  flat.kind_ = FlatModel::Kind::kGbt;
+  flat.base_score_ = model.base_score();
+  FlatModelCompiler compiler(&flat);
+  for (size_t t = 0; t < model.tree_count(); ++t) {
+    ROADMINE_RETURN_IF_ERROR(compiler.AppendTree(
+        model.ExportTreeNodes(t), model.features(),
+        [](const ml::GradientBoostedTrees::NodeView& node) {
+          return node.leaf_value;
+        }));
+  }
+  return flat;
+}
+
 // ---------------------------------------------------------------------------
 // Scoring
 // ---------------------------------------------------------------------------
@@ -217,6 +237,8 @@ const char* FlatModel::name() const {
       return "flat_regression_tree";
     case Kind::kM5Tree:
       return "flat_m5_tree";
+    case Kind::kGbt:
+      return "flat_gbt";
   }
   return "flat_model";
 }
@@ -321,6 +343,15 @@ double FlatModel::ScoreRow(const Accessor& acc,
       }
       return sum / static_cast<double>(roots_.size());
     }
+    case Kind::kGbt: {
+      // Accumulation starts at the base score and adds in member order —
+      // the exact expression GradientBoostedTrees::PredictProba evaluates.
+      double margin = base_score_;
+      for (size_t t = 0; t < roots_.size(); ++t) {
+        margin += leaf_value_[FindLeaf(t, acc, nullptr)];
+      }
+      return 1.0 / (1.0 + std::exp(-margin));
+    }
     case Kind::kM5Tree: {
       path_scratch->clear();
       const size_t leaf = FindLeaf(0, acc, path_scratch);
@@ -417,6 +448,11 @@ std::string FlatModel::Serialize() const {
   out += "\nkind\t";
   out += KindName(kind_);
   out += "\nsmoothing\t" + ml::SerializeDouble(smoothing_) + "\n";
+  // Only the GBT kind carries a base score; older readers never see the
+  // extra line because they never see the gbt kind either.
+  if (kind_ == Kind::kGbt) {
+    out += "base\t" + ml::SerializeDouble(base_score_) + "\n";
+  }
   // Two positional feature sections: split features, then M5 leaf-model
   // features (empty for the other kinds).
   ml::AppendFeatureSection(features_, &out);
@@ -485,6 +521,8 @@ Result<FlatModel> FlatModel::Deserialize(const std::string& text,
       flat.kind_ = Kind::kRegressionTree;
     } else if (parts[1] == "m5_tree") {
       flat.kind_ = Kind::kM5Tree;
+    } else if (parts[1] == "gbt") {
+      flat.kind_ = Kind::kGbt;
     } else {
       return InvalidArgumentError("unknown model kind: " + parts[1]);
     }
@@ -499,6 +537,16 @@ Result<FlatModel> FlatModel::Deserialize(const std::string& text,
     if (parts.size() != 2 || parts[0] != "smoothing" ||
         !util::ParseDouble(parts[1], &flat.smoothing_)) {
       return InvalidArgumentError("bad smoothing line");
+    }
+  }
+
+  if (flat.kind_ == Kind::kGbt) {
+    const std::string* base_line = cursor.Next();
+    if (base_line == nullptr) return InvalidArgumentError("missing base line");
+    const std::vector<std::string> parts = util::Split(*base_line, '\t');
+    if (parts.size() != 2 || parts[0] != "base" ||
+        !util::ParseDouble(parts[1], &flat.base_score_)) {
+      return InvalidArgumentError("bad base line");
     }
   }
 

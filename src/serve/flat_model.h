@@ -24,6 +24,7 @@
 #include "ml/bagging.h"
 #include "ml/common.h"
 #include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
 #include "ml/m5_tree.h"
 #include "ml/predictor.h"
 #include "ml/regression_tree.h"
@@ -38,6 +39,7 @@ class FlatModel : public ml::Predictor {
     kBaggedTrees,     // Mean of member leaf probabilities, member order.
     kRegressionTree,  // Leaf payload: training mean.
     kM5Tree,          // Leaf linear models + Quinlan smoothing.
+    kGbt,             // sigmoid(base score + sum of member leaf weights).
   };
 
   FlatModel() = default;
@@ -75,6 +77,8 @@ class FlatModel : public ml::Predictor {
       const ml::BaggedTreesClassifier& model);
   friend util::Result<FlatModel> CompileModel(const ml::RegressionTree& model);
   friend util::Result<FlatModel> CompileModel(const ml::M5Tree& model);
+  friend util::Result<FlatModel> CompileModel(
+      const ml::GradientBoostedTrees& model);
 
   // Feature tables resolved against a scoring dataset (name + type checked
   // at each stored column index), done once per batch.
@@ -132,6 +136,9 @@ class FlatModel : public ml::Predictor {
   std::vector<double> lm_pool_;        // [intercept, w_0..w_{d-1}] per model.
   std::vector<ml::FeatureRef> lm_features_;  // Numeric features, model order.
   double smoothing_ = 0.0;
+
+  // GBT extra: the log-odds prior under the leaf-weight sum (0 otherwise).
+  double base_score_ = 0.0;
 };
 
 // Compiles a fitted model into its flat form. Fails on unfitted models.
@@ -139,6 +146,7 @@ class FlatModel : public ml::Predictor {
 [[nodiscard]] util::Result<FlatModel> CompileModel(const ml::BaggedTreesClassifier& model);
 [[nodiscard]] util::Result<FlatModel> CompileModel(const ml::RegressionTree& model);
 [[nodiscard]] util::Result<FlatModel> CompileModel(const ml::M5Tree& model);
+[[nodiscard]] util::Result<FlatModel> CompileModel(const ml::GradientBoostedTrees& model);
 
 }  // namespace roadmine::serve
 

@@ -5,6 +5,7 @@
 
 #include "ml/bagging.h"
 #include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
 #include "ml/logistic_regression.h"
 #include "ml/m5_tree.h"
 #include "ml/naive_bayes.h"
@@ -73,6 +74,9 @@ Result<std::unique_ptr<ml::Predictor>> LoadPredictor(
   }
   if (header == "roadmine-bagged-trees v1") {
     return LoadAs<ml::BaggedTreesClassifier>(text, dataset);
+  }
+  if (header == "roadmine-gbt v1") {
+    return LoadAs<ml::GradientBoostedTrees>(text, dataset);
   }
   if (header == "roadmine-naive-bayes v1") {
     return LoadAs<ml::NaiveBayesClassifier>(text, dataset);

@@ -70,6 +70,20 @@ double Quantile(std::vector<double> values, double p) {
   return SortedQuantile(clean, p);
 }
 
+double QuantileSorted(const std::vector<double>& sorted_values, double p) {
+  return SortedQuantile(sorted_values, p);
+}
+
+std::vector<double> Quantiles(std::vector<double> values,
+                              const std::vector<double>& ps) {
+  std::vector<double> clean = DropMissing(values);
+  std::sort(clean.begin(), clean.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(SortedQuantile(clean, p));
+  return out;
+}
+
 double Median(std::vector<double> values) {
   return Quantile(std::move(values), 0.5);
 }

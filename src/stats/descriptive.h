@@ -36,6 +36,16 @@ double StdDev(const std::vector<double>& values);
 // Linear-interpolation quantile (R type 7). `p` in [0, 1]. NaN when empty.
 double Quantile(std::vector<double> values, double p);
 
+// Quantile over values that are already sorted ascending and NaN-free.
+// Identical to Quantile on the same data, without the per-call copy +
+// sort — the form for loops that take k edges from one column.
+double QuantileSorted(const std::vector<double>& sorted_values, double p);
+
+// All requested quantiles with a single copy + sort of `values` (NaNs
+// skipped as usual). Element i corresponds to ps[i].
+std::vector<double> Quantiles(std::vector<double> values,
+                              const std::vector<double>& ps);
+
 // Median (Quantile at 0.5).
 double Median(std::vector<double> values);
 

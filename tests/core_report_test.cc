@@ -18,6 +18,10 @@ std::vector<ThresholdModelResult> SampleSweep() {
   rows[0].mcpv = 0.79;
   rows[0].kappa = 0.63;
   rows[0].tree_leaves = 49;
+  rows[0].gbt_mcpv = 0.81;
+  rows[0].gbt_kappa = 0.66;
+  rows[0].gbt_auc = 0.931;
+  rows[0].gbt_leaves = 120;
   rows[1].threshold = 64;
   rows[1].non_crash_prone = 16576;
   rows[1].crash_prone = 174;
@@ -48,6 +52,9 @@ TEST(ReportTest, TreeSweepTableShowsPaperColumns) {
   EXPECT_NE(out.find(">4"), std::string::npos);
   EXPECT_NE(out.find("12.70"), std::string::npos);  // Misclass as percent.
   EXPECT_NE(out.find("0.5900"), std::string::npos);
+  EXPECT_NE(out.find("GBT AUC"), std::string::npos);
+  EXPECT_NE(out.find("0.931"), std::string::npos);
+  EXPECT_NE(out.find("120"), std::string::npos);  // GBT leaves.
 }
 
 TEST(ReportTest, BayesTableShowsWeightedColumns) {

@@ -51,6 +51,13 @@ TEST(CrashPronenessStudyTest, TreeSweepProducesWellFormedRows) {
     EXPECT_GE(row.tree_leaves, 1u);
     EXPECT_GE(row.regression_leaves, 1u);
     EXPECT_LE(row.r_squared, 1.0);
+    EXPECT_GE(row.gbt_leaves, 1u);
+    EXPECT_GE(row.gbt_mcpv, 0.0);
+    EXPECT_LE(row.gbt_mcpv, 1.0);
+    EXPECT_GE(row.gbt_kappa, -1.0);
+    EXPECT_LE(row.gbt_kappa, 1.0);
+    EXPECT_GE(row.gbt_auc, 0.0);
+    EXPECT_LE(row.gbt_auc, 1.0);
   }
   // Class sizes must shrink as the threshold rises (Table 1's shape).
   EXPECT_GT((*results)[0].crash_prone, (*results)[1].crash_prone);
@@ -76,6 +83,10 @@ TEST(CrashPronenessStudyTest, ModelsBeatChanceAtModerateThresholds) {
   EXPECT_GT(cp8.mcpv, 0.6);
   EXPECT_GT(cp8.kappa, 0.3);
   EXPECT_GT(cp8.r_squared, 0.2);
+  // The boosted ensemble should be at least competitive with the single
+  // tree on the same split.
+  EXPECT_GT(cp8.gbt_mcpv, 0.6);
+  EXPECT_GT(cp8.gbt_auc, 0.7);
 }
 
 TEST(CrashPronenessStudyTest, BayesSweepWellFormed) {

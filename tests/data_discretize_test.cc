@@ -1,9 +1,12 @@
 #include "data/discretize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
 
 namespace roadmine::data {
 namespace {
@@ -53,6 +56,38 @@ TEST(DiscretizerTest, EqualFrequencyBinsBalanced) {
     ++counts[static_cast<size_t>((*col)->CodeAt(r))];
   }
   for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+// Fit's quantile edges now come from one sort + QuantileSorted per edge;
+// they must be identical to the old per-edge Quantile(copy, p) path.
+TEST(DiscretizerTest, QuantileEdgesIdenticalToPerCallQuantilePath) {
+  std::vector<double> x;
+  for (int i = 0; i < 97; ++i) {
+    x.push_back(std::fmod(static_cast<double>(i) * 13.7, 29.0));
+  }
+  x[10] = std::numeric_limits<double>::quiet_NaN();  // Missing row.
+  Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(Column::Numeric("x", x)).ok());
+  DiscretizerParams params;
+  params.num_bins = 7;
+  Discretizer disc(params);
+  ASSERT_TRUE(disc.Fit(ds, {"x"}, ds.AllRowIndices()).ok());
+  auto edges = disc.EdgesFor("x");
+  ASSERT_TRUE(edges.ok());
+
+  // Old path: a full copy + sort inside stats::Quantile per edge.
+  std::vector<double> expected;
+  for (size_t b = 1; b < params.num_bins; ++b) {
+    const double p =
+        static_cast<double>(b) / static_cast<double>(params.num_bins);
+    expected.push_back(stats::Quantile(x, p));
+  }
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  ASSERT_EQ(edges->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*edges)[i], expected[i]) << "edge " << i;
+  }
 }
 
 TEST(DiscretizerTest, TransformPreservesOrderAndOtherColumns) {

@@ -239,5 +239,72 @@ TEST(DecisionTreeTest, PredictProbaWithinUnitInterval) {
   }
 }
 
+// Two classes sitting on adjacent representable doubles: the exact
+// midpoint is not representable, and `0.5 * (a + b)` rounds half-to-even
+// onto `b` itself, so rows equal to `b` routed left and the split
+// degenerated (right child empty -> no split at all).
+TEST(DecisionTreeTest, SplitsAdjacentRepresentableDoubles) {
+  const double a = std::nextafter(1.0, 2.0);
+  const double b = std::nextafter(a, 2.0);
+  ASSERT_LT(a, b);
+  std::vector<double> x, y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(i % 2 == 0 ? a : b);
+    y.push_back(i % 2 == 0 ? 0.0 : 1.0);
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  DecisionTreeParams params;
+  params.min_samples_leaf = 5;
+  params.min_samples_split = 10;
+  DecisionTreeClassifier tree(params);
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_EQ(tree.Predict(ds, r), r % 2 == 0 ? 0 : 1) << "row " << r;
+  }
+  for (const auto& node : tree.ExportNodes()) {
+    if (node.is_leaf) continue;
+    EXPECT_GE(node.threshold, a);
+    EXPECT_LT(node.threshold, b);
+  }
+}
+
+// Same-sign features near the double range limit: `0.5 * (a + b)`
+// overflowed `a + b` to inf, so every row routed left and the perfectly
+// separable split was discarded as degenerate.
+TEST(DecisionTreeTest, SplitsHugeMagnitudeFeaturesWithoutOverflow) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(i % 2 == 0 ? 1.5e308 : 1.7e308);
+    y.push_back(i % 2 == 0 ? 0.0 : 1.0);
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  DecisionTreeParams params;
+  params.min_samples_leaf = 5;
+  params.min_samples_split = 10;
+  DecisionTreeClassifier tree(params);
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_EQ(tree.Predict(ds, r), r % 2 == 0 ? 0 : 1) << "row " << r;
+  }
+  for (const auto& node : tree.ExportNodes()) {
+    if (node.is_leaf) continue;
+    EXPECT_TRUE(std::isfinite(node.threshold));
+  }
+  // The mirrored case must behave identically.
+  for (double& v : x) v = -v;
+  data::Dataset neg;
+  ASSERT_TRUE(neg.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(neg.AddColumn(data::Column::Numeric("y", y)).ok());
+  DecisionTreeClassifier mirrored(params);
+  ASSERT_TRUE(mirrored.Fit(neg, "y", {"x"}, neg.AllRowIndices()).ok());
+  EXPECT_EQ(mirrored.leaf_count(), 2u);
+}
+
 }  // namespace
 }  // namespace roadmine::ml

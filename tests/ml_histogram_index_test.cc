@@ -1,0 +1,251 @@
+#include "ml/histogram_index.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "ml/decision_tree.h"
+#include "serve/flat_model.h"
+#include "util/rng.h"
+
+namespace roadmine::ml {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<FeatureRef> NumericFeature(const data::Dataset& ds, size_t col,
+                                       const std::string& name) {
+  return {FeatureRef{col, data::ColumnType::kNumeric, name}};
+}
+
+// y = 1 iff x > 5, with many distinct values so binning has work to do.
+data::Dataset ThresholdDataset(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x, y;
+  for (size_t i = 0; i < n; ++i) {
+    const double xi = rng.Uniform(0.0, 10.0);
+    x.push_back(xi);
+    y.push_back(xi > 5.0 ? 1.0 : 0.0);
+  }
+  data::Dataset ds;
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  EXPECT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  return ds;
+}
+
+TEST(HistogramIndexTest, HeavilyTiedColumnCollapsesToFewBins) {
+  // 1000 rows but only 3 distinct values: the sketch must not fabricate
+  // edges between ties, however many bins were requested.
+  std::vector<double> x;
+  for (size_t i = 0; i < 1000; ++i) x.push_back(static_cast<double>(i % 3));
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  auto index = HistogramIndex::Build(ds, NumericFeature(ds, 0, "x"),
+                                     ds.AllRowIndices(), {.max_bins = 256});
+  ASSERT_TRUE(index.ok());
+  const HistogramIndex::FeatureBins& bins = index->ColumnBins(0);
+  EXPECT_EQ(bins.num_bins, 3u);
+  EXPECT_FALSE(bins.constant);
+  EXPECT_EQ(bins.upper, (std::vector<double>{0.0, 1.0, 2.0}));
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_EQ(bins.codes[r], static_cast<uint16_t>(r % 3));
+  }
+}
+
+TEST(HistogramIndexTest, AllMissingColumnIsConstantWithMissingCodes) {
+  data::Dataset ds;
+  ASSERT_TRUE(
+      ds.AddColumn(data::Column::Numeric("x", {kNaN, kNaN, kNaN, kNaN})).ok());
+  auto index = HistogramIndex::Build(ds, NumericFeature(ds, 0, "x"),
+                                     ds.AllRowIndices(), {.max_bins = 8});
+  ASSERT_TRUE(index.ok());
+  const HistogramIndex::FeatureBins& bins = index->ColumnBins(0);
+  EXPECT_TRUE(bins.constant);
+  EXPECT_EQ(bins.num_bins, 0u);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(bins.codes[r], HistogramIndex::kMissingBin);
+  }
+}
+
+TEST(HistogramIndexTest, ConstantColumnIsFlaggedAndNeverSplit) {
+  std::vector<double> x(64, 7.25), y;
+  for (size_t i = 0; i < 64; ++i) y.push_back(i % 2 ? 1.0 : 0.0);
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  auto index = HistogramIndex::Build(ds, NumericFeature(ds, 0, "x"),
+                                     ds.AllRowIndices(), {.max_bins = 8});
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index->ColumnBins(0).constant);
+
+  DecisionTreeParams params;
+  params.use_histogram = true;
+  params.min_samples_leaf = 2;
+  params.min_samples_split = 4;
+  DecisionTreeClassifier tree(params);
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(HistogramIndexTest, RejectsOutOfRangeBinCounts) {
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", {1.0, 2.0})).ok());
+  EXPECT_FALSE(HistogramIndex::Build(ds, NumericFeature(ds, 0, "x"),
+                                     ds.AllRowIndices(), {.max_bins = 1})
+                   .ok());
+  EXPECT_FALSE(HistogramIndex::Build(ds, NumericFeature(ds, 0, "x"),
+                                     ds.AllRowIndices(), {.max_bins = 70000})
+                   .ok());
+}
+
+TEST(HistogramIndexTest, CategoricalLevelsMapDirectly) {
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::CategoricalFromStrings(
+                               "surface", {"chip", "asphalt", "chip", "",
+                                           "concrete", "asphalt"}))
+                  .ok());
+  auto index = HistogramIndex::Build(
+      ds, {FeatureRef{0, data::ColumnType::kCategorical, "surface"}},
+      ds.AllRowIndices(), {.max_bins = 8});
+  ASSERT_TRUE(index.ok());
+  const HistogramIndex::FeatureBins& bins = index->ColumnBins(0);
+  EXPECT_FALSE(bins.is_numeric);
+  EXPECT_FALSE(bins.constant);
+  EXPECT_EQ(bins.num_bins, 3u);
+  EXPECT_EQ(bins.codes[0], 0u);
+  EXPECT_EQ(bins.codes[1], 1u);
+  EXPECT_EQ(bins.codes[3], HistogramIndex::kMissingBin);
+  EXPECT_EQ(bins.codes[4], 2u);
+}
+
+// The equivalence suite's core claim: with distinct values <= max_bins the
+// histogram tree IS the exact-greedy tree on the training rows — same
+// structure, same routing, same leaf statistics — because the candidate
+// sets coincide (bin uppers are the distinct values themselves).
+TEST(HistogramEquivalenceTest, MatchesExactGreedyWhenDistinctFitsBins) {
+  data::Dataset ds = ThresholdDataset(600, 11);
+  DecisionTreeParams exact;
+  exact.min_samples_leaf = 5;
+  exact.min_samples_split = 10;
+  DecisionTreeParams hist = exact;
+  hist.use_histogram = true;
+  hist.max_bins = 1024;  // 600 distinct values fit: exact candidate set.
+
+  DecisionTreeClassifier exact_tree(exact), hist_tree(hist);
+  ASSERT_TRUE(exact_tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  ASSERT_TRUE(hist_tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+
+  EXPECT_EQ(hist_tree.leaf_count(), exact_tree.leaf_count());
+  EXPECT_EQ(hist_tree.node_count(), exact_tree.node_count());
+  auto exact_probs = exact_tree.PredictBatch(ds, ds.AllRowIndices());
+  auto hist_probs = hist_tree.PredictBatch(ds, ds.AllRowIndices());
+  ASSERT_TRUE(exact_probs.ok() && hist_probs.ok());
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_EQ((*hist_probs)[r], (*exact_probs)[r]) << "row " << r;
+  }
+}
+
+// With fewer bins than distinct values the candidate set coarsens; the
+// documented tolerance is agreement of hard train-set predictions, not
+// probabilities, on a cleanly separable boundary.
+TEST(HistogramEquivalenceTest, CoarseBinsStillLearnSeparableBoundary) {
+  data::Dataset ds = ThresholdDataset(2000, 12);
+  DecisionTreeParams params;
+  params.min_samples_leaf = 5;
+  params.min_samples_split = 10;
+  params.use_histogram = true;
+  params.max_bins = 32;
+  DecisionTreeClassifier tree(params);
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  size_t correct = 0;
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    const int truth = ds.column(1).NumericAt(r) != 0.0 ? 1 : 0;
+    correct += tree.Predict(ds, r) == truth;
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.num_rows(), 0.98);
+}
+
+// Rows whose feature value equals a bin edge must route the same way in
+// training (bin codes) and in serving (raw-value compare) — the corrected
+// cut semantics. Exercised end to end through the FlatModel compiler.
+TEST(HistogramEquivalenceTest, BinEdgeValuesRouteIdenticallyWhenServed) {
+  // Duplicate every value so each bin edge is also a data value carried by
+  // several rows, with a label flip exactly at an interior edge.
+  std::vector<double> x, y;
+  for (int v = 0; v < 40; ++v) {
+    for (int k = 0; k < 5; ++k) {
+      x.push_back(static_cast<double>(v) * 0.25);
+      y.push_back(v >= 20 ? 1.0 : 0.0);
+    }
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+
+  DecisionTreeParams params;
+  params.min_samples_leaf = 2;
+  params.min_samples_split = 4;
+  params.use_histogram = true;
+  params.max_bins = 16;  // 40 distinct values > 16 bins: edges merged.
+  DecisionTreeClassifier tree(params);
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  ASSERT_GT(tree.leaf_count(), 1u);
+
+  auto flat = serve::CompileModel(tree);
+  ASSERT_TRUE(flat.ok());
+  auto train_probs = tree.PredictBatch(ds, ds.AllRowIndices());
+  auto served_probs = flat->PredictBatch(ds, ds.AllRowIndices());
+  ASSERT_TRUE(train_probs.ok() && served_probs.ok());
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_EQ((*served_probs)[r], (*train_probs)[r]) << "row " << r;
+  }
+}
+
+TEST(HistogramDeterminismTest, TreeBitIdenticalSerialVsThreaded) {
+  data::Dataset ds = ThresholdDataset(5000, 13);  // Above the exec cutoff.
+  DecisionTreeParams serial;
+  serial.min_samples_leaf = 5;
+  serial.min_samples_split = 10;
+  serial.use_histogram = true;
+  serial.max_bins = 64;
+  DecisionTreeClassifier serial_tree(serial);
+  ASSERT_TRUE(serial_tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+
+  for (size_t threads : {2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    DecisionTreeParams threaded = serial;
+    threaded.executor = &pool;
+    DecisionTreeClassifier threaded_tree(threaded);
+    ASSERT_TRUE(threaded_tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+    EXPECT_EQ(threaded_tree.Serialize(), serial_tree.Serialize())
+        << threads << " threads";
+  }
+}
+
+TEST(HistogramIndexTest, SharedIndexMatchesPrivateBuild) {
+  data::Dataset ds = ThresholdDataset(400, 14);
+  std::vector<FeatureRef> features = NumericFeature(ds, 0, "x");
+  auto shared = HistogramIndex::Build(ds, features, ds.AllRowIndices(),
+                                      {.max_bins = 64});
+  ASSERT_TRUE(shared.ok());
+
+  DecisionTreeParams private_params;
+  private_params.min_samples_leaf = 5;
+  private_params.min_samples_split = 10;
+  private_params.use_histogram = true;
+  private_params.max_bins = 64;
+  DecisionTreeParams shared_params = private_params;
+  shared_params.histogram_index = &*shared;
+
+  DecisionTreeClassifier private_tree(private_params),
+      shared_tree(shared_params);
+  ASSERT_TRUE(private_tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  ASSERT_TRUE(shared_tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  EXPECT_EQ(shared_tree.Serialize(), private_tree.Serialize());
+}
+
+}  // namespace
+}  // namespace roadmine::ml

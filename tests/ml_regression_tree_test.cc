@@ -135,5 +135,55 @@ TEST(RegressionTreeTest, CategoricalTargetRejected) {
   EXPECT_FALSE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
 }
 
+// Mirror of the decision-tree midpoint regression tests: adjacent
+// representable doubles (midpoint rounds onto the right value) and
+// huge same-sign magnitudes (midpoint overflows to inf) both used to
+// collapse a cleanly separable split into a single leaf.
+TEST(RegressionTreeTest, SplitsAdjacentRepresentableDoubles) {
+  const double a = std::nextafter(1.0, 2.0);
+  const double b = std::nextafter(a, 2.0);
+  std::vector<double> x, y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(i % 2 == 0 ? a : b);
+    y.push_back(i % 2 == 0 ? 10.0 : 20.0);
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  RegressionTreeParams params;
+  params.min_samples_leaf = 5;
+  params.min_samples_split = 10;
+  RegressionTree tree(params);
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(tree.Predict(ds, r), r % 2 == 0 ? 10.0 : 20.0);
+  }
+}
+
+TEST(RegressionTreeTest, SplitsHugeMagnitudeFeaturesWithoutOverflow) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(i % 2 == 0 ? 1.5e308 : 1.7e308);
+    y.push_back(i % 2 == 0 ? 10.0 : 20.0);
+  }
+  data::Dataset ds;
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("x", x)).ok());
+  ASSERT_TRUE(ds.AddColumn(data::Column::Numeric("y", y)).ok());
+  RegressionTreeParams params;
+  params.min_samples_leaf = 5;
+  params.min_samples_split = 10;
+  RegressionTree tree(params);
+  ASSERT_TRUE(tree.Fit(ds, "y", {"x"}, ds.AllRowIndices()).ok());
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  for (const auto& node : tree.ExportNodes()) {
+    if (node.is_leaf) continue;
+    EXPECT_TRUE(std::isfinite(node.threshold));
+  }
+  for (size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(tree.Predict(ds, r), r % 2 == 0 ? 10.0 : 20.0);
+  }
+}
+
 }  // namespace
 }  // namespace roadmine::ml

@@ -1,5 +1,6 @@
 #include "stats/descriptive.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -107,6 +108,37 @@ TEST(SkewnessTest, RightSkewPositive) {
 
 TEST(SkewnessTest, NeedsThreeValues) {
   EXPECT_TRUE(std::isnan(Skewness({1.0, 2.0})));
+}
+
+// The sorted-input overload must be bit-identical to the copying form on
+// the same data — it exists so per-edge loops sort once per column, not
+// once per edge.
+TEST(QuantileTest, SortedOverloadMatchesCopyingForm) {
+  std::vector<double> values;
+  for (int i = 0; i < 257; ++i) {
+    values.push_back(std::fmod(static_cast<double>(i) * 37.0, 101.0));
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int b = 0; b <= 20; ++b) {
+    const double p = static_cast<double>(b) / 20.0;
+    EXPECT_DOUBLE_EQ(QuantileSorted(sorted, p), Quantile(values, p)) << p;
+  }
+}
+
+TEST(QuantileTest, QuantilesBatchMatchesPerCall) {
+  std::vector<double> values = {5.0, kNaN, 1.0, 3.0, kNaN, 2.0, 4.0};
+  std::vector<double> ps = {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0};
+  std::vector<double> batch = Quantiles(values, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], Quantile(values, ps[i])) << ps[i];
+  }
+}
+
+TEST(QuantileTest, SortedOverloadEmptyAndSingle) {
+  EXPECT_TRUE(std::isnan(QuantileSorted({}, 0.5)));
+  EXPECT_DOUBLE_EQ(QuantileSorted({7.0}, 0.25), 7.0);
 }
 
 }  // namespace
