@@ -727,7 +727,7 @@ int RunInstrumentedMode(const std::string& dir, bool smoke, int argc,
                         char** argv) {
   bench::BenchContext ctx("perf_ml", argc, argv);
   if (!RunInstrumentedPass(ctx, smoke)) return 1;
-  ctx.Finish();
+  ctx.Finish();  // void flush, shares a name with fallible Finish() elsewhere; roadmine-lint: allow(dropped-status)
 
   const std::string report_path = dir + "/BENCH_perf_ml.json";
   auto contents = obs::ReadFileToString(report_path);

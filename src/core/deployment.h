@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/row_source.h"
 #include "ml/predictor.h"
 #include "util/status.h"
 
@@ -65,6 +66,19 @@ struct DeploymentConfig {
 [[nodiscard]] util::Result<WorksProgram> BuildWorksProgram(const data::Dataset& segments,
                                              const ml::Predictor& model,
                                              const DeploymentConfig& config = {});
+
+// Streaming variant: scores `segments` one page at a time and assembles
+// the program from bounded top-K heaps, so memory use is one page plus
+// max(config.max_segments, rows/10) survivors — never the whole network.
+// Produces a WorksProgram identical to BuildWorksProgram on the
+// materialized stream (same ranking, tie-breaks, treatments, and
+// top-decile agreement). With max_segments == 0 every row is listed, so
+// that configuration is inherently O(rows); give a cap for out-of-core
+// use. Sources that report TotalRowsHint() == 0 cost one extra counting
+// pass to fix the decile size up front.
+[[nodiscard]] util::Result<WorksProgram> BuildWorksProgramPaged(
+    data::RowSource& segments, const ml::Predictor& model,
+    const DeploymentConfig& config = {});
 
 // Thin adapter for legacy std::function call sites; scores row-by-row and
 // assembles the same program.

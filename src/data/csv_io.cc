@@ -1,10 +1,9 @@
 #include "data/csv_io.h"
 
-#include <fstream>
+#include <algorithm>
 #include <limits>
-#include <sstream>
+#include <utility>
 
-#include "util/csv.h"
 #include "util/string_util.h"
 
 namespace roadmine::data {
@@ -13,69 +12,305 @@ using util::InvalidArgumentError;
 using util::Result;
 using util::Status;
 
-Result<Dataset> DatasetFromCsvText(const std::string& text, char delimiter) {
-  auto rows = util::ParseCsv(text, delimiter);
-  if (!rows.ok()) return rows.status();
-  if (rows->empty()) return InvalidArgumentError("CSV has no header row");
+Result<std::unique_ptr<CsvChunkReader>> CsvChunkReader::OpenFile(
+    const std::string& path, CsvReadOptions options) {
+  std::unique_ptr<CsvChunkReader> reader(new CsvChunkReader());
+  reader->options_ = options;
+  reader->path_ = path;
+  ROADMINE_RETURN_IF_ERROR(reader->ScanSchema());
+  return reader;
+}
 
-  const std::vector<std::string>& header = (*rows)[0];
+Result<std::unique_ptr<CsvChunkReader>> CsvChunkReader::FromText(
+    std::string text, CsvReadOptions options) {
+  std::unique_ptr<CsvChunkReader> reader(new CsvChunkReader());
+  reader->options_ = options;
+  reader->from_text_ = true;
+  reader->text_ = std::move(text);
+  ROADMINE_RETURN_IF_ERROR(reader->ScanSchema());
+  return reader;
+}
+
+Status CsvChunkReader::OpenInput() {
+  if (parser_) peak_buffered_bytes_ =
+      std::max(peak_buffered_bytes_, parser_->peak_buffered_bytes());
+  parser_ = std::make_unique<util::CsvStreamParser>(options_.delimiter);
+  pending_.clear();
+  pending_pos_ = 0;
+  input_done_ = false;
+  header_skipped_ = false;
+  next_row_ = 0;
+  text_pos_ = 0;
+  if (!from_text_) {
+    if (file_.is_open()) file_.close();
+    file_.clear();
+    file_.open(path_, std::ios::binary);
+    if (!file_) return util::NotFoundError("cannot open '" + path_ + "'");
+  }
+  return Status::Ok();
+}
+
+Result<bool> CsvChunkReader::PullRecord(std::vector<std::string>* out) {
+  while (pending_pos_ >= pending_.size()) {
+    if (input_done_) return false;
+    pending_.clear();
+    pending_pos_ = 0;
+    if (from_text_) {
+      if (text_pos_ >= text_.size()) {
+        ROADMINE_RETURN_IF_ERROR(parser_->Finish());
+        input_done_ = true;
+      } else {
+        const size_t take =
+            std::min(std::max<size_t>(options_.io_buffer_bytes, 1),
+                     text_.size() - text_pos_);
+        ROADMINE_RETURN_IF_ERROR(parser_->Consume(
+            std::string_view(text_).substr(text_pos_, take)));
+        text_pos_ += take;
+      }
+    } else {
+      std::vector<char> buffer(std::max<size_t>(options_.io_buffer_bytes, 1));
+      file_.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      const std::streamsize got = file_.gcount();
+      if (file_.bad()) {
+        return util::DataLossError("read failed for '" + path_ + "'");
+      }
+      if (got > 0) {
+        ROADMINE_RETURN_IF_ERROR(parser_->Consume(
+            std::string_view(buffer.data(), static_cast<size_t>(got))));
+      }
+      if (file_.eof()) {
+        ROADMINE_RETURN_IF_ERROR(parser_->Finish());
+        input_done_ = true;
+      }
+    }
+    pending_ = parser_->TakeRecords();
+    peak_buffered_bytes_ =
+        std::max(peak_buffered_bytes_, parser_->peak_buffered_bytes());
+  }
+  *out = std::move(pending_[pending_pos_]);
+  ++pending_pos_;
+  return true;
+}
+
+Status CsvChunkReader::ScanSchema() {
+  // Pass 1: header, row widths, column types, total row count.
+  ROADMINE_RETURN_IF_ERROR(OpenInput());
+  std::vector<std::string> record;
+  auto header_result = PullRecord(&record);
+  if (!header_result.ok()) return header_result.status();
+  if (!*header_result) return InvalidArgumentError("CSV has no header row");
+  const std::vector<std::string> header = std::move(record);
   const size_t num_cols = header.size();
-  const size_t num_rows = rows->size() - 1;
-  for (size_t r = 1; r < rows->size(); ++r) {
-    if ((*rows)[r].size() != num_cols) {
-      return InvalidArgumentError("CSV row " + std::to_string(r) + " has " +
-                                  std::to_string((*rows)[r].size()) +
+  // Infer: numeric iff every non-empty cell parses as a double. An
+  // all-empty column stays numeric (all-NaN): "no values" carries no
+  // evidence the column is text, and a categorical column of empty
+  // strings would misread missing data as a real level.
+  numeric_.assign(num_cols, true);
+  uint64_t row = 0;
+  while (true) {
+    auto more = PullRecord(&record);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    ++row;
+    if (record.size() != num_cols) {
+      return InvalidArgumentError("CSV row " + std::to_string(row) + " has " +
+                                  std::to_string(record.size()) +
                                   " fields, header has " +
                                   std::to_string(num_cols));
     }
-  }
-
-  Dataset dataset;
-  for (size_t c = 0; c < num_cols; ++c) {
-    // Infer: numeric iff every non-empty cell parses as a double. An
-    // all-empty column stays numeric (all-NaN): "no values" carries no
-    // evidence the column is text, and a categorical column of empty
-    // strings would misread missing data as a real level.
-    bool numeric = true;
-    for (size_t r = 1; r <= num_rows; ++r) {
-      const std::string& cell = (*rows)[r][c];
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (!numeric_[c]) continue;
+      const std::string& cell = record[c];
       if (util::Trim(cell).empty()) continue;
       double unused;
-      if (!util::ParseDouble(cell, &unused)) {
-        numeric = false;
-        break;
+      if (!util::ParseDouble(cell, &unused)) numeric_[c] = false;
+    }
+  }
+  total_rows_ = row;
+
+  // Mirrors Dataset::AddColumn's duplicate rule (and its message), so
+  // the streaming reader and the legacy whole-text path fail alike.
+  for (size_t c = 0; c < num_cols; ++c) {
+    for (size_t prev = 0; prev < c; ++prev) {
+      if (header[prev] == header[c]) {
+        return util::AlreadyExistsError("column '" + header[c] + "' exists");
       }
     }
-    if (numeric) {
-      std::vector<double> values;
-      values.reserve(num_rows);
-      for (size_t r = 1; r <= num_rows; ++r) {
-        const std::string& cell = (*rows)[r][c];
+  }
+
+  schema_.columns.clear();
+  schema_.columns.resize(num_cols);
+  dict_.assign(num_cols, {});
+  bool any_categorical = false;
+  for (size_t c = 0; c < num_cols; ++c) {
+    schema_.columns[c].name = header[c];
+    schema_.columns[c].type =
+        numeric_[c] ? ColumnType::kNumeric : ColumnType::kCategorical;
+    any_categorical = any_categorical || !numeric_[c];
+  }
+  if (!any_categorical) return Status::Ok();
+
+  // Pass 2: categorical dictionaries in first-appearance (row) order —
+  // exactly the order Column::CategoricalFromStrings would build.
+  ROADMINE_RETURN_IF_ERROR(OpenInput());
+  auto skip = PullRecord(&record);
+  if (!skip.ok()) return skip.status();
+  while (true) {
+    auto more = PullRecord(&record);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (numeric_[c]) continue;
+      std::string value(util::Trim(record[c]));
+      if (value.empty()) continue;
+      auto [it, inserted] = dict_[c].try_emplace(
+          std::move(value),
+          static_cast<int32_t>(schema_.columns[c].categories.size()));
+      if (inserted) schema_.columns[c].categories.push_back(it->first);
+    }
+  }
+  return Status::Ok();
+}
+
+Status CsvChunkReader::Reset() { return OpenInput(); }
+
+Result<const Dataset*> CsvChunkReader::Next() {
+  if (!header_skipped_) {
+    // A Reset (or the tail state of an inference pass) leaves the input
+    // unopened for emission; rewind and drop the header record.
+    if (parser_ == nullptr || next_row_ != 0 || input_done_) {
+      ROADMINE_RETURN_IF_ERROR(OpenInput());
+    }
+    std::vector<std::string> header;
+    auto got = PullRecord(&header);
+    if (!got.ok()) return got.status();
+    if (!*got) return InvalidArgumentError("CSV has no header row");
+    header_skipped_ = true;
+  }
+  const size_t num_cols = schema_.num_columns();
+  std::vector<std::vector<double>> numeric_values(num_cols);
+  std::vector<std::vector<int32_t>> codes(num_cols);
+  size_t rows_in_chunk = 0;
+  std::vector<std::string> record;
+  const size_t chunk_rows = std::max<size_t>(options_.chunk_rows, 1);
+  while (rows_in_chunk < chunk_rows) {
+    auto more = PullRecord(&record);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    ++next_row_;
+    if (record.size() != num_cols) {
+      return InvalidArgumentError(
+          "CSV row " + std::to_string(next_row_) + " has " +
+          std::to_string(record.size()) + " fields, header has " +
+          std::to_string(num_cols));
+    }
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = record[c];
+      if (numeric_[c]) {
         double value = std::numeric_limits<double>::quiet_NaN();
         if (!util::Trim(cell).empty()) util::ParseDouble(cell, &value);
-        values.push_back(value);
+        numeric_values[c].push_back(value);
+      } else {
+        std::string value(util::Trim(cell));
+        if (value.empty()) {
+          codes[c].push_back(-1);
+          continue;
+        }
+        auto it = dict_[c].find(value);
+        if (it == dict_[c].end()) {
+          return util::InternalError("CSV value not in the scanned dictionary "
+                                     "for column '" +
+                                     schema_.columns[c].name + "'");
+        }
+        codes[c].push_back(it->second);
       }
-      ROADMINE_RETURN_IF_ERROR(
-          dataset.AddColumn(Column::Numeric(header[c], std::move(values))));
+    }
+    ++rows_in_chunk;
+  }
+  if (rows_in_chunk == 0) return static_cast<const Dataset*>(nullptr);
+  Dataset chunk;
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (numeric_[c]) {
+      ROADMINE_RETURN_IF_ERROR(chunk.AddColumn(Column::Numeric(
+          schema_.columns[c].name, std::move(numeric_values[c]))));
     } else {
-      std::vector<std::string> values;
-      values.reserve(num_rows);
-      for (size_t r = 1; r <= num_rows; ++r) {
-        values.push_back(std::string(util::Trim((*rows)[r][c])));
+      auto col = Column::Categorical(schema_.columns[c].name,
+                                     std::move(codes[c]),
+                                     schema_.columns[c].categories);
+      if (!col.ok()) return col.status();
+      ROADMINE_RETURN_IF_ERROR(chunk.AddColumn(std::move(*col)));
+    }
+  }
+  chunk_ = std::move(chunk);
+  return const_cast<const Dataset*>(&chunk_);
+}
+
+namespace {
+
+// Drains a reader into one materialized Dataset (the legacy entry-point
+// shape). Output memory is the table itself; parse memory stays O(chunk).
+Result<Dataset> AssembleDataset(CsvChunkReader& reader) {
+  const TableSchema& schema = reader.schema();
+  std::vector<std::vector<double>> numeric_values(schema.num_columns());
+  std::vector<std::vector<int32_t>> codes(schema.num_columns());
+  while (true) {
+    auto chunk = reader.Next();
+    if (!chunk.ok()) return chunk.status();
+    if (*chunk == nullptr) break;
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      const Column& col = (*chunk)->column(c);
+      if (col.type() == ColumnType::kNumeric) {
+        numeric_values[c].insert(numeric_values[c].end(),
+                                 col.numeric_values().begin(),
+                                 col.numeric_values().end());
+      } else {
+        codes[c].insert(codes[c].end(), col.codes().begin(),
+                        col.codes().end());
       }
+    }
+  }
+  Dataset dataset;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const ColumnSpec& spec = schema.columns[c];
+    if (spec.type == ColumnType::kNumeric) {
       ROADMINE_RETURN_IF_ERROR(dataset.AddColumn(
-          Column::CategoricalFromStrings(header[c], values)));
+          Column::Numeric(spec.name, std::move(numeric_values[c]))));
+    } else {
+      auto col =
+          Column::Categorical(spec.name, std::move(codes[c]), spec.categories);
+      if (!col.ok()) return col.status();
+      ROADMINE_RETURN_IF_ERROR(dataset.AddColumn(std::move(*col)));
     }
   }
   return dataset;
 }
 
+}  // namespace
+
+Result<Dataset> DatasetFromCsvText(const std::string& text,
+                                   const CsvReadOptions& options) {
+  auto reader = CsvChunkReader::FromText(text, options);
+  if (!reader.ok()) return reader.status();
+  return AssembleDataset(**reader);
+}
+
+Result<Dataset> DatasetFromCsvText(const std::string& text, char delimiter) {
+  CsvReadOptions options;
+  options.delimiter = delimiter;
+  return DatasetFromCsvText(text, options);
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvReadOptions& options) {
+  auto reader = CsvChunkReader::OpenFile(path, options);
+  if (!reader.ok()) return reader.status();
+  return AssembleDataset(**reader);
+}
+
 Result<Dataset> ReadCsvFile(const std::string& path, char delimiter) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return util::NotFoundError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return DatasetFromCsvText(buffer.str(), delimiter);
+  CsvReadOptions options;
+  options.delimiter = delimiter;
+  return ReadCsvFile(path, options);
 }
 
 std::string DatasetToCsvText(const Dataset& dataset, char delimiter,

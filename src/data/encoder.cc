@@ -11,56 +11,123 @@ using util::InvalidArgumentError;
 using util::Result;
 using util::Status;
 
-Status FeatureEncoder::Fit(const Dataset& dataset,
-                           const std::vector<std::string>& feature_columns,
-                           const std::vector<size_t>& rows) {
-  if (rows.empty()) return InvalidArgumentError("cannot fit encoder on 0 rows");
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.n == 0) return;
+  if (n == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. pairwise combine.
+  const double total = static_cast<double>(n + other.n);
+  const double delta = other.mean - mean;
+  mean += delta * (static_cast<double>(other.n) / total);
+  m2 += other.m2 + delta * delta *
+                       (static_cast<double>(n) *
+                        static_cast<double>(other.n) / total);
+  n += other.n;
+}
+
+void EncoderAccumulator::Merge(const EncoderAccumulator& other) {
+  rows += other.rows;
+  if (numeric.size() < other.numeric.size()) {
+    numeric.resize(other.numeric.size());
+  }
+  for (size_t i = 0; i < other.numeric.size(); ++i) {
+    numeric[i].Merge(other.numeric[i]);
+  }
+}
+
+Status FeatureEncoder::Fit(RowSource& source,
+                           const std::vector<std::string>& feature_columns) {
+  const TableSchema& schema = source.schema();
   column_names_ = feature_columns;
   plans_.clear();
   feature_names_.clear();
   feature_dim_ = 0;
 
+  // Resolve the fitted columns against the stream schema up front.
+  std::vector<size_t> indices;
+  indices.reserve(feature_columns.size());
   for (const std::string& name : feature_columns) {
-    auto idx = dataset.ColumnIndex(name);
+    auto idx = schema.ColumnIndex(name);
     if (!idx.ok()) return idx.status();
-    const Column& col = dataset.column(*idx);
+    indices.push_back(*idx);
+  }
+
+  // One streaming pass: sequential Welford per numeric column, in row
+  // order — the same update sequence the in-RAM fit applied, so the
+  // resulting statistics (and their serialization) are bit-identical.
+  EncoderAccumulator acc;
+  acc.numeric.resize(feature_columns.size());
+  ROADMINE_RETURN_IF_ERROR(source.Reset());
+  while (true) {
+    auto chunk_result = source.Next();
+    if (!chunk_result.ok()) return chunk_result.status();
+    const Dataset* chunk = *chunk_result;
+    if (chunk == nullptr) break;
+    acc.rows += chunk->num_rows();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const Column& col = chunk->column(indices[i]);
+      if (col.type() != ColumnType::kNumeric) continue;
+      RunningMoments& moments = acc.numeric[i];
+      for (const double v : col.numeric_values()) {
+        if (std::isnan(v)) continue;
+        moments.Add(v);
+      }
+    }
+  }
+  if (acc.rows == 0) {
+    return InvalidArgumentError("cannot fit encoder on 0 rows");
+  }
+
+  for (size_t i = 0; i < feature_columns.size(); ++i) {
+    const std::string& name = feature_columns[i];
+    const ColumnSpec& spec = schema.columns[indices[i]];
 
     ColumnPlan plan;
-    plan.column_index = *idx;
-    plan.type = col.type();
+    plan.column_index = indices[i];
+    plan.type = spec.type;
     plan.offset = feature_dim_;
-    if (col.type() == ColumnType::kNumeric) {
-      // Welford over the training rows, skipping missing.
-      double mean = 0.0, m2 = 0.0;
-      size_t n = 0;
-      for (size_t r : rows) {
-        const double v = col.NumericAt(r);
-        if (std::isnan(v)) continue;
-        ++n;
-        const double delta = v - mean;
-        mean += delta / static_cast<double>(n);
-        m2 += delta * (v - mean);
-      }
-      plan.mean = n > 0 ? mean : 0.0;
-      const double var = n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    if (spec.type == ColumnType::kNumeric) {
+      const RunningMoments& moments = acc.numeric[i];
+      plan.mean = moments.n > 0 ? moments.mean : 0.0;
+      const double var = moments.Variance();
       plan.inv_std = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
       plan.width = 1;
       feature_names_.push_back(name);
     } else {
-      plan.width = col.category_count();
+      plan.width = spec.categories.size();
       if (plan.width == 0) {
         return InvalidArgumentError("categorical column '" + name +
                                     "' has an empty dictionary");
       }
       for (size_t k = 0; k < plan.width; ++k) {
-        feature_names_.push_back(
-            name + "=" + col.CategoryName(static_cast<int32_t>(k)));
+        feature_names_.push_back(name + "=" + spec.categories[k]);
       }
     }
     feature_dim_ += plan.width;
     plans_.push_back(plan);
   }
   return Status::Ok();
+}
+
+Status FeatureEncoder::Fit(const Dataset& dataset,
+                           const std::vector<std::string>& feature_columns,
+                           const std::vector<size_t>& rows) {
+  if (rows.empty()) return InvalidArgumentError("cannot fit encoder on 0 rows");
+  // Whole-table fits stream the dataset zero-copy; subsets stream
+  // gathered chunks. Either way the plans index into the full dataset
+  // schema, exactly as before.
+  bool all_rows = rows.size() == dataset.num_rows();
+  for (size_t i = 0; all_rows && i < rows.size(); ++i) {
+    all_rows = rows[i] == i;
+  }
+  if (all_rows) {
+    DatasetSource source(dataset);
+    return Fit(source, feature_columns);
+  }
+  DatasetSource source(dataset, rows);
+  return Fit(source, feature_columns);
 }
 
 void FeatureEncoder::EncodeRow(const Dataset& dataset, size_t row,

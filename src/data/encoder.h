@@ -7,23 +7,75 @@
 //                        unseen categories encode as all-zeros.
 // Fit statistics come from the training rows only, so validation encoding
 // never leaks target-side information.
+//
+// Fit(RowSource&) is the primary fit: it streams any chunked row source
+// (an in-memory table, a CSV reader, an out-of-core page directory)
+// through an EncoderAccumulator, so a fit never needs the rows
+// materialized at once. The classic Fit(Dataset, columns, rows) delegates
+// to it through a DatasetSource and produces bit-identical statistics —
+// the accumulator applies the same Welford update in the same row order.
 #ifndef ROADMINE_DATA_ENCODER_H_
 #define ROADMINE_DATA_ENCODER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/row_source.h"
 #include "util/status.h"
 
 namespace roadmine::data {
+
+// Mergeable running moments of one numeric stream (missing skipped).
+// Add() is Welford's update — sequentially it reproduces the classic
+// in-RAM loop bit for bit. Merge() is Chan's pairwise combine, the hook
+// for future sharded fits (not used by the sequential streaming fit,
+// which must stay bit-identical to the in-RAM path).
+struct RunningMoments {
+  uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void Add(double value) {
+    ++n;
+    const double delta = value - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (value - mean);
+  }
+
+  void Merge(const RunningMoments& other);
+
+  double Variance() const {
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+  }
+};
+
+// Per-column fit state accumulated across chunks (and mergeable across
+// shards): one RunningMoments slot per fitted column (unused for
+// categorical columns, whose plan needs only the dictionary width from
+// the schema) plus the row count.
+struct EncoderAccumulator {
+  uint64_t rows = 0;
+  std::vector<RunningMoments> numeric;
+
+  void Merge(const EncoderAccumulator& other);
+};
 
 class FeatureEncoder {
  public:
   FeatureEncoder() = default;
 
-  // Learns encoding statistics for `feature_columns` from `rows` of
-  // `dataset`. Errors if a column is missing or `rows` is empty.
+  // Primary fit: streams `source` once and learns encoding statistics
+  // for `feature_columns` (resolved against the source schema). Errors
+  // if a column is missing, a categorical dictionary is empty, or the
+  // stream has 0 rows.
+  [[nodiscard]] util::Status Fit(RowSource& source,
+                   const std::vector<std::string>& feature_columns);
+
+  // Legacy shape: fits on `rows` of `dataset` by streaming a
+  // DatasetSource over them. Bit-identical to the pre-streaming
+  // implementation. Errors if a column is missing or `rows` is empty.
   [[nodiscard]] util::Status Fit(const Dataset& dataset,
                    const std::vector<std::string>& feature_columns,
                    const std::vector<size_t>& rows);

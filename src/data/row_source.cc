@@ -1,0 +1,105 @@
+#include "data/row_source.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace roadmine::data {
+
+TableSchema TableSchema::FromDataset(const Dataset& dataset) {
+  TableSchema schema;
+  schema.columns.reserve(dataset.num_columns());
+  for (size_t c = 0; c < dataset.num_columns(); ++c) {
+    const Column& col = dataset.column(c);
+    ColumnSpec spec;
+    spec.name = col.name();
+    spec.type = col.type();
+    if (col.type() == ColumnType::kCategorical) {
+      spec.categories = col.categories();
+    }
+    schema.columns.push_back(std::move(spec));
+  }
+  return schema;
+}
+
+util::Result<size_t> TableSchema::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].name == name) return c;
+  }
+  // Mirrors Dataset::ColumnIndex's message: schema and dataset lookups
+  // fail identically, so delegating APIs keep their error contract.
+  return util::NotFoundError("column '" + name + "' not found");
+}
+
+util::Status TableSchema::Matches(const Dataset& chunk) const {
+  if (chunk.num_columns() != columns.size()) {
+    return util::InvalidArgumentError(
+        "chunk has " + std::to_string(chunk.num_columns()) +
+        " columns, schema has " + std::to_string(columns.size()));
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const Column& col = chunk.column(c);
+    const ColumnSpec& spec = columns[c];
+    if (col.name() != spec.name) {
+      return util::InvalidArgumentError("chunk column " + std::to_string(c) +
+                                        " is '" + col.name() +
+                                        "', schema expects '" + spec.name +
+                                        "'");
+    }
+    if (col.type() != spec.type) {
+      return util::InvalidArgumentError("chunk column '" + spec.name +
+                                        "' type differs from the schema");
+    }
+    if (spec.type == ColumnType::kCategorical &&
+        col.category_count() != spec.categories.size()) {
+      return util::InvalidArgumentError(
+          "chunk column '" + spec.name + "' has " +
+          std::to_string(col.category_count()) +
+          " dictionary entries, schema has " +
+          std::to_string(spec.categories.size()));
+    }
+  }
+  return util::Status::Ok();
+}
+
+DatasetSource::DatasetSource(const Dataset& dataset, size_t chunk_rows)
+    : dataset_(&dataset),
+      schema_(TableSchema::FromDataset(dataset)),
+      chunk_rows_(chunk_rows) {}
+
+DatasetSource::DatasetSource(const Dataset& dataset, std::vector<size_t> rows,
+                             size_t chunk_rows)
+    : dataset_(&dataset),
+      schema_(TableSchema::FromDataset(dataset)),
+      rows_(std::move(rows)),
+      subset_(true),
+      chunk_rows_(chunk_rows == 0 ? 8192 : chunk_rows) {}
+
+std::optional<uint64_t> DatasetSource::TotalRowsHint() const {
+  return subset_ ? rows_.size() : dataset_->num_rows();
+}
+
+util::Status DatasetSource::Reset() {
+  cursor_ = 0;
+  done_ = false;
+  return util::Status::Ok();
+}
+
+util::Result<const Dataset*> DatasetSource::Next() {
+  if (!subset_ && chunk_rows_ == 0) {
+    if (done_) return static_cast<const Dataset*>(nullptr);
+    done_ = true;
+    return dataset_;
+  }
+  const size_t total = subset_ ? rows_.size() : dataset_->num_rows();
+  if (cursor_ >= total) return static_cast<const Dataset*>(nullptr);
+  const size_t take = std::min(chunk_rows_, total - cursor_);
+  std::vector<size_t> indices(take);
+  for (size_t i = 0; i < take; ++i) {
+    indices[i] = subset_ ? rows_[cursor_ + i] : cursor_ + i;
+  }
+  cursor_ += take;
+  chunk_ = dataset_->GatherRows(indices);
+  return const_cast<const Dataset*>(&chunk_);
+}
+
+}  // namespace roadmine::data

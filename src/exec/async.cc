@@ -1,0 +1,27 @@
+#include "exec/async.h"
+
+#include <utility>
+
+namespace roadmine::exec {
+
+void TaskLatch::Signal(util::Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status_ = std::move(status);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+util::Status TaskLatch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return status_;
+}
+
+bool TaskLatch::signaled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+}  // namespace roadmine::exec

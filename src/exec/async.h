@@ -1,0 +1,40 @@
+// One-shot rendezvous between a background task posted via
+// Executor::Post and the thread that consumes its result.
+//
+// Lives in exec/ because it is synchronization plumbing (the rest of the
+// codebase is barred from raw threading primitives by the determinism
+// lint rule). The pattern it supports — PagedDataset's page prefetch —
+// is latency overlap, not parallel computation: the producer fills a
+// caller-owned slot, Signal()s a Status, and the consumer Wait()s before
+// touching the slot. The mutex/condvar pair gives the happens-before
+// edge that makes the slot handoff safe without atomics at the call
+// site.
+#ifndef ROADMINE_EXEC_ASYNC_H_
+#define ROADMINE_EXEC_ASYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace roadmine::exec {
+
+// Single-use completion latch carrying the producer's Status.
+// Signal exactly once; Wait blocks until signaled and may be called
+// once, from one consumer thread.
+class TaskLatch {
+ public:
+  void Signal(util::Status status);
+  [[nodiscard]] util::Status Wait();
+  bool signaled() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  util::Status status_ = util::Status::Ok();
+};
+
+}  // namespace roadmine::exec
+
+#endif  // ROADMINE_EXEC_ASYNC_H_

@@ -170,6 +170,13 @@ class Executor {
   // error, so the reported status is exactly the serial one.
   [[nodiscard]] util::Status RunBatch(size_t n, const IndexedTask& task);
 
+  // Fire-and-forget: runs fn asynchronously when the executor has
+  // worker threads, inline (before returning) otherwise. For latency
+  // overlap only — I/O prefetch, background flushes — never for work
+  // whose ordering affects results: the caller must rendezvous with fn
+  // itself (exec::TaskLatch) before touching anything fn produces.
+  virtual void Post(std::function<void()> fn) { fn(); }
+
   // Same, with explicit chunking (for fine-grained per-index work).
   [[nodiscard]] util::Status RunBatch(size_t n, const IndexedTask& task,
                         const ScheduleOptions& options);
@@ -223,6 +230,9 @@ class ThreadPool : public Executor {
 
   // Fire-and-forget work item (not part of any batch). Wait() drains it.
   void Submit(std::function<void()> fn);
+
+  // Executor::Post on a pool runs fn on a worker thread.
+  void Post(std::function<void()> fn) override { Submit(std::move(fn)); }
 
   // Blocks until the queue is empty and every in-flight item finished.
   void Wait();

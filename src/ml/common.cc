@@ -71,6 +71,28 @@ Result<std::vector<FeatureRef>> ResolveFeatures(
   return refs;
 }
 
+Result<std::vector<FeatureRef>> ResolveFeaturesSchema(
+    const data::TableSchema& schema, const std::vector<std::string>& features,
+    const std::string& target_column) {
+  if (features.empty()) return InvalidArgumentError("no feature columns");
+  std::vector<FeatureRef> refs;
+  refs.reserve(features.size());
+  for (const std::string& name : features) {
+    if (name == target_column) {
+      return InvalidArgumentError("feature list contains the target '" +
+                                  name + "'");
+    }
+    auto idx = schema.ColumnIndex(name);
+    if (!idx.ok()) return idx.status();
+    FeatureRef ref;
+    ref.column_index = *idx;
+    ref.type = schema.columns[*idx].type;
+    ref.name = name;
+    refs.push_back(std::move(ref));
+  }
+  return refs;
+}
+
 std::vector<std::string> FeatureNamesExcluding(
     const data::Dataset& dataset, const std::vector<std::string>& excluded) {
   std::vector<std::string> names;

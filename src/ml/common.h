@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/row_source.h"
 #include "util/status.h"
 
 namespace roadmine::ml {
@@ -34,6 +35,13 @@ struct FeatureRef {
 // names the target column.
 [[nodiscard]] util::Result<std::vector<FeatureRef>> ResolveFeatures(
     const data::Dataset& dataset, const std::vector<std::string>& features,
+    const std::string& target_column);
+
+// Schema-level twin of ResolveFeatures for streaming fits: resolves the
+// names against a RowSource's TableSchema with the same errors, so a
+// paged fit and an in-RAM fit reject the same inputs identically.
+[[nodiscard]] util::Result<std::vector<FeatureRef>> ResolveFeaturesSchema(
+    const data::TableSchema& schema, const std::vector<std::string>& features,
     const std::string& target_column);
 
 // All column names except the listed exclusions — the study's "keep the

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
+#include <functional>
+#include <limits>
 #include <optional>
 
 #include "exec/executor.h"
 #include "ml/histogram_index.h"
+#include "ml/quantile_sketch.h"
 #include "ml/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -36,6 +40,9 @@ struct SplitCand {
   double gain = 0.0;
   size_t feature = 0;  // Index into the fit's feature list.
   double threshold = 0.0;
+  // Numeric only: the bin index of `threshold` (cut "bin <= threshold_bin").
+  // Lets the paged fit route rows by code without touching raw values.
+  size_t threshold_bin = 0;
   std::vector<uint8_t> left_categories;
   bool missing_goes_left = true;
 };
@@ -65,12 +72,15 @@ struct NodeHist {
   }
 };
 
-// Shared state for growing one boosted tree.
+// Shared state for growing one boosted tree. The split scan sees only
+// per-feature FeatureBins (not a HistogramIndex), so the in-RAM and
+// paged fits share it: the former points into its HistogramIndex, the
+// latter into bins it derived from the stream.
 struct TreeContext {
-  const data::Dataset* dataset = nullptr;
   const std::vector<FeatureRef>* features = nullptr;
-  const HistogramIndex* hist = nullptr;
   const GradientBoostedTreesParams* params = nullptr;
+  // Binning per feature index (parallel to *features).
+  std::vector<const HistogramIndex::FeatureBins*> feature_bins;
   const std::vector<double>* grad = nullptr;  // By dataset row id.
   const std::vector<double>* hess = nullptr;
   std::vector<size_t> active;  // Feature indices this tree may split on.
@@ -88,9 +98,8 @@ Status BuildHist(const TreeContext& ctx, const std::vector<size_t>& rows,
       rows.size() >= kParallelMinRows ? ctx.params->executor : nullptr;
   return exec::ParallelFor(
       executor, ctx.active.size(), [&](size_t a) -> Status {
-        const FeatureRef& ref = (*ctx.features)[ctx.active[a]];
         const HistogramIndex::FeatureBins& bins =
-            ctx.hist->ColumnBins(ref.column_index);
+            *ctx.feature_bins[ctx.active[a]];
         const size_t base = ctx.offset[a];
         const size_t miss = base + bins.num_bins;
         for (size_t r : rows) {
@@ -119,9 +128,7 @@ SplitCand ScanFeature(const TreeContext& ctx, const NodeHist& hist, size_t a,
                       double node_g, double node_h, double node_cnt) {
   const GradientBoostedTreesParams& params = *ctx.params;
   const size_t f = ctx.active[a];
-  const FeatureRef& ref = (*ctx.features)[f];
-  const HistogramIndex::FeatureBins& bins =
-      ctx.hist->ColumnBins(ref.column_index);
+  const HistogramIndex::FeatureBins& bins = *ctx.feature_bins[f];
   SplitCand best;
   best.gain = params.gamma;  // Strict >: a split must beat gamma.
   if (bins.constant || bins.num_bins < 2) return best;
@@ -168,6 +175,7 @@ SplitCand ScanFeature(const TreeContext& ctx, const NodeHist& hist, size_t a,
       if (hist.cnt[base + b] <= 0.0) continue;  // Same partition as b-1.
       try_cut(cum_g, cum_h, cum_c, [&] {
         best.threshold = bins.upper[b];
+        best.threshold_bin = b;
         best.left_categories.clear();
       });
     }
@@ -224,6 +232,126 @@ Result<SplitCand> FindBestSplit(const TreeContext& ctx, const NodeHist& hist,
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// Paged-fit machinery.
+// ---------------------------------------------------------------------------
+
+// Bins one page column of `count` rows into codes, exactly as
+// HistogramIndex does over the full column: NaN / negative code ->
+// kMissingBin, numeric values -> lower_bound over the cut values clamped
+// into the last bin.
+void BinPage(const HistogramIndex::FeatureBins& bins, const data::Column& col,
+             size_t count, uint16_t* out) {
+  if (bins.is_numeric) {
+    const std::vector<double>& numeric = col.numeric_values();
+    for (size_t r = 0; r < count; ++r) {
+      const double v = numeric[r];
+      if (std::isnan(v) || bins.upper.empty()) {
+        out[r] = HistogramIndex::kMissingBin;
+        continue;
+      }
+      const size_t bin = static_cast<size_t>(
+          std::lower_bound(bins.upper.begin(), bins.upper.end(), v) -
+          bins.upper.begin());
+      out[r] = static_cast<uint16_t>(std::min(bin, bins.upper.size() - 1));
+    }
+    return;
+  }
+  const std::vector<int32_t>& src = col.codes();
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = src[r] >= 0 ? static_cast<uint16_t>(src[r])
+                         : HistogramIndex::kMissingBin;
+  }
+}
+
+// Supplies bin codes for every training sweep. When the full code matrix
+// fits the cache budget, the source is read and binned once; otherwise
+// every Sweep() re-streams and re-bins it. Either way the callback sees
+// the same rows in the same ascending order, so sweep results are
+// identical — only the pass count differs.
+class PagedCodes {
+ public:
+  PagedCodes(data::RowSource& source, const std::vector<FeatureRef>& features,
+             const std::vector<HistogramIndex::FeatureBins>& bins,
+             size_t total_rows, size_t cache_budget_bytes)
+      : source_(source),
+        features_(features),
+        bins_(bins),
+        total_rows_(total_rows) {
+    const uint64_t need = static_cast<uint64_t>(features.size()) *
+                          static_cast<uint64_t>(total_rows) * sizeof(uint16_t);
+    cached_ = need <= cache_budget_bytes;
+  }
+
+  bool cached() const { return cached_; }
+
+  // Calls fn(first_row, row_count, codes) over consecutive blocks covering
+  // rows [0, total_rows); codes[f] holds row_count codes of feature f.
+  Status Sweep(const std::function<void(size_t, size_t,
+                                        const std::vector<const uint16_t*>&)>&
+                   fn) {
+    if (cached_) {
+      ROADMINE_RETURN_IF_ERROR(EnsureCache());
+      std::vector<const uint16_t*> ptrs(features_.size());
+      for (size_t f = 0; f < features_.size(); ++f) {
+        ptrs[f] = cache_[f].data();
+      }
+      fn(0, total_rows_, ptrs);
+      return Status::Ok();
+    }
+    std::vector<std::vector<uint16_t>> scratch(features_.size());
+    std::vector<const uint16_t*> ptrs(features_.size());
+    return Stream([&](size_t base, const data::Dataset& chunk) {
+      const size_t rows = chunk.num_rows();
+      for (size_t f = 0; f < features_.size(); ++f) {
+        scratch[f].resize(rows);
+        BinPage(bins_[f], chunk.column(features_[f].column_index), rows,
+                scratch[f].data());
+        ptrs[f] = scratch[f].data();
+      }
+      fn(base, rows, ptrs);
+    });
+  }
+
+ private:
+  Status EnsureCache() {
+    if (!cache_.empty()) return Status::Ok();
+    cache_.resize(features_.size());
+    for (auto& codes : cache_) codes.resize(total_rows_);
+    return Stream([&](size_t base, const data::Dataset& chunk) {
+      for (size_t f = 0; f < features_.size(); ++f) {
+        BinPage(bins_[f], chunk.column(features_[f].column_index),
+                chunk.num_rows(), cache_[f].data() + base);
+      }
+    });
+  }
+
+  template <typename Fn>
+  Status Stream(Fn&& fn) {
+    ROADMINE_RETURN_IF_ERROR(source_.Reset());
+    size_t base = 0;
+    while (true) {
+      auto chunk_result = source_.Next();
+      if (!chunk_result.ok()) return chunk_result.status();
+      const data::Dataset* chunk = *chunk_result;
+      if (chunk == nullptr) break;
+      fn(base, *chunk);
+      base += chunk->num_rows();
+    }
+    if (base != total_rows_) {
+      return util::DataLossError("row source changed size between passes");
+    }
+    return Status::Ok();
+  }
+
+  data::RowSource& source_;
+  const std::vector<FeatureRef>& features_;
+  const std::vector<HistogramIndex::FeatureBins>& bins_;
+  size_t total_rows_;
+  bool cached_ = false;
+  std::vector<std::vector<uint16_t>> cache_;  // [feature][row], if cached.
+};
+
 }  // namespace
 
 Status GradientBoostedTrees::Fit(const data::Dataset& dataset,
@@ -274,12 +402,14 @@ Status GradientBoostedTrees::Fit(const data::Dataset& dataset,
   std::vector<double> hess(dataset.num_rows(), 0.0);
 
   TreeContext ctx;
-  ctx.dataset = &dataset;
   ctx.features = &features_;
-  ctx.hist = hist;
   ctx.params = &params_;
   ctx.grad = &grad;
   ctx.hess = &hess;
+  ctx.feature_bins.reserve(features_.size());
+  for (const FeatureRef& ref : features_) {
+    ctx.feature_bins.push_back(&hist->ColumnBins(ref.column_index));
+  }
 
   const size_t num_features = features_.size();
   std::vector<size_t> all_features(num_features);
@@ -315,8 +445,7 @@ Status GradientBoostedTrees::Fit(const data::Dataset& dataset,
     ctx.total_slots = 0;
     for (size_t f : ctx.active) {
       ctx.offset.push_back(ctx.total_slots);
-      ctx.total_slots +=
-          hist->ColumnBins(features_[f].column_index).num_bins + 1;
+      ctx.total_slots += ctx.feature_bins[f]->num_bins + 1;
     }
 
     for (size_t r : sampled) {
@@ -431,6 +560,460 @@ Status GradientBoostedTrees::Fit(const data::Dataset& dataset,
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetCounter("ml.gbt.fits").Increment();
+  metrics.GetGauge("ml.gbt.trees").Set(static_cast<double>(trees_.size()));
+  metrics.GetGauge("ml.gbt.leaves").Set(static_cast<double>(total_leaves()));
+  return Status::Ok();
+}
+
+Status GradientBoostedTrees::FitPaged(
+    data::RowSource& source, const std::string& target_column,
+    const std::vector<std::string>& feature_columns,
+    const PagedFitOptions& options) {
+  ROADMINE_TRACE_SPAN("ml.gbt.fit_paged");
+  obs::ScopedLatency fit_timer(
+      obs::MetricsRegistry::Global().GetHistogram("ml.fit_ms"));
+  if (params_.num_trees == 0) {
+    return InvalidArgumentError("num_trees must be positive");
+  }
+  if (params_.learning_rate <= 0.0) {
+    return InvalidArgumentError("learning_rate must be positive");
+  }
+  if (params_.max_bins < 2 || params_.max_bins >= HistogramIndex::kMissingBin) {
+    return InvalidArgumentError("max_bins must be in [2, 65534]");
+  }
+  const data::TableSchema& schema = source.schema();
+  auto features = ResolveFeaturesSchema(schema, feature_columns,
+                                        target_column);
+  if (!features.ok()) return features.status();
+  auto target_index = schema.ColumnIndex(target_column);
+  if (!target_index.ok()) return target_index.status();
+  const bool numeric_target =
+      schema.columns[*target_index].type == data::ColumnType::kNumeric;
+
+  const size_t num_features = features->size();
+  for (size_t f = 0; f < num_features; ++f) {
+    const FeatureRef& ref = (*features)[f];
+    if (ref.type != data::ColumnType::kCategorical) continue;
+    const size_t k = schema.columns[ref.column_index].categories.size();
+    if (k >= HistogramIndex::kMissingBin) {
+      return InvalidArgumentError("column '" + ref.name + "' has " +
+                                  std::to_string(k) +
+                                  " levels, beyond the histogram code space");
+    }
+  }
+
+  // --- Pass A: labels, numeric quantile sketches, categorical level
+  // presence — one stream pass, all in row order.
+  std::vector<QuantileSketch> sketches;
+  sketches.reserve(num_features);
+  std::vector<std::vector<uint8_t>> seen_levels(num_features);
+  for (size_t f = 0; f < num_features; ++f) {
+    sketches.emplace_back(0);
+    const FeatureRef& ref = (*features)[f];
+    if (ref.type == data::ColumnType::kCategorical) {
+      seen_levels[f].assign(schema.columns[ref.column_index].categories.size(),
+                            0);
+    }
+  }
+  std::vector<int8_t> labels;
+  ROADMINE_RETURN_IF_ERROR(source.Reset());
+  size_t scanned_rows = 0;
+  while (true) {
+    auto chunk_result = source.Next();
+    if (!chunk_result.ok()) return chunk_result.status();
+    const data::Dataset* chunk = *chunk_result;
+    if (chunk == nullptr) break;
+    const data::Column& target = chunk->column(*target_index);
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
+      if (target.IsMissing(r)) {
+        return InvalidArgumentError("missing target label at row " +
+                                    std::to_string(scanned_rows + r));
+      }
+      if (numeric_target) {
+        labels.push_back(target.NumericAt(r) != 0.0 ? 1 : 0);
+      } else {
+        labels.push_back(target.CodeAt(r) != 0 ? 1 : 0);
+      }
+    }
+    for (size_t f = 0; f < num_features; ++f) {
+      const FeatureRef& ref = (*features)[f];
+      const data::Column& col = chunk->column(ref.column_index);
+      if (ref.type == data::ColumnType::kNumeric) {
+        for (const double v : col.numeric_values()) {
+          if (!std::isnan(v)) sketches[f].Add(v);
+        }
+      } else {
+        for (const int32_t code : col.codes()) {
+          if (code >= 0) seen_levels[f][static_cast<size_t>(code)] = 1;
+        }
+      }
+    }
+    scanned_rows += chunk->num_rows();
+  }
+  const size_t total_rows = scanned_rows;
+  if (total_rows == 0) return InvalidArgumentError("cannot fit on 0 rows");
+  constexpr uint32_t kRetired = std::numeric_limits<uint32_t>::max();
+  if (total_rows >= kRetired) {
+    return InvalidArgumentError("too many rows for a paged fit");
+  }
+
+  // Per-feature binning derived from the stream. In the sketch's exact
+  // regime the cuts equal HistogramIndex::Build's over the same rows.
+  std::vector<HistogramIndex::FeatureBins> bins(num_features);
+  for (size_t f = 0; f < num_features; ++f) {
+    const FeatureRef& ref = (*features)[f];
+    HistogramIndex::FeatureBins& out = bins[f];
+    if (ref.type == data::ColumnType::kNumeric) {
+      out.is_numeric = true;
+      out.upper = sketches[f].Cuts(params_.max_bins);
+      out.num_bins = out.upper.size();
+      out.constant = out.upper.size() < 2;
+    } else {
+      out.is_numeric = false;
+      out.num_bins = seen_levels[f].size();
+      size_t present = 0;
+      for (const uint8_t seen : seen_levels[f]) present += seen;
+      out.constant = present < 2;
+    }
+  }
+  sketches.clear();
+
+  features_ = std::move(*features);
+  trees_.clear();
+
+  double positives = 0.0;
+  for (const int8_t label : labels) positives += label;
+  const double prior =
+      (positives + 1.0) / (static_cast<double>(total_rows) + 2.0);
+  base_score_ = std::log(prior / (1.0 - prior));
+
+  std::vector<double> margin(total_rows, 0.0);
+  // p, g, h recomputed per sweep from margin + label: same expression,
+  // same doubles as the in-RAM fit's precomputed arrays.
+  auto grad_hess = [&](size_t r, double* g, double* h) {
+    const double p = Sigmoid(base_score_ + margin[r]);
+    *g = p - static_cast<double>(labels[r]);
+    *h = p * (1.0 - p);
+  };
+
+  PagedCodes codes(source, features_, bins, total_rows,
+                   options.code_cache_bytes);
+
+  TreeContext ctx;
+  ctx.features = &features_;
+  ctx.params = &params_;
+  ctx.feature_bins.reserve(num_features);
+  for (size_t f = 0; f < num_features; ++f) {
+    ctx.feature_bins.push_back(&bins[f]);
+  }
+
+  std::vector<size_t> all_features(num_features);
+  for (size_t f = 0; f < num_features; ++f) all_features[f] = f;
+
+  // assign[r]: the tree node currently owning row r (kRetired once the
+  // row reaches a leaf or was not sampled this round).
+  std::vector<uint32_t> assign(total_rows, kRetired);
+  std::vector<uint8_t> sampled;
+
+  // Routes a row through the split of `cand` using its bin code: for
+  // numeric cuts `code <= threshold_bin` iff `value <= upper[bin]`, so
+  // code routing matches the raw-value routing Fit applies.
+  auto code_goes_left = [&](const SplitCand& cand, uint16_t code) {
+    if (code == HistogramIndex::kMissingBin) return cand.missing_goes_left;
+    if (bins[cand.feature].is_numeric) {
+      return static_cast<size_t>(code) <= cand.threshold_bin;
+    }
+    return static_cast<size_t>(code) < cand.left_categories.size() &&
+           cand.left_categories[code] != 0;
+  };
+
+  for (size_t t = 0; t < params_.num_trees; ++t) {
+    util::Rng row_rng(util::Rng::SplitSeed(params_.seed, 2 * t));
+    util::Rng col_rng(util::Rng::SplitSeed(params_.seed, 2 * t + 1));
+
+    size_t sample_count = total_rows;
+    if (params_.subsample < 1.0) {
+      sampled.assign(total_rows, 0);
+      sample_count = 0;
+      for (size_t r = 0; r < total_rows; ++r) {
+        if (row_rng.Bernoulli(params_.subsample)) {
+          sampled[r] = 1;
+          ++sample_count;
+        }
+      }
+      if (sample_count == 0) continue;  // Nothing drawn: no tree this round.
+    }
+
+    ctx.active = all_features;
+    if (params_.colsample < 1.0) {
+      const size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(
+                 params_.colsample * static_cast<double>(num_features))));
+      col_rng.Shuffle(ctx.active);
+      ctx.active.resize(std::min(keep, ctx.active.size()));
+      std::sort(ctx.active.begin(), ctx.active.end());
+    }
+    ctx.offset.clear();
+    ctx.total_slots = 0;
+    for (size_t f : ctx.active) {
+      ctx.offset.push_back(ctx.total_slots);
+      ctx.total_slots += ctx.feature_bins[f]->num_bins + 1;
+    }
+
+    std::vector<Node> tree;
+    // Per-node numeric split bin (parallel to `tree`), for code routing
+    // in the margin sweep; -1 on leaves and categorical splits.
+    std::vector<int64_t> split_bin;
+    auto add_node = [&](double g_sum, double h_sum) {
+      Node node;
+      node.leaf_value =
+          params_.learning_rate * (-g_sum / (h_sum + params_.lambda));
+      tree.push_back(std::move(node));
+      split_bin.push_back(-1);
+      return static_cast<int>(tree.size()) - 1;
+    };
+
+    // One live (pending) node of the level currently being grown.
+    struct LiveNode {
+      int node = 0;
+      int depth = 0;
+      double g = 0.0, h = 0.0;
+      size_t cnt = 0;
+      NodeHist hist;
+    };
+
+    const bool subsampling = params_.subsample < 1.0;
+    for (size_t r = 0; r < total_rows; ++r) {
+      assign[r] = (!subsampling || sampled[r]) ? 0 : kRetired;
+    }
+
+    // Root sweep: node sums and the root histogram, both in row order
+    // (separate accumulators, so fusing the passes changes nothing).
+    LiveNode root;
+    root.hist.Allocate(ctx.total_slots);
+    ROADMINE_RETURN_IF_ERROR(codes.Sweep([&](size_t base, size_t rows,
+                                             const std::vector<const uint16_t*>&
+                                                 page) {
+      for (size_t i = 0; i < rows; ++i) {
+        const size_t r = base + i;
+        if (assign[r] == kRetired) continue;
+        double g = 0.0, h = 0.0;
+        grad_hess(r, &g, &h);
+        root.g += g;
+        root.h += h;
+        ++root.cnt;
+        for (size_t a = 0; a < ctx.active.size(); ++a) {
+          const size_t f = ctx.active[a];
+          const uint16_t code = page[f][i];
+          const size_t slot = code == HistogramIndex::kMissingBin
+                                  ? ctx.offset[a] + ctx.feature_bins[f]->num_bins
+                                  : ctx.offset[a] + code;
+          root.hist.g[slot] += g;
+          root.hist.h[slot] += h;
+          root.hist.cnt[slot] += 1.0;
+        }
+      }
+    }));
+    root.node = add_node(root.g, root.h);
+
+    std::vector<LiveNode> level;
+    level.push_back(std::move(root));
+
+    while (!level.empty()) {
+      // Decide each level node in id order — the same order Fit's FIFO
+      // queue processes them, so child ids come out identical.
+      struct Decision {
+        bool split = false;
+        SplitCand cand;
+        int left = -1, right = -1;
+        bool build_left = true;
+        size_t next_index = 0;  // Index of the left child in `next`.
+        double lg = 0.0, lh = 0.0, rg = 0.0, rh = 0.0;
+        size_t lc = 0, rc = 0;
+      };
+      std::vector<Decision> decisions(level.size());
+      std::vector<int32_t> node_to_level(tree.size(), -1);
+      bool any_split = false;
+      for (size_t i = 0; i < level.size(); ++i) {
+        node_to_level[static_cast<size_t>(level[i].node)] =
+            static_cast<int32_t>(i);
+        LiveNode& live = level[i];
+        if (live.depth >= params_.max_depth || live.cnt < 2) continue;
+        auto cand = FindBestSplit(ctx, live.hist, live.g, live.h,
+                                  static_cast<double>(live.cnt), live.cnt);
+        if (!cand.ok()) return cand.status();
+        if (!cand->valid) continue;
+        decisions[i].split = true;
+        decisions[i].cand = std::move(*cand);
+        any_split = true;
+      }
+      if (!any_split) break;
+
+      // Count sweep: per splitting node, each side's row count and g/h
+      // sums — every accumulator advances in ascending row order, exactly
+      // like Fit's per-child make_node loops.
+      ROADMINE_RETURN_IF_ERROR(codes.Sweep(
+          [&](size_t base, size_t rows,
+              const std::vector<const uint16_t*>& page) {
+            for (size_t i = 0; i < rows; ++i) {
+              const size_t r = base + i;
+              const uint32_t id = assign[r];
+              if (id == kRetired) continue;
+              const int32_t li = node_to_level[id];
+              if (li < 0 || !decisions[static_cast<size_t>(li)].split) {
+                continue;
+              }
+              Decision& decision = decisions[static_cast<size_t>(li)];
+              double g = 0.0, h = 0.0;
+              grad_hess(r, &g, &h);
+              if (code_goes_left(decision.cand,
+                                 page[decision.cand.feature][i])) {
+                decision.lg += g;
+                decision.lh += h;
+                ++decision.lc;
+              } else {
+                decision.rg += g;
+                decision.rh += h;
+                ++decision.rc;
+              }
+            }
+          }));
+
+      // Create children in id order; a split with an empty side stays a
+      // leaf, exactly like Fit's degenerate-partition bailout.
+      std::vector<LiveNode> next;
+      for (size_t i = 0; i < level.size(); ++i) {
+        Decision& decision = decisions[i];
+        if (!decision.split) continue;
+        if (decision.lc == 0 || decision.rc == 0) {
+          decision.split = false;
+          continue;
+        }
+        decision.next_index = next.size();
+        decision.left = add_node(decision.lg, decision.lh);
+        decision.right = add_node(decision.rg, decision.rh);
+        Node& parent = tree[static_cast<size_t>(level[i].node)];
+        parent.feature = static_cast<int>(decision.cand.feature);
+        parent.threshold = decision.cand.threshold;
+        parent.left_categories = decision.cand.left_categories;
+        parent.missing_goes_left = decision.cand.missing_goes_left;
+        parent.left = decision.left;
+        parent.right = decision.right;
+        if (bins[decision.cand.feature].is_numeric) {
+          split_bin[static_cast<size_t>(level[i].node)] =
+              static_cast<int64_t>(decision.cand.threshold_bin);
+        }
+        decision.build_left = decision.lc <= decision.rc;
+
+        LiveNode left, right;
+        left.node = decision.left;
+        right.node = decision.right;
+        left.depth = right.depth = level[i].depth + 1;
+        left.g = decision.lg;
+        left.h = decision.lh;
+        left.cnt = decision.lc;
+        right.g = decision.rg;
+        right.h = decision.rh;
+        right.cnt = decision.rc;
+        (decision.build_left ? left : right).hist.Allocate(ctx.total_slots);
+        next.push_back(std::move(left));
+        next.push_back(std::move(right));
+      }
+
+      // Hist/assign sweep: re-route rows to their children, retiring leaf
+      // rows, and accumulate only the smaller child's histogram (in row
+      // order per slot, matching BuildHist).
+      ROADMINE_RETURN_IF_ERROR(codes.Sweep(
+          [&](size_t base, size_t rows,
+              const std::vector<const uint16_t*>& page) {
+            for (size_t i = 0; i < rows; ++i) {
+              const size_t r = base + i;
+              const uint32_t id = assign[r];
+              if (id == kRetired) continue;
+              const int32_t li = node_to_level[id];
+              if (li < 0 || !decisions[static_cast<size_t>(li)].split) {
+                assign[r] = kRetired;
+                continue;
+              }
+              const Decision& decision = decisions[static_cast<size_t>(li)];
+              const bool left = code_goes_left(
+                  decision.cand, page[decision.cand.feature][i]);
+              assign[r] =
+                  static_cast<uint32_t>(left ? decision.left : decision.right);
+              if (left != decision.build_left) continue;
+              NodeHist& hist =
+                  next[decision.next_index + (decision.build_left ? 0 : 1)]
+                      .hist;
+              double g = 0.0, h = 0.0;
+              grad_hess(r, &g, &h);
+              for (size_t a = 0; a < ctx.active.size(); ++a) {
+                const size_t f = ctx.active[a];
+                const uint16_t code = page[f][i];
+                const size_t slot =
+                    code == HistogramIndex::kMissingBin
+                        ? ctx.offset[a] + ctx.feature_bins[f]->num_bins
+                        : ctx.offset[a] + code;
+                hist.g[slot] += g;
+                hist.h[slot] += h;
+                hist.cnt[slot] += 1.0;
+              }
+            }
+          }));
+
+      // Sibling subtraction for the larger children.
+      for (size_t i = 0; i < level.size(); ++i) {
+        const Decision& decision = decisions[i];
+        if (!decision.split) continue;
+        LiveNode& left = next[decision.next_index];
+        LiveNode& right = next[decision.next_index + 1];
+        if (decision.build_left) {
+          right.hist.SubtractFrom(level[i].hist, left.hist);
+        } else {
+          left.hist.SubtractFrom(level[i].hist, right.hist);
+        }
+      }
+      level = std::move(next);
+    }
+
+    // Margin sweep: every row (sampled or not) moves by its leaf weight,
+    // routed by codes — identical to Fit's raw-value TreeWeight walk.
+    ROADMINE_RETURN_IF_ERROR(codes.Sweep([&](size_t base, size_t rows,
+                                             const std::vector<const uint16_t*>&
+                                                 page) {
+      for (size_t i = 0; i < rows; ++i) {
+        size_t id = 0;
+        for (;;) {
+          const Node& node = tree[id];
+          if (node.feature < 0) {
+            margin[base + i] += node.leaf_value;
+            break;
+          }
+          const uint16_t code = page[static_cast<size_t>(node.feature)][i];
+          bool go_left;
+          if (code == HistogramIndex::kMissingBin) {
+            go_left = node.missing_goes_left;
+          } else if (bins[static_cast<size_t>(node.feature)].is_numeric) {
+            go_left = static_cast<int64_t>(code) <= split_bin[id];
+          } else {
+            go_left = static_cast<size_t>(code) <
+                          node.left_categories.size() &&
+                      node.left_categories[code] != 0;
+          }
+          id = static_cast<size_t>(go_left ? node.left : node.right);
+        }
+      }
+    }));
+
+    trees_.push_back(std::move(tree));
+  }
+
+  if (trees_.empty()) {
+    return InvalidArgumentError(
+        "no trees were built (every round's row sample was empty)");
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("ml.gbt.fits").Increment();
+  metrics.GetCounter("ml.gbt.paged_fits").Increment();
   metrics.GetGauge("ml.gbt.trees").Set(static_cast<double>(trees_.size()));
   metrics.GetGauge("ml.gbt.leaves").Set(static_cast<double>(total_leaves()));
   return Status::Ok();

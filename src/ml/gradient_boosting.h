@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/row_source.h"
 #include "ml/common.h"
 #include "ml/predictor.h"
 #include "util/status.h"
@@ -70,6 +71,17 @@ struct GradientBoostedTreesParams {
   exec::Executor* executor = nullptr;
 };
 
+// Knobs for FitPaged (see below). The only RAM the paged fit keeps per
+// row is the margin (8 B), label (1 B), node assignment (4 B) and sample
+// flag (1 B); bin codes are the one optional cache.
+struct PagedFitOptions {
+  // Budget for the bin-code cache. When the full code matrix
+  // (features x rows x 2 bytes) fits, the source is binned once and every
+  // training sweep runs from RAM; otherwise each sweep re-reads and
+  // re-bins the stream — identical results, more passes.
+  size_t code_cache_bytes = 256ull << 20;
+};
+
 class GradientBoostedTrees : public Predictor {
  public:
   explicit GradientBoostedTrees(GradientBoostedTreesParams params = {})
@@ -79,6 +91,22 @@ class GradientBoostedTrees : public Predictor {
                                  const std::string& target_column,
                                  const std::vector<std::string>& feature_columns,
                                  const std::vector<size_t>& rows);
+
+  // Out-of-core fit: trains the same ensemble from a chunked RowSource
+  // (a PagedDataset page stream, a CSV reader) without materializing the
+  // rows. Numeric cuts come from a streaming QuantileSketch that is exact
+  // — and therefore the fitted model bit-identical to Fit over all rows —
+  // whenever each numeric feature has at most 64 Ki distinct values; past
+  // that the sketch compacts deterministically and the paged model is
+  // reproducible but no longer pinned to the in-RAM one. Trees grow level
+  // by level from per-page gradient/hessian histograms merged across
+  // pages in row order, with the same sibling subtraction, sampling
+  // streams and split scan as Fit. params_.histogram_index is ignored
+  // (the binning is derived from the stream itself).
+  [[nodiscard]] util::Status FitPaged(
+      data::RowSource& source, const std::string& target_column,
+      const std::vector<std::string>& feature_columns,
+      const PagedFitOptions& options = {});
 
   // sigmoid(base + sum of per-tree leaf weights).
   double PredictProba(const data::Dataset& dataset, size_t row) const;

@@ -1,0 +1,130 @@
+#include "ml/quantile_sketch.h"
+
+#include <algorithm>
+
+namespace roadmine::ml {
+
+namespace {
+constexpr size_t kDefaultCapacity = 64 * 1024;
+}  // namespace
+
+QuantileSketch::QuantileSketch(size_t capacity)
+    : capacity_(capacity == 0 ? kDefaultCapacity
+                              : std::max<size_t>(capacity, 4)) {
+  buffer_.reserve(capacity_);
+}
+
+void QuantileSketch::Add(double value) {
+  ++count_;
+  buffer_.push_back(value);
+  if (buffer_.size() >= capacity_) FlushBuffer();
+}
+
+void QuantileSketch::FlushBuffer() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+
+  // Merge the sorted buffer into the sorted summary, combining equal
+  // values into one weighted entry.
+  std::vector<double> merged_values;
+  std::vector<uint64_t> merged_weights;
+  merged_values.reserve(values_.size() + buffer_.size());
+  merged_weights.reserve(values_.size() + buffer_.size());
+  auto push = [&](double value, uint64_t weight) {
+    if (!merged_values.empty() && merged_values.back() == value) {
+      merged_weights.back() += weight;
+    } else {
+      merged_values.push_back(value);
+      merged_weights.push_back(weight);
+    }
+  };
+  size_t i = 0;
+  size_t j = 0;
+  while (i < values_.size() || j < buffer_.size()) {
+    if (j >= buffer_.size() ||
+        (i < values_.size() && values_[i] <= buffer_[j])) {
+      push(values_[i], weights_[i]);
+      ++i;
+    } else {
+      push(buffer_[j], 1);
+      ++j;
+    }
+  }
+  values_ = std::move(merged_values);
+  weights_ = std::move(merged_weights);
+  buffer_.clear();
+  if (values_.size() > capacity_) Compact();
+}
+
+void QuantileSketch::Compact() {
+  // Collapse the summary to `capacity_` evenly spaced cumulative-rank
+  // representatives. Each representative is a real data value (the last
+  // value of its rank bucket) carrying the bucket's summed weight; the
+  // exact minimum and maximum always survive. A bucket spans at most
+  // total/capacity_ ranks, which bounds the one-sided rank error of any
+  // later query.
+  exact_ = false;
+  uint64_t total = 0;
+  for (const uint64_t w : weights_) total += w;
+
+  std::vector<double> values;
+  std::vector<uint64_t> weights;
+  values.reserve(capacity_ + 1);
+  weights.reserve(capacity_ + 1);
+  // The minimum keeps its own entry so rank-1 queries stay exact.
+  values.push_back(values_[0]);
+  weights.push_back(weights_[0]);
+
+  const uint64_t rem = total - weights_[0];
+  const uint64_t buckets = capacity_;
+  uint64_t cum = 0;
+  uint64_t bucket_weight = 0;
+  for (size_t k = 1; k < values_.size(); ++k) {
+    cum += weights_[k];
+    bucket_weight += weights_[k];
+    // 1-based bucket of cumulative rank `cum` over the remaining weight.
+    const uint64_t bucket = (cum * buckets + rem - 1) / rem;
+    const bool last = k + 1 == values_.size();
+    uint64_t next_bucket = bucket;
+    if (!last) {
+      next_bucket = ((cum + weights_[k + 1]) * buckets + rem - 1) / rem;
+    }
+    // The last value of each rank bucket represents it (the final value
+    // is always the last of its bucket, preserving the exact maximum).
+    if (last || next_bucket > bucket) {
+      values.push_back(values_[k]);
+      weights.push_back(bucket_weight);
+      bucket_weight = 0;
+    }
+  }
+  values_ = std::move(values);
+  weights_ = std::move(weights);
+}
+
+std::vector<double> QuantileSketch::Cuts(size_t max_bins) {
+  FlushBuffer();
+  std::vector<double> cuts;
+  if (count_ == 0 || max_bins == 0) return cuts;
+  if (exact_ && values_.size() <= max_bins) return values_;
+
+  // Mirror HistogramIndex::Build: the cut for bin b is the value at
+  // 1-based rank b*n/max_bins, i.e. the smallest summary value whose
+  // cumulative weight reaches that rank; adjacent duplicates collapse.
+  const uint64_t n = count_;
+  size_t idx = 0;
+  uint64_t cum = weights_[0];
+  for (size_t b = 1; b <= max_bins; ++b) {
+    const uint64_t rank = b * n / max_bins;
+    if (rank == 0) continue;
+    while (cum < rank && idx + 1 < values_.size()) {
+      ++idx;
+      cum += weights_[idx];
+    }
+    if (cuts.empty() || cuts.back() != values_[idx]) {
+      cuts.push_back(values_[idx]);
+    }
+  }
+  return cuts;
+}
+
+}  // namespace roadmine::ml

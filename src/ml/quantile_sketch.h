@@ -1,0 +1,65 @@
+// Streaming quantile summary for paged histogram binning.
+//
+// GradientBoostedTrees::Fit bins a numeric feature by sorting all its
+// values and cutting at ranks b*n/max_bins (HistogramIndex::Build). A
+// paged fit sees the values one page at a time; QuantileSketch gives it
+// the same cuts without materializing the column:
+//
+//   * Exact regime — while the number of distinct values stays within
+//     the sketch capacity, the summary is a full (value, count) multiset
+//     and Cuts() reproduces HistogramIndex's in-RAM cut points bit for
+//     bit (the paged-vs-in-RAM identity contract covers this regime).
+//   * Compacted regime — past capacity the summary deterministically
+//     collapses to evenly spaced cumulative-rank representatives (real
+//     data values, one-sided rank error <= W/capacity per query, W =
+//     total weight). Cuts are then approximate; exact() reports which
+//     regime a sketch ended in. Compaction depends only on the insertion
+//     order, which for a page stream is the fixed row order — so paged
+//     runs remain deterministic, just not identical to in-RAM.
+//
+// NaN values must be filtered by the caller (they carry no rank).
+#ifndef ROADMINE_ML_QUANTILE_SKETCH_H_
+#define ROADMINE_ML_QUANTILE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace roadmine::ml {
+
+class QuantileSketch {
+ public:
+  // capacity = max distinct entries retained (0 picks the default,
+  // 64 Ki — exact for any feature with <= 65536 distinct values).
+  explicit QuantileSketch(size_t capacity = 0);
+
+  void Add(double value);
+
+  // Total values added.
+  uint64_t count() const { return count_; }
+  // True while the summary is a lossless multiset.
+  bool exact() const { return exact_; }
+
+  // Bin upper bounds, mirroring HistogramIndex::Build's numeric rule:
+  // all distinct values when there are <= max_bins of them (exact
+  // regime), else the values at ranks b*n/max_bins, b = 1..max_bins,
+  // deduplicated. Flushes internal buffers (hence non-const).
+  std::vector<double> Cuts(size_t max_bins);
+
+ private:
+  void FlushBuffer();
+  void Compact();
+
+  size_t capacity_;
+  uint64_t count_ = 0;
+  bool exact_ = true;
+  // Sorted distinct values with multiplicities (the summary).
+  std::vector<double> values_;
+  std::vector<uint64_t> weights_;
+  // Unsorted staging; merged into the summary when full.
+  std::vector<double> buffer_;
+};
+
+}  // namespace roadmine::ml
+
+#endif  // ROADMINE_ML_QUANTILE_SKETCH_H_

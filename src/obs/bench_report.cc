@@ -49,6 +49,13 @@ double BenchReport::TotalMs() const {
   return total;
 }
 
+double BenchReport::TimingMs(const std::string& stage) const {
+  for (const auto& [existing, ms] : timings_ms_) {
+    if (existing == stage) return ms;
+  }
+  return 0.0;
+}
+
 std::string BenchReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();

@@ -42,6 +42,10 @@ class BenchReport {
   // Sum of all recorded stage timings.
   double TotalMs() const;
 
+  // Accumulated milliseconds for one stage; 0 if never recorded. Lets a
+  // bench derive throughput metrics from a ScopedStage's measurement.
+  double TimingMs(const std::string& stage) const;
+
   std::string ToJson() const;
   // Writes BENCH_<name>.json into `directory` (created if missing).
   // Returns the path written.

@@ -269,7 +269,7 @@ class Validator {
   }
 
   util::Status NumberValue() {
-    Consume('-');
+    Consume('-');  // optional sign; bool result is advisory. roadmine-lint: allow(dropped-status)
     if (!DigitRun()) return Error("expected digits");
     if (Consume('.')) {
       if (!DigitRun()) return Error("expected fraction digits");
@@ -467,7 +467,7 @@ class Parser {
 
   util::Status NumberValue(double* out) {
     const size_t start = pos_;
-    Consume('-');
+    Consume('-');  // optional sign; bool result is advisory. roadmine-lint: allow(dropped-status)
     if (!DigitRun()) return Error("expected digits");
     if (Consume('.')) {
       if (!DigitRun()) return Error("expected fraction digits");

@@ -135,9 +135,11 @@ LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, counter] : counters_) counter->Reset();
-  for (auto& [name, gauge] : gauges_) gauge->Reset();
-  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  // Per-instrument Reset() is void; the name collides with the fallible
+  // data::RowSource::Reset in the lint's vocabulary.
+  for (auto& [name, counter] : counters_) counter->Reset();  // roadmine-lint: allow(dropped-status)
+  for (auto& [name, gauge] : gauges_) gauge->Reset();  // roadmine-lint: allow(dropped-status)
+  for (auto& [name, histogram] : histograms_) histogram->Reset();  // roadmine-lint: allow(dropped-status)
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {

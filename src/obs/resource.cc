@@ -1,0 +1,40 @@
+#include "obs/resource.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace roadmine::obs {
+
+namespace {
+
+// Parses a "/proc/self/status" line of the form "VmRSS:   123456 kB".
+// Returns the value in MiB, or 0 when the line doesn't parse.
+double ParseKbLine(const std::string& line) {
+  std::istringstream in(line);
+  std::string label;
+  double kb = 0.0;
+  std::string unit;
+  if (!(in >> label >> kb >> unit)) return 0.0;
+  if (unit != "kB") return 0.0;
+  return kb / 1024.0;
+}
+
+}  // namespace
+
+MemoryUsage CurrentMemoryUsage() {
+  MemoryUsage usage;
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) return usage;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      usage.rss_mb = ParseKbLine(line);
+    } else if (line.rfind("VmHWM:", 0) == 0) {
+      usage.peak_rss_mb = ParseKbLine(line);
+    }
+  }
+  return usage;
+}
+
+}  // namespace roadmine::obs

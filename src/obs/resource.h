@@ -1,0 +1,25 @@
+// Process resource introspection for memory-budget benches.
+//
+// perf_ingest's out-of-core gates need the process's resident set to
+// prove the paged path stays under its page-cache ceiling; this reads it
+// from /proc/self/status (Linux). On platforms without procfs the fields
+// are zero and callers should skip RSS assertions rather than fail.
+#ifndef ROADMINE_OBS_RESOURCE_H_
+#define ROADMINE_OBS_RESOURCE_H_
+
+namespace roadmine::obs {
+
+struct MemoryUsage {
+  // Current resident set (VmRSS) and lifetime high-water mark (VmHWM),
+  // both in MiB; zero when the platform provides no reading.
+  double rss_mb = 0.0;
+  double peak_rss_mb = 0.0;
+};
+
+// Snapshots the calling process's memory usage. Never fails: unparseable
+// or absent procfs yields zeros.
+MemoryUsage CurrentMemoryUsage();
+
+}  // namespace roadmine::obs
+
+#endif  // ROADMINE_OBS_RESOURCE_H_

@@ -123,8 +123,7 @@ void DrawAttributes(RoadSegment& s, util::Rng& rng, bool prone,
 
 }  // namespace
 
-Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
-  ROADMINE_TRACE_SPAN("roadgen.generate");
+util::Status RoadNetworkGenerator::Validate() const {
   const GeneratorConfig& cfg = config_;
   if (cfg.num_segments == 0) return InvalidArgumentError("num_segments == 0");
   if (cfg.prone_fraction < 0.0 || cfg.prone_fraction > 1.0) {
@@ -145,42 +144,59 @@ Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
     return InvalidArgumentError("f60_missing_rate outside [0, 1)");
   }
   if (cfg.num_years <= 0) return InvalidArgumentError("num_years <= 0");
+  return util::Status::Ok();
+}
+
+void RoadNetworkGenerator::SynthesizeSegment(size_t i, RoadSegment* out) const {
+  const GeneratorConfig& cfg = config_;
+  util::Rng rng(util::Rng::SplitSeed(cfg.seed, i));
+  RoadSegment& s = *out;
+  s.id = static_cast<int64_t>(i) + 1;
+  // Tier draw: black spot, crash-prone, or ordinary.
+  const double tier = rng.Uniform();
+  const bool blackspot = tier < cfg.blackspot_fraction;
+  const bool prone =
+      blackspot || tier < cfg.blackspot_fraction + cfg.prone_fraction;
+  DrawAttributes(s, rng, prone, cfg.f60_missing_rate);
+  s.latent_blackspot = blackspot;
+
+  // Zero-altered gamma-Poisson intensity (see crash_model.h).
+  const double base_mean = blackspot ? cfg.blackspot_mean_4yr
+                           : prone   ? cfg.prone_mean_4yr
+                                     : cfg.ordinary_mean_4yr;
+  const double dispersion = blackspot ? cfg.blackspot_dispersion
+                            : prone   ? cfg.prone_dispersion
+                                      : cfg.ordinary_dispersion;
+  const double log_lambda = std::log(std::max(base_mean, 1e-9)) +
+                            cfg.attribute_effect * RiskScore(s);
+  s.intensity_4yr = std::exp(log_lambda);
+  const double gamma_mult = rng.Gamma(dispersion, 1.0 / dispersion);
+  const double realized = s.intensity_4yr * gamma_mult;
+
+  s.yearly_crashes.resize(static_cast<size_t>(cfg.num_years));
+  for (int y = 0; y < cfg.num_years; ++y) {
+    s.yearly_crashes[static_cast<size_t>(y)] =
+        rng.Poisson(realized / static_cast<double>(cfg.num_years));
+  }
+}
+
+void RoadNetworkGenerator::SynthesizeRange(size_t begin, size_t end,
+                                           std::vector<RoadSegment>* out) const {
+  out->resize(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    SynthesizeSegment(i, &(*out)[i - begin]);
+  }
+}
+
+Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
+  ROADMINE_TRACE_SPAN("roadgen.generate");
+  const GeneratorConfig& cfg = config_;
+  ROADMINE_RETURN_IF_ERROR(Validate());
 
   std::vector<RoadSegment> segments(cfg.num_segments);
   // Segment i draws everything from child stream i of the seed, so its
   // synthesis is independent of every other segment — the property that
   // lets blocks run on any thread count with bit-identical output.
-  auto synthesize = [&cfg, &segments](size_t i) {
-    util::Rng rng(util::Rng::SplitSeed(cfg.seed, i));
-    RoadSegment& s = segments[i];
-    s.id = static_cast<int64_t>(i) + 1;
-    // Tier draw: black spot, crash-prone, or ordinary.
-    const double tier = rng.Uniform();
-    const bool blackspot = tier < cfg.blackspot_fraction;
-    const bool prone =
-        blackspot || tier < cfg.blackspot_fraction + cfg.prone_fraction;
-    DrawAttributes(s, rng, prone, cfg.f60_missing_rate);
-    s.latent_blackspot = blackspot;
-
-    // Zero-altered gamma-Poisson intensity (see crash_model.h).
-    const double base_mean = blackspot ? cfg.blackspot_mean_4yr
-                             : prone   ? cfg.prone_mean_4yr
-                                       : cfg.ordinary_mean_4yr;
-    const double dispersion = blackspot ? cfg.blackspot_dispersion
-                              : prone   ? cfg.prone_dispersion
-                                        : cfg.ordinary_dispersion;
-    const double log_lambda = std::log(std::max(base_mean, 1e-9)) +
-                              cfg.attribute_effect * RiskScore(s);
-    s.intensity_4yr = std::exp(log_lambda);
-    const double gamma_mult = rng.Gamma(dispersion, 1.0 / dispersion);
-    const double realized = s.intensity_4yr * gamma_mult;
-
-    s.yearly_crashes.resize(static_cast<size_t>(cfg.num_years));
-    for (int y = 0; y < cfg.num_years; ++y) {
-      s.yearly_crashes[static_cast<size_t>(y)] =
-          rng.Poisson(realized / static_cast<double>(cfg.num_years));
-    }
-  };
   // Auto-chunked: the scheduler carves the segment range; synthesis is
   // infallible (the task returns OK unconditionally and cannot throw
   // ROADMINE-side), so the only possible failure is the scheduler's own
@@ -188,7 +204,9 @@ Result<std::vector<RoadSegment>> RoadNetworkGenerator::Generate() const {
   ROADMINE_RETURN_IF_ERROR(exec::ParallelForRanges(
       cfg.executor, static_cast<size_t>(cfg.num_segments),
       [&](size_t begin, size_t end) -> util::Status {
-        for (size_t i = begin; i < end; ++i) synthesize(i);
+        for (size_t i = begin; i < end; ++i) {
+          SynthesizeSegment(i, &segments[i]);
+        }
         return util::Status::Ok();
       }));
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();

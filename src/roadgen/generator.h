@@ -71,10 +71,23 @@ class RoadNetworkGenerator {
 
   const GeneratorConfig& config() const { return config_; }
 
+  // Checks the config for nonsensical values (zero segments, negative
+  // rates, fractions outside [0,1]) — the same validation Generate runs.
+  [[nodiscard]] util::Status Validate() const;
+
   // Generates the network and simulates crash counts. Deterministic in
   // config().seed. Errors on nonsensical configs (zero segments, negative
   // rates, fractions outside [0,1]).
   [[nodiscard]] util::Result<std::vector<RoadSegment>> Generate() const;
+
+  // Synthesizes segments [begin, end) into `out` (resized to the block).
+  // Segment i depends only on config().seed — never on other segments —
+  // so callers can emit an arbitrarily large network block by block (see
+  // roadgen::EmitSegmentPages) with output identical to Generate()'s
+  // slice. Assumes a Validate()d config; `end` must not exceed
+  // config().num_segments.
+  void SynthesizeRange(size_t begin, size_t end,
+                       std::vector<RoadSegment>* out) const;
 
   // Expands per-segment yearly counts into individual crash records with
   // crash-level context (year, wet surface, severity).
@@ -82,6 +95,9 @@ class RoadNetworkGenerator {
       const std::vector<RoadSegment>& segments) const;
 
  private:
+  // Draws one segment from child stream `i` of the seed.
+  void SynthesizeSegment(size_t i, RoadSegment* out) const;
+
   GeneratorConfig config_;
 };
 

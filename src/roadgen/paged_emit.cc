@@ -1,0 +1,70 @@
+#include "roadgen/paged_emit.h"
+
+#include <algorithm>
+
+#include "data/paged_dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "roadgen/dataset_builder.h"
+
+namespace roadmine::roadgen {
+
+using util::Result;
+using util::Status;
+
+Result<uint64_t> EmitSegmentPages(const GeneratorConfig& config,
+                                  const std::string& directory,
+                                  const PagedEmitOptions& options) {
+  ROADMINE_TRACE_SPAN("roadgen.emit_segment_pages");
+  if (options.page_rows == 0) {
+    return util::InvalidArgumentError("page_rows must be positive");
+  }
+  RoadNetworkGenerator generator(config);
+  ROADMINE_RETURN_IF_ERROR(generator.Validate());
+
+  // Builds one block's chunk: the inventory columns plus the derived
+  // CP-t target columns (1 iff count > threshold, the
+  // core::AddCrashProneTarget rule).
+  auto build_chunk = [&](const std::vector<RoadSegment>& block)
+      -> Result<data::Dataset> {
+    auto chunk = BuildSegmentDataset(block);
+    if (!chunk.ok()) return chunk.status();
+    for (const PagedTargetSpec& target : options.targets) {
+      std::vector<double> values;
+      values.reserve(block.size());
+      for (const RoadSegment& s : block) {
+        values.push_back(
+            static_cast<double>(s.total_crashes()) > target.threshold ? 1.0
+                                                                      : 0.0);
+      }
+      ROADMINE_RETURN_IF_ERROR(chunk->AddColumn(
+          data::Column::Numeric(target.name, std::move(values))));
+    }
+    return chunk;
+  };
+
+  const size_t total = config.num_segments;
+  std::vector<RoadSegment> block;
+  std::unique_ptr<data::PagedDatasetWriter> writer;
+  for (size_t begin = 0; begin < total; begin += options.page_rows) {
+    const size_t end = std::min(total, begin + options.page_rows);
+    generator.SynthesizeRange(begin, end, &block);
+    auto chunk = build_chunk(block);
+    if (!chunk.ok()) return chunk.status();
+    if (writer == nullptr) {
+      auto created = data::PagedDatasetWriter::Create(
+          directory, data::TableSchema::FromDataset(*chunk),
+          {.page_rows = options.page_rows});
+      if (!created.ok()) return created.status();
+      writer = std::move(*created);
+    }
+    ROADMINE_RETURN_IF_ERROR(writer->Append(*chunk));
+  }
+  ROADMINE_RETURN_IF_ERROR(writer->Finish());
+  obs::MetricsRegistry::Global()
+      .GetCounter("roadgen.segments_emitted_paged")
+      .Increment(writer->rows_written());
+  return writer->rows_written();
+}
+
+}  // namespace roadmine::roadgen

@@ -1,0 +1,48 @@
+// Emit-to-pages mode: writes a synthetic road network straight to an
+// on-disk data::PagedDataset without ever materializing it in RAM.
+//
+// Segment i is a pure function of (config.seed, i), so the network is
+// synthesized block by block in segment order and each block becomes one
+// BuildSegmentDataset chunk appended to a PagedDatasetWriter. The pages
+// are bit-identical to slicing BuildSegmentDataset(Generate()) — the
+// route a 10M+-segment network takes to disk on a fixed memory budget.
+#ifndef ROADMINE_ROADGEN_PAGED_EMIT_H_
+#define ROADMINE_ROADGEN_PAGED_EMIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "roadgen/generator.h"
+#include "util/status.h"
+
+namespace roadmine::roadgen {
+
+// One derived 0/1 target column appended to every page: 1 iff the
+// segment's 4-year crash count exceeds `threshold` (the CP-t rule of
+// core::AddCrashProneTarget; name via core::ThresholdTargetName at the
+// call site — roadgen stays below core in the layering).
+struct PagedTargetSpec {
+  std::string name;
+  double threshold = 0.0;
+};
+
+struct PagedEmitOptions {
+  // Rows per on-disk page; also the synthesis block size, which bounds
+  // the emit's resident set to one block of segments plus one page of
+  // column staging.
+  size_t page_rows = 65536;
+  // Extra numeric target columns derived from the crash count.
+  std::vector<PagedTargetSpec> targets;
+};
+
+// Synthesizes config.num_segments segments and writes them (inventory
+// schema of BuildSegmentDataset, plus options.targets) to a PagedDataset
+// at `directory`. Returns the number of rows written.
+[[nodiscard]] util::Result<uint64_t> EmitSegmentPages(
+    const GeneratorConfig& config, const std::string& directory,
+    const PagedEmitOptions& options = {});
+
+}  // namespace roadmine::roadgen
+
+#endif  // ROADMINE_ROADGEN_PAGED_EMIT_H_

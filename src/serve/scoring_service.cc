@@ -6,10 +6,51 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
+#include <numeric>
+#include <queue>
+
 namespace roadmine::serve {
 
 using util::Result;
 using util::Status;
+
+namespace {
+
+// Ranking order: `a` beats `b` on higher score, ties broken by lower
+// global row index. As a priority_queue comparator this parks the WORST
+// survivor at top(), where eviction wants it.
+struct Beats {
+  bool operator()(const PagedScore& a, const PagedScore& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.row < b.row;
+  }
+};
+
+// Scores `rows` of `dataset`, sharding over `executor`. Chunk boundaries
+// depend only on the row count, and each chunk's scores land in its own
+// index range, so the output is thread-count-invariant.
+Status ShardedScore(exec::Executor* executor, const ml::Predictor& predictor,
+                    const data::Dataset& dataset,
+                    const std::vector<size_t>& rows,
+                    std::vector<double>* scores) {
+  scores->assign(rows.size(), 0.0);
+  return exec::ParallelForRanges(
+      executor, rows.size(), [&](size_t begin, size_t end) -> Status {
+        const std::vector<size_t> chunk_rows(
+            rows.begin() + static_cast<ptrdiff_t>(begin),
+            rows.begin() + static_cast<ptrdiff_t>(end));
+        auto chunk_scores = predictor.PredictBatch(dataset, chunk_rows);
+        if (!chunk_scores.ok()) return chunk_scores.status();
+        if (chunk_scores->size() != chunk_rows.size()) {
+          return util::InternalError("model returned a short score block");
+        }
+        std::copy(chunk_scores->begin(), chunk_scores->end(),
+                  scores->begin() + static_cast<ptrdiff_t>(begin));
+        return Status::Ok();
+      });
+}
+
+}  // namespace
 
 Status ScoringService::Register(const std::string& name,
                                 const std::string& version,
@@ -57,6 +98,22 @@ std::vector<ModelInfo> ScoringService::List() const {
   return out;
 }
 
+Result<ScoringService::Entry> ScoringService::Lookup(
+    const std::string& name, const std::string& version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Scan back-to-front so an empty version picks the latest registration
+  // (the Get() contract).
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->name != name) continue;
+    if (version.empty() || it->version == version) return *it;
+  }
+  if (version.empty()) {
+    return util::NotFoundError("no model named '" + name + "'");
+  }
+  return util::NotFoundError("no model '" + name + "' version '" + version +
+                             "'");
+}
+
 Result<std::vector<double>> ScoringService::ScoreBatch(
     const std::string& name, const std::string& version,
     const data::Dataset& dataset, const std::vector<size_t>& rows) const {
@@ -66,56 +123,79 @@ Result<std::vector<double>> ScoringService::ScoreBatch(
       metrics.GetHistogram("serve.score_batch_ms"));
   metrics.GetCounter("serve.requests").Increment();
 
-  std::shared_ptr<const ml::Predictor> predictor;
-  std::shared_ptr<SloTracker> slo;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    // Scan back-to-front so an empty version picks the latest
-    // registration (the Get() contract).
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-      if (it->name != name) continue;
-      if (version.empty() || it->version == version) {
-        predictor = it->model;
-        slo = it->slo;
-        break;
-      }
-    }
-  }
-  if (predictor == nullptr) {
-    if (version.empty()) {
-      return util::NotFoundError("no model named '" + name + "'");
-    }
-    return util::NotFoundError("no model '" + name + "' version '" + version +
-                               "'");
-  }
-  // Chunk boundaries depend only on the row count, and each chunk's
-  // scores land in its own index range, so the output is
-  // thread-count-invariant.
-  std::vector<double> scores(rows.size());
-  const Status status = exec::ParallelForRanges(
-      options_.executor, rows.size(),
-      [&](size_t begin, size_t end) -> Status {
-        const std::vector<size_t> chunk_rows(
-            rows.begin() + static_cast<ptrdiff_t>(begin),
-            rows.begin() + static_cast<ptrdiff_t>(end));
-        auto chunk_scores = predictor->PredictBatch(dataset, chunk_rows);
-        if (!chunk_scores.ok()) return chunk_scores.status();
-        if (chunk_scores->size() != chunk_rows.size()) {
-          return util::InternalError("model returned a short score block");
-        }
-        std::copy(chunk_scores->begin(), chunk_scores->end(),
-                  scores.begin() + static_cast<ptrdiff_t>(begin));
-        return Status::Ok();
-      });
-  if (!status.ok()) return status;
+  auto entry = Lookup(name, version);
+  if (!entry.ok()) return entry.status();
+  std::vector<double> scores;
+  ROADMINE_RETURN_IF_ERROR(ShardedScore(options_.executor, *entry->model,
+                                        dataset, rows, &scores));
   metrics.GetCounter("serve.rows_scored")
       .Increment(static_cast<uint64_t>(rows.size()));
-  const size_t new_breaches = slo->Record(timer.ElapsedMs(), rows.size());
+  const size_t new_breaches =
+      entry->slo->Record(timer.ElapsedMs(), rows.size());
   if (new_breaches > 0) {
     metrics.GetCounter("serve.slo_breaches")
         .Increment(static_cast<uint64_t>(new_breaches));
   }
   return scores;
+}
+
+Result<std::vector<PagedScore>> ScoringService::ScorePaged(
+    const std::string& name, const std::string& version,
+    data::RowSource& source, size_t top_k) const {
+  ROADMINE_TRACE_SPAN("serve.score_paged");
+  if (top_k == 0) {
+    return util::InvalidArgumentError("top_k must be positive");
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::ScopedLatency timer(metrics.GetHistogram("serve.score_paged_ms"));
+  metrics.GetCounter("serve.requests").Increment();
+
+  auto entry = Lookup(name, version);
+  if (!entry.ok()) return entry.status();
+
+  ROADMINE_RETURN_IF_ERROR(source.Reset());
+  // Worst survivor on top: a page row enters iff the heap is short or it
+  // beats that survivor. Pages arrive in global row order, so the heap's
+  // contents after every page depend only on the stream — deterministic
+  // at any thread count (threads only shard the per-page PredictBatch).
+  std::priority_queue<PagedScore, std::vector<PagedScore>, Beats> best;
+  std::vector<size_t> page_rows;
+  std::vector<double> scores;
+  uint64_t total_rows = 0;
+  for (;;) {
+    auto page = source.Next();
+    if (!page.ok()) return page.status();
+    if (*page == nullptr) break;
+    const size_t n = (*page)->num_rows();
+    page_rows.resize(n);
+    std::iota(page_rows.begin(), page_rows.end(), size_t{0});
+    ROADMINE_RETURN_IF_ERROR(ShardedScore(options_.executor, *entry->model,
+                                          **page, page_rows, &scores));
+    for (size_t r = 0; r < n; ++r) {
+      const PagedScore candidate{total_rows + r, scores[r]};
+      if (best.size() < top_k) {
+        best.push(candidate);
+      } else if (Beats()(candidate, best.top())) {
+        best.pop();
+        best.push(candidate);
+      }
+    }
+    total_rows += n;
+  }
+
+  std::vector<PagedScore> ranked(best.size());
+  for (size_t i = ranked.size(); i-- > 0;) {
+    ranked[i] = best.top();
+    best.pop();
+  }
+  metrics.GetCounter("serve.rows_scored").Increment(total_rows);
+  const size_t new_breaches =
+      entry->slo->Record(timer.ElapsedMs(), static_cast<size_t>(total_rows));
+  if (new_breaches > 0) {
+    metrics.GetCounter("serve.slo_breaches")
+        .Increment(static_cast<uint64_t>(new_breaches));
+  }
+  return ranked;
 }
 
 std::vector<SloStatus> ScoringService::SloReport() const {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/row_source.h"
 #include "ml/predictor.h"
 #include "serve/slo.h"
 #include "util/status.h"
@@ -43,6 +44,13 @@ struct ModelInfo {
   std::string name;
   std::string version;
   std::string predictor;  // ml::Predictor::name() of the registered model.
+};
+
+// One streaming-scoring survivor: a global row index into the scored
+// stream and the model's score for it.
+struct PagedScore {
+  uint64_t row = 0;
+  double score = 0.0;
 };
 
 class ScoringService {
@@ -72,6 +80,19 @@ class ScoringService {
       const std::string& name, const std::string& version,
       const data::Dataset& dataset, const std::vector<size_t>& rows) const;
 
+  // Streams `source` end to end (rewinding it first) through the named
+  // model one page at a time, keeping only the `top_k` best-scoring rows
+  // — memory use is one page plus the k survivors, never the whole
+  // stream. Each page is sharded over the executor exactly like
+  // ScoreBatch, so scores are bit-identical serial vs threaded, and the
+  // result equals scoring the materialized stream in RAM and taking its
+  // top k. Returned sorted by score descending, ties broken by global
+  // row index ascending. Feeds the same metrics and SLO tracker as
+  // ScoreBatch.
+  [[nodiscard]] util::Result<std::vector<PagedScore>> ScorePaged(
+      const std::string& name, const std::string& version,
+      data::RowSource& source, size_t top_k) const;
+
   // Per-model SLO state, in registration order.
   std::vector<SloStatus> SloReport() const;
 
@@ -82,6 +103,11 @@ class ScoringService {
     std::shared_ptr<const ml::Predictor> model;
     std::shared_ptr<SloTracker> slo;
   };
+
+  // (name, version) lookup with ScoreBatch's empty-version-picks-latest
+  // rule; returns the model and its SLO tracker.
+  [[nodiscard]] util::Result<Entry> Lookup(const std::string& name,
+                                           const std::string& version) const;
 
   ScoringServiceOptions options_;
   mutable std::mutex mu_;  // Registration and lookup may interleave.

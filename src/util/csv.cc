@@ -1,85 +1,141 @@
 #include "util/csv.h"
 
+#include <utility>
+
 namespace roadmine::util {
-namespace {
 
-// Shared scanning core: parses `text` as a sequence of records.
-// If `single_line` is true, newlines outside quotes are an error.
-Result<std::vector<std::vector<std::string>>> ScanCsv(std::string_view text,
-                                                      char delimiter,
-                                                      bool single_line) {
-  std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> fields;
-  std::string current;
-  bool in_quotes = false;
-  bool field_was_quoted = false;
-  bool any_content = false;  // Something seen since last record break.
+CsvStreamParser::CsvStreamParser(char delimiter, bool single_line)
+    : delimiter_(delimiter), single_line_(single_line) {}
 
-  auto end_field = [&] {
-    fields.push_back(std::move(current));
-    current.clear();
-    field_was_quoted = false;
-  };
-  auto end_record = [&] {
-    end_field();
-    rows.push_back(std::move(fields));
-    fields.clear();
-    any_content = false;
-  };
+void CsvStreamParser::EndField() {
+  fields_bytes_ += current_.size();
+  fields_.push_back(std::move(current_));
+  current_.clear();
+  field_was_quoted_ = false;
+}
 
-  for (size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (in_quotes) {
+void CsvStreamParser::EndRecord() {
+  EndField();
+  records_.push_back(std::move(fields_));
+  fields_.clear();
+  fields_bytes_ = 0;
+  any_content_ = false;
+}
+
+void CsvStreamParser::NoteBuffered() {
+  buffered_bytes_ = current_.size() + fields_bytes_;
+  if (buffered_bytes_ > peak_buffered_bytes_) {
+    peak_buffered_bytes_ = buffered_bytes_;
+  }
+}
+
+Status CsvStreamParser::Scan(std::string_view bytes) {
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    const char c = bytes[i];
+    // A '"' seen inside quotes could be a doubled-quote escape or the
+    // closing quote; the distinction needs one byte of lookahead, which
+    // may live in the next chunk. Resolve it here, on the byte after.
+    if (quote_pending_) {
+      quote_pending_ = false;
       if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          current.push_back('"');
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        current.push_back(c);
+        current_.push_back('"');
+        any_content_ = true;
+        continue;
       }
-      any_content = true;
+      in_quotes_ = false;
+      // Fall through: c is an ordinary out-of-quotes byte.
+    }
+    if (in_quotes_) {
+      if (c == '"') {
+        quote_pending_ = true;
+      } else {
+        current_.push_back(c);
+      }
+      any_content_ = true;
       continue;
     }
-    if (c == '"' && current.empty() && !field_was_quoted) {
-      in_quotes = true;
-      field_was_quoted = true;
-      any_content = true;
-    } else if (c == delimiter) {
-      end_field();
-      any_content = true;
-    } else if (c == '\n' && !single_line) {
-      end_record();
-    } else if (c == '\r' && !single_line && i + 1 < text.size() &&
-               text[i + 1] == '\n') {
-      end_record();
-      ++i;
+    if (skip_newline_) {
+      skip_newline_ = false;
+      if (c == '\n') continue;
+    }
+    if (c == '"' && current_.empty() && !field_was_quoted_) {
+      in_quotes_ = true;
+      field_was_quoted_ = true;
+      any_content_ = true;
+    } else if (c == delimiter_) {
+      EndField();
+      any_content_ = true;
     } else if (c == '\n' || c == '\r') {
-      if (single_line) {
+      if (single_line_) {
         return InvalidArgumentError("newline inside single CSV record");
       }
-      end_record();
+      EndRecord();
+      if (c == '\r') skip_newline_ = true;
     } else {
-      current.push_back(c);
-      any_content = true;
+      current_.push_back(c);
+      any_content_ = true;
     }
   }
-  if (in_quotes) {
-    return InvalidArgumentError("unterminated quoted CSV field");
+  return Status::Ok();
+}
+
+Status CsvStreamParser::Consume(std::string_view bytes) {
+  if (!error_.ok()) return error_;
+  if (finished_) {
+    error_ = InternalError("CsvStreamParser::Consume after Finish");
+    return error_;
   }
-  if (any_content || !fields.empty() || single_line) {
-    end_record();
+  error_ = Scan(bytes);
+  NoteBuffered();
+  return error_;
+}
+
+Status CsvStreamParser::Finish() {
+  if (!error_.ok()) return error_;
+  if (finished_) {
+    error_ = InternalError("CsvStreamParser::Finish called twice");
+    return error_;
   }
-  return rows;
+  finished_ = true;
+  // A quote pending at end of input is the closing quote.
+  if (quote_pending_) {
+    quote_pending_ = false;
+    in_quotes_ = false;
+  }
+  if (in_quotes_) {
+    error_ = InvalidArgumentError("unterminated quoted CSV field");
+    return error_;
+  }
+  if (any_content_ || !fields_.empty() || single_line_) {
+    EndRecord();
+  }
+  NoteBuffered();
+  return Status::Ok();
+}
+
+std::vector<std::vector<std::string>> CsvStreamParser::TakeRecords() {
+  std::vector<std::vector<std::string>> out = std::move(records_);
+  records_.clear();
+  return out;
+}
+
+namespace {
+
+Result<std::vector<std::vector<std::string>>> ScanWhole(std::string_view text,
+                                                        char delimiter,
+                                                        bool single_line) {
+  CsvStreamParser parser(delimiter, single_line);
+  Status status = parser.Consume(text);
+  if (status.ok()) status = parser.Finish();
+  if (!status.ok()) return status;
+  return parser.TakeRecords();
 }
 
 }  // namespace
 
 Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
                                               char delimiter) {
-  auto rows = ScanCsv(line, delimiter, /*single_line=*/true);
+  auto rows = ScanWhole(line, delimiter, /*single_line=*/true);
   if (!rows.ok()) return rows.status();
   if (rows->empty()) return std::vector<std::string>{std::string()};
   return std::move((*rows)[0]);
@@ -87,7 +143,7 @@ Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
 
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
                                                        char delimiter) {
-  return ScanCsv(text, delimiter, /*single_line=*/false);
+  return ScanWhole(text, delimiter, /*single_line=*/false);
 }
 
 std::string EscapeCsvField(std::string_view field, char delimiter) {

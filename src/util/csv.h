@@ -1,8 +1,15 @@
 // RFC-4180-style CSV tokenization: quoted fields, embedded delimiters,
 // doubled quotes, and both \n and \r\n record separators.
+//
+// CsvStreamParser is the single scanning core: it accepts input in
+// arbitrary byte chunks (a quoted field, a "" escape, or a \r\n break
+// may straddle any chunk boundary) and accumulates complete records.
+// ParseCsv/ParseCsvLine are one-shot wrappers over it, so chunked and
+// whole-buffer parses agree byte for byte by construction.
 #ifndef ROADMINE_UTIL_CSV_H_
 #define ROADMINE_UTIL_CSV_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +17,58 @@
 #include "util/status.h"
 
 namespace roadmine::util {
+
+// Incremental CSV scanner. Feed bytes with Consume() in any chunking,
+// call Finish() exactly once at end of input, and drain completed
+// records with TakeRecords() whenever convenient (typically after each
+// chunk, which keeps resident memory at O(partial record)).
+//
+// With `single_line` set, record breaks outside quotes are an error —
+// the mode behind ParseCsvLine.
+class CsvStreamParser {
+ public:
+  explicit CsvStreamParser(char delimiter = ',', bool single_line = false);
+
+  // Scans a chunk. Errors (embedded newline in single-line mode) latch:
+  // once failed, every later call returns the same status.
+  [[nodiscard]] Status Consume(std::string_view bytes);
+
+  // Flushes the final record. An unterminated quoted field is an error.
+  [[nodiscard]] Status Finish();
+
+  // Moves out the records completed so far, oldest first.
+  std::vector<std::vector<std::string>> TakeRecords();
+
+  // Bytes currently buffered for the in-progress record (excludes
+  // records awaiting TakeRecords), sampled at the last Consume/Finish.
+  size_t buffered_bytes() const { return buffered_bytes_; }
+  // High-water mark of buffered_bytes() — the evidence that chunked
+  // ingest holds O(record), not O(file).
+  size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
+
+ private:
+  void EndField();
+  void EndRecord();
+  [[nodiscard]] Status Scan(std::string_view bytes);
+  void NoteBuffered();
+
+  char delimiter_;
+  bool single_line_;
+  std::vector<std::vector<std::string>> records_;
+  std::vector<std::string> fields_;
+  std::string current_;
+  bool in_quotes_ = false;
+  bool field_was_quoted_ = false;
+  bool any_content_ = false;   // Something seen since last record break.
+  bool quote_pending_ = false;  // '"' inside quotes at a chunk edge: the
+                                // next byte decides escape vs close.
+  bool skip_newline_ = false;   // '\r' break seen: swallow one '\n'.
+  bool finished_ = false;
+  Status error_ = Status::Ok();
+  size_t fields_bytes_ = 0;
+  size_t buffered_bytes_ = 0;
+  size_t peak_buffered_bytes_ = 0;
+};
 
 // Parses one CSV record (no trailing newline) into fields.
 // Returns an error on unbalanced quotes.

@@ -96,6 +96,58 @@ TEST(FeatureEncoderTest, TransformRejectsSchemaMismatch) {
   EXPECT_FALSE(encoder.Transform(other, {0}).ok());
 }
 
+// --- Streaming fit -------------------------------------------------------
+
+TEST(FeatureEncoderStreamingTest, RowSourceFitMatchesLegacyFitExactly) {
+  Dataset ds;
+  std::vector<double> x;
+  std::vector<std::string> c;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i % 13 == 0 ? kNaN : 0.37 * i - 20.0);
+    c.push_back(i % 7 == 0 ? "" : (i % 3 == 0 ? "red" : "blue"));
+  }
+  ASSERT_TRUE(ds.AddColumn(Column::Numeric("x", std::move(x))).ok());
+  ASSERT_TRUE(ds.AddColumn(Column::CategoricalFromStrings("c", c)).ok());
+
+  FeatureEncoder legacy;
+  ASSERT_TRUE(legacy.Fit(ds, {"x", "c"}, ds.AllRowIndices()).ok());
+
+  // The chunking must not change one bit of the learned statistics: the
+  // serialized plans carry %.17g floats, so string equality is bit
+  // equality.
+  for (const size_t chunk_rows : {size_t{1}, size_t{9}, size_t{4096}}) {
+    DatasetSource source(ds, ds.AllRowIndices(), chunk_rows);
+    FeatureEncoder streamed;
+    ASSERT_TRUE(streamed.Fit(source, {"x", "c"}).ok());
+    EXPECT_EQ(streamed.Serialize(), legacy.Serialize())
+        << "chunk_rows " << chunk_rows;
+  }
+}
+
+TEST(FeatureEncoderStreamingTest, AccumulatorMergeCombinesMoments) {
+  RunningMoments left;
+  RunningMoments right;
+  RunningMoments whole;
+  for (int i = 0; i < 50; ++i) {
+    const double v = 0.1 * i * i - 3.0 * i;
+    (i < 20 ? left : right).Add(v);
+    whole.Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.n, whole.n);
+  EXPECT_NEAR(left.mean, whole.mean, 1e-9);
+  EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-6);
+}
+
+TEST(FeatureEncoderStreamingTest, StreamingFitErrors) {
+  Dataset ds = MixedDataset();
+  FeatureEncoder encoder;
+  DatasetSource missing_col(ds);
+  EXPECT_FALSE(encoder.Fit(missing_col, {"nope"}).ok());
+  DatasetSource no_rows(ds, std::vector<size_t>{}, 8);
+  EXPECT_FALSE(encoder.Fit(no_rows, {"x"}).ok());
+}
+
 TEST(FeatureEncoderTest, TrainOnlyStatistics) {
   // Fitting on a subset must use that subset's mean/std, not the full data.
   Dataset ds;

@@ -1,0 +1,217 @@
+// The RowSource contract across its three implementations: in-memory
+// DatasetSource, CsvChunkReader, and the wrapper entry points that now
+// sit on top of them.
+#include "data/row_source.h"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/csv_io.h"
+#include "data/dataset.h"
+
+namespace roadmine::data {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset ds;
+  EXPECT_TRUE(
+      ds.AddColumn(Column::Numeric("x", {1.0, 2.0, 3.0, 4.0, 5.0})).ok());
+  EXPECT_TRUE(ds.AddColumn(Column::CategoricalFromStrings(
+                               "kind", {"a", "b", "a", "", "c"}))
+                  .ok());
+  return ds;
+}
+
+// Drains a source into one gathered table for comparisons.
+Dataset Materialize(RowSource& source) {
+  Dataset out;
+  bool first = true;
+  EXPECT_TRUE(source.Reset().ok());
+  for (;;) {
+    auto chunk = source.Next();
+    EXPECT_TRUE(chunk.ok()) << chunk.status().ToString();
+    if (*chunk == nullptr) break;
+    if (first) {
+      out = **chunk;  // Copy: the pointer dies at the next Next().
+      first = false;
+      continue;
+    }
+    for (size_t c = 0; c < out.num_columns(); ++c) {
+      auto& dst = out.mutable_column(c);
+      const Column& src = (*chunk)->column(c);
+      if (dst.type() == ColumnType::kNumeric) {
+        for (size_t r = 0; r < (*chunk)->num_rows(); ++r) {
+          dst.AppendNumeric(src.NumericAt(r));
+        }
+      } else {
+        for (size_t r = 0; r < (*chunk)->num_rows(); ++r) {
+          EXPECT_TRUE(dst.AppendCode(src.CodeAt(r)).ok());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool SameTable(const Dataset& a, const Dataset& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const Column& x = a.column(c);
+    const Column& y = b.column(c);
+    if (x.name() != y.name() || x.type() != y.type()) return false;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      if (x.type() == ColumnType::kNumeric) {
+        const double xv = x.NumericAt(r);
+        const double yv = y.NumericAt(r);
+        if (xv != yv && !(xv != xv && yv != yv)) return false;  // NaN==NaN.
+      } else if (x.CodeAt(r) != y.CodeAt(r)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --- DatasetSource ------------------------------------------------------
+
+TEST(DatasetSourceTest, WholeTableModeIsOneZeroCopyChunk) {
+  const Dataset ds = SmallDataset();
+  DatasetSource source(ds);
+  EXPECT_EQ(source.TotalRowsHint(), std::optional<uint64_t>(5));
+  auto chunk = source.Next();
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(*chunk, &ds);  // The dataset itself, not a copy.
+  auto end = source.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, nullptr);
+}
+
+TEST(DatasetSourceTest, SubsetModeStreamsGatheredChunksInOrder) {
+  const Dataset ds = SmallDataset();
+  DatasetSource source(ds, {4, 0, 2}, /*chunk_rows=*/2);
+  EXPECT_EQ(source.TotalRowsHint(), std::optional<uint64_t>(3));
+  const Dataset gathered = Materialize(source);
+  ASSERT_EQ(gathered.num_rows(), 3u);
+  EXPECT_EQ(gathered.column(0).NumericAt(0), 5.0);
+  EXPECT_EQ(gathered.column(0).NumericAt(1), 1.0);
+  EXPECT_EQ(gathered.column(0).NumericAt(2), 3.0);
+  // The chunk dictionary is the full source dictionary, so codes carry over.
+  EXPECT_EQ(gathered.column(1).CodeAt(2), ds.column(1).CodeAt(2));
+}
+
+TEST(DatasetSourceTest, ResetReplaysTheSameStream) {
+  const Dataset ds = SmallDataset();
+  DatasetSource source(ds, {0, 1, 2, 3, 4}, /*chunk_rows=*/2);
+  const Dataset first = Materialize(source);
+  const Dataset second = Materialize(source);
+  EXPECT_TRUE(SameTable(first, second));
+  EXPECT_TRUE(SameTable(first, ds));
+}
+
+// --- CsvChunkReader -----------------------------------------------------
+
+constexpr char kCsv[] =
+    "x,kind\n"
+    "1.5,a\n"
+    "2.5,b\n"
+    ",a\n"
+    "4.5,\n"
+    "5.5,c\n";
+
+TEST(CsvChunkReaderTest, InfersSchemaAndStreamsChunks) {
+  auto reader = CsvChunkReader::FromText(kCsv, {.chunk_rows = 2});
+  ASSERT_TRUE(reader.ok());
+  const TableSchema& schema = (*reader)->schema();
+  ASSERT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(schema.columns[0].name, "x");
+  EXPECT_EQ(schema.columns[0].type, ColumnType::kNumeric);
+  EXPECT_EQ(schema.columns[1].type, ColumnType::kCategorical);
+  EXPECT_EQ(schema.columns[1].categories,
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*reader)->TotalRowsHint(), std::optional<uint64_t>(5));
+
+  auto c1 = (*reader)->Next();
+  ASSERT_TRUE(c1.ok());
+  ASSERT_NE(*c1, nullptr);
+  EXPECT_EQ((*c1)->num_rows(), 2u);
+  auto c2 = (*reader)->Next();
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ((*c2)->num_rows(), 2u);
+  auto c3 = (*reader)->Next();
+  ASSERT_TRUE(c3.ok());
+  ASSERT_NE(*c3, nullptr);
+  EXPECT_EQ((*c3)->num_rows(), 1u);
+  EXPECT_TRUE((*c3)->column(0).NumericAt(0) == 5.5);
+  auto end = (*reader)->Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, nullptr);
+}
+
+TEST(CsvChunkReaderTest, ChunkSizeNeverChangesTheTable) {
+  auto whole = DatasetFromCsvText(kCsv);
+  ASSERT_TRUE(whole.ok());
+  for (const size_t chunk_rows : {size_t{1}, size_t{2}, size_t{4096}}) {
+    auto reader = CsvChunkReader::FromText(kCsv, {.chunk_rows = chunk_rows});
+    ASSERT_TRUE(reader.ok());
+    const Dataset streamed = Materialize(**reader);
+    EXPECT_TRUE(SameTable(streamed, *whole)) << "chunk_rows " << chunk_rows;
+  }
+}
+
+TEST(CsvChunkReaderTest, ErrorsMatchTheWrapperContract) {
+  EXPECT_FALSE(CsvChunkReader::FromText("").ok());
+  auto ragged = CsvChunkReader::FromText("a,b\n1\n");
+  ASSERT_FALSE(ragged.ok());
+  EXPECT_NE(ragged.status().ToString().find("fields"), std::string::npos);
+  EXPECT_FALSE(CsvChunkReader::OpenFile("/no/such/file.csv").ok());
+}
+
+// --- Wrappers over the one engine ---------------------------------------
+
+TEST(CsvWrapperTest, FileAndTextAndStreamAllAgree) {
+  const std::string path = ::testing::TempDir() + "/row_source_test.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << kCsv;
+  }
+  auto from_text = DatasetFromCsvText(kCsv);
+  ASSERT_TRUE(from_text.ok());
+  auto from_file = ReadCsvFile(path);
+  ASSERT_TRUE(from_file.ok());
+  EXPECT_TRUE(SameTable(*from_text, *from_file));
+  EXPECT_EQ(DatasetToCsvText(*from_text), DatasetToCsvText(*from_file));
+}
+
+TEST(CsvWrapperTest, LargeFileIngestBuffersPerRecordNotPerFile) {
+  // A ~2 MB file must stream through with the scanner's high-water mark
+  // held at O(record) — the regression test for the old slurp-the-file
+  // ReadCsvFile.
+  const std::string path = ::testing::TempDir() + "/row_source_large.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "id,payload\n";
+    for (int i = 0; i < 40000; ++i) {
+      out << i << ",\"payload value number " << i << " with some width\"\n";
+    }
+  }
+  auto reader = CsvChunkReader::OpenFile(path);
+  ASSERT_TRUE(reader.ok());
+  uint64_t rows = 0;
+  for (;;) {
+    auto chunk = (*reader)->Next();
+    ASSERT_TRUE(chunk.ok());
+    if (*chunk == nullptr) break;
+    rows += (*chunk)->num_rows();
+  }
+  EXPECT_EQ(rows, 40000u);
+  // The longest record is well under 256 bytes; the file is ~2 MB.
+  EXPECT_LT((*reader)->peak_buffered_bytes(), 1024u);
+}
+
+}  // namespace
+}  // namespace roadmine::data

@@ -1,0 +1,121 @@
+// Emit-to-pages: EmitSegmentPages must write exactly the pages that
+// slicing BuildSegmentDataset(Generate()) would produce, plus the
+// requested derived target columns.
+#include "roadgen/paged_emit.h"
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/thresholds.h"
+#include "data/dataset.h"
+#include "data/paged_dataset.h"
+#include "roadgen/dataset_builder.h"
+#include "roadgen/generator.h"
+
+namespace roadmine::roadgen {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.num_segments = 333;  // Not a multiple of page_rows.
+  config.seed = 4242;
+  return config;
+}
+
+TEST(EmitSegmentPagesTest, PagesMatchTheInRamBuildBitForBit) {
+  const GeneratorConfig config = SmallConfig();
+  const std::string target = core::ThresholdTargetName(4);
+
+  auto segments = RoadNetworkGenerator(config).Generate();
+  ASSERT_TRUE(segments.ok());
+  auto in_ram = BuildSegmentDataset(*segments);
+  ASSERT_TRUE(in_ram.ok());
+  ASSERT_TRUE(
+      core::AddCrashProneTarget(*in_ram, kSegmentCrashCountColumn, 4).ok());
+
+  const std::string dir = ::testing::TempDir() + "/emit_pages";
+  std::filesystem::remove_all(dir);
+  PagedEmitOptions options;
+  options.page_rows = 64;
+  options.targets = {{target, 4.0}};
+  auto rows = EmitSegmentPages(config, dir, options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(*rows, config.num_segments);
+
+  auto paged = data::PagedDataset::Open(dir);
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ(paged->total_rows(), config.num_segments);
+  EXPECT_EQ(paged->num_pages(), (config.num_segments + 63) / 64);
+  ASSERT_EQ(paged->schema().num_columns(), in_ram->num_columns());
+  for (size_t c = 0; c < in_ram->num_columns(); ++c) {
+    EXPECT_EQ(paged->schema().columns[c].name, in_ram->column(c).name());
+  }
+
+  uint64_t row = 0;
+  for (size_t p = 0; p < paged->num_pages(); ++p) {
+    auto page = paged->ReadPage(p);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    for (size_t r = 0; r < page->num_rows(); ++r, ++row) {
+      for (size_t c = 0; c < in_ram->num_columns(); ++c) {
+        const data::Column& x = page->column(c);
+        const data::Column& y = in_ram->column(c);
+        if (x.type() == data::ColumnType::kNumeric) {
+          const double xv = x.NumericAt(r);
+          const double yv = y.NumericAt(row);
+          EXPECT_TRUE(xv == yv || (std::isnan(xv) && std::isnan(yv)))
+              << "row " << row << " col " << y.name();
+        } else {
+          EXPECT_EQ(x.CodeAt(r), y.CodeAt(row))
+              << "row " << row << " col " << y.name();
+        }
+      }
+    }
+  }
+  EXPECT_EQ(row, config.num_segments);
+}
+
+TEST(EmitSegmentPagesTest, TargetColumnIsTheThresholdRule) {
+  const GeneratorConfig config = SmallConfig();
+  const std::string dir = ::testing::TempDir() + "/emit_pages_target";
+  std::filesystem::remove_all(dir);
+  PagedEmitOptions options;
+  options.page_rows = 128;
+  options.targets = {{"cp_gt2", 2.0}};
+  ASSERT_TRUE(EmitSegmentPages(config, dir, options).ok());
+
+  auto paged = data::PagedDataset::Open(dir);
+  ASSERT_TRUE(paged.ok());
+  auto count_col = paged->schema().ColumnIndex(kSegmentCrashCountColumn);
+  ASSERT_TRUE(count_col.ok());
+  auto target_col = paged->schema().ColumnIndex("cp_gt2");
+  ASSERT_TRUE(target_col.ok());
+  for (size_t p = 0; p < paged->num_pages(); ++p) {
+    auto page = paged->ReadPage(p);
+    ASSERT_TRUE(page.ok());
+    for (size_t r = 0; r < page->num_rows(); ++r) {
+      const double count = page->column(*count_col).NumericAt(r);
+      const double label = page->column(*target_col).NumericAt(r);
+      EXPECT_EQ(label, count > 2.0 ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(EmitSegmentPagesTest, RejectsBadOptions) {
+  const std::string dir = ::testing::TempDir() + "/emit_pages_bad";
+  std::filesystem::remove_all(dir);
+  PagedEmitOptions zero_rows;
+  zero_rows.page_rows = 0;
+  EXPECT_FALSE(EmitSegmentPages(SmallConfig(), dir, zero_rows).ok());
+
+  GeneratorConfig empty = SmallConfig();
+  empty.num_segments = 0;
+  EXPECT_FALSE(EmitSegmentPages(empty, dir).ok());
+}
+
+}  // namespace
+}  // namespace roadmine::roadgen

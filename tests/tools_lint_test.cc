@@ -275,6 +275,45 @@ TEST(HeaderGuardTest, AcceptsCanonicalGuardAndSkipsNonHeaders) {
                   .empty());
 }
 
+// --- R6: page-binary ----------------------------------------------------
+
+TEST(PageBinaryTest, FlagsAnyFloatConversionInPageCode) {
+  // Even %.17g — the R3-blessed format — is text in a binary format.
+  const auto findings = Lint(
+      "src/data/paged_dataset.cc",
+      "void Save(char* b, unsigned long n, double v) {\n"
+      "  std::snprintf(b, n, \"%.17g\", v);\n"
+      "}\n",
+      kRulePageBinary);
+  ASSERT_EQ(findings.size(), 1u) << FindingsToText(findings, 2);
+  EXPECT_EQ(findings[0].rule, kRulePageBinary);
+  EXPECT_NE(findings[0].message.find("%.17g"), std::string::npos);
+}
+
+TEST(PageBinaryTest, AcceptsIntegerSpecsAndSuppressions) {
+  // Integer conversions (page file names, row counts) are fine, and the
+  // allow comment works like every other rule's.
+  const auto findings = Lint(
+      "src/data/paged_dataset.cc",
+      "void Name(char* b, unsigned long n, unsigned long i, double v) {\n"
+      "  std::snprintf(b, n, \"page_%06zu.rmpg\", i);\n"
+      "  // roadmine-lint: allow(page-binary) — diagnostics, not pages.\n"
+      "  std::snprintf(b, n, \"%g\", v);\n"
+      "}\n",
+      kRulePageBinary);
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings, 2);
+}
+
+TEST(PageBinaryTest, OnlyPagedDatasetFilesAreChecked) {
+  const auto findings = Lint(
+      "src/core/report.cc",
+      "void Print(char* b, unsigned long n, double v) {\n"
+      "  std::snprintf(b, n, \"%.3f\", v);\n"
+      "}\n",
+      kRulePageBinary);
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings, 2);
+}
+
 // --- Suppressions -------------------------------------------------------
 
 TEST(SuppressionTest, SameLineAndNextLineAllowComments) {

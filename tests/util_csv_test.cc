@@ -104,5 +104,78 @@ TEST(FormatCsvLineTest, RoundTripsThroughParse) {
   (void)parsed;
 }
 
+// --- CsvStreamParser: chunk-boundary property ---------------------------
+
+// A document designed so quoted fields, "" escapes, \r\n breaks, and
+// multi-byte UTF-8 values all straddle chunk edges at small chunk sizes.
+std::string HostileDocument() {
+  std::string text;
+  text += "name,note,value\r\n";                       // CRLF header.
+  text += "plain,\"with,comma\",1\n";                  // Quoted delimiter.
+  text += "\"say \"\"hi\"\"\",\"multi\nline\",2\r\n";  // Escape + newline.
+  text += "emoji,\xF0\x9F\x9A\x97 road,3\n";           // 4-byte UTF-8.
+  text += "\"q\",,4\r\n";                              // Empty field, CRLF.
+  for (int i = 0; i < 40; ++i) {
+    text += "r" + std::to_string(i) + ",\"v,\"\"" + std::to_string(i) +
+            "\"\"\",\xC3\xA9" + std::to_string(i) + "\n";
+  }
+  return text;
+}
+
+std::vector<std::vector<std::string>> ParseChunked(const std::string& text,
+                                                   size_t chunk_bytes) {
+  CsvStreamParser parser;
+  std::vector<std::vector<std::string>> records;
+  for (size_t pos = 0; pos < text.size(); pos += chunk_bytes) {
+    EXPECT_TRUE(
+        parser.Consume(std::string_view(text).substr(pos, chunk_bytes)).ok());
+    for (auto& record : parser.TakeRecords()) {
+      records.push_back(std::move(record));
+    }
+  }
+  EXPECT_TRUE(parser.Finish().ok());
+  for (auto& record : parser.TakeRecords()) {
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+TEST(CsvStreamParserTest, EveryChunkingParsesIdentically) {
+  const std::string text = HostileDocument();
+  auto whole = ParseCsv(text);
+  ASSERT_TRUE(whole.ok());
+  for (const size_t chunk_bytes : {size_t{1}, size_t{7}, size_t{4096}}) {
+    EXPECT_EQ(ParseChunked(text, chunk_bytes), *whole)
+        << "chunk size " << chunk_bytes;
+  }
+}
+
+TEST(CsvStreamParserTest, BufferingStaysPerRecordNotPerDocument) {
+  // 5000 small records fed in 64-byte chunks: the high-water mark must
+  // track the longest record, not the document.
+  std::string text = "a,b\n";
+  for (int i = 0; i < 5000; ++i) {
+    text += std::to_string(i) + ",\"value " + std::to_string(i) + "\"\n";
+  }
+  CsvStreamParser parser;
+  size_t records = 0;
+  for (size_t pos = 0; pos < text.size(); pos += 64) {
+    ASSERT_TRUE(
+        parser.Consume(std::string_view(text).substr(pos, 64)).ok());
+    records += parser.TakeRecords().size();
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  records += parser.TakeRecords().size();
+  EXPECT_EQ(records, 5001u);
+  EXPECT_LT(parser.peak_buffered_bytes(), 256u);
+}
+
+TEST(CsvStreamParserTest, UnterminatedQuoteAcrossChunksFails) {
+  CsvStreamParser parser;
+  ASSERT_TRUE(parser.Consume("a,\"open").ok());
+  ASSERT_TRUE(parser.Consume(" still open").ok());
+  EXPECT_FALSE(parser.Finish().ok());
+}
+
 }  // namespace
 }  // namespace roadmine::util

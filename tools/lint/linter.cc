@@ -527,6 +527,35 @@ bool IsFloatFormatFile(const std::string& rel) {
          rel.find("model_store") != std::string::npos;
 }
 
+// Calls `fn(spec)` for every printf floating-point conversion
+// (aefgAEFG, any flags/width/precision/length) in the string literal.
+template <typename Fn>
+void ForEachFloatConversion(const std::string& s, Fn&& fn) {
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    if (s[i] != '%') continue;
+    if (s[i + 1] == '%') {
+      ++i;
+      continue;
+    }
+    // Parse a printf conversion: flags, width, precision, conversion.
+    size_t j = i + 1;
+    while (j < s.size() && std::strchr("-+ #0", s[j]) != nullptr) ++j;
+    while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j])))
+      ++j;
+    if (j < s.size() && s[j] == '.') {
+      ++j;
+      while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j])))
+        ++j;
+    }
+    while (j < s.size() && std::strchr("lhLzjt", s[j]) != nullptr) ++j;
+    if (j >= s.size()) break;
+    if (std::strchr("aefgAEFG", s[j]) != nullptr) {
+      fn(s.substr(i, j - i + 1));
+    }
+    i = j;
+  }
+}
+
 void CheckFloatFormat(const Lexed& lexed, const std::string& rel,
                       const std::map<int, std::set<std::string>>& allow,
                       const std::string& report_path,
@@ -534,38 +563,42 @@ void CheckFloatFormat(const Lexed& lexed, const std::string& rel,
   if (!IsFloatFormatFile(rel)) return;
   for (const Token& tok : lexed.tokens) {
     if (tok.kind != Token::kString) continue;
-    const std::string& s = tok.text;
-    for (size_t i = 0; i + 1 < s.size(); ++i) {
-      if (s[i] != '%') continue;
-      if (s[i + 1] == '%') {
-        ++i;
-        continue;
+    ForEachFloatConversion(tok.text, [&](const std::string& spec) {
+      if (spec != "%.17g" && !Suppressed(allow, tok.line, kRuleFloatFormat)) {
+        findings->push_back(
+            {report_path, tok.line, kRuleFloatFormat,
+             "float format '" + spec + "' in a serialization save path; "
+             "use %.17g so the value round-trips bit-exactly"});
       }
-      // Parse a printf conversion: flags, width, precision, conversion.
-      size_t j = i + 1;
-      while (j < s.size() && std::strchr("-+ #0", s[j]) != nullptr) ++j;
-      while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j])))
-        ++j;
-      if (j < s.size() && s[j] == '.') {
-        ++j;
-        while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j])))
-          ++j;
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R6: page-binary. The paged-dataset format stores floats as their 8 raw
+// bytes, never as text (the bit-exact round-trip guarantee). Any printf
+// float conversion in a page reader/writer — even %.17g — is a text
+// float creeping into the binary format.
+
+bool IsPageBinaryFile(const std::string& rel) {
+  return rel.find("paged_dataset") != std::string::npos;
+}
+
+void CheckPageBinary(const Lexed& lexed, const std::string& rel,
+                     const std::map<int, std::set<std::string>>& allow,
+                     const std::string& report_path,
+                     std::vector<Finding>* findings) {
+  if (!IsPageBinaryFile(rel)) return;
+  for (const Token& tok : lexed.tokens) {
+    if (tok.kind != Token::kString) continue;
+    ForEachFloatConversion(tok.text, [&](const std::string& spec) {
+      if (!Suppressed(allow, tok.line, kRulePageBinary)) {
+        findings->push_back(
+            {report_path, tok.line, kRulePageBinary,
+             "float format '" + spec + "' in the paged-dataset binary "
+             "format; pages store floats as raw bytes, not text"});
       }
-      while (j < s.size() && std::strchr("lhLzjt", s[j]) != nullptr) ++j;
-      if (j >= s.size()) break;
-      const char conv = s[j];
-      if (std::strchr("aefgAEFG", conv) != nullptr) {
-        const std::string spec = s.substr(i, j - i + 1);
-        if (spec != "%.17g" &&
-            !Suppressed(allow, tok.line, kRuleFloatFormat)) {
-          findings->push_back(
-              {report_path, tok.line, kRuleFloatFormat,
-               "float format '" + spec + "' in a serialization save path; "
-               "use %.17g so the value round-trips bit-exactly"});
-        }
-      }
-      i = j;
-    }
+    });
   }
 }
 
@@ -668,7 +701,7 @@ bool RuleEnabled(const Options& options, const char* rule) {
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       kRuleDroppedStatus, kRuleDeterminism, kRuleFloatFormat, kRuleRawLock,
-      kRuleHeaderGuard};
+      kRuleHeaderGuard,   kRulePageBinary};
   return kRules;
 }
 
@@ -710,6 +743,9 @@ std::vector<Finding> LintSources(const std::vector<SourceFile>& sources,
     }
     if (RuleEnabled(options, kRuleHeaderGuard)) {
       CheckHeaderGuard(lexed[k], rel, allow, rel, &findings);
+    }
+    if (RuleEnabled(options, kRulePageBinary)) {
+      CheckPageBinary(lexed[k], rel, allow, rel, &findings);
     }
   }
   std::sort(findings.begin(), findings.end(),

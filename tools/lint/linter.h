@@ -40,8 +40,9 @@ inline constexpr char kRuleDeterminism[] = "determinism";       // R2
 inline constexpr char kRuleFloatFormat[] = "float-format";      // R3
 inline constexpr char kRuleRawLock[] = "raw-lock";              // R4
 inline constexpr char kRuleHeaderGuard[] = "header-guard";      // R5
+inline constexpr char kRulePageBinary[] = "page-binary";        // R6
 
-// All rule ids, in R1..R5 order.
+// All rule ids, in R1..R6 order.
 const std::vector<std::string>& AllRules();
 
 struct Finding {
